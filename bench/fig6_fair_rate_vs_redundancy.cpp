@@ -1,0 +1,55 @@
+// Figure 6 — the impact of redundancy on fair rates.
+//
+// n sessions share one bottleneck of capacity c; m are multi-rate with
+// redundancy v. Normalized fair rate = (c / ((n-m) + m v)) / (c/n) for
+// m/n in {0.01, 0.05, 0.1, 1} and v in 1..10. Each point is produced by
+// the actual max-min solver on the corresponding network and checked
+// against the closed form.
+#include <cmath>
+#include <iostream>
+
+#include "fairness/maxmin.hpp"
+#include "net/topologies.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcfair;
+  std::cout << "Figure 6: normalized fair rate vs redundancy "
+               "(shared bottleneck, c = 1000)\n";
+  const double c = 1000.0;
+  const std::size_t n = 100;  // 100 sessions so m/n = 0.01 is one session
+  const std::vector<double> ratios{0.01, 0.05, 0.1, 1.0};
+
+  std::vector<std::string> headers{"v"};
+  for (const double r : ratios) {
+    headers.push_back("m/n=" + std::to_string(r).substr(0, 4));
+  }
+  util::Table t(headers);
+  t.setPrecision(4);
+
+  double worstSolverError = 0.0;
+  for (double v = 1.0; v <= 10.0 + 1e-9; v += 1.0) {
+    std::vector<util::Cell> row{v};
+    for (const double ratio : ratios) {
+      const auto m = static_cast<std::size_t>(
+          std::llround(ratio * static_cast<double>(n)));
+      const double formula =
+          c / (static_cast<double>(n - m) + static_cast<double>(m) * v);
+      const net::Network net = net::singleBottleneckNetwork(n, m, c, v);
+      const auto a = fairness::maxMinFairAllocation(net);
+      const double solver = a.rate({0, 0});
+      worstSolverError =
+          std::max(worstSolverError, std::fabs(solver - formula) / formula);
+      row.emplace_back(solver / (c / static_cast<double>(n)));
+    }
+    t.addRow(std::move(row));
+  }
+  util::printTitled("Fig. 6 — normalized fair rate (solver)", t,
+                    util::envFlag("MCFAIR_CSV"));
+  std::cout << "\nWorst solver-vs-closed-form relative error: "
+            << worstSolverError << "\n";
+  std::cout << "Paper shape: even modest redundancy depresses everyone's "
+               "fair rate; when multi-rate sessions are <= 5% of traffic "
+               "the damage is small.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared driver for the Figure 8 simulation sweeps.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "sim/star.hpp"
+#include "util/table.hpp"
+
+namespace mcfair::bench {
+
+/// Runs one Figure 8 panel: redundancy vs independent fanout loss for the
+/// three protocols at a fixed shared-link loss rate. Scale knobs come
+/// from the environment (MCFAIR_RUNS / MCFAIR_PACKETS / MCFAIR_RECEIVERS)
+/// and default to the paper's 30 x 100,000 packets x 100 receivers.
+inline int runFigure8(const char* title, double sharedLoss) {
+  const auto runs =
+      static_cast<std::size_t>(util::envInt("MCFAIR_RUNS", 30));
+  const auto packets =
+      static_cast<std::uint64_t>(util::envInt("MCFAIR_PACKETS", 100000));
+  const auto receivers =
+      static_cast<std::size_t>(util::envInt("MCFAIR_RECEIVERS", 100));
+
+  std::cout << title << "\n"
+            << "(" << receivers << " receivers, 8 layers, shared loss "
+            << sharedLoss << ", " << runs << " runs x " << packets
+            << " packets)\n";
+
+  const std::vector<double> lossPoints{0.001, 0.02, 0.04, 0.06, 0.08, 0.1};
+  util::Table t({"independent loss", "Coordinated", "ci95", "Uncoordinated",
+                 "ci95 ", "Deterministic", "ci95  "});
+  t.setPrecision(4);
+  for (const double p : lossPoints) {
+    std::vector<util::Cell> row{p};
+    for (const auto kind :
+         {sim::ProtocolKind::kCoordinated, sim::ProtocolKind::kUncoordinated,
+          sim::ProtocolKind::kDeterministic}) {
+      sim::StarConfig c;
+      c.receivers = receivers;
+      c.layers = 8;
+      c.protocol = kind;
+      c.sharedLossRate = sharedLoss;
+      c.independentLossRate = p;
+      c.totalPackets = packets;
+      c.seed = 1000 + static_cast<std::uint64_t>(p * 10000);
+      const auto est = sim::estimateRedundancy(c, runs);
+      row.emplace_back(est.mean);
+      row.emplace_back(est.ci95);
+    }
+    t.addRow(std::move(row));
+  }
+  util::printTitled(title, t, util::envFlag("MCFAIR_CSV"));
+  std::cout << "\nPaper shape: redundancy grows with independent loss, "
+               "stays below ~5 for all protocols at reasonable loss "
+               "rates,\nand the sender-Coordinated protocol stays below "
+               "~2.5 throughout.\n";
+  return 0;
+}
+
+}  // namespace mcfair::bench

@@ -1,0 +1,9 @@
+// Figure 8(a) — protocol redundancy vs independent link loss with very
+// low shared loss (0.0001), 100 receivers, 8 layers.
+#include "fig8_common.hpp"
+
+int main() {
+  return mcfair::bench::runFigure8(
+      "Figure 8(a): redundancy vs independent loss, low shared loss",
+      0.0001);
+}

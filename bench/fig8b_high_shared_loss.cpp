@@ -1,0 +1,9 @@
+// Figure 8(b) — protocol redundancy vs independent link loss with high
+// shared loss (0.05), 100 receivers, 8 layers.
+#include "fig8_common.hpp"
+
+int main() {
+  return mcfair::bench::runFigure8(
+      "Figure 8(b): redundancy vs independent loss, high shared loss",
+      0.05);
+}

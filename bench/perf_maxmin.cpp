@@ -1,0 +1,76 @@
+// Engineering micro-benchmarks for the max-min solver (not a paper
+// figure): scaling with network size, session types, and link-rate
+// functions.
+#include <benchmark/benchmark.h>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/properties.hpp"
+#include "net/topologies.hpp"
+
+namespace {
+
+using namespace mcfair;
+
+net::Network makeRandom(std::uint64_t seed, std::size_t sessions,
+                        double singleRateProb) {
+  util::Rng rng(seed);
+  net::RandomNetworkOptions opts;
+  opts.nodes = 10 + sessions * 2;
+  opts.extraLinks = sessions * 2;
+  opts.sessions = sessions;
+  opts.singleRateProbability = singleRateProb;
+  return net::randomNetwork(rng, opts);
+}
+
+void BM_MaxMinMultiRate(benchmark::State& state) {
+  const auto n = makeRandom(42, static_cast<std::size_t>(state.range(0)),
+                            0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairness::maxMinFairAllocation(n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaxMinMultiRate)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_MaxMinMixed(benchmark::State& state) {
+  const auto n = makeRandom(43, static_cast<std::size_t>(state.range(0)),
+                            0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairness::maxMinFairAllocation(n));
+  }
+}
+BENCHMARK(BM_MaxMinMixed)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_MaxMinBisectionPath(benchmark::State& state) {
+  // RandomJoinExpected forces the nonlinear bisection path.
+  auto n = makeRandom(44, static_cast<std::size_t>(state.range(0)), 0.0);
+  const auto fn = std::make_shared<const net::RandomJoinExpected>(1e4);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    n = n.withLinkRateFunction(i, fn);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairness::maxMinFairAllocation(n));
+  }
+}
+BENCHMARK(BM_MaxMinBisectionPath)->RangeMultiplier(2)->Range(4, 32);
+
+void BM_SingleBottleneckScaling(benchmark::State& state) {
+  const auto n = net::singleBottleneckNetwork(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0) / 10), 1000.0, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairness::maxMinFairAllocation(n));
+  }
+}
+BENCHMARK(BM_SingleBottleneckScaling)->RangeMultiplier(4)->Range(10, 640);
+
+void BM_PropertyChecks(benchmark::State& state) {
+  const auto n = makeRandom(45, 32, 0.3);
+  const auto a = fairness::maxMinFairAllocation(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fairness::checkAllProperties(n, a));
+  }
+}
+BENCHMARK(BM_PropertyChecks);
+
+}  // namespace

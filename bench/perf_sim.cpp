@@ -1,0 +1,68 @@
+// Engineering micro-benchmarks for the packet-level simulator and the
+// Markov analysis (not a paper figure).
+#include <benchmark/benchmark.h>
+
+#include "markov/protocol_chain.hpp"
+#include "sim/star.hpp"
+
+namespace {
+
+using namespace mcfair;
+
+void BM_StarSimulation(benchmark::State& state) {
+  sim::StarConfig c;
+  c.receivers = static_cast<std::size_t>(state.range(0));
+  c.layers = 8;
+  c.protocol = sim::ProtocolKind::kCoordinated;
+  c.sharedLossRate = 0.0001;
+  c.independentLossRate = 0.04;
+  c.totalPackets = 100000;
+  for (auto _ : state) {
+    c.seed++;
+    benchmark::DoNotOptimize(sim::runStarSimulation(c));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.totalPackets));
+}
+BENCHMARK(BM_StarSimulation)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_StarByProtocol(benchmark::State& state) {
+  sim::StarConfig c;
+  c.receivers = 100;
+  c.layers = 8;
+  c.protocol = static_cast<sim::ProtocolKind>(state.range(0));
+  c.sharedLossRate = 0.0001;
+  c.independentLossRate = 0.04;
+  c.totalPackets = 100000;
+  for (auto _ : state) {
+    c.seed++;
+    benchmark::DoNotOptimize(sim::runStarSimulation(c));
+  }
+}
+BENCHMARK(BM_StarByProtocol)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MarkovUncoordinated(benchmark::State& state) {
+  markov::ProtocolChainConfig c;
+  c.layers = static_cast<std::size_t>(state.range(0));
+  c.protocol = sim::ProtocolKind::kUncoordinated;
+  c.sharedLoss = 0.001;
+  c.receiverLoss = {0.03, 0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::analyzeProtocolChain(c));
+  }
+}
+BENCHMARK(BM_MarkovUncoordinated)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_MarkovDeterministic(benchmark::State& state) {
+  markov::ProtocolChainConfig c;
+  c.layers = static_cast<std::size_t>(state.range(0));
+  c.protocol = sim::ProtocolKind::kDeterministic;
+  c.sharedLoss = 0.001;
+  c.receiverLoss = {0.03, 0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(markov::analyzeProtocolChain(c));
+  }
+}
+BENCHMARK(BM_MarkovDeterministic)->Arg(2)->Arg(3);
+
+}  // namespace

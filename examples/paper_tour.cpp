@@ -1,0 +1,142 @@
+// A guided tour of the paper's argument, section by section, using the
+// library's public API on the paper's own examples. Run it top to
+// bottom; each act prints what the paper claims and what the code
+// computes.
+#include <iostream>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/ordering.hpp"
+#include "fairness/properties.hpp"
+#include "fairness/verify.hpp"
+#include "layering/fixed_layer.hpp"
+#include "layering/quantum.hpp"
+#include "markov/protocol_chain.hpp"
+#include "net/topologies.hpp"
+#include "sim/star.hpp"
+
+namespace {
+
+void act(int number, const char* title) {
+  std::cout << "\n--- Act " << number << ": " << title << " ---\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcfair;
+  std::cout << "The Impact of Multicast Layering on Network Fairness "
+               "(SIGCOMM '99) — a tour in code\n";
+
+  act(1, "single-rate sessions break fairness (Section 2.3, Fig. 2)");
+  {
+    const net::Network single = net::fig2Network(false);
+    const auto a = fairness::maxMinFairAllocation(single);
+    std::cout << "Single-rate S1: every receiver pinned to "
+              << a.rate({0, 0}) << " by the slowest branch; the unicast "
+              << "flow sharing r1,1's exact path gets " << a.rate({1, 0})
+              << ".\nProperties failing: ";
+    for (const auto& [name, check] :
+         fairness::checkAllProperties(single, a)) {
+      if (!check.holds) std::cout << name << "  ";
+    }
+    std::cout << "\n";
+  }
+
+  act(2, "multi-rate (layered) sessions restore all of them (Theorem 1)");
+  {
+    const net::Network multi = net::fig2Network(true);
+    const auto a = fairness::maxMinFairAllocation(multi);
+    std::cout << "Multi-rate S1 rates: " << a.rate({0, 0}) << ", "
+              << a.rate({0, 1}) << ", " << a.rate({0, 2})
+              << "; unicast: " << a.rate({1, 0}) << ".\n";
+    bool allHold = true;
+    for (const auto& [name, check] :
+         fairness::checkAllProperties(multi, a)) {
+      allHold = allHold && check.holds;
+    }
+    std::cout << "All four fairness properties hold: "
+              << (allHold ? "yes" : "no")
+              << "; certified max-min fair by the Definition-1 verifier: "
+              << (fairness::isMaxMinFair(multi, a) ? "yes" : "no") << "\n";
+  }
+
+  act(3, "\"more max-min fair\" is a real ordering (Lemma 3/Corollary 1)");
+  {
+    const auto single =
+        fairness::maxMinFairAllocation(net::fig2Network(false))
+            .orderedRates();
+    const auto multi =
+        fairness::maxMinFairAllocation(net::fig2Network(true))
+            .orderedRates();
+    std::cout << "ordered(single) <_m ordered(multi): "
+              << (fairness::strictlyMinUnfavorable(single, multi)
+                      ? "yes"
+                      : "no")
+              << " — replacing the single-rate session strictly improved "
+                 "the allocation.\n";
+  }
+
+  act(4, "fixed layers break max-min fairness entirely (Section 3)");
+  {
+    const auto ex = layering::sec3NonexistenceExample(6.0);
+    const auto analysis =
+        layering::analyzeFixedLayerAllocations(ex.network, ex.schemes);
+    std::cout << analysis.feasible.size()
+              << " feasible fixed-layer allocations; max-min fair among "
+                 "them: "
+              << (analysis.maxMinFairIndex ? "exists" : "NONE") << "\n";
+    const auto sched = layering::simulatePrefixSchedule({3.0}, 6.0, 60, 500);
+    std::cout << "...but timed joins/leaves average "
+              << sched.averageRates[0]
+              << " (the continuous fair rate 3) with redundancy "
+              << sched.redundancy << ".\n";
+  }
+
+  act(5, "uncoordinated joins waste bandwidth: redundancy (Definition 3)");
+  {
+    const std::vector<double> rates(20, 0.1);
+    std::cout << "20 receivers each taking 10% of a layer at random: the "
+                 "link carries "
+              << layering::singleLayerRandomJoinRedundancy(rates, 1.0)
+              << "x the efficient rate (Appendix B).\n";
+    const net::Network eff = net::singleBottleneckNetwork(10, 2, 100, 1.0);
+    const net::Network red = net::singleBottleneckNetwork(10, 2, 100, 4.0);
+    std::cout << "On a 10-session bottleneck, redundancy 4 in two "
+                 "sessions cuts everyone's fair rate from "
+              << fairness::maxMinFairAllocation(eff).rate({0, 0}) << " to "
+              << fairness::maxMinFairAllocation(red).rate({0, 0})
+              << " (Figure 6 / Lemma 4).\n";
+  }
+
+  act(6, "coordination keeps redundancy low (Section 4, Figs. 7-8)");
+  {
+    markov::ProtocolChainConfig mc;
+    mc.layers = 4;
+    mc.sharedLoss = 0.0001;
+    mc.receiverLoss = {0.04, 0.04};
+    mc.protocol = sim::ProtocolKind::kUncoordinated;
+    const double unco = markov::analyzeProtocolChain(mc).redundancy;
+    mc.protocol = sim::ProtocolKind::kCoordinated;
+    const double coord = markov::analyzeProtocolChain(mc).redundancy;
+    std::cout << "Exact 2-receiver Markov analysis: Uncoordinated "
+              << unco << " vs Coordinated " << coord << ".\n";
+
+    sim::StarConfig sc;
+    sc.receivers = 100;
+    sc.layers = 8;
+    sc.sharedLossRate = 0.0001;
+    sc.independentLossRate = 0.04;
+    sc.totalPackets = 100000;
+    sc.protocol = sim::ProtocolKind::kUncoordinated;
+    const double simU = sim::estimateRedundancy(sc, 5).mean;
+    sc.protocol = sim::ProtocolKind::kCoordinated;
+    const double simC = sim::estimateRedundancy(sc, 5).mean;
+    std::cout << "100-receiver simulation (Fig. 8a point): Uncoordinated "
+              << simU << " vs Coordinated " << simC
+              << " — sender coordination keeps layered multicast's "
+                 "bandwidth waste small enough\nthat its fairness "
+                 "benefits survive in practice, the paper's bottom "
+                 "line.\n";
+  }
+  return 0;
+}

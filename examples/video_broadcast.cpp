@@ -1,0 +1,100 @@
+// Scenario: a live video broadcast over an ISP backbone.
+//
+// A content source multicasts a layered video stream to receivers spread
+// across a two-level ISP topology with heterogeneous access links, while
+// unicast web sessions share the backbone. The example contrasts
+// single-rate delivery (everyone pinned to the worst access link) with
+// layered multi-rate delivery, quantifies how much each receiver gains,
+// and verifies the Theorem 1 / Theorem 2 fairness properties.
+#include <iostream>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/ordering.hpp"
+#include "fairness/properties.hpp"
+#include "graph/graph.hpp"
+#include "net/topologies.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcfair;
+  using graph::NodeId;
+
+  // Backbone: source pop -> core -> two regional pops -> access nodes.
+  graph::Graph g;
+  const NodeId source = g.addNode("source-pop");
+  const NodeId core = g.addNode("core");
+  const NodeId west = g.addNode("west-pop");
+  const NodeId east = g.addNode("east-pop");
+  const NodeId dsl = g.addNode("dsl-home");
+  const NodeId cable = g.addNode("cable-home");
+  const NodeId office = g.addNode("office");
+  const NodeId campus = g.addNode("campus");
+  g.addLink(source, core, 100.0);
+  g.addLink(core, west, 40.0);
+  g.addLink(core, east, 60.0);
+  g.addLink(west, dsl, 2.0);     // slow DSL access
+  g.addLink(west, cable, 12.0);  // cable access
+  g.addLink(east, office, 20.0);
+  g.addLink(east, campus, 45.0);
+
+  auto broadcastSpec = [&](net::SessionType type) {
+    net::RoutedSessionSpec video;
+    video.sender = source;
+    video.receivers = {dsl, cable, office, campus};
+    video.type = type;
+    video.name = "video";
+    return video;
+  };
+  // Unicast cross traffic: two web transfers into each region.
+  std::vector<net::RoutedSessionSpec> specs;
+  for (const auto& [dst, name] :
+       {std::pair{cable, "web-west"}, std::pair{campus, "web-east"}}) {
+    net::RoutedSessionSpec web;
+    web.sender = core;
+    web.receivers = {dst};
+    web.name = name;
+    specs.push_back(web);
+  }
+
+  util::Table t({"receiver", "single-rate", "multi-rate (layered)",
+                 "gain"});
+  t.setPrecision(2);
+
+  auto specsSingle = specs;
+  specsSingle.insert(specsSingle.begin(),
+                     broadcastSpec(net::SessionType::kSingleRate));
+  auto specsMulti = specs;
+  specsMulti.insert(specsMulti.begin(),
+                    broadcastSpec(net::SessionType::kMultiRate));
+
+  const net::Network nSingle = net::fromGraph(g, specsSingle);
+  const net::Network nMulti = net::fromGraph(g, specsMulti);
+  const auto aSingle = fairness::maxMinFairAllocation(nSingle);
+  const auto aMulti = fairness::maxMinFairAllocation(nMulti);
+
+  const char* names[] = {"dsl-home", "cable-home", "office", "campus"};
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double s = aSingle.rate({0, k});
+    const double m = aMulti.rate({0, k});
+    t.addRow({std::string(names[k]), s, m,
+              std::string(m > s + 1e-9 ? "x" + std::to_string(m / s)
+                                       : "-")});
+  }
+  util::printTitled("Video receiver rates: single-rate vs layered", t);
+
+  // The DSL viewer pins the whole single-rate session to ~2 Mbps; with
+  // layering the campus viewer streams at its own bottleneck instead.
+  std::cout << "\nOrdered-rate comparison (Corollary 1): layered is ";
+  const bool moreFair = fairness::strictlyMinUnfavorable(
+      aSingle.orderedRates(), aMulti.orderedRates(), 1e-6);
+  std::cout << (moreFair ? "strictly more max-min fair" : "not worse")
+            << " than single-rate.\n";
+
+  std::cout << "\nFairness properties under layered delivery:\n";
+  for (const auto& [name, check] :
+       fairness::checkAllProperties(nMulti, aMulti)) {
+    std::cout << "  " << name << ": " << (check.holds ? "holds" : "FAILS")
+              << "\n";
+  }
+  return 0;
+}

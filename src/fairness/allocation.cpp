@@ -1,0 +1,108 @@
+#include "fairness/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::fairness {
+
+Allocation::Allocation(const net::Network& net) {
+  rates_.resize(net.sessionCount());
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    rates_[i].assign(net.session(i).receivers.size(), 0.0);
+  }
+}
+
+double Allocation::rate(net::ReceiverRef ref) const {
+  return rates_.at(ref.session).at(ref.receiver);
+}
+
+void Allocation::setRate(net::ReceiverRef ref, double rate) {
+  MCFAIR_REQUIRE(rate >= 0.0, "receiver rates must be non-negative");
+  rates_.at(ref.session).at(ref.receiver) = rate;
+}
+
+const std::vector<double>& Allocation::sessionRates(std::size_t i) const {
+  return rates_.at(i);
+}
+
+std::vector<double> Allocation::orderedRates() const {
+  std::vector<double> out;
+  for (const auto& s : rates_) out.insert(out.end(), s.begin(), s.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LinkUsage computeLinkUsage(const net::Network& net, const Allocation& a) {
+  LinkUsage usage;
+  usage.sessionLinkRate.assign(net.sessionCount(),
+                               std::vector<double>(net.linkCount(), 0.0));
+  usage.linkRate.assign(net.linkCount(), 0.0);
+  // Gather per-link, per-session rate sets from the link index, then apply
+  // each session's v_i.
+  for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+    const graph::LinkId l{j};
+    const auto& refs = net.receiversOnLink(l);
+    std::size_t pos = 0;
+    while (pos < refs.size()) {
+      const std::size_t i = refs[pos].session;
+      std::vector<double> rates;
+      while (pos < refs.size() && refs[pos].session == i) {
+        rates.push_back(a.rate(refs[pos]));
+        ++pos;
+      }
+      const double u = net.session(i).linkRateFn->linkRate(rates);
+      usage.sessionLinkRate[i][j] = u;
+      usage.linkRate[j] += u;
+    }
+  }
+  return usage;
+}
+
+FeasibilityReport checkFeasible(const net::Network& net, const Allocation& a,
+                                double tol) {
+  FeasibilityReport report;
+  auto fail = [&](std::string msg) {
+    report.feasible = false;
+    report.violations.push_back(std::move(msg));
+  };
+
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    const auto& sess = net.session(i);
+    const auto& rates = a.sessionRates(i);
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      if (rates[k] < -tol) {
+        fail("receiver (" + std::to_string(i) + "," + std::to_string(k) +
+             ") has negative rate");
+      }
+      if (rates[k] > sess.maxRate + tol) {
+        fail("receiver (" + std::to_string(i) + "," + std::to_string(k) +
+             ") exceeds sigma_i = " + std::to_string(sess.maxRate));
+      }
+    }
+    if (sess.type == net::SessionType::kSingleRate) {
+      const auto [lo, hi] = std::minmax_element(rates.begin(), rates.end());
+      if (*hi - *lo > tol) {
+        fail("single-rate session " + std::to_string(i) +
+             " has unequal receiver rates");
+      }
+    }
+  }
+
+  const LinkUsage usage = computeLinkUsage(net, a);
+  for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+    const double c = net.capacity(graph::LinkId{j});
+    if (usage.linkRate[j] > c + tol) {
+      fail("link " + std::to_string(j) + " overutilized: u=" +
+           std::to_string(usage.linkRate[j]) + " > c=" + std::to_string(c));
+    }
+  }
+  return report;
+}
+
+bool isFeasible(const net::Network& net, const Allocation& a, double tol) {
+  return checkFeasible(net, a, tol).feasible;
+}
+
+}  // namespace mcfair::fairness

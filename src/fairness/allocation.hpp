@@ -1,0 +1,63 @@
+// Receiver-rate allocations and derived link usage (Section 2).
+//
+// An Allocation assigns a rate a_{i,k} to every receiver of a Network.
+// LinkUsage materializes the session link rates u_{i,j} = v_i({a_{i,k}})
+// and link rates u_j = sum_i u_{i,j} induced by an allocation.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace mcfair::fairness {
+
+/// Rates a_{i,k}, indexed [session][receiver]. Shapes always match the
+/// Network the allocation was created from.
+class Allocation {
+ public:
+  /// All-zero allocation shaped like `net`.
+  explicit Allocation(const net::Network& net);
+
+  double rate(net::ReceiverRef ref) const;
+  void setRate(net::ReceiverRef ref, double rate);
+
+  /// Rates of session i in receiver order.
+  const std::vector<double>& sessionRates(std::size_t i) const;
+
+  /// All rates sorted ascending — the "ordered vector" of Definition 2.
+  std::vector<double> orderedRates() const;
+
+  std::size_t sessionCount() const noexcept { return rates_.size(); }
+
+ private:
+  std::vector<std::vector<double>> rates_;
+};
+
+/// u_{i,j} and u_j for an allocation.
+struct LinkUsage {
+  /// sessionLinkRate[i][j] = u_{i,j}; 0 when R_{i,j} is empty.
+  std::vector<std::vector<double>> sessionLinkRate;
+  /// linkRate[j] = u_j = sum_i u_{i,j}.
+  std::vector<double> linkRate;
+};
+
+/// Computes u_{i,j} = v_i({a_{i,k} : r_{i,k} in R_{i,j}}) and u_j.
+LinkUsage computeLinkUsage(const net::Network& net, const Allocation& a);
+
+/// Reasons an allocation can be infeasible, for diagnostics.
+struct FeasibilityReport {
+  bool feasible = true;
+  std::vector<std::string> violations;
+};
+
+/// Checks feasibility (Section 2): 0 <= a_{i,k} <= sigma_i, u_j <= c_j,
+/// and all receivers of a single-rate session share one rate. `tol` is the
+/// absolute slack allowed on each comparison.
+FeasibilityReport checkFeasible(const net::Network& net, const Allocation& a,
+                                double tol = 1e-9);
+
+/// Convenience: checkFeasible(...).feasible.
+bool isFeasible(const net::Network& net, const Allocation& a,
+                double tol = 1e-9);
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,316 @@
+#include "fairness/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace mcfair::fairness {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Per-round view of one link: the frozen rates per session plus the number
+// of active receivers per session, enough to evaluate u_j(level) cheaply.
+struct LinkView {
+  struct SessionGroup {
+    std::size_t session;
+    std::vector<double> frozenRates;
+    /// Weights of the group's active receivers: each contributes rate
+    /// weight * level while filling.
+    std::vector<double> activeWeights;
+  };
+  std::vector<SessionGroup> groups;
+  double capacity = 0.0;
+  bool hasActive = false;
+};
+
+// Returns the slope s such that u_{i,j} = s * top whenever `top` is at
+// least every other rate in the set, or nullopt when v_i is not of that
+// form. Recognizes the two rate-linear functions shipped with the library;
+// user-defined functions fall back to bisection.
+std::optional<double> topRateSlope(const net::LinkRateFunction& fn,
+                                   std::size_t receiversOnLink) {
+  if (dynamic_cast<const net::EfficientMax*>(&fn) != nullptr) return 1.0;
+  if (const auto* cf = dynamic_cast<const net::ConstantFactor*>(&fn)) {
+    return receiversOnLink >= 2 ? cf->factor() : 1.0;
+  }
+  return std::nullopt;
+}
+
+double linkUsageAt(const net::Network& net, const LinkView& view,
+                   double level) {
+  double u = 0.0;
+  std::vector<double> rates;
+  for (const auto& g : view.groups) {
+    rates.assign(g.frozenRates.begin(), g.frozenRates.end());
+    for (double w : g.activeWeights) rates.push_back(w * level);
+    u += net.session(g.session).linkRateFn->linkRate(rates);
+  }
+  return u;
+}
+
+}  // namespace
+
+MaxMinResult solveMaxMinFair(const net::Network& net,
+                             const MaxMinOptions& options) {
+  MCFAIR_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
+  MaxMinResult result{Allocation(net), LinkUsage{}, 0};
+  if (net.receiverCount() == 0 || net.linkCount() == 0) {
+    result.usage = computeLinkUsage(net, result.allocation);
+    return result;
+  }
+
+  const auto receivers = net.allReceivers();
+  std::vector<bool> frozen(receivers.size(), false);
+  // Flat receiver index: offsets[i] + k for receiver r_{i,k}.
+  std::vector<std::size_t> offsets(net.sessionCount() + 1, 0);
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    offsets[i + 1] = offsets[i] + net.session(i).receivers.size();
+  }
+  auto flat = [&](net::ReceiverRef ref) {
+    return offsets[ref.session] + ref.receiver;
+  };
+  auto weightOf = [&](net::ReceiverRef ref) {
+    return net.session(ref.session).receivers[ref.receiver].weight;
+  };
+  // Weighted max-min: each active receiver's rate is weight * level, so
+  // the filling maximizes min(rate/weight) lexicographically. With unit
+  // weights this is the paper's Appendix A algorithm verbatim.
+  bool unitWeights = true;
+  for (const auto& ref : receivers) {
+    if (weightOf(ref) != 1.0) {
+      unitWeights = false;
+      break;
+    }
+  }
+
+  double level = 0.0;
+  const std::size_t maxRounds = net.receiverCount() + 2;
+
+  while (true) {
+    // Collect active receivers; freeze any already at sigma.
+    std::vector<net::ReceiverRef> active;
+    for (const auto& ref : receivers) {
+      if (frozen[flat(ref)]) continue;
+      const double sigma = net.session(ref.session).maxRate;
+      if (level * weightOf(ref) >= sigma) {  // exact: can reach, not pass
+        frozen[flat(ref)] = true;
+        result.allocation.setRate(ref, sigma);
+        continue;
+      }
+      active.push_back(ref);
+    }
+    if (active.empty()) break;
+    if (++result.rounds > maxRounds) {
+      throw NumericError(
+          "solveMaxMinFair: filling failed to terminate; check that custom "
+          "link-rate functions are monotone with v(X) >= max(X)");
+    }
+
+    // Build per-link views restricted to links with at least one receiver.
+    std::vector<LinkView> views(net.linkCount());
+    bool allLinear = true;
+    for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+      const graph::LinkId l{j};
+      const auto& refs = net.receiversOnLink(l);
+      if (refs.empty()) continue;
+      LinkView& view = views[j];
+      view.capacity = net.capacity(l);
+      std::size_t pos = 0;
+      while (pos < refs.size()) {
+        LinkView::SessionGroup g;
+        g.session = refs[pos].session;
+        std::size_t total = 0;
+        while (pos < refs.size() && refs[pos].session == g.session) {
+          if (frozen[flat(refs[pos])]) {
+            g.frozenRates.push_back(result.allocation.rate(refs[pos]));
+          } else {
+            g.activeWeights.push_back(weightOf(refs[pos]));
+          }
+          ++total;
+          ++pos;
+        }
+        if (!g.activeWeights.empty()) {
+          view.hasActive = true;
+          if (!unitWeights ||
+              !topRateSlope(*net.session(g.session).linkRateFn, total)) {
+            allLinear = false;
+          }
+        }
+        view.groups.push_back(std::move(g));
+      }
+    }
+
+    // Upper bound on this round's increment: sigma caps and raw capacity
+    // (u_j >= w * level for a crossing active receiver, so the level
+    // cannot exceed any crossed capacity divided by the weight).
+    double hi = kInf;
+    for (const auto& ref : active) {
+      const double w = weightOf(ref);
+      hi = std::min(hi, net.session(ref.session).maxRate / w - level);
+      for (graph::LinkId l :
+           net.session(ref.session).receivers[ref.receiver].dataPath) {
+        hi = std::min(hi, net.capacity(l) / w - level);
+      }
+    }
+    hi = std::max(hi, 0.0);
+
+    // The largest feasible increment.
+    double delta;
+    if (allLinear) {
+      delta = hi;
+      for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+        const LinkView& view = views[j];
+        if (!view.hasActive) continue;
+        // u_j(level+d) = constPart + slopeSum * (level+d).
+        double constPart = 0.0;
+        double slopeSum = 0.0;
+        for (const auto& g : view.groups) {
+          const auto& fn = *net.session(g.session).linkRateFn;
+          const std::size_t total =
+              g.frozenRates.size() + g.activeWeights.size();
+          if (!g.activeWeights.empty()) {
+            // Unit weights on this path: active receivers carry the top
+            // rate of the session on this link (frozen rates froze at
+            // lower levels).
+            slopeSum += *topRateSlope(fn, total);
+          } else {
+            constPart += fn.linkRate(g.frozenRates);
+          }
+        }
+        if (slopeSum > 0.0) {
+          delta = std::min(delta,
+                           (view.capacity - constPart) / slopeSum - level);
+        }
+      }
+      delta = std::max(delta, 0.0);
+    } else {
+      auto feasibleAt = [&](double d) {
+        for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+          const LinkView& view = views[j];
+          if (!view.hasActive) continue;
+          const double slack = 1e-12 * std::max(1.0, view.capacity);
+          if (linkUsageAt(net, view, level + d) > view.capacity + slack) {
+            return false;
+          }
+        }
+        return true;
+      };
+      if (hi == 0.0 || feasibleAt(hi)) {
+        delta = hi;
+      } else {
+        double lo = 0.0;
+        double up = hi;
+        std::size_t steps = 0;
+        while (up - lo > options.tolerance &&
+               steps++ < options.maxBisectionSteps) {
+          const double mid = 0.5 * (lo + up);
+          (feasibleAt(mid) ? lo : up) = mid;
+        }
+        delta = lo;
+      }
+    }
+
+    level += delta;
+
+    // Freeze: receivers at sigma, and all active receivers crossing a
+    // saturated link.
+    std::size_t frozenThisRound = 0;
+    auto freezeAt = [&](net::ReceiverRef ref, double rate) {
+      if (frozen[flat(ref)]) return;
+      frozen[flat(ref)] = true;
+      result.allocation.setRate(ref, rate);
+      ++frozenThisRound;
+    };
+
+    std::vector<bool> saturated(net.linkCount(), false);
+    for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+      const LinkView& view = views[j];
+      if (!view.hasActive) continue;
+      const double slack =
+          options.saturationSlack * std::max(1.0, view.capacity);
+      saturated[j] = linkUsageAt(net, view, level) >= view.capacity - slack;
+    }
+    for (const auto& ref : active) {
+      const auto& sess = net.session(ref.session);
+      const double w = weightOf(ref);
+      const double sigmaSlack =
+          options.saturationSlack * std::max(1.0, std::isinf(sess.maxRate)
+                                                      ? 1.0
+                                                      : sess.maxRate);
+      if (!std::isinf(sess.maxRate) &&
+          level * w >= sess.maxRate - sigmaSlack) {
+        freezeAt(ref, sess.maxRate);
+        continue;
+      }
+      for (graph::LinkId l : sess.receivers[ref.receiver].dataPath) {
+        if (saturated[l.value]) {
+          freezeAt(ref, level * w);
+          break;
+        }
+      }
+    }
+
+    // Guard against stalls from a badly-conditioned custom v_i: force the
+    // receivers on the most-utilized active link to freeze.
+    if (frozenThisRound == 0) {
+      double worst = -kInf;
+      std::uint32_t worstLink = 0;
+      for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+        if (!views[j].hasActive) continue;
+        const double headroom =
+            views[j].capacity - linkUsageAt(net, views[j], level);
+        if (-headroom > worst) {
+          worst = -headroom;
+          worstLink = j;
+        }
+      }
+      for (const auto& ref : active) {
+        if (net.onLink(ref, graph::LinkId{worstLink})) {
+          freezeAt(ref, level * weightOf(ref));
+        }
+      }
+      if (frozenThisRound == 0) {
+        throw NumericError("solveMaxMinFair: no receiver could be frozen");
+      }
+    }
+
+    // Step 7: a single-rate session freezes as a unit.
+    for (const auto& ref : active) {
+      if (frozen[flat(ref)]) continue;
+      const auto& sess = net.session(ref.session);
+      if (sess.type != net::SessionType::kSingleRate) continue;
+      bool anyFrozen = false;
+      for (std::size_t k = 0; k < sess.receivers.size(); ++k) {
+        if (frozen[offsets[ref.session] + k]) {
+          anyFrozen = true;
+          break;
+        }
+      }
+      if (anyFrozen) freezeAt(ref, level * weightOf(ref));
+    }
+
+    // Active receivers that remain continue at `level` into the next
+    // round; record their provisional rate so usage queries mid-run (and
+    // the final write-out below) are consistent.
+    for (const auto& ref : active) {
+      if (!frozen[flat(ref)]) {
+        result.allocation.setRate(ref, level * weightOf(ref));
+      }
+    }
+  }
+
+  result.usage = computeLinkUsage(net, result.allocation);
+  return result;
+}
+
+Allocation maxMinFairAllocation(const net::Network& net,
+                                const MaxMinOptions& options) {
+  return solveMaxMinFair(net, options).allocation;
+}
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,61 @@
+// Max-min fair allocation solver — the paper's Appendix A algorithm,
+// generalized to arbitrary monotone session link-rate functions v_i.
+//
+// Progressive filling: all active receivers' rates rise uniformly from 0;
+// a receiver freezes when some link on its data-path reaches capacity or
+// its session's sigma_i is reached; when a single-rate session loses any
+// receiver, the whole session freezes (step 7 of the algorithm), keeping
+// its rates equal. With chi all-multi-rate / all-single-rate / mixed this
+// produces the (unique) multi-rate / single-rate / mixed max-min fair
+// allocation (Lemma 5 and Corollary 5 of the technical report).
+//
+// For the Section 2 model (v_i = max) each round's increment has a closed
+// form; for general v_i (Section 3.1 redundancy functions) the increment
+// is found by bisection on the monotone feasibility predicate. Both paths
+// are implemented; the closed form is used automatically whenever every
+// session's v_i declares itself rate-linear.
+//
+// Weighted max-min fairness (the paper's Section 5 suggestion for
+// approximating TCP-fairness by weighting receiver rates with inverse
+// round-trip times) is supported through Receiver::weight: active
+// receivers fill at rate weight * level, so the solver maximizes
+// min(rate/weight) lexicographically. Unit weights recover the paper's
+// algorithm exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "fairness/allocation.hpp"
+
+namespace mcfair::fairness {
+
+/// Solver knobs.
+struct MaxMinOptions {
+  /// Absolute convergence tolerance on rates (bisection width).
+  double tolerance = 1e-10;
+  /// Slack within which a link counts as fully utilized when deciding
+  /// which receivers freeze. Scales with capacity magnitude internally.
+  double saturationSlack = 1e-7;
+  /// Hard cap on bisection iterations per round.
+  std::size_t maxBisectionSteps = 200;
+};
+
+/// Result of the solver: the allocation plus the usage it induces and the
+/// number of filling rounds taken.
+struct MaxMinResult {
+  Allocation allocation;
+  LinkUsage usage;
+  std::size_t rounds = 0;
+};
+
+/// Computes the max-min fair allocation of `net`. Throws NumericError if
+/// the filling fails to make progress (cannot happen for well-formed
+/// monotone v_i; guards against faulty user-provided functions).
+MaxMinResult solveMaxMinFair(const net::Network& net,
+                             const MaxMinOptions& options = {});
+
+/// Convenience: solveMaxMinFair(...).allocation.
+Allocation maxMinFairAllocation(const net::Network& net,
+                                const MaxMinOptions& options = {});
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,91 @@
+#include "fairness/ordering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::fairness {
+
+namespace {
+void checkOrderedPair(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  MCFAIR_REQUIRE(x.size() == y.size(),
+                 "min-unfavorability compares vectors of equal length");
+  MCFAIR_REQUIRE(std::is_sorted(x.begin(), x.end()),
+                 "X must be ordered ascending");
+  MCFAIR_REQUIRE(std::is_sorted(y.begin(), y.end()),
+                 "Y must be ordered ascending");
+}
+}  // namespace
+
+bool minUnfavorable(const std::vector<double>& x,
+                    const std::vector<double>& y, double tol) {
+  checkOrderedPair(x, y);
+  bool sawXBelowY = false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > y[i] + tol && !sawXBelowY) return false;
+    if (x[i] < y[i] - tol) sawXBelowY = true;
+  }
+  return true;
+}
+
+bool strictlyMinUnfavorable(const std::vector<double>& x,
+                            const std::vector<double>& y, double tol) {
+  if (!minUnfavorable(x, y, tol)) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i] - y[i]) > tol) return true;
+  }
+  return false;
+}
+
+MinUnfavorableOrder compareMinUnfavorable(const std::vector<double>& x,
+                                          const std::vector<double>& y,
+                                          double tol) {
+  const bool xy = minUnfavorable(x, y, tol);
+  const bool yx = minUnfavorable(y, x, tol);
+  if (xy && yx) return MinUnfavorableOrder::kEqual;
+  if (xy) return MinUnfavorableOrder::kLess;
+  if (yx) return MinUnfavorableOrder::kGreater;
+  return MinUnfavorableOrder::kIncomparable;
+}
+
+std::size_t countAtOrBelow(const std::vector<double>& sorted, double z) {
+  return static_cast<std::size_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), z) - sorted.begin());
+}
+
+std::optional<double> lemma2Threshold(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  checkOrderedPair(x, y);
+  // Candidate thresholds are the entries of X and Y: the counting
+  // functions only change there. Check each candidate x0 for the Lemma 2
+  // conditions.
+  std::vector<double> candidates;
+  candidates.reserve(x.size() + y.size());
+  candidates.insert(candidates.end(), x.begin(), x.end());
+  candidates.insert(candidates.end(), y.begin(), y.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (double x0 : candidates) {
+    if (countAtOrBelow(x, x0) <= countAtOrBelow(y, x0)) continue;
+    bool dominatesBelow = true;
+    // For all z < x0 it suffices to check z just below each candidate
+    // value <= x0 — i.e., at the candidate values strictly below x0 and
+    // immediately before them. Counting functions are right-continuous
+    // step functions, so check at every candidate c < x0.
+    for (double c : candidates) {
+      if (c >= x0) break;
+      if (countAtOrBelow(x, c) < countAtOrBelow(y, c)) {
+        dominatesBelow = false;
+        break;
+      }
+    }
+    if (dominatesBelow) return x0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,54 @@
+// The min-unfavorable ordering over allocations (Definition 2) and the
+// Lemma 2 threshold characterization.
+//
+// For ordered (ascending) vectors X, Y of equal length, X <=_m Y
+// ("X is min-unfavorable to Y") iff no index has x_i > y_i, or every index
+// i with x_i > y_i is preceded by some j < i with x_j < y_j. The max-min
+// fair allocation is the unique maximum of <=_m among feasible allocations
+// (Lemma 1), which is how the paper compares the "level" of max-min
+// fairness across session-type and redundancy changes (Lemmas 3-4,
+// Corollary 1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace mcfair::fairness {
+
+/// Comparison outcome under the min-unfavorable relation.
+enum class MinUnfavorableOrder {
+  kEqual,      ///< X == Y (within tolerance)
+  kLess,       ///< X <_m Y: Y is strictly "more max-min fair"
+  kGreater,    ///< Y <_m X
+  kIncomparable,  ///< cannot happen for exact ordered vectors; may appear
+                  ///< when tolerance collapses distinct entries
+};
+
+/// True when X <=_m Y. Inputs must be ascending and of equal length
+/// (throws PreconditionError otherwise). Comparisons use absolute
+/// tolerance `tol` (x > y means x > y + tol).
+bool minUnfavorable(const std::vector<double>& x,
+                    const std::vector<double>& y, double tol = 1e-9);
+
+/// True when X <_m Y, i.e. minUnfavorable(x,y) and the vectors differ by
+/// more than `tol` somewhere.
+bool strictlyMinUnfavorable(const std::vector<double>& x,
+                            const std::vector<double>& y, double tol = 1e-9);
+
+/// Classifies the pair under <=_m.
+MinUnfavorableOrder compareMinUnfavorable(const std::vector<double>& x,
+                                          const std::vector<double>& y,
+                                          double tol = 1e-9);
+
+/// Lemma 2: X <_m Y iff there is a threshold x0 such that for all z < x0
+/// the number of entries <= z in X is >= that in Y, and strictly more
+/// entries of X are <= x0 than of Y. Returns such an x0 when X <_m Y,
+/// std::nullopt otherwise. Exact comparison (no tolerance): Lemma 2 is a
+/// combinatorial statement, used by tests to cross-validate the relation.
+std::optional<double> lemma2Threshold(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// Count of entries <= z (exact).
+std::size_t countAtOrBelow(const std::vector<double>& sorted, double z);
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,211 @@
+#include "fairness/properties.hpp"
+
+#include <cmath>
+
+namespace mcfair::fairness {
+
+namespace {
+
+bool linkFullyUtilized(const net::Network& net, const LinkUsage& usage,
+                       graph::LinkId l, const PropertyOptions& opt) {
+  const double c = net.capacity(l);
+  return usage.linkRate[l.value] >= c - opt.utilizationTol * std::max(1.0, c);
+}
+
+bool atMaxRate(const net::Network& net, const Allocation& a,
+               net::ReceiverRef ref, const PropertyOptions& opt) {
+  const double sigma = net.session(ref.session).maxRate;
+  return !std::isinf(sigma) && a.rate(ref) >= sigma - opt.rateTol;
+}
+
+std::string rname(const net::Network& net, net::ReceiverRef ref) {
+  const auto& r = net.session(ref.session).receivers[ref.receiver];
+  if (!r.name.empty()) return r.name;
+  return "r" + std::to_string(ref.session + 1) + "," +
+         std::to_string(ref.receiver + 1);
+}
+
+std::string sname(const net::Network& net, std::size_t i) {
+  const auto& s = net.session(i);
+  return s.name.empty() ? "S" + std::to_string(i + 1) : s.name;
+}
+
+}  // namespace
+
+bool isReceiverFullyUtilizedFair(const net::Network& net, const Allocation& a,
+                                 const LinkUsage& usage, net::ReceiverRef ref,
+                                 const PropertyOptions& opt) {
+  if (atMaxRate(net, a, ref, opt)) return true;
+  const double myRate = a.rate(ref);
+  const auto& path =
+      net.session(ref.session).receivers[ref.receiver].dataPath;
+  for (graph::LinkId l : path) {
+    if (!linkFullyUtilized(net, usage, l, opt)) continue;
+    bool topRated = true;
+    for (net::ReceiverRef other : net.receiversOnLink(l)) {
+      if (a.rate(other) > myRate + opt.rateTol) {
+        topRated = false;
+        break;
+      }
+    }
+    if (topRated) return true;
+  }
+  return false;
+}
+
+bool arePairSamePathFair(const net::Network& net, const Allocation& a,
+                         net::ReceiverRef x, net::ReceiverRef y,
+                         const PropertyOptions& opt) {
+  const auto& px = net.session(x.session).receivers[x.receiver].dataPath;
+  const auto& py = net.session(y.session).receivers[y.receiver].dataPath;
+  if (px != py) return true;  // paths are normalized sorted sets
+  const double ax = a.rate(x);
+  const double ay = a.rate(y);
+  if (std::fabs(ax - ay) <= opt.rateTol) return true;
+  // Unequal: the lower one must be pinned at its session's sigma.
+  const net::ReceiverRef lower = ax < ay ? x : y;
+  return atMaxRate(net, a, lower, opt);
+}
+
+bool isSessionPerReceiverLinkFair(const net::Network& net,
+                                  const Allocation& a, const LinkUsage& usage,
+                                  std::size_t session,
+                                  const PropertyOptions& opt) {
+  const auto& sess = net.session(session);
+  for (std::size_t k = 0; k < sess.receivers.size(); ++k) {
+    const net::ReceiverRef ref{session, k};
+    if (atMaxRate(net, a, ref, opt)) continue;
+    bool found = false;
+    for (graph::LinkId l : sess.receivers[k].dataPath) {
+      if (!linkFullyUtilized(net, usage, l, opt)) continue;
+      const double mine = usage.sessionLinkRate[session][l.value];
+      bool topSession = true;
+      for (std::size_t i2 = 0; i2 < net.sessionCount(); ++i2) {
+        if (usage.sessionLinkRate[i2][l.value] > mine + opt.rateTol) {
+          topSession = false;
+          break;
+        }
+      }
+      if (topSession) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool isSessionPerSessionLinkFair(const net::Network& net, const Allocation& a,
+                                 const LinkUsage& usage, std::size_t session,
+                                 const PropertyOptions& opt) {
+  const auto& sess = net.session(session);
+  bool allAtSigma = true;
+  for (std::size_t k = 0; k < sess.receivers.size(); ++k) {
+    if (!atMaxRate(net, a, {session, k}, opt)) {
+      allAtSigma = false;
+      break;
+    }
+  }
+  if (allAtSigma) return true;
+  for (graph::LinkId l : net.sessionDataPath(session)) {
+    if (!linkFullyUtilized(net, usage, l, opt)) continue;
+    const double mine = usage.sessionLinkRate[session][l.value];
+    bool topSession = true;
+    for (std::size_t i2 = 0; i2 < net.sessionCount(); ++i2) {
+      if (usage.sessionLinkRate[i2][l.value] > mine + opt.rateTol) {
+        topSession = false;
+        break;
+      }
+    }
+    if (topSession) return true;
+  }
+  return false;
+}
+
+PropertyCheck checkFullyUtilizedReceiverFairness(const net::Network& net,
+                                                 const Allocation& a,
+                                                 const PropertyOptions& opt) {
+  const LinkUsage usage = computeLinkUsage(net, a);
+  PropertyCheck out;
+  for (net::ReceiverRef ref : net.allReceivers()) {
+    if (!isReceiverFullyUtilizedFair(net, a, usage, ref, opt)) {
+      out.holds = false;
+      out.violations.push_back(
+          rname(net, ref) +
+          ": no fully utilized link on its data-path where it is top-rated, "
+          "and not at sigma");
+    }
+  }
+  return out;
+}
+
+PropertyCheck checkSamePathReceiverFairness(const net::Network& net,
+                                            const Allocation& a,
+                                            const PropertyOptions& opt) {
+  PropertyCheck out;
+  const auto all = net.allReceivers();
+  for (std::size_t x = 0; x < all.size(); ++x) {
+    for (std::size_t y = x + 1; y < all.size(); ++y) {
+      if (!arePairSamePathFair(net, a, all[x], all[y], opt)) {
+        out.holds = false;
+        out.violations.push_back(rname(net, all[x]) + " and " +
+                                 rname(net, all[y]) +
+                                 ": identical data-paths but unequal rates "
+                                 "with neither pinned at sigma");
+      }
+    }
+  }
+  return out;
+}
+
+PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
+                                           const Allocation& a,
+                                           const PropertyOptions& opt) {
+  const LinkUsage usage = computeLinkUsage(net, a);
+  PropertyCheck out;
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    if (!isSessionPerReceiverLinkFair(net, a, usage, i, opt)) {
+      out.holds = false;
+      out.violations.push_back(
+          sname(net, i) +
+          ": some receiver's path has no fully utilized link where the "
+          "session's link rate is maximal");
+    }
+  }
+  return out;
+}
+
+PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
+                                          const Allocation& a,
+                                          const PropertyOptions& opt) {
+  const LinkUsage usage = computeLinkUsage(net, a);
+  PropertyCheck out;
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    if (!isSessionPerSessionLinkFair(net, a, usage, i, opt)) {
+      out.holds = false;
+      out.violations.push_back(
+          sname(net, i) +
+          ": no fully utilized link on the session data-path where the "
+          "session's link rate is maximal");
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, PropertyCheck>> checkAllProperties(
+    const net::Network& net, const Allocation& a,
+    const PropertyOptions& opt) {
+  return {
+      {"fully-utilized-receiver-fairness",
+       checkFullyUtilizedReceiverFairness(net, a, opt)},
+      {"same-path-receiver-fairness",
+       checkSamePathReceiverFairness(net, a, opt)},
+      {"per-receiver-link-fairness",
+       checkPerReceiverLinkFairness(net, a, opt)},
+      {"per-session-link-fairness",
+       checkPerSessionLinkFairness(net, a, opt)},
+  };
+}
+
+}  // namespace mcfair::fairness

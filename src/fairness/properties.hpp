@@ -1,0 +1,86 @@
+// The four desirable fairness properties of Section 2.1, with
+// per-receiver / per-session / per-pair granularity (needed by Theorem 2,
+// which scopes each property to the multi-rate sessions of a mixed
+// network) and whole-network checks with human-readable violation reports.
+//
+// Property 1 (fully-utilized-receiver-fairness): each receiver is at
+//   sigma_i or crosses a fully utilized link on which no receiver (of any
+//   session) outrates it.
+// Property 2 (same-path-receiver-fairness): receivers with identical
+//   data-paths have equal rates unless the lower one is at its sigma.
+// Property 3 (per-receiver-link-fairness): for each receiver, some fully
+//   utilized link on its path gives its session at least as much link rate
+//   as any other session (or the receiver is at sigma_i).
+// Property 4 (per-session-link-fairness): as Property 3 but only somewhere
+//   on the session's data-path (weaker).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fairness/allocation.hpp"
+
+namespace mcfair::fairness {
+
+/// Result of a property check over a network.
+struct PropertyCheck {
+  bool holds = true;
+  std::vector<std::string> violations;
+};
+
+/// Comparison slacks for the property predicates.
+struct PropertyOptions {
+  /// Absolute slack for rate comparisons (a <= b means a <= b + rateTol).
+  double rateTol = 1e-6;
+  /// Relative-to-capacity slack for "fully utilized".
+  double utilizationTol = 1e-6;
+};
+
+// --- Granular predicates -------------------------------------------------
+
+/// Property 1 for one receiver.
+bool isReceiverFullyUtilizedFair(const net::Network& net, const Allocation& a,
+                                 const LinkUsage& usage, net::ReceiverRef ref,
+                                 const PropertyOptions& opt = {});
+
+/// Property 2 for one pair of receivers. Pairs with different data-paths
+/// are vacuously fair.
+bool arePairSamePathFair(const net::Network& net, const Allocation& a,
+                         net::ReceiverRef x, net::ReceiverRef y,
+                         const PropertyOptions& opt = {});
+
+/// Property 3 for one session.
+bool isSessionPerReceiverLinkFair(const net::Network& net,
+                                  const Allocation& a, const LinkUsage& usage,
+                                  std::size_t session,
+                                  const PropertyOptions& opt = {});
+
+/// Property 4 for one session.
+bool isSessionPerSessionLinkFair(const net::Network& net, const Allocation& a,
+                                 const LinkUsage& usage, std::size_t session,
+                                 const PropertyOptions& opt = {});
+
+// --- Whole-network checks ------------------------------------------------
+
+PropertyCheck checkFullyUtilizedReceiverFairness(
+    const net::Network& net, const Allocation& a,
+    const PropertyOptions& opt = {});
+
+PropertyCheck checkSamePathReceiverFairness(const net::Network& net,
+                                            const Allocation& a,
+                                            const PropertyOptions& opt = {});
+
+PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
+                                           const Allocation& a,
+                                           const PropertyOptions& opt = {});
+
+PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
+                                          const Allocation& a,
+                                          const PropertyOptions& opt = {});
+
+/// All four property names with their check results, in paper order.
+std::vector<std::pair<std::string, PropertyCheck>> checkAllProperties(
+    const net::Network& net, const Allocation& a,
+    const PropertyOptions& opt = {});
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,76 @@
+#include "fairness/report.hpp"
+
+#include <ostream>
+
+#include "fairness/properties.hpp"
+#include "util/table.hpp"
+
+namespace mcfair::fairness {
+
+std::string receiverDisplayName(const net::Network& net,
+                                net::ReceiverRef ref) {
+  const auto& r = net.session(ref.session).receivers[ref.receiver];
+  if (!r.name.empty()) return r.name;
+  return "r" + std::to_string(ref.session + 1) + "," +
+         std::to_string(ref.receiver + 1);
+}
+
+std::string sessionDisplayName(const net::Network& net, std::size_t i) {
+  const auto& s = net.session(i);
+  return s.name.empty() ? "S" + std::to_string(i + 1) : s.name;
+}
+
+void printAllocationReport(std::ostream& os, const std::string& title,
+                           const net::Network& net, const Allocation& a,
+                           const ReportOptions& options) {
+  auto show = [&](const std::string& heading, const util::Table& table) {
+    os << "\n== " << heading << " ==\n";
+    table.print(os);
+    if (options.csv) {
+      os << "\n-- CSV --\n";
+      table.printCsv(os);
+    }
+  };
+
+  util::Table rates({"receiver", "rate a_{i,k}"});
+  rates.setPrecision(options.precision);
+  for (const auto ref : net.allReceivers()) {
+    rates.addRow({receiverDisplayName(net, ref), a.rate(ref)});
+  }
+  show(title + " — receiver rates", rates);
+
+  const auto usage = computeLinkUsage(net, a);
+  std::vector<std::string> headers{"link", "capacity"};
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    headers.push_back("u_" + sessionDisplayName(net, i));
+  }
+  headers.push_back("u_j");
+  headers.push_back("full?");
+  util::Table links(headers);
+  links.setPrecision(options.precision);
+  for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
+    std::vector<util::Cell> row{"l" + std::to_string(j + 1),
+                                net.capacity(graph::LinkId{j})};
+    for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+      row.emplace_back(usage.sessionLinkRate[i][j]);
+    }
+    row.emplace_back(usage.linkRate[j]);
+    row.emplace_back(std::string(
+        usage.linkRate[j] >= net.capacity(graph::LinkId{j}) - 1e-6
+            ? "yes"
+            : "no"));
+    links.addRow(std::move(row));
+  }
+  show(title + " — link usage", links);
+
+  if (options.skipProperties) return;
+  util::Table props({"fairness property", "holds", "violations"});
+  for (const auto& [name, check] : checkAllProperties(net, a)) {
+    props.addRow({name, std::string(check.holds ? "yes" : "NO"),
+                  check.violations.empty() ? std::string("-")
+                                           : check.violations.front()});
+  }
+  show(title + " — fairness properties", props);
+}
+
+}  // namespace mcfair::fairness

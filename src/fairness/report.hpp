@@ -1,0 +1,37 @@
+// Human-readable reports for solved networks: receiver rates, per-link
+// session rates and utilization, and fairness-property verdicts. Used by
+// the bench binaries and the fairshare CLI example.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fairness/allocation.hpp"
+
+namespace mcfair::fairness {
+
+/// Formatting options for printAllocationReport.
+struct ReportOptions {
+  /// Digits after the decimal point.
+  int precision = 3;
+  /// Also emit CSV blocks after each table.
+  bool csv = false;
+  /// Skip the fairness-property table.
+  bool skipProperties = false;
+};
+
+/// Display name of receiver r_{i,k} ("r2,1" when unnamed).
+std::string receiverDisplayName(const net::Network& net,
+                                net::ReceiverRef ref);
+
+/// Display name of session i ("S3" when unnamed).
+std::string sessionDisplayName(const net::Network& net, std::size_t i);
+
+/// Prints the full report for one network/allocation pair: receiver
+/// rates, link usage (u_{i,j}, u_j, full?), and the four fairness
+/// properties with their first violation each.
+void printAllocationReport(std::ostream& os, const std::string& title,
+                           const net::Network& net, const Allocation& a,
+                           const ReportOptions& options = {});
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,79 @@
+#include "fairness/verify.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::fairness {
+
+namespace {
+
+// Builds the most permissive feasible-candidate for raising `target` by
+// `delta`: strictly higher-rated receivers release everything (their
+// whole single-rate sessions if applicable), equal-or-lower ones keep
+// their rates, and the target (plus single-rate siblings) takes the
+// raise.
+Allocation mostPermissiveRaise(const net::Network& net, const Allocation& a,
+                               net::ReceiverRef target, double delta,
+                               double tol) {
+  const double pivot = a.rate(target);
+  Allocation b(net);
+  for (const auto ref : net.allReceivers()) {
+    const double rate = a.rate(ref);
+    b.setRate(ref, rate > pivot + tol ? 0.0 : rate);
+  }
+  const auto& sess = net.session(target.session);
+  if (sess.type == net::SessionType::kSingleRate) {
+    // Raising one receiver of a single-rate session raises them all
+    // (their rates are equal to the pivot by feasibility).
+    for (std::size_t k = 0; k < sess.receivers.size(); ++k) {
+      b.setRate({target.session, k}, pivot + delta);
+    }
+  } else {
+    b.setRate(target, pivot + delta);
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<MaxMinViolation> findMaxMinViolations(
+    const net::Network& net, const Allocation& a,
+    const VerifyOptions& options) {
+  MCFAIR_REQUIRE(options.delta > 0.0, "delta must be positive");
+  std::vector<MaxMinViolation> out;
+
+  const auto base = checkFeasible(net, a, options.tol);
+  if (!base.feasible) {
+    out.push_back(MaxMinViolation{
+        net::ReceiverRef{0, 0},
+        "allocation is not feasible: " + base.violations.front()});
+    return out;
+  }
+
+  for (const auto ref : net.allReceivers()) {
+    const auto& sess = net.session(ref.session);
+    // A receiver pinned at sigma cannot be raised; Definition 1 is
+    // satisfied for it by feasibility alone.
+    if (!std::isinf(sess.maxRate) &&
+        a.rate(ref) + options.delta > sess.maxRate + options.tol) {
+      continue;
+    }
+    const Allocation candidate =
+        mostPermissiveRaise(net, a, ref, options.delta, options.tol);
+    if (isFeasible(net, candidate, options.tol)) {
+      out.push_back(MaxMinViolation{
+          ref,
+          "rate can be raised by " + std::to_string(options.delta) +
+              " without lowering any equal-or-lower-rated receiver"});
+    }
+  }
+  return out;
+}
+
+bool isMaxMinFair(const net::Network& net, const Allocation& a,
+                  const VerifyOptions& options) {
+  return findMaxMinViolations(net, a, options).empty();
+}
+
+}  // namespace mcfair::fairness

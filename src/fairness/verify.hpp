@@ -1,0 +1,54 @@
+// Direct verification of max-min fairness (Definition 1), independent of
+// the construction algorithm.
+//
+// An allocation is max-min fair iff it is feasible and no receiver's rate
+// can be raised in any feasible alternative without lowering some
+// receiver whose (original) rate is no larger. For monotone session
+// link-rate functions this has an exact finite test: to raise receiver r
+// by delta, the most permissive alternative keeps every receiver with
+// rate <= a(r) unchanged and releases ALL bandwidth held by strictly
+// higher-rated receivers (setting them to zero minimizes usage, and any
+// other allowed alternative uses at least as much on every link). If even
+// that alternative is infeasible, no feasible improvement exists.
+//
+// This gives the library a solver-independent certificate: tests verify
+// the progressive-filling solver against it, and users can certify
+// allocations produced elsewhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fairness/allocation.hpp"
+
+namespace mcfair::fairness {
+
+/// Options for the verifier.
+struct VerifyOptions {
+  /// The rate increase attempted for each receiver.
+  double delta = 1e-6;
+  /// Tolerances forwarded to the feasibility check and to rate
+  /// comparisons.
+  double tol = 1e-9;
+};
+
+/// One way an allocation fails Definition 1.
+struct MaxMinViolation {
+  net::ReceiverRef receiver;
+  /// Human-readable explanation.
+  std::string reason;
+};
+
+/// Returns every receiver whose rate could be raised by options.delta in
+/// some feasible alternative without lowering an equal-or-lower-rated
+/// receiver — empty iff the allocation is max-min fair (up to delta).
+/// Also reports infeasibility of the allocation itself.
+std::vector<MaxMinViolation> findMaxMinViolations(
+    const net::Network& net, const Allocation& a,
+    const VerifyOptions& options = {});
+
+/// Convenience: findMaxMinViolations(...).empty().
+bool isMaxMinFair(const net::Network& net, const Allocation& a,
+                  const VerifyOptions& options = {});
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,76 @@
+#include "graph/graph.hpp"
+
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+
+NodeId Graph::addNode(std::string label) {
+  const NodeId id{static_cast<std::uint32_t>(nodeLabels_.size())};
+  nodeLabels_.push_back(std::move(label));
+  adj_.emplace_back();
+  return id;
+}
+
+NodeId Graph::addNodes(std::size_t count) {
+  MCFAIR_REQUIRE(count > 0, "addNodes requires count > 0");
+  const NodeId first{static_cast<std::uint32_t>(nodeLabels_.size())};
+  for (std::size_t i = 0; i < count; ++i) addNode();
+  return first;
+}
+
+LinkId Graph::addLink(NodeId a, NodeId b, double capacity) {
+  checkNode(a);
+  checkNode(b);
+  MCFAIR_REQUIRE(a != b, "self-loop links are not allowed");
+  MCFAIR_REQUIRE(capacity > 0.0, "link capacity must be positive");
+  const LinkId id{static_cast<std::uint32_t>(capacities_.size())};
+  capacities_.push_back(capacity);
+  ends_.emplace_back(std::min(a, b), std::max(a, b));
+  adj_[a.value].push_back({b, id});
+  adj_[b.value].push_back({a, id});
+  return id;
+}
+
+double Graph::capacity(LinkId l) const {
+  checkLink(l);
+  return capacities_[l.value];
+}
+
+void Graph::setCapacity(LinkId l, double capacity) {
+  checkLink(l);
+  MCFAIR_REQUIRE(capacity > 0.0, "link capacity must be positive");
+  capacities_[l.value] = capacity;
+}
+
+std::pair<NodeId, NodeId> Graph::endpoints(LinkId l) const {
+  checkLink(l);
+  return ends_[l.value];
+}
+
+const std::string& Graph::label(NodeId n) const {
+  checkNode(n);
+  return nodeLabels_[n.value];
+}
+
+const std::vector<Adjacency>& Graph::neighbors(NodeId n) const {
+  checkNode(n);
+  return adj_[n.value];
+}
+
+void Graph::checkNode(NodeId n) const {
+  if (n.value >= nodeLabels_.size()) {
+    throw ModelError("node id " + std::to_string(n.value) +
+                     " out of range (graph has " +
+                     std::to_string(nodeLabels_.size()) + " nodes)");
+  }
+}
+
+void Graph::checkLink(LinkId l) const {
+  if (l.value >= capacities_.size()) {
+    throw ModelError("link id " + std::to_string(l.value) +
+                     " out of range (graph has " +
+                     std::to_string(capacities_.size()) + " links)");
+  }
+}
+
+}  // namespace mcfair::graph

@@ -1,0 +1,80 @@
+// Undirected network graph with link capacities.
+//
+// This is the substrate beneath the paper's network model (Section 2): a
+// set of nodes connected by n links l_1..l_n, each with a capacity c_j that
+// "limits the aggregate rate of flow it can transmit in either direction".
+// Routing and multicast-tree construction live in routing.hpp / tree.hpp;
+// the fairness model (src/net) consumes data-paths, not graphs, so small
+// paper examples can also be built without any graph at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfair::graph {
+
+/// Strongly-typed node index.
+struct NodeId {
+  std::uint32_t value = 0;
+  friend bool operator==(NodeId, NodeId) = default;
+  friend auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Strongly-typed link index.
+struct LinkId {
+  std::uint32_t value = 0;
+  friend bool operator==(LinkId, LinkId) = default;
+  friend auto operator<=>(LinkId, LinkId) = default;
+};
+
+/// An adjacency entry: the neighboring node and the link that reaches it.
+struct Adjacency {
+  NodeId neighbor;
+  LinkId link;
+};
+
+/// Undirected multigraph with per-link capacities.
+class Graph {
+ public:
+  /// Adds a node; `label` is for diagnostics only.
+  NodeId addNode(std::string label = "");
+
+  /// Adds `count` unlabeled nodes and returns the first id (ids are
+  /// consecutive).
+  NodeId addNodes(std::size_t count);
+
+  /// Adds an undirected link between distinct existing nodes with positive
+  /// capacity. Parallel links are allowed.
+  LinkId addLink(NodeId a, NodeId b, double capacity);
+
+  std::size_t nodeCount() const noexcept { return nodeLabels_.size(); }
+  std::size_t linkCount() const noexcept { return capacities_.size(); }
+
+  /// Capacity of a link.
+  double capacity(LinkId l) const;
+
+  /// Replaces a link's capacity (used by what-if experiments).
+  void setCapacity(LinkId l, double capacity);
+
+  /// Endpoints of a link as (lower id, higher id).
+  std::pair<NodeId, NodeId> endpoints(LinkId l) const;
+
+  /// Node label (possibly empty).
+  const std::string& label(NodeId n) const;
+
+  /// Adjacency list of a node, ordered by insertion.
+  const std::vector<Adjacency>& neighbors(NodeId n) const;
+
+  /// Throws ModelError unless the id is valid for this graph.
+  void checkNode(NodeId n) const;
+  void checkLink(LinkId l) const;
+
+ private:
+  std::vector<std::string> nodeLabels_;
+  std::vector<double> capacities_;
+  std::vector<std::pair<NodeId, NodeId>> ends_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace mcfair::graph

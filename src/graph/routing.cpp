@@ -1,0 +1,126 @@
+#include "graph/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+
+namespace {
+
+// Rebuilds the node/link path from a predecessor array produced by a
+// search rooted at `from`. pred[v] = {previous node, link} packed; sentinel
+// marks unreached.
+struct Pred {
+  std::uint32_t node = kNone;
+  std::uint32_t link = kNone;
+  static constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+};
+
+std::optional<Path> rebuild(const std::vector<Pred>& pred, NodeId from,
+                            NodeId to) {
+  if (from != to && pred[to.value].node == Pred::kNone) return std::nullopt;
+  Path p;
+  NodeId cur = to;
+  p.nodes.push_back(cur);
+  while (cur != from) {
+    const Pred& pr = pred[cur.value];
+    p.links.push_back(LinkId{pr.link});
+    cur = NodeId{pr.node};
+    p.nodes.push_back(cur);
+  }
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+}  // namespace
+
+std::optional<Path> shortestPath(const Graph& g, NodeId from, NodeId to) {
+  g.checkNode(from);
+  g.checkNode(to);
+  std::vector<Pred> pred(g.nodeCount());
+  std::vector<bool> seen(g.nodeCount(), false);
+  std::queue<NodeId> q;
+  seen[from.value] = true;
+  q.push(from);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    if (u == to) break;
+    for (const Adjacency& adj : g.neighbors(u)) {
+      if (seen[adj.neighbor.value]) continue;
+      seen[adj.neighbor.value] = true;
+      pred[adj.neighbor.value] = {u.value, adj.link.value};
+      q.push(adj.neighbor);
+    }
+  }
+  if (!seen[to.value]) return std::nullopt;
+  return rebuild(pred, from, to);
+}
+
+std::optional<Path> shortestPathWeighted(const Graph& g, NodeId from,
+                                         NodeId to,
+                                         const std::vector<double>& weight) {
+  g.checkNode(from);
+  g.checkNode(to);
+  MCFAIR_REQUIRE(weight.size() == g.linkCount(),
+                 "one weight per link is required");
+  for (double w : weight) {
+    MCFAIR_REQUIRE(w >= 0.0, "link weights must be non-negative");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.nodeCount(), kInf);
+  std::vector<Pred> pred(g.nodeCount());
+  std::vector<bool> done(g.nodeCount(), false);
+  using Entry = std::pair<double, std::uint32_t>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[from.value] = 0.0;
+  pq.emplace(0.0, from.value);
+  while (!pq.empty()) {
+    const auto [d, uv] = pq.top();
+    pq.pop();
+    if (done[uv]) continue;
+    done[uv] = true;
+    if (NodeId{uv} == to) break;
+    for (const Adjacency& adj : g.neighbors(NodeId{uv})) {
+      const double nd = d + weight[adj.link.value];
+      auto& cur = dist[adj.neighbor.value];
+      // Strict improvement, or equal-cost tie broken toward lower
+      // predecessor id for determinism.
+      if (nd < cur ||
+          (nd == cur && !done[adj.neighbor.value] &&
+           uv < pred[adj.neighbor.value].node)) {
+        cur = nd;
+        pred[adj.neighbor.value] = {uv, adj.link.value};
+        pq.emplace(nd, adj.neighbor.value);
+      }
+    }
+  }
+  if (dist[to.value] == kInf) return std::nullopt;
+  return rebuild(pred, from, to);
+}
+
+std::vector<std::uint32_t> bfsPredecessors(const Graph& g, NodeId root) {
+  g.checkNode(root);
+  std::vector<std::uint32_t> out(g.nodeCount(), 0);
+  std::vector<bool> seen(g.nodeCount(), false);
+  std::queue<NodeId> q;
+  seen[root.value] = true;
+  q.push(root);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Adjacency& adj : g.neighbors(u)) {
+      if (seen[adj.neighbor.value]) continue;
+      seen[adj.neighbor.value] = true;
+      out[adj.neighbor.value] = adj.link.value + 1;
+      q.push(adj.neighbor);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcfair::graph

@@ -1,0 +1,42 @@
+// Shortest-path routing over a Graph.
+//
+// The paper assumes "the network employs a routing algorithm, such that for
+// each receiver there is a sequence of links that carries data from X_i to
+// r_{i,k}" (Section 2). We provide hop-count (BFS) and weighted (Dijkstra)
+// shortest paths with deterministic tie-breaking (lowest node id first) so
+// experiments are reproducible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcfair::graph {
+
+/// A simple path: nodes visited in order plus the links between them
+/// (links.size() == nodes.size() - 1).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  std::size_t hopCount() const noexcept { return links.size(); }
+};
+
+/// Hop-count shortest path from `from` to `to`; std::nullopt when
+/// unreachable. Deterministic: among equal-length paths, prefers the one
+/// whose predecessor chain uses the lowest node ids.
+std::optional<Path> shortestPath(const Graph& g, NodeId from, NodeId to);
+
+/// Weighted shortest path (Dijkstra). `weight[l.value]` must be >= 0 for
+/// every link; throws PreconditionError otherwise.
+std::optional<Path> shortestPathWeighted(const Graph& g, NodeId from,
+                                         NodeId to,
+                                         const std::vector<double>& weight);
+
+/// All-nodes predecessor tree of a BFS from `root`:
+/// result[v] = link used to reach v (unset for root / unreachable nodes).
+/// Encoded as link id + 1, with 0 meaning "none".
+std::vector<std::uint32_t> bfsPredecessors(const Graph& g, NodeId root);
+
+}  // namespace mcfair::graph

@@ -1,0 +1,35 @@
+// Multicast distribution trees.
+//
+// A session's data reaches each receiver along the receiver's data-path;
+// the session's data-path is the union of those paths (Section 2 of the
+// paper). buildShortestPathTree() materializes both from a Graph, giving
+// the per-receiver link sequences the fairness model consumes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/routing.hpp"
+
+namespace mcfair::graph {
+
+/// A multicast tree rooted at a sender node.
+struct MulticastTree {
+  NodeId sender;
+  /// receiverPaths[k] is the data-path (link sequence, sender-side first)
+  /// for the k-th receiver, in the order receivers were given.
+  std::vector<std::vector<LinkId>> receiverPaths;
+  /// Deduplicated union of all links on receiver paths (the session
+  /// data-path), sorted by link id.
+  std::vector<LinkId> sessionLinks;
+};
+
+/// Builds the hop-count shortest-path tree from `sender` to each receiver.
+/// Because all paths come from one BFS rooted at the sender, the union of
+/// paths forms a tree (each node has a single predecessor), matching how
+/// DVMRP/PIM-style multicast routing behaves. Throws ModelError when any
+/// receiver is unreachable.
+MulticastTree buildShortestPathTree(const Graph& g, NodeId sender,
+                                    const std::vector<NodeId>& receivers);
+
+}  // namespace mcfair::graph

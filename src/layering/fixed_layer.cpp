@@ -1,0 +1,113 @@
+#include "layering/fixed_layer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+
+namespace {
+
+// Definition 1 check restricted to a finite feasible set: `candidate` is
+// max-min fair iff for every alternative where some receiver's rate rises,
+// another receiver with original rate <= that receiver's original rate
+// sees its rate fall.
+bool isMaxMinFairWithin(const std::vector<fairness::Allocation>& rates,
+                        const std::vector<net::ReceiverRef>& receivers,
+                        std::size_t candidate, double tol) {
+  const auto& a = rates[candidate];
+  for (std::size_t alt = 0; alt < rates.size(); ++alt) {
+    if (alt == candidate) continue;
+    const auto& b = rates[alt];
+    for (const auto& rk : receivers) {
+      if (b.rate(rk) > a.rate(rk) + tol) {
+        // Some receiver improved; require a witness r' with
+        // a(r') <= a(rk) whose rate decreased.
+        bool witness = false;
+        for (const auto& rp : receivers) {
+          if (rp == rk) continue;
+          if (a.rate(rp) <= a.rate(rk) + tol &&
+              b.rate(rp) < a.rate(rp) - tol) {
+            witness = true;
+            break;
+          }
+        }
+        if (!witness) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FixedLayerAnalysis analyzeFixedLayerAllocations(
+    const net::Network& net, const std::vector<LayerScheme>& schemes,
+    double tol) {
+  MCFAIR_REQUIRE(schemes.size() == net.sessionCount(),
+                 "one layer scheme per session is required");
+  const auto receivers = net.allReceivers();
+  MCFAIR_REQUIRE(receivers.size() <= 14,
+                 "exhaustive fixed-layer enumeration is exponential; use a "
+                 "smaller example");
+
+  // Enumerate level assignments with a mixed-radix counter.
+  std::vector<std::size_t> radix;
+  radix.reserve(receivers.size());
+  for (const auto& ref : receivers) {
+    radix.push_back(schemes[ref.session].layerCount() + 1);
+  }
+
+  FixedLayerAnalysis out;
+  std::vector<std::size_t> levels(receivers.size(), 0);
+  while (true) {
+    // Build the induced allocation and keep it when feasible.
+    fairness::Allocation alloc(net);
+    bool admissible = true;
+    for (std::size_t r = 0; r < receivers.size(); ++r) {
+      const auto& ref = receivers[r];
+      const double rate = schemes[ref.session].cumulativeRate(levels[r]);
+      if (rate > net.session(ref.session).maxRate + tol) {
+        admissible = false;
+        break;
+      }
+      alloc.setRate(ref, rate);
+    }
+    if (admissible && fairness::isFeasible(net, alloc, tol)) {
+      out.feasible.push_back(FixedLayerAllocation{levels, alloc});
+    }
+    // Next assignment.
+    std::size_t pos = 0;
+    while (pos < levels.size() && ++levels[pos] == radix[pos]) {
+      levels[pos] = 0;
+      ++pos;
+    }
+    if (pos == levels.size()) break;
+  }
+
+  std::vector<fairness::Allocation> rateSets;
+  rateSets.reserve(out.feasible.size());
+  for (const auto& f : out.feasible) rateSets.push_back(f.rates);
+  for (std::size_t c = 0; c < out.feasible.size(); ++c) {
+    if (isMaxMinFairWithin(rateSets, receivers, c, tol)) {
+      out.maxMinFairIndex = c;
+      break;
+    }
+  }
+  return out;
+}
+
+Sec3Example sec3NonexistenceExample(double capacity) {
+  MCFAIR_REQUIRE(capacity > 0.0, "capacity must be positive");
+  Sec3Example ex;
+  const auto link = ex.network.addLink(capacity);
+  ex.network.addSession(net::makeUnicastSession({link}, net::kUnlimitedRate,
+                                                "S1"));
+  ex.network.addSession(net::makeUnicastSession({link}, net::kUnlimitedRate,
+                                                "S2"));
+  ex.schemes.push_back(LayerScheme::uniform(3, capacity / 3.0));
+  ex.schemes.push_back(LayerScheme::uniform(2, capacity / 2.0));
+  return ex;
+}
+
+}  // namespace mcfair::layering

@@ -1,0 +1,59 @@
+// Fixed-layer allocations — the Section 3 impossibility result.
+//
+// When each receiver must pick a subscription level and hold it for the
+// whole session, the feasible allocations form a finite set and a max-min
+// fair allocation "might not even exist". This module enumerates the
+// feasible level assignments of a small network whose sessions use fixed
+// LayerSchemes, and searches that set for a max-min fair element by
+// applying Definition 1 pairwise against every alternative.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fairness/allocation.hpp"
+#include "layering/layers.hpp"
+#include "net/network.hpp"
+
+namespace mcfair::layering {
+
+/// One feasible fixed-layer outcome: each receiver's subscription level
+/// and the induced rate vector.
+struct FixedLayerAllocation {
+  /// levels[flat receiver index] in [0, M_i].
+  std::vector<std::size_t> levels;
+  fairness::Allocation rates;
+};
+
+/// Result of the exhaustive search.
+struct FixedLayerAnalysis {
+  std::vector<FixedLayerAllocation> feasible;
+  /// Index into `feasible` of the max-min fair allocation per Definition 1
+  /// restricted to the feasible set, when one exists.
+  std::optional<std::size_t> maxMinFairIndex;
+};
+
+/// Enumerates every feasible assignment of subscription levels (one
+/// LayerScheme per session, applying to all its receivers) and tests each
+/// for max-min fairness within the feasible set.
+///
+/// Session link rates use the session's v_i on the induced receiver rates
+/// (EfficientMax by default: a shared link carries the union of joined
+/// layers = the max cumulative rate). Exponential in receiver count — use
+/// on small examples only (receiverCount <= ~12). sigma_i caps apply: a
+/// level is admissible only if its cumulative rate is <= sigma_i.
+FixedLayerAnalysis analyzeFixedLayerAllocations(
+    const net::Network& net, const std::vector<LayerScheme>& schemes,
+    double tol = 1e-9);
+
+/// The paper's single-link example: capacity c, S1 with three layers of
+/// rate c/3 each, S2 with two layers of rate c/2 each. Its feasible set is
+/// {(0,0),(0,c/2),(0,c),(c/3,0),(c/3,c/2),(2c/3,0),(c,0)} and none of its
+/// elements is max-min fair.
+struct Sec3Example {
+  net::Network network;
+  std::vector<LayerScheme> schemes;
+};
+Sec3Example sec3NonexistenceExample(double capacity = 6.0);
+
+}  // namespace mcfair::layering

@@ -1,0 +1,61 @@
+#include "layering/layers.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+
+LayerScheme::LayerScheme(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  MCFAIR_REQUIRE(!rates_.empty(), "a layer scheme needs at least one layer");
+  cumulative_.reserve(rates_.size() + 1);
+  cumulative_.push_back(0.0);
+  for (double r : rates_) {
+    MCFAIR_REQUIRE(r > 0.0, "layer rates must be positive");
+    cumulative_.push_back(cumulative_.back() + r);
+  }
+}
+
+LayerScheme LayerScheme::exponential(std::size_t layers) {
+  MCFAIR_REQUIRE(layers >= 1, "need at least one layer");
+  std::vector<double> rates;
+  rates.reserve(layers);
+  rates.push_back(1.0);  // cumulative 2^0 = 1
+  double cum = 1.0;
+  for (std::size_t i = 2; i <= layers; ++i) {
+    const double target = cum * 2.0;  // cumulative 2^(i-1)
+    rates.push_back(target - cum);
+    cum = target;
+  }
+  return LayerScheme(std::move(rates));
+}
+
+LayerScheme LayerScheme::uniform(std::size_t layers, double rate) {
+  MCFAIR_REQUIRE(layers >= 1, "need at least one layer");
+  MCFAIR_REQUIRE(rate > 0.0, "layer rate must be positive");
+  return LayerScheme(std::vector<double>(layers, rate));
+}
+
+double LayerScheme::layerRate(std::size_t level) const {
+  MCFAIR_REQUIRE(level >= 1 && level <= rates_.size(),
+                 "layer level out of range");
+  return rates_[level - 1];
+}
+
+double LayerScheme::cumulativeRate(std::size_t level) const {
+  MCFAIR_REQUIRE(level <= rates_.size(), "layer level out of range");
+  return cumulative_[level];
+}
+
+std::size_t LayerScheme::levelForRate(double rate) const {
+  MCFAIR_REQUIRE(rate >= 0.0, "rate must be non-negative");
+  // Largest level with cumulative <= rate.
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(),
+                                   rate);
+  return static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+}
+
+std::vector<double> LayerScheme::availableRates() const { return cumulative_; }
+
+}  // namespace mcfair::layering

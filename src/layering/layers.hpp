@@ -1,0 +1,48 @@
+// Layer schemes for layered multicast (Section 3).
+//
+// Data is split into M ordered layers L_1..L_M carried on separate
+// multicast groups; a receiver "joined up to" layer i receives the sum of
+// the rates of layers 1..i. The congestion-control protocols of Section 4
+// use the exponential scheme of [19] (Vicisano et al.): the aggregate rate
+// of layers 1..i equals 2^(i-1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcfair::layering {
+
+/// An ordered set of layer rates.
+class LayerScheme {
+ public:
+  /// `rates[k]` is the rate of layer L_{k+1}; all rates must be positive.
+  explicit LayerScheme(std::vector<double> rates);
+
+  /// The exponential scheme with M layers: cumulative rate of layers 1..i
+  /// is 2^(i-1) (layer rates 1, 1, 2, 4, ..., 2^(M-2)).
+  static LayerScheme exponential(std::size_t layers);
+
+  /// M layers of equal rate.
+  static LayerScheme uniform(std::size_t layers, double rate);
+
+  std::size_t layerCount() const noexcept { return rates_.size(); }
+
+  /// Rate of layer `level` (1-based).
+  double layerRate(std::size_t level) const;
+
+  /// Aggregate rate received when joined up to `level` (0 => 0).
+  double cumulativeRate(std::size_t level) const;
+
+  /// The largest level whose cumulative rate is <= `rate` (may be 0).
+  std::size_t levelForRate(double rate) const;
+
+  /// All cumulative rates [cum(0)=0, cum(1), ..., cum(M)] — the finite set
+  /// of steady receiving rates available without joins/leaves.
+  std::vector<double> availableRates() const;
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> cumulative_;  // cumulative_[i] = sum of first i rates
+};
+
+}  // namespace mcfair::layering

@@ -1,0 +1,214 @@
+#include "layering/quantum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+
+namespace {
+double maxRate(const std::vector<double>& rates) {
+  MCFAIR_REQUIRE(!rates.empty(), "need at least one receiver rate");
+  double m = 0.0;
+  for (double r : rates) {
+    MCFAIR_REQUIRE(r >= 0.0, "rates must be non-negative");
+    m = std::max(m, r);
+  }
+  MCFAIR_REQUIRE(m > 0.0, "at least one rate must be positive");
+  return m;
+}
+}  // namespace
+
+double singleLayerRandomJoinExpectedUsage(const std::vector<double>& rates,
+                                          double sigma) {
+  MCFAIR_REQUIRE(sigma > 0.0, "sigma must be positive");
+  double survive = 1.0;
+  for (double r : rates) {
+    MCFAIR_REQUIRE(r >= 0.0 && r <= sigma * (1.0 + 1e-12),
+                   "rates must lie in [0, sigma]");
+    survive *= 1.0 - std::min(r, sigma) / sigma;
+  }
+  return sigma * (1.0 - survive);
+}
+
+double singleLayerRandomJoinRedundancy(const std::vector<double>& rates,
+                                       double sigma) {
+  return singleLayerRandomJoinExpectedUsage(rates, sigma) / maxRate(rates);
+}
+
+double simulateRandomJoinUsage(const std::vector<double>& rates, double sigma,
+                               std::size_t packetsPerQuantum,
+                               std::size_t quanta, util::Rng& rng) {
+  MCFAIR_REQUIRE(sigma > 0.0, "sigma must be positive");
+  MCFAIR_REQUIRE(packetsPerQuantum > 0 && quanta > 0,
+                 "need positive quantum size and count");
+  std::vector<char> wanted(packetsPerQuantum);
+  double totalLinkPackets = 0.0;
+  for (std::size_t q = 0; q < quanta; ++q) {
+    std::fill(wanted.begin(), wanted.end(), 0);
+    for (double r : rates) {
+      const auto take = static_cast<std::size_t>(std::llround(
+          std::min(r, sigma) / sigma * static_cast<double>(packetsPerQuantum)));
+      for (std::size_t idx :
+           rng.sampleWithoutReplacement(packetsPerQuantum, take)) {
+        wanted[idx] = 1;
+      }
+    }
+    totalLinkPackets += static_cast<double>(
+        std::count(wanted.begin(), wanted.end(), 1));
+  }
+  // Convert packets/quantum back to a rate: sigma corresponds to
+  // packetsPerQuantum packets.
+  return totalLinkPackets / static_cast<double>(quanta) /
+         static_cast<double>(packetsPerQuantum) * sigma;
+}
+
+double multiLayerRandomJoinExpectedUsage(const std::vector<double>& rates,
+                                         const LayerScheme& scheme) {
+  const double top = maxRate(rates);
+  MCFAIR_REQUIRE(top <= scheme.cumulativeRate(scheme.layerCount()) *
+                            (1.0 + 1e-12),
+                 "max rate exceeds the scheme's aggregate rate");
+  double usage = 0.0;
+  for (std::size_t level = 1; level <= scheme.layerCount(); ++level) {
+    const double below = scheme.cumulativeRate(level - 1);
+    const double rate = scheme.layerRate(level);
+    bool anyFull = false;
+    std::vector<double> partial;
+    for (double r : rates) {
+      if (r >= below + rate) {
+        anyFull = true;
+        break;
+      }
+      if (r > below) partial.push_back(r - below);
+    }
+    if (anyFull) {
+      usage += rate;  // a fully-joined receiver pulls the whole layer
+    } else if (!partial.empty()) {
+      usage += singleLayerRandomJoinExpectedUsage(partial, rate);
+    }
+  }
+  return usage;
+}
+
+double multiLayerRandomJoinRedundancy(const std::vector<double>& rates,
+                                      const LayerScheme& scheme) {
+  return multiLayerRandomJoinExpectedUsage(rates, scheme) / maxRate(rates);
+}
+
+PrefixScheduleResult simulatePrefixSchedule(const std::vector<double>& rates,
+                                            double sigma,
+                                            std::size_t packetsPerQuantum,
+                                            std::size_t quanta) {
+  MCFAIR_REQUIRE(sigma > 0.0, "sigma must be positive");
+  MCFAIR_REQUIRE(packetsPerQuantum > 0 && quanta > 0,
+                 "need positive quantum size and count");
+  const double top = maxRate(rates);
+  MCFAIR_REQUIRE(top <= sigma * (1.0 + 1e-12),
+                 "rates must lie within the layer rate");
+
+  PrefixScheduleResult out;
+  out.counts.resize(quanta);
+  out.linkPackets.resize(quanta);
+  out.averageRates.assign(rates.size(), 0.0);
+
+  // Error-accumulator per receiver: take floor(a/sigma*P) packets per
+  // quantum, plus one extra whenever the fractional part accumulates past
+  // one packet (footnote 7 of the paper: "periodically receive the
+  // ceiling to come arbitrarily close").
+  std::vector<double> carry(rates.size(), 0.0);
+  std::vector<double> received(rates.size(), 0.0);
+  for (std::size_t q = 0; q < quanta; ++q) {
+    out.counts[q].resize(rates.size());
+    std::size_t linkMax = 0;
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      const double ideal =
+          std::min(rates[k], sigma) / sigma * static_cast<double>(packetsPerQuantum);
+      carry[k] += ideal;
+      const auto take = static_cast<std::size_t>(std::floor(carry[k]));
+      carry[k] -= static_cast<double>(take);
+      out.counts[q][k] = take;
+      received[k] += static_cast<double>(take);
+      linkMax = std::max(linkMax, take);
+    }
+    // Prefix nesting: every receiver takes the *first* take_k packets, so
+    // the link forwards exactly max_k(take_k) packets.
+    out.linkPackets[q] = linkMax;
+  }
+  double totalLink = 0.0;
+  for (std::size_t p : out.linkPackets) totalLink += static_cast<double>(p);
+  double maxAvg = 0.0;
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    out.averageRates[k] = received[k] / static_cast<double>(quanta) /
+                          static_cast<double>(packetsPerQuantum) * sigma;
+    maxAvg = std::max(maxAvg, received[k]);
+  }
+  out.redundancy = maxAvg > 0.0 ? totalLink / maxAvg : 1.0;
+  return out;
+}
+
+MultiLayerScheduleResult simulateMultiLayerPrefixSchedule(
+    const std::vector<double>& rates, const LayerScheme& scheme,
+    std::size_t packetsPerUnitRate, std::size_t quanta) {
+  MCFAIR_REQUIRE(packetsPerUnitRate > 0 && quanta > 0,
+                 "need positive packet density and quantum count");
+  const double top = maxRate(rates);
+  MCFAIR_REQUIRE(top <= scheme.cumulativeRate(scheme.layerCount()) *
+                            (1.0 + 1e-12),
+                 "max rate exceeds the scheme's aggregate rate");
+
+  MultiLayerScheduleResult out;
+  out.averageRates.assign(rates.size(), 0.0);
+  out.layerLinkRates.assign(scheme.layerCount(), 0.0);
+
+  // Per receiver: full layers + fractional demand from the next layer,
+  // realized with a floor/carry accumulator per quantum (footnote 7).
+  std::vector<double> carry(rates.size(), 0.0);
+  std::vector<double> received(rates.size(), 0.0);
+  std::vector<double> layerPackets(scheme.layerCount(), 0.0);
+  for (std::size_t q = 0; q < quanta; ++q) {
+    // Per layer, the link must carry the largest prefix taken by any
+    // receiver this quantum (prefix nesting).
+    std::vector<std::size_t> layerMax(scheme.layerCount(), 0);
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      const std::size_t full = scheme.levelForRate(rates[k]);
+      double got = 0.0;
+      for (std::size_t level = 1; level <= full; ++level) {
+        const auto packets = static_cast<std::size_t>(std::llround(
+            scheme.layerRate(level) *
+            static_cast<double>(packetsPerUnitRate)));
+        layerMax[level - 1] = std::max(layerMax[level - 1], packets);
+        got += static_cast<double>(packets);
+      }
+      if (full < scheme.layerCount()) {
+        const double want = rates[k] - scheme.cumulativeRate(full);
+        carry[k] += want * static_cast<double>(packetsPerUnitRate);
+        const auto take = static_cast<std::size_t>(std::floor(carry[k]));
+        carry[k] -= static_cast<double>(take);
+        layerMax[full] = std::max(layerMax[full], take);
+        got += static_cast<double>(take);
+      }
+      received[k] += got;
+    }
+    for (std::size_t l = 0; l < scheme.layerCount(); ++l) {
+      layerPackets[l] += static_cast<double>(layerMax[l]);
+    }
+  }
+  double totalLink = 0.0;
+  for (std::size_t l = 0; l < scheme.layerCount(); ++l) {
+    out.layerLinkRates[l] = layerPackets[l] / static_cast<double>(quanta) /
+                            static_cast<double>(packetsPerUnitRate);
+    totalLink += layerPackets[l];
+  }
+  double maxReceived = 0.0;
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    out.averageRates[k] = received[k] / static_cast<double>(quanta) /
+                          static_cast<double>(packetsPerUnitRate);
+    maxReceived = std::max(maxReceived, received[k]);
+  }
+  out.redundancy = maxReceived > 0.0 ? totalLink / maxReceived : 1.0;
+  return out;
+}
+
+}  // namespace mcfair::layering

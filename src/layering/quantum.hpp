@@ -1,0 +1,91 @@
+// Quantum-based join/leave schedules (Section 3) and random-join
+// redundancy (Definition 3, Appendix B, Figures 5 and Appendix E).
+//
+// A receiver with fair packet rate a obtains its long-term average rate
+// from a layer of rate sigma by receiving a * dt of the sigma * dt packets
+// transmitted per quantum dt. If receivers within a session take nested
+// prefixes of each quantum's packets, the shared link carries only
+// max_k(a_k) * dt packets (redundancy 1); if each receiver instead picks
+// its packets uniformly at random, the link carries the union, with
+// expectation sigma * (1 - prod_k (1 - a_k/sigma)) (Appendix B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layering/layers.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::layering {
+
+/// Closed-form Appendix B redundancy of a single layer of rate `sigma`
+/// shared by receivers with the given fair rates (all in [0, sigma],
+/// max > 0): E[U] / max(rates).
+double singleLayerRandomJoinRedundancy(const std::vector<double>& rates,
+                                       double sigma);
+
+/// Closed-form expected link rate E[U] for the same model.
+double singleLayerRandomJoinExpectedUsage(const std::vector<double>& rates,
+                                          double sigma);
+
+/// Monte-Carlo estimate of the same quantity: simulates `quanta` quanta of
+/// `packetsPerQuantum` packets; each receiver picks round(a_k/sigma * P)
+/// packets uniformly without replacement; the link carries the union.
+/// Converges to the closed form as quanta grows (Appendix B validation).
+double simulateRandomJoinUsage(const std::vector<double>& rates, double sigma,
+                               std::size_t packetsPerQuantum,
+                               std::size_t quanta, util::Rng& rng);
+
+/// Expected link usage when the session's data is split over the layers of
+/// `scheme` (Appendix E model): every receiver fully joins the layers its
+/// rate covers and random-joins within the next layer for the remainder.
+/// A layer crossed by any fully-joined receiver carries its whole rate;
+/// a layer with only partial receivers carries the Appendix B expectation.
+double multiLayerRandomJoinExpectedUsage(const std::vector<double>& rates,
+                                         const LayerScheme& scheme);
+
+/// multiLayerRandomJoinExpectedUsage / max(rates).
+double multiLayerRandomJoinRedundancy(const std::vector<double>& rates,
+                                      const LayerScheme& scheme);
+
+/// Deterministic prefix (sender-coordinated) schedule: receiver k receives
+/// the first floor/ceil mix of a_k*dt packets each quantum so its average
+/// rate converges to a_k exactly. Returns per-quantum per-receiver packet
+/// counts and verifies the nesting invariant: link packets per quantum =
+/// max_k(count_k), i.e. redundancy 1.
+struct PrefixScheduleResult {
+  /// counts[q][k]: packets receiver k takes in quantum q.
+  std::vector<std::vector<std::size_t>> counts;
+  /// Link packets per quantum (= max over receivers).
+  std::vector<std::size_t> linkPackets;
+  /// Long-term average rate per receiver (packets per quantum / dt=1).
+  std::vector<double> averageRates;
+  /// Total link packets / (quanta * max average count) — converges to 1.
+  double redundancy = 1.0;
+};
+PrefixScheduleResult simulatePrefixSchedule(const std::vector<double>& rates,
+                                            double sigma,
+                                            std::size_t packetsPerQuantum,
+                                            std::size_t quanta);
+
+/// Multi-layer coordinated schedule: each receiver fully joins the
+/// layers its fair rate covers and takes a nested prefix of the next
+/// layer's packets for the remainder — Section 3's "precisely timed
+/// joins and leaves" in the general layered setting. Per-quantum link
+/// packets are computed per layer: a layer carried for any receiver
+/// costs its full per-quantum budget when some receiver takes all of it,
+/// else the max prefix taken.
+struct MultiLayerScheduleResult {
+  /// Long-term average rate per receiver.
+  std::vector<double> averageRates;
+  /// Average link rate consumed per layer (same units as rates).
+  std::vector<double> layerLinkRates;
+  /// Sum of layerLinkRates / max receiver rate — the session redundancy
+  /// (exactly 1 thanks to prefix nesting).
+  double redundancy = 1.0;
+};
+MultiLayerScheduleResult simulateMultiLayerPrefixSchedule(
+    const std::vector<double>& rates, const LayerScheme& scheme,
+    std::size_t packetsPerUnitRate, std::size_t quanta);
+
+}  // namespace mcfair::layering

@@ -1,0 +1,83 @@
+#include "layering/timescale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+
+namespace {
+
+void checkShare(const QuantumShare& s) {
+  MCFAIR_REQUIRE(s.averageRate > 0.0, "average rate must be positive");
+  MCFAIR_REQUIRE(s.layerRate >= s.averageRate,
+                 "layer rate must be >= average rate");
+  MCFAIR_REQUIRE(s.quantum > 0.0, "quantum must be positive");
+  MCFAIR_REQUIRE(s.phase >= 0.0 && s.phase < s.quantum,
+                 "phase must lie within the quantum");
+}
+
+// Instantaneous rate of a share at time t.
+double rateAt(const QuantumShare& s, double t) {
+  const double pos = std::fmod(t, s.quantum);
+  const double onLength = s.dutyCycle() * s.quantum;
+  // On-window [phase, phase + onLength) wraps around the quantum edge.
+  double offset = pos - s.phase;
+  if (offset < 0.0) offset += s.quantum;
+  return offset < onLength ? s.layerRate : 0.0;
+}
+
+}  // namespace
+
+InterferenceResult computeInterference(const std::vector<QuantumShare>& shares,
+                                       double capacity, double horizon,
+                                       double dt) {
+  MCFAIR_REQUIRE(!shares.empty(), "need at least one share");
+  MCFAIR_REQUIRE(capacity > 0.0, "capacity must be positive");
+  MCFAIR_REQUIRE(horizon > 0.0 && dt > 0.0 && dt < horizon,
+                 "need 0 < dt < horizon");
+  for (const auto& s : shares) checkShare(s);
+
+  InterferenceResult out;
+  double offered = 0.0;
+  double excess = 0.0;
+  double overloadTime = 0.0;
+  const auto steps = static_cast<std::size_t>(horizon / dt);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * dt;
+    double total = 0.0;
+    for (const auto& s : shares) total += rateAt(s, t);
+    offered += total * dt;
+    if (total > capacity) {
+      overloadTime += dt;
+      excess += (total - capacity) * dt;
+    }
+    out.peakRate = std::max(out.peakRate, total);
+  }
+  out.overloadTimeFraction =
+      overloadTime / (static_cast<double>(steps) * dt);
+  out.excessVolumeFraction = offered > 0.0 ? excess / offered : 0.0;
+  return out;
+}
+
+double expectedExcessVolumeFractionRandomPhases(const QuantumShare& a,
+                                                const QuantumShare& b,
+                                                double capacity) {
+  checkShare(a);
+  checkShare(b);
+  MCFAIR_REQUIRE(capacity > 0.0, "capacity must be positive");
+  const double da = a.dutyCycle();
+  const double db = b.dutyCycle();
+  // Four joint on/off states with independence across incommensurate
+  // timescales; excess in each state is (rate - c)+.
+  auto plus = [](double x) { return x > 0.0 ? x : 0.0; };
+  const double excessRate =
+      plus(a.layerRate + b.layerRate - capacity) * da * db +
+      plus(a.layerRate - capacity) * da * (1.0 - db) +
+      plus(b.layerRate - capacity) * (1.0 - da) * db;
+  const double offeredRate = a.averageRate + b.averageRate;
+  return offeredRate > 0.0 ? excessRate / offeredRate : 0.0;
+}
+
+}  // namespace mcfair::layering

@@ -1,0 +1,71 @@
+// Sharing between sessions that measure fairness on different
+// timescales (Section 5: "it is also unclear whether bandwidth can be
+// shared fairly by sessions that ... use different quanta").
+//
+// A session delivering average rate a from a layer of rate sigma via
+// quantum scheduling transmits ON-OFF: within each quantum of length q
+// it is "on" (at rate sigma) for a fraction a/sigma of the quantum. Two
+// such sessions can each fit their AVERAGE within a link of capacity c
+// while their instantaneous sum exceeds c whenever their on-phases
+// overlap. This module quantifies that interference: the fraction of
+// offered volume arriving while the aggregate instantaneous rate
+// exceeds capacity (volume that must be buffered or dropped).
+//
+// Headline results (verified by tests and the timescale bench):
+//  * equal quanta + coordinated phases can eliminate interference
+//    entirely (time-division within the quantum);
+//  * sessions on different (incommensurate) timescales cannot — their
+//    overlap converges to the product of duty cycles, independent of the
+//    quanta ratio.
+#pragma once
+
+#include <vector>
+
+namespace mcfair::layering {
+
+/// One on-off session.
+struct QuantumShare {
+  /// Long-term average rate (packets per time unit).
+  double averageRate = 1.0;
+  /// Layer transmission rate while "on" (>= averageRate).
+  double layerRate = 2.0;
+  /// Quantum length.
+  double quantum = 1.0;
+  /// Start of the on-phase within each quantum, in [0, quantum).
+  double phase = 0.0;
+
+  /// Fraction of each quantum spent "on".
+  double dutyCycle() const { return averageRate / layerRate; }
+};
+
+/// Result of the interference computation.
+struct InterferenceResult {
+  /// Fraction of time the aggregate instantaneous rate exceeds capacity.
+  double overloadTimeFraction = 0.0;
+  /// Excess volume (integral of (aggregate - c)+ over time) divided by
+  /// the total offered volume — the share of traffic that cannot be
+  /// carried without buffering.
+  double excessVolumeFraction = 0.0;
+  /// Peak aggregate instantaneous rate observed.
+  double peakRate = 0.0;
+};
+
+/// Numerically integrates the aggregate on-off process over `horizon`
+/// time units with step `dt`. Deterministic; phases are taken from the
+/// shares. Requires positive capacity, horizon and dt and valid shares.
+InterferenceResult computeInterference(const std::vector<QuantumShare>& shares,
+                                       double capacity, double horizon,
+                                       double dt = 1e-3);
+
+/// Closed form for TWO sessions with independent uniformly-random
+/// phases (equivalently, incommensurate quanta observed over a long
+/// horizon): the on-phases overlap with probability d1*d2, so
+///   E[excess volume fraction] =
+///     (s1+s2-c)+ * d1*d2 / (a1+a2)            when s1,s2 <= c,
+/// with additional single-session terms when one layer rate alone
+/// exceeds capacity.
+double expectedExcessVolumeFractionRandomPhases(const QuantumShare& a,
+                                                const QuantumShare& b,
+                                                double capacity);
+
+}  // namespace mcfair::layering

@@ -1,0 +1,135 @@
+#include "linalg/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  MCFAIR_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) noexcept {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const noexcept {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  MCFAIR_REQUIRE(cols_ == rhs.rows_, "inner dimensions must agree");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double Matrix::maxAbs() const noexcept {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::vector<double> solveLinear(Matrix a, std::vector<double> b) {
+  MCFAIR_REQUIRE(a.rows() == a.cols(), "solveLinear needs a square matrix");
+  MCFAIR_REQUIRE(b.size() == a.rows(), "rhs size must match matrix order");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      throw NumericError("solveLinear: matrix is numerically singular");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> stationaryDistribution(const Matrix& p, double rowSumTol) {
+  MCFAIR_REQUIRE(p.rows() == p.cols(), "transition matrix must be square");
+  const std::size_t n = p.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += p(i, j);
+    if (std::fabs(s - 1.0) > rowSumTol) {
+      throw PreconditionError("stationaryDistribution: row " +
+                              std::to_string(i) + " sums to " +
+                              std::to_string(s) + ", not 1");
+    }
+  }
+  // (P^T - I) pi = 0 with the last equation replaced by sum(pi) = 1.
+  Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = p(j, i) - (i == j ? 1.0 : 0.0);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  b[n - 1] = 1.0;
+  auto pi = solveLinear(std::move(a), std::move(b));
+  // Clamp tiny negatives from roundoff and renormalize.
+  double total = 0.0;
+  for (double& v : pi) {
+    if (v < 0.0 && v > -1e-9) v = 0.0;
+    if (v < 0.0) throw NumericError("stationaryDistribution: negative mass");
+    total += v;
+  }
+  if (total <= 0.0) throw NumericError("stationaryDistribution: zero mass");
+  for (double& v : pi) v /= total;
+  return pi;
+}
+
+}  // namespace mcfair::linalg

@@ -1,0 +1,55 @@
+// Minimal dense linear algebra: row-major matrix and LU solve.
+//
+// Sized for the Markov-chain analysis in src/markov (a few thousand states
+// at most); not a general-purpose BLAS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcfair::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  /// Element access (unchecked in release; asserted in debug).
+  double& operator()(std::size_t r, std::size_t c) noexcept;
+  double operator()(std::size_t r, std::size_t c) const noexcept;
+
+  /// Matrix product this * rhs. Requires cols() == rhs.rows().
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Transpose.
+  Matrix transposed() const;
+
+  /// Max-abs element (for convergence checks).
+  double maxAbs() const noexcept;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Requires A square, b.size() == A.rows(). Throws NumericError when A is
+/// numerically singular.
+std::vector<double> solveLinear(Matrix a, std::vector<double> b);
+
+/// Stationary distribution pi of a row-stochastic transition matrix P:
+/// solves pi P = pi, sum(pi) = 1 via the linear system (P^T - I) pi = 0 with
+/// one row replaced by the normalization constraint. Requires P square with
+/// rows summing to 1 within `rowSumTol`.
+std::vector<double> stationaryDistribution(const Matrix& p,
+                                           double rowSumTol = 1e-9);
+
+}  // namespace mcfair::linalg

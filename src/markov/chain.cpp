@@ -1,0 +1,110 @@
+#include "markov/chain.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::markov {
+
+MarkovChain MarkovChain::build(State initial, const Kernel& kernel,
+                               std::size_t maxStates) {
+  MCFAIR_REQUIRE(kernel != nullptr, "kernel must be callable");
+  MarkovChain chain;
+  std::deque<State> frontier;
+  auto intern = [&](State s) -> std::uint32_t {
+    auto [it, inserted] =
+        chain.index_.emplace(s, static_cast<std::uint32_t>(
+                                    chain.states_.size()));
+    if (inserted) {
+      chain.states_.push_back(s);
+      chain.arcs_.emplace_back();
+      frontier.push_back(s);
+      if (chain.states_.size() > maxStates) {
+        throw ModelError("MarkovChain::build: state space exceeds " +
+                         std::to_string(maxStates) + " states");
+      }
+    }
+    return it->second;
+  };
+  intern(initial);
+  while (!frontier.empty()) {
+    const State s = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t from = chain.index_.at(s);
+    double total = 0.0;
+    // Aggregate duplicate successors through a local map.
+    std::unordered_map<State, double> merged;
+    for (const auto& [to, p] : kernel(s)) {
+      MCFAIR_REQUIRE(p >= 0.0, "transition probabilities must be >= 0");
+      if (p == 0.0) continue;
+      merged[to] += p;
+      total += p;
+    }
+    if (std::fabs(total - 1.0) > 1e-9) {
+      throw ModelError("MarkovChain::build: outgoing probability of state " +
+                       std::to_string(s) + " sums to " +
+                       std::to_string(total));
+    }
+    chain.arcs_[from].reserve(merged.size());
+    for (const auto& [to, p] : merged) {
+      // intern() may reallocate arcs_; resolve the index before touching
+      // the row.
+      const std::uint32_t toIndex = intern(to);
+      chain.arcs_[from].push_back(Arc{toIndex, p});
+    }
+  }
+  return chain;
+}
+
+std::vector<double> MarkovChain::stationary(std::size_t denseLimit,
+                                            double tol,
+                                            std::size_t maxIterations) const {
+  const std::size_t n = states_.size();
+  MCFAIR_REQUIRE(n > 0, "chain has no states");
+  if (n == 1) return {1.0};
+
+  if (n <= denseLimit) {
+    linalg::Matrix p(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Arc& a : arcs_[i]) p(i, a.to) += a.probability;
+    }
+    return linalg::stationaryDistribution(p);
+  }
+
+  // Damped power iteration: pi' = (pi P + pi)/2 removes periodicity
+  // without changing the fixed point.
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t it = 0; it < maxIterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mass = pi[i];
+      if (mass == 0.0) continue;
+      for (const Arc& a : arcs_[i]) next[a.to] += mass * a.probability;
+    }
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = 0.5 * (next[i] + pi[i]);
+      diff += std::fabs(next[i] - pi[i]);
+    }
+    pi.swap(next);
+    if (diff < tol) return pi;
+  }
+  throw NumericError("MarkovChain::stationary: power iteration did not "
+                     "converge");
+}
+
+double MarkovChain::expectation(const std::vector<double>& pi,
+                                const std::function<double(State)>& f) const {
+  MCFAIR_REQUIRE(pi.size() == states_.size(),
+                 "distribution size must match state count");
+  double e = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    e += pi[i] * f(states_[i]);
+  }
+  return e;
+}
+
+}  // namespace mcfair::markov

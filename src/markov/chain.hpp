@@ -1,0 +1,57 @@
+// Generic finite discrete-time Markov chains built from a transition
+// kernel by reachability, with exact (dense LU) or iterative stationary
+// solution depending on chain size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace mcfair::markov {
+
+/// A finite DTMC over opaque 64-bit state encodings.
+class MarkovChain {
+ public:
+  using State = std::uint64_t;
+  /// Returns the successor distribution of a state. Probabilities must be
+  /// non-negative and sum to 1 (within 1e-9); duplicate successors are
+  /// aggregated.
+  using Kernel =
+      std::function<std::vector<std::pair<State, double>>(State)>;
+
+  /// Explores every state reachable from `initial` (throws ModelError when
+  /// more than `maxStates` states are found) and fixes the transition
+  /// structure.
+  static MarkovChain build(State initial, const Kernel& kernel,
+                           std::size_t maxStates = 200000);
+
+  std::size_t stateCount() const noexcept { return states_.size(); }
+
+  /// The explored states in discovery order.
+  const std::vector<State>& states() const noexcept { return states_; }
+
+  /// Stationary distribution (one entry per state, discovery order). Uses
+  /// a dense LU solve for chains up to `denseLimit` states and damped
+  /// power iteration beyond. Assumes the reachable chain is a single
+  /// recurrent class (true for the protocol chains: every state reaches
+  /// the all-level-1 state through losses).
+  std::vector<double> stationary(std::size_t denseLimit = 1200,
+                                 double tol = 1e-12,
+                                 std::size_t maxIterations = 200000) const;
+
+  /// Expectation of `f` under a distribution returned by stationary().
+  double expectation(const std::vector<double>& pi,
+                     const std::function<double(State)>& f) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    double probability;
+  };
+  std::vector<State> states_;
+  std::unordered_map<State, std::uint32_t> index_;
+  std::vector<std::vector<Arc>> arcs_;  // outgoing, per state
+};
+
+}  // namespace mcfair::markov

@@ -1,0 +1,254 @@
+#include "markov/protocol_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "markov/chain.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::markov {
+
+namespace {
+
+using sim::LayeredReceiver;
+using sim::ProtocolKind;
+using State = MarkovChain::State;
+
+// Per-receiver encoding: 16 bits = level (4 bits, value 1..15) << 12 |
+// aux (12 bits). aux = clean-run counter (Deterministic) or
+// clean-since-sync flag (Coordinated); unused otherwise.
+constexpr std::uint64_t kReceiverBits = 16;
+constexpr std::uint64_t kAuxMask = 0x0fff;
+
+struct ReceiverState {
+  std::size_t level = 1;
+  std::uint64_t aux = 0;
+};
+
+std::uint64_t pack(ReceiverState r) {
+  return (static_cast<std::uint64_t>(r.level) << 12) | (r.aux & kAuxMask);
+}
+
+ReceiverState unpack(std::uint64_t bits) {
+  return ReceiverState{static_cast<std::size_t>(bits >> 12),
+                       bits & kAuxMask};
+}
+
+ReceiverState getReceiver(State s, std::size_t j) {
+  return unpack((s >> (j * kReceiverBits)) & 0xffff);
+}
+
+State setReceiver(State s, std::size_t j, ReceiverState r) {
+  const std::uint64_t shift = j * kReceiverBits;
+  return (s & ~(std::uint64_t{0xffff} << shift)) | (pack(r) << shift);
+}
+
+// Cumulative rate of a subscription level in the exponential scheme
+// (layer-1 rate = 1): 2^(level-1).
+double cumulativeRate(std::size_t level) {
+  return std::ldexp(1.0, static_cast<int>(level) - 1);
+}
+
+// Mirrors sim::LayeredReceiver::onCongestion.
+ReceiverState afterLoss(ReceiverState r) {
+  if (r.level > 1) --r.level;
+  r.aux = 0;  // counter reset; clean-since-sync flag = false
+  return r;
+}
+
+// Branch = (probability, next receiver state).
+using Branch = std::pair<double, ReceiverState>;
+
+// Clean-packet outcomes for one receiver; mirrors
+// sim::LayeredReceiver::onPacket's clean paths.
+std::vector<Branch> cleanOutcomes(ReceiverState r, ProtocolKind kind,
+                                  std::size_t layers, std::size_t packetLayer,
+                                  std::size_t signal) {
+  switch (kind) {
+    case ProtocolKind::kUncoordinated: {
+      if (r.level >= layers) return {{1.0, r}};
+      const double q =
+          1.0 / static_cast<double>(LayeredReceiver::joinThreshold(r.level));
+      ReceiverState joined = r;
+      ++joined.level;
+      if (q >= 1.0) return {{1.0, joined}};
+      return {{q, joined}, {1.0 - q, r}};
+    }
+    case ProtocolKind::kDeterministic: {
+      if (r.level >= layers) {
+        r.aux = 0;  // counter is irrelevant at the top level — canonicalize
+        return {{1.0, r}};
+      }
+      ++r.aux;
+      if (r.aux >= LayeredReceiver::joinThreshold(r.level)) {
+        ++r.level;
+        r.aux = 0;
+      }
+      return {{1.0, r}};
+    }
+    case ProtocolKind::kCoordinated: {
+      // aux bit 0 = clean-since-sync.
+      if (packetLayer == 1 && signal >= r.level) {
+        if ((r.aux & 1) != 0 && r.level < layers) ++r.level;
+        r.aux = 1;
+      }
+      return {{1.0, r}};
+    }
+    case ProtocolKind::kActiveRouter:
+      break;  // rejected by analyzeProtocolChain's validation
+  }
+  return {{1.0, r}};
+}
+
+}  // namespace
+
+ProtocolChainAnalysis analyzeProtocolChain(
+    const ProtocolChainConfig& config) {
+  const std::size_t n = config.receiverLoss.size();
+  MCFAIR_REQUIRE(n >= 1 && n <= 4,
+                 "protocol chain supports 1..4 receivers");
+  MCFAIR_REQUIRE(config.layers >= 1 && config.layers <= 15,
+                 "layers must be in 1..15");
+  MCFAIR_REQUIRE(config.protocol != sim::ProtocolKind::kActiveRouter,
+                 "the chain models receiver-driven protocols; ActiveRouter "
+                 "reduces to a single Deterministic receiver");
+  MCFAIR_REQUIRE(config.sharedLoss >= 0.0 && config.sharedLoss < 1.0,
+                 "shared loss must be in [0,1)");
+  for (double p : config.receiverLoss) {
+    MCFAIR_REQUIRE(p >= 0.0 && p < 1.0, "receiver loss must be in [0,1)");
+  }
+  const std::size_t m = config.layers;
+
+  // Layer emission probabilities: rate 1 for layer 1, 2^(k-2) for k>=2;
+  // total 2^(m-1).
+  std::vector<double> layerProb(m + 1, 0.0);
+  const double total = std::ldexp(1.0, static_cast<int>(m) - 1);
+  layerProb[1] = 1.0 / total;
+  for (std::size_t k = 2; k <= m; ++k) {
+    layerProb[k] = std::ldexp(1.0, static_cast<int>(k) - 2) / total;
+  }
+
+  // Ruler signal-level distribution for layer-1 packets.
+  std::vector<std::pair<std::size_t, double>> signalDist;
+  if (config.protocol == ProtocolKind::kCoordinated && m > 1) {
+    const std::size_t gMax = m - 1;
+    for (std::size_t g = 1; g < gMax; ++g) {
+      signalDist.emplace_back(g, std::ldexp(1.0, -static_cast<int>(g)));
+    }
+    signalDist.emplace_back(
+        gMax, std::ldexp(1.0, -static_cast<int>(gMax) + 1));
+  } else {
+    signalDist.emplace_back(0, 1.0);
+  }
+
+  const MarkovChain::Kernel kernel = [&](State s) {
+    std::vector<std::pair<State, double>> out;
+    for (std::size_t layer = 1; layer <= m; ++layer) {
+      const double pLayer = layerProb[layer];
+      const auto& signals =
+          (layer == 1) ? signalDist
+                       : decltype(signalDist){{std::size_t{0}, 1.0}};
+      for (const auto& [signal, pSignal] : signals) {
+        for (int shared = 0; shared < 2; ++shared) {
+          const double pShared =
+              shared ? config.sharedLoss : 1.0 - config.sharedLoss;
+          if (pShared == 0.0) continue;
+          // Per-receiver branch lists, then cross product.
+          std::vector<std::vector<Branch>> perReceiver(n);
+          for (std::size_t j = 0; j < n; ++j) {
+            const ReceiverState r = getReceiver(s, j);
+            if (r.level < layer) {
+              perReceiver[j] = {{1.0, r}};  // not subscribed: unseen
+            } else if (shared) {
+              perReceiver[j] = {{1.0, afterLoss(r)}};
+            } else {
+              const double pf = config.receiverLoss[j];
+              auto clean = cleanOutcomes(r, config.protocol, m, layer,
+                                         signal);
+              std::vector<Branch> branches;
+              if (pf > 0.0) branches.emplace_back(pf, afterLoss(r));
+              for (auto& [pc, rs] : clean) {
+                branches.emplace_back((1.0 - pf) * pc, rs);
+              }
+              perReceiver[j] = std::move(branches);
+            }
+          }
+          // Cross product.
+          std::vector<std::pair<State, double>> combos{
+              {State{0}, pLayer * pSignal * pShared}};
+          for (std::size_t j = 0; j < n; ++j) {
+            std::vector<std::pair<State, double>> nextCombos;
+            nextCombos.reserve(combos.size() * perReceiver[j].size());
+            for (const auto& [st, pr] : combos) {
+              for (const auto& [pb, rs] : perReceiver[j]) {
+                nextCombos.emplace_back(setReceiver(st, j, rs), pr * pb);
+              }
+            }
+            combos.swap(nextCombos);
+          }
+          out.insert(out.end(), combos.begin(), combos.end());
+        }
+      }
+    }
+    return out;
+  };
+
+  // Initial state: every receiver at level 1; Coordinated starts clean.
+  State init = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    ReceiverState r;
+    r.level = 1;
+    r.aux = config.protocol == ProtocolKind::kCoordinated ? 1 : 0;
+    init = setReceiver(init, j, r);
+  }
+
+  const MarkovChain chain = MarkovChain::build(init, kernel);
+  const std::vector<double> pi = chain.stationary();
+
+  ProtocolChainAnalysis result;
+  result.stateCount = chain.stateCount();
+  result.subscriptionRate.assign(n, 0.0);
+  result.deliveredRate.assign(n, 0.0);
+  result.meanLevel.assign(n, 0.0);
+
+  result.forwardedRate = chain.expectation(pi, [&](State s) {
+    std::size_t top = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+      top = std::max(top, getReceiver(s, j).level);
+    }
+    return cumulativeRate(top);
+  });
+  for (std::size_t j = 0; j < n; ++j) {
+    result.subscriptionRate[j] = chain.expectation(pi, [&](State s) {
+      return cumulativeRate(getReceiver(s, j).level);
+    });
+    result.meanLevel[j] = chain.expectation(pi, [&](State s) {
+      return static_cast<double>(getReceiver(s, j).level);
+    });
+    const double endToEnd =
+        config.sharedLoss +
+        (1.0 - config.sharedLoss) * config.receiverLoss[j];
+    result.deliveredRate[j] = result.subscriptionRate[j] * (1.0 - endToEnd);
+  }
+  // Level distributions (per receiver and of the max).
+  result.levelDistribution.assign(n, std::vector<double>(m, 0.0));
+  result.maxLevelDistribution.assign(m, 0.0);
+  const auto& states = chain.states();
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    std::size_t topLevel = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t level = getReceiver(states[s], j).level;
+      result.levelDistribution[j][level - 1] += pi[s];
+      topLevel = std::max(topLevel, level);
+    }
+    result.maxLevelDistribution[topLevel - 1] += pi[s];
+  }
+
+  const double best =
+      *std::max_element(result.deliveredRate.begin(),
+                        result.deliveredRate.end());
+  result.redundancy = best > 0.0 ? result.forwardedRate / best : 1.0;
+  return result;
+}
+
+}  // namespace mcfair::markov

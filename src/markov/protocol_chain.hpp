@@ -1,0 +1,67 @@
+// Exact Markov analysis of the Section 4 protocols on the Figure 7(a)
+// modified-star topology (small receiver counts).
+//
+// Per-packet-slot chain. Modeling choices (documented in DESIGN.md):
+//  * The emitted packet's layer is randomized in proportion to layer
+//    rates (the simulator interleaves layers deterministically; the
+//    randomization removes the schedule phase from the state).
+//  * The Coordinated sender's ruler signal level is likewise randomized
+//    with the ruler's level frequencies: P(g)=2^-g for g < M-1 and
+//    P(M-1)=2^-(M-2).
+//  * Loss is Bernoulli: shared loss (probability ps, common to all
+//    subscribed receivers per packet) then independent per-receiver
+//    fanout loss — exactly the simulator's model.
+//
+// Receiver state-update logic mirrors sim::LayeredReceiver exactly, so
+// simulator and analysis agree up to the two randomizations above (tests
+// cross-validate them statistically).
+//
+// The paper's headline analytical finding reproduced here: redundancy is
+// highest when receivers' end-to-end loss rates are equal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/receiver.hpp"
+
+namespace mcfair::markov {
+
+/// Model parameters. Receiver count = receiverLoss.size() (1..4; the
+/// state space is exponential in it).
+struct ProtocolChainConfig {
+  std::size_t layers = 4;
+  sim::ProtocolKind protocol = sim::ProtocolKind::kCoordinated;
+  /// Loss probability on the shared link.
+  double sharedLoss = 0.0;
+  /// Independent loss probability on each receiver's fanout link.
+  std::vector<double> receiverLoss;
+};
+
+/// Stationary quantities derived from the chain.
+struct ProtocolChainAnalysis {
+  /// Definition 3 redundancy of the session on the shared link:
+  /// forwardedRate / max_j deliveredRate[j].
+  double redundancy = 1.0;
+  /// E[aggregate rate of the union of joined layers] — the session's
+  /// expected link rate on the shared link.
+  double forwardedRate = 0.0;
+  /// E[cumulative rate of receiver j's subscription].
+  std::vector<double> subscriptionRate;
+  /// subscriptionRate[j] * (1 - end-to-end loss rate of j).
+  std::vector<double> deliveredRate;
+  /// E[subscription level of receiver j].
+  std::vector<double> meanLevel;
+  /// P(receiver j's level == l), indexed [j][l-1]; rows sum to 1.
+  std::vector<std::vector<double>> levelDistribution;
+  /// P(max level over receivers == l), indexed [l-1]; sums to 1 and
+  /// satisfies sum_l P(max=l) * 2^(l-1) == forwardedRate.
+  std::vector<double> maxLevelDistribution;
+  std::size_t stateCount = 0;
+};
+
+/// Builds and solves the chain. Throws ModelError when the state space
+/// exceeds internal limits (e.g. Deterministic protocol with many layers).
+ProtocolChainAnalysis analyzeProtocolChain(const ProtocolChainConfig& config);
+
+}  // namespace mcfair::markov

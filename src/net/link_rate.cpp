@@ -1,0 +1,58 @@
+#include "net/link_rate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcfair::net {
+
+namespace {
+double maxOf(std::span<const double> rates) {
+  MCFAIR_REQUIRE(!rates.empty(), "link rate of an empty receiver set");
+  double m = 0.0;
+  for (double r : rates) {
+    MCFAIR_REQUIRE(r >= 0.0, "receiver rates must be non-negative");
+    m = std::max(m, r);
+  }
+  return m;
+}
+}  // namespace
+
+double LinkRateFunction::redundancy(std::span<const double> rates) const {
+  const double m = maxOf(rates);
+  if (m == 0.0) return 1.0;
+  return linkRate(rates) / m;
+}
+
+double EfficientMax::linkRate(std::span<const double> rates) const {
+  return maxOf(rates);
+}
+
+ConstantFactor::ConstantFactor(double factor) : factor_(factor) {
+  MCFAIR_REQUIRE(factor >= 1.0, "redundancy factor must be >= 1");
+}
+
+double ConstantFactor::linkRate(std::span<const double> rates) const {
+  const double m = maxOf(rates);
+  return rates.size() >= 2 ? factor_ * m : m;
+}
+
+RandomJoinExpected::RandomJoinExpected(double sigma) : sigma_(sigma) {
+  MCFAIR_REQUIRE(sigma > 0.0, "layer rate sigma must be positive");
+}
+
+double RandomJoinExpected::linkRate(std::span<const double> rates) const {
+  const double m = maxOf(rates);
+  MCFAIR_REQUIRE(m <= sigma_ * (1.0 + 1e-12),
+                 "receiver rate exceeds layer rate sigma");
+  double survive = 1.0;  // probability a given packet is wanted by nobody
+  for (double r : rates) survive *= 1.0 - std::min(r, sigma_) / sigma_;
+  return sigma_ * (1.0 - survive);
+}
+
+LinkRateFunctionPtr efficientMax() {
+  static const auto instance = std::make_shared<const EfficientMax>();
+  return instance;
+}
+
+}  // namespace mcfair::net

@@ -1,0 +1,79 @@
+// Session link-rate (redundancy) functions v_i — Section 3.1 of the paper.
+//
+// Given the set of rates {a_{i,k} : r_{i,k} in R_{i,j}} of a session's
+// receivers whose data-paths traverse link l_j, a LinkRateFunction returns
+// the bandwidth u_{i,j} the session consumes on that link. The paper's
+// Section 2 assumes the efficient value u_{i,j} = max{a_{i,k}}; Section 3
+// generalizes to arbitrary v_i with v_i(X) >= max(X) to model the
+// redundancy of imperfectly-coordinated layered join/leave schedules.
+//
+// Implementations must be (a) monotone non-decreasing in every rate and
+// (b) bounded below by max(X); the max-min solver's bisection relies on
+// monotonicity, and the paper's model requires u_{i,j} >= a_{i,k}.
+#pragma once
+
+#include <memory>
+#include <span>
+
+namespace mcfair::net {
+
+/// Abstract session link-rate function v_i (Section 3.1).
+class LinkRateFunction {
+ public:
+  virtual ~LinkRateFunction() = default;
+
+  /// Bandwidth used on a link by a session whose receivers crossing that
+  /// link have the given rates. `rates` is non-empty; all entries >= 0.
+  virtual double linkRate(std::span<const double> rates) const = 0;
+
+  /// The redundancy of the function for a given rate set:
+  /// v(X) / max(X) (Definition 3). Returns 1 for an all-zero rate set.
+  double redundancy(std::span<const double> rates) const;
+};
+
+/// The efficient (Section 2) link rate: u = max(X); redundancy 1.
+class EfficientMax final : public LinkRateFunction {
+ public:
+  double linkRate(std::span<const double> rates) const override;
+};
+
+/// Constant-factor redundancy v (used by Figure 4, Figure 6 and Lemma 4):
+/// u = v * max(X) when the link is shared by two or more of the session's
+/// receivers, u = max(X) when a single receiver uses it (redundancy arises
+/// from imperfect coordination *between* receivers, so a solo receiver's
+/// link is always efficient).
+class ConstantFactor final : public LinkRateFunction {
+ public:
+  /// `factor` >= 1.
+  explicit ConstantFactor(double factor);
+
+  double linkRate(std::span<const double> rates) const override;
+  double factor() const noexcept { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// The expected link rate under uncoordinated (random) joins within a
+/// single layer of aggregate rate sigma — the Appendix B closed form:
+///   E[U] = sigma * (1 - prod_t (1 - a_t / sigma)).
+/// Requires every rate <= sigma.
+class RandomJoinExpected final : public LinkRateFunction {
+ public:
+  /// `sigma` > 0 is the layer transmission rate.
+  explicit RandomJoinExpected(double sigma);
+
+  double linkRate(std::span<const double> rates) const override;
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// Shared-ownership handle used by Session; EfficientMax by default.
+using LinkRateFunctionPtr = std::shared_ptr<const LinkRateFunction>;
+
+/// The process-wide EfficientMax instance.
+LinkRateFunctionPtr efficientMax();
+
+}  // namespace mcfair::net

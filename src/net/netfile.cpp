@@ -1,0 +1,184 @@
+#include "net/netfile.hpp"
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace mcfair::net {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw NetfileError("netfile:" + std::to_string(line) + ": " + msg);
+}
+
+double parseNumber(std::size_t line, const std::string& token,
+                   const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    fail(line, std::string("cannot parse ") + what + " from '" + token +
+                   "'");
+  }
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+// Recognizes "key=value" and returns value, or nullopt.
+std::optional<std::string> keyValue(const std::string& token,
+                                    const std::string& key) {
+  if (token.size() > key.size() + 1 &&
+      token.compare(0, key.size(), key) == 0 && token[key.size()] == '=') {
+    return token.substr(key.size() + 1);
+  }
+  return std::nullopt;
+}
+
+struct PendingSession {
+  Session session;
+  std::size_t declaredAtLine = 0;
+};
+
+}  // namespace
+
+Network parseNetworkFile(std::istream& in) {
+  Network network;
+  std::map<std::string, graph::LinkId> links;
+  // Order-preserving pending sessions.
+  std::vector<std::pair<std::string, PendingSession>> sessions;
+  auto findSession = [&](const std::string& name) -> PendingSession* {
+    for (auto& [n, s] : sessions) {
+      if (n == name) return &s;
+    }
+    return nullptr;
+  };
+
+  std::string raw;
+  std::size_t lineNo = 0;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const auto tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "link") {
+      if (tokens.size() != 3) {
+        fail(lineNo, "expected: link <name> <capacity>");
+      }
+      if (links.count(tokens[1]) != 0) {
+        fail(lineNo, "duplicate link name '" + tokens[1] + "'");
+      }
+      const double capacity = parseNumber(lineNo, tokens[2], "capacity");
+      if (capacity <= 0.0) fail(lineNo, "capacity must be positive");
+      links.emplace(tokens[1], network.addLink(capacity));
+    } else if (directive == "session") {
+      if (tokens.size() < 3) {
+        fail(lineNo,
+             "expected: session <name> <multi|single> [sigma=..] "
+             "[redundancy=..]");
+      }
+      if (findSession(tokens[1]) != nullptr) {
+        fail(lineNo, "duplicate session name '" + tokens[1] + "'");
+      }
+      PendingSession pending;
+      pending.declaredAtLine = lineNo;
+      pending.session.name = tokens[1];
+      if (tokens[2] == "multi") {
+        pending.session.type = SessionType::kMultiRate;
+      } else if (tokens[2] == "single") {
+        pending.session.type = SessionType::kSingleRate;
+      } else {
+        fail(lineNo, "session type must be 'multi' or 'single', got '" +
+                         tokens[2] + "'");
+      }
+      for (std::size_t t = 3; t < tokens.size(); ++t) {
+        if (const auto sigma = keyValue(tokens[t], "sigma")) {
+          pending.session.maxRate = parseNumber(lineNo, *sigma, "sigma");
+          if (pending.session.maxRate <= 0.0) {
+            fail(lineNo, "sigma must be positive");
+          }
+        } else if (const auto red = keyValue(tokens[t], "redundancy")) {
+          const double v = parseNumber(lineNo, *red, "redundancy");
+          if (v < 1.0) fail(lineNo, "redundancy must be >= 1");
+          pending.session.linkRateFn =
+              std::make_shared<const ConstantFactor>(v);
+        } else {
+          fail(lineNo, "unknown session option '" + tokens[t] + "'");
+        }
+      }
+      sessions.emplace_back(tokens[1], std::move(pending));
+    } else if (directive == "receiver") {
+      if (tokens.size() < 4) {
+        fail(lineNo,
+             "expected: receiver <session> <name> <link,link,...> "
+             "[weight=..]");
+      }
+      PendingSession* pending = findSession(tokens[1]);
+      if (pending == nullptr) {
+        fail(lineNo, "receiver references unknown session '" + tokens[1] +
+                         "' (declare the session first)");
+      }
+      Receiver receiver;
+      receiver.name = tokens[2];
+      std::stringstream pathStream(tokens[3]);
+      std::string linkName;
+      while (std::getline(pathStream, linkName, ',')) {
+        const auto it = links.find(linkName);
+        if (it == links.end()) {
+          fail(lineNo, "unknown link '" + linkName + "'");
+        }
+        receiver.dataPath.push_back(it->second);
+      }
+      if (receiver.dataPath.empty()) {
+        fail(lineNo, "receiver needs at least one link");
+      }
+      for (std::size_t t = 4; t < tokens.size(); ++t) {
+        if (const auto w = keyValue(tokens[t], "weight")) {
+          receiver.weight = parseNumber(lineNo, *w, "weight");
+          if (receiver.weight <= 0.0) {
+            fail(lineNo, "weight must be positive");
+          }
+        } else {
+          fail(lineNo, "unknown receiver option '" + tokens[t] + "'");
+        }
+      }
+      pending->session.receivers.push_back(std::move(receiver));
+    } else {
+      fail(lineNo, "unknown directive '" + directive + "'");
+    }
+  }
+
+  for (auto& [name, pending] : sessions) {
+    if (pending.session.receivers.empty()) {
+      fail(pending.declaredAtLine,
+           "session '" + name + "' has no receivers");
+    }
+    try {
+      network.addSession(std::move(pending.session));
+    } catch (const std::exception& e) {
+      fail(pending.declaredAtLine,
+           "session '" + name + "' is invalid: " + e.what());
+    }
+  }
+  return network;
+}
+
+Network parseNetworkString(const std::string& text) {
+  std::istringstream in(text);
+  return parseNetworkFile(in);
+}
+
+}  // namespace mcfair::net

@@ -1,0 +1,48 @@
+// Text format for describing networks — lets the fairshare CLI (and
+// tests) build models without writing C++.
+//
+// Grammar (one directive per line; '#' starts a comment; blank lines are
+// ignored):
+//
+//   link <name> <capacity>
+//   session <name> <multi|single> [sigma=<rate>] [redundancy=<factor>]
+//   receiver <session> <name> <link>[,<link>...] [weight=<w>]
+//
+// Example:
+//
+//   # one bottleneck, a layered video session and a web flow
+//   link backbone 10
+//   link dsl 1
+//   session video multi sigma=8
+//   receiver video home backbone,dsl
+//   receiver video office backbone weight=2
+//   session web multi
+//   receiver web w1 backbone
+//
+// `redundancy=v` installs a ConstantFactor link-rate function (Section
+// 3.1) on the session; sessions default to efficient (v = 1).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace mcfair::net {
+
+/// Parse failure; the message contains the 1-based line number.
+class NetfileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a network description from a stream. Throws NetfileError on
+/// malformed input (unknown directives, duplicate or missing names,
+/// unparsable numbers, receivers before their session, empty sessions).
+Network parseNetworkFile(std::istream& in);
+
+/// Convenience wrapper over a string.
+Network parseNetworkString(const std::string& text);
+
+}  // namespace mcfair::net

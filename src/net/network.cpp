@@ -1,0 +1,189 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcfair::net {
+
+Receiver makeReceiver(std::vector<graph::LinkId> path, std::string name) {
+  Receiver r;
+  r.dataPath = std::move(path);
+  r.name = std::move(name);
+  return r;
+}
+
+Session makeUnicastSession(std::vector<graph::LinkId> path, double maxRate,
+                           std::string name) {
+  Session s;
+  s.type = SessionType::kMultiRate;  // a unicast session behaves identically
+                                     // under either type (Section 2)
+  s.maxRate = maxRate;
+  s.receivers.push_back(makeReceiver(std::move(path)));
+  s.name = std::move(name);
+  return s;
+}
+
+graph::LinkId Network::addLink(double capacity) {
+  MCFAIR_REQUIRE(capacity > 0.0, "link capacity must be positive");
+  const graph::LinkId id{static_cast<std::uint32_t>(capacities_.size())};
+  capacities_.push_back(capacity);
+  linkIndex_.emplace_back();
+  return id;
+}
+
+std::size_t Network::addSession(Session s) {
+  MCFAIR_REQUIRE(!s.receivers.empty(), "a session needs >= 1 receiver");
+  MCFAIR_REQUIRE(s.maxRate > 0.0, "maximum desired rate must be positive");
+  if (s.type == SessionType::kSingleRate) {
+    // A single-rate session delivers one rate to everyone; per-receiver
+    // weights would contradict that.
+    for (const Receiver& r : s.receivers) {
+      MCFAIR_REQUIRE(r.weight == s.receivers.front().weight,
+                     "single-rate sessions require uniform receiver "
+                     "weights");
+    }
+  }
+  if (!s.linkRateFn) s.linkRateFn = efficientMax();
+  const std::size_t idx = sessions_.size();
+  for (std::size_t k = 0; k < s.receivers.size(); ++k) {
+    auto& path = s.receivers[k].dataPath;
+    MCFAIR_REQUIRE(!path.empty(), "receiver data-path must be non-empty");
+    MCFAIR_REQUIRE(s.receivers[k].weight > 0.0,
+                   "receiver weights must be positive");
+    std::sort(path.begin(), path.end());
+    path.erase(std::unique(path.begin(), path.end()), path.end());
+    for (graph::LinkId l : path) checkLink(l);
+    for (graph::LinkId l : path) {
+      linkIndex_[l.value].push_back(ReceiverRef{idx, k});
+    }
+  }
+  receiverCount_ += s.receivers.size();
+  sessions_.push_back(std::move(s));
+  return idx;
+}
+
+double Network::capacity(graph::LinkId l) const {
+  checkLink(l);
+  return capacities_[l.value];
+}
+
+const Session& Network::session(std::size_t i) const {
+  checkSessionIndex(i);
+  return sessions_[i];
+}
+
+const std::vector<ReceiverRef>& Network::receiversOnLink(
+    graph::LinkId l) const {
+  checkLink(l);
+  return linkIndex_[l.value];
+}
+
+std::vector<ReceiverRef> Network::sessionReceiversOnLink(
+    std::size_t i, graph::LinkId l) const {
+  checkSessionIndex(i);
+  checkLink(l);
+  std::vector<ReceiverRef> out;
+  for (ReceiverRef ref : linkIndex_[l.value]) {
+    if (ref.session == i) out.push_back(ref);
+  }
+  return out;
+}
+
+bool Network::onLink(ReceiverRef ref, graph::LinkId l) const {
+  checkSessionIndex(ref.session);
+  checkLink(l);
+  const auto& path = sessions_[ref.session].receivers.at(ref.receiver).dataPath;
+  return std::binary_search(path.begin(), path.end(), l);
+}
+
+std::vector<graph::LinkId> Network::sessionDataPath(std::size_t i) const {
+  checkSessionIndex(i);
+  std::vector<graph::LinkId> out;
+  for (const Receiver& r : sessions_[i].receivers) {
+    out.insert(out.end(), r.dataPath.begin(), r.dataPath.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ReceiverRef> Network::allReceivers() const {
+  std::vector<ReceiverRef> out;
+  out.reserve(receiverCount_);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    for (std::size_t k = 0; k < sessions_[i].receivers.size(); ++k) {
+      out.push_back(ReceiverRef{i, k});
+    }
+  }
+  return out;
+}
+
+Network Network::withSessionType(std::size_t i, SessionType type) const {
+  checkSessionIndex(i);
+  Network copy = *this;
+  copy.sessions_[i].type = type;
+  return copy;
+}
+
+Network Network::withLinkRateFunction(std::size_t i,
+                                      LinkRateFunctionPtr fn) const {
+  checkSessionIndex(i);
+  MCFAIR_REQUIRE(fn != nullptr, "link rate function must be non-null");
+  Network copy = *this;
+  copy.sessions_[i].linkRateFn = std::move(fn);
+  return copy;
+}
+
+Network Network::withoutReceiver(ReceiverRef ref) const {
+  checkSessionIndex(ref.session);
+  const auto& sess = sessions_[ref.session];
+  MCFAIR_REQUIRE(ref.receiver < sess.receivers.size(),
+                 "receiver index out of range");
+  MCFAIR_REQUIRE(sess.receivers.size() > 1,
+                 "cannot remove the last receiver of a session");
+  Network copy = *this;
+  auto& receivers = copy.sessions_[ref.session].receivers;
+  receivers.erase(receivers.begin() +
+                  static_cast<std::ptrdiff_t>(ref.receiver));
+  copy.receiverCount_ -= 1;
+  copy.reindex();
+  return copy;
+}
+
+Network Network::withCapacity(graph::LinkId l, double capacity) const {
+  checkLink(l);
+  MCFAIR_REQUIRE(capacity > 0.0, "link capacity must be positive");
+  Network copy = *this;
+  copy.capacities_[l.value] = capacity;
+  return copy;
+}
+
+void Network::checkSessionIndex(std::size_t i) const {
+  if (i >= sessions_.size()) {
+    throw ModelError("session index " + std::to_string(i) +
+                     " out of range (network has " +
+                     std::to_string(sessions_.size()) + " sessions)");
+  }
+}
+
+void Network::checkLink(graph::LinkId l) const {
+  if (l.value >= capacities_.size()) {
+    throw ModelError("link id " + std::to_string(l.value) +
+                     " out of range (network has " +
+                     std::to_string(capacities_.size()) + " links)");
+  }
+}
+
+void Network::reindex() {
+  for (auto& list : linkIndex_) list.clear();
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    for (std::size_t k = 0; k < sessions_[i].receivers.size(); ++k) {
+      for (graph::LinkId l : sessions_[i].receivers[k].dataPath) {
+        linkIndex_[l.value].push_back(ReceiverRef{i, k});
+      }
+    }
+  }
+}
+
+}  // namespace mcfair::net

@@ -1,0 +1,80 @@
+// Network — the tuple N = (G, {S_1..S_m}, tau, chi) of the paper.
+//
+// The fairness machinery never needs node positions, only (a) link
+// capacities and (b) each receiver's data-path as a set of links, so a
+// Network stores exactly that. Use fromTrees()/topologies.hpp to derive
+// data-paths from a Graph via multicast routing, or add paths explicitly
+// to reproduce the paper's hand-drawn examples.
+#pragma once
+
+#include <vector>
+
+#include "net/session.hpp"
+
+namespace mcfair::net {
+
+/// The network model consumed by the max-min solver and property checkers.
+class Network {
+ public:
+  /// Adds a link with the given positive capacity; returns its id l_j.
+  graph::LinkId addLink(double capacity);
+
+  /// Adds a session. Validates: at least one receiver, non-empty
+  /// data-paths referencing existing links, positive maxRate. Data-paths
+  /// are normalized to sorted unique link sets. A null linkRateFn is
+  /// replaced by EfficientMax. Returns the session index i.
+  std::size_t addSession(Session s);
+
+  std::size_t linkCount() const noexcept { return capacities_.size(); }
+  std::size_t sessionCount() const noexcept { return sessions_.size(); }
+
+  double capacity(graph::LinkId l) const;
+  const Session& session(std::size_t i) const;
+
+  /// Total number of receivers over all sessions.
+  std::size_t receiverCount() const noexcept { return receiverCount_; }
+
+  /// R_j: receivers (across sessions) whose data-path includes l_j,
+  /// ordered by (session, receiver).
+  const std::vector<ReceiverRef>& receiversOnLink(graph::LinkId l) const;
+
+  /// R_{i,j}: receivers of session i whose data-path includes l_j.
+  std::vector<ReceiverRef> sessionReceiversOnLink(std::size_t i,
+                                                  graph::LinkId l) const;
+
+  /// True when receiver `ref`'s data-path includes l_j.
+  bool onLink(ReceiverRef ref, graph::LinkId l) const;
+
+  /// The session data-path: union of its receivers' data-paths, sorted.
+  std::vector<graph::LinkId> sessionDataPath(std::size_t i) const;
+
+  /// All receivers in (session, receiver) order.
+  std::vector<ReceiverRef> allReceivers() const;
+
+  // --- What-if copies used by the Lemma/Corollary experiments. ---
+
+  /// Copy with session i's type replaced.
+  Network withSessionType(std::size_t i, SessionType type) const;
+
+  /// Copy with session i's link-rate function replaced (non-null).
+  Network withLinkRateFunction(std::size_t i, LinkRateFunctionPtr fn) const;
+
+  /// Copy with receiver (i,k) removed. The session must keep at least one
+  /// receiver.
+  Network withoutReceiver(ReceiverRef ref) const;
+
+  /// Copy with link capacity replaced.
+  Network withCapacity(graph::LinkId l, double capacity) const;
+
+ private:
+  void checkSessionIndex(std::size_t i) const;
+  void checkLink(graph::LinkId l) const;
+  void reindex();
+
+  std::vector<double> capacities_;
+  std::vector<Session> sessions_;
+  std::vector<std::vector<ReceiverRef>> linkIndex_;  // R_j per link
+  std::size_t receiverCount_ = 0;
+};
+
+}  // namespace mcfair::net

@@ -1,0 +1,74 @@
+// Sessions and receivers — the paper's Table 1 vocabulary.
+//
+// A session S_i = (X_i, {r_{i,1}, ..., r_{i,k_i}}) has one sender and at
+// least one receiver. Its type chi(S_i) is single-rate (all receivers must
+// receive at the same rate) or multi-rate (rates chosen independently, as
+// layered multicast permits). sigma_i is the session's maximum desired
+// rate. Each receiver's data-path is the set of links carrying data from
+// the sender to it.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/link_rate.hpp"
+
+namespace mcfair::net {
+
+/// chi(S_i): the session type (Section 2).
+enum class SessionType {
+  kSingleRate,  ///< all receivers receive at one uniform rate
+  kMultiRate,   ///< receiver rates are independent (layered delivery)
+};
+
+/// sigma_i = infinity: the session never self-limits.
+inline constexpr double kUnlimitedRate =
+    std::numeric_limits<double>::infinity();
+
+/// One receiver r_{i,k} and its data-path.
+struct Receiver {
+  /// Links on the path from the sender, stored sorted and deduplicated
+  /// (the fairness model treats the data-path as a set). Never empty.
+  std::vector<graph::LinkId> dataPath;
+  /// Diagnostic label, e.g. "r2,1".
+  std::string name;
+  /// Weight for weighted max-min fairness (Section 5 of the paper:
+  /// "a receiver's rate is weighted by the inverse of round trip time"
+  /// approximates TCP-fairness). The solver maximizes min(rate/weight)
+  /// lexicographically; weight 1 everywhere gives plain max-min
+  /// fairness. Must be positive.
+  double weight = 1.0;
+};
+
+/// One session S_i.
+struct Session {
+  SessionType type = SessionType::kMultiRate;
+  /// Maximum desired rate sigma_i (0 < sigma_i <= infinity).
+  double maxRate = kUnlimitedRate;
+  std::vector<Receiver> receivers;
+  /// Session link-rate function v_i (Section 3.1); EfficientMax gives the
+  /// Section 2 model. Never null once added to a Network.
+  LinkRateFunctionPtr linkRateFn;
+  /// Diagnostic label, e.g. "S1".
+  std::string name;
+};
+
+/// Identifies receiver r_{i,k} as (session index i, receiver index k).
+struct ReceiverRef {
+  std::size_t session = 0;
+  std::size_t receiver = 0;
+  friend bool operator==(ReceiverRef, ReceiverRef) = default;
+  friend auto operator<=>(ReceiverRef, ReceiverRef) = default;
+};
+
+/// Convenience builder for a receiver from an arbitrary link list.
+Receiver makeReceiver(std::vector<graph::LinkId> path, std::string name = "");
+
+/// Convenience builder for a unicast session (one receiver).
+Session makeUnicastSession(std::vector<graph::LinkId> path,
+                           double maxRate = kUnlimitedRate,
+                           std::string name = "");
+
+}  // namespace mcfair::net

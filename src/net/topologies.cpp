@@ -1,0 +1,238 @@
+#include "net/topologies.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mcfair::net {
+
+namespace {
+using graph::LinkId;
+
+Session session(std::string name, SessionType type, double maxRate,
+                std::vector<Receiver> receivers,
+                LinkRateFunctionPtr fn = nullptr) {
+  Session s;
+  s.name = std::move(name);
+  s.type = type;
+  s.maxRate = maxRate;
+  s.receivers = std::move(receivers);
+  s.linkRateFn = std::move(fn);
+  return s;
+}
+}  // namespace
+
+Network fig1Network() {
+  // Topology (reconstructed from the figure's capacities, session link
+  // rates and the fairness arguments in Section 2.1):
+  //   X1, X2 --l2--> A;  X3 --l1--> A;  A --l4--> B;  A --l3--> C.
+  //   r1,1, r2,1, r3,1 behind l4; r2,2, r3,2 behind l3.
+  Network n;
+  const LinkId l1 = n.addLink(5);  // X3's first hop
+  const LinkId l2 = n.addLink(7);  // X1/X2's first hop
+  const LinkId l3 = n.addLink(4);  // branch to r2,2 / r3,2
+  const LinkId l4 = n.addLink(3);  // branch to r1,1 / r2,1 / r3,1
+  n.addSession(session("S1", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({l2, l4}, "r1,1")}));
+  n.addSession(session("S2", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({l2, l4}, "r2,1"),
+                        makeReceiver({l2, l3}, "r2,2")}));
+  n.addSession(session("S3", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({l1, l4}, "r3,1"),
+                        makeReceiver({l1, l3}, "r3,2")}));
+  return n;
+}
+
+Network fig2Network(bool s1MultiRate) {
+  // X1, X2 --l4--> A; A --l1--> (r1,1, r2,1); A --l2--> r1,2;
+  // A --l3--> r1,3. sigma_1 = sigma_2 = 100.
+  Network n;
+  const LinkId l1 = n.addLink(5);
+  const LinkId l2 = n.addLink(2);
+  const LinkId l3 = n.addLink(3);
+  const LinkId l4 = n.addLink(6);
+  n.addSession(session(
+      "S1", s1MultiRate ? SessionType::kMultiRate : SessionType::kSingleRate,
+      100.0,
+      {makeReceiver({l4, l1}, "r1,1"), makeReceiver({l4, l2}, "r1,2"),
+       makeReceiver({l4, l3}, "r1,3")}));
+  n.addSession(session("S2", SessionType::kMultiRate, 100.0,
+                       {makeReceiver({l4, l1}, "r2,1")}));
+  return n;
+}
+
+Network fig3aNetwork(bool receiverRemoved) {
+  Network n;
+  const LinkId lA = n.addLink(4);
+  const LinkId lB = n.addLink(12);
+  n.addSession(session("S1", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({lA, lB}, "r1,1")}));
+  n.addSession(session("S2", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({lB}, "r2,1")}));
+  std::vector<Receiver> s3 = {makeReceiver({lB}, "r3,1")};
+  if (!receiverRemoved) s3.push_back(makeReceiver({lA}, "r3,2"));
+  n.addSession(
+      session("S3", SessionType::kMultiRate, kUnlimitedRate, std::move(s3)));
+  return n;
+}
+
+Network fig3bNetwork(bool receiverRemoved) {
+  Network n;
+  const LinkId lA = n.addLink(2);
+  const LinkId lB = n.addLink(4);
+  const LinkId lC = n.addLink(12);
+  n.addSession(session("S1", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({lB, lC}, "r1,1")}));
+  n.addSession(session("S2", SessionType::kMultiRate, kUnlimitedRate,
+                       {makeReceiver({lA, lB}, "r2,1")}));
+  std::vector<Receiver> s3 = {makeReceiver({lC}, "r3,1")};
+  if (!receiverRemoved) s3.push_back(makeReceiver({lA}, "r3,2"));
+  n.addSession(
+      session("S3", SessionType::kMultiRate, kUnlimitedRate, std::move(s3)));
+  return n;
+}
+
+ReceiverRef fig3RemovedReceiver() { return ReceiverRef{2, 1}; }
+
+Network fig4Network() {
+  // Figure 2's topology; S1 multi-rate with redundancy factor 2 on links
+  // shared by several of its receivers (here: the first hop l4).
+  Network n = fig2Network(/*s1MultiRate=*/true);
+  return n.withLinkRateFunction(0, std::make_shared<const ConstantFactor>(2.0));
+}
+
+Network singleBottleneckNetwork(std::size_t n, std::size_t m, double c,
+                                double v, std::size_t receiversPerMulti) {
+  MCFAIR_REQUIRE(n >= 1 && m <= n, "need m <= n sessions");
+  MCFAIR_REQUIRE(receiversPerMulti >= 2,
+                 "multi-rate sessions need >= 2 receivers for redundancy "
+                 "to apply on the shared link");
+  Network net;
+  const LinkId shared = net.addLink(c);
+  const auto redundant = std::make_shared<const ConstantFactor>(v);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < m) {
+      std::vector<Receiver> rs;
+      for (std::size_t k = 0; k < receiversPerMulti; ++k) {
+        // Each receiver also has a private fat tail link so receivers are
+        // distinct paths; the shared link is the sole binding constraint.
+        const LinkId tail = net.addLink(1e9);
+        rs.push_back(makeReceiver({shared, tail}));
+      }
+      net.addSession(session("M" + std::to_string(i),
+                             SessionType::kMultiRate, kUnlimitedRate,
+                             std::move(rs), redundant));
+    } else {
+      net.addSession(makeUnicastSession({shared}, kUnlimitedRate,
+                                        "U" + std::to_string(i)));
+    }
+  }
+  return net;
+}
+
+Network fromGraph(const graph::Graph& g,
+                  const std::vector<RoutedSessionSpec>& specs) {
+  Network n;
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    n.addLink(g.capacity(LinkId{l}));
+  }
+  for (const auto& spec : specs) {
+    const auto tree = graph::buildShortestPathTree(g, spec.sender,
+                                                   spec.receivers);
+    std::vector<Receiver> receivers;
+    receivers.reserve(spec.receivers.size());
+    for (std::size_t k = 0; k < spec.receivers.size(); ++k) {
+      receivers.push_back(makeReceiver(tree.receiverPaths[k]));
+    }
+    n.addSession(session(spec.name, spec.type, spec.maxRate,
+                         std::move(receivers), spec.linkRateFn));
+  }
+  return n;
+}
+
+Network fromGraphMultiSender(const graph::Graph& g,
+                             const std::vector<RoutedMultiSenderSpec>& specs) {
+  Network n;
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    n.addLink(g.capacity(LinkId{l}));
+  }
+  for (const auto& spec : specs) {
+    MCFAIR_REQUIRE(!spec.senders.empty(),
+                   "a multi-sender session needs at least one sender");
+    MCFAIR_REQUIRE(!spec.receivers.empty(),
+                   "a session needs at least one receiver");
+    std::vector<Receiver> receivers;
+    receivers.reserve(spec.receivers.size());
+    for (graph::NodeId r : spec.receivers) {
+      // Nearest sender by hop count; earlier senders win ties.
+      std::optional<graph::Path> best;
+      for (graph::NodeId s : spec.senders) {
+        MCFAIR_REQUIRE(r != s, "receiver cannot sit on a sender node");
+        auto path = graph::shortestPath(g, s, r);
+        if (path && (!best || path->hopCount() < best->hopCount())) {
+          best = std::move(path);
+        }
+      }
+      if (!best) {
+        throw ModelError("receiver node " + std::to_string(r.value) +
+                         " is unreachable from every sender");
+      }
+      receivers.push_back(makeReceiver(best->links));
+    }
+    n.addSession(session(spec.name, spec.type, spec.maxRate,
+                         std::move(receivers), spec.linkRateFn));
+  }
+  return n;
+}
+
+Network randomNetwork(util::Rng& rng, const RandomNetworkOptions& opts) {
+  MCFAIR_REQUIRE(opts.nodes >= 2, "need at least two nodes");
+  MCFAIR_REQUIRE(opts.sessions >= 1, "need at least one session");
+  MCFAIR_REQUIRE(opts.maxReceiversPerSession >= 1,
+                 "sessions need at least one receiver");
+  MCFAIR_REQUIRE(opts.nodes > opts.maxReceiversPerSession,
+                 "session members must fit on distinct nodes");
+
+  graph::Graph g;
+  g.addNodes(opts.nodes);
+  // Random spanning tree: attach each node i>0 to a uniformly random
+  // earlier node — guarantees connectivity.
+  for (std::uint32_t i = 1; i < opts.nodes; ++i) {
+    const auto parent = static_cast<std::uint32_t>(rng.below(i));
+    g.addLink(graph::NodeId{i}, graph::NodeId{parent},
+              rng.uniform(opts.minCapacity, opts.maxCapacity));
+  }
+  for (std::size_t e = 0; e < opts.extraLinks; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.below(opts.nodes));
+    auto b = static_cast<std::uint32_t>(rng.below(opts.nodes));
+    if (a == b) b = (b + 1) % opts.nodes;
+    g.addLink(graph::NodeId{a}, graph::NodeId{b},
+              rng.uniform(opts.minCapacity, opts.maxCapacity));
+  }
+
+  std::vector<RoutedSessionSpec> specs;
+  for (std::size_t s = 0; s < opts.sessions; ++s) {
+    const std::size_t nReceivers =
+        1 + rng.below(opts.maxReceiversPerSession);
+    // Sender + receivers on distinct nodes.
+    const auto members =
+        rng.sampleWithoutReplacement(opts.nodes, nReceivers + 1);
+    RoutedSessionSpec spec;
+    spec.sender = graph::NodeId{static_cast<std::uint32_t>(members[0])};
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      spec.receivers.push_back(
+          graph::NodeId{static_cast<std::uint32_t>(members[k])});
+    }
+    spec.type = rng.bernoulli(opts.singleRateProbability)
+                    ? SessionType::kSingleRate
+                    : SessionType::kMultiRate;
+    if (rng.bernoulli(opts.finiteMaxRateProbability)) {
+      spec.maxRate = rng.uniform(opts.sigmaMin, opts.sigmaMax);
+    }
+    spec.name = "S" + std::to_string(s + 1);
+    specs.push_back(std::move(spec));
+  }
+  return fromGraph(g, specs);
+}
+
+}  // namespace mcfair::net

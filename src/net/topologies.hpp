@@ -1,0 +1,128 @@
+// Canonical networks: the paper's worked examples (Figures 1-4), the
+// shared-bottleneck model behind Figure 6, graph-derived networks, and a
+// random-network generator for property-based tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/tree.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::net {
+
+/// Figure 1: three sessions over four links (c = 5, 7, 4, 3).
+/// Multi-rate max-min allocation: a_{1,1}=a_{2,1}=a_{3,1}=1,
+/// a_{2,2}=a_{3,2}=2, with session link rates l1:(0:0:2), l2:(1:2:0),
+/// l3:(0:2:2), l4:(1:1:1); l3 and l4 fully utilized.
+Network fig1Network();
+
+/// Figure 2: S1 (three receivers) + unicast S2 sharing r1,1's path, links
+/// c = 5, 2, 3, 6, sigma = 100.
+/// With S1 single-rate the max-min allocation is a_1 = 2, a_2 = 3 and three
+/// of the four fairness properties fail; with S1 multi-rate it is
+/// a_{1,1} = a_{2,1} = 2.5, a_{1,2} = 2, a_{1,3} = 3 and all hold.
+/// `s1MultiRate` selects the variant.
+Network fig2Network(bool s1MultiRate);
+
+/// Link ids of fig2Network in the paper's numbering l1..l4 (value 0..3).
+/// l1 = shared bottleneck (c=5), l2 = r1,2 tail (c=2), l3 = r1,3 tail
+/// (c=3), l4 = first hop (c=6).
+struct Fig2Links {
+  graph::LinkId l1{0}, l2{1}, l3{2}, l4{3};
+};
+
+/// Figure 3(a) phenomenon (reconstruction; the figure's exact labels are
+/// not recoverable from the available scan, the *phenomenon* is preserved):
+/// removing receiver r_{3,2} DEcreases r_{3,1}'s max-min fair rate.
+/// Three multi-rate sessions; links lA (c=4): {r1,1, r3,2},
+/// lB (c=12): {r1,1, r2,1, r3,1}.
+/// Before removal: a_{1,1}=2, a_{2,1}=5, a_{3,1}=5, a_{3,2}=2.
+/// After removal:  a_{1,1}=4, a_{2,1}=4, a_{3,1}=4.
+Network fig3aNetwork(bool receiverRemoved);
+
+/// Figure 3(b) phenomenon: removing r_{3,2} INcreases r_{3,1}'s rate.
+/// Links lA (c=2): {r2,1, r3,2}, lB (c=4): {r2,1, r1,1},
+/// lC (c=12): {r1,1, r3,1}.
+/// Before removal: a_{1,1}=3, a_{2,1}=1, a_{3,1}=9, a_{3,2}=1.
+/// After removal:  a_{1,1}=2, a_{2,1}=2, a_{3,1}=10.
+Network fig3bNetwork(bool receiverRemoved);
+
+/// The receiver removed in the Figure 3 experiments (r_{3,2}).
+ReceiverRef fig3RemovedReceiver();
+
+/// Figure 4: the Figure 2 topology with S1 multi-rate but carrying a
+/// constant redundancy factor of 2 on links shared by several of its
+/// receivers. Max-min allocation: every receiver at rate 2; u_{1,4} = 4 on
+/// the shared first hop, so per-session-link-fairness fails for S2.
+Network fig4Network();
+
+/// The shared-bottleneck model behind Figure 6: n sessions constrained by
+/// one link of capacity c; m of them are multi-rate sessions with
+/// `receiversPerMulti` (>= 2) receivers and constant redundancy v on the
+/// bottleneck; the rest are unicast. All receivers' max-min rates equal
+/// c / ((n - m) + m v).
+Network singleBottleneckNetwork(std::size_t n, std::size_t m, double c,
+                                double v, std::size_t receiversPerMulti = 2);
+
+/// Specification of one session to route over a Graph.
+struct RoutedSessionSpec {
+  graph::NodeId sender;
+  std::vector<graph::NodeId> receivers;
+  SessionType type = SessionType::kMultiRate;
+  double maxRate = kUnlimitedRate;
+  LinkRateFunctionPtr linkRateFn;  // null -> EfficientMax
+  std::string name;
+};
+
+/// Builds a Network from a Graph: link capacities are copied and each
+/// session's receiver data-paths come from its shortest-path multicast
+/// tree.
+Network fromGraph(const graph::Graph& g,
+                  const std::vector<RoutedSessionSpec>& specs);
+
+/// A session with several senders (the Section 5 extension: "extend
+/// definitions of fairness to multicast sessions with multiple
+/// senders"). Each receiver is served by its nearest sender (hop count;
+/// ties break toward the earlier sender in the list), as in anycast /
+/// shortest-path source selection. Because the fairness model consumes
+/// only per-receiver data-paths, the max-min machinery applies
+/// unchanged.
+struct RoutedMultiSenderSpec {
+  std::vector<graph::NodeId> senders;
+  std::vector<graph::NodeId> receivers;
+  SessionType type = SessionType::kMultiRate;
+  double maxRate = kUnlimitedRate;
+  LinkRateFunctionPtr linkRateFn;  // null -> EfficientMax
+  std::string name;
+};
+
+/// Builds a Network where each spec may have multiple senders. Throws
+/// ModelError when a receiver is unreachable from every sender.
+Network fromGraphMultiSender(const graph::Graph& g,
+                             const std::vector<RoutedMultiSenderSpec>& specs);
+
+/// Knobs for randomNetwork().
+struct RandomNetworkOptions {
+  std::size_t nodes = 12;
+  /// Extra links beyond a random spanning tree (adds path diversity).
+  std::size_t extraLinks = 8;
+  std::size_t sessions = 4;
+  std::size_t maxReceiversPerSession = 4;
+  double minCapacity = 1.0;
+  double maxCapacity = 10.0;
+  /// Probability a session is single-rate.
+  double singleRateProbability = 0.5;
+  /// Probability a session has a finite sigma_i (drawn uniformly in
+  /// [sigmaMin, sigmaMax]).
+  double finiteMaxRateProbability = 0.3;
+  double sigmaMin = 0.5;
+  double sigmaMax = 5.0;
+};
+
+/// Generates a random connected network with routed sessions. Receivers
+/// and senders are placed on distinct nodes per session. Deterministic in
+/// `rng`.
+Network randomNetwork(util::Rng& rng, const RandomNetworkOptions& opts = {});
+
+}  // namespace mcfair::net

@@ -1,0 +1,273 @@
+#include "sim/closed_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/sender.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+namespace {
+
+// Continuous-refill token bucket enforcing a link's capacity.
+class TokenBucket {
+ public:
+  TokenBucket(double rate, double depth)
+      : rate_(rate), depth_(depth), tokens_(depth) {}
+
+  /// Consumes one token at time `now`; false = drop.
+  bool admit(double now) {
+    tokens_ = std::min(depth_, tokens_ + rate_ * (now - lastRefill_));
+    lastRefill_ = now;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  double rate_;
+  double depth_;
+  double tokens_;
+  double lastRefill_ = 0.0;
+};
+
+}  // namespace
+
+ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
+                                         const ClosedLoopConfig& config) {
+  MCFAIR_REQUIRE(network.sessionCount() >= 1, "need at least one session");
+  MCFAIR_REQUIRE(config.sessions.empty() ||
+                     config.sessions.size() == network.sessionCount(),
+                 "sessions config must be empty or one entry per session");
+  MCFAIR_REQUIRE(config.duration > 0.0 && config.warmup >= 0.0 &&
+                     config.warmup < config.duration,
+                 "need 0 <= warmup < duration");
+  MCFAIR_REQUIRE(config.tokenBurst > 0.0, "tokenBurst must be positive");
+
+  const std::size_t nSessions = network.sessionCount();
+  std::vector<ClosedLoopSessionConfig> sessionConfigs = config.sessions;
+  if (sessionConfigs.empty()) sessionConfigs.resize(nSessions);
+
+  util::Rng root(config.seed);
+
+  // One sender and one set of protocol receivers per session.
+  std::vector<LayeredSender> senders;
+  std::vector<std::vector<LayeredReceiver>> receivers(nSessions);
+  std::vector<std::vector<util::Rng>> receiverRng(nSessions);
+  senders.reserve(nSessions);
+  util::Rng phaseRng = root.split();
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    const auto& sc = sessionConfigs[i];
+    MCFAIR_REQUIRE(sc.layers >= 1, "sessions need at least one layer");
+    MCFAIR_REQUIRE(sc.startTime >= 0.0 && sc.startTime < sc.stopTime,
+                   "need 0 <= startTime < stopTime");
+    senders.emplace_back(layering::LayerScheme::exponential(sc.layers),
+                         &phaseRng);
+    const std::size_t nr = network.session(i).receivers.size();
+    for (std::size_t k = 0; k < nr; ++k) {
+      receivers[i].emplace_back(sc.protocol, sc.layers, sc.initialLevel);
+      receiverRng[i].push_back(root.split());
+    }
+  }
+
+  std::vector<TokenBucket> buckets;
+  buckets.reserve(network.linkCount());
+  for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
+    const double c = network.capacity(graph::LinkId{j});
+    buckets.emplace_back(c, std::max(1.0, c * config.tokenBurst));
+  }
+
+  // Measurement accumulators.
+  ClosedLoopResult result;
+  result.measuredRate.resize(nSessions);
+  result.meanLevel.resize(nSessions);
+  std::vector<std::vector<std::uint64_t>> delivered(nSessions);
+  std::vector<std::vector<double>> levelIntegral(nSessions);
+  std::vector<std::vector<std::uint64_t>> levelSamples(nSessions);
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    const std::size_t nr = network.session(i).receivers.size();
+    delivered[i].assign(nr, 0);
+    levelIntegral[i].assign(nr, 0.0);
+    levelSamples[i].assign(nr, 0);
+  }
+  std::vector<std::uint64_t> linkForwarded(network.linkCount(), 0);
+  std::vector<std::uint64_t> linkOffered(network.linkCount(), 0);
+  std::vector<std::uint64_t> linkDropped(network.linkCount(), 0);
+  std::vector<std::vector<std::uint64_t>> sessionForwarded(
+      nSessions, std::vector<std::uint64_t>(network.linkCount(), 0));
+
+  // Optional per-bin delivery timeline.
+  const std::size_t nBins =
+      config.rateBinWidth > 0.0
+          ? static_cast<std::size_t>(
+                std::ceil(config.duration / config.rateBinWidth))
+          : 0;
+  std::vector<std::vector<std::vector<std::uint64_t>>> binDelivered;
+  if (nBins > 0) {
+    binDelivered.resize(nSessions);
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      binDelivered[i].assign(network.session(i).receivers.size(),
+                             std::vector<std::uint64_t>(nBins, 0));
+    }
+  }
+
+  // Merge the senders' packet streams in time order (one lookahead
+  // packet per sender).
+  std::vector<Packet> pending;
+  pending.reserve(nSessions);
+  for (auto& s : senders) pending.push_back(s.next());
+
+  // Scratch marks, reused per packet.
+  std::vector<char> linkTouched(network.linkCount(), 0);
+  std::vector<char> linkDropping(network.linkCount(), 0);
+  std::vector<std::uint32_t> touched;
+
+  while (true) {
+    // Earliest pending packet (tie-break: lower session index).
+    std::size_t sessionIdx = 0;
+    for (std::size_t i = 1; i < nSessions; ++i) {
+      if (pending[i].time < pending[sessionIdx].time) sessionIdx = i;
+    }
+    const Packet pkt = pending[sessionIdx];
+    if (pkt.time > config.duration) break;
+    pending[sessionIdx] = senders[sessionIdx].next();
+    // Outside the session's lifetime the sender is silent.
+    if (pkt.time < sessionConfigs[sessionIdx].startTime ||
+        pkt.time >= sessionConfigs[sessionIdx].stopTime) {
+      continue;
+    }
+    const bool measuring = pkt.time >= config.warmup;
+
+    const auto& sess = network.session(sessionIdx);
+    auto& rcvrs = receivers[sessionIdx];
+
+    // Subscribers and the union of links leading to them.
+    touched.clear();
+    bool anySubscribed = false;
+    for (std::size_t k = 0; k < rcvrs.size(); ++k) {
+      if (measuring) {
+        levelIntegral[sessionIdx][k] +=
+            static_cast<double>(rcvrs[k].level());
+        ++levelSamples[sessionIdx][k];
+      }
+      if (rcvrs[k].level() < pkt.layer) continue;
+      anySubscribed = true;
+      for (graph::LinkId l : sess.receivers[k].dataPath) {
+        if (!linkTouched[l.value]) {
+          linkTouched[l.value] = 1;
+          touched.push_back(l.value);
+        }
+      }
+    }
+    if (!anySubscribed) continue;
+
+    // Capacity enforcement per touched link.
+    for (std::uint32_t j : touched) {
+      if (measuring) ++linkOffered[j];
+      if (buckets[j].admit(pkt.time)) {
+        if (measuring) {
+          ++linkForwarded[j];
+          ++sessionForwarded[sessionIdx][j];
+        }
+        linkDropping[j] = 0;
+      } else {
+        if (measuring) ++linkDropped[j];
+        linkDropping[j] = 1;
+      }
+    }
+
+    // Delivery / congestion per subscriber.
+    for (std::size_t k = 0; k < rcvrs.size(); ++k) {
+      if (rcvrs[k].level() < pkt.layer) continue;
+      bool lost = false;
+      for (graph::LinkId l : sess.receivers[k].dataPath) {
+        if (linkDropping[l.value]) {
+          lost = true;
+          break;
+        }
+      }
+      if (!lost) {
+        if (measuring) ++delivered[sessionIdx][k];
+        if (nBins > 0) {
+          const auto bin = std::min(
+              nBins - 1, static_cast<std::size_t>(
+                             pkt.time / config.rateBinWidth));
+          ++binDelivered[sessionIdx][k][bin];
+        }
+      }
+      rcvrs[k].onPacket(lost, pkt.syncLevel, receiverRng[sessionIdx][k]);
+    }
+
+    for (std::uint32_t j : touched) {
+      linkTouched[j] = 0;
+      linkDropping[j] = 0;
+    }
+  }
+
+  const double window = config.duration - config.warmup;
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    const std::size_t nr = network.session(i).receivers.size();
+    result.measuredRate[i].resize(nr);
+    result.meanLevel[i].resize(nr);
+    for (std::size_t k = 0; k < nr; ++k) {
+      result.measuredRate[i][k] =
+          static_cast<double>(delivered[i][k]) / window;
+      result.meanLevel[i][k] =
+          levelSamples[i][k] > 0
+              ? levelIntegral[i][k] /
+                    static_cast<double>(levelSamples[i][k])
+              : static_cast<double>(sessionConfigs[i].initialLevel);
+    }
+  }
+  if (nBins > 0) {
+    result.binRates.resize(nSessions);
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      const std::size_t nr = network.session(i).receivers.size();
+      result.binRates[i].resize(nr);
+      for (std::size_t k = 0; k < nr; ++k) {
+        result.binRates[i][k].resize(nBins);
+        for (std::size_t b = 0; b < nBins; ++b) {
+          result.binRates[i][k][b] =
+              static_cast<double>(binDelivered[i][k][b]) /
+              config.rateBinWidth;
+        }
+      }
+    }
+  }
+  result.linkThroughput.resize(network.linkCount());
+  result.linkDropRate.resize(network.linkCount());
+  result.sessionLinkRate.assign(
+      nSessions, std::vector<double>(network.linkCount(), 0.0));
+  for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
+    result.linkThroughput[j] =
+        static_cast<double>(linkForwarded[j]) / window;
+    result.linkDropRate[j] =
+        linkOffered[j] > 0 ? static_cast<double>(linkDropped[j]) /
+                                 static_cast<double>(linkOffered[j])
+                           : 0.0;
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      result.sessionLinkRate[i][j] =
+          static_cast<double>(sessionForwarded[i][j]) / window;
+    }
+  }
+  return result;
+}
+
+double fairnessGap(const net::Network& network,
+                   const ClosedLoopResult& result,
+                   const fairness::Allocation& reference, double floor) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto ref : network.allReceivers()) {
+    const double fair = reference.rate(ref);
+    const double measured = result.measuredRate[ref.session][ref.receiver];
+    total += std::fabs(measured - fair) / std::max(fair, floor);
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace mcfair::sim

@@ -1,0 +1,102 @@
+// Closed-loop simulation: layered congestion-control protocols running
+// over a capacity-limited network.
+//
+// The paper's Section 4 experiments use exogenous (Bernoulli) loss; its
+// argument, however, is that receiver-driven join/leave protocols bring
+// receiver rates close to the max-min fair allocation ("it can be argued
+// that these protocols come 'close' to achieving the max-min fair
+// rates"). This module closes the loop: every link of a net::Network
+// enforces its capacity with a token bucket, packets that exceed it are
+// dropped for the receivers downstream, and the resulting congestion
+// events drive the same protocol state machines as sim/receiver.hpp.
+// Comparing measured long-run receiver rates against
+// fairness::solveMaxMinFair quantifies how close each protocol gets.
+//
+// Model notes (documented simplifications):
+//  * Time is continuous; each session's sender emits per-layer periodic
+//    packet streams (sim/sender.hpp). A multicast packet consumes one
+//    token on every link that leads to at least one subscribed receiver,
+//    regardless of subscriber count (true multicast forwarding).
+//  * A packet is lost to receiver r when ANY link on r's data-path had
+//    no token for it; drop decisions across links of one packet are
+//    independent (no upstream/downstream ordering — data-paths are link
+//    sets in the fairness model).
+//  * Joins/leaves take effect instantly (the paper's idealization).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "fairness/allocation.hpp"
+#include "net/network.hpp"
+#include "sim/receiver.hpp"
+
+namespace mcfair::sim {
+
+/// Per-session protocol configuration.
+struct ClosedLoopSessionConfig {
+  ProtocolKind protocol = ProtocolKind::kCoordinated;
+  /// Layer count of the exponential scheme (cumulative rate 2^(i-1)
+  /// packets per time unit at level i).
+  std::size_t layers = 8;
+  std::size_t initialLevel = 1;
+  /// Session lifetime [startTime, stopTime): outside it the sender is
+  /// silent and its receivers hold at initialLevel. Models the Section 5
+  /// concern that "a session's fair allocation may vary due to startup
+  /// and/or termination of other sessions".
+  double startTime = 0.0;
+  double stopTime = std::numeric_limits<double>::infinity();
+};
+
+/// Experiment parameters.
+struct ClosedLoopConfig {
+  /// One entry per session of the Network; missing entries default.
+  std::vector<ClosedLoopSessionConfig> sessions;
+  /// Simulated duration (time units).
+  double duration = 2000.0;
+  /// Rates are measured over [warmup, duration].
+  double warmup = 500.0;
+  /// Token-bucket depth per link, in time units of capacity
+  /// (depth = capacity * tokenBurst). Absorbs packet-scale burstiness.
+  double tokenBurst = 2.0;
+  std::uint64_t seed = 1;
+  /// When positive, delivered rates are additionally recorded per time
+  /// bin of this width over [0, duration) — the timeline used to observe
+  /// adaptation to session arrivals/departures.
+  double rateBinWidth = 0.0;
+};
+
+/// Measured outcome.
+struct ClosedLoopResult {
+  /// Delivered packets per time unit over the measurement window,
+  /// indexed [session][receiver].
+  std::vector<std::vector<double>> measuredRate;
+  /// Forwarded packets per time unit per link (all sessions).
+  std::vector<double> linkThroughput;
+  /// Fraction of packet-link traversal attempts dropped per link.
+  std::vector<double> linkDropRate;
+  /// Measured session link rates u_{i,j} (forwarded, packets per time
+  /// unit), indexed [session][link].
+  std::vector<std::vector<double>> sessionLinkRate;
+  /// Mean subscription level per receiver over the window.
+  std::vector<std::vector<double>> meanLevel;
+  /// When rateBinWidth > 0: delivered packets per time unit per bin,
+  /// indexed [session][receiver][bin], covering [0, duration).
+  std::vector<std::vector<std::vector<double>>> binRates;
+};
+
+/// Runs the closed-loop experiment. Link capacities of `network` are
+/// interpreted in packets per time unit. Throws PreconditionError on
+/// inconsistent configuration.
+ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
+                                         const ClosedLoopConfig& config);
+
+/// Mean relative deviation of measured rates from a reference
+/// allocation: mean_r |measured(r) - ref(r)| / max(ref(r), floor).
+/// `floor` guards division for near-zero fair rates.
+double fairnessGap(const net::Network& network,
+                   const ClosedLoopResult& result,
+                   const fairness::Allocation& reference,
+                   double floor = 1e-9);
+
+}  // namespace mcfair::sim

@@ -1,0 +1,26 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+std::uint64_t EventQueue::schedule(double time, std::uint64_t payload) {
+  MCFAIR_REQUIRE(time >= 0.0, "event time must be non-negative");
+  const std::uint64_t seq = nextSequence_++;
+  heap_.push(Event{time, seq, payload});
+  return seq;
+}
+
+std::optional<Event> EventQueue::pop() {
+  if (heap_.empty()) return std::nullopt;
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+std::optional<Event> EventQueue::peek() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top();
+}
+
+}  // namespace mcfair::sim

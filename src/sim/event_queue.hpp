@@ -1,0 +1,52 @@
+// A minimal discrete-event queue.
+//
+// The layered sender emits each layer's packets periodically at that
+// layer's rate; the event queue merges those periodic streams into one
+// global, time-ordered packet sequence with a deterministic tie-break
+// (earlier time first, then lower sequence number), so simulations are
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace mcfair::sim {
+
+/// A scheduled occurrence carrying an opaque payload id.
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  ///< insertion order; breaks time ties
+  std::uint64_t payload = 0;   ///< caller-defined meaning
+};
+
+/// Min-heap of events ordered by (time, sequence).
+class EventQueue {
+ public:
+  /// Schedules an event; returns its sequence number.
+  std::uint64_t schedule(double time, std::uint64_t payload);
+
+  /// True when no events remain.
+  bool empty() const noexcept { return heap_.empty(); }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Removes and returns the earliest event; std::nullopt when empty.
+  std::optional<Event> pop();
+
+  /// The earliest event without removing it; std::nullopt when empty.
+  std::optional<Event> peek() const;
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t nextSequence_ = 0;
+};
+
+}  // namespace mcfair::sim

@@ -1,0 +1,46 @@
+#include "sim/loss.hpp"
+
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  MCFAIR_REQUIRE(p >= 0.0 && p <= 1.0, "loss probability must be in [0,1]");
+}
+
+bool BernoulliLoss::lose(util::Rng& rng) { return rng.bernoulli(p_); }
+
+GilbertElliottLoss::GilbertElliottLoss(double goodToBad, double badToGood,
+                                       double pGood, double pBad)
+    : goodToBad_(goodToBad),
+      badToGood_(badToGood),
+      pGood_(pGood),
+      pBad_(pBad) {
+  MCFAIR_REQUIRE(goodToBad >= 0.0 && goodToBad <= 1.0,
+                 "transition probability must be in [0,1]");
+  MCFAIR_REQUIRE(badToGood >= 0.0 && badToGood <= 1.0,
+                 "transition probability must be in [0,1]");
+  MCFAIR_REQUIRE(pGood >= 0.0 && pGood <= 1.0,
+                 "loss probability must be in [0,1]");
+  MCFAIR_REQUIRE(pBad >= 0.0 && pBad <= 1.0,
+                 "loss probability must be in [0,1]");
+}
+
+bool GilbertElliottLoss::lose(util::Rng& rng) {
+  // State transition first, then the loss draw in the new state.
+  if (bad_) {
+    if (rng.bernoulli(badToGood_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(goodToBad_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? pBad_ : pGood_);
+}
+
+double GilbertElliottLoss::averageLossRate() const noexcept {
+  const double denom = goodToBad_ + badToGood_;
+  if (denom == 0.0) return bad_ ? pBad_ : pGood_;
+  const double fracBad = goodToBad_ / denom;
+  return fracBad * pBad_ + (1.0 - fracBad) * pGood_;
+}
+
+}  // namespace mcfair::sim

@@ -1,0 +1,83 @@
+#include "sim/receiver.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+const char* protocolName(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kUncoordinated:
+      return "Uncoordinated";
+    case ProtocolKind::kDeterministic:
+      return "Deterministic";
+    case ProtocolKind::kCoordinated:
+      return "Coordinated";
+    case ProtocolKind::kActiveRouter:
+      return "ActiveRouter";
+  }
+  return "?";
+}
+
+LayeredReceiver::LayeredReceiver(ProtocolKind kind, std::size_t maxLayers,
+                                 std::size_t initialLevel)
+    : kind_(kind), maxLayers_(maxLayers), level_(initialLevel) {
+  MCFAIR_REQUIRE(maxLayers >= 1, "need at least one layer");
+  MCFAIR_REQUIRE(initialLevel >= 1 && initialLevel <= maxLayers,
+                 "initial level out of range");
+}
+
+std::uint64_t LayeredReceiver::joinThreshold(std::size_t level) noexcept {
+  return std::uint64_t{1} << (2 * (level - 1));
+}
+
+void LayeredReceiver::onCongestion() {
+  ++losses_;
+  if (level_ > 1) {
+    --level_;
+    ++leaves_;
+  }
+  // A loss always restarts the clean run, and poisons the current sync
+  // interval for the Coordinated protocol.
+  cleanRun_ = 0;
+  cleanSinceSync_ = false;
+}
+
+void LayeredReceiver::join() {
+  ++level_;
+  ++joins_;
+  cleanRun_ = 0;
+}
+
+void LayeredReceiver::onPacket(bool lost, std::size_t syncLevel,
+                               util::Rng& rng) {
+  if (lost) {
+    onCongestion();
+    return;
+  }
+  switch (kind_) {
+    case ProtocolKind::kUncoordinated:
+      if (level_ < maxLayers_ &&
+          rng.bernoulli(1.0 / static_cast<double>(joinThreshold(level_)))) {
+        join();
+      }
+      break;
+    case ProtocolKind::kDeterministic:
+    case ProtocolKind::kActiveRouter:  // the router itself runs the
+                                       // deterministic rule
+      ++cleanRun_;
+      if (level_ < maxLayers_ && cleanRun_ >= joinThreshold(level_)) {
+        join();
+      }
+      break;
+    case ProtocolKind::kCoordinated:
+      if (syncLevel >= level_) {
+        if (cleanSinceSync_ && level_ < maxLayers_) join();
+        cleanSinceSync_ = true;  // a fresh interval starts at each signal
+      }
+      break;
+  }
+}
+
+}  // namespace mcfair::sim

@@ -1,0 +1,83 @@
+// The three layered congestion-control receivers of Section 4.
+//
+// Common behaviour: on a congestion event (loss of a packet in a joined
+// layer) the receiver leaves its highest layer (never below layer 1); the
+// protocols differ in when they join the next layer. With i the current
+// level, the expected number of packets received between the previous
+// join/leave event and the join to layer i+1 is 2^(2(i-1)) in all three
+// (the spacing chosen by the paper after [19]):
+//
+//  * Uncoordinated — per clean packet, join with probability 2^-(2(i-1))
+//    (geometric waiting time with the right mean; no coordination).
+//  * Deterministic — join after exactly 2^(2(i-1)) clean packets since the
+//    last join/leave event (no inherent coordination, but identical loss
+//    patterns produce identical behaviour).
+//  * Coordinated — join only at a sender signal of level >= i (carried by
+//    layer-1 packets on the ruler schedule, see LayeredSender) and only if
+//    no congestion event occurred since the previous such signal.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace mcfair::sim {
+
+/// Which join rule a receiver runs.
+enum class ProtocolKind {
+  kUncoordinated,
+  kDeterministic,
+  kCoordinated,
+  /// The Section 5 "active networking" extension: the add/drop decision
+  /// lives at the router in front of the shared link (one Deterministic
+  /// state machine driven by shared-link congestion), and every
+  /// downstream receiver inherits the router's subscription. The paper
+  /// conjectures this "would make a redundancy of one feasible"; the
+  /// ablation bench confirms it.
+  kActiveRouter,
+};
+
+/// Name for tables ("Uncoordinated", ...).
+const char* protocolName(ProtocolKind kind) noexcept;
+
+/// One receiver's protocol state machine.
+class LayeredReceiver {
+ public:
+  /// Starts at `initialLevel` (default 1) with `maxLayers` layers total.
+  LayeredReceiver(ProtocolKind kind, std::size_t maxLayers,
+                  std::size_t initialLevel = 1);
+
+  /// Current subscription level (1..maxLayers).
+  std::size_t level() const noexcept { return level_; }
+
+  /// Processes one packet from a joined layer. `lost` marks a congestion
+  /// event; `syncLevel` is the packet's join-signal level (0 when absent).
+  /// `rng` drives the Uncoordinated protocol's join coin.
+  void onPacket(bool lost, std::size_t syncLevel, util::Rng& rng);
+
+  std::uint64_t joins() const noexcept { return joins_; }
+  std::uint64_t leaves() const noexcept { return leaves_; }
+  std::uint64_t congestionEvents() const noexcept { return losses_; }
+
+  /// The join threshold at level i: 2^(2(i-1)) packets.
+  static std::uint64_t joinThreshold(std::size_t level) noexcept;
+
+ private:
+  void onCongestion();
+  void join();
+
+  ProtocolKind kind_;
+  std::size_t maxLayers_;
+  std::size_t level_;
+  /// Clean packets received since the last join/leave/loss event
+  /// (Deterministic protocol).
+  std::uint64_t cleanRun_ = 0;
+  /// Whether any congestion event occurred since the last eligible sync
+  /// signal (Coordinated protocol).
+  bool cleanSinceSync_ = true;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t losses_ = 0;
+};
+
+}  // namespace mcfair::sim

@@ -1,0 +1,45 @@
+#include "sim/sender.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+LayeredSender::LayeredSender(layering::LayerScheme scheme,
+                             util::Rng* phaseJitter)
+    : scheme_(std::move(scheme)) {
+  for (std::size_t k = 1; k <= scheme_.layerCount(); ++k) {
+    const double period = 1.0 / scheme_.layerRate(k);
+    const double offset =
+        phaseJitter != nullptr ? phaseJitter->uniform01() * period : 0.0;
+    queue_.schedule(period + offset, k);
+  }
+}
+
+Packet LayeredSender::next() {
+  const auto e = queue_.pop();
+  MCFAIR_REQUIRE(e.has_value(), "sender queue unexpectedly empty");
+  const auto layer = static_cast<std::size_t>(e->payload);
+  Packet p;
+  p.sequence = emitted_++;
+  p.layer = layer;
+  p.time = e->time;
+  if (layer == 1 && scheme_.layerCount() > 1) {
+    ++layer1Count_;
+    p.syncLevel = rulerSignalLevel(layer1Count_, scheme_.layerCount() - 1);
+  }
+  // Schedule this layer's next emission.
+  queue_.schedule(e->time + 1.0 / scheme_.layerRate(layer), e->payload);
+  return p;
+}
+
+std::size_t LayeredSender::rulerSignalLevel(std::uint64_t n,
+                                            std::size_t maxLevel) {
+  MCFAIR_REQUIRE(n >= 1, "packet numbering is 1-based");
+  MCFAIR_REQUIRE(maxLevel >= 1, "maxLevel must be >= 1");
+  const auto nu2 = static_cast<std::size_t>(std::countr_zero(n));
+  return std::min(1 + nu2, maxLevel);
+}
+
+}  // namespace mcfair::sim

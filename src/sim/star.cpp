@@ -1,0 +1,236 @@
+#include "sim/star.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/loss.hpp"
+#include "sim/sender.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mcfair::sim {
+
+namespace {
+
+// Tracks the lingering subscription left behind by multicast leave
+// latency: after a level drop, the shared link keeps forwarding the old
+// level until the leave takes effect.
+struct Linger {
+  std::size_t level = 0;
+  double until = -1.0;
+
+  std::size_t effectiveLevel(std::size_t current, double now) const {
+    return now < until ? std::max(current, level) : current;
+  }
+  void onDrop(std::size_t oldLevel, double now, double latency) {
+    if (latency <= 0.0) return;
+    // A new drop extends the linger to cover the highest pending level.
+    level = std::max(effectiveLevel(0, now), oldLevel);
+    until = now + latency;
+  }
+};
+
+}  // namespace
+
+StarResult runStarSimulation(const StarConfig& config) {
+  MCFAIR_REQUIRE(config.receivers >= 1, "need at least one receiver");
+  MCFAIR_REQUIRE(config.totalPackets >= 1, "need at least one packet");
+  MCFAIR_REQUIRE(config.perReceiverLossRate.empty() ||
+                     config.perReceiverLossRate.size() == config.receivers,
+                 "perReceiverLossRate must be empty or one entry per "
+                 "receiver");
+  MCFAIR_REQUIRE(config.leaveLatency >= 0.0,
+                 "leave latency must be non-negative");
+
+  MCFAIR_REQUIRE(!(config.prioritySharedDropping && config.sharedBurstLoss),
+                 "priority dropping and bursty shared loss are mutually "
+                 "exclusive");
+
+  util::Rng root(config.seed);
+  util::Rng sharedRng = root.split();
+
+  // Priority dropping: per-layer loss weight w(L) proportional to L-1,
+  // normalized so the bandwidth-weighted mean over the exponential
+  // scheme is 1 (the base layer is never dropped by priority discard).
+  std::vector<double> priorityWeight;
+  if (config.prioritySharedDropping && config.layers > 1) {
+    priorityWeight.assign(config.layers + 1, 0.0);
+    double weightedSum = 0.0;
+    double totalRate = 0.0;
+    for (std::size_t L = 1; L <= config.layers; ++L) {
+      const double rate = L == 1 ? 1.0 : std::ldexp(1.0, static_cast<int>(L) - 2);
+      weightedSum += rate * static_cast<double>(L - 1);
+      totalRate += rate;
+    }
+    const double scale = totalRate / weightedSum;
+    for (std::size_t L = 1; L <= config.layers; ++L) {
+      priorityWeight[L] = static_cast<double>(L - 1) * scale;
+    }
+  }
+  std::vector<util::Rng> receiverRng;
+  receiverRng.reserve(config.receivers);
+  for (std::size_t k = 0; k < config.receivers; ++k) {
+    receiverRng.push_back(root.split());
+  }
+
+  LayeredSender sender(layering::LayerScheme::exponential(config.layers));
+  std::unique_ptr<LossModel> sharedLoss;
+  if (config.sharedBurstLoss) {
+    const auto& b = *config.sharedBurstLoss;
+    sharedLoss = std::make_unique<GilbertElliottLoss>(
+        b.goodToBad, b.badToGood, b.lossGood, b.lossBad);
+  } else {
+    sharedLoss = std::make_unique<BernoulliLoss>(config.sharedLossRate);
+  }
+  std::vector<BernoulliLoss> fanoutLoss;
+  fanoutLoss.reserve(config.receivers);
+  for (std::size_t k = 0; k < config.receivers; ++k) {
+    fanoutLoss.emplace_back(config.perReceiverLossRate.empty()
+                                ? config.independentLossRate
+                                : config.perReceiverLossRate[k]);
+  }
+
+  // Receiver-driven protocols run one state machine per receiver; the
+  // ActiveRouter extension runs a single Deterministic machine at the
+  // router and every receiver inherits its subscription.
+  const bool routerDriven = config.protocol == ProtocolKind::kActiveRouter;
+  std::vector<LayeredReceiver> receivers(
+      config.receivers, LayeredReceiver(config.protocol, config.layers,
+                                        config.initialLevel));
+  LayeredReceiver router(ProtocolKind::kActiveRouter, config.layers,
+                         config.initialLevel);
+  std::vector<Linger> lingers(routerDriven ? 1 : config.receivers);
+
+  StarResult result;
+  result.deliveredPackets.assign(config.receivers, 0);
+  double levelSum = 0.0;
+
+  for (std::uint64_t p = 0; p < config.totalPackets; ++p) {
+    const Packet pkt = sender.next();
+    result.duration = pkt.time;
+    bool lostShared;
+    if (!priorityWeight.empty()) {
+      lostShared = sharedRng.bernoulli(
+          std::min(1.0, config.sharedLossRate * priorityWeight[pkt.layer]));
+    } else {
+      lostShared = sharedLoss->lose(sharedRng);
+    }
+
+    if (routerDriven) {
+      const std::size_t before = router.level();
+      const std::size_t forwarding =
+          lingers[0].effectiveLevel(before, pkt.time);
+      if (forwarding >= pkt.layer) ++result.sharedLinkPackets;
+      levelSum += static_cast<double>(before) *
+                  static_cast<double>(config.receivers);
+      // Receivers passively deliver whatever the router subscribes to.
+      if (before >= pkt.layer) {
+        for (std::size_t k = 0; k < config.receivers; ++k) {
+          const bool lostFanout = fanoutLoss[k].lose(receiverRng[k]);
+          if (!lostShared && !lostFanout) ++result.deliveredPackets[k];
+        }
+        // The router reacts to shared-link congestion only (it sits
+        // upstream of the fanout links).
+        router.onPacket(lostShared, pkt.syncLevel, sharedRng);
+        if (router.level() < before) {
+          lingers[0].onDrop(before, pkt.time, config.leaveLatency);
+        }
+        // Router trace events use receiver index == config.receivers.
+        if (config.trace != nullptr) {
+          if (lostShared) {
+            config.trace->onEvent({TraceEvent::Kind::kCongestion,
+                                   pkt.time, config.receivers,
+                                   router.level(), pkt.sequence});
+          }
+          if (router.level() > before) {
+            config.trace->onEvent({TraceEvent::Kind::kJoin, pkt.time,
+                                   config.receivers, router.level(),
+                                   pkt.sequence});
+          } else if (router.level() < before) {
+            config.trace->onEvent({TraceEvent::Kind::kLeave, pkt.time,
+                                   config.receivers, router.level(),
+                                   pkt.sequence});
+          }
+        }
+      }
+      continue;
+    }
+
+    // Multicast forwarding: the packet enters the shared link iff some
+    // receiver is joined to its layer (including pending leaves).
+    bool anySubscribed = false;
+    for (std::size_t k = 0; k < config.receivers; ++k) {
+      if (lingers[k].effectiveLevel(receivers[k].level(), pkt.time) >=
+          pkt.layer) {
+        anySubscribed = true;
+        break;
+      }
+    }
+    if (anySubscribed) ++result.sharedLinkPackets;
+
+    for (std::size_t k = 0; k < config.receivers; ++k) {
+      LayeredReceiver& r = receivers[k];
+      levelSum += static_cast<double>(r.level());
+      if (r.level() < pkt.layer) continue;  // not joined: packet unseen
+      const bool lostFanout = fanoutLoss[k].lose(receiverRng[k]);
+      const bool lost = lostShared || lostFanout;
+      if (!lost) ++result.deliveredPackets[k];
+      const std::size_t before = r.level();
+      r.onPacket(lost, pkt.syncLevel, receiverRng[k]);
+      if (r.level() < before) {
+        lingers[k].onDrop(before, pkt.time, config.leaveLatency);
+      }
+      if (config.trace != nullptr) {
+        if (lost) {
+          config.trace->onEvent({TraceEvent::Kind::kCongestion, pkt.time,
+                                 k, r.level(), pkt.sequence});
+        }
+        if (r.level() > before) {
+          config.trace->onEvent({TraceEvent::Kind::kJoin, pkt.time, k,
+                                 r.level(), pkt.sequence});
+        } else if (r.level() < before) {
+          config.trace->onEvent({TraceEvent::Kind::kLeave, pkt.time, k,
+                                 r.level(), pkt.sequence});
+        }
+      }
+    }
+  }
+
+  result.maxDelivered = *std::max_element(result.deliveredPackets.begin(),
+                                          result.deliveredPackets.end());
+  result.redundancy =
+      result.maxDelivered > 0
+          ? static_cast<double>(result.sharedLinkPackets) /
+                static_cast<double>(result.maxDelivered)
+          : 1.0;
+  result.meanLevel = levelSum / static_cast<double>(config.totalPackets) /
+                     static_cast<double>(config.receivers);
+  if (routerDriven) {
+    result.totalJoins = router.joins();
+    result.totalLeaves = router.leaves();
+    result.totalCongestionEvents = router.congestionEvents();
+  } else {
+    for (const auto& r : receivers) {
+      result.totalJoins += r.joins();
+      result.totalLeaves += r.leaves();
+      result.totalCongestionEvents += r.congestionEvents();
+    }
+  }
+  return result;
+}
+
+RedundancyEstimate estimateRedundancy(const StarConfig& config,
+                                      std::size_t runs) {
+  MCFAIR_REQUIRE(runs >= 1, "need at least one run");
+  util::RunningStats stats;
+  for (std::size_t r = 0; r < runs; ++r) {
+    StarConfig c = config;
+    c.seed = config.seed + r;
+    stats.add(runStarSimulation(c).redundancy);
+  }
+  return RedundancyEstimate{stats.mean(), stats.ci95HalfWidth(),
+                            stats.count()};
+}
+
+}  // namespace mcfair::sim

@@ -1,0 +1,104 @@
+// The modified-star experiments of Section 4 / Figure 7.
+//
+// One layered session: sender S behind a shared link (loss rate p_s), one
+// fanout link per receiver (independent loss rates p_k) — Figure 7(b); two
+// receivers gives the Figure 7(a) analysis topology. The simulation is
+// synchronous and idealized exactly as the paper's model: no propagation
+// delay, no join/leave latency, and receivers with identical loss
+// observations act identically.
+//
+// Redundancy measurement (Definition 3): a packet crosses the shared link
+// iff at least one receiver is joined to its layer at emission time; the
+// session's redundancy on the shared link is
+//   (packets forwarded on the shared link) / max_k (packets delivered to
+//   receiver k).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "layering/layers.hpp"
+#include "sim/receiver.hpp"
+#include "sim/trace.hpp"
+
+namespace mcfair::sim {
+
+/// One experiment's parameters.
+struct StarConfig {
+  std::size_t receivers = 100;
+  std::size_t layers = 8;
+  ProtocolKind protocol = ProtocolKind::kCoordinated;
+  /// Bernoulli loss rate on the shared link (one draw per packet, seen by
+  /// every subscribed receiver).
+  double sharedLossRate = 0.0001;
+  /// Bernoulli loss rate applied independently on every fanout link.
+  double independentLossRate = 0.0;
+  /// Optional per-receiver fanout loss override (size == receivers).
+  std::vector<double> perReceiverLossRate;
+  /// Packets the sender transmits (the paper uses 100,000).
+  std::uint64_t totalPackets = 100000;
+  std::uint64_t seed = 1;
+  /// Subscription level every receiver starts at.
+  std::size_t initialLevel = 1;
+  /// Multicast leave latency in simulated time units: after a receiver
+  /// leaves a layer, the shared link keeps forwarding it for this long
+  /// (Section 5: "long leave latencies will also increase redundancy").
+  /// 0 models instantaneous leaves (the paper's base model).
+  double leaveLatency = 0.0;
+  /// Optional bursty (Gilbert-Elliott) loss on the shared link; when set
+  /// it replaces the Bernoulli sharedLossRate. Models the temporally
+  /// correlated loss of the measurement literature the paper cites [21].
+  struct BurstLoss {
+    double goodToBad = 0.0;
+    double badToGood = 1.0;
+    double lossGood = 0.0;
+    double lossBad = 0.0;
+  };
+  std::optional<BurstLoss> sharedBurstLoss;
+  /// Priority dropping on the shared link (Section 5 / [1]: "might
+  /// priority dropping schemes for layered approaches aid in reducing
+  /// redundancy by increasing coordination among receivers?"). When set,
+  /// the shared-link loss probability of a packet scales linearly with
+  /// its layer — congestion discards enhancement layers first and spares
+  /// the base — normalized so the bandwidth-weighted average loss under
+  /// full subscription still equals sharedLossRate. Mutually exclusive
+  /// with sharedBurstLoss.
+  bool prioritySharedDropping = false;
+  /// Optional non-owning event observer (join/leave/congestion per
+  /// receiver); must outlive the run. See sim/trace.hpp.
+  TraceSink* trace = nullptr;
+};
+
+/// Aggregated outcome of one run.
+struct StarResult {
+  /// Shared-link redundancy per Definition 3.
+  double redundancy = 1.0;
+  /// Packets forwarded on the shared link.
+  std::uint64_t sharedLinkPackets = 0;
+  /// Packets delivered per receiver.
+  std::vector<std::uint64_t> deliveredPackets;
+  /// max_k deliveredPackets[k].
+  std::uint64_t maxDelivered = 0;
+  /// Simulated duration (time units; layer 1 has rate 1).
+  double duration = 0.0;
+  /// Mean subscription level, averaged over packets and receivers.
+  double meanLevel = 0.0;
+  std::uint64_t totalJoins = 0;
+  std::uint64_t totalLeaves = 0;
+  std::uint64_t totalCongestionEvents = 0;
+};
+
+/// Runs one star-topology experiment.
+StarResult runStarSimulation(const StarConfig& config);
+
+/// Mean redundancy over `runs` independent replicas (seeds seed, seed+1,
+/// ...), with the 95% confidence half-width — one Figure 8 data point.
+struct RedundancyEstimate {
+  double mean = 1.0;
+  double ci95 = 0.0;
+  std::size_t runs = 0;
+};
+RedundancyEstimate estimateRedundancy(const StarConfig& config,
+                                      std::size_t runs);
+
+}  // namespace mcfair::sim

@@ -1,0 +1,51 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace mcfair::sim {
+
+const char* traceKindName(TraceEvent::Kind kind) noexcept {
+  switch (kind) {
+    case TraceEvent::Kind::kJoin:
+      return "join";
+    case TraceEvent::Kind::kLeave:
+      return "leave";
+    case TraceEvent::Kind::kCongestion:
+      return "congestion";
+  }
+  return "?";
+}
+
+void CountingTraceSink::onEvent(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEvent::Kind::kJoin:
+      ++joins_;
+      break;
+    case TraceEvent::Kind::kLeave:
+      ++leaves_;
+      break;
+    case TraceEvent::Kind::kCongestion:
+      ++congestions_;
+      break;
+  }
+}
+
+void RecordingTraceSink::onEvent(const TraceEvent& event) {
+  if (limit_ == 0 || events_.size() < limit_) {
+    events_.push_back(event);
+  } else {
+    ++dropped_;
+  }
+}
+
+CsvTraceSink::CsvTraceSink(std::ostream& os) : os_(os) {
+  os_ << "time,kind,receiver,level,packet\n";
+}
+
+void CsvTraceSink::onEvent(const TraceEvent& event) {
+  os_ << event.time << ',' << traceKindName(event.kind) << ','
+      << event.receiver << ',' << event.level << ',' << event.packet
+      << '\n';
+}
+
+}  // namespace mcfair::sim

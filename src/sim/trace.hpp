@@ -1,0 +1,84 @@
+// Protocol event tracing — observability for the simulators.
+//
+// A TraceSink receives join / leave / congestion events as they happen,
+// ns-3-trace style: attach one to StarConfig::trace to record protocol
+// dynamics without touching the measurement code. Sinks must outlive the
+// simulation; they are non-owning observers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace mcfair::sim {
+
+/// One traced protocol event.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kJoin,        ///< receiver joined one layer
+    kLeave,       ///< receiver left its top layer
+    kCongestion,  ///< receiver observed a congestion event (loss)
+  };
+  Kind kind = Kind::kJoin;
+  double time = 0.0;
+  std::size_t receiver = 0;
+  /// Subscription level AFTER the event.
+  std::size_t level = 0;
+  /// Global sequence number of the packet that triggered the event.
+  std::uint64_t packet = 0;
+};
+
+/// Trace event consumer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(const TraceEvent& event) = 0;
+};
+
+/// Counts events by kind; cheap enough to attach in tests.
+class CountingTraceSink final : public TraceSink {
+ public:
+  void onEvent(const TraceEvent& event) override;
+
+  std::uint64_t joins() const noexcept { return joins_; }
+  std::uint64_t leaves() const noexcept { return leaves_; }
+  std::uint64_t congestions() const noexcept { return congestions_; }
+
+ private:
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t congestions_ = 0;
+};
+
+/// Buffers events in memory (optionally only the first `limit`).
+class RecordingTraceSink final : public TraceSink {
+ public:
+  explicit RecordingTraceSink(std::size_t limit = 0) : limit_(limit) {}
+
+  void onEvent(const TraceEvent& event) override;
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::size_t limit_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Streams events as CSV rows `time,kind,receiver,level,packet`. Writes
+/// the header on construction.
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(std::ostream& os);
+
+  void onEvent(const TraceEvent& event) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Kind name ("join" / "leave" / "congestion").
+const char* traceKindName(TraceEvent::Kind kind) noexcept;
+
+}  // namespace mcfair::sim

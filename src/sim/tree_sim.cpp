@@ -1,0 +1,143 @@
+#include "sim/tree_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/loss.hpp"
+#include "sim/sender.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+namespace {
+
+// Complete k-ary link tree addressing: level 1 is the single root link;
+// level l (2..depth) has branching^(l-1) links. The ancestor link of
+// leaf r at level l is indexed by r / branching^(depth-l) within the
+// level.
+struct TreeShape {
+  std::size_t branching;
+  std::size_t depth;
+  std::vector<std::size_t> levelOffset;  // levelOffset[l-1] = first link id
+  std::vector<std::size_t> leafDivisor;  // branching^(depth-l) per level
+  std::size_t linkCount = 0;
+  std::size_t leafCount = 0;
+
+  TreeShape(std::size_t b, std::size_t d) : branching(b), depth(d) {
+    std::size_t width = 1;
+    for (std::size_t l = 1; l <= depth; ++l) {
+      levelOffset.push_back(linkCount);
+      linkCount += width;
+      if (l < depth) width *= branching;
+    }
+    leafCount = width;
+    for (std::size_t l = 1; l <= depth; ++l) {
+      std::size_t div = 1;
+      for (std::size_t e = l; e < depth; ++e) div *= branching;
+      leafDivisor.push_back(div);
+    }
+  }
+
+  std::size_t ancestorLink(std::size_t leaf, std::size_t level) const {
+    return levelOffset[level - 1] + leaf / leafDivisor[level - 1];
+  }
+};
+
+}  // namespace
+
+TreeResult runTreeSimulation(const TreeConfig& config) {
+  MCFAIR_REQUIRE(config.branching >= 1, "branching must be >= 1");
+  MCFAIR_REQUIRE(config.depth >= 1, "depth must be >= 1");
+  MCFAIR_REQUIRE(config.totalPackets >= 1, "need at least one packet");
+  MCFAIR_REQUIRE(config.rootLossRate >= 0.0 && config.rootLossRate < 1.0,
+                 "root loss must be in [0,1)");
+  MCFAIR_REQUIRE(
+      config.perLinkLossRate >= 0.0 && config.perLinkLossRate < 1.0,
+      "per-link loss must be in [0,1)");
+
+  const TreeShape shape(config.branching, config.depth);
+  MCFAIR_REQUIRE(shape.leafCount <= 4096,
+                 "tree too large: branching^(depth-1) must be <= 4096");
+
+  util::Rng root(config.seed);
+  util::Rng lossRng = root.split();
+  std::vector<util::Rng> receiverRng;
+  receiverRng.reserve(shape.leafCount);
+  for (std::size_t k = 0; k < shape.leafCount; ++k) {
+    receiverRng.push_back(root.split());
+  }
+
+  LayeredSender sender(layering::LayerScheme::exponential(config.layers));
+  std::vector<LayeredReceiver> receivers(
+      shape.leafCount, LayeredReceiver(config.protocol, config.layers,
+                                       config.initialLevel));
+
+  TreeResult result;
+  result.receivers = shape.leafCount;
+  result.links = shape.linkCount;
+  std::vector<std::uint64_t> delivered(shape.leafCount, 0);
+  std::uint64_t subscribedPairs = 0;
+  std::uint64_t lostPairs = 0;
+  double levelSum = 0.0;
+
+  // Per-packet link-loss memo: 0 = undrawn, 1 = lost, 2 = ok.
+  std::vector<char> linkState(shape.linkCount, 0);
+  std::vector<std::uint32_t> touched;
+  touched.reserve(shape.linkCount);
+
+  for (std::uint64_t p = 0; p < config.totalPackets; ++p) {
+    const Packet pkt = sender.next();
+
+    bool anySubscribed = false;
+    for (std::size_t k = 0; k < shape.leafCount; ++k) {
+      LayeredReceiver& r = receivers[k];
+      levelSum += static_cast<double>(r.level());
+      if (r.level() < pkt.layer) continue;
+      anySubscribed = true;
+      ++subscribedPairs;
+      bool lost = false;
+      for (std::size_t level = 1; level <= shape.depth; ++level) {
+        const std::size_t link = shape.ancestorLink(k, level);
+        char& state = linkState[link];
+        if (state == 0) {
+          const double rate =
+              level == 1 ? config.rootLossRate : config.perLinkLossRate;
+          state = lossRng.bernoulli(rate) ? 1 : 2;
+          touched.push_back(static_cast<std::uint32_t>(link));
+        }
+        if (state == 1) {
+          lost = true;
+          break;
+        }
+      }
+      if (!lost) {
+        ++delivered[k];
+      } else {
+        ++lostPairs;
+      }
+      r.onPacket(lost, pkt.syncLevel, receiverRng[k]);
+    }
+    if (anySubscribed) ++result.rootForwarded;
+
+    for (const std::uint32_t j : touched) linkState[j] = 0;
+    touched.clear();
+  }
+
+  result.maxDelivered =
+      *std::max_element(delivered.begin(), delivered.end());
+  result.rootRedundancy =
+      result.maxDelivered > 0
+          ? static_cast<double>(result.rootForwarded) /
+                static_cast<double>(result.maxDelivered)
+          : 1.0;
+  result.observedLossRate =
+      subscribedPairs > 0 ? static_cast<double>(lostPairs) /
+                                static_cast<double>(subscribedPairs)
+                          : 0.0;
+  result.meanLevel = levelSum /
+                     static_cast<double>(config.totalPackets) /
+                     static_cast<double>(shape.leafCount);
+  return result;
+}
+
+}  // namespace mcfair::sim

@@ -1,0 +1,60 @@
+// Multicast-tree generalization of the Section 4 experiments.
+//
+// The paper's Figure 7 topologies are modified stars: one shared link
+// plus one fanout link per receiver. Real multicast distribution trees
+// are deeper, and depth changes the *correlation structure* of loss:
+// siblings share every ancestor link, so their congestion events are
+// correlated in proportion to how much path they share. This module runs
+// the same protocol state machines over a complete k-ary tree of
+// Bernoulli-lossy links with receivers at the leaves, measuring
+// redundancy on the root link. Depth 1 with branching = receiver count
+// reproduces the star exactly (tests assert this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/receiver.hpp"
+
+namespace mcfair::sim {
+
+/// Parameters for a complete k-ary tree experiment.
+struct TreeConfig {
+  /// Children per interior node (>= 1).
+  std::size_t branching = 2;
+  /// Links on each root-to-leaf path, counting the root link; receivers
+  /// (leaves) = branching^(depth-1). depth 2 with branching N is exactly
+  /// the paper's Figure 7(b) star.
+  std::size_t depth = 4;
+  std::size_t layers = 8;
+  ProtocolKind protocol = ProtocolKind::kCoordinated;
+  /// Bernoulli loss rate on the root link (the paper's shared loss).
+  double rootLossRate = 0.0001;
+  /// Bernoulli loss rate applied independently on every non-root link.
+  double perLinkLossRate = 0.01;
+  std::uint64_t totalPackets = 100000;
+  std::uint64_t seed = 1;
+  std::size_t initialLevel = 1;
+};
+
+/// Outcome of a tree run.
+struct TreeResult {
+  /// Leaves (= receivers) in the tree.
+  std::size_t receivers = 0;
+  /// Links in the tree.
+  std::size_t links = 0;
+  /// Packets forwarded on the root link / max delivered (Definition 3 on
+  /// the root link).
+  double rootRedundancy = 1.0;
+  std::uint64_t rootForwarded = 0;
+  std::uint64_t maxDelivered = 0;
+  /// Average end-to-end loss rate experienced by subscribed receivers.
+  double observedLossRate = 0.0;
+  double meanLevel = 0.0;
+};
+
+/// Runs the tree experiment. Receiver count = branching^depth; guarded
+/// to stay below ~4096 receivers.
+TreeResult runTreeSimulation(const TreeConfig& config);
+
+}  // namespace mcfair::sim

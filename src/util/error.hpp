@@ -1,0 +1,51 @@
+// Error handling primitives for the mcfair library.
+//
+// Following the C++ Core Guidelines (I.5/I.6, E.2): precondition violations
+// and invalid arguments throw exceptions derived from std::logic_error /
+// std::runtime_error so callers can distinguish programmer error from
+// environmental failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcfair {
+
+/// Thrown when an argument violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a model object is internally inconsistent (e.g. a session
+/// references a link that does not exist in the network).
+class ModelError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a numeric routine fails to converge or produces an
+/// out-of-tolerance result.
+class NumericError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throwPrecondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace mcfair
+
+/// Precondition check that throws PreconditionError with location context.
+/// Used at public API boundaries; internal invariants use assert().
+#define MCFAIR_REQUIRE(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::mcfair::detail::throwPrecondition(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                       \
+  } while (false)

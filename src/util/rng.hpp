@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components of the library draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed. The engine is
+// xoshiro256** (public domain, Blackman & Vigna), seeded via SplitMix64;
+// it is much faster than std::mt19937_64 and has no measurable bias for
+// our use (Bernoulli losses, uniform picks, subset sampling).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mcfair::util {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a seed. Equal seeds produce equal streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial: true with probability p (p clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Geometric number of failures before first success, success prob p in
+  /// (0,1]. Mean (1-p)/p.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Samples k distinct indices out of [0, n) uniformly (Floyd's algorithm).
+  /// Result is unsorted. Requires k <= n.
+  std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Derives an independent child generator; useful for giving each
+  /// simulation replica its own stream.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace mcfair::util

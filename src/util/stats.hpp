@@ -1,0 +1,61 @@
+// Streaming statistics and confidence intervals for experiment outputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcfair::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs; used by the simulator to aggregate
+/// per-replica redundancy measurements as in the paper's Figure 8 ("each
+/// point plotted is the mean of 30 experiments").
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const noexcept;
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Half-width of the two-sided 95% confidence interval for the mean,
+  /// using Student-t critical values (exact table for small n, normal
+  /// approximation beyond). 0 when fewer than two observations.
+  double ci95HalfWidth() const noexcept;
+
+  /// Minimum / maximum observed; undefined when empty.
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+double tCritical95(std::size_t df) noexcept;
+
+/// Arithmetic mean of a vector; 0 when empty.
+double mean(const std::vector<double>& xs) noexcept;
+
+/// Population-weighted quantile (nearest-rank); q in [0,1].
+/// Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace mcfair::util

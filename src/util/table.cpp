@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mcfair::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MCFAIR_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<Cell> row) {
+  MCFAIR_REQUIRE(row.size() == headers_.size(),
+                 "row width must match header count");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(format(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rendered) line(r);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  auto emit = [&](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      os << s;
+    } else {
+      os << '"';
+      for (char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    }
+  };
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i) os << ',';
+    emit(headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      emit(format(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void printTitled(const std::string& title, const Table& table, bool csv) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (csv) {
+    std::cout << "\n-- CSV --\n";
+    table.printCsv(std::cout);
+  }
+}
+
+bool envFlag(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+long envInt(const char* name, long fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace mcfair::util

@@ -1,0 +1,61 @@
+// Fixed-width text tables and CSV emission for benchmark/figure output.
+//
+// Every bench binary regenerates one of the paper's tables or figures; the
+// Table class renders the series both as an aligned console table (for the
+// human) and as CSV (for replotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mcfair::util {
+
+/// One table cell: text or number (numbers get consistent formatting).
+using Cell = std::variant<std::string, double>;
+
+/// A simple column-oriented table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Must have exactly as many cells as there are headers.
+  void addRow(std::vector<Cell> row);
+
+  /// Number of data rows.
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Sets the number of digits after the decimal point for numeric cells
+  /// (default 4).
+  void setPrecision(int digits) noexcept { precision_ = digits; }
+
+  /// Renders as an aligned, pipe-separated console table.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180 style quoting for text cells).
+  void printCsv(std::ostream& os) const;
+
+ private:
+  std::string format(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Convenience: prints `title`, the table, and (when `csv` is true, e.g. set
+/// from the MCFAIR_CSV environment variable) the CSV form, to stdout.
+void printTitled(const std::string& title, const Table& table,
+                 bool csv = false);
+
+/// True when the environment variable `name` is set to a non-empty,
+/// non-"0" value. Used by bench binaries for output / workload knobs.
+bool envFlag(const char* name) noexcept;
+
+/// Integer environment knob with default; returns `fallback` when unset or
+/// unparsable.
+long envInt(const char* name, long fallback) noexcept;
+
+}  // namespace mcfair::util

@@ -1,0 +1,129 @@
+// Tests for allocations, link usage, feasibility.
+#include <gtest/gtest.h>
+
+#include "fairness/allocation.hpp"
+#include "net/topologies.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using graph::LinkId;
+using net::ReceiverRef;
+
+TEST(Allocation, StartsAtZero) {
+  const net::Network n = net::fig1Network();
+  const Allocation a(n);
+  for (ReceiverRef r : n.allReceivers()) EXPECT_EQ(a.rate(r), 0.0);
+}
+
+TEST(Allocation, SetAndGet) {
+  const net::Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({1, 1}, 2.5);
+  EXPECT_DOUBLE_EQ(a.rate({1, 1}), 2.5);
+  EXPECT_THROW(a.setRate({0, 0}, -1.0), PreconditionError);
+  EXPECT_THROW(a.setRate({9, 0}, 1.0), std::out_of_range);
+}
+
+TEST(Allocation, OrderedRates) {
+  const net::Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({0, 0}, 3.0);
+  a.setRate({1, 0}, 1.0);
+  a.setRate({1, 1}, 2.0);
+  const auto v = a.orderedRates();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+}
+
+TEST(LinkUsage, Fig1PaperValues) {
+  // The Figure 1 allocation: a11=a21=a31=1, a22=a32=2 must induce session
+  // link rates l1:(0,0,2), l2:(1,2,0), l3:(0,2,2), l4:(1,1,1).
+  const net::Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({1, 0}, 1.0);
+  a.setRate({1, 1}, 2.0);
+  a.setRate({2, 0}, 1.0);
+  a.setRate({2, 1}, 2.0);
+  const LinkUsage u = computeLinkUsage(n, a);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[2][0], 2.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[1][1], 2.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[2][1], 0.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[1][2], 2.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[2][2], 2.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[0][3], 1.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[1][3], 1.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[2][3], 1.0);
+  // u_j: l3 and l4 fully utilized.
+  EXPECT_DOUBLE_EQ(u.linkRate[2], 4.0);
+  EXPECT_DOUBLE_EQ(u.linkRate[3], 3.0);
+  EXPECT_DOUBLE_EQ(u.linkRate[0], 2.0);
+  EXPECT_DOUBLE_EQ(u.linkRate[1], 3.0);
+}
+
+TEST(LinkUsage, RedundantSessionUsesFactor) {
+  const net::Network n = net::fig4Network();
+  Allocation a(n);
+  for (ReceiverRef r : n.allReceivers()) a.setRate(r, 2.0);
+  const LinkUsage u = computeLinkUsage(n, a);
+  // Shared first hop l4 (index 3): u_{1,4} = 2 * max(2,2,2) = 4.
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[0][3], 4.0);
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[1][3], 2.0);
+  EXPECT_DOUBLE_EQ(u.linkRate[3], 6.0);
+  // Solo tails are efficient: u_{1,2} = 2.
+  EXPECT_DOUBLE_EQ(u.sessionLinkRate[0][1], 2.0);
+}
+
+TEST(Feasibility, AcceptsValid) {
+  const net::Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({1, 0}, 1.0);
+  a.setRate({1, 1}, 2.0);
+  a.setRate({2, 0}, 1.0);
+  a.setRate({2, 1}, 2.0);
+  EXPECT_TRUE(isFeasible(n, a));
+}
+
+TEST(Feasibility, DetectsOverutilization) {
+  const net::Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({0, 0}, 10.0);  // l4 capacity is 3
+  const auto report = checkFeasible(n, a);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Feasibility, DetectsSigmaViolation) {
+  net::Network n;
+  const LinkId l = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({l}, 2.0));
+  Allocation a(n);
+  a.setRate({0, 0}, 3.0);
+  EXPECT_FALSE(isFeasible(n, a));
+}
+
+TEST(Feasibility, DetectsSingleRateMismatch) {
+  const net::Network n = net::fig2Network(false);  // S1 single-rate
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({0, 1}, 2.0);  // unequal within single-rate session
+  a.setRate({0, 2}, 1.0);
+  const auto report = checkFeasible(n, a);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Feasibility, ZeroAllocationAlwaysFeasible) {
+  const net::Network n = net::fig4Network();
+  const Allocation a(n);
+  EXPECT_TRUE(isFeasible(n, a));
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,185 @@
+// Tests for the closed-loop (capacity-enforcing) simulator.
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "net/topologies.hpp"
+#include "sim/closed_loop.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+ClosedLoopConfig quick(ProtocolKind kind, std::size_t sessions,
+                       std::size_t layers = 6) {
+  ClosedLoopConfig c;
+  c.sessions.assign(sessions, ClosedLoopSessionConfig{kind, layers, 1});
+  c.duration = 3000.0;
+  c.warmup = 1000.0;
+  c.seed = 3;
+  return c;
+}
+
+TEST(ClosedLoop, SingleReceiverConvergesToCapacity) {
+  net::Network n;
+  const auto l = n.addLink(3.0);
+  n.addSession(net::makeUnicastSession({l}));
+  const auto r = runClosedLoopSimulation(
+      n, quick(ProtocolKind::kDeterministic, 1));
+  // Fair rate = capacity = 3; the protocol oscillates between levels 2
+  // and 3 and delivers essentially the whole link.
+  EXPECT_GT(r.measuredRate[0][0], 2.7);
+  EXPECT_LE(r.measuredRate[0][0], 3.05);
+  EXPECT_GT(r.meanLevel[0][0], 2.0);
+  EXPECT_LT(r.linkDropRate[0], 0.15);
+}
+
+TEST(ClosedLoop, UncongestedSessionReachesTopLayer) {
+  net::Network n;
+  const auto l = n.addLink(100.0);
+  n.addSession(net::makeUnicastSession({l}));
+  const auto r = runClosedLoopSimulation(
+      n, quick(ProtocolKind::kCoordinated, 1, 6));
+  // Cumulative top rate with 6 layers is 32 < 100: no drops, top level.
+  EXPECT_NEAR(r.measuredRate[0][0], 32.0, 1.0);
+  EXPECT_NEAR(r.meanLevel[0][0], 6.0, 0.1);
+  EXPECT_DOUBLE_EQ(r.linkDropRate[0], 0.0);
+}
+
+TEST(ClosedLoop, CapacityIsRespectedEverywhere) {
+  const net::Network n = net::fig2Network(true);
+  for (const auto kind :
+       {ProtocolKind::kUncoordinated, ProtocolKind::kDeterministic,
+        ProtocolKind::kCoordinated}) {
+    const auto r = runClosedLoopSimulation(n, quick(kind, 2));
+    for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+      // Long-run forwarded rate cannot exceed capacity (small slack for
+      // the bucket emptying during the window).
+      EXPECT_LE(r.linkThroughput[j],
+                n.capacity(graph::LinkId{j}) * 1.02)
+          << "link " << j << " under " << protocolName(kind);
+    }
+  }
+}
+
+TEST(ClosedLoop, TailBottlenecksConvergeExactly) {
+  // Fig 2 multi-rate: r1,2 (tail c=2) and r1,3 (tail c=3) have clean
+  // private bottlenecks matching layer rates; the protocols settle on
+  // their exact fair rates.
+  const net::Network n = net::fig2Network(true);
+  const auto r = runClosedLoopSimulation(
+      n, quick(ProtocolKind::kCoordinated, 2));
+  EXPECT_NEAR(r.measuredRate[0][1], 2.0, 0.15);
+  EXPECT_NEAR(r.measuredRate[0][2], 3.0, 0.25);
+}
+
+TEST(ClosedLoop, ApproachesMaxMinFairness) {
+  // The paper's qualitative claim: receiver rates end up close to the
+  // max-min fair allocation. Seed-averaged mean relative gap < 0.35 for
+  // every protocol on the Fig 2 network.
+  const net::Network n = net::fig2Network(true);
+  const auto fair = fairness::maxMinFairAllocation(n);
+  for (const auto kind :
+       {ProtocolKind::kUncoordinated, ProtocolKind::kDeterministic,
+        ProtocolKind::kCoordinated}) {
+    double gap = 0.0;
+    const int seeds = 5;
+    for (int s = 1; s <= seeds; ++s) {
+      ClosedLoopConfig c = quick(kind, 2);
+      c.seed = static_cast<std::uint64_t>(s);
+      gap += fairnessGap(n, runClosedLoopSimulation(n, c), fair);
+    }
+    EXPECT_LT(gap / seeds, 0.35) << protocolName(kind);
+  }
+}
+
+TEST(ClosedLoop, MultiRateReceiversGetHeterogeneousRates) {
+  // One layered session, two receivers behind very different tails: the
+  // closed loop realizes the multi-rate benefit end to end.
+  net::Network n;
+  const auto shared = n.addLink(50.0);
+  const auto slow = n.addLink(2.0);
+  const auto fast = n.addLink(16.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({shared, slow}, "slow"),
+                 net::makeReceiver({shared, fast}, "fast")};
+  n.addSession(std::move(s));
+  const auto r = runClosedLoopSimulation(
+      n, quick(ProtocolKind::kCoordinated, 1));
+  EXPECT_NEAR(r.measuredRate[0][0], 2.0, 0.3);
+  EXPECT_GT(r.measuredRate[0][1], 10.0);  // fair = 16
+}
+
+TEST(ClosedLoop, EqualSplitOnSharedBottleneck) {
+  // Two identical unicast sessions on c=8: seed-averaged rates near 4.
+  net::Network n;
+  const auto l = n.addLink(8.0);
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  double r1 = 0.0, r2 = 0.0;
+  const int seeds = 6;
+  for (int s = 1; s <= seeds; ++s) {
+    ClosedLoopConfig c = quick(ProtocolKind::kDeterministic, 2);
+    c.seed = static_cast<std::uint64_t>(s);
+    const auto r = runClosedLoopSimulation(n, c);
+    r1 += r.measuredRate[0][0];
+    r2 += r.measuredRate[1][0];
+  }
+  r1 /= seeds;
+  r2 /= seeds;
+  EXPECT_LE(r1 + r2, 8.2);
+  EXPECT_GT(r1 + r2, 6.0);       // the link is well used
+  EXPECT_NEAR(r1, 4.0, 1.6);     // within the discrete-level oscillation
+  EXPECT_NEAR(r2, 4.0, 1.6);
+}
+
+TEST(ClosedLoop, SessionLinkRatesAccounted) {
+  const net::Network n = net::fig2Network(true);
+  const auto r = runClosedLoopSimulation(
+      n, quick(ProtocolKind::kCoordinated, 2));
+  // Per-link throughput equals the sum of session link rates.
+  for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      sum += r.sessionLinkRate[i][j];
+    }
+    EXPECT_NEAR(sum, r.linkThroughput[j], 1e-9);
+  }
+}
+
+TEST(ClosedLoop, DeterministicGivenSeed) {
+  const net::Network n = net::fig2Network(true);
+  const auto a = runClosedLoopSimulation(n, quick(ProtocolKind::kUncoordinated, 2));
+  const auto b = runClosedLoopSimulation(n, quick(ProtocolKind::kUncoordinated, 2));
+  EXPECT_EQ(a.measuredRate, b.measuredRate);
+  EXPECT_EQ(a.linkThroughput, b.linkThroughput);
+}
+
+TEST(ClosedLoop, FairnessGapZeroOnExactMatch) {
+  net::Network n;
+  const auto l = n.addLink(4.0);
+  n.addSession(net::makeUnicastSession({l}));
+  ClosedLoopResult r;
+  r.measuredRate = {{4.0}};
+  fairness::Allocation a(n);
+  a.setRate({0, 0}, 4.0);
+  EXPECT_DOUBLE_EQ(fairnessGap(n, r, a), 0.0);
+}
+
+TEST(ClosedLoop, Validation) {
+  net::Network n;
+  const auto l = n.addLink(4.0);
+  n.addSession(net::makeUnicastSession({l}));
+  ClosedLoopConfig c = quick(ProtocolKind::kCoordinated, 1);
+  c.sessions.push_back(ClosedLoopSessionConfig{});  // wrong count
+  EXPECT_THROW(runClosedLoopSimulation(n, c), PreconditionError);
+  c = quick(ProtocolKind::kCoordinated, 1);
+  c.warmup = c.duration;
+  EXPECT_THROW(runClosedLoopSimulation(n, c), PreconditionError);
+  c = quick(ProtocolKind::kCoordinated, 1);
+  c.tokenBurst = 0.0;
+  EXPECT_THROW(runClosedLoopSimulation(n, c), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,0 +1,119 @@
+// Tests for session lifetimes and rate timelines in the closed loop.
+#include <gtest/gtest.h>
+
+#include "sim/closed_loop.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+net::Network sharedLink(double capacity, std::size_t sessions) {
+  net::Network n;
+  const auto l = n.addLink(capacity);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    n.addSession(net::makeUnicastSession({l}));
+  }
+  return n;
+}
+
+TEST(Dynamics, SilentBeforeStartAndAfterStop) {
+  const net::Network n = sharedLink(100.0, 1);
+  ClosedLoopConfig c;
+  c.sessions = {
+      ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 1,
+                              /*start=*/500.0, /*stop=*/1500.0}};
+  c.duration = 2000.0;
+  c.warmup = 0.0;
+  c.rateBinWidth = 250.0;
+  const auto r = runClosedLoopSimulation(n, c);
+  const auto& bins = r.binRates[0][0];
+  ASSERT_EQ(bins.size(), 8u);
+  EXPECT_DOUBLE_EQ(bins[0], 0.0);  // [0,250): before start
+  EXPECT_DOUBLE_EQ(bins[1], 0.0);  // [250,500)
+  EXPECT_GT(bins[3], 1.0);         // active
+  EXPECT_DOUBLE_EQ(bins[7], 0.0);  // after stop
+}
+
+TEST(Dynamics, DepartureFreesBandwidth) {
+  // B stops at t=1500; A's post-departure rate must exceed its
+  // contention-period rate.
+  const net::Network n = sharedLink(12.0, 2);
+  ClosedLoopConfig c;
+  c.sessions = {
+      ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 5, 1},
+      ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 5, 1, 0.0,
+                              1500.0}};
+  c.duration = 3000.0;
+  c.warmup = 0.0;
+  c.rateBinWidth = 500.0;
+  double contended = 0.0, alone = 0.0;
+  const int seeds = 5;
+  for (int s = 1; s <= seeds; ++s) {
+    c.seed = static_cast<std::uint64_t>(s);
+    const auto r = runClosedLoopSimulation(n, c);
+    const auto& bins = r.binRates[0][0];
+    contended += (bins[1] + bins[2]) / 2.0;  // [500,1500)
+    alone += (bins[4] + bins[5]) / 2.0;      // [2000,3000)
+  }
+  EXPECT_GT(alone / seeds, contended / seeds + 1.0);
+}
+
+TEST(Dynamics, ArrivalForcesBackoff) {
+  const net::Network n = sharedLink(12.0, 2);
+  ClosedLoopConfig c;
+  c.sessions = {
+      ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 5, 1},
+      ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 5, 1, 1500.0,
+                              1e18}};
+  c.duration = 3000.0;
+  c.warmup = 0.0;
+  c.rateBinWidth = 500.0;
+  double before = 0.0, after = 0.0;
+  const int seeds = 5;
+  for (int s = 1; s <= seeds; ++s) {
+    c.seed = static_cast<std::uint64_t>(s);
+    const auto r = runClosedLoopSimulation(n, c);
+    const auto& bins = r.binRates[0][0];
+    before += (bins[1] + bins[2]) / 2.0;
+    after += (bins[4] + bins[5]) / 2.0;
+  }
+  EXPECT_LT(after / seeds, before / seeds - 1.0);
+}
+
+TEST(Dynamics, BinRatesConsistentWithWindowAverage) {
+  const net::Network n = sharedLink(6.0, 1);
+  ClosedLoopConfig c;
+  c.sessions = {ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 1}};
+  c.duration = 2000.0;
+  c.warmup = 1000.0;
+  c.rateBinWidth = 100.0;
+  const auto r = runClosedLoopSimulation(n, c);
+  // Mean of the bins covering [warmup, duration) equals measuredRate.
+  const auto& bins = r.binRates[0][0];
+  double sum = 0.0;
+  for (std::size_t b = 10; b < 20; ++b) sum += bins[b];
+  EXPECT_NEAR(sum / 10.0, r.measuredRate[0][0], 0.05);
+}
+
+TEST(Dynamics, NoBinsWhenWidthZero) {
+  const net::Network n = sharedLink(6.0, 1);
+  ClosedLoopConfig c;
+  c.sessions = {ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 1}};
+  c.duration = 500.0;
+  c.warmup = 100.0;
+  const auto r = runClosedLoopSimulation(n, c);
+  EXPECT_TRUE(r.binRates.empty());
+}
+
+TEST(Dynamics, Validation) {
+  const net::Network n = sharedLink(6.0, 1);
+  ClosedLoopConfig c;
+  c.sessions = {ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 1,
+                                        /*start=*/10.0, /*stop=*/5.0}};
+  c.duration = 500.0;
+  c.warmup = 100.0;
+  EXPECT_THROW(runClosedLoopSimulation(n, c), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,0 +1,77 @@
+// Tests for the discrete-event queue.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.peek().has_value());
+}
+
+TEST(EventQueue, TimeOrdering) {
+  EventQueue q;
+  q.schedule(3.0, 30);
+  q.schedule(1.0, 10);
+  q.schedule(2.0, 20);
+  EXPECT_EQ(q.pop()->payload, 10u);
+  EXPECT_EQ(q.pop()->payload, 20u);
+  EXPECT_EQ(q.pop()->payload, 30u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBrokenByInsertionOrder) {
+  EventQueue q;
+  q.schedule(1.0, 1);
+  q.schedule(1.0, 2);
+  q.schedule(1.0, 3);
+  EXPECT_EQ(q.pop()->payload, 1u);
+  EXPECT_EQ(q.pop()->payload, 2u);
+  EXPECT_EQ(q.pop()->payload, 3u);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  q.schedule(5.0, 50);
+  EXPECT_EQ(q.peek()->payload, 50u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop()->payload, 50u);
+}
+
+TEST(EventQueue, SequenceNumbersIncrease) {
+  EventQueue q;
+  const auto s1 = q.schedule(1.0, 0);
+  const auto s2 = q.schedule(0.5, 0);
+  EXPECT_LT(s1, s2);
+}
+
+TEST(EventQueue, RejectsNegativeTime) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, 0), PreconditionError);
+}
+
+TEST(EventQueue, InterleavedScheduling) {
+  // Schedule during pops — the periodic-emitter pattern the sender uses.
+  EventQueue q;
+  q.schedule(1.0, 1);
+  double lastTime = 0.0;
+  int count = 0;
+  while (count < 100) {
+    const auto e = q.pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_GE(e->time, lastTime);
+    lastTime = e->time;
+    ++count;
+    q.schedule(e->time + 1.0, 1);
+  }
+  EXPECT_DOUBLE_EQ(lastTime, 100.0);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

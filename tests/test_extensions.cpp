@@ -1,0 +1,194 @@
+// Tests for the Section 5 extensions: leave latency, active-router
+// coordination, and bursty shared loss.
+#include <gtest/gtest.h>
+
+#include "sim/star.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+StarConfig base(ProtocolKind kind) {
+  StarConfig c;
+  c.receivers = 10;
+  c.layers = 6;
+  c.protocol = kind;
+  c.sharedLossRate = 0.0001;
+  c.independentLossRate = 0.04;
+  c.totalPackets = 40000;
+  c.seed = 11;
+  return c;
+}
+
+TEST(LeaveLatency, IncreasesRedundancy) {
+  // Section 5: "long leave latencies will also increase redundancy".
+  StarConfig c = base(ProtocolKind::kUncoordinated);
+  const double none = estimateRedundancy(c, 5).mean;
+  c.leaveLatency = 2.0;
+  const double some = estimateRedundancy(c, 5).mean;
+  c.leaveLatency = 10.0;
+  const double lots = estimateRedundancy(c, 5).mean;
+  EXPECT_GT(some, none);
+  EXPECT_GT(lots, some);
+}
+
+TEST(LeaveLatency, ZeroMatchesBaseModel) {
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  const StarResult without = runStarSimulation(c);
+  c.leaveLatency = 0.0;
+  const StarResult with = runStarSimulation(c);
+  EXPECT_EQ(without.sharedLinkPackets, with.sharedLinkPackets);
+  EXPECT_DOUBLE_EQ(without.redundancy, with.redundancy);
+}
+
+TEST(LeaveLatency, DoesNotAffectDeliveries) {
+  // Lingering forwarding wastes the shared link but receivers already
+  // left: delivered counts must not change.
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  const StarResult without = runStarSimulation(c);
+  c.leaveLatency = 5.0;
+  const StarResult with = runStarSimulation(c);
+  EXPECT_EQ(without.deliveredPackets, with.deliveredPackets);
+  EXPECT_GE(with.sharedLinkPackets, without.sharedLinkPackets);
+}
+
+TEST(LeaveLatency, Validation) {
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  c.leaveLatency = -1.0;
+  EXPECT_THROW(runStarSimulation(c), PreconditionError);
+}
+
+TEST(ActiveRouter, RedundancyNearOne) {
+  // The paper's conjecture: router-driven subscription makes redundancy
+  // ~1 (up to the delivered-vs-forwarded loss inflation 1/(1-q)).
+  StarConfig c = base(ProtocolKind::kActiveRouter);
+  const StarResult r = runStarSimulation(c);
+  const double q = 0.0001 + (1.0 - 0.0001) * 0.04;
+  EXPECT_NEAR(r.redundancy, 1.0 / (1.0 - q), 0.02);
+}
+
+TEST(ActiveRouter, BeatsReceiverDrivenProtocols) {
+  StarConfig cr = base(ProtocolKind::kActiveRouter);
+  StarConfig cc = base(ProtocolKind::kCoordinated);
+  cr.receivers = cc.receivers = 30;
+  const double router = estimateRedundancy(cr, 5).mean;
+  const double coordinated = estimateRedundancy(cc, 5).mean;
+  EXPECT_LT(router, coordinated);
+}
+
+TEST(ActiveRouter, AllReceiversShareSubscription) {
+  // With zero fanout loss all receivers deliver identical counts: there
+  // is a single subscription state.
+  StarConfig c = base(ProtocolKind::kActiveRouter);
+  c.independentLossRate = 0.0;
+  c.sharedLossRate = 0.01;
+  const StarResult r = runStarSimulation(c);
+  for (std::uint64_t d : r.deliveredPackets) {
+    EXPECT_EQ(d, r.deliveredPackets.front());
+  }
+}
+
+TEST(ActiveRouter, FanoutLossDoesNotTriggerLeaves) {
+  // The router sits upstream of fanout links: heavy independent loss
+  // must not drive the subscription down.
+  StarConfig lossy = base(ProtocolKind::kActiveRouter);
+  lossy.sharedLossRate = 0.0;
+  lossy.independentLossRate = 0.2;
+  const StarResult r = runStarSimulation(lossy);
+  EXPECT_EQ(r.totalLeaves, 0u);
+  EXPECT_NEAR(r.meanLevel, 6.0, 0.2);
+}
+
+TEST(BurstLoss, SameAverageDifferentStructure) {
+  // Compare Bernoulli shared loss against a bursty model with the same
+  // long-run average; both must run and produce sane redundancy.
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  c.sharedLossRate = 0.02;
+  c.independentLossRate = 0.0;
+  const StarResult bern = runStarSimulation(c);
+
+  StarConfig::BurstLoss burst;
+  // fracBad = 0.01/(0.01+0.24) = 0.04; avg = 0.04 * 0.5 = 0.02.
+  burst.goodToBad = 0.01;
+  burst.badToGood = 0.24;
+  burst.lossGood = 0.0;
+  burst.lossBad = 0.5;
+  c.sharedBurstLoss = burst;
+  const StarResult bursty = runStarSimulation(c);
+  EXPECT_GE(bern.redundancy, 1.0);
+  EXPECT_GE(bursty.redundancy, 1.0);
+  // Bursty losses cluster congestion events: fewer distinct backoffs, so
+  // receivers hold higher subscriptions on average.
+  EXPECT_GT(bursty.meanLevel, bern.meanLevel);
+}
+
+TEST(BurstLoss, SharedOnlyKeepsReceiversInSync) {
+  // Burstiness on the shared link is still common to all receivers:
+  // Deterministic receivers stay identical.
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  c.independentLossRate = 0.0;
+  StarConfig::BurstLoss burst;
+  burst.goodToBad = 0.005;
+  burst.badToGood = 0.1;
+  burst.lossGood = 0.001;
+  burst.lossBad = 0.3;
+  c.sharedBurstLoss = burst;
+  const StarResult r = runStarSimulation(c);
+  for (std::uint64_t d : r.deliveredPackets) {
+    EXPECT_EQ(d, r.deliveredPackets.front());
+  }
+}
+
+TEST(Extensions, ProtocolNameCoversActiveRouter) {
+  EXPECT_STREQ(protocolName(ProtocolKind::kActiveRouter), "ActiveRouter");
+}
+
+TEST(PriorityDropping, RaisesSubscriptionAndDelivery) {
+  // Section 5 / [1]: sparing the base layers lets receivers ride higher
+  // and deliver more at the same average shared loss.
+  StarConfig uniform = base(ProtocolKind::kDeterministic);
+  uniform.sharedLossRate = 0.03;
+  uniform.independentLossRate = 0.0;
+  StarConfig priority = uniform;
+  priority.prioritySharedDropping = true;
+  double uniLevel = 0.0, priLevel = 0.0;
+  std::uint64_t uniDel = 0, priDel = 0;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    uniform.seed = priority.seed = s;
+    const auto u = runStarSimulation(uniform);
+    const auto p = runStarSimulation(priority);
+    uniLevel += u.meanLevel;
+    priLevel += p.meanLevel;
+    uniDel += u.maxDelivered;
+    priDel += p.maxDelivered;
+  }
+  EXPECT_GT(priLevel, uniLevel);
+  EXPECT_GT(priDel, uniDel);
+}
+
+TEST(PriorityDropping, BaseLayerNeverDroppedByPriority) {
+  // With priority dropping and no fanout loss, a receiver at level 1
+  // never sees a congestion event (w(1) = 0).
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  c.layers = 2;  // level cap keeps receivers cycling between 1 and 2
+  c.sharedLossRate = 0.5;
+  c.independentLossRate = 0.0;
+  c.prioritySharedDropping = true;
+  const auto r = runStarSimulation(c);
+  // Congestion events can only come from layer-2 packets.
+  EXPECT_GT(r.totalCongestionEvents, 0u);
+  // Every receiver still delivers every layer-1 packet.
+  for (std::uint64_t d : r.deliveredPackets) {
+    EXPECT_GT(d, c.totalPackets / 4);
+  }
+}
+
+TEST(PriorityDropping, ExclusiveWithBurstLoss) {
+  StarConfig c = base(ProtocolKind::kDeterministic);
+  c.prioritySharedDropping = true;
+  c.sharedBurstLoss = StarConfig::BurstLoss{};
+  EXPECT_THROW(runStarSimulation(c), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

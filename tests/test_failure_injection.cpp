@@ -1,0 +1,168 @@
+// Failure injection: adversarial user-provided components and extreme
+// parameters must produce clean errors (or graceful degradation), never
+// crashes, hangs, or silent corruption.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fairness/maxmin.hpp"
+#include "markov/chain.hpp"
+#include "net/topologies.hpp"
+#include "util/error.hpp"
+
+namespace mcfair {
+namespace {
+
+using fairness::solveMaxMinFair;
+using net::LinkRateFunction;
+
+// v(X) below max(X): violates the model contract (u_{i,j} >= a_{i,k}).
+class UnderReportingFn final : public LinkRateFunction {
+ public:
+  double linkRate(std::span<const double> rates) const override {
+    double m = 0.0;
+    for (double r : rates) m = std::max(m, r);
+    return 0.5 * m;
+  }
+};
+
+// Non-monotone v(X): feasibility is not a monotone predicate, breaking
+// the bisection's assumptions.
+class NonMonotoneFn final : public LinkRateFunction {
+ public:
+  double linkRate(std::span<const double> rates) const override {
+    double m = 0.0;
+    for (double r : rates) m = std::max(m, r);
+    // Oscillates with rate; still >= max so feasibility stays sane.
+    return m * (1.5 + 0.5 * std::sin(10.0 * m));
+  }
+};
+
+// Explodes for any non-trivial rate: every positive level is infeasible.
+class ExplodingFn final : public LinkRateFunction {
+ public:
+  double linkRate(std::span<const double> rates) const override {
+    double m = 0.0;
+    for (double r : rates) m = std::max(m, r);
+    return m > 1e-9 ? 1e18 : m;
+  }
+};
+
+net::Network bottleneck(net::LinkRateFunctionPtr fn) {
+  net::Network n;
+  const auto l = n.addLink(10.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  s.linkRateFn = std::move(fn);
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({l}));
+  return n;
+}
+
+TEST(FailureInjection, UnderReportingFunctionTerminates) {
+  // The solver may produce a larger-than-usual allocation (the function
+  // claims less usage than the contract allows) but must terminate
+  // without throwing or hanging.
+  const auto n = bottleneck(std::make_shared<const UnderReportingFn>());
+  const auto result = solveMaxMinFair(n);
+  EXPECT_LE(result.rounds, n.receiverCount() + 2);
+  for (const auto ref : n.allReceivers()) {
+    EXPECT_GE(result.allocation.rate(ref), 0.0);
+    EXPECT_LE(result.allocation.rate(ref), 20.0 + 1e-6);
+  }
+}
+
+TEST(FailureInjection, NonMonotoneFunctionTerminates) {
+  const auto n = bottleneck(std::make_shared<const NonMonotoneFn>());
+  // Either a clean NumericError or a terminating (possibly suboptimal)
+  // allocation is acceptable; crashes and hangs are not.
+  try {
+    const auto result = solveMaxMinFair(n);
+    EXPECT_LE(result.rounds, n.receiverCount() + 2);
+  } catch (const NumericError&) {
+    SUCCEED();
+  }
+}
+
+TEST(FailureInjection, ExplodingFunctionDegradesGracefully) {
+  const auto n = bottleneck(std::make_shared<const ExplodingFn>());
+  const auto result = solveMaxMinFair(n);
+  // Any positive rate makes the exploding session claim 1e18 on the
+  // link, so the link is effectively unusable: the solver must terminate
+  // with (near-)zero rates for everyone rather than crash or hang.
+  for (const auto ref : n.allReceivers()) {
+    EXPECT_LT(result.allocation.rate(ref), 1e-3);
+  }
+  EXPECT_LE(result.rounds, n.receiverCount() + 2);
+}
+
+TEST(FailureInjection, SolverOptionValidation) {
+  const net::Network n = net::fig1Network();
+  fairness::MaxMinOptions bad;
+  bad.tolerance = 0.0;
+  EXPECT_THROW(solveMaxMinFair(n, bad), PreconditionError);
+}
+
+TEST(FailureInjection, MarkovKernelThatLosesMass) {
+  EXPECT_THROW(
+      markov::MarkovChain::build(
+          0,
+          [](markov::MarkovChain::State) {
+            return std::vector<std::pair<markov::MarkovChain::State,
+                                         double>>{{1, 0.7}};
+          }),
+      ModelError);
+}
+
+TEST(FailureInjection, MarkovKernelWithNegativeProbability) {
+  EXPECT_THROW(
+      markov::MarkovChain::build(
+          0,
+          [](markov::MarkovChain::State) {
+            return std::vector<std::pair<markov::MarkovChain::State,
+                                         double>>{{0, 1.5}, {1, -0.5}};
+          }),
+      PreconditionError);
+}
+
+TEST(FailureInjection, ExtremeCapacityScales) {
+  // Very large and very small capacities on one path: the solver's
+  // relative tolerances must cope with 12 orders of magnitude.
+  net::Network n;
+  const auto big = n.addLink(1e9);
+  const auto tiny = n.addLink(1e-3);
+  n.addSession(net::makeUnicastSession({big, tiny}));
+  n.addSession(net::makeUnicastSession({big}));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 1e-3, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({1, 0}), 1e9 - 1e-3, 1.0);
+}
+
+TEST(FailureInjection, ManyReceiversSingleLink) {
+  // Stress: 2000 unicast sessions on one link; equal split, one round
+  // of filling, no quadratic blowup in rounds.
+  net::Network n;
+  const auto l = n.addLink(2000.0);
+  for (int i = 0; i < 2000; ++i) n.addSession(net::makeUnicastSession({l}));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_NEAR(result.allocation.rate({1234, 0}), 1.0, 1e-9);
+}
+
+TEST(FailureInjection, DeepPathNetwork) {
+  // A 400-link chain shared by one session; capacities descending so the
+  // last link binds.
+  net::Network n;
+  std::vector<graph::LinkId> path;
+  for (int j = 0; j < 400; ++j) {
+    path.push_back(n.addLink(1000.0 - j));
+  }
+  n.addSession(net::makeUnicastSession(path));
+  const auto a = fairness::maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 601.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mcfair

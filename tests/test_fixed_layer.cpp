@@ -1,0 +1,107 @@
+// Tests for the fixed-layer enumeration and the Section 3 non-existence
+// example.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layering/fixed_layer.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+namespace {
+
+TEST(Sec3Example, FeasibleSetMatchesPaper) {
+  // Feasible allocations must be exactly
+  // {(0,0),(0,c/2),(0,c),(c/3,0),(c/3,c/2),(2c/3,0),(c,0)}.
+  const double c = 6.0;
+  const auto ex = sec3NonexistenceExample(c);
+  const auto analysis = analyzeFixedLayerAllocations(ex.network, ex.schemes);
+  std::set<std::pair<double, double>> got;
+  for (const auto& f : analysis.feasible) {
+    got.emplace(f.rates.rate({0, 0}), f.rates.rate({1, 0}));
+  }
+  const std::set<std::pair<double, double>> expected{
+      {0, 0},     {0, c / 2},     {0, c},      {c / 3, 0},
+      {c / 3, c / 2}, {2 * c / 3, 0}, {c, 0}};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Sec3Example, NoMaxMinFairAllocationExists) {
+  const auto ex = sec3NonexistenceExample();
+  const auto analysis = analyzeFixedLayerAllocations(ex.network, ex.schemes);
+  EXPECT_FALSE(analysis.maxMinFairIndex.has_value());
+}
+
+TEST(FixedLayer, MaxMinExistsWhenLayersMatchFairRates) {
+  // Two sessions, link capacity 2, each with a single layer of rate 1:
+  // (1,1) is feasible and max-min fair within the feasible set.
+  net::Network n;
+  const auto l = n.addLink(2.0);
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  const std::vector<LayerScheme> schemes{LayerScheme::uniform(1, 1.0),
+                                         LayerScheme::uniform(1, 1.0)};
+  const auto analysis = analyzeFixedLayerAllocations(n, schemes);
+  ASSERT_TRUE(analysis.maxMinFairIndex.has_value());
+  const auto& best = analysis.feasible[*analysis.maxMinFairIndex];
+  EXPECT_DOUBLE_EQ(best.rates.rate({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(best.rates.rate({1, 0}), 1.0);
+}
+
+TEST(FixedLayer, SigmaExcludesHighLevels) {
+  net::Network n;
+  const auto l = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({l}, /*maxRate=*/1.5));
+  const std::vector<LayerScheme> schemes{LayerScheme::uniform(3, 1.0)};
+  const auto analysis = analyzeFixedLayerAllocations(n, schemes);
+  // Levels 0 and 1 are admissible (rates 0, 1); level 2 (rate 2) exceeds
+  // sigma = 1.5.
+  EXPECT_EQ(analysis.feasible.size(), 2u);
+}
+
+TEST(FixedLayer, MultiRateSessionSharedLinkUsesMax) {
+  // A 2-receiver multi-rate session behind one link: levels (2,1) need
+  // only cumulative(2) on the link, so capacity 2 admits it with the
+  // uniform(2, 1.0) scheme.
+  net::Network n;
+  const auto l = n.addLink(2.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  n.addSession(std::move(s));
+  const std::vector<LayerScheme> schemes{LayerScheme::uniform(2, 1.0)};
+  const auto analysis = analyzeFixedLayerAllocations(n, schemes);
+  bool sawAsymmetricFull = false;
+  for (const auto& f : analysis.feasible) {
+    if (f.rates.rate({0, 0}) == 2.0 && f.rates.rate({0, 1}) == 1.0) {
+      sawAsymmetricFull = true;
+    }
+  }
+  EXPECT_TRUE(sawAsymmetricFull);
+  // Max-min fair within the set: (2,2).
+  ASSERT_TRUE(analysis.maxMinFairIndex.has_value());
+  const auto& best = analysis.feasible[*analysis.maxMinFairIndex];
+  EXPECT_DOUBLE_EQ(best.rates.rate({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(best.rates.rate({0, 1}), 2.0);
+}
+
+TEST(FixedLayer, RejectsMismatchedSchemes) {
+  const auto ex = sec3NonexistenceExample();
+  EXPECT_THROW(analyzeFixedLayerAllocations(ex.network, {}),
+               PreconditionError);
+}
+
+TEST(FixedLayer, RejectsHugeEnumerations) {
+  net::Network n;
+  const auto l = n.addLink(1.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  for (int i = 0; i < 15; ++i) s.receivers.push_back(net::makeReceiver({l}));
+  n.addSession(std::move(s));
+  EXPECT_THROW(
+      analyzeFixedLayerAllocations(n, {LayerScheme::uniform(1, 0.01)}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::layering

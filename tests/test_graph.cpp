@@ -1,0 +1,91 @@
+// Tests for graph::Graph construction and validation.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+namespace {
+
+TEST(Graph, AddNodesAndLinks) {
+  Graph g;
+  const NodeId a = g.addNode("a");
+  const NodeId b = g.addNode("b");
+  EXPECT_EQ(g.nodeCount(), 2u);
+  const LinkId l = g.addLink(a, b, 3.5);
+  EXPECT_EQ(g.linkCount(), 1u);
+  EXPECT_DOUBLE_EQ(g.capacity(l), 3.5);
+  EXPECT_EQ(g.label(a), "a");
+}
+
+TEST(Graph, AddNodesBulk) {
+  Graph g;
+  const NodeId first = g.addNodes(5);
+  EXPECT_EQ(first.value, 0u);
+  EXPECT_EQ(g.nodeCount(), 5u);
+  const NodeId next = g.addNodes(2);
+  EXPECT_EQ(next.value, 5u);
+}
+
+TEST(Graph, EndpointsOrdered) {
+  Graph g;
+  g.addNodes(3);
+  const LinkId l = g.addLink(NodeId{2}, NodeId{0}, 1.0);
+  const auto [lo, hi] = g.endpoints(l);
+  EXPECT_EQ(lo.value, 0u);
+  EXPECT_EQ(hi.value, 2u);
+}
+
+TEST(Graph, NeighborsBothDirections) {
+  Graph g;
+  g.addNodes(3);
+  const LinkId l01 = g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  const LinkId l12 = g.addLink(NodeId{1}, NodeId{2}, 1.0);
+  const auto& n1 = g.neighbors(NodeId{1});
+  ASSERT_EQ(n1.size(), 2u);
+  EXPECT_EQ(n1[0].neighbor.value, 0u);
+  EXPECT_EQ(n1[0].link, l01);
+  EXPECT_EQ(n1[1].neighbor.value, 2u);
+  EXPECT_EQ(n1[1].link, l12);
+}
+
+TEST(Graph, ParallelLinksAllowed) {
+  Graph g;
+  g.addNodes(2);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  g.addLink(NodeId{0}, NodeId{1}, 2.0);
+  EXPECT_EQ(g.linkCount(), 2u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g;
+  g.addNodes(1);
+  EXPECT_THROW(g.addLink(NodeId{0}, NodeId{0}, 1.0), PreconditionError);
+}
+
+TEST(Graph, RejectsNonPositiveCapacity) {
+  Graph g;
+  g.addNodes(2);
+  EXPECT_THROW(g.addLink(NodeId{0}, NodeId{1}, 0.0), PreconditionError);
+  EXPECT_THROW(g.addLink(NodeId{0}, NodeId{1}, -1.0), PreconditionError);
+}
+
+TEST(Graph, RejectsUnknownIds) {
+  Graph g;
+  g.addNodes(2);
+  EXPECT_THROW(g.addLink(NodeId{0}, NodeId{9}, 1.0), ModelError);
+  EXPECT_THROW(g.capacity(LinkId{0}), ModelError);
+  EXPECT_THROW(g.neighbors(NodeId{5}), ModelError);
+}
+
+TEST(Graph, SetCapacity) {
+  Graph g;
+  g.addNodes(2);
+  const LinkId l = g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  g.setCapacity(l, 9.0);
+  EXPECT_DOUBLE_EQ(g.capacity(l), 9.0);
+  EXPECT_THROW(g.setCapacity(l, -2.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::graph

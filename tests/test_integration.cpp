@@ -1,0 +1,167 @@
+// Cross-module integration tests: each of the paper's experiment
+// pipelines exercised end-to-end at reduced scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/ordering.hpp"
+#include "fairness/properties.hpp"
+#include "layering/fixed_layer.hpp"
+#include "layering/quantum.hpp"
+#include "markov/protocol_chain.hpp"
+#include "net/topologies.hpp"
+#include "sim/star.hpp"
+
+namespace mcfair {
+namespace {
+
+TEST(Integration, Figure5Pipeline) {
+  // The five curves of Figure 5 at R = 100 receivers; spot-check the
+  // asymptotes the paper discusses.
+  auto curve = [](double first, double rest, std::size_t r) {
+    std::vector<double> rates(r, rest);
+    rates[0] = first;
+    return layering::singleLayerRandomJoinRedundancy(rates, 1.0);
+  };
+  EXPECT_NEAR(curve(0.1, 0.1, 100), (1.0 - std::pow(0.9, 100.0)) / 0.1,
+              1e-9);
+  EXPECT_GT(curve(0.1, 0.1, 100), 9.9);  // approaches 1/z = 10
+  EXPECT_LT(curve(0.9, 0.9, 100), 1.2);  // approaches 1/0.9
+  EXPECT_LT(curve(0.5, 0.1, 100), curve(0.1, 0.1, 100));
+  EXPECT_LT(curve(0.9, 0.1, 100), curve(0.5, 0.1, 100));
+}
+
+TEST(Integration, Figure6PipelineSolverVsFormula) {
+  const double c = 100.0;
+  for (const double mOverN : {0.1, 1.0}) {
+    const std::size_t n = 10;
+    const auto m = static_cast<std::size_t>(mOverN * n);
+    for (const double v : {1.0, 4.0, 10.0}) {
+      const net::Network net = net::singleBottleneckNetwork(n, m, c, v);
+      const auto a = fairness::maxMinFairAllocation(net);
+      const double formula =
+          c / (static_cast<double>(n - m) + static_cast<double>(m) * v);
+      const double normalized = a.rate({0, 0}) / (c / n);
+      EXPECT_NEAR(a.rate({0, 0}), formula, 1e-6);
+      EXPECT_LE(normalized, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Integration, Figure8PipelineSmallScale) {
+  // One Figure 8(a)-style point per protocol at reduced scale: ordering
+  // and magnitude sanity (full scale lives in bench/).
+  sim::StarConfig base;
+  base.receivers = 20;
+  base.layers = 8;
+  base.sharedLossRate = 0.0001;
+  base.independentLossRate = 0.04;
+  base.totalPackets = 50000;
+  base.seed = 3;
+
+  std::map<sim::ProtocolKind, double> red;
+  for (const auto kind :
+       {sim::ProtocolKind::kUncoordinated, sim::ProtocolKind::kDeterministic,
+        sim::ProtocolKind::kCoordinated}) {
+    sim::StarConfig c = base;
+    c.protocol = kind;
+    red[kind] = sim::estimateRedundancy(c, 5).mean;
+    EXPECT_GE(red[kind], 1.0);
+    EXPECT_LT(red[kind], 6.0);  // paper: "below 5 for reasonable rates"
+  }
+  EXPECT_LT(red[sim::ProtocolKind::kCoordinated],
+            red[sim::ProtocolKind::kUncoordinated]);
+  EXPECT_LT(red[sim::ProtocolKind::kCoordinated], 2.5);  // paper's bound
+}
+
+TEST(Integration, RedundancyMeasurementFeedsFairnessModel) {
+  // Close the loop the paper draws between Sections 3 and 4: measure a
+  // protocol's shared-link redundancy in the simulator, plug it into the
+  // fairness model as a ConstantFactor, and verify the max-min allocation
+  // degrades exactly as Lemma 4 predicts.
+  sim::StarConfig sc;
+  sc.receivers = 20;
+  sc.layers = 6;
+  sc.protocol = sim::ProtocolKind::kUncoordinated;
+  sc.sharedLossRate = 0.0001;
+  sc.independentLossRate = 0.05;
+  sc.totalPackets = 50000;
+  const double measured = sim::estimateRedundancy(sc, 3).mean;
+  ASSERT_GT(measured, 1.0);
+
+  const net::Network efficient =
+      net::singleBottleneckNetwork(10, 2, 100.0, 1.0);
+  const net::Network redundant =
+      net::singleBottleneckNetwork(10, 2, 100.0, measured);
+  const auto aEff = fairness::maxMinFairAllocation(efficient).orderedRates();
+  const auto aRed = fairness::maxMinFairAllocation(redundant).orderedRates();
+  EXPECT_TRUE(fairness::minUnfavorable(aRed, aEff, 1e-6));
+  EXPECT_LT(aRed.front(), aEff.front());
+}
+
+TEST(Integration, MarkovAnalysisOrdersLikeSimulator) {
+  // Independent-loss sweep: both the chain and the simulator must agree
+  // that redundancy grows with independent loss (Figure 8 shape).
+  double prevChain = 0.0;
+  double prevSim = 0.0;
+  for (const double p : {0.01, 0.05, 0.1}) {
+    markov::ProtocolChainConfig mc;
+    mc.layers = 4;
+    mc.protocol = sim::ProtocolKind::kUncoordinated;
+    mc.sharedLoss = 0.0001;
+    mc.receiverLoss = {p, p};
+    const double chainRed = markov::analyzeProtocolChain(mc).redundancy;
+
+    sim::StarConfig sc;
+    sc.receivers = 2;
+    sc.layers = 4;
+    sc.protocol = sim::ProtocolKind::kUncoordinated;
+    sc.sharedLossRate = 0.0001;
+    sc.independentLossRate = p;
+    sc.totalPackets = 100000;
+    const double simRed = sim::estimateRedundancy(sc, 4).mean;
+
+    EXPECT_GT(chainRed, prevChain);
+    EXPECT_GT(simRed, prevSim * 0.95);  // simulator is noisy; allow slack
+    prevChain = chainRed;
+    prevSim = simRed;
+  }
+}
+
+TEST(Integration, QuantumScheduleDeliversMaxMinRatesEfficiently) {
+  // Section 3's positive result end-to-end: compute multi-rate max-min
+  // rates, deliver them with prefix-coordinated joins/leaves, and verify
+  // average rates and redundancy 1.
+  const net::Network n = net::fig2Network(true);
+  const auto alloc = fairness::maxMinFairAllocation(n);
+  std::vector<double> rates;
+  for (std::size_t k = 0; k < 3; ++k) rates.push_back(alloc.rate({0, k}));
+  const double sigma = *std::max_element(rates.begin(), rates.end());
+  const auto sched =
+      layering::simulatePrefixSchedule(rates, sigma, 128, 2000);
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    EXPECT_NEAR(sched.averageRates[k], rates[k], 0.05);
+  }
+  EXPECT_NEAR(sched.redundancy, 1.0, 1e-9);
+}
+
+TEST(Integration, FixedLayersBreakFairnessJoinsRestoreIt) {
+  // Section 3 narrative in one test: fixed layers admit no max-min fair
+  // allocation, but the (continuous) max-min rates exist and joins/leaves
+  // can average to them.
+  const auto ex = layering::sec3NonexistenceExample(6.0);
+  const auto fixedResult =
+      layering::analyzeFixedLayerAllocations(ex.network, ex.schemes);
+  EXPECT_FALSE(fixedResult.maxMinFairIndex.has_value());
+
+  const auto continuous = fairness::maxMinFairAllocation(ex.network);
+  EXPECT_NEAR(continuous.rate({0, 0}), 3.0, 1e-9);
+  EXPECT_NEAR(continuous.rate({1, 0}), 3.0, 1e-9);
+  // Each receiver can average its 3.0 within its own layer span.
+  const auto sched = layering::simulatePrefixSchedule({3.0}, 6.0, 60, 500);
+  EXPECT_NEAR(sched.averageRates[0], 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mcfair

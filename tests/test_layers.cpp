@@ -1,0 +1,77 @@
+// Tests for LayerScheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layering/layers.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+namespace {
+
+TEST(LayerScheme, ExponentialCumulativeRates) {
+  const LayerScheme s = LayerScheme::exponential(8);
+  EXPECT_EQ(s.layerCount(), 8u);
+  for (std::size_t i = 1; i <= 8; ++i) {
+    EXPECT_DOUBLE_EQ(s.cumulativeRate(i),
+                     std::pow(2.0, static_cast<double>(i - 1)))
+        << "level " << i;
+  }
+  EXPECT_DOUBLE_EQ(s.cumulativeRate(0), 0.0);
+}
+
+TEST(LayerScheme, ExponentialLayerRates) {
+  const LayerScheme s = LayerScheme::exponential(4);
+  EXPECT_DOUBLE_EQ(s.layerRate(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.layerRate(2), 1.0);
+  EXPECT_DOUBLE_EQ(s.layerRate(3), 2.0);
+  EXPECT_DOUBLE_EQ(s.layerRate(4), 4.0);
+}
+
+TEST(LayerScheme, SingleLayerExponential) {
+  const LayerScheme s = LayerScheme::exponential(1);
+  EXPECT_EQ(s.layerCount(), 1u);
+  EXPECT_DOUBLE_EQ(s.cumulativeRate(1), 1.0);
+}
+
+TEST(LayerScheme, Uniform) {
+  const LayerScheme s = LayerScheme::uniform(3, 2.0);
+  EXPECT_DOUBLE_EQ(s.cumulativeRate(3), 6.0);
+  EXPECT_DOUBLE_EQ(s.layerRate(2), 2.0);
+}
+
+TEST(LayerScheme, LevelForRate) {
+  const LayerScheme s = LayerScheme::exponential(4);  // cum: 0,1,2,4,8
+  EXPECT_EQ(s.levelForRate(0.0), 0u);
+  EXPECT_EQ(s.levelForRate(0.99), 0u);
+  EXPECT_EQ(s.levelForRate(1.0), 1u);
+  EXPECT_EQ(s.levelForRate(3.5), 2u);
+  EXPECT_EQ(s.levelForRate(4.0), 3u);
+  EXPECT_EQ(s.levelForRate(100.0), 4u);
+}
+
+TEST(LayerScheme, AvailableRates) {
+  const LayerScheme s = LayerScheme::uniform(2, 3.0);
+  EXPECT_EQ(s.availableRates(), (std::vector<double>{0.0, 3.0, 6.0}));
+}
+
+TEST(LayerScheme, CustomRates) {
+  const LayerScheme s({0.5, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(s.cumulativeRate(2), 2.0);
+  EXPECT_DOUBLE_EQ(s.cumulativeRate(3), 4.0);
+}
+
+TEST(LayerScheme, Validation) {
+  EXPECT_THROW(LayerScheme({}), PreconditionError);
+  EXPECT_THROW(LayerScheme({1.0, 0.0}), PreconditionError);
+  EXPECT_THROW(LayerScheme::uniform(0, 1.0), PreconditionError);
+  EXPECT_THROW(LayerScheme::exponential(0), PreconditionError);
+  const LayerScheme s({1.0});
+  EXPECT_THROW(s.layerRate(0), PreconditionError);
+  EXPECT_THROW(s.layerRate(2), PreconditionError);
+  EXPECT_THROW(s.cumulativeRate(2), PreconditionError);
+  EXPECT_THROW(s.levelForRate(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::layering

@@ -1,0 +1,127 @@
+// Property-based verification of Lemma 3, Corollary 1, Lemma 4, the
+// single-session type-switch monotonicity (Lemma 9 of the TR), and the
+// Figure 6 closed form.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/ordering.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using net::Network;
+using net::SessionType;
+
+class LemmaSeeds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Network mixed(double singleRateProb = 0.7) const {
+    util::Rng rng(GetParam());
+    net::RandomNetworkOptions opts;
+    opts.singleRateProbability = singleRateProb;
+    opts.sessions = 5;
+    return net::randomNetwork(rng, opts);
+  }
+};
+
+TEST_P(LemmaSeeds, Lemma3ReplacingSingleRateIncreasesFairness) {
+  // Nbar has a subset of N's multi-rate sessions => Abar <=_m A.
+  const Network nbar = mixed();
+  Network n = nbar;
+  // Promote every single-rate session to multi-rate, one at a time, and
+  // check monotonicity at each step.
+  auto prev = maxMinFairAllocation(nbar).orderedRates();
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    if (n.session(i).type != SessionType::kSingleRate) continue;
+    n = n.withSessionType(i, SessionType::kMultiRate);
+    auto cur = maxMinFairAllocation(n).orderedRates();
+    EXPECT_TRUE(minUnfavorable(prev, cur, 1e-6))
+        << "promoting session " << i << " decreased max-min fairness";
+    prev = std::move(cur);
+  }
+}
+
+TEST_P(LemmaSeeds, Corollary1AllMultiRateIsMostFair) {
+  const Network nbar = mixed();
+  Network n = nbar;
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    n = n.withSessionType(i, SessionType::kMultiRate);
+  }
+  const auto b = maxMinFairAllocation(nbar).orderedRates();
+  const auto a = maxMinFairAllocation(n).orderedRates();
+  EXPECT_TRUE(minUnfavorable(b, a, 1e-6));
+}
+
+TEST_P(LemmaSeeds, Lemma4HigherRedundancyDecreasesFairness) {
+  // Same sessions, point-wise larger v_i => allocation is <=_m smaller.
+  Network base = mixed(0.0);
+  Network low = base;
+  Network high = base;
+  const auto v1 = std::make_shared<const net::ConstantFactor>(1.3);
+  const auto v2 = std::make_shared<const net::ConstantFactor>(2.0);
+  for (std::size_t i = 0; i < base.sessionCount(); ++i) {
+    low = low.withLinkRateFunction(i, v1);
+    high = high.withLinkRateFunction(i, v2);
+  }
+  const auto aLow = maxMinFairAllocation(low).orderedRates();
+  const auto aHigh = maxMinFairAllocation(high).orderedRates();
+  EXPECT_TRUE(minUnfavorable(aHigh, aLow, 1e-5));
+  // And efficient (v=1) dominates both.
+  const auto aBase = maxMinFairAllocation(base).orderedRates();
+  EXPECT_TRUE(minUnfavorable(aLow, aBase, 1e-5));
+}
+
+TEST_P(LemmaSeeds, SingleSessionSwitchNeverHurtsOwnReceivers) {
+  // TR Lemma 9: with all other types fixed, switching one session from
+  // single-rate to multi-rate leaves each of ITS receivers no worse off.
+  const Network base = mixed();
+  for (std::size_t i = 0; i < base.sessionCount(); ++i) {
+    if (base.session(i).type != SessionType::kSingleRate) continue;
+    if (base.session(i).receivers.size() < 2) continue;
+    const Network flipped = base.withSessionType(i, SessionType::kMultiRate);
+    const auto before = maxMinFairAllocation(base);
+    const auto after = maxMinFairAllocation(flipped);
+    for (std::size_t k = 0; k < base.session(i).receivers.size(); ++k) {
+      EXPECT_GE(after.rate({i, k}), before.rate({i, k}) - 1e-6)
+          << "session " << i << " receiver " << k;
+    }
+  }
+}
+
+struct Fig6Case {
+  std::size_t n;
+  std::size_t m;
+  double v;
+};
+
+class Fig6Formula : public ::testing::TestWithParam<Fig6Case> {};
+
+TEST_P(Fig6Formula, SolverMatchesClosedForm) {
+  // n sessions behind one bottleneck of capacity c; m multi-rate with
+  // redundancy v: every receiver's fair rate is c / ((n-m) + m v).
+  const auto [n, m, v] = GetParam();
+  const double c = 100.0;
+  const Network net = net::singleBottleneckNetwork(n, m, c, v);
+  const auto a = maxMinFairAllocation(net);
+  const double expected = c / (static_cast<double>(n - m) +
+                               static_cast<double>(m) * v);
+  for (net::ReceiverRef r : net.allReceivers()) {
+    EXPECT_NEAR(a.rate(r), expected, 1e-6 * expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Fig6Formula,
+    ::testing::Values(Fig6Case{10, 1, 1.0}, Fig6Case{10, 1, 2.0},
+                      Fig6Case{10, 1, 10.0}, Fig6Case{20, 1, 5.0},
+                      Fig6Case{20, 2, 3.0}, Fig6Case{10, 10, 2.0},
+                      Fig6Case{100, 5, 4.0}, Fig6Case{100, 1, 10.0}));
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaSeeds,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,118 @@
+// Tests for the session link-rate (redundancy) functions v_i.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/link_rate.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::net {
+namespace {
+
+TEST(EfficientMax, ReturnsMax) {
+  EfficientMax fn;
+  const std::array<double, 3> rates{1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(fn.linkRate(rates), 3.0);
+}
+
+TEST(EfficientMax, SingleReceiver) {
+  EfficientMax fn;
+  const std::array<double, 1> rates{0.7};
+  EXPECT_DOUBLE_EQ(fn.linkRate(rates), 0.7);
+}
+
+TEST(EfficientMax, RedundancyIsOne) {
+  EfficientMax fn;
+  const std::array<double, 3> rates{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(fn.redundancy(rates), 1.0);
+}
+
+TEST(EfficientMax, RejectsEmptyAndNegative) {
+  EfficientMax fn;
+  EXPECT_THROW(fn.linkRate({}), PreconditionError);
+  const std::array<double, 1> bad{-0.5};
+  EXPECT_THROW(fn.linkRate(bad), PreconditionError);
+}
+
+TEST(ConstantFactor, AppliesOnSharedLinksOnly) {
+  ConstantFactor fn(2.0);
+  const std::array<double, 2> shared{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(fn.linkRate(shared), 4.0);  // two receivers: factor on
+  const std::array<double, 1> solo{2.0};
+  EXPECT_DOUBLE_EQ(fn.linkRate(solo), 2.0);  // one receiver: efficient
+}
+
+TEST(ConstantFactor, RedundancyEqualsFactor) {
+  ConstantFactor fn(3.5);
+  const std::array<double, 3> rates{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(fn.redundancy(rates), 3.5);
+}
+
+TEST(ConstantFactor, RejectsFactorBelowOne) {
+  EXPECT_THROW(ConstantFactor(0.5), PreconditionError);
+}
+
+TEST(ConstantFactor, FactorOneIsEfficient) {
+  ConstantFactor fn(1.0);
+  const std::array<double, 2> rates{1.0, 2.5};
+  EXPECT_DOUBLE_EQ(fn.linkRate(rates), 2.5);
+}
+
+TEST(RandomJoinExpected, AppendixBFormula) {
+  // sigma=1, rates {0.5, 0.5}: E[U] = 1 - 0.25 = 0.75.
+  RandomJoinExpected fn(1.0);
+  const std::array<double, 2> rates{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(fn.linkRate(rates), 0.75);
+  EXPECT_DOUBLE_EQ(fn.redundancy(rates), 1.5);
+}
+
+TEST(RandomJoinExpected, FullRateReceiverTakesWholeLayer) {
+  RandomJoinExpected fn(2.0);
+  const std::array<double, 2> rates{2.0, 0.5};
+  EXPECT_DOUBLE_EQ(fn.linkRate(rates), 2.0);
+}
+
+TEST(RandomJoinExpected, SingleReceiverIsEfficient) {
+  RandomJoinExpected fn(4.0);
+  const std::array<double, 1> rates{1.0};
+  EXPECT_DOUBLE_EQ(fn.linkRate(rates), 1.0);
+}
+
+TEST(RandomJoinExpected, BoundedByMaxTimesCount) {
+  // E[U] >= max(rates) always; <= sigma always.
+  RandomJoinExpected fn(1.0);
+  const std::array<double, 4> rates{0.3, 0.2, 0.25, 0.1};
+  const double u = fn.linkRate(rates);
+  EXPECT_GE(u, 0.3);
+  EXPECT_LE(u, 1.0);
+}
+
+TEST(RandomJoinExpected, RejectsRateAboveSigma) {
+  RandomJoinExpected fn(1.0);
+  const std::array<double, 1> rates{1.5};
+  EXPECT_THROW(fn.linkRate(rates), PreconditionError);
+}
+
+TEST(RandomJoinExpected, RejectsBadSigma) {
+  EXPECT_THROW(RandomJoinExpected(0.0), PreconditionError);
+}
+
+TEST(RandomJoinExpected, MonotoneInEachRate) {
+  RandomJoinExpected fn(1.0);
+  const std::array<double, 2> lo{0.2, 0.4};
+  const std::array<double, 2> hi{0.3, 0.4};
+  EXPECT_LT(fn.linkRate(lo), fn.linkRate(hi));
+}
+
+TEST(SharedEfficientMax, SingletonIsReused) {
+  EXPECT_EQ(efficientMax().get(), efficientMax().get());
+}
+
+TEST(Redundancy, AllZeroRatesIsOne) {
+  EfficientMax fn;
+  const std::array<double, 2> rates{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(fn.redundancy(rates), 1.0);
+}
+
+}  // namespace
+}  // namespace mcfair::net

@@ -1,0 +1,81 @@
+// Tests for the loss models.
+#include <gtest/gtest.h>
+
+#include "sim/loss.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+TEST(BernoulliLoss, Extremes) {
+  util::Rng rng(1);
+  BernoulliLoss never(0.0);
+  BernoulliLoss always(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.lose(rng));
+    EXPECT_TRUE(always.lose(rng));
+  }
+}
+
+TEST(BernoulliLoss, Frequency) {
+  util::Rng rng(2);
+  BernoulliLoss loss(0.05);
+  int losses = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) losses += loss.lose(rng);
+  EXPECT_NEAR(static_cast<double>(losses) / n, 0.05, 0.003);
+  EXPECT_DOUBLE_EQ(loss.averageLossRate(), 0.05);
+}
+
+TEST(BernoulliLoss, Validation) {
+  EXPECT_THROW(BernoulliLoss(-0.1), PreconditionError);
+  EXPECT_THROW(BernoulliLoss(1.1), PreconditionError);
+}
+
+TEST(GilbertElliott, StationaryLossRate) {
+  // g->b = 0.01, b->g = 0.1: fraction bad = 0.01/0.11 = 1/11.
+  // Loss: good 0.001, bad 0.3 -> avg = (10*0.001 + 1*0.3)/11.
+  GilbertElliottLoss loss(0.01, 0.1, 0.001, 0.3);
+  const double expected = (10.0 * 0.001 + 0.3) / 11.0;
+  EXPECT_NEAR(loss.averageLossRate(), expected, 1e-12);
+  util::Rng rng(3);
+  int losses = 0;
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) losses += loss.lose(rng);
+  EXPECT_NEAR(static_cast<double>(losses) / n, expected, 0.005);
+}
+
+TEST(GilbertElliott, BurstsAreCorrelated) {
+  // Consecutive losses should be far more likely than under Bernoulli
+  // with the same average rate.
+  GilbertElliottLoss ge(0.001, 0.05, 0.0, 0.5);
+  util::Rng rng(4);
+  int losses = 0, pairs = 0;
+  bool prev = false;
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) {
+    const bool l = ge.lose(rng);
+    losses += l;
+    pairs += (l && prev);
+    prev = l;
+  }
+  const double rate = static_cast<double>(losses) / n;
+  const double pairRate = static_cast<double>(pairs) / n;
+  EXPECT_GT(pairRate, 3.0 * rate * rate);  // strongly super-Bernoulli
+}
+
+TEST(GilbertElliott, Validation) {
+  EXPECT_THROW(GilbertElliottLoss(-0.1, 0.5, 0.0, 0.5), PreconditionError);
+  EXPECT_THROW(GilbertElliottLoss(0.1, 1.5, 0.0, 0.5), PreconditionError);
+  EXPECT_THROW(GilbertElliottLoss(0.1, 0.5, -1.0, 0.5), PreconditionError);
+  EXPECT_THROW(GilbertElliottLoss(0.1, 0.5, 0.0, 1.5), PreconditionError);
+}
+
+TEST(GilbertElliott, DegenerateNoTransitions) {
+  GilbertElliottLoss stuck(0.0, 0.0, 0.2, 0.9);
+  EXPECT_DOUBLE_EQ(stuck.averageLossRate(), 0.2);  // stays in good state
+  EXPECT_FALSE(stuck.inBadState());
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,0 +1,109 @@
+// Tests for the generic Markov chain builder and stationary solvers.
+#include <gtest/gtest.h>
+
+#include "markov/chain.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::markov {
+namespace {
+
+TEST(MarkovChain, TwoStateExact) {
+  // 0 -> 1 w.p. 0.1, stays otherwise; 1 -> 0 w.p. 0.5.
+  const auto chain = MarkovChain::build(0, [](MarkovChain::State s) {
+    std::vector<std::pair<MarkovChain::State, double>> out;
+    if (s == 0) {
+      out = {{0, 0.9}, {1, 0.1}};
+    } else {
+      out = {{0, 0.5}, {1, 0.5}};
+    }
+    return out;
+  });
+  EXPECT_EQ(chain.stateCount(), 2u);
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 5.0 / 6.0, 1e-10);
+  EXPECT_NEAR(pi[1], 1.0 / 6.0, 1e-10);
+}
+
+TEST(MarkovChain, DiscoversReachableStatesOnly) {
+  // Ring over even numbers 0,2,4 starting from 0; odd states unreachable.
+  const auto chain = MarkovChain::build(0, [](MarkovChain::State s) {
+    return std::vector<std::pair<MarkovChain::State, double>>{
+        {(s + 2) % 6, 1.0}};
+  });
+  EXPECT_EQ(chain.stateCount(), 3u);
+}
+
+TEST(MarkovChain, AggregatesDuplicateSuccessors) {
+  const auto chain = MarkovChain::build(0, [](MarkovChain::State) {
+    return std::vector<std::pair<MarkovChain::State, double>>{
+        {0, 0.3}, {0, 0.7}};
+  });
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 1.0, 1e-12);
+}
+
+TEST(MarkovChain, RejectsNonStochasticKernel) {
+  EXPECT_THROW(MarkovChain::build(0,
+                                  [](MarkovChain::State) {
+                                    return std::vector<
+                                        std::pair<MarkovChain::State,
+                                                  double>>{{0, 0.5}};
+                                  }),
+               ModelError);
+}
+
+TEST(MarkovChain, RejectsStateExplosion) {
+  EXPECT_THROW(MarkovChain::build(0,
+                                  [](MarkovChain::State s) {
+                                    return std::vector<
+                                        std::pair<MarkovChain::State,
+                                                  double>>{{s + 1, 1.0}};
+                                  },
+                                  /*maxStates=*/100),
+               ModelError);
+}
+
+TEST(MarkovChain, PowerIterationMatchesDense) {
+  // A periodic 3-cycle: dense solve gives uniform; power iteration must
+  // agree thanks to damping.
+  const auto kernel = [](MarkovChain::State s) {
+    return std::vector<std::pair<MarkovChain::State, double>>{
+        {(s + 1) % 3, 1.0}};
+  };
+  const auto chain = MarkovChain::build(0, kernel);
+  const auto dense = chain.stationary(/*denseLimit=*/10);
+  const auto iterative = chain.stationary(/*denseLimit=*/0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(dense[i], 1.0 / 3.0, 1e-10);
+    EXPECT_NEAR(iterative[i], 1.0 / 3.0, 1e-8);
+  }
+}
+
+TEST(MarkovChain, Expectation) {
+  const auto chain = MarkovChain::build(0, [](MarkovChain::State s) {
+    std::vector<std::pair<MarkovChain::State, double>> out;
+    if (s == 0) {
+      out = {{1, 1.0}};
+    } else {
+      out = {{0, 1.0}};
+    }
+    return out;
+  });
+  const auto pi = chain.stationary();
+  const double e = chain.expectation(
+      pi, [](MarkovChain::State s) { return static_cast<double>(s * 10); });
+  EXPECT_NEAR(e, 5.0, 1e-10);
+}
+
+TEST(MarkovChain, ExpectationSizeMismatch) {
+  const auto chain = MarkovChain::build(0, [](MarkovChain::State) {
+    return std::vector<std::pair<MarkovChain::State, double>>{{0, 1.0}};
+  });
+  EXPECT_THROW(chain.expectation({0.5, 0.5}, [](MarkovChain::State) {
+    return 1.0;
+  }),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::markov

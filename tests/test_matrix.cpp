@@ -1,0 +1,141 @@
+// Tests for linalg: matrix ops, LU solve, stationary distributions.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  const Matrix p = a.multiply(b);
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatch) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.multiply(b), PreconditionError);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+}
+
+TEST(SolveLinear, Simple2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = solveLinear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solveLinear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solveLinear(a, {1.0, 2.0}), NumericError);
+}
+
+TEST(SolveLinear, Bigger) {
+  // Random-ish 5x5 with known solution: b = A * ones.
+  Matrix a(5, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      a(r, c) = static_cast<double>((r * 7 + c * 3) % 11) + (r == c ? 10 : 0);
+    }
+  }
+  std::vector<double> b(5, 0.0);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) b[r] += a(r, c);
+  const auto x = solveLinear(a, b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(Stationary, TwoStateChain) {
+  // P = [[0.9, 0.1], [0.5, 0.5]] -> pi = (5/6, 1/6).
+  Matrix p(2, 2);
+  p(0, 0) = 0.9;
+  p(0, 1) = 0.1;
+  p(1, 0) = 0.5;
+  p(1, 1) = 0.5;
+  const auto pi = stationaryDistribution(p);
+  EXPECT_NEAR(pi[0], 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(pi[1], 1.0 / 6.0, 1e-12);
+}
+
+TEST(Stationary, UniformOnSymmetricChain) {
+  Matrix p(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    p(i, (i + 1) % 3) = 0.5;
+    p(i, (i + 2) % 3) = 0.5;
+  }
+  const auto pi = stationaryDistribution(p);
+  for (double v : pi) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Stationary, RejectsNonStochastic) {
+  Matrix p(2, 2, 0.3);
+  EXPECT_THROW(stationaryDistribution(p), PreconditionError);
+}
+
+TEST(Stationary, SumsToOne) {
+  Matrix p(4, 4, 0.25);
+  const auto pi = stationaryDistribution(p);
+  double s = 0.0;
+  for (double v : pi) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcfair::linalg

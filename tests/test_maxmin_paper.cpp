@@ -1,0 +1,182 @@
+// The paper's worked examples, solved exactly (Figures 1-4).
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/properties.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using net::ReceiverRef;
+
+TEST(Fig1, MultiRateMaxMinAllocation) {
+  const net::Network n = net::fig1Network();
+  const auto result = solveMaxMinFair(n);
+  const auto& a = result.allocation;
+  EXPECT_NEAR(a.rate({0, 0}), 1.0, 1e-9);  // r1,1
+  EXPECT_NEAR(a.rate({1, 0}), 1.0, 1e-9);  // r2,1
+  EXPECT_NEAR(a.rate({1, 1}), 2.0, 1e-9);  // r2,2
+  EXPECT_NEAR(a.rate({2, 0}), 1.0, 1e-9);  // r3,1
+  EXPECT_NEAR(a.rate({2, 1}), 2.0, 1e-9);  // r3,2
+}
+
+TEST(Fig1, SessionLinkRatesMatchFigure) {
+  const net::Network n = net::fig1Network();
+  const auto result = solveMaxMinFair(n);
+  const auto& u = result.usage.sessionLinkRate;
+  // l1: (0:0:2), l2: (1:2:0), l3: (0:2:2), l4: (1:1:1).
+  EXPECT_NEAR(u[2][0], 2.0, 1e-9);
+  EXPECT_NEAR(u[0][1], 1.0, 1e-9);
+  EXPECT_NEAR(u[1][1], 2.0, 1e-9);
+  EXPECT_NEAR(u[1][2], 2.0, 1e-9);
+  EXPECT_NEAR(u[2][2], 2.0, 1e-9);
+  EXPECT_NEAR(u[0][3], 1.0, 1e-9);
+  EXPECT_NEAR(u[1][3], 1.0, 1e-9);
+  EXPECT_NEAR(u[2][3], 1.0, 1e-9);
+  // l3 and l4 fully utilized; l1, l2 not.
+  EXPECT_NEAR(result.usage.linkRate[2], 4.0, 1e-9);
+  EXPECT_NEAR(result.usage.linkRate[3], 3.0, 1e-9);
+  EXPECT_LT(result.usage.linkRate[0], 5.0 - 1e-6);
+  EXPECT_LT(result.usage.linkRate[1], 7.0 - 1e-6);
+}
+
+TEST(Fig1, AllFourPropertiesHold) {
+  const net::Network n = net::fig1Network();
+  const auto a = maxMinFairAllocation(n);
+  for (const auto& [name, check] : checkAllProperties(n, a)) {
+    EXPECT_TRUE(check.holds) << name;
+  }
+}
+
+TEST(Fig2, SingleRateAllocation) {
+  // S1 single-rate: a1 = 2 (l2 saturates); unicast S2: a2 = 3 (l1
+  // saturates at 2+3=5).
+  const net::Network n = net::fig2Network(/*s1MultiRate=*/false);
+  const auto result = solveMaxMinFair(n);
+  const auto& a = result.allocation;
+  EXPECT_NEAR(a.rate({0, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate({0, 1}), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate({0, 2}), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 3.0, 1e-9);
+  EXPECT_NEAR(result.usage.linkRate[0], 5.0, 1e-9);  // l1 full
+  EXPECT_NEAR(result.usage.linkRate[1], 2.0, 1e-9);  // l2 full
+}
+
+TEST(Fig2, MultiRateAllocation) {
+  // With S1 multi-rate: r1,1 = r2,1 = 2.5 (l1), r1,2 = 2 (l2),
+  // r1,3 = 3 (l3).
+  const net::Network n = net::fig2Network(/*s1MultiRate=*/true);
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 2.5, 1e-9);
+  EXPECT_NEAR(a.rate({0, 1}), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate({0, 2}), 3.0, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 2.5, 1e-9);
+}
+
+TEST(Fig2, SingleRateFailsThreeProperties) {
+  const net::Network n = net::fig2Network(false);
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_FALSE(checkSamePathReceiverFairness(n, a).holds);
+  EXPECT_FALSE(checkFullyUtilizedReceiverFairness(n, a).holds);
+  EXPECT_FALSE(checkPerReceiverLinkFairness(n, a).holds);
+  // Per-session-link-fairness always holds in a single-rate max-min
+  // allocation ([18]; Section 2.3 of the paper).
+  EXPECT_TRUE(checkPerSessionLinkFairness(n, a).holds);
+}
+
+TEST(Fig2, MultiRateSatisfiesAllProperties) {
+  const net::Network n = net::fig2Network(true);
+  const auto a = maxMinFairAllocation(n);
+  for (const auto& [name, check] : checkAllProperties(n, a)) {
+    EXPECT_TRUE(check.holds) << name;
+  }
+}
+
+TEST(Fig3a, RemovalDecreasesSiblingRate) {
+  const net::Network before = net::fig3aNetwork(false);
+  const net::Network after = net::fig3aNetwork(true);
+  const auto ab = maxMinFairAllocation(before);
+  EXPECT_NEAR(ab.rate({0, 0}), 2.0, 1e-9);  // r1,1
+  EXPECT_NEAR(ab.rate({1, 0}), 5.0, 1e-9);  // r2,1
+  EXPECT_NEAR(ab.rate({2, 0}), 5.0, 1e-9);  // r3,1
+  EXPECT_NEAR(ab.rate({2, 1}), 2.0, 1e-9);  // r3,2
+  const auto aa = maxMinFairAllocation(after);
+  EXPECT_NEAR(aa.rate({0, 0}), 4.0, 1e-9);
+  EXPECT_NEAR(aa.rate({1, 0}), 4.0, 1e-9);
+  EXPECT_NEAR(aa.rate({2, 0}), 4.0, 1e-9);
+  // The phenomenon: r3,1's fair rate DEcreased when its sibling left.
+  EXPECT_LT(aa.rate({2, 0}), ab.rate({2, 0}));
+  // And r1,1's increased.
+  EXPECT_GT(aa.rate({0, 0}), ab.rate({0, 0}));
+}
+
+TEST(Fig3b, RemovalIncreasesSiblingRate) {
+  const net::Network before = net::fig3bNetwork(false);
+  const net::Network after = net::fig3bNetwork(true);
+  const auto ab = maxMinFairAllocation(before);
+  EXPECT_NEAR(ab.rate({0, 0}), 3.0, 1e-9);  // r1,1
+  EXPECT_NEAR(ab.rate({1, 0}), 1.0, 1e-9);  // r2,1
+  EXPECT_NEAR(ab.rate({2, 0}), 9.0, 1e-9);  // r3,1
+  EXPECT_NEAR(ab.rate({2, 1}), 1.0, 1e-9);  // r3,2
+  const auto aa = maxMinFairAllocation(after);
+  EXPECT_NEAR(aa.rate({0, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(aa.rate({1, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(aa.rate({2, 0}), 10.0, 1e-9);
+  // The phenomenon: r3,1's fair rate INcreased when its sibling left.
+  EXPECT_GT(aa.rate({2, 0}), ab.rate({2, 0}));
+  // And r1,1's decreased.
+  EXPECT_LT(aa.rate({0, 0}), ab.rate({0, 0}));
+}
+
+TEST(Fig3, WithoutReceiverMatchesRebuiltNetwork) {
+  const net::Network before = net::fig3aNetwork(false);
+  const net::Network removed =
+      before.withoutReceiver(net::fig3RemovedReceiver());
+  const auto a1 = maxMinFairAllocation(removed);
+  const auto a2 = maxMinFairAllocation(net::fig3aNetwork(true));
+  for (ReceiverRef r : removed.allReceivers()) {
+    EXPECT_NEAR(a1.rate(r), a2.rate(r), 1e-9);
+  }
+}
+
+TEST(Fig4, RedundancyTwoAllocation) {
+  // All receivers at rate 2; u_{1,l4} = 4, l4 fully utilized at 6.
+  const net::Network n = net::fig4Network();
+  const auto result = solveMaxMinFair(n);
+  for (ReceiverRef r : n.allReceivers()) {
+    EXPECT_NEAR(result.allocation.rate(r), 2.0, 1e-9);
+  }
+  EXPECT_NEAR(result.usage.sessionLinkRate[0][3], 4.0, 1e-9);
+  EXPECT_NEAR(result.usage.sessionLinkRate[1][3], 2.0, 1e-9);
+  EXPECT_NEAR(result.usage.linkRate[3], 6.0, 1e-9);
+}
+
+TEST(Fig4, SessionPerspectivePropertiesFail) {
+  const net::Network n = net::fig4Network();
+  const auto a = maxMinFairAllocation(n);
+  // Session-perspective fairness breaks for S2 (u_{1,4}=4 > u_{2,4}=2 on
+  // the only fully utilized link of S2's path)...
+  EXPECT_FALSE(checkPerSessionLinkFairness(n, a).holds);
+  EXPECT_FALSE(checkPerReceiverLinkFairness(n, a).holds);
+  // ...but the receiver-perspective properties survive redundancy
+  // (Section 3: "trivial to show").
+  EXPECT_TRUE(checkSamePathReceiverFairness(n, a).holds);
+  EXPECT_TRUE(checkFullyUtilizedReceiverFairness(n, a).holds);
+}
+
+TEST(Fig4, LowerRedundancyRaisesRates) {
+  // Replacing the redundancy-2 function with the efficient one raises
+  // fair rates (Lemma 4 corollary on this instance).
+  const net::Network redundant = net::fig4Network();
+  const net::Network efficient =
+      redundant.withLinkRateFunction(0, net::efficientMax());
+  const auto ar = maxMinFairAllocation(redundant).orderedRates();
+  const auto ae = maxMinFairAllocation(efficient).orderedRates();
+  for (std::size_t i = 0; i < ar.size(); ++i) {
+    EXPECT_LE(ar[i], ae[i] + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,174 @@
+// Property-based solver tests on random networks: feasibility, Lemma 1
+// (every feasible allocation is min-unfavorable to the max-min fair one),
+// determinism, and robustness of the bisection path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/ordering.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using net::Network;
+using net::ReceiverRef;
+
+// Greedy randomized feasible allocation: repeatedly pick a receiver (or a
+// whole single-rate session) and push its rate up to the feasibility
+// boundary in random order. Produces Pareto-ish allocations that differ
+// from progressive filling.
+Allocation randomGreedyFeasible(const Network& n, util::Rng& rng) {
+  Allocation a(n);
+  const auto receivers = n.allReceivers();
+  std::vector<std::size_t> order(receivers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Fisher-Yates shuffle.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t idx : order) {
+    const ReceiverRef ref = receivers[idx];
+    const auto& sess = n.session(ref.session);
+    // Binary search the largest extra rate this receiver (or its whole
+    // single-rate session) can take.
+    double lo = 0.0;
+    double hi = sess.maxRate;
+    for (graph::LinkId l : sess.receivers[ref.receiver].dataPath) {
+      hi = std::min(hi, n.capacity(l));
+    }
+    auto trial = [&](double rate) {
+      Allocation b = a;
+      if (sess.type == net::SessionType::kSingleRate) {
+        for (std::size_t k = 0; k < sess.receivers.size(); ++k) {
+          b.setRate({ref.session, k},
+                    std::max(rate, b.rate({ref.session, k})));
+        }
+      } else {
+        b.setRate(ref, std::max(rate, b.rate(ref)));
+      }
+      return b;
+    };
+    if (!isFeasible(n, trial(hi))) {
+      for (int step = 0; step < 40; ++step) {
+        const double mid = 0.5 * (lo + hi);
+        (isFeasible(n, trial(mid)) ? lo : hi) = mid;
+      }
+    } else {
+      lo = hi;
+    }
+    // Back off by a random fraction so allocations are diverse, not just
+    // greedy-maximal.
+    a = trial(lo * rng.uniform(0.3, 1.0));
+  }
+  return a;
+}
+
+class MaxMinRandom : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Network makeNetwork(double singleRateProb) const {
+    util::Rng rng(GetParam());
+    net::RandomNetworkOptions opts;
+    opts.singleRateProbability = singleRateProb;
+    return net::randomNetwork(rng, opts);
+  }
+};
+
+TEST_P(MaxMinRandom, ResultIsFeasible) {
+  const Network n = makeNetwork(0.5);
+  const auto result = solveMaxMinFair(n);
+  EXPECT_TRUE(isFeasible(n, result.allocation, 1e-6));
+}
+
+TEST_P(MaxMinRandom, Deterministic) {
+  const Network n = makeNetwork(0.5);
+  const auto a = maxMinFairAllocation(n);
+  const auto b = maxMinFairAllocation(n);
+  for (ReceiverRef r : n.allReceivers()) {
+    EXPECT_DOUBLE_EQ(a.rate(r), b.rate(r));
+  }
+}
+
+TEST_P(MaxMinRandom, Lemma1FeasibleAllocationsAreMinUnfavorable) {
+  const Network n = makeNetwork(0.5);
+  const auto fair = maxMinFairAllocation(n).orderedRates();
+  util::Rng rng(GetParam() * 977 + 13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Allocation alt = randomGreedyFeasible(n, rng);
+    ASSERT_TRUE(isFeasible(n, alt, 1e-6));
+    EXPECT_TRUE(minUnfavorable(alt.orderedRates(), fair, 1e-5));
+  }
+}
+
+TEST_P(MaxMinRandom, SigmaRespected) {
+  const Network n = makeNetwork(0.3);
+  const auto a = maxMinFairAllocation(n);
+  for (ReceiverRef r : n.allReceivers()) {
+    EXPECT_LE(a.rate(r), n.session(r.session).maxRate + 1e-7);
+    EXPECT_GE(a.rate(r), 0.0);
+  }
+}
+
+TEST_P(MaxMinRandom, SingleRateSessionsHaveUniformRates) {
+  const Network n = makeNetwork(1.0);
+  const auto a = maxMinFairAllocation(n);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    const auto& rates = a.sessionRates(i);
+    for (double r : rates) EXPECT_NEAR(r, rates.front(), 1e-9);
+  }
+}
+
+TEST_P(MaxMinRandom, EveryReceiverPinnedBySigmaOrSaturation) {
+  // In any max-min fair allocation, each receiver is at sigma or crosses
+  // a fully utilized link (otherwise its session could be inflated).
+  const Network n = makeNetwork(0.5);
+  const auto result = solveMaxMinFair(n);
+  for (ReceiverRef r : n.allReceivers()) {
+    const auto& sess = n.session(r.session);
+    bool pinned = result.allocation.rate(r) >= sess.maxRate - 1e-6;
+    if (!pinned) {
+      // For single-rate sessions the binding link may be on a sibling's
+      // path; search the session data-path.
+      const auto links = sess.type == net::SessionType::kSingleRate
+                             ? n.sessionDataPath(r.session)
+                             : sess.receivers[r.receiver].dataPath;
+      for (graph::LinkId l : links) {
+        if (result.usage.linkRate[l.value] >= n.capacity(l) - 1e-5) {
+          pinned = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(pinned);
+  }
+}
+
+TEST_P(MaxMinRandom, BisectionPathAgreesWithLinearPath) {
+  // Wrap every session's EfficientMax in an opaque subclass the solver
+  // cannot recognize, forcing the bisection path; results must agree.
+  class OpaqueMax final : public net::LinkRateFunction {
+   public:
+    double linkRate(std::span<const double> rates) const override {
+      return net::EfficientMax().linkRate(rates);
+    }
+  };
+  Network n = makeNetwork(0.5);
+  Network opaque = n;
+  const auto fn = std::make_shared<const OpaqueMax>();
+  for (std::size_t i = 0; i < opaque.sessionCount(); ++i) {
+    opaque = opaque.withLinkRateFunction(i, fn);
+  }
+  const auto exact = maxMinFairAllocation(n);
+  const auto bisected = maxMinFairAllocation(opaque);
+  for (ReceiverRef r : n.allReceivers()) {
+    EXPECT_NEAR(exact.rate(r), bisected.rate(r), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12));
+
+}  // namespace
+}  // namespace mcfair::fairness

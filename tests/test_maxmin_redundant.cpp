@@ -1,0 +1,160 @@
+// Solver tests with non-trivial redundancy functions: the bisection path
+// against hand-computable cases, the Appendix B function inside the
+// allocator, and interactions between redundancy and session types.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/ordering.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using graph::LinkId;
+using net::Network;
+
+TEST(RedundantSolver, ConstantFactorSharedBottleneck) {
+  // 2-receiver multi-rate session (v=3) + unicast on a c=10 link:
+  // fill: 3t + t = 10 -> t = 2.5.
+  Network n;
+  const LinkId l = n.addLink(10.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  s.linkRateFn = std::make_shared<const net::ConstantFactor>(3.0);
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({l}));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 2.5, 1e-9);
+  EXPECT_NEAR(result.allocation.rate({1, 0}), 2.5, 1e-9);
+  EXPECT_NEAR(result.usage.sessionLinkRate[0][0], 7.5, 1e-9);
+  EXPECT_NEAR(result.usage.linkRate[0], 10.0, 1e-9);
+}
+
+TEST(RedundantSolver, AppendixBFunctionInsideAllocator) {
+  // Two receivers random-joining within a layer of rate sigma=4 on a
+  // c=3 link: u = 4(1-(1-a/4)^2) = 2a - a^2/4 = 3  =>  a = 4 - sqrt(4)
+  // ... solve 2a - a^2/4 = 3: a^2 - 8a + 12 = 0 -> a = 2.
+  Network n;
+  const LinkId l = n.addLink(3.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  s.linkRateFn = std::make_shared<const net::RandomJoinExpected>(4.0);
+  n.addSession(std::move(s));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 2.0, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({0, 1}), 2.0, 1e-6);
+  EXPECT_NEAR(result.usage.linkRate[0], 3.0, 1e-6);
+}
+
+TEST(RedundantSolver, RandomJoinLessEfficientThanCoordinated) {
+  // Same network, efficient vs random-join: random-join rates strictly
+  // lower (Lemma 4 with the Appendix B v_i).
+  Network efficient;
+  const LinkId l = efficient.addLink(3.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  efficient.addSession(std::move(s));
+  const Network randomJoin = efficient.withLinkRateFunction(
+      0, std::make_shared<const net::RandomJoinExpected>(4.0));
+  const auto ae = maxMinFairAllocation(efficient).orderedRates();
+  const auto ar = maxMinFairAllocation(randomJoin).orderedRates();
+  EXPECT_TRUE(strictlyMinUnfavorable(ar, ae, 1e-9));
+  EXPECT_NEAR(ae.front(), 3.0, 1e-6);
+  EXPECT_NEAR(ar.front(), 2.0, 1e-6);
+}
+
+TEST(RedundantSolver, SingleRateSessionWithRedundancy) {
+  // Redundancy applies regardless of chi: a single-rate 2-receiver
+  // session with v=2 on a c=8 link shared with a unicast:
+  // 2t + t = 8 -> 8/3 each.
+  Network n;
+  const LinkId l = n.addLink(8.0);
+  net::Session s;
+  s.type = net::SessionType::kSingleRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  s.linkRateFn = std::make_shared<const net::ConstantFactor>(2.0);
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({l}));
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(a.rate({0, 1}), 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 8.0 / 3.0, 1e-9);
+}
+
+TEST(RedundantSolver, RedundancyOnlyWhereReceiversShareLinks) {
+  // ConstantFactor affects only links carrying >= 2 of the session's
+  // receivers; private tails stay efficient.
+  Network n;
+  const LinkId shared = n.addLink(100.0);
+  const LinkId tail1 = n.addLink(2.0);
+  const LinkId tail2 = n.addLink(6.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({shared, tail1}),
+                 net::makeReceiver({shared, tail2})};
+  s.linkRateFn = std::make_shared<const net::ConstantFactor>(2.0);
+  n.addSession(std::move(s));
+  const auto result = solveMaxMinFair(n);
+  // Tails bind individually: rates 2 and 6; shared link carries 2*6=12.
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 2.0, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({0, 1}), 6.0, 1e-6);
+  EXPECT_NEAR(result.usage.sessionLinkRate[0][0], 12.0, 1e-6);
+  EXPECT_NEAR(result.usage.sessionLinkRate[0][1], 2.0, 1e-6);
+  EXPECT_NEAR(result.usage.sessionLinkRate[0][2], 6.0, 1e-6);
+}
+
+TEST(RedundantSolver, MixedLinearAndNonlinearSessions) {
+  // One EfficientMax unicast, one ConstantFactor multi-rate, one
+  // RandomJoinExpected multi-rate, all behind one c=12 link. The solver
+  // must take the bisection path and produce a feasible allocation that
+  // saturates the link.
+  Network n;
+  const LinkId l = n.addLink(12.0);
+  n.addSession(net::makeUnicastSession({l}));
+  net::Session cf;
+  cf.type = net::SessionType::kMultiRate;
+  cf.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  cf.linkRateFn = std::make_shared<const net::ConstantFactor>(2.0);
+  n.addSession(std::move(cf));
+  net::Session rj;
+  rj.type = net::SessionType::kMultiRate;
+  rj.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  rj.linkRateFn = std::make_shared<const net::RandomJoinExpected>(100.0);
+  n.addSession(std::move(rj));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_TRUE(isFeasible(n, result.allocation, 1e-6));
+  EXPECT_NEAR(result.usage.linkRate[0], 12.0, 1e-5);
+  // All receivers share one bottleneck and one filling level: equal
+  // rates.
+  const auto rates = result.allocation.orderedRates();
+  EXPECT_NEAR(rates.front(), rates.back(), 1e-6);
+}
+
+TEST(RedundantSolver, FasterRedundancyGrowthLowersRates) {
+  // Sweep v and confirm monotone rate decrease (Figure 6 viewed through
+  // the solver, non-closed-form variant with 3 receivers).
+  double prev = 1e9;
+  for (const double v : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    Network n;
+    const LinkId l = n.addLink(30.0);
+    net::Session s;
+    s.type = net::SessionType::kMultiRate;
+    s.receivers = {net::makeReceiver({l}), net::makeReceiver({l}),
+                   net::makeReceiver({l})};
+    s.linkRateFn = std::make_shared<const net::ConstantFactor>(v);
+    n.addSession(std::move(s));
+    n.addSession(net::makeUnicastSession({l}));
+    const double rate = maxMinFairAllocation(n).rate({0, 0});
+    EXPECT_LT(rate, prev);
+    EXPECT_NEAR(rate, 30.0 / (v + 1.0), 1e-9);
+    prev = rate;
+  }
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

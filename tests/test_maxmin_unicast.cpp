@@ -1,0 +1,143 @@
+// Max-min solver on classic unicast configurations (sanity against the
+// textbook behaviour of progressive filling, Bertsekas & Gallagher).
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "net/network.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using graph::LinkId;
+using net::Network;
+
+TEST(MaxMinUnicast, EqualShareOnSingleLink) {
+  Network n;
+  const LinkId l = n.addLink(6.0);
+  for (int i = 0; i < 3; ++i) n.addSession(net::makeUnicastSession({l}));
+  const auto result = solveMaxMinFair(n);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.allocation.rate({i, 0}), 2.0, 1e-9);
+  }
+  EXPECT_NEAR(result.usage.linkRate[0], 6.0, 1e-9);
+}
+
+TEST(MaxMinUnicast, TandemBottlenecks) {
+  // S1: {l1}, S2: {l1,l2}, S3: {l2}; c1=1, c2=2.
+  // Progressive filling: S1=S2=0.5 (l1 saturates), then S3=1.5.
+  Network n;
+  const LinkId l1 = n.addLink(1.0);
+  const LinkId l2 = n.addLink(2.0);
+  n.addSession(net::makeUnicastSession({l1}, net::kUnlimitedRate, "S1"));
+  n.addSession(net::makeUnicastSession({l1, l2}, net::kUnlimitedRate, "S2"));
+  n.addSession(net::makeUnicastSession({l2}, net::kUnlimitedRate, "S3"));
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 0.5, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 0.5, 1e-9);
+  EXPECT_NEAR(a.rate({2, 0}), 1.5, 1e-9);
+}
+
+TEST(MaxMinUnicast, SigmaCapReleasesBandwidth) {
+  // Three sessions on one link of capacity 9; one is capped at 1.
+  Network n;
+  const LinkId l = n.addLink(9.0);
+  n.addSession(net::makeUnicastSession({l}, 1.0));
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 1.0, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 4.0, 1e-9);
+  EXPECT_NEAR(a.rate({2, 0}), 4.0, 1e-9);
+}
+
+TEST(MaxMinUnicast, AllSigmaCappedLeavesSlack) {
+  Network n;
+  const LinkId l = n.addLink(100.0);
+  n.addSession(net::makeUnicastSession({l}, 2.0));
+  n.addSession(net::makeUnicastSession({l}, 3.0));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(result.allocation.rate({1, 0}), 3.0, 1e-9);
+  EXPECT_LT(result.usage.linkRate[0], 100.0);
+}
+
+TEST(MaxMinUnicast, FiveSessionChain) {
+  // Links l0..l3 with capacities 4, 3, 2, 1; session i crosses links
+  // i..3 (nested). The receiver crossing everything is limited by l3.
+  Network n;
+  const std::array<double, 4> caps{4.0, 3.0, 2.0, 1.0};
+  std::vector<LinkId> links;
+  for (double c : caps) links.push_back(n.addLink(c));
+  for (std::size_t i = 0; i < 4; ++i) {
+    n.addSession(net::makeUnicastSession(
+        std::vector<LinkId>(links.begin() + static_cast<long>(i),
+                            links.end())));
+  }
+  // Fill: all 4 rise; l3 (cap 1, 4 crossings) binds at 0.25 -> everyone
+  // freezes at 0.25 since every session crosses l3.
+  const auto a = maxMinFairAllocation(n);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a.rate({i, 0}), 0.25, 1e-9);
+  }
+}
+
+TEST(MaxMinUnicast, ParkingLot) {
+  // The classic parking-lot: long session over l0,l1,l2 (all capacity 1)
+  // against one short session per link. Equal split 0.5 everywhere.
+  Network n;
+  std::vector<LinkId> links{n.addLink(1.0), n.addLink(1.0), n.addLink(1.0)};
+  n.addSession(net::makeUnicastSession({links[0], links[1], links[2]}));
+  for (const LinkId l : links) n.addSession(net::makeUnicastSession({l}));
+  const auto a = maxMinFairAllocation(n);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a.rate({i, 0}), 0.5, 1e-9);
+  }
+}
+
+TEST(MaxMinUnicast, UnicastTypeIrrelevant) {
+  // A unicast session behaves the same whether labeled single- or
+  // multi-rate (Section 2).
+  Network n;
+  const LinkId l = n.addLink(3.0);
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  const auto base = maxMinFairAllocation(n);
+  const auto flipped = maxMinFairAllocation(
+      n.withSessionType(0, net::SessionType::kSingleRate));
+  EXPECT_NEAR(base.rate({0, 0}), flipped.rate({0, 0}), 1e-9);
+  EXPECT_NEAR(base.rate({1, 0}), flipped.rate({1, 0}), 1e-9);
+}
+
+TEST(MaxMinUnicast, EmptyNetwork) {
+  Network n;
+  n.addLink(1.0);
+  const auto result = solveMaxMinFair(n);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(MaxMinUnicast, ResultIsFeasibleAndSaturating) {
+  // Every unconstrained-by-sigma receiver must cross a fully utilized
+  // link (unicast fairness property 1).
+  Network n;
+  const LinkId l0 = n.addLink(5.0);
+  const LinkId l1 = n.addLink(2.0);
+  const LinkId l2 = n.addLink(7.0);
+  n.addSession(net::makeUnicastSession({l0, l1}));
+  n.addSession(net::makeUnicastSession({l1, l2}));
+  n.addSession(net::makeUnicastSession({l0, l2}));
+  const auto result = solveMaxMinFair(n);
+  EXPECT_TRUE(isFeasible(n, result.allocation, 1e-7));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& path = n.session(i).receivers[0].dataPath;
+    bool saturated = false;
+    for (const LinkId l : path) {
+      if (result.usage.linkRate[l.value] >= n.capacity(l) - 1e-6) {
+        saturated = true;
+      }
+    }
+    EXPECT_TRUE(saturated) << "session " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

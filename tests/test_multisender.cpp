@@ -1,0 +1,134 @@
+// Tests for multi-sender sessions (Section 5 extension).
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/properties.hpp"
+#include "net/topologies.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::net {
+namespace {
+
+using graph::LinkId;
+using graph::NodeId;
+
+// Line: s0 - a - b - s1, receivers at a and b.
+graph::Graph line() {
+  graph::Graph g;
+  g.addNodes(4);
+  g.addLink(NodeId{0}, NodeId{1}, 10.0);  // l0: s0-a
+  g.addLink(NodeId{1}, NodeId{2}, 10.0);  // l1: a-b
+  g.addLink(NodeId{2}, NodeId{3}, 10.0);  // l2: b-s1
+  return g;
+}
+
+TEST(MultiSender, ReceiversPickNearestSender) {
+  RoutedMultiSenderSpec spec;
+  spec.senders = {NodeId{0}, NodeId{3}};
+  spec.receivers = {NodeId{1}, NodeId{2}};
+  spec.name = "S";
+  const Network n = fromGraphMultiSender(line(), {spec});
+  // Receiver at a is one hop from s0; receiver at b one hop from s1.
+  EXPECT_EQ(n.session(0).receivers[0].dataPath,
+            (std::vector<LinkId>{LinkId{0}}));
+  EXPECT_EQ(n.session(0).receivers[1].dataPath,
+            (std::vector<LinkId>{LinkId{2}}));
+}
+
+TEST(MultiSender, TieBreaksTowardEarlierSender) {
+  graph::Graph g;
+  g.addNodes(3);
+  g.addLink(NodeId{0}, NodeId{1}, 5.0);  // l0: sA-r
+  g.addLink(NodeId{2}, NodeId{1}, 5.0);  // l1: sB-r
+  RoutedMultiSenderSpec spec;
+  spec.senders = {NodeId{0}, NodeId{2}};
+  spec.receivers = {NodeId{1}};
+  const Network n = fromGraphMultiSender(g, {spec});
+  EXPECT_EQ(n.session(0).receivers[0].dataPath,
+            (std::vector<LinkId>{LinkId{0}}));
+}
+
+TEST(MultiSender, SingleSenderMatchesFromGraph) {
+  graph::Graph g = line();
+  RoutedMultiSenderSpec multi;
+  multi.senders = {NodeId{0}};
+  multi.receivers = {NodeId{2}, NodeId{3}};
+  RoutedSessionSpec single;
+  single.sender = NodeId{0};
+  single.receivers = {NodeId{2}, NodeId{3}};
+  const Network a = fromGraphMultiSender(g, {multi});
+  const Network b = fromGraph(g, {single});
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(a.session(0).receivers[k].dataPath,
+              b.session(0).receivers[k].dataPath);
+  }
+}
+
+TEST(MultiSender, SecondSenderRelievesSharedBottleneck) {
+  // One sender: both receivers share the thin first hop. Adding a second
+  // sender next to receiver b reroutes it, and the max-min rates rise.
+  graph::Graph g;
+  g.addNodes(5);
+  g.addLink(NodeId{0}, NodeId{1}, 4.0);   // l0: thin shared first hop
+  g.addLink(NodeId{1}, NodeId{2}, 10.0);  // l1: to receiver a
+  g.addLink(NodeId{1}, NodeId{3}, 10.0);  // l2: to receiver b
+  g.addLink(NodeId{4}, NodeId{3}, 10.0);  // l3: second sender near b
+  RoutedMultiSenderSpec one;
+  one.senders = {NodeId{0}};
+  one.receivers = {NodeId{2}, NodeId{3}};
+  RoutedMultiSenderSpec two = one;
+  two.senders = {NodeId{0}, NodeId{4}};
+  const auto aOne = fairness::maxMinFairAllocation(
+      fromGraphMultiSender(g, {one}));
+  const auto aTwo = fairness::maxMinFairAllocation(
+      fromGraphMultiSender(g, {two}));
+  // With one sender, u_{l0} = max(r_a, r_b): both rise to 4 together
+  // (multicast shares the hop). With the second sender, b leaves l0 and
+  // both reach 10 (their tails).
+  EXPECT_NEAR(aOne.rate({0, 0}), 4.0, 1e-9);
+  EXPECT_NEAR(aOne.rate({0, 1}), 4.0, 1e-9);
+  EXPECT_NEAR(aTwo.rate({0, 0}), 4.0, 1e-9);
+  EXPECT_NEAR(aTwo.rate({0, 1}), 10.0, 1e-9);
+}
+
+TEST(MultiSender, FairnessMachineryApplies) {
+  // Theorem 1 properties hold for the multi-sender multi-rate session's
+  // max-min allocation (the model is sender-agnostic).
+  graph::Graph g = line();
+  RoutedMultiSenderSpec spec;
+  spec.senders = {NodeId{0}, NodeId{3}};
+  spec.receivers = {NodeId{1}, NodeId{2}};
+  RoutedSessionSpec cross;
+  cross.sender = NodeId{0};
+  cross.receivers = {NodeId{2}};
+  cross.name = "unicast";
+  Network n = fromGraphMultiSender(g, {spec});
+  // Add unicast cross traffic sharing l0 and l1.
+  n.addSession(makeUnicastSession(
+      {LinkId{0}, LinkId{1}}, kUnlimitedRate, "x"));
+  const auto a = fairness::maxMinFairAllocation(n);
+  for (const auto& [name, check] : fairness::checkAllProperties(n, a)) {
+    EXPECT_TRUE(check.holds) << name;
+  }
+}
+
+TEST(MultiSender, Validation) {
+  graph::Graph g = line();
+  RoutedMultiSenderSpec noSenders;
+  noSenders.receivers = {NodeId{1}};
+  EXPECT_THROW(fromGraphMultiSender(g, {noSenders}), PreconditionError);
+  RoutedMultiSenderSpec noReceivers;
+  noReceivers.senders = {NodeId{0}};
+  EXPECT_THROW(fromGraphMultiSender(g, {noReceivers}), PreconditionError);
+  graph::Graph disconnected;
+  disconnected.addNodes(3);
+  disconnected.addLink(NodeId{0}, NodeId{1}, 1.0);
+  RoutedMultiSenderSpec unreachable;
+  unreachable.senders = {NodeId{0}};
+  unreachable.receivers = {NodeId{2}};
+  EXPECT_THROW(fromGraphMultiSender(disconnected, {unreachable}),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace mcfair::net

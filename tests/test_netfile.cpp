@@ -1,0 +1,155 @@
+// Tests for the network description parser.
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "net/netfile.hpp"
+
+namespace mcfair::net {
+namespace {
+
+TEST(Netfile, ParsesMinimalNetwork) {
+  const Network n = parseNetworkString(R"(
+link a 5
+session s multi
+receiver s r1 a
+)");
+  EXPECT_EQ(n.linkCount(), 1u);
+  EXPECT_EQ(n.sessionCount(), 1u);
+  EXPECT_DOUBLE_EQ(n.capacity(graph::LinkId{0}), 5.0);
+  EXPECT_EQ(n.session(0).name, "s");
+  EXPECT_EQ(n.session(0).receivers[0].name, "r1");
+}
+
+TEST(Netfile, CommentsAndBlankLines) {
+  const Network n = parseNetworkString(R"(
+# a comment
+link a 5   # trailing comment
+
+session s multi
+receiver s r1 a
+)");
+  EXPECT_EQ(n.linkCount(), 1u);
+}
+
+TEST(Netfile, MultiLinkPathsAndOptions) {
+  const Network n = parseNetworkString(R"(
+link a 5
+link b 3
+session video multi sigma=4 redundancy=1.5
+receiver video r1 a,b weight=2
+receiver video r2 b
+session bulk single
+receiver bulk r1 a
+receiver bulk r2 b
+)");
+  EXPECT_EQ(n.session(0).type, SessionType::kMultiRate);
+  EXPECT_DOUBLE_EQ(n.session(0).maxRate, 4.0);
+  EXPECT_DOUBLE_EQ(n.session(0).receivers[0].weight, 2.0);
+  EXPECT_EQ(n.session(0).receivers[0].dataPath.size(), 2u);
+  const auto* cf =
+      dynamic_cast<const ConstantFactor*>(n.session(0).linkRateFn.get());
+  ASSERT_NE(cf, nullptr);
+  EXPECT_DOUBLE_EQ(cf->factor(), 1.5);
+  EXPECT_EQ(n.session(1).type, SessionType::kSingleRate);
+}
+
+TEST(Netfile, SolvableEndToEnd) {
+  const Network n = parseNetworkString(R"(
+link shared 9
+session a multi
+receiver a r1 shared
+session b multi
+receiver b r1 shared weight=2
+)");
+  const auto alloc = fairness::maxMinFairAllocation(n);
+  EXPECT_NEAR(alloc.rate({0, 0}), 3.0, 1e-9);
+  EXPECT_NEAR(alloc.rate({1, 0}), 6.0, 1e-9);
+}
+
+TEST(Netfile, ErrorsCarryLineNumbers) {
+  try {
+    parseNetworkString("link a 5\nbogus directive\n");
+    FAIL() << "expected NetfileError";
+  } catch (const NetfileError& e) {
+    EXPECT_NE(std::string(e.what()).find("netfile:2"), std::string::npos);
+  }
+}
+
+TEST(Netfile, RejectsMalformedDirectives) {
+  EXPECT_THROW(parseNetworkString("link a\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("link a five\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("link a -2\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("session s sorta\nlink a 1\n"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString("link a 1\nsession s multi nope=1\n"),
+               NetfileError);
+}
+
+TEST(Netfile, RejectsDuplicateNames) {
+  EXPECT_THROW(parseNetworkString("link a 1\nlink a 2\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString(R"(
+link a 1
+session s multi
+session s multi
+)"),
+               NetfileError);
+}
+
+TEST(Netfile, RejectsDanglingReferences) {
+  EXPECT_THROW(parseNetworkString(R"(
+link a 1
+receiver ghost r1 a
+)"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(R"(
+link a 1
+session s multi
+receiver s r1 missing
+)"),
+               NetfileError);
+}
+
+TEST(Netfile, RejectsEmptySessions) {
+  EXPECT_THROW(parseNetworkString("link a 1\nsession s multi\n"),
+               NetfileError);
+}
+
+TEST(Netfile, RejectsBadOptions) {
+  EXPECT_THROW(parseNetworkString(R"(
+link a 1
+session s multi sigma=0
+receiver s r1 a
+)"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(R"(
+link a 1
+session s multi redundancy=0.5
+receiver s r1 a
+)"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(R"(
+link a 1
+session s multi
+receiver s r1 a weight=-1
+)"),
+               NetfileError);
+}
+
+TEST(Netfile, SingleRateWithMixedWeightsRejectedAtSessionLine) {
+  try {
+    parseNetworkString(R"(
+link a 1
+session s single
+receiver s r1 a weight=1
+receiver s r2 a weight=2
+)");
+    FAIL() << "expected NetfileError";
+  } catch (const NetfileError& e) {
+    // The error is detected when the session is assembled and points at
+    // the session declaration line (3).
+    EXPECT_NE(std::string(e.what()).find("netfile:3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcfair::net

@@ -1,0 +1,80 @@
+// Robustness fuzzing for the netfile parser: randomly mutated inputs
+// must either parse or throw NetfileError — never crash, hang, or throw
+// anything else.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/netfile.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::net {
+namespace {
+
+const std::string kSeedInput = R"(# demo
+link backbone 12
+link dsl 1
+session video multi sigma=8 redundancy=1.5
+receiver video home backbone,dsl weight=2
+session web single
+receiver web w1 backbone
+receiver web w2 backbone,dsl
+)";
+
+class NetfileFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetfileFuzz, MutatedInputsNeverCrash) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input = kSeedInput;
+    const std::size_t mutations = 1 + rng.below(8);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      if (input.empty()) break;
+      const std::size_t pos = rng.below(input.size());
+      switch (rng.below(4)) {
+        case 0:  // flip to random printable / control char
+          input[pos] = static_cast<char>(rng.between(9, 126));
+          break;
+        case 1:  // delete
+          input.erase(pos, 1 + rng.below(4));
+          break;
+        case 2:  // duplicate a chunk
+          input.insert(pos, input.substr(pos, 1 + rng.below(12)));
+          break;
+        case 3:  // inject separators
+          input.insert(pos, rng.bernoulli(0.5) ? "\n" : " ");
+          break;
+      }
+    }
+    try {
+      const Network n = parseNetworkString(input);
+      // If it parsed, the result must be a structurally valid network.
+      for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+        EXPECT_GE(n.session(i).receivers.size(), 1u);
+      }
+    } catch (const NetfileError&) {
+      // Expected failure mode.
+    }
+  }
+}
+
+TEST_P(NetfileFuzz, RandomGarbageNeverCrashes) {
+  util::Rng rng(GetParam() + 999);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    const std::size_t len = rng.below(300);
+    for (std::size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.between(9, 126)));
+    }
+    try {
+      parseNetworkString(input);
+    } catch (const NetfileError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetfileFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace mcfair::net

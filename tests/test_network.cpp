@@ -1,0 +1,161 @@
+// Tests for the net::Network model: validation, indexes, what-if copies.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::net {
+namespace {
+
+using graph::LinkId;
+
+Network twoSessionNetwork() {
+  Network n;
+  const LinkId a = n.addLink(5.0);  // l0
+  const LinkId b = n.addLink(3.0);  // l1
+  Session s1;
+  s1.name = "S1";
+  s1.type = SessionType::kMultiRate;
+  s1.receivers = {makeReceiver({a, b}, "r1,1"), makeReceiver({a}, "r1,2")};
+  n.addSession(std::move(s1));
+  n.addSession(makeUnicastSession({b}, kUnlimitedRate, "S2"));
+  return n;
+}
+
+TEST(Network, LinkAccounting) {
+  const Network n = twoSessionNetwork();
+  EXPECT_EQ(n.linkCount(), 2u);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{0}), 5.0);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{1}), 3.0);
+  EXPECT_THROW(n.capacity(LinkId{7}), ModelError);
+}
+
+TEST(Network, RejectsBadLinks) {
+  Network n;
+  EXPECT_THROW(n.addLink(0.0), PreconditionError);
+  EXPECT_THROW(n.addLink(-1.0), PreconditionError);
+}
+
+TEST(Network, SessionValidation) {
+  Network n;
+  const LinkId a = n.addLink(1.0);
+  Session empty;
+  EXPECT_THROW(n.addSession(empty), PreconditionError);
+  Session badPath;
+  badPath.receivers = {makeReceiver({LinkId{9}})};
+  EXPECT_THROW(n.addSession(badPath), ModelError);
+  Session badSigma;
+  badSigma.maxRate = 0.0;
+  badSigma.receivers = {makeReceiver({a})};
+  EXPECT_THROW(n.addSession(badSigma), PreconditionError);
+  Session emptyPath;
+  emptyPath.receivers = {Receiver{}};
+  EXPECT_THROW(n.addSession(emptyPath), PreconditionError);
+}
+
+TEST(Network, DataPathNormalized) {
+  Network n;
+  const LinkId a = n.addLink(1.0);
+  const LinkId b = n.addLink(1.0);
+  Session s;
+  s.receivers = {makeReceiver({b, a, b})};  // unsorted with duplicate
+  n.addSession(std::move(s));
+  const auto& path = n.session(0).receivers[0].dataPath;
+  EXPECT_EQ(path, (std::vector<LinkId>{a, b}));
+}
+
+TEST(Network, NullLinkRateFnDefaultsToEfficientMax) {
+  Network n;
+  const LinkId a = n.addLink(1.0);
+  Session s;
+  s.receivers = {makeReceiver({a})};
+  n.addSession(std::move(s));
+  EXPECT_NE(n.session(0).linkRateFn, nullptr);
+}
+
+TEST(Network, ReceiversOnLink) {
+  const Network n = twoSessionNetwork();
+  const auto& r0 = n.receiversOnLink(LinkId{0});
+  ASSERT_EQ(r0.size(), 2u);  // r1,1 and r1,2
+  EXPECT_EQ(r0[0], (ReceiverRef{0, 0}));
+  EXPECT_EQ(r0[1], (ReceiverRef{0, 1}));
+  const auto& r1 = n.receiversOnLink(LinkId{1});
+  ASSERT_EQ(r1.size(), 2u);  // r1,1 and r2,1
+  EXPECT_EQ(r1[0], (ReceiverRef{0, 0}));
+  EXPECT_EQ(r1[1], (ReceiverRef{1, 0}));
+}
+
+TEST(Network, SessionReceiversOnLink) {
+  const Network n = twoSessionNetwork();
+  const auto r = n.sessionReceiversOnLink(0, LinkId{1});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (ReceiverRef{0, 0}));
+  EXPECT_TRUE(n.sessionReceiversOnLink(1, LinkId{0}).empty());
+}
+
+TEST(Network, OnLink) {
+  const Network n = twoSessionNetwork();
+  EXPECT_TRUE(n.onLink({0, 0}, LinkId{0}));
+  EXPECT_TRUE(n.onLink({0, 0}, LinkId{1}));
+  EXPECT_FALSE(n.onLink({0, 1}, LinkId{1}));
+}
+
+TEST(Network, SessionDataPath) {
+  const Network n = twoSessionNetwork();
+  EXPECT_EQ(n.sessionDataPath(0),
+            (std::vector<LinkId>{LinkId{0}, LinkId{1}}));
+  EXPECT_EQ(n.sessionDataPath(1), (std::vector<LinkId>{LinkId{1}}));
+}
+
+TEST(Network, AllReceivers) {
+  const Network n = twoSessionNetwork();
+  const auto all = n.allReceivers();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(n.receiverCount(), 3u);
+  EXPECT_EQ(all[2], (ReceiverRef{1, 0}));
+}
+
+TEST(Network, WithSessionType) {
+  const Network n = twoSessionNetwork();
+  const Network m = n.withSessionType(0, SessionType::kSingleRate);
+  EXPECT_EQ(m.session(0).type, SessionType::kSingleRate);
+  EXPECT_EQ(n.session(0).type, SessionType::kMultiRate);  // original intact
+}
+
+TEST(Network, WithLinkRateFunction) {
+  const Network n = twoSessionNetwork();
+  auto fn = std::make_shared<const ConstantFactor>(2.0);
+  const Network m = n.withLinkRateFunction(0, fn);
+  EXPECT_EQ(m.session(0).linkRateFn.get(), fn.get());
+  EXPECT_THROW(n.withLinkRateFunction(0, nullptr), PreconditionError);
+}
+
+TEST(Network, WithoutReceiverReindexes) {
+  const Network n = twoSessionNetwork();
+  const Network m = n.withoutReceiver({0, 0});
+  EXPECT_EQ(m.receiverCount(), 2u);
+  // Link 1 now carries only S2's receiver.
+  const auto& r1 = m.receiversOnLink(LinkId{1});
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0], (ReceiverRef{1, 0}));
+  // Removing the last receiver of a session is rejected.
+  EXPECT_THROW(m.withoutReceiver({1, 0}), PreconditionError);
+}
+
+TEST(Network, WithCapacity) {
+  const Network n = twoSessionNetwork();
+  const Network m = n.withCapacity(LinkId{0}, 9.0);
+  EXPECT_DOUBLE_EQ(m.capacity(LinkId{0}), 9.0);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{0}), 5.0);
+}
+
+TEST(Network, UnicastHelper) {
+  Network n;
+  const LinkId a = n.addLink(1.0);
+  const std::size_t i = n.addSession(makeUnicastSession({a}, 2.5, "U"));
+  EXPECT_EQ(n.session(i).receivers.size(), 1u);
+  EXPECT_DOUBLE_EQ(n.session(i).maxRate, 2.5);
+}
+
+}  // namespace
+}  // namespace mcfair::net

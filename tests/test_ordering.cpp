@@ -1,0 +1,139 @@
+// Tests for the min-unfavorable ordering (Definition 2) and Lemma 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fairness/ordering.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+TEST(MinUnfavorable, Reflexive) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_TRUE(minUnfavorable(x, x));
+  EXPECT_FALSE(strictlyMinUnfavorable(x, x));
+}
+
+TEST(MinUnfavorable, SimpleDominance) {
+  EXPECT_TRUE(minUnfavorable({1.0, 2.0}, {1.5, 2.0}));
+  EXPECT_FALSE(minUnfavorable({1.5, 2.0}, {1.0, 2.0}));
+}
+
+TEST(MinUnfavorable, TradeHigherForLowerMinimum) {
+  // X = (1, 10), Y = (2, 3): x2 > y2 but x1 < y1 earlier, so X <=_m Y.
+  EXPECT_TRUE(minUnfavorable({1.0, 10.0}, {2.0, 3.0}));
+  EXPECT_FALSE(minUnfavorable({2.0, 3.0}, {1.0, 10.0}));
+}
+
+TEST(MinUnfavorable, LexicographicIntuition) {
+  // Alphabetization analogy from the paper: equal prefixes defer to the
+  // first differing entry.
+  EXPECT_TRUE(minUnfavorable({1.0, 2.0, 5.0}, {1.0, 3.0, 4.0}));
+  EXPECT_FALSE(minUnfavorable({1.0, 3.0, 4.0}, {1.0, 2.0, 5.0}));
+}
+
+TEST(MinUnfavorable, RejectsUnsortedOrMismatched) {
+  EXPECT_THROW(minUnfavorable({2.0, 1.0}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(minUnfavorable({1.0}, {1.0, 2.0}), PreconditionError);
+}
+
+TEST(CompareMinUnfavorable, Classification) {
+  EXPECT_EQ(compareMinUnfavorable({1.0, 2.0}, {1.0, 2.0}),
+            MinUnfavorableOrder::kEqual);
+  EXPECT_EQ(compareMinUnfavorable({1.0, 2.0}, {1.0, 3.0}),
+            MinUnfavorableOrder::kLess);
+  EXPECT_EQ(compareMinUnfavorable({1.0, 3.0}, {1.0, 2.0}),
+            MinUnfavorableOrder::kGreater);
+}
+
+TEST(Lemma2, ThresholdExistsForStrictPairs) {
+  // X <_m Y: threshold must exist; reversed: must not.
+  const std::vector<double> x{1.0, 2.0, 5.0};
+  const std::vector<double> y{1.0, 3.0, 4.0};
+  EXPECT_TRUE(lemma2Threshold(x, y).has_value());
+  EXPECT_FALSE(lemma2Threshold(y, x).has_value());
+  EXPECT_FALSE(lemma2Threshold(x, x).has_value());
+}
+
+TEST(Lemma2, ThresholdWitnessesCounts) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{2.0, 3.0};
+  const auto x0 = lemma2Threshold(x, y);
+  ASSERT_TRUE(x0.has_value());
+  EXPECT_GT(countAtOrBelow(x, *x0), countAtOrBelow(y, *x0));
+}
+
+TEST(CountAtOrBelow, Basics) {
+  const std::vector<double> v{1.0, 2.0, 2.0, 5.0};
+  EXPECT_EQ(countAtOrBelow(v, 0.5), 0u);
+  EXPECT_EQ(countAtOrBelow(v, 2.0), 3u);
+  EXPECT_EQ(countAtOrBelow(v, 9.0), 4u);
+}
+
+class OrderingRandom : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<double> randomOrdered(util::Rng& rng, std::size_t n) const {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(0.0, 10.0);
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+};
+
+TEST_P(OrderingRandom, Totality) {
+  // For any pair of equal-length ordered vectors, X <=_m Y or Y <=_m X
+  // (or both) — stated right after Definition 2.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = randomOrdered(rng, 6);
+    const auto y = randomOrdered(rng, 6);
+    EXPECT_TRUE(minUnfavorable(x, y, 0.0) || minUnfavorable(y, x, 0.0));
+  }
+}
+
+TEST_P(OrderingRandom, Antisymmetry) {
+  util::Rng rng(GetParam() + 101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = randomOrdered(rng, 5);
+    const auto y = randomOrdered(rng, 5);
+    if (minUnfavorable(x, y, 0.0) && minUnfavorable(y, x, 0.0)) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_DOUBLE_EQ(x[i], y[i]);
+      }
+    }
+  }
+}
+
+TEST_P(OrderingRandom, Transitivity) {
+  util::Rng rng(GetParam() + 202);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto x = randomOrdered(rng, 4);
+    auto y = randomOrdered(rng, 4);
+    auto z = randomOrdered(rng, 4);
+    // Sort the triple into a chain if possible and verify the implied
+    // relation.
+    if (minUnfavorable(x, y, 0.0) && minUnfavorable(y, z, 0.0)) {
+      EXPECT_TRUE(minUnfavorable(x, z, 0.0));
+    }
+  }
+}
+
+TEST_P(OrderingRandom, Lemma2EquivalenceWithStrictOrdering) {
+  // Lemma 2: X <_m Y <=> a threshold exists.
+  util::Rng rng(GetParam() + 303);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto x = randomOrdered(rng, 5);
+    const auto y = randomOrdered(rng, 5);
+    const bool strict = strictlyMinUnfavorable(x, y, 0.0);
+    const bool threshold = lemma2Threshold(x, y).has_value();
+    EXPECT_EQ(strict, threshold);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingRandom,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,161 @@
+// Handcrafted positive/negative cases for each of the four fairness
+// properties, exercising the predicates independently of the solver.
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/properties.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using graph::LinkId;
+using net::Network;
+using net::ReceiverRef;
+
+TEST(FullyUtilizedReceiverFair, HoldsWhenTopRatedOnSaturatedLink) {
+  Network n;
+  const LinkId l = n.addLink(3.0);
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  Allocation a(n);
+  a.setRate({0, 0}, 2.0);
+  a.setRate({1, 0}, 1.0);  // link saturated: 3.0
+  const auto usage = computeLinkUsage(n, a);
+  EXPECT_TRUE(isReceiverFullyUtilizedFair(n, a, usage, {0, 0}));
+  // The receiver at rate 1 is NOT top-rated on the saturated link.
+  EXPECT_FALSE(isReceiverFullyUtilizedFair(n, a, usage, {1, 0}));
+}
+
+TEST(FullyUtilizedReceiverFair, SigmaPinnedReceiverIsFair) {
+  Network n;
+  const LinkId l = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({l}, 1.0));
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);  // at sigma; link far from full
+  const auto usage = computeLinkUsage(n, a);
+  EXPECT_TRUE(isReceiverFullyUtilizedFair(n, a, usage, {0, 0}));
+}
+
+TEST(FullyUtilizedReceiverFair, FailsWithSlackEverywhere) {
+  Network n;
+  const LinkId l = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({l}));
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  const auto usage = computeLinkUsage(n, a);
+  EXPECT_FALSE(isReceiverFullyUtilizedFair(n, a, usage, {0, 0}));
+}
+
+TEST(SamePathFair, EqualRatesHold) {
+  const Network n = net::fig2Network(true);
+  Allocation a(n);
+  a.setRate({0, 0}, 2.5);
+  a.setRate({1, 0}, 2.5);
+  EXPECT_TRUE(arePairSamePathFair(n, a, {0, 0}, {1, 0}));
+}
+
+TEST(SamePathFair, UnequalWithoutSigmaFails) {
+  const Network n = net::fig2Network(false);
+  Allocation a(n);
+  a.setRate({0, 0}, 2.0);
+  a.setRate({1, 0}, 3.0);  // sigma = 100, not pinned
+  EXPECT_FALSE(arePairSamePathFair(n, a, {0, 0}, {1, 0}));
+}
+
+TEST(SamePathFair, LowerReceiverPinnedAtSigmaHolds) {
+  Network n;
+  const LinkId l = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({l}, 1.0, "capped"));
+  n.addSession(net::makeUnicastSession({l}, net::kUnlimitedRate, "free"));
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({1, 0}, 5.0);
+  EXPECT_TRUE(arePairSamePathFair(n, a, {0, 0}, {1, 0}));
+  // Reversed magnitudes: the lower one is no longer at ITS sigma.
+  a.setRate({0, 0}, 0.5);
+  EXPECT_FALSE(arePairSamePathFair(n, a, {0, 0}, {1, 0}));
+}
+
+TEST(SamePathFair, DifferentPathsVacuouslyFair) {
+  const Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({1, 1}, 9.0);
+  a.setRate({2, 1}, 1.0);
+  // r2,2 and r3,2 share l3 but have different first hops.
+  EXPECT_TRUE(arePairSamePathFair(n, a, {1, 1}, {2, 1}));
+}
+
+TEST(PerReceiverLinkFair, Fig2SingleRateS1Fails) {
+  const Network n = net::fig2Network(false);
+  const auto result = solveMaxMinFair(n);
+  EXPECT_FALSE(isSessionPerReceiverLinkFair(n, result.allocation,
+                                            result.usage, 0));
+  // S2 (the unicast session) IS per-receiver-link-fair: l1 full, u2 >= u1.
+  EXPECT_TRUE(isSessionPerReceiverLinkFair(n, result.allocation,
+                                           result.usage, 1));
+}
+
+TEST(PerSessionLinkFair, Fig2BothHold) {
+  const Network n = net::fig2Network(false);
+  const auto result = solveMaxMinFair(n);
+  EXPECT_TRUE(isSessionPerSessionLinkFair(n, result.allocation,
+                                          result.usage, 0));
+  EXPECT_TRUE(isSessionPerSessionLinkFair(n, result.allocation,
+                                          result.usage, 1));
+}
+
+TEST(PerSessionLinkFair, WeakerThanPerReceiver) {
+  // Any per-receiver-link-fair session allocation is also
+  // per-session-link-fair (checked on the Fig 1 allocation).
+  const Network n = net::fig1Network();
+  const auto result = solveMaxMinFair(n);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    const bool perReceiver = isSessionPerReceiverLinkFair(
+        n, result.allocation, result.usage, i);
+    const bool perSession = isSessionPerSessionLinkFair(
+        n, result.allocation, result.usage, i);
+    EXPECT_TRUE(!perReceiver || perSession);
+  }
+}
+
+TEST(PerSessionLinkFair, AllReceiversAtSigmaHolds) {
+  Network n;
+  const LinkId l = n.addLink(100.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.maxRate = 1.0;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  n.addSession(std::move(s));
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({0, 1}, 1.0);
+  const auto usage = computeLinkUsage(n, a);
+  EXPECT_TRUE(isSessionPerSessionLinkFair(n, a, usage, 0));
+  EXPECT_TRUE(isSessionPerReceiverLinkFair(n, a, usage, 0));
+}
+
+TEST(WholeNetworkChecks, ReportViolations) {
+  const Network n = net::fig2Network(false);
+  const auto a = maxMinFairAllocation(n);
+  const auto samePath = checkSamePathReceiverFairness(n, a);
+  EXPECT_FALSE(samePath.holds);
+  EXPECT_FALSE(samePath.violations.empty());
+  // The violation message names the receivers.
+  EXPECT_NE(samePath.violations.front().find("r1,1"), std::string::npos);
+  EXPECT_NE(samePath.violations.front().find("r2,1"), std::string::npos);
+}
+
+TEST(CheckAllProperties, ReturnsFourInPaperOrder) {
+  const Network n = net::fig1Network();
+  const auto a = maxMinFairAllocation(n);
+  const auto all = checkAllProperties(n, a);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].first, "fully-utilized-receiver-fairness");
+  EXPECT_EQ(all[1].first, "same-path-receiver-fairness");
+  EXPECT_EQ(all[2].first, "per-receiver-link-fairness");
+  EXPECT_EQ(all[3].first, "per-session-link-fairness");
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

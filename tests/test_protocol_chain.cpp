@@ -1,0 +1,193 @@
+// Tests for the Figure 7(a) protocol Markov analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/protocol_chain.hpp"
+#include "sim/star.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::markov {
+namespace {
+
+using sim::ProtocolKind;
+
+TEST(ProtocolChain, SingleReceiverRedundancyIsLossInflation) {
+  // With one receiver, forwarded = subscription and delivered =
+  // subscription * (1 - q): redundancy must be exactly 1/(1-q).
+  ProtocolChainConfig c;
+  c.layers = 4;
+  c.protocol = ProtocolKind::kUncoordinated;
+  c.sharedLoss = 0.02;
+  c.receiverLoss = {0.03};
+  const auto a = analyzeProtocolChain(c);
+  const double q = 0.02 + 0.98 * 0.03;
+  EXPECT_NEAR(a.redundancy, 1.0 / (1.0 - q), 1e-9);
+}
+
+TEST(ProtocolChain, ZeroLossDeterministicSitsAtTop) {
+  ProtocolChainConfig c;
+  c.layers = 3;
+  c.protocol = ProtocolKind::kDeterministic;
+  c.sharedLoss = 0.0;
+  c.receiverLoss = {0.0, 0.0};
+  const auto a = analyzeProtocolChain(c);
+  // Absorbing at (top, top): subscription rate = 2^(3-1) = 4.
+  EXPECT_NEAR(a.subscriptionRate[0], 4.0, 1e-6);
+  EXPECT_NEAR(a.subscriptionRate[1], 4.0, 1e-6);
+  EXPECT_NEAR(a.redundancy, 1.0, 1e-6);
+}
+
+TEST(ProtocolChain, SymmetricReceiversSymmetricRates) {
+  ProtocolChainConfig c;
+  c.layers = 4;
+  c.protocol = ProtocolKind::kUncoordinated;
+  c.sharedLoss = 0.01;
+  c.receiverLoss = {0.05, 0.05};
+  const auto a = analyzeProtocolChain(c);
+  EXPECT_NEAR(a.subscriptionRate[0], a.subscriptionRate[1], 1e-9);
+  EXPECT_NEAR(a.meanLevel[0], a.meanLevel[1], 1e-9);
+  EXPECT_GE(a.redundancy, 1.0);
+}
+
+TEST(ProtocolChain, EqualLossMaximizesRedundancy) {
+  // The paper's key analytical finding: holding the total fanout loss
+  // fixed, redundancy peaks when the two receivers' loss rates are equal.
+  for (const auto kind :
+       {ProtocolKind::kUncoordinated, ProtocolKind::kCoordinated}) {
+    ProtocolChainConfig c;
+    c.layers = 4;
+    c.protocol = kind;
+    c.sharedLoss = 0.001;
+    c.receiverLoss = {0.04, 0.04};
+    const double equal = analyzeProtocolChain(c).redundancy;
+    c.receiverLoss = {0.02, 0.06};
+    const double skew1 = analyzeProtocolChain(c).redundancy;
+    c.receiverLoss = {0.01, 0.07};
+    const double skew2 = analyzeProtocolChain(c).redundancy;
+    EXPECT_GE(equal, skew1 - 1e-9) << protocolName(kind);
+    EXPECT_GE(skew1, skew2 - 1e-9) << protocolName(kind);
+  }
+}
+
+TEST(ProtocolChain, CoordinatedBelowUncoordinated) {
+  ProtocolChainConfig c;
+  c.layers = 5;
+  c.sharedLoss = 0.0001;
+  c.receiverLoss = {0.03, 0.03};
+  c.protocol = ProtocolKind::kUncoordinated;
+  const double unco = analyzeProtocolChain(c).redundancy;
+  c.protocol = ProtocolKind::kCoordinated;
+  const double coord = analyzeProtocolChain(c).redundancy;
+  EXPECT_LT(coord, unco);
+}
+
+TEST(ProtocolChain, MatchesSimulatorForUncoordinated) {
+  // The chain randomizes the layer schedule; the simulator interleaves it
+  // deterministically. Cross-validate with a generous tolerance.
+  ProtocolChainConfig mc;
+  mc.layers = 4;
+  mc.protocol = ProtocolKind::kUncoordinated;
+  mc.sharedLoss = 0.001;
+  mc.receiverLoss = {0.05, 0.05};
+  const auto analysis = analyzeProtocolChain(mc);
+
+  sim::StarConfig sc;
+  sc.receivers = 2;
+  sc.layers = 4;
+  sc.protocol = ProtocolKind::kUncoordinated;
+  sc.sharedLossRate = 0.001;
+  sc.independentLossRate = 0.05;
+  sc.totalPackets = 200000;
+  const auto sim = sim::estimateRedundancy(sc, 8);
+  EXPECT_NEAR(sim.mean, analysis.redundancy,
+              0.25 * analysis.redundancy);
+}
+
+TEST(ProtocolChain, StateCountsReasonable) {
+  ProtocolChainConfig c;
+  c.layers = 4;
+  c.protocol = ProtocolKind::kUncoordinated;
+  c.receiverLoss = {0.1, 0.1};
+  c.sharedLoss = 0.0;
+  EXPECT_LE(analyzeProtocolChain(c).stateCount, 16u);
+  c.protocol = ProtocolKind::kCoordinated;
+  EXPECT_LE(analyzeProtocolChain(c).stateCount, 64u);
+}
+
+TEST(ProtocolChain, Validation) {
+  ProtocolChainConfig c;
+  c.receiverLoss = {};
+  EXPECT_THROW(analyzeProtocolChain(c), PreconditionError);
+  c.receiverLoss = {0.1, 0.1, 0.1, 0.1, 0.1};
+  EXPECT_THROW(analyzeProtocolChain(c), PreconditionError);
+  c.receiverLoss = {1.0};
+  EXPECT_THROW(analyzeProtocolChain(c), PreconditionError);
+  c.receiverLoss = {0.1};
+  c.sharedLoss = -0.1;
+  EXPECT_THROW(analyzeProtocolChain(c), PreconditionError);
+  c.sharedLoss = 0.0;
+  c.layers = 0;
+  EXPECT_THROW(analyzeProtocolChain(c), PreconditionError);
+}
+
+TEST(ProtocolChain, LevelDistributionsAreConsistent) {
+  ProtocolChainConfig c;
+  c.layers = 4;
+  c.protocol = ProtocolKind::kUncoordinated;
+  c.sharedLoss = 0.001;
+  c.receiverLoss = {0.03, 0.06};
+  const auto a = analyzeProtocolChain(c);
+  // Rows sum to 1.
+  for (const auto& dist : a.levelDistribution) {
+    double sum = 0.0;
+    for (double p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  double maxSum = 0.0, forwarded = 0.0, mean0 = 0.0, sub0 = 0.0;
+  for (std::size_t l = 1; l <= 4; ++l) {
+    maxSum += a.maxLevelDistribution[l - 1];
+    forwarded +=
+        a.maxLevelDistribution[l - 1] * std::ldexp(1.0, int(l) - 1);
+    mean0 += a.levelDistribution[0][l - 1] * static_cast<double>(l);
+    sub0 += a.levelDistribution[0][l - 1] * std::ldexp(1.0, int(l) - 1);
+  }
+  EXPECT_NEAR(maxSum, 1.0, 1e-9);
+  EXPECT_NEAR(forwarded, a.forwardedRate, 1e-9);
+  EXPECT_NEAR(mean0, a.meanLevel[0], 1e-9);
+  EXPECT_NEAR(sub0, a.subscriptionRate[0], 1e-9);
+}
+
+TEST(ProtocolChain, HigherLossShiftsLevelsDownStochastically) {
+  // First-order stochastic dominance: at higher loss, P(level <= l)
+  // grows for every l.
+  ProtocolChainConfig lo, hi;
+  lo.layers = hi.layers = 4;
+  lo.protocol = hi.protocol = ProtocolKind::kDeterministic;
+  lo.layers = hi.layers = 3;
+  lo.sharedLoss = hi.sharedLoss = 0.0;
+  lo.receiverLoss = {0.02, 0.02};
+  hi.receiverLoss = {0.08, 0.08};
+  const auto aLo = analyzeProtocolChain(lo);
+  const auto aHi = analyzeProtocolChain(hi);
+  double cdfLo = 0.0, cdfHi = 0.0;
+  for (std::size_t l = 0; l < 3; ++l) {
+    cdfLo += aLo.levelDistribution[0][l];
+    cdfHi += aHi.levelDistribution[0][l];
+    EXPECT_GE(cdfHi, cdfLo - 1e-12) << "level " << l + 1;
+  }
+}
+
+TEST(ProtocolChain, ThreeReceiversSupported) {
+  ProtocolChainConfig c;
+  c.layers = 3;
+  c.protocol = ProtocolKind::kUncoordinated;
+  c.sharedLoss = 0.01;
+  c.receiverLoss = {0.02, 0.02, 0.02};
+  const auto a = analyzeProtocolChain(c);
+  EXPECT_GE(a.redundancy, 1.0);
+  EXPECT_EQ(a.subscriptionRate.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mcfair::markov

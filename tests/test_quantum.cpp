@@ -1,0 +1,205 @@
+// Tests for quantum join/leave schedules and random-join redundancy
+// (Appendix B validation, Figure 5 machinery, Appendix E claim).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layering/quantum.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+namespace {
+
+TEST(RandomJoinClosedForm, TwoEqualReceivers) {
+  // sigma=1, a=(0.5,0.5): E[U] = 1-(0.5)^2 = 0.75, redundancy 1.5.
+  EXPECT_DOUBLE_EQ(singleLayerRandomJoinExpectedUsage({0.5, 0.5}, 1.0), 0.75);
+  EXPECT_DOUBLE_EQ(singleLayerRandomJoinRedundancy({0.5, 0.5}, 1.0), 1.5);
+}
+
+TEST(RandomJoinClosedForm, RedundancyBoundedBySigmaOverMax) {
+  // Figure 5 observation: redundancy <= sigma / max(a) and approaches it
+  // as receivers multiply.
+  const double sigma = 1.0;
+  const double z = 0.1;
+  std::vector<double> rates;
+  double prev = 0.0;
+  for (int r = 1; r <= 200; ++r) {
+    rates.push_back(z);
+    const double red = singleLayerRandomJoinRedundancy(rates, sigma);
+    EXPECT_LE(red, sigma / z + 1e-12);
+    EXPECT_GE(red + 1e-12, prev);  // monotone in receiver count
+    prev = red;
+  }
+  EXPECT_GT(prev, 0.95 * sigma / z);  // asymptotically reaches the bound
+}
+
+TEST(RandomJoinClosedForm, SingleReceiverIsEfficient) {
+  EXPECT_DOUBLE_EQ(singleLayerRandomJoinRedundancy({0.3}, 1.0), 1.0);
+}
+
+TEST(RandomJoinClosedForm, EqualRatesMaximizeRedundancyGrowth) {
+  // Section 3: "redundancy increases most rapidly ... when all receivers
+  // receive at the same rate" (for a fixed efficient link rate).
+  // Compare All-0.5 against 1st-0.5-rest-0.1 at equal receiver counts.
+  for (std::size_t r = 2; r <= 50; ++r) {
+    std::vector<double> equal(r, 0.5);
+    std::vector<double> skewed(r, 0.1);
+    skewed[0] = 0.5;  // same efficient link rate (max = 0.5)
+    EXPECT_GE(singleLayerRandomJoinRedundancy(equal, 1.0),
+              singleLayerRandomJoinRedundancy(skewed, 1.0));
+  }
+}
+
+TEST(RandomJoinMonteCarlo, MatchesClosedForm) {
+  util::Rng rng(1234);
+  const std::vector<double> rates{0.3, 0.5, 0.2, 0.4};
+  const double expected = singleLayerRandomJoinExpectedUsage(rates, 1.0);
+  const double simulated =
+      simulateRandomJoinUsage(rates, 1.0, /*packetsPerQuantum=*/100,
+                              /*quanta=*/4000, rng);
+  EXPECT_NEAR(simulated, expected, 0.01);
+}
+
+TEST(RandomJoinMonteCarlo, Validation) {
+  util::Rng rng(1);
+  EXPECT_THROW(simulateRandomJoinUsage({0.5}, 0.0, 10, 10, rng),
+               PreconditionError);
+  EXPECT_THROW(simulateRandomJoinUsage({0.5}, 1.0, 0, 10, rng),
+               PreconditionError);
+}
+
+TEST(MultiLayer, FullyJoinedLayersCarryWholeRate) {
+  // One receiver at the scheme top: usage = its rate exactly.
+  const LayerScheme scheme = LayerScheme::exponential(3);  // cum 1,2,4
+  EXPECT_DOUBLE_EQ(multiLayerRandomJoinExpectedUsage({4.0}, scheme), 4.0);
+  EXPECT_DOUBLE_EQ(multiLayerRandomJoinRedundancy({4.0}, scheme), 1.0);
+}
+
+TEST(MultiLayer, PartialTopLayerUsesAppendixB) {
+  // Receivers at 1.5 with layers (1,1,2): layer 1 full (1.0), layer 2
+  // partial with remainders {0.5, 0.5}: 1*(1-0.25)=0.75. Total 1.75.
+  const LayerScheme scheme = LayerScheme::exponential(3);
+  const double u = multiLayerRandomJoinExpectedUsage({1.5, 1.5}, scheme);
+  EXPECT_DOUBLE_EQ(u, 1.0 + 0.75);
+}
+
+TEST(MultiLayer, NeverWorseThanSingleLayer) {
+  // Appendix E claim: splitting into layers never increases redundancy
+  // beyond the single-layer case (same aggregate rate).
+  util::Rng rng(99);
+  const LayerScheme multi = LayerScheme::exponential(6);  // aggregate 32
+  const double sigma = multi.cumulativeRate(multi.layerCount());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t r = 2 + rng.below(8);
+    std::vector<double> rates;
+    for (std::size_t k = 0; k < r; ++k) {
+      rates.push_back(rng.uniform(0.05, sigma));
+    }
+    const double single = singleLayerRandomJoinExpectedUsage(rates, sigma);
+    const double layered = multiLayerRandomJoinExpectedUsage(rates, multi);
+    EXPECT_LE(layered, single + 1e-9)
+        << "trial " << trial << " with " << r << " receivers";
+  }
+}
+
+TEST(PrefixSchedule, AverageRatesConverge) {
+  const std::vector<double> rates{0.33, 0.5, 0.91};
+  const auto result = simulatePrefixSchedule(rates, 1.0,
+                                             /*packetsPerQuantum=*/64,
+                                             /*quanta=*/4000);
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    EXPECT_NEAR(result.averageRates[k], rates[k], 0.02);
+  }
+}
+
+TEST(PrefixSchedule, RedundancyIsOne) {
+  // Nested prefixes: link packets = max receiver packets each quantum.
+  const std::vector<double> rates{0.25, 0.5, 1.0};
+  const auto result = simulatePrefixSchedule(rates, 1.0, 64, 500);
+  EXPECT_NEAR(result.redundancy, 1.0, 1e-9);
+  for (std::size_t q = 0; q < result.counts.size(); ++q) {
+    std::size_t top = 0;
+    for (std::size_t c : result.counts[q]) top = std::max(top, c);
+    EXPECT_EQ(result.linkPackets[q], top);
+  }
+}
+
+TEST(PrefixSchedule, FractionalRatesViaCarry) {
+  // Rate 1/3 with 10-packet quanta: counts alternate 3,3,4 and average to
+  // 10/3 per quantum (footnote 7's floor/ceil mechanism).
+  const auto result = simulatePrefixSchedule({1.0 / 3.0}, 1.0, 10, 3000);
+  EXPECT_NEAR(result.averageRates[0], 1.0 / 3.0, 1e-3);
+  bool saw3 = false, saw4 = false;
+  for (const auto& counts : result.counts) {
+    if (counts[0] == 3) saw3 = true;
+    if (counts[0] == 4) saw4 = true;
+  }
+  EXPECT_TRUE(saw3);
+  EXPECT_TRUE(saw4);
+}
+
+TEST(MultiLayerSchedule, AverageRatesConverge) {
+  const LayerScheme scheme = LayerScheme::exponential(4);  // cum 1,2,4,8
+  const std::vector<double> rates{1.5, 3.0, 6.5};
+  const auto r =
+      simulateMultiLayerPrefixSchedule(rates, scheme, 100, 2000);
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    EXPECT_NEAR(r.averageRates[k], rates[k], 0.02) << "receiver " << k;
+  }
+}
+
+TEST(MultiLayerSchedule, RedundancyIsOne) {
+  // Section 3's positive result in the multi-layer setting: nested
+  // prefixes make the session's total link usage equal the top
+  // receiver's rate.
+  const LayerScheme scheme = LayerScheme::exponential(5);
+  const std::vector<double> rates{0.7, 2.5, 5.0, 13.0};
+  const auto r =
+      simulateMultiLayerPrefixSchedule(rates, scheme, 200, 1000);
+  EXPECT_NEAR(r.redundancy, 1.0, 1e-3);
+  double total = 0.0;
+  for (double u : r.layerLinkRates) total += u;
+  EXPECT_NEAR(total, 13.0, 0.05);
+}
+
+TEST(MultiLayerSchedule, FullLayersCarryWholeRate) {
+  const LayerScheme scheme = LayerScheme::exponential(3);  // rates 1,1,2
+  const std::vector<double> rates{4.0};  // fully joined everywhere
+  const auto r = simulateMultiLayerPrefixSchedule(rates, scheme, 50, 100);
+  EXPECT_NEAR(r.layerLinkRates[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.layerLinkRates[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.layerLinkRates[2], 2.0, 1e-9);
+}
+
+TEST(MultiLayerSchedule, BeatsRandomJoins) {
+  // The coordinated schedule's usage (== max rate) is strictly below the
+  // random-join expectation for shared partial layers.
+  const LayerScheme scheme = LayerScheme::exponential(4);
+  const std::vector<double> rates{3.0, 3.0, 3.0};
+  const auto coordinated =
+      simulateMultiLayerPrefixSchedule(rates, scheme, 100, 500);
+  const double random = multiLayerRandomJoinRedundancy(rates, scheme);
+  EXPECT_LT(coordinated.redundancy, random);
+  EXPECT_GT(random, 1.05);
+}
+
+TEST(MultiLayerSchedule, Validation) {
+  const LayerScheme scheme = LayerScheme::exponential(2);
+  EXPECT_THROW(simulateMultiLayerPrefixSchedule({5.0}, scheme, 10, 10),
+               PreconditionError);
+  EXPECT_THROW(simulateMultiLayerPrefixSchedule({1.0}, scheme, 0, 10),
+               PreconditionError);
+}
+
+TEST(Quantum, InputValidation) {
+  EXPECT_THROW(singleLayerRandomJoinRedundancy({}, 1.0), PreconditionError);
+  EXPECT_THROW(singleLayerRandomJoinRedundancy({0.0}, 1.0),
+               PreconditionError);
+  EXPECT_THROW(singleLayerRandomJoinExpectedUsage({2.0}, 1.0),
+               PreconditionError);
+  EXPECT_THROW(simulatePrefixSchedule({2.0}, 1.0, 10, 10),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::layering

@@ -1,0 +1,156 @@
+// Tests for the three protocol receivers' state machines.
+#include <gtest/gtest.h>
+
+#include "sim/receiver.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+TEST(JoinThreshold, PowersOfFour) {
+  EXPECT_EQ(LayeredReceiver::joinThreshold(1), 1u);
+  EXPECT_EQ(LayeredReceiver::joinThreshold(2), 4u);
+  EXPECT_EQ(LayeredReceiver::joinThreshold(3), 16u);
+  EXPECT_EQ(LayeredReceiver::joinThreshold(5), 256u);
+}
+
+TEST(ProtocolName, Names) {
+  EXPECT_STREQ(protocolName(ProtocolKind::kUncoordinated), "Uncoordinated");
+  EXPECT_STREQ(protocolName(ProtocolKind::kDeterministic), "Deterministic");
+  EXPECT_STREQ(protocolName(ProtocolKind::kCoordinated), "Coordinated");
+}
+
+TEST(Receiver, ConstructionValidation) {
+  EXPECT_THROW(LayeredReceiver(ProtocolKind::kDeterministic, 0),
+               PreconditionError);
+  EXPECT_THROW(LayeredReceiver(ProtocolKind::kDeterministic, 4, 5),
+               PreconditionError);
+  EXPECT_THROW(LayeredReceiver(ProtocolKind::kDeterministic, 4, 0),
+               PreconditionError);
+}
+
+TEST(Receiver, LossLeavesButNeverBelowOne) {
+  util::Rng rng(1);
+  LayeredReceiver r(ProtocolKind::kDeterministic, 8, 3);
+  r.onPacket(true, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+  r.onPacket(true, 0, rng);
+  EXPECT_EQ(r.level(), 1u);
+  r.onPacket(true, 0, rng);
+  EXPECT_EQ(r.level(), 1u);  // floor at layer 1
+  EXPECT_EQ(r.leaves(), 2u);
+  EXPECT_EQ(r.congestionEvents(), 3u);
+}
+
+TEST(Deterministic, JoinsAtExactThreshold) {
+  util::Rng rng(2);
+  LayeredReceiver r(ProtocolKind::kDeterministic, 8);
+  // Level 1 threshold = 1: first clean packet joins to 2.
+  r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+  // Level 2 threshold = 4: three packets stay, fourth joins.
+  for (int i = 0; i < 3; ++i) r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+  r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 3u);
+  EXPECT_EQ(r.joins(), 2u);
+}
+
+TEST(Deterministic, LossResetsCleanRun) {
+  util::Rng rng(3);
+  LayeredReceiver r(ProtocolKind::kDeterministic, 8, 2);
+  for (int i = 0; i < 3; ++i) r.onPacket(false, 0, rng);
+  r.onPacket(true, 0, rng);  // back to level 1, run reset
+  EXPECT_EQ(r.level(), 1u);
+  // Needs a full fresh run at level 1 (threshold 1): one packet.
+  r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+}
+
+TEST(Deterministic, CapsAtMaxLayer) {
+  util::Rng rng(4);
+  LayeredReceiver r(ProtocolKind::kDeterministic, 2, 2);
+  for (int i = 0; i < 100; ++i) r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+  EXPECT_EQ(r.joins(), 0u);
+}
+
+TEST(Uncoordinated, LevelOneJoinsImmediately) {
+  // p = 1/threshold(1) = 1: the first clean packet always joins.
+  util::Rng rng(5);
+  LayeredReceiver r(ProtocolKind::kUncoordinated, 8);
+  r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+}
+
+TEST(Uncoordinated, GeometricJoinSpacing) {
+  // At level 2 the join probability is 1/4 per clean packet: the average
+  // number of clean packets to join should be ~4.
+  util::Rng rng(6);
+  double total = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    LayeredReceiver r(ProtocolKind::kUncoordinated, 8, 2);
+    int packets = 0;
+    while (r.level() == 2) {
+      r.onPacket(false, 0, rng);
+      ++packets;
+    }
+    total += packets;
+  }
+  EXPECT_NEAR(total / trials, 4.0, 0.2);
+}
+
+TEST(Coordinated, JoinsOnlyAtEligibleSignal) {
+  util::Rng rng(7);
+  LayeredReceiver r(ProtocolKind::kCoordinated, 8, 2);
+  // Non-signal packets never join.
+  for (int i = 0; i < 50; ++i) r.onPacket(false, 0, rng);
+  EXPECT_EQ(r.level(), 2u);
+  // Signal below current level: no join.
+  r.onPacket(false, 1, rng);
+  EXPECT_EQ(r.level(), 2u);
+  // Eligible signal with a clean interval: join.
+  r.onPacket(false, 2, rng);
+  EXPECT_EQ(r.level(), 3u);
+}
+
+TEST(Coordinated, LossPoisonsTheSyncInterval) {
+  util::Rng rng(8);
+  LayeredReceiver r(ProtocolKind::kCoordinated, 8, 3);
+  r.onPacket(false, 3, rng);  // starts a clean interval, joins to 4
+  EXPECT_EQ(r.level(), 4u);
+  r.onPacket(true, 0, rng);  // loss: back to 3, interval poisoned
+  EXPECT_EQ(r.level(), 3u);
+  r.onPacket(false, 5, rng);  // eligible signal but interval dirty
+  EXPECT_EQ(r.level(), 3u);
+  r.onPacket(false, 5, rng);  // now clean since last signal: join
+  EXPECT_EQ(r.level(), 4u);
+}
+
+TEST(Coordinated, FirstSignalJoinsWhenStartingClean) {
+  util::Rng rng(9);
+  LayeredReceiver r(ProtocolKind::kCoordinated, 4);
+  r.onPacket(false, 1, rng);
+  EXPECT_EQ(r.level(), 2u);
+}
+
+TEST(Coordinated, CapsAtMaxLayer) {
+  util::Rng rng(10);
+  LayeredReceiver r(ProtocolKind::kCoordinated, 3, 3);
+  for (int i = 0; i < 10; ++i) r.onPacket(false, 2, rng);
+  EXPECT_EQ(r.level(), 3u);
+}
+
+TEST(Receiver, CountersAccumulate) {
+  util::Rng rng(11);
+  LayeredReceiver r(ProtocolKind::kDeterministic, 8);
+  r.onPacket(false, 0, rng);  // join
+  r.onPacket(true, 0, rng);   // leave
+  EXPECT_EQ(r.joins(), 1u);
+  EXPECT_EQ(r.leaves(), 1u);
+  EXPECT_EQ(r.congestionEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

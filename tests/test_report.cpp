@@ -1,0 +1,78 @@
+// Tests for the allocation report printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/report.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+TEST(Report, DisplayNames) {
+  const net::Network n = net::fig1Network();
+  EXPECT_EQ(receiverDisplayName(n, {1, 1}), "r2,2");
+  EXPECT_EQ(sessionDisplayName(n, 2), "S3");
+  net::Network anon;
+  const auto l = anon.addLink(1.0);
+  net::Session s;
+  s.receivers = {net::makeReceiver({l})};
+  anon.addSession(std::move(s));
+  EXPECT_EQ(receiverDisplayName(anon, {0, 0}), "r1,1");
+  EXPECT_EQ(sessionDisplayName(anon, 0), "S1");
+}
+
+TEST(Report, ContainsRatesLinksAndProperties) {
+  const net::Network n = net::fig2Network(false);
+  const auto a = maxMinFairAllocation(n);
+  std::ostringstream os;
+  printAllocationReport(os, "title", n, a);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title — receiver rates"), std::string::npos);
+  EXPECT_NE(out.find("title — link usage"), std::string::npos);
+  EXPECT_NE(out.find("title — fairness properties"), std::string::npos);
+  EXPECT_NE(out.find("r1,3"), std::string::npos);
+  EXPECT_NE(out.find("u_S1"), std::string::npos);
+  // Fig 2 single-rate: same-path fairness fails and the report says NO.
+  EXPECT_NE(out.find("NO"), std::string::npos);
+}
+
+TEST(Report, SkipPropertiesOmitsTable) {
+  const net::Network n = net::fig1Network();
+  const auto a = maxMinFairAllocation(n);
+  ReportOptions opt;
+  opt.skipProperties = true;
+  std::ostringstream os;
+  printAllocationReport(os, "t", n, a, opt);
+  EXPECT_EQ(os.str().find("fairness properties"), std::string::npos);
+}
+
+TEST(Report, CsvMode) {
+  const net::Network n = net::fig1Network();
+  const auto a = maxMinFairAllocation(n);
+  ReportOptions opt;
+  opt.csv = true;
+  std::ostringstream os;
+  printAllocationReport(os, "t", n, a, opt);
+  EXPECT_NE(os.str().find("-- CSV --"), std::string::npos);
+  // The rate header contains a comma, so the CSV writer quotes it.
+  EXPECT_NE(os.str().find("receiver,\"rate a_{i,k}\""), std::string::npos);
+}
+
+TEST(Report, PrecisionApplied) {
+  net::Network n;
+  const auto l = n.addLink(1.0);
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  const auto a = maxMinFairAllocation(n);  // thirds
+  ReportOptions opt;
+  opt.precision = 6;
+  std::ostringstream os;
+  printAllocationReport(os, "t", n, a, opt);
+  EXPECT_NE(os.str().find("0.333333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,157 @@
+// Tests for util::Rng: determinism, distribution sanity, bounded sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mcfair::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(29);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  // Mean failures before success: (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto s = rng.sampleWithoutReplacement(20, 10);
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+    EXPECT_EQ(s.size(), 10u);
+    for (std::size_t v : s) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  auto s = rng.sampleWithoutReplacement(6, 6);
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleUniformity) {
+  // Every index should be chosen roughly equally often when sampling half.
+  Rng rng(43);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t v : rng.sampleWithoutReplacement(10, 5)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.02);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(47);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(53);
+  // UniformRandomBitGenerator concept sanity.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace mcfair::util

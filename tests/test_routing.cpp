@@ -1,0 +1,108 @@
+// Tests for shortest-path routing.
+#include <gtest/gtest.h>
+
+#include "graph/routing.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+namespace {
+
+// Builds: 0 - 1 - 2 - 3 plus a shortcut 0 - 3 through node 4 (two hops)
+// and a direct long-capacity edge 1 - 3.
+Graph diamond() {
+  Graph g;
+  g.addNodes(5);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);  // l0
+  g.addLink(NodeId{1}, NodeId{2}, 1.0);  // l1
+  g.addLink(NodeId{2}, NodeId{3}, 1.0);  // l2
+  g.addLink(NodeId{0}, NodeId{4}, 1.0);  // l3
+  g.addLink(NodeId{4}, NodeId{3}, 1.0);  // l4
+  g.addLink(NodeId{1}, NodeId{3}, 1.0);  // l5
+  return g;
+}
+
+TEST(ShortestPath, TrivialSameNode) {
+  Graph g;
+  g.addNodes(2);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  const auto p = shortestPath(g, NodeId{0}, NodeId{0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hopCount(), 0u);
+  EXPECT_EQ(p->nodes.size(), 1u);
+}
+
+TEST(ShortestPath, PicksFewestHops) {
+  const Graph g = diamond();
+  const auto p = shortestPath(g, NodeId{0}, NodeId{3});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hopCount(), 2u);  // 0-1-3 or 0-4-3
+}
+
+TEST(ShortestPath, PathIsConsistent) {
+  const Graph g = diamond();
+  const auto p = shortestPath(g, NodeId{0}, NodeId{2});
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->nodes.size(), p->links.size() + 1);
+  EXPECT_EQ(p->nodes.front(), (NodeId{0}));
+  EXPECT_EQ(p->nodes.back(), (NodeId{2}));
+  // Each link must connect consecutive nodes.
+  for (std::size_t i = 0; i < p->links.size(); ++i) {
+    const auto [a, b] = g.endpoints(p->links[i]);
+    const NodeId u = p->nodes[i];
+    const NodeId v = p->nodes[i + 1];
+    EXPECT_TRUE((a == u && b == v) || (a == v && b == u));
+  }
+}
+
+TEST(ShortestPath, UnreachableIsNullopt) {
+  Graph g;
+  g.addNodes(3);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  EXPECT_FALSE(shortestPath(g, NodeId{0}, NodeId{2}).has_value());
+}
+
+TEST(ShortestPath, Deterministic) {
+  const Graph g = diamond();
+  const auto p1 = shortestPath(g, NodeId{0}, NodeId{3});
+  const auto p2 = shortestPath(g, NodeId{0}, NodeId{3});
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->links, p2->links);
+}
+
+TEST(WeightedShortestPath, PrefersLightPath) {
+  const Graph g = diamond();
+  // Make the 2-hop route 0-1-3 expensive on its last edge (l5).
+  std::vector<double> w(g.linkCount(), 1.0);
+  w[5] = 10.0;
+  const auto p = shortestPathWeighted(g, NodeId{0}, NodeId{3}, w);
+  ASSERT_TRUE(p.has_value());
+  // Cheapest is 0-4-3 (cost 2).
+  ASSERT_EQ(p->links.size(), 2u);
+  EXPECT_EQ(p->links[0], (LinkId{3}));
+  EXPECT_EQ(p->links[1], (LinkId{4}));
+}
+
+TEST(WeightedShortestPath, RejectsNegativeWeights) {
+  const Graph g = diamond();
+  std::vector<double> w(g.linkCount(), 1.0);
+  w[0] = -0.5;
+  EXPECT_THROW(shortestPathWeighted(g, NodeId{0}, NodeId{3}, w),
+               PreconditionError);
+}
+
+TEST(WeightedShortestPath, RejectsWrongWeightCount) {
+  const Graph g = diamond();
+  EXPECT_THROW(shortestPathWeighted(g, NodeId{0}, NodeId{3}, {1.0}),
+               PreconditionError);
+}
+
+TEST(BfsPredecessors, EncodesTree) {
+  const Graph g = diamond();
+  const auto pred = bfsPredecessors(g, NodeId{0});
+  EXPECT_EQ(pred[0], 0u);           // root has no predecessor
+  EXPECT_EQ(pred[1], 0u + 1);       // reached via l0
+  EXPECT_EQ(pred[4], 3u + 1);       // reached via l3
+}
+
+}  // namespace
+}  // namespace mcfair::graph

@@ -1,0 +1,109 @@
+// Tests for the layered sender: exact per-layer rates and ruler signals.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/sender.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+TEST(RulerSignal, Sequence) {
+  // 1-based layer-1 packet number n -> 1 + nu2(n), capped.
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(1, 7), 1u);
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(2, 7), 2u);
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(3, 7), 1u);
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(4, 7), 3u);
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(8, 7), 4u);
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(64, 7), 7u);
+  EXPECT_EQ(LayeredSender::rulerSignalLevel(1024, 7), 7u);  // capped
+}
+
+TEST(RulerSignal, SpacingOfLevels) {
+  // A signal of level >= i appears exactly every 2^(i-1) layer-1 packets.
+  for (std::size_t i = 1; i <= 5; ++i) {
+    std::uint64_t count = 0;
+    const std::uint64_t window = 1 << 10;
+    for (std::uint64_t n = 1; n <= window; ++n) {
+      if (LayeredSender::rulerSignalLevel(n, 7) >= i) ++count;
+    }
+    EXPECT_EQ(count, window >> (i - 1)) << "level " << i;
+  }
+}
+
+TEST(LayeredSender, LayerRatesExactOverWindow) {
+  // Over T time units, layer k must emit T * rate_k packets (rate 1 for
+  // layer 1, 2^(k-2) beyond).
+  LayeredSender sender(layering::LayerScheme::exponential(5));
+  std::map<std::size_t, int> counts;
+  Packet last;
+  // Cumulative rate is 16, so 16 * 64 packets cover ~64 time units.
+  const int total = 16 * 64;
+  for (int i = 0; i < total; ++i) {
+    last = sender.next();
+    counts[last.layer]++;
+  }
+  EXPECT_NEAR(last.time, 64.0, 1.0);
+  EXPECT_NEAR(counts[1], 64, 1);
+  EXPECT_NEAR(counts[2], 64, 1);
+  EXPECT_NEAR(counts[3], 128, 1);
+  EXPECT_NEAR(counts[4], 256, 1);
+  EXPECT_NEAR(counts[5], 512, 1);
+}
+
+TEST(LayeredSender, TimesNonDecreasing) {
+  LayeredSender sender(layering::LayerScheme::exponential(4));
+  double prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Packet p = sender.next();
+    EXPECT_GE(p.time, prev);
+    prev = p.time;
+    EXPECT_EQ(p.sequence, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(LayeredSender, SyncOnlyOnLayerOne) {
+  LayeredSender sender(layering::LayerScheme::exponential(6));
+  int layer1Signals = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Packet p = sender.next();
+    if (p.layer != 1) {
+      EXPECT_EQ(p.syncLevel, 0u);
+    } else {
+      EXPECT_GE(p.syncLevel, 1u);
+      EXPECT_LE(p.syncLevel, 5u);  // capped at layers-1
+      ++layer1Signals;
+    }
+  }
+  EXPECT_GT(layer1Signals, 0);
+}
+
+TEST(LayeredSender, SingleLayerNoSignals) {
+  LayeredSender sender(layering::LayerScheme::exponential(1));
+  for (int i = 0; i < 100; ++i) {
+    const Packet p = sender.next();
+    EXPECT_EQ(p.layer, 1u);
+    EXPECT_EQ(p.syncLevel, 0u);
+  }
+}
+
+TEST(LayeredSender, SignalLevelFrequencies) {
+  // Among layer-1 packets, level g (below the cap) appears with frequency
+  // 2^-g — the distribution the Markov analysis randomizes.
+  LayeredSender sender(layering::LayerScheme::exponential(8));
+  std::map<std::size_t, int> counts;
+  int layer1 = 0;
+  for (int i = 0; i < 128 * 1024; ++i) {
+    const Packet p = sender.next();
+    if (p.layer == 1) {
+      ++layer1;
+      counts[p.syncLevel]++;
+    }
+  }
+  ASSERT_GT(layer1, 500);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / layer1, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / layer1, 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

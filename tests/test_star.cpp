@@ -1,0 +1,154 @@
+// Tests for the star-topology simulation driver (Section 4 experiments).
+#include <gtest/gtest.h>
+
+#include "sim/star.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+StarConfig smallConfig(ProtocolKind kind) {
+  StarConfig c;
+  c.receivers = 10;
+  c.layers = 6;
+  c.protocol = kind;
+  c.totalPackets = 30000;
+  c.seed = 7;
+  return c;
+}
+
+TEST(StarSim, ZeroLossClimbsToTopAndIsEfficient) {
+  StarConfig c = smallConfig(ProtocolKind::kDeterministic);
+  c.sharedLossRate = 0.0;
+  c.independentLossRate = 0.0;
+  const StarResult r = runStarSimulation(c);
+  // With no losses every receiver reaches the top layer and stays; all
+  // receivers subscribe identically, so redundancy is exactly 1 (every
+  // forwarded packet is delivered to the top receiver).
+  EXPECT_NEAR(r.meanLevel, 6.0, 0.2);
+  EXPECT_DOUBLE_EQ(r.redundancy,
+                   static_cast<double>(r.sharedLinkPackets) /
+                       static_cast<double>(r.maxDelivered));
+  EXPECT_NEAR(r.redundancy, 1.0, 1e-9);
+  EXPECT_EQ(r.totalCongestionEvents, 0u);
+}
+
+TEST(StarSim, ReproducibleWithSameSeed) {
+  const StarConfig c = smallConfig(ProtocolKind::kUncoordinated);
+  const StarResult a = runStarSimulation(c);
+  const StarResult b = runStarSimulation(c);
+  EXPECT_EQ(a.sharedLinkPackets, b.sharedLinkPackets);
+  EXPECT_EQ(a.deliveredPackets, b.deliveredPackets);
+  EXPECT_DOUBLE_EQ(a.redundancy, b.redundancy);
+}
+
+TEST(StarSim, DifferentSeedsDiffer) {
+  StarConfig c = smallConfig(ProtocolKind::kUncoordinated);
+  c.independentLossRate = 0.02;
+  const StarResult a = runStarSimulation(c);
+  c.seed = 8;
+  const StarResult b = runStarSimulation(c);
+  EXPECT_NE(a.sharedLinkPackets, b.sharedLinkPackets);
+}
+
+TEST(StarSim, RedundancyAtLeastOne) {
+  for (const auto kind :
+       {ProtocolKind::kUncoordinated, ProtocolKind::kDeterministic,
+        ProtocolKind::kCoordinated}) {
+    StarConfig c = smallConfig(kind);
+    c.independentLossRate = 0.03;
+    c.sharedLossRate = 0.001;
+    const StarResult r = runStarSimulation(c);
+    EXPECT_GE(r.redundancy, 1.0) << protocolName(kind);
+  }
+}
+
+TEST(StarSim, SharedOnlyLossKeepsDeterministicReceiversInSync) {
+  // With loss only on the shared link, Deterministic receivers see
+  // identical loss patterns and behave identically: the forwarded packets
+  // equal each receiver's subscription, so redundancy = 1/(1-p) (the
+  // delivered denominator loses p of them).
+  StarConfig c = smallConfig(ProtocolKind::kDeterministic);
+  c.sharedLossRate = 0.02;
+  c.independentLossRate = 0.0;
+  const StarResult r = runStarSimulation(c);
+  EXPECT_NEAR(r.redundancy, 1.0 / 0.98, 0.01);
+  // All receivers delivered identical counts.
+  for (std::uint64_t d : r.deliveredPackets) {
+    EXPECT_EQ(d, r.deliveredPackets.front());
+  }
+}
+
+TEST(StarSim, IndependentLossDesynchronizesUncoordinated) {
+  StarConfig c = smallConfig(ProtocolKind::kUncoordinated);
+  c.sharedLossRate = 0.0001;
+  c.independentLossRate = 0.02;
+  const StarResult r = runStarSimulation(c);
+  EXPECT_GT(r.redundancy, 1.1);
+}
+
+TEST(StarSim, CoordinatedBeatsUncoordinated) {
+  // The paper's central Section 4 result, at one operating point.
+  StarConfig cu = smallConfig(ProtocolKind::kUncoordinated);
+  StarConfig cc = smallConfig(ProtocolKind::kCoordinated);
+  cu.receivers = cc.receivers = 30;
+  cu.sharedLossRate = cc.sharedLossRate = 0.0001;
+  cu.independentLossRate = cc.independentLossRate = 0.04;
+  const double ru = estimateRedundancy(cu, 5).mean;
+  const double rc = estimateRedundancy(cc, 5).mean;
+  EXPECT_LT(rc, ru);
+}
+
+TEST(StarSim, PerReceiverLossOverride) {
+  StarConfig c = smallConfig(ProtocolKind::kDeterministic);
+  c.receivers = 2;
+  c.perReceiverLossRate = {0.0, 0.2};
+  const StarResult r = runStarSimulation(c);
+  // The lossless receiver must deliver more.
+  EXPECT_GT(r.deliveredPackets[0], r.deliveredPackets[1]);
+}
+
+TEST(StarSim, Validation) {
+  StarConfig c;
+  c.receivers = 0;
+  EXPECT_THROW(runStarSimulation(c), PreconditionError);
+  c = StarConfig{};
+  c.perReceiverLossRate = {0.1};  // size mismatch with 100 receivers
+  EXPECT_THROW(runStarSimulation(c), PreconditionError);
+  c = StarConfig{};
+  c.totalPackets = 0;
+  EXPECT_THROW(runStarSimulation(c), PreconditionError);
+}
+
+TEST(StarSim, DurationMatchesPacketBudget) {
+  // 6 layers => aggregate rate 32 packets per time unit.
+  StarConfig c = smallConfig(ProtocolKind::kDeterministic);
+  const StarResult r = runStarSimulation(c);
+  EXPECT_NEAR(r.duration, 30000.0 / 32.0, 2.0);
+}
+
+TEST(EstimateRedundancy, AggregatesRuns) {
+  StarConfig c = smallConfig(ProtocolKind::kUncoordinated);
+  c.totalPackets = 5000;
+  c.independentLossRate = 0.05;
+  const RedundancyEstimate e = estimateRedundancy(c, 6);
+  EXPECT_EQ(e.runs, 6u);
+  EXPECT_GE(e.mean, 1.0);
+  EXPECT_GT(e.ci95, 0.0);
+  EXPECT_THROW(estimateRedundancy(c, 0), PreconditionError);
+}
+
+TEST(StarSim, JoinsBalanceLeavesApproximately) {
+  // In steady state each join is eventually matched by a leave; totals
+  // should be within the receiver count times the layer count.
+  StarConfig c = smallConfig(ProtocolKind::kDeterministic);
+  c.independentLossRate = 0.05;
+  const StarResult r = runStarSimulation(c);
+  const auto slack =
+      static_cast<std::uint64_t>(c.receivers * c.layers);
+  EXPECT_LE(r.totalJoins, r.totalLeaves + slack);
+  EXPECT_LE(r.totalLeaves, r.totalJoins + slack);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

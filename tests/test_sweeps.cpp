@@ -1,0 +1,139 @@
+// Parameterized grid sweeps: solver invariants across network-shape
+// space, and simulator invariants across the protocol x loss grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/verify.hpp"
+#include "markov/protocol_chain.hpp"
+#include "net/topologies.hpp"
+#include "sim/star.hpp"
+
+namespace mcfair {
+namespace {
+
+// ---- Solver sweep over (seed, sessions, single-rate fraction) ----------
+
+using SolverCase = std::tuple<std::uint64_t, std::size_t, double>;
+
+class SolverSweep : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(SolverSweep, InvariantsHold) {
+  const auto [seed, sessions, singleProb] = GetParam();
+  util::Rng rng(seed);
+  net::RandomNetworkOptions opts;
+  opts.sessions = sessions;
+  opts.nodes = 8 + sessions * 2;
+  opts.extraLinks = sessions * 2;
+  opts.singleRateProbability = singleProb;
+  opts.finiteMaxRateProbability = 0.3;
+  const net::Network n = net::randomNetwork(rng, opts);
+  const auto result = fairness::solveMaxMinFair(n);
+
+  // Feasible, sigma-respecting, single-rate-uniform.
+  EXPECT_TRUE(fairness::isFeasible(n, result.allocation, 1e-6));
+  // Certified max-min fair by the independent Definition-1 verifier.
+  fairness::VerifyOptions vo;
+  vo.delta = 1e-4;
+  vo.tol = 1e-7;
+  EXPECT_TRUE(fairness::isMaxMinFair(n, result.allocation, vo));
+  // Rounds bounded by receiver count + 2.
+  EXPECT_LE(result.rounds, n.receiverCount() + 2);
+  // Usage consistent: recomputing from the allocation matches.
+  const auto usage = fairness::computeLinkUsage(n, result.allocation);
+  for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+    EXPECT_NEAR(usage.linkRate[j], result.usage.linkRate[j], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<std::size_t>(2, 5, 9),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+// ---- Star-simulator sweep over (protocol, shared loss, fanout loss) ----
+
+using StarCase = std::tuple<sim::ProtocolKind, double, double>;
+
+class StarSweep : public ::testing::TestWithParam<StarCase> {};
+
+TEST_P(StarSweep, InvariantsHold) {
+  const auto [kind, shared, fanout] = GetParam();
+  sim::StarConfig c;
+  c.receivers = 15;
+  c.layers = 6;
+  c.protocol = kind;
+  c.sharedLossRate = shared;
+  c.independentLossRate = fanout;
+  c.totalPackets = 30000;
+  c.seed = 77;
+  const sim::StarResult r = sim::runStarSimulation(c);
+
+  EXPECT_GE(r.redundancy, 1.0 - 1e-12);
+  // Redundancy cannot exceed (aggregate rate / layer-1 delivered rate)
+  // scaled by loss; a crude but guaranteed bound: 2^(layers-1) / (1-q).
+  const double q = shared + (1.0 - shared) * fanout;
+  EXPECT_LE(r.redundancy, std::pow(2.0, 5.0) / (1.0 - q) + 1e-9);
+  EXPECT_GE(r.meanLevel, 1.0);
+  EXPECT_LE(r.meanLevel, 6.0);
+  EXPECT_LE(r.maxDelivered, c.totalPackets);
+  EXPECT_LE(r.sharedLinkPackets, c.totalPackets);
+  // Loss accounting: congestion events happen only on subscribed
+  // packets.
+  EXPECT_LE(r.totalCongestionEvents,
+            static_cast<std::uint64_t>(c.receivers) * c.totalPackets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StarSweep,
+    ::testing::Combine(::testing::Values(sim::ProtocolKind::kUncoordinated,
+                                         sim::ProtocolKind::kDeterministic,
+                                         sim::ProtocolKind::kCoordinated,
+                                         sim::ProtocolKind::kActiveRouter),
+                       ::testing::Values(0.0001, 0.02),
+                       ::testing::Values(0.0, 0.03, 0.08)));
+
+// ---- Markov-chain sweep: redundancy monotone in independent loss -------
+
+class ChainSweep
+    : public ::testing::TestWithParam<sim::ProtocolKind> {};
+
+TEST_P(ChainSweep, RedundancyMonotoneInIndependentLoss) {
+  double prev = 0.0;
+  for (const double p : {0.005, 0.02, 0.05, 0.09}) {
+    markov::ProtocolChainConfig c;
+    c.layers = GetParam() == sim::ProtocolKind::kDeterministic ? 3 : 4;
+    c.protocol = GetParam();
+    c.sharedLoss = 0.0001;
+    c.receiverLoss = {p, p};
+    const double red = markov::analyzeProtocolChain(c).redundancy;
+    EXPECT_GT(red, prev) << "p = " << p;
+    prev = red;
+  }
+}
+
+TEST_P(ChainSweep, SubscriptionFallsWithLoss) {
+  double prev = 1e18;
+  for (const double p : {0.01, 0.05, 0.15}) {
+    markov::ProtocolChainConfig c;
+    c.layers = GetParam() == sim::ProtocolKind::kDeterministic ? 3 : 4;
+    c.protocol = GetParam();
+    c.sharedLoss = 0.0001;
+    c.receiverLoss = {p, p};
+    const auto a = markov::analyzeProtocolChain(c);
+    EXPECT_LT(a.subscriptionRate[0], prev);
+    prev = a.subscriptionRate[0];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ChainSweep,
+    ::testing::Values(sim::ProtocolKind::kUncoordinated,
+                      sim::ProtocolKind::kDeterministic,
+                      sim::ProtocolKind::kCoordinated));
+
+}  // namespace
+}  // namespace mcfair

@@ -1,0 +1,80 @@
+// Tests for util::Table rendering and environment knobs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace mcfair::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.setPrecision(2);
+  t.addRow({std::string("alpha"), 1.5});
+  t.addRow({std::string("b"), 10.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.addRow({std::string("x,y"), std::string("q\"z")});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"q\"\"z\""), std::string::npos);
+}
+
+TEST(Table, CsvNumericPrecision) {
+  Table t({"v"});
+  t.setPrecision(3);
+  t.addRow({1.23456});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_NE(os.str().find("1.235"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({1.0}), PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  t.addRow({1.0});
+  t.addRow({2.0});
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(EnvKnobs, EnvFlag) {
+  ::setenv("MCFAIR_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(envFlag("MCFAIR_TEST_FLAG"));
+  ::setenv("MCFAIR_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(envFlag("MCFAIR_TEST_FLAG"));
+  ::unsetenv("MCFAIR_TEST_FLAG");
+  EXPECT_FALSE(envFlag("MCFAIR_TEST_FLAG"));
+}
+
+TEST(EnvKnobs, EnvInt) {
+  ::setenv("MCFAIR_TEST_INT", "42", 1);
+  EXPECT_EQ(envInt("MCFAIR_TEST_INT", 7), 42);
+  ::setenv("MCFAIR_TEST_INT", "junk", 1);
+  EXPECT_EQ(envInt("MCFAIR_TEST_INT", 7), 7);
+  ::unsetenv("MCFAIR_TEST_INT");
+  EXPECT_EQ(envInt("MCFAIR_TEST_INT", 7), 7);
+}
+
+}  // namespace
+}  // namespace mcfair::util

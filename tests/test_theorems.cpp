@@ -1,0 +1,122 @@
+// Property-based verification of Theorem 1 and Theorem 2 on random
+// networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/properties.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using net::Network;
+using net::ReceiverRef;
+using net::SessionType;
+
+class TheoremSeeds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Network allMultiRate() const {
+    util::Rng rng(GetParam());
+    net::RandomNetworkOptions opts;
+    opts.singleRateProbability = 0.0;
+    opts.sessions = 5;
+    return net::randomNetwork(rng, opts);
+  }
+  Network mixed() const {
+    util::Rng rng(GetParam() + 1000);
+    net::RandomNetworkOptions opts;
+    opts.singleRateProbability = 0.5;
+    opts.sessions = 5;
+    return net::randomNetwork(rng, opts);
+  }
+};
+
+TEST_P(TheoremSeeds, Theorem1AllPropertiesHoldMultiRate) {
+  // Theorem 1: the multi-rate max-min fair allocation is fully-utilized-
+  // receiver-fair, same-path-receiver-fair, per-receiver-link-fair and
+  // per-session-link-fair.
+  const Network n = allMultiRate();
+  const auto a = maxMinFairAllocation(n);
+  for (const auto& [name, check] : checkAllProperties(n, a)) {
+    EXPECT_TRUE(check.holds)
+        << name << ": " << (check.violations.empty()
+                                ? ""
+                                : check.violations.front());
+  }
+}
+
+TEST_P(TheoremSeeds, Theorem2aFullyUtilizedForMultiRateReceivers) {
+  const Network n = mixed();
+  const auto result = solveMaxMinFair(n);
+  for (ReceiverRef r : n.allReceivers()) {
+    if (n.session(r.session).type != SessionType::kMultiRate) continue;
+    EXPECT_TRUE(isReceiverFullyUtilizedFair(n, result.allocation,
+                                            result.usage, r))
+        << "receiver (" << r.session << "," << r.receiver << ")";
+  }
+}
+
+TEST_P(TheoremSeeds, Theorem2bPerReceiverLinkFairForMultiRateSessions) {
+  const Network n = mixed();
+  const auto result = solveMaxMinFair(n);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    if (n.session(i).type != SessionType::kMultiRate) continue;
+    EXPECT_TRUE(isSessionPerReceiverLinkFair(n, result.allocation,
+                                             result.usage, i))
+        << "session " << i;
+  }
+}
+
+TEST_P(TheoremSeeds, Theorem2cPerSessionLinkFairForAllSessions) {
+  const Network n = mixed();
+  const auto result = solveMaxMinFair(n);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    EXPECT_TRUE(isSessionPerSessionLinkFair(n, result.allocation,
+                                            result.usage, i))
+        << "session " << i;
+  }
+}
+
+TEST_P(TheoremSeeds, Theorem2dSamePathBetweenMultiRateReceivers) {
+  const Network n = mixed();
+  const auto a = maxMinFairAllocation(n);
+  const auto all = n.allReceivers();
+  for (std::size_t x = 0; x < all.size(); ++x) {
+    for (std::size_t y = x + 1; y < all.size(); ++y) {
+      if (n.session(all[x].session).type != SessionType::kMultiRate ||
+          n.session(all[y].session).type != SessionType::kMultiRate) {
+        continue;
+      }
+      EXPECT_TRUE(arePairSamePathFair(n, a, all[x], all[y]));
+    }
+  }
+}
+
+TEST_P(TheoremSeeds, Theorem2eMultiRateAtLeastSingleRateOnSamePath) {
+  // If a multi-rate receiver and a single-rate receiver share a data-path
+  // then the multi-rate one is at sigma or receives at least as much.
+  const Network n = mixed();
+  const auto a = maxMinFairAllocation(n);
+  const auto all = n.allReceivers();
+  for (ReceiverRef x : all) {
+    if (n.session(x.session).type != SessionType::kMultiRate) continue;
+    const auto& px = n.session(x.session).receivers[x.receiver].dataPath;
+    for (ReceiverRef y : all) {
+      if (n.session(y.session).type != SessionType::kSingleRate) continue;
+      const auto& py = n.session(y.session).receivers[y.receiver].dataPath;
+      if (px != py) continue;
+      const double sigma = n.session(x.session).maxRate;
+      const bool atSigma =
+          !std::isinf(sigma) && a.rate(x) >= sigma - 1e-6;
+      EXPECT_TRUE(atSigma || a.rate(x) >= a.rate(y) - 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,93 @@
+// Tests for quantum-timescale interference (Section 5).
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "layering/timescale.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::layering {
+namespace {
+
+TEST(Timescale, SingleSessionWithinCapacityNeverOverloads) {
+  const QuantumShare s{1.0, 2.0, 1.0, 0.0};
+  const auto r = computeInterference({s}, 2.0, 100.0);
+  EXPECT_DOUBLE_EQ(r.excessVolumeFraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.overloadTimeFraction, 0.0);
+  EXPECT_NEAR(r.peakRate, 2.0, 1e-9);
+}
+
+TEST(Timescale, CoordinatedPhasesEliminateInterference) {
+  // Two sessions, each average 1 at layer rate 2, capacity 2: duty 0.5
+  // each. Same quantum, phases 0 and 0.5: perfect time division.
+  const QuantumShare a{1.0, 2.0, 1.0, 0.0};
+  const QuantumShare b{1.0, 2.0, 1.0, 0.5};
+  const auto r = computeInterference({a, b}, 2.0, 200.0);
+  EXPECT_NEAR(r.excessVolumeFraction, 0.0, 1e-6);
+  EXPECT_NEAR(r.peakRate, 2.0, 1e-9);
+}
+
+TEST(Timescale, AlignedPhasesCollide) {
+  // Same two sessions with identical phases: on-intervals coincide, the
+  // instantaneous rate doubles capacity half the time.
+  const QuantumShare a{1.0, 2.0, 1.0, 0.0};
+  const QuantumShare b{1.0, 2.0, 1.0, 0.0};
+  const auto r = computeInterference({a, b}, 2.0, 200.0);
+  EXPECT_NEAR(r.overloadTimeFraction, 0.5, 0.01);
+  // Excess: (4-2)*0.5 of time over offered 2 per unit -> 0.5.
+  EXPECT_NEAR(r.excessVolumeFraction, 0.5, 0.01);
+  EXPECT_NEAR(r.peakRate, 4.0, 1e-9);
+}
+
+TEST(Timescale, IncommensurateQuantaMatchRandomPhaseFormula) {
+  // Quanta 1 and sqrt(2): overlap converges to the duty-cycle product.
+  const QuantumShare a{1.0, 2.0, 1.0, 0.0};
+  const QuantumShare b{1.0, 2.0, std::numbers::sqrt2, 0.3};
+  const auto r = computeInterference({a, b}, 4.0, 5000.0, 5e-4);
+  const double expected =
+      expectedExcessVolumeFractionRandomPhases(a, b, 2.0);
+  // Duty 0.5 * 0.5 = 0.25 of time at rate 4 over capacity 2: excess
+  // rate 0.5, offered 2 -> 0.25.
+  EXPECT_NEAR(expected, 0.25, 1e-12);
+  const auto measured = computeInterference({a, b}, 2.0, 5000.0, 5e-4);
+  EXPECT_NEAR(measured.excessVolumeFraction, expected, 0.02);
+  static_cast<void>(r);
+}
+
+TEST(Timescale, LargeQuantaRatioDoesNotHelp) {
+  // A 100x quanta ratio gives the same long-run interference as 2x —
+  // the Section 5 concern: different timescales cannot coordinate.
+  const QuantumShare base{1.0, 2.0, 1.0, 0.0};
+  for (const double ratio : {2.0, 10.0, 100.0}) {
+    const QuantumShare other{1.0, 2.0, ratio * std::numbers::sqrt2, 0.0};
+    const auto r = computeInterference({base, other}, 2.0, 4000.0, 1e-3);
+    EXPECT_NEAR(r.excessVolumeFraction, 0.25, 0.03) << "ratio " << ratio;
+  }
+}
+
+TEST(Timescale, FormulaCoversSingleSessionOverload) {
+  // One layer rate alone above capacity contributes its own term.
+  const QuantumShare a{1.0, 4.0, 1.0, 0.0};   // duty 0.25, s=4
+  const QuantumShare b{0.5, 1.0, 1.0, 0.0};   // duty 0.5, s=1
+  // c=3: both on: 5-3=2 w.p. 0.125; a alone: 1 w.p. 0.125.
+  const double expected = (2.0 * 0.125 + 1.0 * 0.125) / 1.5;
+  EXPECT_NEAR(expectedExcessVolumeFractionRandomPhases(a, b, 3.0),
+              expected, 1e-12);
+}
+
+TEST(Timescale, Validation) {
+  const QuantumShare ok{1.0, 2.0, 1.0, 0.0};
+  EXPECT_THROW(computeInterference({}, 1.0, 10.0), PreconditionError);
+  EXPECT_THROW(computeInterference({ok}, 0.0, 10.0), PreconditionError);
+  EXPECT_THROW(computeInterference({ok}, 1.0, 10.0, 20.0),
+               PreconditionError);
+  QuantumShare bad = ok;
+  bad.layerRate = 0.5;  // below average
+  EXPECT_THROW(computeInterference({bad}, 1.0, 10.0), PreconditionError);
+  bad = ok;
+  bad.phase = 2.0;
+  EXPECT_THROW(computeInterference({bad}, 1.0, 10.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::layering

@@ -1,0 +1,145 @@
+// Tests for canonical topologies and the random-network generator.
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::net {
+namespace {
+
+using graph::LinkId;
+using graph::NodeId;
+
+TEST(Fig1, Shape) {
+  const Network n = fig1Network();
+  EXPECT_EQ(n.linkCount(), 4u);
+  EXPECT_EQ(n.sessionCount(), 3u);
+  EXPECT_EQ(n.receiverCount(), 5u);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{0}), 5.0);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{1}), 7.0);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{2}), 4.0);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{3}), 3.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(n.session(i).type, SessionType::kMultiRate);
+  }
+}
+
+TEST(Fig1, SamePathPair) {
+  // r1,1 and r2,1 share an identical data-path (the Section 2.1 example).
+  const Network n = fig1Network();
+  EXPECT_EQ(n.session(0).receivers[0].dataPath,
+            n.session(1).receivers[0].dataPath);
+}
+
+TEST(Fig2, TypeSwitch) {
+  EXPECT_EQ(fig2Network(false).session(0).type, SessionType::kSingleRate);
+  EXPECT_EQ(fig2Network(true).session(0).type, SessionType::kMultiRate);
+  const Network n = fig2Network(false);
+  EXPECT_DOUBLE_EQ(n.session(0).maxRate, 100.0);
+  EXPECT_EQ(n.receiverCount(), 4u);
+  // r1,1 and r2,1 share the same data-path {l4, l1}.
+  EXPECT_EQ(n.session(0).receivers[0].dataPath,
+            n.session(1).receivers[0].dataPath);
+}
+
+TEST(Fig3, BeforeAfterShapes) {
+  EXPECT_EQ(fig3aNetwork(false).receiverCount(), 4u);
+  EXPECT_EQ(fig3aNetwork(true).receiverCount(), 3u);
+  EXPECT_EQ(fig3bNetwork(false).receiverCount(), 4u);
+  EXPECT_EQ(fig3bNetwork(true).receiverCount(), 3u);
+  const auto ref = fig3RemovedReceiver();
+  EXPECT_EQ(ref.session, 2u);
+  EXPECT_EQ(ref.receiver, 1u);
+  // The "after" network equals the "before" network minus r3,2 (same
+  // shape as withoutReceiver).
+  const Network before = fig3aNetwork(false);
+  const Network after = before.withoutReceiver(ref);
+  EXPECT_EQ(after.receiverCount(), fig3aNetwork(true).receiverCount());
+}
+
+TEST(Fig4, RedundantSession) {
+  const Network n = fig4Network();
+  EXPECT_EQ(n.session(0).type, SessionType::kMultiRate);
+  const auto* cf =
+      dynamic_cast<const ConstantFactor*>(n.session(0).linkRateFn.get());
+  ASSERT_NE(cf, nullptr);
+  EXPECT_DOUBLE_EQ(cf->factor(), 2.0);
+}
+
+TEST(SingleBottleneck, Shape) {
+  const Network n = singleBottleneckNetwork(10, 3, 100.0, 2.0);
+  EXPECT_EQ(n.sessionCount(), 10u);
+  // 3 multi-rate sessions with 2 receivers + 7 unicast.
+  EXPECT_EQ(n.receiverCount(), 3u * 2 + 7u);
+  // Every receiver crosses the shared link 0.
+  EXPECT_EQ(n.receiversOnLink(LinkId{0}).size(), n.receiverCount());
+}
+
+TEST(SingleBottleneck, Validation) {
+  EXPECT_THROW(singleBottleneckNetwork(2, 3, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(singleBottleneckNetwork(2, 1, 1.0, 1.0, 1), PreconditionError);
+}
+
+TEST(FromGraph, RoutesSessions) {
+  graph::Graph g;
+  g.addNodes(4);
+  g.addLink(NodeId{0}, NodeId{1}, 10.0);
+  g.addLink(NodeId{1}, NodeId{2}, 5.0);
+  g.addLink(NodeId{1}, NodeId{3}, 3.0);
+  RoutedSessionSpec spec;
+  spec.sender = NodeId{0};
+  spec.receivers = {NodeId{2}, NodeId{3}};
+  spec.name = "S1";
+  const Network n = fromGraph(g, {spec});
+  EXPECT_EQ(n.linkCount(), 3u);
+  EXPECT_EQ(n.sessionCount(), 1u);
+  EXPECT_EQ(n.session(0).receivers[0].dataPath,
+            (std::vector<LinkId>{LinkId{0}, LinkId{1}}));
+  EXPECT_EQ(n.session(0).receivers[1].dataPath,
+            (std::vector<LinkId>{LinkId{0}, LinkId{2}}));
+}
+
+class RandomNetworkSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetworkSeeds, ProducesValidNetworks) {
+  util::Rng rng(GetParam());
+  RandomNetworkOptions opts;
+  const Network n = randomNetwork(rng, opts);
+  EXPECT_EQ(n.sessionCount(), opts.sessions);
+  EXPECT_GE(n.receiverCount(), opts.sessions);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    const auto& s = n.session(i);
+    EXPECT_GE(s.receivers.size(), 1u);
+    EXPECT_LE(s.receivers.size(), opts.maxReceiversPerSession);
+    EXPECT_GT(s.maxRate, 0.0);
+    for (const auto& r : s.receivers) {
+      EXPECT_FALSE(r.dataPath.empty());
+      for (graph::LinkId l : r.dataPath) {
+        EXPECT_LT(l.value, n.linkCount());
+        EXPECT_GE(n.capacity(l), opts.minCapacity);
+        EXPECT_LE(n.capacity(l), opts.maxCapacity);
+      }
+    }
+  }
+}
+
+TEST_P(RandomNetworkSeeds, Deterministic) {
+  util::Rng a(GetParam()), b(GetParam());
+  const Network n1 = randomNetwork(a);
+  const Network n2 = randomNetwork(b);
+  ASSERT_EQ(n1.receiverCount(), n2.receiverCount());
+  for (std::size_t i = 0; i < n1.sessionCount(); ++i) {
+    ASSERT_EQ(n1.session(i).receivers.size(),
+              n2.session(i).receivers.size());
+    for (std::size_t k = 0; k < n1.session(i).receivers.size(); ++k) {
+      EXPECT_EQ(n1.session(i).receivers[k].dataPath,
+                n2.session(i).receivers[k].dataPath);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mcfair::net

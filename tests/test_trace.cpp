@@ -1,0 +1,110 @@
+// Tests for protocol event tracing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/star.hpp"
+#include "sim/trace.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+StarConfig traceConfig() {
+  StarConfig c;
+  c.receivers = 5;
+  c.layers = 5;
+  c.protocol = ProtocolKind::kDeterministic;
+  c.sharedLossRate = 0.001;
+  c.independentLossRate = 0.03;
+  c.totalPackets = 20000;
+  c.seed = 42;
+  return c;
+}
+
+TEST(Trace, CountsMatchSimulationCounters) {
+  CountingTraceSink sink;
+  StarConfig c = traceConfig();
+  c.trace = &sink;
+  const StarResult r = runStarSimulation(c);
+  EXPECT_EQ(sink.joins(), r.totalJoins);
+  EXPECT_EQ(sink.leaves(), r.totalLeaves);
+  EXPECT_EQ(sink.congestions(), r.totalCongestionEvents);
+  EXPECT_GT(sink.joins(), 0u);
+}
+
+TEST(Trace, RecordingSinkPreservesOrderAndFields) {
+  RecordingTraceSink sink;
+  StarConfig c = traceConfig();
+  c.trace = &sink;
+  runStarSimulation(c);
+  ASSERT_FALSE(sink.events().empty());
+  double prev = 0.0;
+  for (const auto& e : sink.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    EXPECT_LT(e.receiver, 5u);
+    EXPECT_GE(e.level, 1u);
+    EXPECT_LE(e.level, 5u);
+  }
+  // A leave event is always preceded by a congestion event at the same
+  // time/packet for the same receiver.
+  for (std::size_t i = 0; i < sink.events().size(); ++i) {
+    const auto& e = sink.events()[i];
+    if (e.kind != TraceEvent::Kind::kLeave) continue;
+    ASSERT_GT(i, 0u);
+    const auto& prevEvent = sink.events()[i - 1];
+    EXPECT_EQ(prevEvent.kind, TraceEvent::Kind::kCongestion);
+    EXPECT_EQ(prevEvent.packet, e.packet);
+    EXPECT_EQ(prevEvent.receiver, e.receiver);
+  }
+}
+
+TEST(Trace, RecordingSinkLimit) {
+  RecordingTraceSink sink(/*limit=*/10);
+  StarConfig c = traceConfig();
+  c.trace = &sink;
+  runStarSimulation(c);
+  EXPECT_EQ(sink.events().size(), 10u);
+  EXPECT_GT(sink.dropped(), 0u);
+}
+
+TEST(Trace, CsvSinkFormat) {
+  std::ostringstream os;
+  CsvTraceSink sink(os);
+  sink.onEvent({TraceEvent::Kind::kJoin, 1.5, 3, 4, 99});
+  sink.onEvent({TraceEvent::Kind::kCongestion, 2.0, 0, 1, 120});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time,kind,receiver,level,packet"),
+            std::string::npos);
+  EXPECT_NE(out.find("1.5,join,3,4,99"), std::string::npos);
+  EXPECT_NE(out.find("2,congestion,0,1,120"), std::string::npos);
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_STREQ(traceKindName(TraceEvent::Kind::kJoin), "join");
+  EXPECT_STREQ(traceKindName(TraceEvent::Kind::kLeave), "leave");
+  EXPECT_STREQ(traceKindName(TraceEvent::Kind::kCongestion),
+               "congestion");
+}
+
+TEST(Trace, RouterEventsUseSentinelIndex) {
+  RecordingTraceSink sink;
+  StarConfig c = traceConfig();
+  c.protocol = ProtocolKind::kActiveRouter;
+  c.sharedLossRate = 0.02;
+  c.trace = &sink;
+  runStarSimulation(c);
+  ASSERT_FALSE(sink.events().empty());
+  for (const auto& e : sink.events()) {
+    EXPECT_EQ(e.receiver, c.receivers);  // all events come from the router
+  }
+}
+
+TEST(Trace, NoSinkNoCrash) {
+  StarConfig c = traceConfig();
+  c.trace = nullptr;
+  EXPECT_NO_THROW(runStarSimulation(c));
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,0 +1,98 @@
+// Tests for multicast tree construction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/tree.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+namespace {
+
+// Star: center 0, leaves 1..4.
+Graph star() {
+  Graph g;
+  g.addNodes(5);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    g.addLink(NodeId{0}, NodeId{i}, 1.0);
+  }
+  return g;
+}
+
+TEST(MulticastTree, StarPaths) {
+  const Graph g = star();
+  const auto tree = buildShortestPathTree(
+      g, NodeId{0}, {NodeId{1}, NodeId{3}});
+  ASSERT_EQ(tree.receiverPaths.size(), 2u);
+  EXPECT_EQ(tree.receiverPaths[0], (std::vector<LinkId>{LinkId{0}}));
+  EXPECT_EQ(tree.receiverPaths[1], (std::vector<LinkId>{LinkId{2}}));
+  EXPECT_EQ(tree.sessionLinks.size(), 2u);
+}
+
+TEST(MulticastTree, SharedPrefixCountedOnce) {
+  // 0 - 1, then 1 - 2 and 1 - 3: both receivers share link 0.
+  Graph g;
+  g.addNodes(4);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  g.addLink(NodeId{1}, NodeId{2}, 1.0);
+  g.addLink(NodeId{1}, NodeId{3}, 1.0);
+  const auto tree =
+      buildShortestPathTree(g, NodeId{0}, {NodeId{2}, NodeId{3}});
+  EXPECT_EQ(tree.sessionLinks.size(), 3u);
+  EXPECT_EQ(tree.receiverPaths[0].front(), (LinkId{0}));
+  EXPECT_EQ(tree.receiverPaths[1].front(), (LinkId{0}));
+}
+
+TEST(MulticastTree, UnionIsTree) {
+  // With cycles in the graph, the union of receiver paths must still be a
+  // tree (single BFS predecessor per node).
+  Graph g;
+  g.addNodes(6);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  g.addLink(NodeId{0}, NodeId{2}, 1.0);
+  g.addLink(NodeId{1}, NodeId{3}, 1.0);
+  g.addLink(NodeId{2}, NodeId{3}, 1.0);  // cycle
+  g.addLink(NodeId{3}, NodeId{4}, 1.0);
+  g.addLink(NodeId{3}, NodeId{5}, 1.0);
+  const auto tree = buildShortestPathTree(
+      g, NodeId{0}, {NodeId{4}, NodeId{5}, NodeId{3}});
+  // Receivers behind node 3 must all use the same path to node 3.
+  const auto& p4 = tree.receiverPaths[0];
+  const auto& p5 = tree.receiverPaths[1];
+  const auto& p3 = tree.receiverPaths[2];
+  ASSERT_EQ(p3.size(), 2u);
+  ASSERT_EQ(p4.size(), 3u);
+  EXPECT_TRUE(std::equal(p3.begin(), p3.end(), p4.begin()));
+  EXPECT_TRUE(std::equal(p3.begin(), p3.end(), p5.begin()));
+  // Tree link count = nodes spanned - 1.
+  std::set<std::uint32_t> nodes;
+  for (const auto& path : tree.receiverPaths) {
+    for (LinkId l : path) {
+      const auto [a, b] = g.endpoints(l);
+      nodes.insert(a.value);
+      nodes.insert(b.value);
+    }
+  }
+  EXPECT_EQ(tree.sessionLinks.size(), nodes.size() - 1);
+}
+
+TEST(MulticastTree, UnreachableReceiverThrows) {
+  Graph g;
+  g.addNodes(3);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  EXPECT_THROW(buildShortestPathTree(g, NodeId{0}, {NodeId{2}}), ModelError);
+}
+
+TEST(MulticastTree, ReceiverAtSenderRejected) {
+  const Graph g = star();
+  EXPECT_THROW(buildShortestPathTree(g, NodeId{0}, {NodeId{0}}),
+               PreconditionError);
+}
+
+TEST(MulticastTree, NoReceiversRejected) {
+  const Graph g = star();
+  EXPECT_THROW(buildShortestPathTree(g, NodeId{0}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::graph

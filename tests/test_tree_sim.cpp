@@ -1,0 +1,145 @@
+// Tests for the multicast-tree simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/star.hpp"
+#include "sim/tree_sim.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+TreeConfig quickTree(ProtocolKind kind) {
+  TreeConfig c;
+  c.branching = 3;
+  c.depth = 3;
+  c.layers = 6;
+  c.protocol = kind;
+  c.rootLossRate = 0.0001;
+  c.perLinkLossRate = 0.02;
+  c.totalPackets = 40000;
+  c.seed = 21;
+  return c;
+}
+
+TEST(TreeSim, ShapeAccounting) {
+  TreeConfig c = quickTree(ProtocolKind::kDeterministic);
+  const TreeResult r = runTreeSimulation(c);
+  EXPECT_EQ(r.receivers, 9u);         // 3^(3-1)
+  EXPECT_EQ(r.links, 1u + 3u + 9u);   // complete 3-ary link tree
+}
+
+TEST(TreeSim, DepthTwoMatchesStarStatistically) {
+  // A depth-2 tree with branching N is exactly the Figure 7(b) star;
+  // redundancy estimates must agree within combined confidence bounds.
+  TreeConfig tc;
+  tc.branching = 20;
+  tc.depth = 2;
+  tc.layers = 8;
+  tc.protocol = ProtocolKind::kUncoordinated;
+  tc.rootLossRate = 0.0001;
+  tc.perLinkLossRate = 0.04;
+  tc.totalPackets = 100000;
+  util::RunningStats tree;
+  for (std::uint64_t s = 1; s <= 8; ++s) {
+    tc.seed = s;
+    tree.add(runTreeSimulation(tc).rootRedundancy);
+  }
+  StarConfig sc;
+  sc.receivers = 20;
+  sc.layers = 8;
+  sc.protocol = ProtocolKind::kUncoordinated;
+  sc.sharedLossRate = 0.0001;
+  sc.independentLossRate = 0.04;
+  sc.totalPackets = 100000;
+  const auto star = estimateRedundancy(sc, 8);
+  EXPECT_NEAR(tree.mean(), star.mean,
+              3.0 * (tree.ci95HalfWidth() + star.ci95));
+}
+
+TEST(TreeSim, ZeroLossReachesTop) {
+  TreeConfig c = quickTree(ProtocolKind::kDeterministic);
+  c.rootLossRate = 0.0;
+  c.perLinkLossRate = 0.0;
+  const TreeResult r = runTreeSimulation(c);
+  EXPECT_NEAR(r.meanLevel, 6.0, 0.2);
+  EXPECT_NEAR(r.rootRedundancy, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.observedLossRate, 0.0);
+}
+
+TEST(TreeSim, EndToEndLossGrowsWithDepth) {
+  // Loss compounds along the path: 1 - (1-p)^(depth-1) for subscribed
+  // receivers (plus the tiny root loss).
+  double prev = 0.0;
+  for (const std::size_t depth : {2u, 3u, 4u, 5u}) {
+    TreeConfig c = quickTree(ProtocolKind::kDeterministic);
+    c.branching = 2;
+    c.depth = depth;
+    const TreeResult r = runTreeSimulation(c);
+    EXPECT_GT(r.observedLossRate, prev);
+    prev = r.observedLossRate;
+    const double expected =
+        1.0 - (1.0 - 0.0001) *
+                  std::pow(1.0 - 0.02, static_cast<double>(depth - 1));
+    EXPECT_NEAR(r.observedLossRate, expected, 0.01) << "depth " << depth;
+  }
+}
+
+TEST(TreeSim, RedundancyAtLeastOne) {
+  for (const auto kind :
+       {ProtocolKind::kUncoordinated, ProtocolKind::kDeterministic,
+        ProtocolKind::kCoordinated}) {
+    const TreeResult r = runTreeSimulation(quickTree(kind));
+    EXPECT_GE(r.rootRedundancy, 1.0) << protocolName(kind);
+  }
+}
+
+TEST(TreeSim, SharedAncestorsCorrelateSiblings) {
+  // Same total end-to-end loss, split differently: concentrating loss on
+  // shared upper links correlates receivers and lowers redundancy
+  // compared with leaf-only loss (the same end-to-end rate).
+  TreeConfig shared = quickTree(ProtocolKind::kDeterministic);
+  shared.branching = 4;
+  shared.depth = 2;              // one shared root + leaves
+  shared.rootLossRate = 0.05;    // loss mostly shared
+  shared.perLinkLossRate = 0.001;
+  TreeConfig leafy = shared;
+  leafy.rootLossRate = 0.001;
+  leafy.perLinkLossRate = 0.05;  // loss mostly independent
+  util::RunningStats sharedStats, leafyStats;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    shared.seed = leafy.seed = s;
+    sharedStats.add(runTreeSimulation(shared).rootRedundancy);
+    leafyStats.add(runTreeSimulation(leafy).rootRedundancy);
+  }
+  EXPECT_LT(sharedStats.mean(), leafyStats.mean());
+}
+
+TEST(TreeSim, Reproducible) {
+  const TreeConfig c = quickTree(ProtocolKind::kUncoordinated);
+  const TreeResult a = runTreeSimulation(c);
+  const TreeResult b = runTreeSimulation(c);
+  EXPECT_EQ(a.rootForwarded, b.rootForwarded);
+  EXPECT_EQ(a.maxDelivered, b.maxDelivered);
+}
+
+TEST(TreeSim, Validation) {
+  TreeConfig c = quickTree(ProtocolKind::kCoordinated);
+  c.branching = 0;
+  EXPECT_THROW(runTreeSimulation(c), PreconditionError);
+  c = quickTree(ProtocolKind::kCoordinated);
+  c.depth = 0;
+  EXPECT_THROW(runTreeSimulation(c), PreconditionError);
+  c = quickTree(ProtocolKind::kCoordinated);
+  c.branching = 8;
+  c.depth = 6;  // 8^5 = 32768 leaves > 4096
+  EXPECT_THROW(runTreeSimulation(c), PreconditionError);
+  c = quickTree(ProtocolKind::kCoordinated);
+  c.perLinkLossRate = 1.0;
+  EXPECT_THROW(runTreeSimulation(c), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

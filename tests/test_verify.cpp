@@ -1,0 +1,144 @@
+// Tests for the Definition 1 verifier, including cross-validation of the
+// solver on random networks.
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/verify.hpp"
+#include "net/topologies.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+VerifyOptions loose() {
+  VerifyOptions o;
+  o.delta = 1e-4;
+  o.tol = 1e-7;
+  return o;
+}
+
+TEST(Verify, AcceptsSolverOutputOnPaperExamples) {
+  for (const auto& n :
+       {net::fig1Network(), net::fig2Network(false), net::fig2Network(true),
+        net::fig3aNetwork(false), net::fig3bNetwork(false),
+        net::fig4Network()}) {
+    const auto a = maxMinFairAllocation(n);
+    EXPECT_TRUE(isMaxMinFair(n, a, loose()));
+  }
+}
+
+TEST(Verify, RejectsUniformlyScaledDownAllocation) {
+  const net::Network n = net::fig1Network();
+  Allocation a = maxMinFairAllocation(n);
+  for (const auto ref : n.allReceivers()) {
+    a.setRate(ref, a.rate(ref) * 0.9);
+  }
+  const auto violations = findMaxMinViolations(n, a, loose());
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Verify, RejectsSingleStarvedReceiver) {
+  const net::Network n = net::fig1Network();
+  Allocation a = maxMinFairAllocation(n);
+  a.setRate({1, 1}, 0.5);  // r2,2 below its fair 2.0
+  const auto violations = findMaxMinViolations(n, a, loose());
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.receiver == net::ReceiverRef{1, 1}) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Verify, ReportsInfeasibleAllocations) {
+  const net::Network n = net::fig1Network();
+  Allocation a(n);
+  a.setRate({0, 0}, 100.0);
+  const auto violations = findMaxMinViolations(n, a, loose());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].reason.find("not feasible"), std::string::npos);
+}
+
+TEST(Verify, AcceptsSigmaPinnedEverything) {
+  // All receivers at sigma on an uncongested link: max-min fair.
+  net::Network n;
+  const auto l = n.addLink(100.0);
+  n.addSession(net::makeUnicastSession({l}, 1.0));
+  n.addSession(net::makeUnicastSession({l}, 2.0));
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({1, 0}, 2.0);
+  EXPECT_TRUE(isMaxMinFair(n, a, loose()));
+  // But below sigma with slack it is not.
+  a.setRate({1, 0}, 1.5);
+  EXPECT_FALSE(isMaxMinFair(n, a, loose()));
+}
+
+TEST(Verify, DistinguishesSessionTypes) {
+  // The single-rate max-min allocation of Fig 2 (2,2,2|3) is max-min
+  // fair for the single-rate network, but NOT for the multi-rate one
+  // (where (2.5, 2, 3 | 2.5) dominates it).
+  const net::Network single = net::fig2Network(false);
+  const net::Network multi = net::fig2Network(true);
+  const auto a = maxMinFairAllocation(single);
+  EXPECT_TRUE(isMaxMinFair(single, a, loose()));
+  EXPECT_FALSE(isMaxMinFair(multi, a, loose()));
+}
+
+TEST(Verify, SingleRateRaiseMovesWholeSession) {
+  // In a single-rate network the verifier must raise sessions as a unit:
+  // the allocation (1,1) for a 2-receiver single-rate session whose
+  // second receiver crosses a saturated link is max-min fair even though
+  // receiver 1's own path has slack.
+  net::Network n;
+  const auto wide = n.addLink(10.0);
+  const auto tight = n.addLink(1.0);
+  net::Session s;
+  s.type = net::SessionType::kSingleRate;
+  s.receivers = {net::makeReceiver({wide}), net::makeReceiver({tight})};
+  n.addSession(std::move(s));
+  Allocation a(n);
+  a.setRate({0, 0}, 1.0);
+  a.setRate({0, 1}, 1.0);
+  EXPECT_TRUE(isMaxMinFair(n, a, loose()));
+}
+
+TEST(Verify, RedundantSessionsVerify) {
+  const net::Network n = net::singleBottleneckNetwork(5, 2, 50.0, 2.0);
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_TRUE(isMaxMinFair(n, a, loose()));
+}
+
+class VerifyRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifyRandom, SolverOutputIsMaxMinFair) {
+  util::Rng rng(GetParam());
+  net::RandomNetworkOptions opts;
+  opts.singleRateProbability = 0.4;
+  const net::Network n = net::randomNetwork(rng, opts);
+  const auto a = maxMinFairAllocation(n);
+  const auto violations = findMaxMinViolations(n, a, loose());
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations; first: "
+      << (violations.empty() ? "" : violations.front().reason);
+}
+
+TEST_P(VerifyRandom, PerturbationsAreCaught) {
+  util::Rng rng(GetParam() + 5000);
+  net::RandomNetworkOptions opts;
+  opts.singleRateProbability = 0.0;  // free to perturb individual rates
+  const net::Network n = net::randomNetwork(rng, opts);
+  Allocation a = maxMinFairAllocation(n);
+  // Halve one random receiver's rate: that receiver can be re-raised
+  // without hurting anyone (its old allocation was feasible).
+  const auto all = n.allReceivers();
+  const auto victim = all[rng.below(all.size())];
+  if (a.rate(victim) < 1e-6) return;  // degenerate
+  a.setRate(victim, a.rate(victim) / 2.0);
+  EXPECT_FALSE(isMaxMinFair(n, a, loose()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyRandom,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace mcfair::fairness

@@ -1,0 +1,167 @@
+// Tests for weighted max-min fairness (Section 5: receiver rates weighted
+// by inverse RTT approximate TCP-fairness).
+#include <gtest/gtest.h>
+
+#include "fairness/maxmin.hpp"
+#include "net/topologies.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using graph::LinkId;
+using net::Network;
+
+Network twoUnicastWeighted(double w1, double w2, double capacity) {
+  Network n;
+  const LinkId l = n.addLink(capacity);
+  net::Session s1 = net::makeUnicastSession({l}, net::kUnlimitedRate, "S1");
+  s1.receivers[0].weight = w1;
+  net::Session s2 = net::makeUnicastSession({l}, net::kUnlimitedRate, "S2");
+  s2.receivers[0].weight = w2;
+  n.addSession(std::move(s1));
+  n.addSession(std::move(s2));
+  return n;
+}
+
+TEST(Weighted, SplitProportionalToWeights) {
+  const Network n = twoUnicastWeighted(1.0, 2.0, 9.0);
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 3.0, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 6.0, 1e-9);
+}
+
+TEST(Weighted, UnitWeightsMatchUnweightedSolver) {
+  util::Rng rng(7);
+  const Network n = net::randomNetwork(rng);
+  // All weights default to 1; the result must equal the plain algorithm
+  // (regression guard for the weighted code path).
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_TRUE(isFeasible(n, a, 1e-6));
+}
+
+TEST(Weighted, InverseRttTcpStyle) {
+  // Three flows with RTTs 10ms, 50ms, 100ms on a 100 unit link: weights
+  // 1/rtt give rates proportional to 10:2:1.
+  Network n;
+  const LinkId l = n.addLink(100.0);
+  for (const double rtt : {10.0, 50.0, 100.0}) {
+    net::Session s = net::makeUnicastSession({l});
+    s.receivers[0].weight = 1.0 / rtt;
+    n.addSession(std::move(s));
+  }
+  const auto a = maxMinFairAllocation(n);
+  const double total = 1.0 / 10 + 1.0 / 50 + 1.0 / 100;
+  EXPECT_NEAR(a.rate({0, 0}), 100.0 * (0.1 / total), 1e-6);
+  EXPECT_NEAR(a.rate({1, 0}), 100.0 * (0.02 / total), 1e-6);
+  EXPECT_NEAR(a.rate({2, 0}), 100.0 * (0.01 / total), 1e-6);
+}
+
+TEST(Weighted, SigmaCapsApplyToRates) {
+  // Heavy receiver capped at sigma=2: the rest goes to the light one.
+  Network n;
+  const LinkId l = n.addLink(10.0);
+  net::Session heavy = net::makeUnicastSession({l}, /*maxRate=*/2.0);
+  heavy.receivers[0].weight = 10.0;
+  n.addSession(std::move(heavy));
+  n.addSession(net::makeUnicastSession({l}));
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(a.rate({1, 0}), 8.0, 1e-9);
+}
+
+TEST(Weighted, MultiRateSessionMixedWeights) {
+  // A multi-rate session with a heavy and a light receiver behind
+  // separate tails plus a weighted unicast competitor on the shared hop.
+  Network n;
+  const LinkId shared = n.addLink(12.0);
+  const LinkId tailA = n.addLink(100.0);
+  const LinkId tailB = n.addLink(100.0);
+  net::Session video;
+  video.name = "video";
+  video.type = net::SessionType::kMultiRate;
+  video.receivers = {net::makeReceiver({shared, tailA}, "heavy"),
+                     net::makeReceiver({shared, tailB}, "light")};
+  video.receivers[0].weight = 3.0;
+  video.receivers[1].weight = 1.0;
+  n.addSession(std::move(video));
+  net::Session web = net::makeUnicastSession({shared});
+  web.receivers[0].weight = 1.0;
+  n.addSession(std::move(web));
+  // Filling: u_shared = max(3t, t) + t = 4t -> t = 3: rates 9, 3, 3.
+  const auto a = maxMinFairAllocation(n);
+  EXPECT_NEAR(a.rate({0, 0}), 9.0, 1e-6);
+  EXPECT_NEAR(a.rate({0, 1}), 3.0, 1e-6);
+  EXPECT_NEAR(a.rate({1, 0}), 3.0, 1e-6);
+}
+
+TEST(Weighted, FrozenHeavyReceiverStillShapesLinkRate) {
+  // The heavy receiver freezes early on its slow tail; its frozen rate
+  // must keep dominating the session link rate on the shared hop.
+  Network n;
+  const LinkId shared = n.addLink(10.0);
+  const LinkId slowTail = n.addLink(4.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({shared, slowTail}, "heavy"),
+                 net::makeReceiver({shared}, "light")};
+  s.receivers[0].weight = 8.0;
+  s.receivers[1].weight = 1.0;
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({shared}));
+  const auto result = solveMaxMinFair(n);
+  // heavy freezes at 4 (tail); then u_shared = max(4, t) + t.
+  // light and the unicast continue to t = 5... at t=5 u = max(4,5)+5 = 10.
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 4.0, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({0, 1}), 5.0, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({1, 0}), 5.0, 1e-6);
+}
+
+TEST(Weighted, SingleRateRequiresUniformWeights) {
+  Network n;
+  const LinkId l = n.addLink(5.0);
+  net::Session s;
+  s.type = net::SessionType::kSingleRate;
+  s.receivers = {net::makeReceiver({l}), net::makeReceiver({l})};
+  s.receivers[1].weight = 2.0;
+  EXPECT_THROW(n.addSession(std::move(s)), PreconditionError);
+}
+
+TEST(Weighted, RejectsNonPositiveWeights) {
+  Network n;
+  const LinkId l = n.addLink(5.0);
+  net::Session s = net::makeUnicastSession({l});
+  s.receivers[0].weight = 0.0;
+  EXPECT_THROW(n.addSession(std::move(s)), PreconditionError);
+}
+
+TEST(Weighted, ScalingAllWeightsIsInvariant) {
+  // Multiplying every weight by a constant must not change the
+  // allocation.
+  util::Rng rng(11);
+  net::RandomNetworkOptions opts;
+  opts.singleRateProbability = 0.0;
+  Network base = net::randomNetwork(rng, opts);
+  // Assign deterministic non-uniform weights.
+  // (Rebuild sessions with weights via what-if copies is not exposed, so
+  // exercise two hand-built equivalents.)
+  const Network a = twoUnicastWeighted(1.0, 3.0, 8.0);
+  const Network b = twoUnicastWeighted(10.0, 30.0, 8.0);
+  const auto ra = maxMinFairAllocation(a);
+  const auto rb = maxMinFairAllocation(b);
+  EXPECT_NEAR(ra.rate({0, 0}), rb.rate({0, 0}), 1e-6);
+  EXPECT_NEAR(ra.rate({1, 0}), rb.rate({1, 0}), 1e-6);
+}
+
+TEST(Weighted, FeasibleAndSaturating) {
+  // Weighted allocations still saturate a link (or sigma) per receiver.
+  const Network n = twoUnicastWeighted(2.0, 5.0, 21.0);
+  const auto result = solveMaxMinFair(n);
+  EXPECT_TRUE(isFeasible(n, result.allocation, 1e-6));
+  EXPECT_NEAR(result.usage.linkRate[0], 21.0, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({0, 0}), 6.0, 1e-6);
+  EXPECT_NEAR(result.allocation.rate({1, 0}), 15.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mcfair::fairness
