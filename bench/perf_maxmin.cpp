@@ -1,11 +1,17 @@
 // Engineering micro-benchmarks for the max-min solver (not a paper
 // figure): scaling with network size, session types, and link-rate
 // functions.
+//
+// The *Reference benchmarks run the retained pre-refactor solver
+// (per-round link-view rebuild) on the same inputs, so the incremental
+// engine's speedup is recorded side by side in every run; see
+// scripts/bench_baseline.sh for the JSON baseline capture.
 #include <benchmark/benchmark.h>
 
 #include "fairness/maxmin.hpp"
 #include "fairness/properties.hpp"
 #include "net/topologies.hpp"
+#include "sim/closed_loop.hpp"
 
 namespace {
 
@@ -30,7 +36,7 @@ void BM_MaxMinMultiRate(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_MaxMinMultiRate)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+BENCHMARK(BM_MaxMinMultiRate)->RangeMultiplier(2)->Range(4, 256)->Complexity();
 
 void BM_MaxMinMixed(benchmark::State& state) {
   const auto n = makeRandom(43, static_cast<std::size_t>(state.range(0)),
@@ -39,7 +45,7 @@ void BM_MaxMinMixed(benchmark::State& state) {
     benchmark::DoNotOptimize(fairness::maxMinFairAllocation(n));
   }
 }
-BENCHMARK(BM_MaxMinMixed)->RangeMultiplier(2)->Range(4, 64);
+BENCHMARK(BM_MaxMinMixed)->RangeMultiplier(2)->Range(4, 256);
 
 void BM_MaxMinBisectionPath(benchmark::State& state) {
   // RandomJoinExpected forces the nonlinear bisection path.
@@ -61,8 +67,109 @@ void BM_SingleBottleneckScaling(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(fairness::maxMinFairAllocation(n));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_SingleBottleneckScaling)->RangeMultiplier(4)->Range(10, 640);
+BENCHMARK(BM_SingleBottleneckScaling)
+    ->RangeMultiplier(4)
+    ->Range(10, 4096)
+    ->Arg(640)
+    ->Complexity();
+
+void BM_SingleBottleneckScalingReference(benchmark::State& state) {
+  const auto n = net::singleBottleneckNetwork(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0) / 10), 1000.0, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairness::solveMaxMinFairReference(n).allocation);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleBottleneckScalingReference)
+    ->RangeMultiplier(4)
+    ->Range(10, 4096)
+    ->Arg(640)
+    ->Complexity();
+
+// A bound solver re-solving an unchanged network: the zero-allocation
+// steady-state path in isolation (no bind, no result copy).
+void BM_BoundSolverResolve(benchmark::State& state) {
+  const auto n = net::singleBottleneckNetwork(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0) / 10), 1000.0, 2.0);
+  fairness::MaxMinSolver solver;
+  solver.bind(n);
+  benchmark::DoNotOptimize(solver.solve());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solveAllocation());
+  }
+}
+BENCHMARK(BM_BoundSolverResolve)->RangeMultiplier(4)->Range(10, 4096);
+
+// Closed-loop churn: receivers join/leave between solves, so every epoch
+// re-solves a slightly different network. One persistent solver rides
+// through the variants (its buffers stay warm); the reference twin below
+// rebuilds everything per epoch like the pre-refactor code had to.
+std::vector<net::Network> churnVariants(std::size_t sessions) {
+  const auto base = makeRandom(45, sessions, 0.3);
+  std::vector<net::Network> variants;
+  variants.push_back(base);
+  for (std::size_t i = 0; i < base.sessionCount(); ++i) {
+    if (base.session(i).receivers.size() > 1) {
+      variants.push_back(base.withoutReceiver({i, 0}));
+    }
+    if (variants.size() >= 16) break;
+  }
+  return variants;
+}
+
+void BM_ClosedLoopChurn(benchmark::State& state) {
+  const auto variants = churnVariants(static_cast<std::size_t>(state.range(0)));
+  fairness::MaxMinSolver solver;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solveAllocation(variants[next]));
+    next = (next + 1) % variants.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClosedLoopChurn)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_ClosedLoopChurnReference(benchmark::State& state) {
+  const auto variants = churnVariants(static_cast<std::size_t>(state.range(0)));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fairness::solveMaxMinFairReference(variants[next]).allocation);
+    next = (next + 1) % variants.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClosedLoopChurnReference)->RangeMultiplier(2)->Range(16, 128);
+
+// The fair-epoch timeline of the closed-loop simulator: session arrivals
+// and departures create one re-solve per epoch.
+void BM_FairEpochTimeline(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  const auto n = net::singleBottleneckNetwork(sessions, sessions / 10,
+                                              1000.0, 2.0);
+  sim::ClosedLoopConfig config;
+  config.duration = 100.0;
+  config.warmup = 10.0;
+  config.computeFairEpochs = true;
+  config.sessions.assign(sessions, sim::ClosedLoopSessionConfig{});
+  for (std::size_t i = 0; i < sessions; ++i) {
+    config.sessions[i].startTime = static_cast<double>(i % 8) * 10.0;
+    config.sessions[i].stopTime = 90.0 + static_cast<double>(i % 4);
+  }
+  config.sessions[0].startTime = 0.0;  // keep at least one session live
+  config.sessions[0].stopTime = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    const auto r = sim::runClosedLoopSimulation(n, config);
+    benchmark::DoNotOptimize(r.fairEpochs.size());
+  }
+}
+BENCHMARK(BM_FairEpochTimeline)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_PropertyChecks(benchmark::State& state) {
   const auto n = makeRandom(45, 32, 0.3);

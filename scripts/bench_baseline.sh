@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Captures the max-min solver benchmark baseline into BENCH_maxmin.json
+# (google-benchmark JSON format) at the repository root. Each run records
+# the incremental engine and the retained reference solver side by side,
+# so the perf trajectory across PRs is a diff of this file.
+#
+# Usage: scripts/bench_baseline.sh [build-dir] [min-time-seconds]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+min_time="${2:-0.2}"
+
+if [ ! -x "$build_dir/bench_perf_maxmin" ]; then
+  echo "building benchmarks in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" -DMCFAIR_BENCH=ON >/dev/null
+  cmake --build "$build_dir" --target bench_perf_maxmin -j >/dev/null
+fi
+
+"$build_dir/bench_perf_maxmin" \
+  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_maxmin.json" \
+  --benchmark_out_format=json >/dev/null
+
+echo "wrote $repo_root/BENCH_maxmin.json" >&2
+
+python3 - "$repo_root/BENCH_maxmin.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+times = {b["name"]: b["real_time"] for b in data["benchmarks"]
+         if b.get("run_type") != "aggregate" and "real_time" in b}
+print(f"{'benchmark':<44}{'engine':>12}{'reference':>12}{'speedup':>9}")
+for name, t in sorted(times.items()):
+    if "Reference" in name or "/" not in name:
+        continue
+    refname = name.replace("Scaling/", "ScalingReference/") \
+                  .replace("Churn/", "ChurnReference/")
+    ref = times.get(refname)
+    if refname == name or ref is None:
+        continue
+    print(f"{name:<44}{t:>10.0f}ns{ref:>10.0f}ns{ref / t:>8.1f}x")
+EOF

@@ -8,56 +8,74 @@
 namespace mcfair::fairness {
 
 Allocation::Allocation(const net::Network& net) {
-  rates_.resize(net.sessionCount());
+  offsets_.reserve(net.sessionCount() + 1);
+  offsets_.push_back(0);
   for (std::size_t i = 0; i < net.sessionCount(); ++i) {
-    rates_[i].assign(net.session(i).receivers.size(), 0.0);
+    offsets_.push_back(offsets_.back() + net.session(i).receivers.size());
   }
+  rates_.assign(offsets_.back(), 0.0);
+}
+
+std::size_t Allocation::flatIndexChecked(net::ReceiverRef ref) const {
+  if (ref.session >= sessionCount() ||
+      ref.receiver >= offsets_[ref.session + 1] - offsets_[ref.session]) {
+    throw std::out_of_range("Allocation: receiver reference out of range");
+  }
+  return offsets_[ref.session] + ref.receiver;
 }
 
 double Allocation::rate(net::ReceiverRef ref) const {
-  return rates_.at(ref.session).at(ref.receiver);
+  return rates_[flatIndexChecked(ref)];
 }
 
 void Allocation::setRate(net::ReceiverRef ref, double rate) {
   MCFAIR_REQUIRE(rate >= 0.0, "receiver rates must be non-negative");
-  rates_.at(ref.session).at(ref.receiver) = rate;
+  rates_[flatIndexChecked(ref)] = rate;
 }
 
-const std::vector<double>& Allocation::sessionRates(std::size_t i) const {
-  return rates_.at(i);
+std::span<const double> Allocation::sessionRates(std::size_t i) const {
+  if (i >= sessionCount()) {
+    throw std::out_of_range("Allocation: session index out of range");
+  }
+  return {rates_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
 }
 
 std::vector<double> Allocation::orderedRates() const {
-  std::vector<double> out;
-  for (const auto& s : rates_) out.insert(out.end(), s.begin(), s.end());
+  std::vector<double> out(rates_.begin(), rates_.end());
   std::sort(out.begin(), out.end());
   return out;
 }
 
 LinkUsage computeLinkUsage(const net::Network& net, const Allocation& a) {
   LinkUsage usage;
-  usage.sessionLinkRate.assign(net.sessionCount(),
-                               std::vector<double>(net.linkCount(), 0.0));
-  usage.linkRate.assign(net.linkCount(), 0.0);
+  std::vector<double> scratch;
+  computeLinkUsageInto(net, a, usage, scratch);
+  return usage;
+}
+
+void computeLinkUsageInto(const net::Network& net, const Allocation& a,
+                          LinkUsage& out, std::vector<double>& scratch) {
+  out.sessionLinkRate.resize(net.sessionCount());
+  for (auto& row : out.sessionLinkRate) row.assign(net.linkCount(), 0.0);
+  out.linkRate.assign(net.linkCount(), 0.0);
   // Gather per-link, per-session rate sets from the link index, then apply
   // each session's v_i.
   for (std::uint32_t j = 0; j < net.linkCount(); ++j) {
     const graph::LinkId l{j};
-    const auto& refs = net.receiversOnLink(l);
+    const auto refs = net.receiversOnLink(l);
     std::size_t pos = 0;
     while (pos < refs.size()) {
       const std::size_t i = refs[pos].session;
-      std::vector<double> rates;
+      scratch.clear();
       while (pos < refs.size() && refs[pos].session == i) {
-        rates.push_back(a.rate(refs[pos]));
+        scratch.push_back(a.rate(refs[pos]));
         ++pos;
       }
-      const double u = net.session(i).linkRateFn->linkRate(rates);
-      usage.sessionLinkRate[i][j] = u;
-      usage.linkRate[j] += u;
+      const double u = net.session(i).linkRateFn->linkRate(scratch);
+      out.sessionLinkRate[i][j] = u;
+      out.linkRate[j] += u;
     }
   }
-  return usage;
 }
 
 FeasibilityReport checkFeasible(const net::Network& net, const Allocation& a,

@@ -5,6 +5,7 @@
 // and link rates u_j = sum_i u_{i,j} induced by an allocation.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "net/network.hpp"
@@ -12,7 +13,9 @@
 namespace mcfair::fairness {
 
 /// Rates a_{i,k}, indexed [session][receiver]. Shapes always match the
-/// Network the allocation was created from.
+/// Network the allocation was created from. Storage is one flat
+/// session-major array, so copying an allocation costs two heap blocks
+/// regardless of session count.
 class Allocation {
  public:
   /// All-zero allocation shaped like `net`.
@@ -22,15 +25,18 @@ class Allocation {
   void setRate(net::ReceiverRef ref, double rate);
 
   /// Rates of session i in receiver order.
-  const std::vector<double>& sessionRates(std::size_t i) const;
+  std::span<const double> sessionRates(std::size_t i) const;
 
   /// All rates sorted ascending — the "ordered vector" of Definition 2.
   std::vector<double> orderedRates() const;
 
-  std::size_t sessionCount() const noexcept { return rates_.size(); }
+  std::size_t sessionCount() const noexcept { return offsets_.size() - 1; }
 
  private:
-  std::vector<std::vector<double>> rates_;
+  std::size_t flatIndexChecked(net::ReceiverRef ref) const;
+
+  std::vector<double> rates_;         // flat, session-major
+  std::vector<std::size_t> offsets_;  // sessionCount() + 1 entries
 };
 
 /// u_{i,j} and u_j for an allocation.
@@ -43,6 +49,13 @@ struct LinkUsage {
 
 /// Computes u_{i,j} = v_i({a_{i,k} : r_{i,k} in R_{i,j}}) and u_j.
 LinkUsage computeLinkUsage(const net::Network& net, const Allocation& a);
+
+/// Same, writing into `out` and gathering rate sets into `scratch`. When
+/// `out` and `scratch` retain capacity from a previous call on an
+/// identically-shaped network, performs no heap allocation — the solver's
+/// steady-state path relies on this.
+void computeLinkUsageInto(const net::Network& net, const Allocation& a,
+                          LinkUsage& out, std::vector<double>& scratch);
 
 /// Reasons an allocation can be infeasible, for diagnostics.
 struct FeasibilityReport {

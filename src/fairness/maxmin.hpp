@@ -21,9 +21,22 @@
 // receivers fill at rate weight * level, so the solver maximizes
 // min(rate/weight) lexicographically. Unit weights recover the paper's
 // algorithm exactly.
+//
+// Two implementations share this interface:
+//  * MaxMinSolver — the incremental filling engine. It builds a flat
+//    CSR-style link->receiver adjacency and per-link accumulators
+//    (frozen-rate constant part, active slope sum, active count) once at
+//    bind() time, then updates only the links on a freezing receiver's
+//    data-path as the filling progresses. All scratch buffers live in the
+//    solver, so repeated solves on same-shaped networks perform no heap
+//    allocation in the filling loop. solveMaxMinFair() runs this engine.
+//  * solveMaxMinFairReference — the original per-round rebuild, retained
+//    as the independent oracle for the randomized parity tests. Both
+//    produce identical allocations within MaxMinOptions::tolerance.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "fairness/allocation.hpp"
 
@@ -57,5 +70,65 @@ MaxMinResult solveMaxMinFair(const net::Network& net,
 /// Convenience: solveMaxMinFair(...).allocation.
 Allocation maxMinFairAllocation(const net::Network& net,
                                 const MaxMinOptions& options = {});
+
+/// The original solver (per-round link-view rebuild, O(links x receivers)
+/// per round). Retained as the reference oracle for parity tests and as
+/// the baseline for the perf benchmarks; use solveMaxMinFair otherwise.
+MaxMinResult solveMaxMinFairReference(const net::Network& net,
+                                      const MaxMinOptions& options = {});
+
+/// Reusable incremental progressive-filling engine.
+///
+/// Typical churn loop (closed-loop simulation, what-if sweeps):
+///
+///   MaxMinSolver solver;
+///   for (const net::Network& variant : scenarios) {
+///     const MaxMinResult& r = solver.solve(variant);  // workspace reused
+///     ...
+///   }
+///
+/// bind() captures a raw pointer to the network: the network must outlive
+/// the binding and must not be mutated between bind() and solve(). After
+/// the first solve on a given shape, subsequent solves reuse every buffer
+/// — the steady-state filling loop performs zero heap allocations.
+class MaxMinSolver {
+ public:
+  explicit MaxMinSolver(MaxMinOptions options = {});
+  ~MaxMinSolver();
+  MaxMinSolver(MaxMinSolver&&) noexcept;
+  MaxMinSolver& operator=(MaxMinSolver&&) noexcept;
+
+  /// Builds the CSR adjacency and per-link accumulators for `net`.
+  void bind(const net::Network& net);
+
+  /// True once bind() has been called.
+  bool bound() const noexcept;
+
+  /// Solves the bound network from scratch. The returned reference is
+  /// owned by the solver and is invalidated by the next bind()/solve().
+  const MaxMinResult& solve();
+
+  /// bind(net) + solve().
+  const MaxMinResult& solve(const net::Network& net);
+
+  /// Runs the filling only, skipping the O(sessions x links) usage
+  /// materialization — the fast path when only rates are needed.
+  const Allocation& solveAllocation();
+
+  /// bind(net) + solveAllocation().
+  const Allocation& solveAllocation(const net::Network& net);
+
+  /// Moves the last result out of the solver (no copy of the dense usage
+  /// matrix). The solver must solve again before the result is readable;
+  /// meant for transient solvers that are discarded right after.
+  MaxMinResult takeResult();
+
+  const MaxMinOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Engine;
+  MaxMinOptions options_;
+  std::unique_ptr<Engine> engine_;
+};
 
 }  // namespace mcfair::fairness

@@ -126,9 +126,16 @@ bool isSessionPerSessionLinkFair(const net::Network& net, const Allocation& a,
 PropertyCheck checkFullyUtilizedReceiverFairness(const net::Network& net,
                                                  const Allocation& a,
                                                  const PropertyOptions& opt) {
-  const LinkUsage usage = computeLinkUsage(net, a);
+  return checkFullyUtilizedReceiverFairness(net, a, computeLinkUsage(net, a),
+                                            opt);
+}
+
+PropertyCheck checkFullyUtilizedReceiverFairness(const net::Network& net,
+                                                 const Allocation& a,
+                                                 const LinkUsage& usage,
+                                                 const PropertyOptions& opt) {
   PropertyCheck out;
-  for (net::ReceiverRef ref : net.allReceivers()) {
+  for (net::ReceiverRef ref : net.receiverRefs()) {
     if (!isReceiverFullyUtilizedFair(net, a, usage, ref, opt)) {
       out.holds = false;
       out.violations.push_back(
@@ -162,7 +169,13 @@ PropertyCheck checkSamePathReceiverFairness(const net::Network& net,
 PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
                                            const Allocation& a,
                                            const PropertyOptions& opt) {
-  const LinkUsage usage = computeLinkUsage(net, a);
+  return checkPerReceiverLinkFairness(net, a, computeLinkUsage(net, a), opt);
+}
+
+PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
+                                           const Allocation& a,
+                                           const LinkUsage& usage,
+                                           const PropertyOptions& opt) {
   PropertyCheck out;
   for (std::size_t i = 0; i < net.sessionCount(); ++i) {
     if (!isSessionPerReceiverLinkFair(net, a, usage, i, opt)) {
@@ -179,7 +192,13 @@ PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
 PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
                                           const Allocation& a,
                                           const PropertyOptions& opt) {
-  const LinkUsage usage = computeLinkUsage(net, a);
+  return checkPerSessionLinkFairness(net, a, computeLinkUsage(net, a), opt);
+}
+
+PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
+                                          const Allocation& a,
+                                          const LinkUsage& usage,
+                                          const PropertyOptions& opt) {
   PropertyCheck out;
   for (std::size_t i = 0; i < net.sessionCount(); ++i) {
     if (!isSessionPerSessionLinkFair(net, a, usage, i, opt)) {
@@ -196,15 +215,16 @@ PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
 std::vector<std::pair<std::string, PropertyCheck>> checkAllProperties(
     const net::Network& net, const Allocation& a,
     const PropertyOptions& opt) {
+  const LinkUsage usage = computeLinkUsage(net, a);
   return {
       {"fully-utilized-receiver-fairness",
-       checkFullyUtilizedReceiverFairness(net, a, opt)},
+       checkFullyUtilizedReceiverFairness(net, a, usage, opt)},
       {"same-path-receiver-fairness",
        checkSamePathReceiverFairness(net, a, opt)},
       {"per-receiver-link-fairness",
-       checkPerReceiverLinkFairness(net, a, opt)},
+       checkPerReceiverLinkFairness(net, a, usage, opt)},
       {"per-session-link-fairness",
-       checkPerSessionLinkFairness(net, a, opt)},
+       checkPerSessionLinkFairness(net, a, usage, opt)},
   };
 }
 

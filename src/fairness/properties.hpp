@@ -61,9 +61,17 @@ bool isSessionPerSessionLinkFair(const net::Network& net, const Allocation& a,
                                  const PropertyOptions& opt = {});
 
 // --- Whole-network checks ------------------------------------------------
+//
+// Each check has two forms: one that derives the link usage itself, and
+// one that takes a precomputed LinkUsage so several checks over the same
+// allocation share a single computeLinkUsage pass (checkAllProperties
+// uses the latter).
 
 PropertyCheck checkFullyUtilizedReceiverFairness(
     const net::Network& net, const Allocation& a,
+    const PropertyOptions& opt = {});
+PropertyCheck checkFullyUtilizedReceiverFairness(
+    const net::Network& net, const Allocation& a, const LinkUsage& usage,
     const PropertyOptions& opt = {});
 
 PropertyCheck checkSamePathReceiverFairness(const net::Network& net,
@@ -73,12 +81,21 @@ PropertyCheck checkSamePathReceiverFairness(const net::Network& net,
 PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
                                            const Allocation& a,
                                            const PropertyOptions& opt = {});
+PropertyCheck checkPerReceiverLinkFairness(const net::Network& net,
+                                           const Allocation& a,
+                                           const LinkUsage& usage,
+                                           const PropertyOptions& opt = {});
 
 PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
                                           const Allocation& a,
                                           const PropertyOptions& opt = {});
+PropertyCheck checkPerSessionLinkFairness(const net::Network& net,
+                                          const Allocation& a,
+                                          const LinkUsage& usage,
+                                          const PropertyOptions& opt = {});
 
 /// All four property names with their check results, in paper order.
+/// Computes the link usage once and shares it across the checks.
 std::vector<std::pair<std::string, PropertyCheck>> checkAllProperties(
     const net::Network& net, const Allocation& a,
     const PropertyOptions& opt = {});

@@ -1,10 +1,52 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/error.hpp"
 
 namespace mcfair::net {
+
+std::uint64_t Network::nextIdentity() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Only the move assignment enumerates the data members; the other
+// special members delegate to it, so a future member addition has one
+// place to go wrong instead of four.
+Network& Network::operator=(Network&& other) noexcept {
+  if (this != &other) {
+    capacities_ = std::move(other.capacities_);
+    sessions_ = std::move(other.sessions_);
+    linkIndex_ = std::move(other.linkIndex_);
+    receiverIndex_ = std::move(other.receiverIndex_);
+    receiverOffsets_ = std::move(other.receiverOffsets_);
+    receiverCount_ = other.receiverCount_;
+    identity_ = other.identity_;
+    other.receiverCount_ = 0;
+    other.identity_ = nextIdentity();
+  }
+  return *this;
+}
+
+Network::Network(Network&& other) noexcept { *this = std::move(other); }
+
+Network::Network(const Network& other)
+    : capacities_(other.capacities_),
+      sessions_(other.sessions_),
+      linkIndex_(other.linkIndex_),
+      receiverIndex_(other.receiverIndex_),
+      receiverOffsets_(other.receiverOffsets_),
+      receiverCount_(other.receiverCount_) {}
+
+Network& Network::operator=(const Network& other) {
+  if (this != &other) {
+    Network tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
 
 Receiver makeReceiver(std::vector<graph::LinkId> path, std::string name) {
   Receiver r;
@@ -29,6 +71,7 @@ graph::LinkId Network::addLink(double capacity) {
   const graph::LinkId id{static_cast<std::uint32_t>(capacities_.size())};
   capacities_.push_back(capacity);
   linkIndex_.emplace_back();
+  identity_ = nextIdentity();
   return id;
 }
 
@@ -58,8 +101,14 @@ std::size_t Network::addSession(Session s) {
       linkIndex_[l.value].push_back(ReceiverRef{idx, k});
     }
   }
+  for (std::size_t k = 0; k < s.receivers.size(); ++k) {
+    receiverIndex_.push_back(ReceiverRef{idx, k});
+  }
+  if (receiverOffsets_.empty()) receiverOffsets_.push_back(0);
+  receiverOffsets_.push_back(receiverCount_ + s.receivers.size());
   receiverCount_ += s.receivers.size();
   sessions_.push_back(std::move(s));
+  identity_ = nextIdentity();
   return idx;
 }
 
@@ -73,8 +122,7 @@ const Session& Network::session(std::size_t i) const {
   return sessions_[i];
 }
 
-const std::vector<ReceiverRef>& Network::receiversOnLink(
-    graph::LinkId l) const {
+std::span<const ReceiverRef> Network::receiversOnLink(graph::LinkId l) const {
   checkLink(l);
   return linkIndex_[l.value];
 }
@@ -109,14 +157,13 @@ std::vector<graph::LinkId> Network::sessionDataPath(std::size_t i) const {
 }
 
 std::vector<ReceiverRef> Network::allReceivers() const {
-  std::vector<ReceiverRef> out;
-  out.reserve(receiverCount_);
-  for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    for (std::size_t k = 0; k < sessions_[i].receivers.size(); ++k) {
-      out.push_back(ReceiverRef{i, k});
-    }
-  }
-  return out;
+  return {receiverIndex_.begin(), receiverIndex_.end()};
+}
+
+std::size_t Network::receiverOffset(std::size_t i) const {
+  if (i == sessions_.size()) return receiverCount_;
+  checkSessionIndex(i);
+  return receiverOffsets_[i];
 }
 
 Network Network::withSessionType(std::size_t i, SessionType type) const {
@@ -176,13 +223,18 @@ void Network::checkLink(graph::LinkId l) const {
 }
 
 void Network::reindex() {
+  identity_ = nextIdentity();
   for (auto& list : linkIndex_) list.clear();
+  receiverIndex_.clear();
+  receiverOffsets_.assign(1, 0);
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
     for (std::size_t k = 0; k < sessions_[i].receivers.size(); ++k) {
+      receiverIndex_.push_back(ReceiverRef{i, k});
       for (graph::LinkId l : sessions_[i].receivers[k].dataPath) {
         linkIndex_[l.value].push_back(ReceiverRef{i, k});
       }
     }
+    receiverOffsets_.push_back(receiverIndex_.size());
   }
 }
 

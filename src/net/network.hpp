@@ -7,6 +7,8 @@
 // to reproduce the paper's hand-drawn examples.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/session.hpp"
@@ -16,6 +18,16 @@ namespace mcfair::net {
 /// The network model consumed by the max-min solver and property checkers.
 class Network {
  public:
+  Network() = default;
+  // Identity travels with the contents on move; the gutted source gets a
+  // fresh one so a cache bound to it cannot mistake it for the original.
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
+  // Copies are distinct structures: they get a fresh identity so caches
+  // keyed on identity() never confuse a copy for the original.
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+
   /// Adds a link with the given positive capacity; returns its id l_j.
   graph::LinkId addLink(double capacity);
 
@@ -35,8 +47,9 @@ class Network {
   std::size_t receiverCount() const noexcept { return receiverCount_; }
 
   /// R_j: receivers (across sessions) whose data-path includes l_j,
-  /// ordered by (session, receiver).
-  const std::vector<ReceiverRef>& receiversOnLink(graph::LinkId l) const;
+  /// ordered by (session, receiver). A view into the link index; valid
+  /// until the network is mutated.
+  std::span<const ReceiverRef> receiversOnLink(graph::LinkId l) const;
 
   /// R_{i,j}: receivers of session i whose data-path includes l_j.
   std::vector<ReceiverRef> sessionReceiversOnLink(std::size_t i,
@@ -48,8 +61,30 @@ class Network {
   /// The session data-path: union of its receivers' data-paths, sorted.
   std::vector<graph::LinkId> sessionDataPath(std::size_t i) const;
 
-  /// All receivers in (session, receiver) order.
+  /// All receivers in (session, receiver) order — a view into a cached
+  /// index, valid until the network is mutated. Prefer this over
+  /// allReceivers() on hot paths.
+  std::span<const ReceiverRef> receiverRefs() const noexcept {
+    return receiverIndex_;
+  }
+
+  /// All receivers in (session, receiver) order (owned copy).
   std::vector<ReceiverRef> allReceivers() const;
+
+  /// Flat receiver numbering: receiverOffset(i) + k indexes r_{i,k} in
+  /// [0, receiverCount()). receiverOffset(sessionCount()) == count.
+  std::size_t receiverOffset(std::size_t i) const;
+
+  /// Flat index of `ref` under the receiverOffset numbering.
+  std::size_t flatIndex(ReceiverRef ref) const {
+    return receiverOffset(ref.session) + ref.receiver;
+  }
+
+  /// Process-unique id of this network's current structure. Changes on
+  /// every mutation (addLink/addSession) and differs between copies, so
+  /// an equal identity guarantees an identical structure — the max-min
+  /// solver uses it to skip rebinding an unchanged network.
+  std::uint64_t identity() const noexcept { return identity_; }
 
   // --- What-if copies used by the Lemma/Corollary experiments. ---
 
@@ -70,11 +105,15 @@ class Network {
   void checkSessionIndex(std::size_t i) const;
   void checkLink(graph::LinkId l) const;
   void reindex();
+  static std::uint64_t nextIdentity() noexcept;
 
   std::vector<double> capacities_;
   std::vector<Session> sessions_;
   std::vector<std::vector<ReceiverRef>> linkIndex_;  // R_j per link
+  std::vector<ReceiverRef> receiverIndex_;           // all refs, flat order
+  std::vector<std::size_t> receiverOffsets_;         // session -> flat base
   std::size_t receiverCount_ = 0;
+  std::uint64_t identity_ = nextIdentity();
 };
 
 }  // namespace mcfair::net

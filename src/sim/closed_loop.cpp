@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fairness/maxmin.hpp"
 #include "sim/sender.hpp"
 #include "util/error.hpp"
 
@@ -33,6 +34,62 @@ class TokenBucket {
   double tokens_;
   double lastRefill_ = 0.0;
 };
+
+// The piecewise-constant fair reference: between consecutive session
+// start/stop boundaries the set of live sessions is constant, so one
+// max-min solve per epoch suffices. A single MaxMinSolver is reused
+// across the epochs, which is exactly the churn workload its incremental
+// workspace is built for.
+std::vector<FairEpoch> buildFairEpochs(
+    const net::Network& network,
+    const std::vector<ClosedLoopSessionConfig>& sessionConfigs,
+    double duration) {
+  std::vector<double> bounds;
+  bounds.push_back(0.0);
+  bounds.push_back(duration);
+  for (const auto& sc : sessionConfigs) {
+    if (sc.startTime > 0.0 && sc.startTime < duration) {
+      bounds.push_back(sc.startTime);
+    }
+    if (sc.stopTime > 0.0 && sc.stopTime < duration) {
+      bounds.push_back(sc.stopTime);
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  fairness::MaxMinSolver solver;
+  std::vector<FairEpoch> epochs;
+  epochs.reserve(bounds.size() - 1);
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+    FairEpoch epoch;
+    epoch.begin = bounds[b];
+    epoch.end = bounds[b + 1];
+    for (std::size_t i = 0; i < network.sessionCount(); ++i) {
+      if (sessionConfigs[i].startTime <= epoch.begin &&
+          sessionConfigs[i].stopTime >= epoch.end) {
+        epoch.sessions.push_back(i);
+      }
+    }
+    if (!epoch.sessions.empty()) {
+      net::Network live;
+      for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
+        live.addLink(network.capacity(graph::LinkId{j}));
+      }
+      for (const std::size_t i : epoch.sessions) {
+        live.addSession(network.session(i));
+      }
+      const fairness::Allocation& a = solver.solveAllocation(live);
+      epoch.fairRate.reserve(epoch.sessions.size());
+      for (std::size_t s = 0; s < epoch.sessions.size(); ++s) {
+        const auto rates = a.sessionRates(s);
+        epoch.fairRate.emplace_back(rates.begin(), rates.end());
+      }
+    }
+    epochs.push_back(std::move(epoch));
+  }
+  return epochs;
+}
 
 }  // namespace
 
@@ -253,6 +310,10 @@ ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
           static_cast<double>(sessionForwarded[i][j]) / window;
     }
   }
+  if (config.computeFairEpochs) {
+    result.fairEpochs =
+        buildFairEpochs(network, sessionConfigs, config.duration);
+  }
   return result;
 }
 
@@ -261,7 +322,7 @@ double fairnessGap(const net::Network& network,
                    const fairness::Allocation& reference, double floor) {
   double total = 0.0;
   std::size_t count = 0;
-  for (const auto ref : network.allReceivers()) {
+  for (const auto ref : network.receiverRefs()) {
     const double fair = reference.rate(ref);
     const double measured = result.measuredRate[ref.session][ref.receiver];
     total += std::fabs(measured - fair) / std::max(fair, floor);

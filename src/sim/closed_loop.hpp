@@ -48,6 +48,18 @@ struct ClosedLoopSessionConfig {
   double stopTime = std::numeric_limits<double>::infinity();
 };
 
+/// One piecewise-constant segment of the time-varying max-min fair
+/// reference: the sessions listed were live for all of [begin, end).
+struct FairEpoch {
+  double begin = 0.0;
+  double end = 0.0;
+  /// Original session indices live throughout this epoch.
+  std::vector<std::size_t> sessions;
+  /// Max-min fair rates of the live sessions' receivers, indexed parallel
+  /// to `sessions` (fairRate[s][k] for receiver k of sessions[s]).
+  std::vector<std::vector<double>> fairRate;
+};
+
 /// Experiment parameters.
 struct ClosedLoopConfig {
   /// One entry per session of the Network; missing entries default.
@@ -64,6 +76,10 @@ struct ClosedLoopConfig {
   /// bin of this width over [0, duration) — the timeline used to observe
   /// adaptation to session arrivals/departures.
   double rateBinWidth = 0.0;
+  /// When set, the piecewise max-min fair reference is recomputed at
+  /// every session start/stop boundary (one incremental-solver re-solve
+  /// per epoch) and returned in ClosedLoopResult::fairEpochs.
+  bool computeFairEpochs = false;
 };
 
 /// Measured outcome.
@@ -83,6 +99,9 @@ struct ClosedLoopResult {
   /// When rateBinWidth > 0: delivered packets per time unit per bin,
   /// indexed [session][receiver][bin], covering [0, duration).
   std::vector<std::vector<std::vector<double>>> binRates;
+  /// When computeFairEpochs: the time-varying fair reference, one entry
+  /// per maximal interval with a constant set of live sessions.
+  std::vector<FairEpoch> fairEpochs;
 };
 
 /// Runs the closed-loop experiment. Link capacities of `network` are

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace mcfair::sim {
@@ -7,20 +9,38 @@ namespace mcfair::sim {
 std::uint64_t EventQueue::schedule(double time, std::uint64_t payload) {
   MCFAIR_REQUIRE(time >= 0.0, "event time must be non-negative");
   const std::uint64_t seq = nextSequence_++;
-  heap_.push(Event{time, seq, payload});
+  heap_.push_back(Event{time, seq, payload});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return seq;
+}
+
+std::uint64_t EventQueue::scheduleAt(std::span<const Pending> batch) {
+  const std::uint64_t first = nextSequence_;
+  if (batch.empty()) return first;
+  // Validate the whole batch before touching the heap so a bad entry
+  // cannot leave a half-appended, non-heapified queue behind.
+  for (const Pending& p : batch) {
+    MCFAIR_REQUIRE(p.time >= 0.0, "event time must be non-negative");
+  }
+  heap_.reserve(heap_.size() + batch.size());
+  for (const Pending& p : batch) {
+    heap_.push_back(Event{p.time, nextSequence_++, p.payload});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  return first;
 }
 
 std::optional<Event> EventQueue::pop() {
   if (heap_.empty()) return std::nullopt;
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event e = heap_.back();
+  heap_.pop_back();
   return e;
 }
 
 std::optional<Event> EventQueue::peek() const {
   if (heap_.empty()) return std::nullopt;
-  return heap_.top();
+  return heap_.front();
 }
 
 }  // namespace mcfair::sim

@@ -5,11 +5,18 @@
 // global, time-ordered packet sequence with a deterministic tie-break
 // (earlier time first, then lower sequence number), so simulations are
 // bit-reproducible.
+//
+// The heap is a plain vector managed with std::push_heap/std::pop_heap
+// rather than std::priority_queue: pop() moves the top element out in one
+// step instead of copying it from top() and popping separately, reserve()
+// can preallocate for the periodic-emitter pattern (queue size stays at
+// the layer count), and scheduleAt() admits a whole batch followed by a
+// single heapify.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <queue>
+#include <span>
 #include <vector>
 
 namespace mcfair::sim {
@@ -24,8 +31,24 @@ struct Event {
 /// Min-heap of events ordered by (time, sequence).
 class EventQueue {
  public:
+  /// A (time, payload) pair for batch scheduling.
+  struct Pending {
+    double time = 0.0;
+    std::uint64_t payload = 0;
+  };
+
   /// Schedules an event; returns its sequence number.
   std::uint64_t schedule(double time, std::uint64_t payload);
+
+  /// Schedules a batch in one pass: sequence numbers are assigned in
+  /// batch order (so ties still dispatch in batch order) and the heap is
+  /// rebuilt once instead of sifting per element. Returns the sequence
+  /// number of the first entry; an empty batch returns the next unused
+  /// sequence number.
+  std::uint64_t scheduleAt(std::span<const Pending> batch);
+
+  /// Preallocates storage for `n` simultaneously pending events.
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
   /// True when no events remain.
   bool empty() const noexcept { return heap_.empty(); }
@@ -45,7 +68,7 @@ class EventQueue {
       return a.sequence > b.sequence;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t nextSequence_ = 0;
 };
 

@@ -9,12 +9,18 @@ namespace mcfair::sim {
 LayeredSender::LayeredSender(layering::LayerScheme scheme,
                              util::Rng* phaseJitter)
     : scheme_(std::move(scheme)) {
+  // One pending emission per layer at any time: reserve once and seed the
+  // queue with a single batch (heapified once).
+  queue_.reserve(scheme_.layerCount());
+  std::vector<EventQueue::Pending> initial;
+  initial.reserve(scheme_.layerCount());
   for (std::size_t k = 1; k <= scheme_.layerCount(); ++k) {
     const double period = 1.0 / scheme_.layerRate(k);
     const double offset =
         phaseJitter != nullptr ? phaseJitter->uniform01() * period : 0.0;
-    queue_.schedule(period + offset, k);
+    initial.push_back(EventQueue::Pending{period + offset, k});
   }
+  queue_.scheduleAt(initial);
 }
 
 Packet LayeredSender::next() {

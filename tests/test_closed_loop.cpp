@@ -166,6 +166,44 @@ TEST(ClosedLoop, FairnessGapZeroOnExactMatch) {
   EXPECT_DOUBLE_EQ(fairnessGap(n, r, a), 0.0);
 }
 
+TEST(ClosedLoop, FairEpochsTrackSessionLifetimes) {
+  // Two unicast sessions sharing one link of capacity 6; session 1 lives
+  // only in [1000, 2000), so the fair reference is 6 / 3 / 6 across the
+  // three epochs.
+  net::Network n;
+  const auto l = n.addLink(6.0);
+  n.addSession(net::makeUnicastSession({l}));
+  n.addSession(net::makeUnicastSession({l}));
+  ClosedLoopConfig c = quick(ProtocolKind::kCoordinated, 2);
+  c.computeFairEpochs = true;
+  c.sessions[1].startTime = 1000.0;
+  c.sessions[1].stopTime = 2000.0;
+  const auto r = runClosedLoopSimulation(n, c);
+
+  ASSERT_EQ(r.fairEpochs.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.fairEpochs[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(r.fairEpochs[0].end, 1000.0);
+  EXPECT_DOUBLE_EQ(r.fairEpochs[1].end, 2000.0);
+  EXPECT_DOUBLE_EQ(r.fairEpochs[2].end, c.duration);
+
+  ASSERT_EQ(r.fairEpochs[0].sessions, (std::vector<std::size_t>{0}));
+  EXPECT_NEAR(r.fairEpochs[0].fairRate[0][0], 6.0, 1e-9);
+  ASSERT_EQ(r.fairEpochs[1].sessions, (std::vector<std::size_t>{0, 1}));
+  EXPECT_NEAR(r.fairEpochs[1].fairRate[0][0], 3.0, 1e-9);
+  EXPECT_NEAR(r.fairEpochs[1].fairRate[1][0], 3.0, 1e-9);
+  ASSERT_EQ(r.fairEpochs[2].sessions, (std::vector<std::size_t>{0}));
+  EXPECT_NEAR(r.fairEpochs[2].fairRate[0][0], 6.0, 1e-9);
+}
+
+TEST(ClosedLoop, FairEpochsAbsentByDefault) {
+  net::Network n;
+  const auto l = n.addLink(4.0);
+  n.addSession(net::makeUnicastSession({l}));
+  const auto r =
+      runClosedLoopSimulation(n, quick(ProtocolKind::kCoordinated, 1));
+  EXPECT_TRUE(r.fairEpochs.empty());
+}
+
 TEST(ClosedLoop, Validation) {
   net::Network n;
   const auto l = n.addLink(4.0);

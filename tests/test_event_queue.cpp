@@ -56,6 +56,48 @@ TEST(EventQueue, RejectsNegativeTime) {
   EXPECT_THROW(q.schedule(-1.0, 0), PreconditionError);
 }
 
+TEST(EventQueue, BatchSchedulingDispatchesInTimeOrder) {
+  EventQueue q;
+  const EventQueue::Pending batch[] = {{3.0, 30}, {1.0, 10}, {2.0, 20}};
+  const auto first = q.scheduleAt(batch);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop()->payload, 10u);
+  EXPECT_EQ(q.pop()->payload, 20u);
+  EXPECT_EQ(q.pop()->payload, 30u);
+}
+
+TEST(EventQueue, BatchTiesBreakInBatchOrder) {
+  EventQueue q;
+  q.schedule(1.0, 1);
+  const EventQueue::Pending batch[] = {{1.0, 2}, {1.0, 3}};
+  EXPECT_EQ(q.scheduleAt(batch), 1u);  // sequences continue from schedule()
+  EXPECT_EQ(q.pop()->payload, 1u);
+  EXPECT_EQ(q.pop()->payload, 2u);
+  EXPECT_EQ(q.pop()->payload, 3u);
+}
+
+TEST(EventQueue, EmptyBatchIsANoOp) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduleAt({}), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, BatchRejectsNegativeTime) {
+  EventQueue q;
+  const EventQueue::Pending batch[] = {{1.0, 1}, {-0.5, 2}};
+  EXPECT_THROW(q.scheduleAt(batch), PreconditionError);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbPendingEvents) {
+  EventQueue q;
+  q.schedule(2.0, 2);
+  q.schedule(1.0, 1);
+  q.reserve(64);
+  EXPECT_EQ(q.pop()->payload, 1u);
+  EXPECT_EQ(q.pop()->payload, 2u);
+}
+
 TEST(EventQueue, InterleavedScheduling) {
   // Schedule during pops — the periodic-emitter pattern the sender uses.
   EventQueue q;

@@ -1,0 +1,176 @@
+// Randomized parity tests: the incremental filling engine behind
+// solveMaxMinFair must reproduce the retained reference implementation
+// (solveMaxMinFairReference, the original per-round rebuild) on every
+// network, within the solver tolerance. Four families x many seeds cover
+// the closed-form path, mixed session types, the weighted (non-unit)
+// path, and the nonlinear bisection path.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fairness/maxmin.hpp"
+#include "net/topologies.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::fairness {
+namespace {
+
+using net::Network;
+
+// Rates agree within `tol`; both solvers are deterministic, so this is
+// run once per network. The shared engine instance is rebound across
+// networks, which also exercises workspace reuse on changing shapes.
+void expectParity(const Network& n, MaxMinSolver& engine, double tol,
+                  const std::string& label) {
+  const MaxMinResult& incremental = engine.solve(n);
+  const MaxMinResult reference = solveMaxMinFairReference(n);
+  for (const auto ref : n.receiverRefs()) {
+    EXPECT_NEAR(incremental.allocation.rate(ref), reference.allocation.rate(ref),
+                tol)
+        << label << ": receiver (" << ref.session << "," << ref.receiver
+        << ")";
+  }
+  for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+    EXPECT_NEAR(incremental.usage.linkRate[j], reference.usage.linkRate[j],
+                tol * 10)
+        << label << ": link " << j;
+  }
+  EXPECT_EQ(incremental.rounds, reference.rounds) << label;
+}
+
+// A generator complementing net::randomNetwork: arbitrary link-set
+// data-paths (not tree-routed), optional non-unit weights, optional
+// finite sigma. Exercises path shapes the routed generator cannot.
+Network randomLinkSetNetwork(util::Rng& rng, bool randomWeights) {
+  Network n;
+  const std::size_t links = 3 + rng.below(8);
+  std::vector<graph::LinkId> ids;
+  for (std::size_t j = 0; j < links; ++j) {
+    ids.push_back(n.addLink(rng.uniform(1.0, 12.0)));
+  }
+  const std::size_t sessions = 1 + rng.below(5);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    net::Session s;
+    s.type = rng.bernoulli(0.4) ? net::SessionType::kSingleRate
+                                : net::SessionType::kMultiRate;
+    if (rng.bernoulli(0.3)) s.maxRate = rng.uniform(0.5, 6.0);
+    const std::size_t receivers = 1 + rng.below(4);
+    const double sharedWeight = rng.uniform(0.25, 4.0);
+    for (std::size_t k = 0; k < receivers; ++k) {
+      std::vector<graph::LinkId> path;
+      const std::size_t hops = 1 + rng.below(std::min<std::size_t>(links, 4));
+      for (std::size_t h = 0; h < hops; ++h) {
+        path.push_back(ids[rng.below(links)]);
+      }
+      auto r = net::makeReceiver(std::move(path));
+      if (randomWeights) {
+        // Single-rate sessions require uniform weights.
+        r.weight = s.type == net::SessionType::kSingleRate
+                       ? sharedWeight
+                       : rng.uniform(0.25, 4.0);
+      }
+      s.receivers.push_back(std::move(r));
+    }
+    n.addSession(std::move(s));
+  }
+  return n;
+}
+
+TEST(MaxMinParity, RoutedRandomNetworks) {
+  MaxMinSolver engine;
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    util::Rng rng(seed);
+    net::RandomNetworkOptions opts;
+    opts.sessions = 2 + seed % 5;
+    opts.singleRateProbability = 0.4;
+    const Network n = net::randomNetwork(rng, opts);
+    expectParity(n, engine, 1e-6, "routed seed " + std::to_string(seed));
+  }
+}
+
+TEST(MaxMinParity, LinkSetNetworks) {
+  MaxMinSolver engine;
+  for (std::uint64_t seed = 100; seed < 160; ++seed) {
+    util::Rng rng(seed);
+    const Network n = randomLinkSetNetwork(rng, /*randomWeights=*/false);
+    expectParity(n, engine, 1e-6, "linkset seed " + std::to_string(seed));
+  }
+}
+
+TEST(MaxMinParity, WeightedNetworks) {
+  MaxMinSolver engine;
+  for (std::uint64_t seed = 200; seed < 240; ++seed) {
+    util::Rng rng(seed);
+    const Network n = randomLinkSetNetwork(rng, /*randomWeights=*/true);
+    expectParity(n, engine, 1e-6, "weighted seed " + std::to_string(seed));
+  }
+}
+
+TEST(MaxMinParity, WeightedNonlinearNetworks) {
+  // Non-unit weights AND a nonlinear v_i together: the bisection path
+  // with weighted upper bounds (capacity/weight keys) and weighted
+  // active rates in the group gathers.
+  MaxMinSolver engine;
+  for (std::uint64_t seed = 500; seed < 540; ++seed) {
+    util::Rng rng(seed);
+    Network base = randomLinkSetNetwork(rng, /*randomWeights=*/true);
+    Network n = std::move(base);
+    const auto fn = std::make_shared<const net::RandomJoinExpected>(80.0);
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      if (i % 2 == 0) n = n.withLinkRateFunction(i, fn);
+    }
+    expectParity(n, engine, 1e-6,
+                 "weighted-nonlinear seed " + std::to_string(seed));
+  }
+}
+
+TEST(MaxMinParity, NonlinearBisectionPath) {
+  MaxMinSolver engine;
+  for (std::uint64_t seed = 300; seed < 330; ++seed) {
+    util::Rng rng(seed);
+    net::RandomNetworkOptions opts;
+    opts.sessions = 2 + seed % 4;
+    opts.singleRateProbability = 0.3;
+    Network n = net::randomNetwork(rng, opts);
+    // RandomJoinExpected is monotone but not rate-linear: it forces the
+    // bisection path on every session it is applied to.
+    const auto fn = std::make_shared<const net::RandomJoinExpected>(50.0);
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      if (i % 2 == 0) n = n.withLinkRateFunction(i, fn);
+    }
+    expectParity(n, engine, 1e-6, "nonlinear seed " + std::to_string(seed));
+  }
+}
+
+TEST(MaxMinParity, ConstantFactorRedundancy) {
+  MaxMinSolver engine;
+  for (std::uint64_t seed = 400; seed < 430; ++seed) {
+    util::Rng rng(seed);
+    net::RandomNetworkOptions opts;
+    opts.sessions = 2 + seed % 4;
+    Network n = net::randomNetwork(rng, opts);
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      if (i % 2 == 1) {
+        n = n.withLinkRateFunction(
+            i, std::make_shared<const net::ConstantFactor>(
+                   rng.uniform(1.0, 2.5)));
+      }
+    }
+    expectParity(n, engine, 1e-6, "constfactor seed " + std::to_string(seed));
+  }
+}
+
+TEST(MaxMinParity, PaperTopologies) {
+  MaxMinSolver engine;
+  expectParity(net::fig1Network(), engine, 1e-9, "fig1");
+  expectParity(net::fig2Network(true), engine, 1e-9, "fig2 multi");
+  expectParity(net::fig2Network(false), engine, 1e-9, "fig2 single");
+  expectParity(net::fig3aNetwork(false), engine, 1e-9, "fig3a");
+  expectParity(net::fig3bNetwork(false), engine, 1e-9, "fig3b");
+  expectParity(net::fig4Network(), engine, 1e-9, "fig4");
+  expectParity(net::singleBottleneckNetwork(64, 6, 1000.0, 2.0), engine,
+               1e-9, "bottleneck");
+}
+
+}  // namespace
+}  // namespace mcfair::fairness
