@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Captures the max-min solver benchmark baseline into BENCH_maxmin.json
 # (google-benchmark JSON format) at the repository root. Each run records
-# the incremental engine and the retained reference solver side by side,
-# so the perf trajectory across PRs is a diff of this file.
+# the incremental engine, the retained reference solver, and the
+# serial-vs-parallel sweeps side by side, so the perf trajectory across
+# PRs is a diff of this file.
 #
-# Usage: scripts/bench_baseline.sh [build-dir] [min-time-seconds]
+# Usage: scripts/bench_baseline.sh [build-dir] [min-time-seconds] [out-file]
+#
+# The third argument redirects the JSON (default: BENCH_maxmin.json at the
+# repo root) — scripts/check_bench.py uses it to capture a fresh run
+# without clobbering the committed baseline.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 min_time="${2:-0.2}"
+out_file="${3:-$repo_root/BENCH_maxmin.json}"
 
 if [ ! -x "$build_dir/bench_perf_maxmin" ]; then
   echo "building benchmarks in $build_dir ..." >&2
@@ -18,15 +24,15 @@ if [ ! -x "$build_dir/bench_perf_maxmin" ]; then
 fi
 
 "$build_dir/bench_perf_maxmin" \
-  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve' \
+  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
-  --benchmark_out="$repo_root/BENCH_maxmin.json" \
+  --benchmark_out="$out_file" \
   --benchmark_out_format=json >/dev/null
 
-echo "wrote $repo_root/BENCH_maxmin.json" >&2
+echo "wrote $out_file" >&2
 
-python3 - "$repo_root/BENCH_maxmin.json" <<'EOF'
+python3 - "$out_file" <<'EOF'
 import json, sys
 data = json.load(open(sys.argv[1]))
 times = {b["name"]: b["real_time"] for b in data["benchmarks"]
@@ -41,4 +47,16 @@ for name, t in sorted(times.items()):
     if refname == name or ref is None:
         continue
     print(f"{name:<44}{t:>10.0f}ns{ref:>10.0f}ns{ref / t:>8.1f}x")
+print()
+print(f"{'parallel benchmark':<44}{'threads':>12}{'serial':>12}{'speedup':>9}")
+for name, t in sorted(times.items()):
+    if "BM_Parallel" not in name:
+        continue
+    base, _, threads = name.rpartition("/")
+    if threads == "0":
+        continue
+    serial = times.get(f"{base}/0")
+    if serial is None:
+        continue
+    print(f"{name:<44}{t:>10.0f}ns{serial:>10.0f}ns{serial / t:>8.2f}x")
 EOF

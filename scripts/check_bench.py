@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench run against the committed
+baseline (BENCH_maxmin.json) with a tolerance band.
+
+Usage:
+    scripts/bench_baseline.sh build 0.2 /tmp/fresh.json
+    scripts/check_bench.py --fresh /tmp/fresh.json [--baseline BENCH_maxmin.json]
+                           [--tolerance 1.6]
+
+A benchmark regresses when its fresh real_time exceeds the baseline
+real_time by more than the tolerance factor. A benchmark present in the
+baseline but missing from the fresh run also fails (bench rot must not
+pass silently). New benchmarks that the baseline does not know yet are
+reported but never fail — the baseline is updated by re-running
+scripts/bench_baseline.sh and committing the JSON.
+
+Micro-benchmark timings are noisy across machines (the committed baseline
+was captured on a single-core 2.1 GHz VM), so the default band is wide;
+the CI job wiring this script is advisory (non-blocking) and exists to
+surface order-of-magnitude regressions, not single-digit percentages.
+
+Exit status: 0 = within band, 1 = regression or missing benchmark,
+2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """benchmark name -> real_time (ns), aggregates skipped."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    return {
+        b["name"]: b["real_time"]
+        for b in data.get("benchmarks", [])
+        if b.get("run_type") != "aggregate" and "real_time" in b
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_maxmin.json",
+                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly captured JSON to compare")
+    parser.add_argument("--tolerance", type=float, default=1.6,
+                        help="allowed slowdown factor (default: %(default)s)")
+    args = parser.parse_args()
+    if args.tolerance <= 0:
+        print("check_bench: --tolerance must be positive", file=sys.stderr)
+        return 2
+
+    baseline = load_times(args.baseline)
+    fresh = load_times(args.fresh)
+    if not baseline:
+        print(f"check_bench: no benchmarks in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    print(f"{'benchmark':<48}{'baseline':>12}{'fresh':>12}{'ratio':>8}")
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        if name not in fresh:
+            print(f"{name:<48}{base_ns:>10.0f}ns{'MISSING':>12}{'':>8}")
+            failures += 1
+            continue
+        ratio = fresh[name] / base_ns if base_ns > 0 else float("inf")
+        flag = "  REGRESSED" if ratio > args.tolerance else ""
+        print(f"{name:<48}{base_ns:>10.0f}ns{fresh[name]:>10.0f}ns"
+              f"{ratio:>7.2f}x{flag}")
+        if ratio > args.tolerance:
+            failures += 1
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<48}{'(new)':>12}{fresh[name]:>10.0f}ns{'':>8}")
+
+    if failures:
+        print(f"\ncheck_bench: {failures} benchmark(s) regressed beyond "
+              f"{args.tolerance:.2f}x or went missing", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: all {len(baseline)} benchmarks within "
+          f"{args.tolerance:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ class LinkRateFunction {
 
   /// Bandwidth used on a link by a session whose receivers crossing that
   /// link have the given rates. `rates` is non-empty; all entries >= 0.
+  /// Implementations must be safe for concurrent linkRate() calls
+  /// (stateless, or internally synchronized): the solver's parallel mode
+  /// (fairness::MaxMinOptions::threads / MCFAIR_THREADS) evaluates v_i
+  /// from multiple worker threads. Every function shipped here is
+  /// immutable after construction and trivially satisfies this.
   virtual double linkRate(std::span<const double> rates) const = 0;
 
   /// The redundancy of the function for a given rate set:

@@ -39,11 +39,12 @@ class TokenBucket {
 // start/stop boundaries the set of live sessions is constant, so one
 // max-min solve per epoch suffices. A single MaxMinSolver is reused
 // across the epochs, which is exactly the churn workload its incremental
-// workspace is built for.
+// workspace is built for — and the one worker pool it owns (when
+// solverThreads enables the parallel sweeps) rides along for every epoch.
 std::vector<FairEpoch> buildFairEpochs(
     const net::Network& network,
     const std::vector<ClosedLoopSessionConfig>& sessionConfigs,
-    double duration) {
+    double duration, int solverThreads) {
   std::vector<double> bounds;
   bounds.push_back(0.0);
   bounds.push_back(duration);
@@ -58,7 +59,9 @@ std::vector<FairEpoch> buildFairEpochs(
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
 
-  fairness::MaxMinSolver solver;
+  fairness::MaxMinOptions solverOptions;
+  solverOptions.threads = solverThreads;
+  fairness::MaxMinSolver solver(solverOptions);
   std::vector<FairEpoch> epochs;
   epochs.reserve(bounds.size() - 1);
   for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
@@ -311,8 +314,8 @@ ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
     }
   }
   if (config.computeFairEpochs) {
-    result.fairEpochs =
-        buildFairEpochs(network, sessionConfigs, config.duration);
+    result.fairEpochs = buildFairEpochs(network, sessionConfigs,
+                                        config.duration, config.solverThreads);
   }
   return result;
 }

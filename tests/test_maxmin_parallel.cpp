@@ -1,0 +1,359 @@
+// Parity and allocation tests for the parallel (sharded) solver mode.
+//
+// The parallel path promises results BIT-IDENTICAL to the serial path:
+// every per-link computation is the same arithmetic on the same inputs,
+// and every shard merge happens in active-list order, so no tolerance is
+// needed — rates must compare equal with ==. The corpus mirrors the
+// serial-vs-reference parity families (routed, arbitrary link-set,
+// weighted, nonlinear-v_i bisection) and runs each network at 1, 2, 4,
+// and 8 threads with parallelGrain = 1, forcing the sharded sweeps even
+// on tiny networks. A large single-bottleneck instance additionally
+// exercises sharding past the default grain.
+//
+// The counting global allocator (same instrumentation as
+// test_maxmin_zero_alloc) then pins the allocation contract for BOTH
+// modes: a bound solver's steady-state re-solves allocate nothing,
+// whether the sweeps run serial (threads = 0) or sharded across the
+// worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "fairness/maxmin.hpp"
+#include "net/topologies.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+// Atomic: operator new can run on pool worker threads too.
+std::atomic<std::size_t> g_allocations{0};
+
+// C11 aligned_alloc requires size to be a multiple of the alignment
+// (glibc is lenient, macOS is not).
+std::size_t roundUp(std::size_t size, std::align_val_t align) {
+  const auto a = static_cast<std::size_t>(align);
+  return (size + a - 1) / a * a;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   roundUp(size, align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   roundUp(size, align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mcfair::fairness {
+namespace {
+
+using net::Network;
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+MaxMinSolver makeParallelSolver(int threads) {
+  MaxMinOptions options;
+  options.threads = threads;
+  options.parallelGrain = 1;  // force sharding even on tiny networks
+  return MaxMinSolver(options);
+}
+
+// Serial and parallel solves of the same network must agree bit for bit.
+void expectBitIdentical(const Network& n, MaxMinSolver& serial,
+                        MaxMinSolver parallel[4], const std::string& label) {
+  const MaxMinResult& want = serial.solve(n);
+  for (std::size_t t = 0; t < 4; ++t) {
+    const MaxMinResult& got = parallel[t].solve(n);
+    std::string ctx = label;
+    ctx += " @ ";
+    ctx += std::to_string(kThreadCounts[t]);
+    ctx += " threads";
+    EXPECT_EQ(got.rounds, want.rounds) << ctx;
+    for (const auto ref : n.receiverRefs()) {
+      EXPECT_EQ(got.allocation.rate(ref), want.allocation.rate(ref))
+          << ctx << ": receiver (" << ref.session << "," << ref.receiver
+          << ")";
+    }
+    for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+      EXPECT_EQ(got.usage.linkRate[j], want.usage.linkRate[j])
+          << ctx << ": link " << j;
+    }
+  }
+}
+
+// Arbitrary link-set data-paths (not tree-routed), optional non-unit
+// weights and finite sigma — same family as the serial parity corpus.
+Network randomLinkSetNetwork(util::Rng& rng, bool randomWeights) {
+  Network n;
+  const std::size_t links = 3 + rng.below(8);
+  std::vector<graph::LinkId> ids;
+  for (std::size_t j = 0; j < links; ++j) {
+    ids.push_back(n.addLink(rng.uniform(1.0, 12.0)));
+  }
+  const std::size_t sessions = 1 + rng.below(5);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    net::Session s;
+    s.type = rng.bernoulli(0.4) ? net::SessionType::kSingleRate
+                                : net::SessionType::kMultiRate;
+    if (rng.bernoulli(0.3)) s.maxRate = rng.uniform(0.5, 6.0);
+    const std::size_t receivers = 1 + rng.below(4);
+    const double sharedWeight = rng.uniform(0.25, 4.0);
+    for (std::size_t k = 0; k < receivers; ++k) {
+      std::vector<graph::LinkId> path;
+      const std::size_t hops = 1 + rng.below(std::min<std::size_t>(links, 4));
+      for (std::size_t h = 0; h < hops; ++h) {
+        path.push_back(ids[rng.below(links)]);
+      }
+      auto r = net::makeReceiver(std::move(path));
+      if (randomWeights) {
+        r.weight = s.type == net::SessionType::kSingleRate
+                       ? sharedWeight
+                       : rng.uniform(0.25, 4.0);
+      }
+      s.receivers.push_back(std::move(r));
+    }
+    n.addSession(std::move(s));
+  }
+  return n;
+}
+
+class ParallelCorpus : public ::testing::Test {
+ protected:
+  ParallelCorpus()
+      : parallel_{makeParallelSolver(1), makeParallelSolver(2),
+                  makeParallelSolver(4), makeParallelSolver(8)} {
+    serialOptions_.threads = 0;
+    serial_ = MaxMinSolver(serialOptions_);
+  }
+
+  MaxMinOptions serialOptions_;
+  MaxMinSolver serial_;
+  MaxMinSolver parallel_[4];
+};
+
+TEST_F(ParallelCorpus, RoutedRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    net::RandomNetworkOptions opts;
+    opts.sessions = 2 + seed % 5;
+    opts.singleRateProbability = 0.4;
+    const Network n = net::randomNetwork(rng, opts);
+    expectBitIdentical(n, serial_, parallel_,
+                       "routed seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(ParallelCorpus, LinkSetNetworks) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    util::Rng rng(seed);
+    const Network n = randomLinkSetNetwork(rng, /*randomWeights=*/false);
+    expectBitIdentical(n, serial_, parallel_,
+                       "linkset seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(ParallelCorpus, WeightedNetworks) {
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    util::Rng rng(seed);
+    const Network n = randomLinkSetNetwork(rng, /*randomWeights=*/true);
+    expectBitIdentical(n, serial_, parallel_,
+                       "weighted seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(ParallelCorpus, NonlinearBisectionPath) {
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    util::Rng rng(seed);
+    net::RandomNetworkOptions opts;
+    opts.sessions = 2 + seed % 4;
+    opts.singleRateProbability = 0.3;
+    Network n = net::randomNetwork(rng, opts);
+    // RandomJoinExpected is monotone but not rate-linear: it forces the
+    // sharded bisection sweep on every session it is applied to.
+    const auto fn = std::make_shared<const net::RandomJoinExpected>(50.0);
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      if (i % 2 == 0) n = n.withLinkRateFunction(i, fn);
+    }
+    expectBitIdentical(n, serial_, parallel_,
+                       "nonlinear seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(ParallelCorpus, WeightedNonlinearNetworks) {
+  for (std::uint64_t seed = 500; seed < 520; ++seed) {
+    util::Rng rng(seed);
+    Network n = randomLinkSetNetwork(rng, /*randomWeights=*/true);
+    const auto fn = std::make_shared<const net::RandomJoinExpected>(80.0);
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      if (i % 2 == 0) n = n.withLinkRateFunction(i, fn);
+    }
+    expectBitIdentical(n, serial_, parallel_,
+                       "weighted-nonlinear seed " + std::to_string(seed));
+  }
+}
+
+TEST_F(ParallelCorpus, PaperTopologies) {
+  expectBitIdentical(net::fig1Network(), serial_, parallel_, "fig1");
+  expectBitIdentical(net::fig2Network(true), serial_, parallel_,
+                     "fig2 multi");
+  expectBitIdentical(net::fig2Network(false), serial_, parallel_,
+                     "fig2 single");
+  expectBitIdentical(net::fig4Network(), serial_, parallel_, "fig4");
+}
+
+// Sharding past the default grain: thousands of active links, so the
+// sweeps actually split across the pool without the grain override.
+TEST(MaxMinParallel, LargeBottleneckDefaultGrain) {
+  const auto linear = net::singleBottleneckNetwork(1024, 100, 1000.0, 2.0);
+  auto nonlinear = net::singleBottleneckNetwork(512, 50, 1000.0, 2.0);
+  const auto fn = std::make_shared<const net::RandomJoinExpected>(1e4);
+  for (std::size_t i = 0; i < nonlinear.sessionCount(); ++i) {
+    nonlinear = nonlinear.withLinkRateFunction(i, fn);
+  }
+  MaxMinOptions serialOptions;
+  serialOptions.threads = 0;
+  MaxMinSolver serial(serialOptions);
+  MaxMinOptions parallelOptions;
+  parallelOptions.threads = 4;  // default parallelGrain
+  MaxMinSolver parallel(parallelOptions);
+  const Network* instances[] = {&linear, &nonlinear};
+  for (const Network* n : instances) {
+    const MaxMinResult& want = serial.solve(*n);
+    const MaxMinResult& got = parallel.solve(*n);
+    EXPECT_EQ(got.rounds, want.rounds);
+    for (const auto ref : n->receiverRefs()) {
+      EXPECT_EQ(got.allocation.rate(ref), want.allocation.rate(ref));
+    }
+  }
+}
+
+TEST(MaxMinParallel, EnvFallbackResolvesThreadCount) {
+  ::setenv("MCFAIR_THREADS", "3", 1);
+  MaxMinSolver fromEnv;  // options.threads = -1
+  EXPECT_EQ(fromEnv.threadCount(), 3u);
+  ::setenv("MCFAIR_THREADS", "garbage", 1);
+  MaxMinSolver invalid;
+  EXPECT_EQ(invalid.threadCount(), 0u);
+  ::unsetenv("MCFAIR_THREADS");
+  MaxMinSolver unset;
+  EXPECT_EQ(unset.threadCount(), 0u);
+  MaxMinOptions explicitSerial;
+  explicitSerial.threads = 0;
+  EXPECT_EQ(MaxMinSolver(explicitSerial).threadCount(), 0u);
+}
+
+// The serial (threads = 0) steady state keeps its zero-allocation
+// guarantee — same contract test_maxmin_zero_alloc pins for the default
+// configuration, re-checked here under an explicit threads = 0.
+TEST(MaxMinParallelAlloc, SerialSteadyStateAllocatesNothing) {
+  const auto n = net::singleBottleneckNetwork(64, 6, 1000.0, 2.0);
+  MaxMinOptions options;
+  options.threads = 0;
+  MaxMinSolver solver(options);
+  solver.bind(n);
+  (void)solver.solve();  // warm-up builds workspace capacity
+  const std::size_t before = g_allocations;
+  (void)solver.solveAllocation();
+  (void)solver.solve();
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
+// The sharded steady state is allocation-free too: the pool, the shard
+// scratch, and the shard bounds all live in the solver workspace.
+TEST(MaxMinParallelAlloc, ParallelSteadyStateAllocatesNothing) {
+  auto n = net::singleBottleneckNetwork(256, 25, 1000.0, 2.0);
+  MaxMinOptions options;
+  options.threads = 4;
+  options.parallelGrain = 1;
+  MaxMinSolver solver(options);
+  solver.bind(n);
+  (void)solver.solve();  // warm-up
+  const std::size_t before = g_allocations;
+  (void)solver.solveAllocation();
+  (void)solver.solve();
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
+TEST(ThreadPool, RunsEveryShardExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.workerCount(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  auto body = [&](std::size_t s) { hits[s].fetch_add(1); };
+  pool.forEachShard(hits.size(), util::ShardFnRef(body));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesShardExceptionsAndStaysReusable) {
+  util::ThreadPool pool(4);
+  auto throwing = [&](std::size_t s) {
+    if (s == 7) throw std::runtime_error("shard 7 failed");
+  };
+  EXPECT_THROW(pool.forEachShard(64, util::ShardFnRef(throwing)),
+               std::runtime_error);
+  // The barrier must have drained: the pool still runs new jobs.
+  std::atomic<int> ran{0};
+  auto counting = [&](std::size_t) { ran.fetch_add(1); };
+  pool.forEachShard(32, util::ShardFnRef(counting));
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(MaxMinParallelAlloc, NonlinearParallelSteadyStateAllocatesNothing) {
+  auto n = net::fig2Network(true);
+  const auto fn = std::make_shared<const net::RandomJoinExpected>(100.0);
+  for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+    n = n.withLinkRateFunction(i, fn);
+  }
+  MaxMinOptions options;
+  options.threads = 2;
+  options.parallelGrain = 1;
+  MaxMinSolver solver(options);
+  solver.bind(n);
+  (void)solver.solve();
+  const std::size_t before = g_allocations;
+  (void)solver.solve();
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
+}  // namespace
+}  // namespace mcfair::fairness

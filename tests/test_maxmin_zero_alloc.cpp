@@ -9,6 +9,7 @@
 // across a solve call.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -17,7 +18,8 @@
 #include "net/topologies.hpp"
 
 namespace {
-std::size_t g_allocations = 0;
+// Atomic: operator new can run on pool worker threads too.
+std::atomic<std::size_t> g_allocations{0};
 
 // C11 aligned_alloc requires size to be a multiple of the alignment
 // (glibc is lenient, macOS is not).
