@@ -6,21 +6,24 @@
 //
 // Runs each protocol closed-loop on the Figure 2 multi-rate network and
 // on a 4-session shared bottleneck, reporting measured vs max-min fair
-// rates and the mean relative fairness gap.
+// rates and the mean relative fairness gap. Both setups are expressed as
+// sim::Scenario values: the bottleneck comes straight from the scenario
+// engine (buildScenario), the Fig 2 case wraps the hand-built paper
+// topology — the two ways every closed-loop experiment is assembled.
 #include <iostream>
 
 #include "fairness/maxmin.hpp"
 #include "fairness/report.hpp"
 #include "net/topologies.hpp"
-#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace mcfair;
 
-void runScenario(const char* title, const net::Network& n,
-                 std::size_t layers) {
+void runScenarioTable(const sim::Scenario& base) {
+  const net::Network& n = base.network;
   const auto fair = fairness::maxMinFairAllocation(n);
   const auto seeds =
       static_cast<std::uint64_t>(util::envInt("MCFAIR_RUNS", 10));
@@ -41,14 +44,13 @@ void runScenario(const char* title, const net::Network& n,
         sim::ProtocolKind::kUncoordinated}) {
     std::vector<double> acc(n.receiverCount(), 0.0);
     double gap = 0.0;
+    // Only the config varies per protocol/seed; the network is read in
+    // place (a Scenario copy would duplicate the whole topology).
+    sim::ClosedLoopConfig cfg = base.config;
+    for (auto& sc : cfg.sessions) sc.protocol = kind;
     for (std::uint64_t s = 1; s <= seeds; ++s) {
-      sim::ClosedLoopConfig c;
-      c.sessions.assign(n.sessionCount(),
-                        sim::ClosedLoopSessionConfig{kind, layers, 1});
-      c.duration = 4000.0;
-      c.warmup = 1000.0;
-      c.seed = s;
-      const auto r = sim::runClosedLoopSimulation(n, c);
+      cfg.seed = s;
+      const auto r = sim::runClosedLoopSimulation(n, cfg);
       std::size_t flat = 0;
       for (const auto ref : n.allReceivers()) {
         acc[flat++] += r.measuredRate[ref.session][ref.receiver];
@@ -72,7 +74,7 @@ void runScenario(const char* title, const net::Network& n,
                                  std::string("-")};
   for (double g : gaps) gapRow.emplace_back(g);
   t.addRow(std::move(gapRow));
-  util::printTitled(title, t, util::envFlag("MCFAIR_CSV"));
+  util::printTitled(base.name, t, util::envFlag("MCFAIR_CSV"));
 }
 
 }  // namespace
@@ -81,15 +83,28 @@ int main() {
   using namespace mcfair;
   std::cout << "Closed-loop convergence toward max-min fair rates "
                "(endogenous loss, seed-averaged)\n";
-  runScenario("Figure 2 network, S1 multi-rate (fair: 2.5, 2, 3 | 2.5)",
-              net::fig2Network(true), 6);
 
-  net::Network bottleneck;
-  const auto l = bottleneck.addLink(16.0);
-  for (int i = 0; i < 4; ++i) {
-    bottleneck.addSession(net::makeUnicastSession({l}));
-  }
-  runScenario("4 sessions on one c=16 link (fair: 4 each)", bottleneck, 6);
+  // Hand-built paper topology wrapped as a scenario.
+  sim::Scenario fig2;
+  fig2.name = "Figure 2 network, S1 multi-rate (fair: 2.5, 2, 3 | 2.5)";
+  fig2.network = net::fig2Network(true);
+  fig2.config.sessions.assign(
+      fig2.network.sessionCount(),
+      sim::ClosedLoopSessionConfig{sim::ProtocolKind::kCoordinated, 6, 1});
+  fig2.config.duration = 4000.0;
+  fig2.config.warmup = 1000.0;
+  runScenarioTable(fig2);
+
+  // Generated population: 4 unicast sessions on one c = 16 backbone.
+  sim::ScenarioSpec spec;
+  spec.name = "4 sessions on one c=16 link (fair: 4 each)";
+  spec.sessions = 4;
+  spec.backbonePerSession = 4.0;
+  spec.duration = 4000.0;
+  spec.warmup = 1000.0;
+  spec.mix = {sim::SessionMix{{sim::ProtocolKind::kCoordinated, 6, 1},
+                              net::SessionType::kMultiRate, 1.0}};
+  runScenarioTable(sim::buildScenario(spec));
 
   std::cout << "\nReading: private tail bottlenecks converge to their "
                "exact fair rates; receivers contending on shared links "

@@ -7,9 +7,14 @@
 // B is active only in the middle third. The timeline of A's delivered
 // rate shows adaptation toward the changing max-min fair share (A's fair
 // rate: 8* alone, 6 while sharing; *limited by the discrete top layers).
+//
+// The setup comes from the scenario engine: buildScenario() generates
+// the two-session backbone population, then B's lifetime is pinned to
+// the middle third (ClosedLoopConfig is a value — scenario edits like
+// this are the supported way to specialize a generated population).
 #include <iostream>
 
-#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -18,30 +23,31 @@ int main() {
   std::cout << "Session dynamics on one c=12 link: B active only in "
                "t = [1000, 2000)\n";
 
-  net::Network n;
-  const auto l = n.addLink(12.0);
-  n.addSession(net::makeUnicastSession({l}, net::kUnlimitedRate, "A"));
-  n.addSession(net::makeUnicastSession({l}, net::kUnlimitedRate, "B"));
-
+  const double binWidth = 250.0;
   util::Table t({"time bin", "A (Coordinated)", "B (Coordinated)",
                  "A (Deterministic)", "B (Deterministic)"});
   t.setPrecision(2);
-  const double binWidth = 250.0;
   std::vector<std::vector<double>> aRates, bRates;
   for (const auto kind :
        {ProtocolKind::kCoordinated, ProtocolKind::kDeterministic}) {
+    sim::ScenarioSpec spec;
+    spec.name = "session-dynamics";
+    spec.sessions = 2;
+    spec.backbonePerSession = 6.0;  // one shared c = 12 backbone
+    spec.duration = 3000.0;
+    spec.warmup = 0.0;
+    spec.rateBinWidth = binWidth;
+    spec.mix = {sim::SessionMix{{kind, 5, 1},
+                                net::SessionType::kMultiRate, 1.0}};
+    sim::Scenario scenario = sim::buildScenario(spec);
+    scenario.config.sessions[1].startTime = 1000.0;
+    scenario.config.sessions[1].stopTime = 2000.0;
+
     std::vector<double> a, b;
     const int seeds = static_cast<int>(util::envInt("MCFAIR_RUNS", 10));
     for (int s = 1; s <= seeds; ++s) {
-      sim::ClosedLoopConfig c;
-      c.sessions = {
-          sim::ClosedLoopSessionConfig{kind, 5, 1, 0.0, 1e18},
-          sim::ClosedLoopSessionConfig{kind, 5, 1, 1000.0, 2000.0}};
-      c.duration = 3000.0;
-      c.warmup = 0.0;
-      c.rateBinWidth = binWidth;
-      c.seed = static_cast<std::uint64_t>(s);
-      const auto r = sim::runClosedLoopSimulation(n, c);
+      scenario.config.seed = static_cast<std::uint64_t>(s);
+      const auto r = sim::runScenario(scenario);
       if (a.empty()) {
         a.assign(r.binRates[0][0].size(), 0.0);
         b.assign(r.binRates[1][0].size(), 0.0);

@@ -1,13 +1,97 @@
 // Engineering micro-benchmarks for the packet-level simulator and the
 // Markov analysis (not a paper figure).
+//
+// The BM_ClosedLoopMerge* pair measures what the event-driven session
+// engine changed: merging N senders' packet streams costs O(log N) per
+// packet in the engine (runClosedLoopSimulation) versus O(N) in the
+// retained reference driver (runClosedLoopSimulationReference). Both run
+// the identical mega-merge scenario, so the rows are directly
+// comparable; scripts/bench_baseline.sh records them side by side in
+// BENCH_sim.json.
 #include <benchmark/benchmark.h>
 
 #include "markov/protocol_chain.hpp"
+#include "sim/scenario.hpp"
 #include "sim/star.hpp"
+#include "util/error.hpp"
 
 namespace {
 
 using namespace mcfair;
+
+sim::Scenario mergeScenario(std::size_t sessions) {
+  const sim::ScenarioSpec* base = sim::findScenario("mega-merge");
+  MCFAIR_REQUIRE(base != nullptr, "mega-merge preset missing from catalog");
+  sim::ScenarioSpec spec = *base;
+  spec.sessions = sessions;
+  return sim::buildScenario(spec);
+}
+
+// Packets per run: every session emits one single-layer stream of rate 1
+// over the scenario horizon.
+std::int64_t mergePackets(const sim::Scenario& s) {
+  return static_cast<std::int64_t>(s.network.sessionCount()) *
+         static_cast<std::int64_t>(s.config.duration);
+}
+
+void BM_ClosedLoopMergeEvent(benchmark::State& state) {
+  const auto s = mergeScenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::runClosedLoopSimulation(s.network, s.config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          mergePackets(s));
+}
+BENCHMARK(BM_ClosedLoopMergeEvent)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosedLoopMergeReference(benchmark::State& state) {
+  const auto s = mergeScenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::runClosedLoopSimulationReference(s.network, s.config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          mergePackets(s));
+}
+// No 100k row: the linear scan is quadratic-ish in wall clock there
+// (100k sessions x 1M packets); the 10k rows already pin the ratio.
+BENCHMARK(BM_ClosedLoopMergeReference)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Catalog sweep: one row per named preset (downscaled horizon), so a
+// regression in any scenario family — churn + fair epochs, bursty loss,
+// heterogeneous mixes — shows up in the bench log.
+void BM_ScenarioCatalog(benchmark::State& state) {
+  const auto& catalog = sim::scenarioCatalog();
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  if (idx >= catalog.size()) {
+    state.SkipWithError("catalog index out of range");
+    return;
+  }
+  sim::ScenarioSpec spec = catalog[idx];
+  spec.sessions = std::min<std::size_t>(spec.sessions, 16);
+  spec.duration = std::min(spec.duration, 500.0);
+  spec.warmup = std::min(spec.warmup, spec.duration / 4.0);
+  spec.arrivalWindow = std::min(spec.arrivalWindow, spec.duration / 2.0);
+  const auto s = sim::buildScenario(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::runScenario(s));
+  }
+  state.SetLabel(spec.name);
+}
+// Registered from the catalog size so a new preset gets its row
+// automatically (the in-function guard covers only shrinkage).
+BENCHMARK(BM_ScenarioCatalog)
+    ->DenseRange(0, static_cast<int>(sim::scenarioCatalog().size()) - 1);
 
 void BM_StarSimulation(benchmark::State& state) {
   sim::StarConfig c;

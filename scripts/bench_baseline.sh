@@ -1,26 +1,33 @@
 #!/usr/bin/env bash
-# Captures the max-min solver benchmark baseline into BENCH_maxmin.json
-# (google-benchmark JSON format) at the repository root. Each run records
-# the incremental engine, the retained reference solver, and the
-# serial-vs-parallel sweeps side by side, so the perf trajectory across
-# PRs is a diff of this file.
+# Captures the benchmark baselines (google-benchmark JSON format) at the
+# repository root:
+#   BENCH_maxmin.json — the max-min solver: incremental engine vs the
+#     retained reference solver, plus the serial-vs-parallel sweeps.
+#   BENCH_sim.json — the closed-loop simulator: event-driven session
+#     engine vs the retained linear-scan driver (packet-merge scaling).
+# Each run records engine and reference side by side, so the perf
+# trajectory across PRs is a diff of these files.
 #
-# Usage: scripts/bench_baseline.sh [build-dir] [min-time-seconds] [out-file]
+# Usage: scripts/bench_baseline.sh [build-dir] [min-time-seconds]
+#                                  [out-file] [sim-out-file]
 #
-# The third argument redirects the JSON (default: BENCH_maxmin.json at the
-# repo root) — scripts/check_bench.py uses it to capture a fresh run
-# without clobbering the committed baseline.
+# The out-file arguments redirect the JSON (defaults: BENCH_maxmin.json /
+# BENCH_sim.json at the repo root) — scripts/check_bench.py uses them to
+# capture fresh runs without clobbering the committed baselines.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 min_time="${2:-0.2}"
 out_file="${3:-$repo_root/BENCH_maxmin.json}"
+sim_out_file="${4:-$repo_root/BENCH_sim.json}"
 
-if [ ! -x "$build_dir/bench_perf_maxmin" ]; then
+if [ ! -x "$build_dir/bench_perf_maxmin" ] || \
+   [ ! -x "$build_dir/bench_perf_sim" ]; then
   echo "building benchmarks in $build_dir ..." >&2
   cmake -B "$build_dir" -S "$repo_root" -DMCFAIR_BENCH=ON >/dev/null
-  cmake --build "$build_dir" --target bench_perf_maxmin -j >/dev/null
+  cmake --build "$build_dir" --target bench_perf_maxmin bench_perf_sim \
+        -j >/dev/null
 fi
 
 "$build_dir/bench_perf_maxmin" \
@@ -32,13 +39,29 @@ fi
 
 echo "wrote $out_file" >&2
 
-python3 - "$out_file" <<'EOF'
+"$build_dir/bench_perf_sim" \
+  --benchmark_filter='BM_ClosedLoopMerge' \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json \
+  --benchmark_out="$sim_out_file" \
+  --benchmark_out_format=json >/dev/null
+
+echo "wrote $sim_out_file" >&2
+
+python3 - "$out_file" "$sim_out_file" <<'EOF'
 import json, sys
-data = json.load(open(sys.argv[1]))
-times = {b["name"]: b["real_time"] for b in data["benchmarks"]
-         if b.get("run_type") != "aggregate" and "real_time" in b}
+
+def load(path):
+    """name -> (real_time, time_unit), aggregates skipped (the same
+    shape scripts/check_bench.py parses)."""
+    data = json.load(open(path))
+    return {b["name"]: (b["real_time"], b.get("time_unit", "ns"))
+            for b in data["benchmarks"]
+            if b.get("run_type") != "aggregate" and "real_time" in b}
+
+times = load(sys.argv[1])
 print(f"{'benchmark':<44}{'engine':>12}{'reference':>12}{'speedup':>9}")
-for name, t in sorted(times.items()):
+for name, (t, unit) in sorted(times.items()):
     if "Reference" in name or "/" not in name:
         continue
     refname = name.replace("Scaling/", "ScalingReference/") \
@@ -46,10 +69,11 @@ for name, t in sorted(times.items()):
     ref = times.get(refname)
     if refname == name or ref is None:
         continue
-    print(f"{name:<44}{t:>10.0f}ns{ref:>10.0f}ns{ref / t:>8.1f}x")
+    print(f"{name:<44}{t:>10.0f}{unit}{ref[0]:>10.0f}{ref[1]}"
+          f"{ref[0] / t:>8.1f}x")
 print()
 print(f"{'parallel benchmark':<44}{'threads':>12}{'serial':>12}{'speedup':>9}")
-for name, t in sorted(times.items()):
+for name, (t, unit) in sorted(times.items()):
     if "BM_Parallel" not in name:
         continue
     base, _, threads = name.rpartition("/")
@@ -58,5 +82,21 @@ for name, t in sorted(times.items()):
     serial = times.get(f"{base}/0")
     if serial is None:
         continue
-    print(f"{name:<44}{t:>10.0f}ns{serial:>10.0f}ns{serial / t:>8.2f}x")
+    print(f"{name:<44}{t:>10.0f}{unit}{serial[0]:>10.0f}{serial[1]}"
+          f"{serial[0] / t:>8.2f}x")
+
+sim = load(sys.argv[2])
+print()
+print(f"{'merge benchmark':<44}{'event':>12}{'reference':>12}{'speedup':>9}")
+for name, (t, unit) in sorted(sim.items()):
+    if not name.startswith("BM_ClosedLoopMergeEvent/"):
+        continue
+    ref = sim.get(name.replace("MergeEvent/", "MergeReference/"))
+    if ref is None:
+        # Event-only rows (e.g. N=100k, where the linear scan is too
+        # slow to bench) still show up in the summary.
+        print(f"{name:<44}{t:>10.2f}{unit}{'-':>12}{'':>9}")
+        continue
+    print(f"{name:<44}{t:>10.2f}{unit}{ref[0]:>10.2f}{ref[1]}"
+          f"{ref[0] / t:>8.1f}x")
 EOF

@@ -29,7 +29,7 @@ import sys
 
 
 def load_times(path):
-    """benchmark name -> real_time (ns), aggregates skipped."""
+    """benchmark name -> (real_time, time_unit), aggregates skipped."""
     try:
         with open(path) as fh:
             data = json.load(fh)
@@ -37,7 +37,7 @@ def load_times(path):
         print(f"check_bench: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
     return {
-        b["name"]: b["real_time"]
+        b["name"]: (b["real_time"], b.get("time_unit", "ns"))
         for b in data.get("benchmarks", [])
         if b.get("run_type") != "aggregate" and "real_time" in b
     }
@@ -66,19 +66,28 @@ def main():
     failures = 0
     print(f"{'benchmark':<48}{'baseline':>12}{'fresh':>12}{'ratio':>8}")
     for name in sorted(baseline):
-        base_ns = baseline[name]
+        base, unit = baseline[name]
         if name not in fresh:
-            print(f"{name:<48}{base_ns:>10.0f}ns{'MISSING':>12}{'':>8}")
+            print(f"{name:<48}{base:>10.0f}{unit}{'MISSING':>12}{'':>8}")
             failures += 1
             continue
-        ratio = fresh[name] / base_ns if base_ns > 0 else float("inf")
+        if fresh[name][1] != unit:
+            # A ratio across units (ms vs ns) would be off by 1e6 and
+            # could mask a real regression as an improvement.
+            print(f"{name:<48}{base:>10.0f}{unit}"
+                  f"{fresh[name][0]:>10.0f}{fresh[name][1]}"
+                  f"{'UNIT MISMATCH':>16}")
+            failures += 1
+            continue
+        ratio = fresh[name][0] / base if base > 0 else float("inf")
         flag = "  REGRESSED" if ratio > args.tolerance else ""
-        print(f"{name:<48}{base_ns:>10.0f}ns{fresh[name]:>10.0f}ns"
-              f"{ratio:>7.2f}x{flag}")
+        print(f"{name:<48}{base:>10.0f}{unit}{fresh[name][0]:>10.0f}"
+              f"{fresh[name][1]}{ratio:>7.2f}x{flag}")
         if ratio > args.tolerance:
             failures += 1
     for name in sorted(set(fresh) - set(baseline)):
-        print(f"{name:<48}{'(new)':>12}{fresh[name]:>10.0f}ns{'':>8}")
+        print(f"{name:<48}{'(new)':>12}{fresh[name][0]:>10.0f}"
+              f"{fresh[name][1]}{'':>8}")
 
     if failures:
         print(f"\ncheck_bench: {failures} benchmark(s) regressed beyond "

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Documentation gate: broken relative links and rotten code snippets.
+
+Scans the repo's user-facing markdown (README.md, PAPER.md, docs/*.md)
+and fails when
+
+  * a relative markdown link points at a file or directory that does not
+    exist (http(s)/mailto/anchor-only links are ignored; a trailing
+    #anchor is stripped before the check), or
+  * a fenced ```cpp code block does not compile against the library
+    headers.
+
+Snippet convention: a ```cpp block is either a statement sequence (it is
+wrapped in a function body under a standard prelude of library includes
+plus `using namespace mcfair;`) or, when it contains an #include line or
+`int main`, a top-level translation unit emitted verbatim after the
+prelude includes. Blocks that are not meant to compile must use a
+different fence language (```text, ```bash, or plain ```).
+
+Usage:
+    scripts/check_docs.py                  # link check + extraction only
+    scripts/check_docs.py --compile        # also compile each snippet
+    scripts/check_docs.py --compile --keep build-docs
+
+Exit status: 0 = clean, 1 = broken links or failed snippets,
+2 = usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = ["README.md", "PAPER.md", "PAPERS.md", "ROADMAP.md",
+             "CHANGES.md"]
+DOC_DIRS = ["docs"]
+
+# Library headers every snippet may rely on (include guards make
+# duplicates with a snippet's own #include lines harmless).
+PRELUDE = """\
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/properties.hpp"
+#include "fairness/report.hpp"
+#include "net/topologies.hpp"
+#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
+#include "sim/star.hpp"
+#include "util/table.hpp"
+
+using namespace mcfair;
+"""
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def docFiles():
+    files = [os.path.join(REPO_ROOT, f) for f in DOC_FILES]
+    for d in DOC_DIRS:
+        root = os.path.join(REPO_ROOT, d)
+        if os.path.isdir(root):
+            for name in sorted(os.listdir(root)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(root, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def checkLinks(path):
+    """Returns a list of (line, target) broken relative links."""
+    broken = []
+    base = os.path.dirname(path)
+    inFence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if FENCE_RE.match(line.strip()):
+                inFence = not inFence
+                continue
+            if inFence:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                if target.startswith("#"):  # intra-document anchor
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if not os.path.exists(os.path.join(base, rel)):
+                    broken.append((lineno, target))
+    return broken
+
+
+def extractSnippets(path):
+    """Returns a list of (startLine, code) for ```cpp fences."""
+    snippets = []
+    lines = open(path, encoding="utf-8").read().splitlines()
+    i = 0
+    while i < len(lines):
+        m = FENCE_RE.match(lines[i].strip())
+        if m and m.group(1) == "cpp":
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            snippets.append((start, "\n".join(body)))
+        i += 1
+    return snippets
+
+
+def emitSnippet(code, sourceLabel, outPath):
+    topLevel = re.search(r"^\s*#include|int main\s*\(", code, re.M)
+    with open(outPath, "w", encoding="utf-8") as fh:
+        fh.write(f"// Extracted from {sourceLabel} by check_docs.py\n")
+        fh.write(PRELUDE)
+        if topLevel:
+            fh.write(code + "\n")
+        else:
+            fh.write("void docSnippet() {\n")
+            fh.write(code + "\n")
+            fh.write("}\n")
+
+
+def compileSnippet(cxx, path):
+    cmd = [cxx, "-std=c++20", "-fsyntax-only",
+           "-I", os.path.join(REPO_ROOT, "src"), path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode == 0, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compile", action="store_true",
+                        help="compile extracted ```cpp snippets "
+                             "($CXX, default g++, -fsyntax-only)")
+    parser.add_argument("--keep", metavar="DIR",
+                        help="write extracted snippets to DIR "
+                             "(default: a temp dir, removed afterwards)")
+    args = parser.parse_args()
+
+    outDir = args.keep or tempfile.mkdtemp(prefix="mcfair-docs-")
+    os.makedirs(outDir, exist_ok=True)
+
+    failures = 0
+    snippetCount = 0
+    cxx = os.environ.get("CXX", "g++")
+    if args.compile and shutil.which(cxx) is None:
+        print(f"check_docs: compiler '{cxx}' not found", file=sys.stderr)
+        return 2
+
+    for path in docFiles():
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, target in checkLinks(path):
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+        for start, code in extractSnippets(path):
+            snippetCount += 1
+            label = f"{rel}:{start}"
+            stem = re.sub(r"[^A-Za-z0-9]+", "_", f"{rel}_{start}")
+            out = os.path.join(outDir, f"snippet_{stem}.cpp")
+            emitSnippet(code, label, out)
+            if args.compile:
+                ok, err = compileSnippet(cxx, out)
+                if not ok:
+                    print(f"{label}: snippet fails to compile\n{err}")
+                    failures += 1
+
+    mode = "compiled" if args.compile else "extracted"
+    print(f"check_docs: {len(docFiles())} files, {snippetCount} cpp "
+          f"snippets {mode}, {failures} failure(s)")
+    if not args.keep and outDir.startswith(tempfile.gettempdir()):
+        shutil.rmtree(outDir, ignore_errors=True)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "fairness/maxmin.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/sender.hpp"
 #include "util/error.hpp"
 
@@ -94,148 +96,179 @@ std::vector<FairEpoch> buildFairEpochs(
   return epochs;
 }
 
-}  // namespace
+// Everything both drivers share: validation, protocol state machines,
+// token buckets, optional exogenous loss models, and the measurement
+// accumulators. The drivers differ only in how they merge the senders'
+// streams into time order; each merged packet is handed to
+// processPacket(), so trajectories are identical whenever the merge
+// orders agree (they do — packet times are distinct across sessions
+// almost surely because every layer stream carries a random phase
+// offset, and within a session the sender orders its own layers).
+//
+// After construction, processPacket() performs no heap allocation: all
+// scratch (touched-link marks, the touched list at its high-water mark)
+// is preallocated here.
+class SimCore {
+ public:
+  SimCore(const net::Network& network, const ClosedLoopConfig& config)
+      : network_(network), config_(config) {
+    MCFAIR_REQUIRE(network.sessionCount() >= 1, "need at least one session");
+    MCFAIR_REQUIRE(config.sessions.empty() ||
+                       config.sessions.size() == network.sessionCount(),
+                   "sessions config must be empty or one entry per session");
+    MCFAIR_REQUIRE(config.duration > 0.0 && config.warmup >= 0.0 &&
+                       config.warmup < config.duration,
+                   "need 0 <= warmup < duration");
+    MCFAIR_REQUIRE(config.tokenBurst > 0.0, "tokenBurst must be positive");
 
-ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
-                                         const ClosedLoopConfig& config) {
-  MCFAIR_REQUIRE(network.sessionCount() >= 1, "need at least one session");
-  MCFAIR_REQUIRE(config.sessions.empty() ||
-                     config.sessions.size() == network.sessionCount(),
-                 "sessions config must be empty or one entry per session");
-  MCFAIR_REQUIRE(config.duration > 0.0 && config.warmup >= 0.0 &&
-                     config.warmup < config.duration,
-                 "need 0 <= warmup < duration");
-  MCFAIR_REQUIRE(config.tokenBurst > 0.0, "tokenBurst must be positive");
+    const std::size_t nSessions = network.sessionCount();
+    sessionConfigs_ = config.sessions;
+    if (sessionConfigs_.empty()) sessionConfigs_.resize(nSessions);
 
-  const std::size_t nSessions = network.sessionCount();
-  std::vector<ClosedLoopSessionConfig> sessionConfigs = config.sessions;
-  if (sessionConfigs.empty()) sessionConfigs.resize(nSessions);
+    util::Rng root(config.seed);
 
-  util::Rng root(config.seed);
-
-  // One sender and one set of protocol receivers per session.
-  std::vector<LayeredSender> senders;
-  std::vector<std::vector<LayeredReceiver>> receivers(nSessions);
-  std::vector<std::vector<util::Rng>> receiverRng(nSessions);
-  senders.reserve(nSessions);
-  util::Rng phaseRng = root.split();
-  for (std::size_t i = 0; i < nSessions; ++i) {
-    const auto& sc = sessionConfigs[i];
-    MCFAIR_REQUIRE(sc.layers >= 1, "sessions need at least one layer");
-    MCFAIR_REQUIRE(sc.startTime >= 0.0 && sc.startTime < sc.stopTime,
-                   "need 0 <= startTime < stopTime");
-    senders.emplace_back(layering::LayerScheme::exponential(sc.layers),
-                         &phaseRng);
-    const std::size_t nr = network.session(i).receivers.size();
-    for (std::size_t k = 0; k < nr; ++k) {
-      receivers[i].emplace_back(sc.protocol, sc.layers, sc.initialLevel);
-      receiverRng[i].push_back(root.split());
-    }
-  }
-
-  std::vector<TokenBucket> buckets;
-  buckets.reserve(network.linkCount());
-  for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
-    const double c = network.capacity(graph::LinkId{j});
-    buckets.emplace_back(c, std::max(1.0, c * config.tokenBurst));
-  }
-
-  // Measurement accumulators.
-  ClosedLoopResult result;
-  result.measuredRate.resize(nSessions);
-  result.meanLevel.resize(nSessions);
-  std::vector<std::vector<std::uint64_t>> delivered(nSessions);
-  std::vector<std::vector<double>> levelIntegral(nSessions);
-  std::vector<std::vector<std::uint64_t>> levelSamples(nSessions);
-  for (std::size_t i = 0; i < nSessions; ++i) {
-    const std::size_t nr = network.session(i).receivers.size();
-    delivered[i].assign(nr, 0);
-    levelIntegral[i].assign(nr, 0.0);
-    levelSamples[i].assign(nr, 0);
-  }
-  std::vector<std::uint64_t> linkForwarded(network.linkCount(), 0);
-  std::vector<std::uint64_t> linkOffered(network.linkCount(), 0);
-  std::vector<std::uint64_t> linkDropped(network.linkCount(), 0);
-  std::vector<std::vector<std::uint64_t>> sessionForwarded(
-      nSessions, std::vector<std::uint64_t>(network.linkCount(), 0));
-
-  // Optional per-bin delivery timeline.
-  const std::size_t nBins =
-      config.rateBinWidth > 0.0
-          ? static_cast<std::size_t>(
-                std::ceil(config.duration / config.rateBinWidth))
-          : 0;
-  std::vector<std::vector<std::vector<std::uint64_t>>> binDelivered;
-  if (nBins > 0) {
-    binDelivered.resize(nSessions);
+    // One sender and one set of protocol receivers per session. The
+    // split() order (phase stream first, then one receiver stream per
+    // receiver in session order) is part of the reproducibility contract:
+    // equal seeds replay equal experiments across library versions.
+    receivers_.resize(nSessions);
+    receiverRng_.resize(nSessions);
+    senders_.reserve(nSessions);
+    util::Rng phaseRng = root.split();
     for (std::size_t i = 0; i < nSessions; ++i) {
-      binDelivered[i].assign(network.session(i).receivers.size(),
-                             std::vector<std::uint64_t>(nBins, 0));
+      const auto& sc = sessionConfigs_[i];
+      MCFAIR_REQUIRE(sc.layers >= 1, "sessions need at least one layer");
+      MCFAIR_REQUIRE(sc.startTime >= 0.0 && sc.startTime < sc.stopTime,
+                     "need 0 <= startTime < stopTime");
+      senders_.emplace_back(layering::LayerScheme::exponential(sc.layers),
+                            &phaseRng);
+      const std::size_t nr = network.session(i).receivers.size();
+      for (std::size_t k = 0; k < nr; ++k) {
+        receivers_[i].emplace_back(sc.protocol, sc.layers, sc.initialLevel);
+        receiverRng_[i].push_back(root.split());
+      }
     }
+
+    buckets_.reserve(network.linkCount());
+    for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
+      const double c = network.capacity(graph::LinkId{j});
+      buckets_.emplace_back(c, std::max(1.0, c * config.tokenBurst));
+    }
+
+    // Exogenous loss plumbing. The per-link RNG streams are split after
+    // all protocol streams so lossless configurations replay the exact
+    // RNG sequences of earlier library versions.
+    if (config.linkLoss) {
+      linkLoss_.reserve(network.linkCount());
+      lossRng_.reserve(network.linkCount());
+      for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
+        linkLoss_.push_back(config.linkLoss(graph::LinkId{j}));
+        lossRng_.push_back(root.split());
+      }
+    }
+
+    // Measurement accumulators.
+    delivered_.resize(nSessions);
+    levelIntegral_.resize(nSessions);
+    levelSamples_.resize(nSessions);
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      const std::size_t nr = network.session(i).receivers.size();
+      delivered_[i].assign(nr, 0);
+      levelIntegral_[i].assign(nr, 0.0);
+      levelSamples_[i].assign(nr, 0);
+    }
+    linkForwarded_.assign(network.linkCount(), 0);
+    linkOffered_.assign(network.linkCount(), 0);
+    linkDropped_.assign(network.linkCount(), 0);
+    sessionForwarded_.assign(
+        nSessions, std::vector<std::uint64_t>(network.linkCount(), 0));
+
+    // Optional per-bin delivery timeline.
+    nBins_ = config.rateBinWidth > 0.0
+                 ? static_cast<std::size_t>(
+                       std::ceil(config.duration / config.rateBinWidth))
+                 : 0;
+    if (nBins_ > 0) {
+      binDelivered_.resize(nSessions);
+      for (std::size_t i = 0; i < nSessions; ++i) {
+        binDelivered_[i].assign(network.session(i).receivers.size(),
+                                std::vector<std::uint64_t>(nBins_, 0));
+      }
+    }
+
+    // Scratch marks, reused per packet. The touched list can hold at most
+    // one entry per link.
+    linkTouched_.assign(network.linkCount(), 0);
+    linkDropping_.assign(network.linkCount(), 0);
+    touched_.reserve(network.linkCount());
   }
 
-  // Merge the senders' packet streams in time order (one lookahead
-  // packet per sender).
-  std::vector<Packet> pending;
-  pending.reserve(nSessions);
-  for (auto& s : senders) pending.push_back(s.next());
+  std::size_t sessionCount() const noexcept { return senders_.size(); }
 
-  // Scratch marks, reused per packet.
-  std::vector<char> linkTouched(network.linkCount(), 0);
-  std::vector<char> linkDropping(network.linkCount(), 0);
-  std::vector<std::uint32_t> touched;
+  /// The session's next packet in its own stream (time order).
+  Packet nextPacket(std::size_t sessionIdx) {
+    return senders_[sessionIdx].next();
+  }
 
-  while (true) {
-    // Earliest pending packet (tie-break: lower session index).
-    std::size_t sessionIdx = 0;
-    for (std::size_t i = 1; i < nSessions; ++i) {
-      if (pending[i].time < pending[sessionIdx].time) sessionIdx = i;
-    }
-    const Packet pkt = pending[sessionIdx];
-    if (pkt.time > config.duration) break;
-    pending[sessionIdx] = senders[sessionIdx].next();
+  /// End of the session's lifetime. Packets at or past it are discarded
+  /// by processPacket, and since each sender's packet times are
+  /// nondecreasing, a session whose pending packet reached stopTime can
+  /// be dropped from the merge entirely without changing any trajectory.
+  double stopTime(std::size_t sessionIdx) const noexcept {
+    return sessionConfigs_[sessionIdx].stopTime;
+  }
+
+  /// Runs one merged packet through capacity enforcement, loss, delivery
+  /// accounting, and the receivers' protocol state machines.
+  void processPacket(std::size_t sessionIdx, const Packet& pkt) {
     // Outside the session's lifetime the sender is silent.
-    if (pkt.time < sessionConfigs[sessionIdx].startTime ||
-        pkt.time >= sessionConfigs[sessionIdx].stopTime) {
-      continue;
+    if (pkt.time < sessionConfigs_[sessionIdx].startTime ||
+        pkt.time >= sessionConfigs_[sessionIdx].stopTime) {
+      return;
     }
-    const bool measuring = pkt.time >= config.warmup;
+    const bool measuring = pkt.time >= config_.warmup;
 
-    const auto& sess = network.session(sessionIdx);
-    auto& rcvrs = receivers[sessionIdx];
+    const auto& sess = network_.session(sessionIdx);
+    auto& rcvrs = receivers_[sessionIdx];
 
     // Subscribers and the union of links leading to them.
-    touched.clear();
+    touched_.clear();
     bool anySubscribed = false;
     for (std::size_t k = 0; k < rcvrs.size(); ++k) {
       if (measuring) {
-        levelIntegral[sessionIdx][k] +=
+        levelIntegral_[sessionIdx][k] +=
             static_cast<double>(rcvrs[k].level());
-        ++levelSamples[sessionIdx][k];
+        ++levelSamples_[sessionIdx][k];
       }
       if (rcvrs[k].level() < pkt.layer) continue;
       anySubscribed = true;
       for (graph::LinkId l : sess.receivers[k].dataPath) {
-        if (!linkTouched[l.value]) {
-          linkTouched[l.value] = 1;
-          touched.push_back(l.value);
+        if (!linkTouched_[l.value]) {
+          linkTouched_[l.value] = 1;
+          touched_.push_back(l.value);
         }
       }
     }
-    if (!anySubscribed) continue;
+    if (!anySubscribed) return;
 
-    // Capacity enforcement per touched link.
-    for (std::uint32_t j : touched) {
-      if (measuring) ++linkOffered[j];
-      if (buckets[j].admit(pkt.time)) {
+    // Capacity enforcement (and optional exogenous loss) per touched
+    // link. The loss coin is drawn only for packets the bucket admitted,
+    // so the loss RNG stream advances identically in both drivers.
+    for (std::uint32_t j : touched_) {
+      if (measuring) ++linkOffered_[j];
+      bool forwarded = buckets_[j].admit(pkt.time);
+      if (forwarded && !linkLoss_.empty() && linkLoss_[j] != nullptr) {
+        forwarded = !linkLoss_[j]->lose(lossRng_[j]);
+      }
+      if (forwarded) {
         if (measuring) {
-          ++linkForwarded[j];
-          ++sessionForwarded[sessionIdx][j];
+          ++linkForwarded_[j];
+          ++sessionForwarded_[sessionIdx][j];
         }
-        linkDropping[j] = 0;
+        linkDropping_[j] = 0;
       } else {
-        if (measuring) ++linkDropped[j];
-        linkDropping[j] = 1;
+        if (measuring) ++linkDropped_[j];
+        linkDropping_[j] = 1;
       }
     }
 
@@ -244,80 +277,178 @@ ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
       if (rcvrs[k].level() < pkt.layer) continue;
       bool lost = false;
       for (graph::LinkId l : sess.receivers[k].dataPath) {
-        if (linkDropping[l.value]) {
+        if (linkDropping_[l.value]) {
           lost = true;
           break;
         }
       }
       if (!lost) {
-        if (measuring) ++delivered[sessionIdx][k];
-        if (nBins > 0) {
+        if (measuring) ++delivered_[sessionIdx][k];
+        if (nBins_ > 0) {
           const auto bin = std::min(
-              nBins - 1, static_cast<std::size_t>(
-                             pkt.time / config.rateBinWidth));
-          ++binDelivered[sessionIdx][k][bin];
+              nBins_ - 1, static_cast<std::size_t>(
+                              pkt.time / config_.rateBinWidth));
+          ++binDelivered_[sessionIdx][k][bin];
         }
       }
-      rcvrs[k].onPacket(lost, pkt.syncLevel, receiverRng[sessionIdx][k]);
+      rcvrs[k].onPacket(lost, pkt.syncLevel, receiverRng_[sessionIdx][k]);
     }
 
-    for (std::uint32_t j : touched) {
-      linkTouched[j] = 0;
-      linkDropping[j] = 0;
+    for (std::uint32_t j : touched_) {
+      linkTouched_[j] = 0;
+      linkDropping_[j] = 0;
     }
   }
 
-  const double window = config.duration - config.warmup;
-  for (std::size_t i = 0; i < nSessions; ++i) {
-    const std::size_t nr = network.session(i).receivers.size();
-    result.measuredRate[i].resize(nr);
-    result.meanLevel[i].resize(nr);
-    for (std::size_t k = 0; k < nr; ++k) {
-      result.measuredRate[i][k] =
-          static_cast<double>(delivered[i][k]) / window;
-      result.meanLevel[i][k] =
-          levelSamples[i][k] > 0
-              ? levelIntegral[i][k] /
-                    static_cast<double>(levelSamples[i][k])
-              : static_cast<double>(sessionConfigs[i].initialLevel);
-    }
-  }
-  if (nBins > 0) {
-    result.binRates.resize(nSessions);
+  /// Converts the accumulated counts into the measured-rate result.
+  ClosedLoopResult finalize() {
+    ClosedLoopResult result;
+    const std::size_t nSessions = sessionCount();
+    const double window = config_.duration - config_.warmup;
+    result.measuredRate.resize(nSessions);
+    result.meanLevel.resize(nSessions);
     for (std::size_t i = 0; i < nSessions; ++i) {
-      const std::size_t nr = network.session(i).receivers.size();
-      result.binRates[i].resize(nr);
+      const std::size_t nr = network_.session(i).receivers.size();
+      result.measuredRate[i].resize(nr);
+      result.meanLevel[i].resize(nr);
       for (std::size_t k = 0; k < nr; ++k) {
-        result.binRates[i][k].resize(nBins);
-        for (std::size_t b = 0; b < nBins; ++b) {
-          result.binRates[i][k][b] =
-              static_cast<double>(binDelivered[i][k][b]) /
-              config.rateBinWidth;
+        result.measuredRate[i][k] =
+            static_cast<double>(delivered_[i][k]) / window;
+        result.meanLevel[i][k] =
+            levelSamples_[i][k] > 0
+                ? levelIntegral_[i][k] /
+                      static_cast<double>(levelSamples_[i][k])
+                : static_cast<double>(sessionConfigs_[i].initialLevel);
+      }
+    }
+    if (nBins_ > 0) {
+      result.binRates.resize(nSessions);
+      for (std::size_t i = 0; i < nSessions; ++i) {
+        const std::size_t nr = network_.session(i).receivers.size();
+        result.binRates[i].resize(nr);
+        for (std::size_t k = 0; k < nr; ++k) {
+          result.binRates[i][k].resize(nBins_);
+          for (std::size_t b = 0; b < nBins_; ++b) {
+            result.binRates[i][k][b] =
+                static_cast<double>(binDelivered_[i][k][b]) /
+                config_.rateBinWidth;
+          }
         }
       }
     }
-  }
-  result.linkThroughput.resize(network.linkCount());
-  result.linkDropRate.resize(network.linkCount());
-  result.sessionLinkRate.assign(
-      nSessions, std::vector<double>(network.linkCount(), 0.0));
-  for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
-    result.linkThroughput[j] =
-        static_cast<double>(linkForwarded[j]) / window;
-    result.linkDropRate[j] =
-        linkOffered[j] > 0 ? static_cast<double>(linkDropped[j]) /
-                                 static_cast<double>(linkOffered[j])
-                           : 0.0;
-    for (std::size_t i = 0; i < nSessions; ++i) {
-      result.sessionLinkRate[i][j] =
-          static_cast<double>(sessionForwarded[i][j]) / window;
+    result.linkThroughput.resize(network_.linkCount());
+    result.linkDropRate.resize(network_.linkCount());
+    result.sessionLinkRate.assign(
+        nSessions, std::vector<double>(network_.linkCount(), 0.0));
+    for (std::uint32_t j = 0; j < network_.linkCount(); ++j) {
+      result.linkThroughput[j] =
+          static_cast<double>(linkForwarded_[j]) / window;
+      result.linkDropRate[j] =
+          linkOffered_[j] > 0 ? static_cast<double>(linkDropped_[j]) /
+                                    static_cast<double>(linkOffered_[j])
+                              : 0.0;
+      for (std::size_t i = 0; i < nSessions; ++i) {
+        result.sessionLinkRate[i][j] =
+            static_cast<double>(sessionForwarded_[i][j]) / window;
+      }
     }
+    if (config_.computeFairEpochs) {
+      result.fairEpochs =
+          buildFairEpochs(network_, sessionConfigs_, config_.duration,
+                          config_.solverThreads);
+    }
+    return result;
   }
-  if (config.computeFairEpochs) {
-    result.fairEpochs = buildFairEpochs(network, sessionConfigs,
-                                        config.duration, config.solverThreads);
+
+ private:
+  const net::Network& network_;
+  const ClosedLoopConfig& config_;
+  std::vector<ClosedLoopSessionConfig> sessionConfigs_;
+  std::vector<LayeredSender> senders_;
+  std::vector<std::vector<LayeredReceiver>> receivers_;
+  std::vector<std::vector<util::Rng>> receiverRng_;
+  std::vector<TokenBucket> buckets_;
+  std::vector<std::unique_ptr<LossModel>> linkLoss_;  // empty = none
+  std::vector<util::Rng> lossRng_;
+  std::vector<std::vector<std::uint64_t>> delivered_;
+  std::vector<std::vector<double>> levelIntegral_;
+  std::vector<std::vector<std::uint64_t>> levelSamples_;
+  std::vector<std::uint64_t> linkForwarded_;
+  std::vector<std::uint64_t> linkOffered_;
+  std::vector<std::uint64_t> linkDropped_;
+  std::vector<std::vector<std::uint64_t>> sessionForwarded_;
+  std::size_t nBins_ = 0;
+  std::vector<std::vector<std::vector<std::uint64_t>>> binDelivered_;
+  std::vector<char> linkTouched_;
+  std::vector<char> linkDropping_;
+  std::vector<std::uint32_t> touched_;
+};
+
+}  // namespace
+
+ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
+                                         const ClosedLoopConfig& config) {
+  SimCore core(network, config);
+  const std::size_t nSessions = core.sessionCount();
+
+  // Event-driven merge: session i's earliest unprocessed packet lives in
+  // pending[i]; the queue orders the sessions by that packet's time
+  // (payload = session index). Advancing the simulation is pop + push:
+  // O(log sessions) per packet. The queue holds exactly one event per
+  // session, so after the seeding batch no event-queue allocation occurs.
+  std::vector<Packet> pending;
+  pending.reserve(nSessions);
+  EventQueue queue;
+  queue.reserve(nSessions + 1);
+  std::vector<EventQueue::Pending> seed;
+  seed.reserve(nSessions);
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    pending.push_back(core.nextPacket(i));
+    seed.push_back(EventQueue::Pending{pending[i].time, i});
   }
-  return result;
+  queue.scheduleAt(seed);
+
+  while (const auto e = queue.pop()) {
+    // The popped event is the global minimum: once it passes the horizon,
+    // every pending packet has.
+    if (e->time > config.duration) break;
+    const auto i = static_cast<std::size_t>(e->payload);
+    const Packet pkt = pending[i];
+    pending[i] = core.nextPacket(i);
+    // Departed sessions leave the merge: every later packet of i would
+    // be discarded anyway, so not rescheduling is trajectory-identical
+    // and stops dead sessions from dominating heap traffic under churn.
+    if (pending[i].time < core.stopTime(i)) {
+      queue.schedule(pending[i].time, e->payload);
+    }
+    core.processPacket(i, pkt);
+  }
+  return core.finalize();
+}
+
+ClosedLoopResult runClosedLoopSimulationReference(
+    const net::Network& network, const ClosedLoopConfig& config) {
+  SimCore core(network, config);
+  const std::size_t nSessions = core.sessionCount();
+
+  // Linear-scan merge (one lookahead packet per sender, earliest first;
+  // tie-break: lower session index).
+  std::vector<Packet> pending;
+  pending.reserve(nSessions);
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    pending.push_back(core.nextPacket(i));
+  }
+  while (true) {
+    std::size_t sessionIdx = 0;
+    for (std::size_t i = 1; i < nSessions; ++i) {
+      if (pending[i].time < pending[sessionIdx].time) sessionIdx = i;
+    }
+    const Packet pkt = pending[sessionIdx];
+    if (pkt.time > config.duration) break;
+    pending[sessionIdx] = core.nextPacket(sessionIdx);
+    core.processPacket(sessionIdx, pkt);
+  }
+  return core.finalize();
 }
 
 double fairnessGap(const net::Network& network,

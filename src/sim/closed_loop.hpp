@@ -22,13 +22,32 @@
 //    independent (no upstream/downstream ordering — data-paths are link
 //    sets in the fairness model).
 //  * Joins/leaves take effect instantly (the paper's idealization).
+//
+// Two drivers share the per-packet machinery (token buckets, protocol
+// state machines, measurement accumulators) and produce bit-identical
+// trajectories; they differ only in how the senders' packet streams are
+// merged into one time-ordered sequence:
+//  * runClosedLoopSimulation — the event-driven session engine. Every
+//    session keeps exactly one lookahead packet in a global
+//    sim::EventQueue, so advancing the simulation is one pop + one push:
+//    O(log sessions) per packet, independent of the population size.
+//    Steady-state operation allocates nothing (the queue is seeded with
+//    one scheduleAt() batch and never grows past sessions + 1 entries).
+//  * runClosedLoopSimulationReference — the original driver, which scans
+//    all sessions' lookahead packets per event: O(sessions) per packet.
+//    Retained as the oracle for the trajectory-parity tests and as the
+//    baseline the merge benchmarks measure against (the same role
+//    fairness::solveMaxMinFairReference plays for the solver).
 #pragma once
 
+#include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "fairness/allocation.hpp"
 #include "net/network.hpp"
+#include "sim/loss.hpp"
 #include "sim/receiver.hpp"
 
 namespace mcfair::sim {
@@ -85,6 +104,15 @@ struct ClosedLoopConfig {
   /// -1 (default) = MCFAIR_THREADS environment variable. One solver (and
   /// one worker pool) is reused across all epochs.
   int solverThreads = -1;
+  /// Optional exogenous per-link loss, layered on top of the endogenous
+  /// token-bucket drops — the plumbing for sim/loss models (the paper's
+  /// Section 4 Bernoulli process, or GilbertElliottLoss for bursty
+  /// sensitivity studies). Called once per link id at simulation start;
+  /// may return null for "no extra loss on this link". A forwarded packet
+  /// that the loss model kills counts as dropped on that link and as a
+  /// congestion event for the receivers behind it. Null (default) =
+  /// endogenous loss only.
+  std::function<std::unique_ptr<LossModel>(graph::LinkId)> linkLoss;
 };
 
 /// Measured outcome.
@@ -109,11 +137,18 @@ struct ClosedLoopResult {
   std::vector<FairEpoch> fairEpochs;
 };
 
-/// Runs the closed-loop experiment. Link capacities of `network` are
+/// Runs the closed-loop experiment with the event-driven session engine
+/// (O(log sessions) packet merge). Link capacities of `network` are
 /// interpreted in packets per time unit. Throws PreconditionError on
 /// inconsistent configuration.
 ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
                                          const ClosedLoopConfig& config);
+
+/// The original driver: identical trajectories, but the per-packet merge
+/// scans all sessions (O(sessions) per packet). Retained as the parity
+/// oracle and benchmark baseline; use runClosedLoopSimulation otherwise.
+ClosedLoopResult runClosedLoopSimulationReference(
+    const net::Network& network, const ClosedLoopConfig& config);
 
 /// Mean relative deviation of measured rates from a reference
 /// allocation: mean_r |measured(r) - ref(r)| / max(ref(r), floor).

@@ -1,0 +1,252 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+
+namespace {
+
+// Draws one mix entry index by relative weight.
+std::size_t drawMixEntry(const std::vector<SessionMix>& mix,
+                         double totalWeight, util::Rng& rng) {
+  double u = rng.uniform01() * totalWeight;
+  for (std::size_t m = 0; m < mix.size(); ++m) {
+    u -= mix[m].weight;
+    if (u < 0.0) return m;
+  }
+  return mix.size() - 1;
+}
+
+}  // namespace
+
+std::unique_ptr<LossModel> makeLossModel(const LossSpec& loss) {
+  switch (loss.kind) {
+    case LossSpec::Kind::kNone:
+      return nullptr;
+    case LossSpec::Kind::kBernoulli:
+      return std::make_unique<BernoulliLoss>(loss.rate);
+    case LossSpec::Kind::kGilbertElliott: {
+      // Stationary loss rate of GilbertElliottLoss with a loss-free good
+      // state is g * pBad / (g + b); solve g for the requested average.
+      MCFAIR_REQUIRE(loss.meanBurst >= 1.0,
+                     "GilbertElliott meanBurst must be >= 1");
+      MCFAIR_REQUIRE(loss.badLossRate > loss.rate && loss.rate >= 0.0,
+                     "GilbertElliott needs badLossRate > rate >= 0");
+      const double badToGood = 1.0 / loss.meanBurst;
+      const double goodToBad =
+          loss.rate * badToGood / (loss.badLossRate - loss.rate);
+      return std::make_unique<GilbertElliottLoss>(goodToBad, badToGood, 0.0,
+                                                 loss.badLossRate);
+    }
+  }
+  return nullptr;
+}
+
+Scenario buildScenario(const ScenarioSpec& spec) {
+  MCFAIR_REQUIRE(spec.sessions >= 1, "scenario needs >= 1 session");
+  MCFAIR_REQUIRE(spec.receiversPerSession >= 1,
+                 "scenario needs >= 1 receiver per session");
+  MCFAIR_REQUIRE(spec.backbonePerSession > 0.0,
+                 "backbonePerSession must be positive");
+  MCFAIR_REQUIRE(spec.tailCapacityMax == 0.0 ||
+                     (spec.tailCapacityMin > 0.0 &&
+                      spec.tailCapacityMin <= spec.tailCapacityMax),
+                 "need 0 < tailCapacityMin <= tailCapacityMax (or max = 0)");
+  MCFAIR_REQUIRE(spec.arrivalWindow >= 0.0 &&
+                     spec.arrivalWindow < spec.duration,
+                 "arrivalWindow must lie inside [0, duration)");
+  MCFAIR_REQUIRE(spec.meanLifetime > 0.0 && spec.minLifetime > 0.0,
+                 "lifetimes must be positive");
+
+  std::vector<SessionMix> mix = spec.mix;
+  if (mix.empty()) {
+    mix.push_back(SessionMix{});  // Coordinated, 8 layers (the defaults)
+  }
+  double totalWeight = 0.0;
+  for (const auto& m : mix) {
+    MCFAIR_REQUIRE(m.weight > 0.0, "mix weights must be positive");
+    MCFAIR_REQUIRE(m.type == net::SessionType::kMultiRate ||
+                       spec.receiversPerSession == 1 ||
+                       m.session.layers == 1,
+                   "single-rate mix entries with several receivers need "
+                   "layers == 1 (one uniform rate)");
+    totalWeight += m.weight;
+  }
+
+  // Structure and dynamics are drawn from separate child streams so that
+  // adding a knob to one cannot silently reshuffle the other.
+  util::Rng root(spec.seed);
+  util::Rng topologyRng = root.split();
+  util::Rng mixRng = root.split();
+  util::Rng dynamicsRng = root.split();
+
+  Scenario s;
+  s.name = spec.name;
+  const graph::LinkId backbone = s.network.addLink(
+      static_cast<double>(spec.sessions) * spec.backbonePerSession);
+
+  s.config.duration = spec.duration;
+  s.config.warmup = spec.warmup;
+  s.config.rateBinWidth = spec.rateBinWidth;
+  s.config.computeFairEpochs = spec.computeFairEpochs;
+  s.config.solverThreads = spec.solverThreads;
+  s.config.seed = spec.seed;
+  s.config.sessions.reserve(spec.sessions);
+
+  for (std::size_t i = 0; i < spec.sessions; ++i) {
+    const SessionMix& entry = mix[drawMixEntry(mix, totalWeight, mixRng)];
+    net::Session session;
+    session.type = entry.type;
+    session.name = "S" + std::to_string(i + 1);
+    for (std::size_t k = 0; k < spec.receiversPerSession; ++k) {
+      std::vector<graph::LinkId> path{backbone};
+      if (spec.tailCapacityMax > 0.0) {
+        path.push_back(s.network.addLink(topologyRng.uniform(
+            spec.tailCapacityMin, spec.tailCapacityMax)));
+      }
+      session.receivers.push_back(net::makeReceiver(
+          std::move(path),
+          "r" + std::to_string(i + 1) + "," + std::to_string(k + 1)));
+    }
+    s.network.addSession(std::move(session));
+
+    ClosedLoopSessionConfig sc = entry.session;
+    sc.startTime = spec.arrivalWindow > 0.0
+                       ? dynamicsRng.uniform(0.0, spec.arrivalWindow)
+                       : 0.0;
+    if (std::isfinite(spec.meanLifetime)) {
+      // Exponential lifetime via inverse transform; 1 - u avoids log(0).
+      const double life =
+          -spec.meanLifetime * std::log(1.0 - dynamicsRng.uniform01());
+      sc.stopTime = sc.startTime + std::max(spec.minLifetime, life);
+    }
+    s.config.sessions.push_back(sc);
+  }
+
+  if (spec.loss.kind != LossSpec::Kind::kNone) {
+    s.config.linkLoss = [loss = spec.loss](graph::LinkId) {
+      return makeLossModel(loss);
+    };
+  }
+  return s;
+}
+
+ClosedLoopResult runScenario(const Scenario& s) {
+  return runClosedLoopSimulation(s.network, s.config);
+}
+
+const std::vector<ScenarioSpec>& scenarioCatalog() {
+  static const std::vector<ScenarioSpec> catalog = [] {
+    std::vector<ScenarioSpec> v;
+
+    {
+      ScenarioSpec s;
+      s.name = "steady-bottleneck";
+      s.description =
+          "8 homogeneous Coordinated sessions on one shared backbone; the "
+          "baseline convergence workload";
+      s.sessions = 8;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "heterogeneous-mix";
+      s.description =
+          "12 sessions mixing all three layered protocols with single-rate "
+          "(CBR-like) competitors, heterogeneous private tails";
+      s.sessions = 12;
+      s.tailCapacityMin = 1.0;
+      s.tailCapacityMax = 16.0;
+      s.mix = {
+          SessionMix{{ProtocolKind::kCoordinated, 6, 1},
+                     net::SessionType::kMultiRate, 3.0},
+          SessionMix{{ProtocolKind::kDeterministic, 6, 1},
+                     net::SessionType::kMultiRate, 2.0},
+          SessionMix{{ProtocolKind::kUncoordinated, 6, 1},
+                     net::SessionType::kMultiRate, 2.0},
+          SessionMix{{ProtocolKind::kDeterministic, 1, 1},
+                     net::SessionType::kSingleRate, 1.0},
+      };
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "flash-crowd";
+      s.description =
+          "16 sessions all arriving within the first 200 time units — the "
+          "Section 5 startup transient, en masse";
+      s.sessions = 16;
+      s.arrivalWindow = 200.0;
+      s.warmup = 400.0;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "churn";
+      s.description =
+          "12 sessions with staggered arrivals and exponential lifetimes; "
+          "fair epochs recomputed at every boundary (the incremental "
+          "solver's churn workload)";
+      s.sessions = 12;
+      s.arrivalWindow = 1000.0;
+      s.meanLifetime = 600.0;
+      s.minLifetime = 100.0;
+      s.warmup = 0.0;
+      s.computeFairEpochs = true;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "lossy-backbone";
+      s.description =
+          "8 sessions with 2% independent exogenous loss on every link on "
+          "top of the endogenous token-bucket drops (the paper's Bernoulli "
+          "model, closed-loop)";
+      s.sessions = 8;
+      s.loss.kind = LossSpec::Kind::kBernoulli;
+      s.loss.rate = 0.02;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "bursty-loss";
+      s.description =
+          "8 sessions under Gilbert-Elliott loss averaging 2% in bursts of "
+          "~12 packets — the temporally-correlated sensitivity study";
+      s.sessions = 8;
+      s.loss.kind = LossSpec::Kind::kGilbertElliott;
+      s.loss.rate = 0.02;
+      s.loss.meanBurst = 12.0;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "mega-merge";
+      s.description =
+          "Large-N merge stress: 10k single-layer sessions on one "
+          "backbone, short horizon — isolates the per-packet merge cost "
+          "the event-driven engine removes (override `sessions` to sweep)";
+      s.sessions = 10000;
+      s.backbonePerSession = 0.5;
+      s.duration = 10.0;
+      s.warmup = 2.0;
+      s.mix = {SessionMix{{ProtocolKind::kDeterministic, 1, 1},
+                          net::SessionType::kMultiRate, 1.0}};
+      v.push_back(std::move(s));
+    }
+    return v;
+  }();
+  return catalog;
+}
+
+const ScenarioSpec* findScenario(std::string_view name) {
+  for (const ScenarioSpec& s : scenarioCatalog()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace mcfair::sim

@@ -1,0 +1,139 @@
+// Scenario engine: parameterized closed-loop experiment populations.
+//
+// The paper's Section 4 experiments are hand-built topologies with a
+// handful of sessions; the scenario engine generalizes that driver into
+// a generator for large, heterogeneous populations — the workloads the
+// event-driven session engine exists for (10k-100k concurrent sessions).
+// A ScenarioSpec describes a population statistically (session count,
+// protocol mix, arrival/departure processes, private-tail capacity
+// distribution, exogenous loss); buildScenario() expands it into a
+// concrete Scenario — a net::Network plus a ClosedLoopConfig — fully
+// deterministically from the spec's seed, so every scenario is
+// reproducible and shareable by (name, seed) alone.
+//
+// The catalog (scenarioCatalog()) names the standard presets used by the
+// benches: steady shared bottlenecks, heterogeneous protocol mixes with
+// single-rate (CBR-like) competitors, flash-crowd arrivals, sustained
+// churn with the fair-epoch reference enabled, lossy and bursty-loss
+// backbones, and the mega-merge stress population for the packet-merge
+// benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/closed_loop.hpp"
+
+namespace mcfair::sim {
+
+/// One entry of a heterogeneous session-population mix.
+struct SessionMix {
+  /// Protocol / layer configuration stamped onto sessions drawn from this
+  /// entry. startTime/stopTime are overwritten by the spec's arrival and
+  /// lifetime processes.
+  ClosedLoopSessionConfig session;
+  /// chi(S_i) recorded in the generated Network. kSingleRate models the
+  /// paper's non-layered (CBR-like) competitors; pair it with
+  /// session.layers == 1 so the sender cannot adapt its rate.
+  net::SessionType type = net::SessionType::kMultiRate;
+  /// Relative probability of drawing this entry; must be positive.
+  double weight = 1.0;
+};
+
+/// Exogenous-loss selector, expanded into ClosedLoopConfig::linkLoss.
+struct LossSpec {
+  enum class Kind {
+    kNone,            ///< endogenous (token-bucket) loss only
+    kBernoulli,       ///< independent per-packet loss at `rate`
+    kGilbertElliott,  ///< bursty loss averaging `rate` (see below)
+  };
+  Kind kind = Kind::kNone;
+  /// Long-run average loss probability per link (both lossy kinds).
+  double rate = 0.0;
+  /// Gilbert-Elliott only: expected number of packets per bad-state
+  /// burst (badToGood = 1 / meanBurst).
+  double meanBurst = 8.0;
+  /// Gilbert-Elliott only: loss probability inside the bad state; the
+  /// good state is loss-free and goodToBad is solved so the stationary
+  /// loss rate equals `rate`. Requires badLossRate > rate.
+  double badLossRate = 0.5;
+};
+
+/// A parameterized closed-loop experiment population.
+///
+/// Topology: one shared backbone link (capacity scales with the session
+/// count) plus, optionally, one private tail link per receiver — the
+/// shape of the paper's star experiments, scaled out.
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::string description;
+
+  std::size_t sessions = 4;
+  std::size_t receiversPerSession = 1;
+
+  /// Backbone capacity = sessions * backbonePerSession (packets per time
+  /// unit), so per-session contention is scale-invariant.
+  double backbonePerSession = 2.0;
+  /// When tailCapacityMax > 0, every receiver gets a private tail link
+  /// with capacity uniform in [tailCapacityMin, tailCapacityMax] — the
+  /// heterogeneous-receiver setting where multi-rate delivery pays off.
+  double tailCapacityMin = 0.0;
+  double tailCapacityMax = 0.0;
+
+  double duration = 2000.0;
+  double warmup = 500.0;
+
+  /// Arrival process: 0 = every session starts at t = 0; > 0 = start
+  /// times drawn uniformly from [0, arrivalWindow).
+  double arrivalWindow = 0.0;
+  /// Departure process: finite = exponential session lifetime with this
+  /// mean (floored at minLifetime); infinity (default) = sessions run to
+  /// the end of the experiment.
+  double meanLifetime = std::numeric_limits<double>::infinity();
+  double minLifetime = 50.0;
+
+  /// Heterogeneous session mix; empty = all Coordinated with 8 layers.
+  std::vector<SessionMix> mix;
+
+  LossSpec loss;
+
+  /// Forwarded into ClosedLoopConfig (see closed_loop.hpp).
+  bool computeFairEpochs = false;
+  int solverThreads = -1;
+  double rateBinWidth = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// A fully built experiment: expanded topology plus driver config. The
+/// config's per-session entries may be edited freely before running
+/// (benches pin specific lifetimes this way).
+struct Scenario {
+  std::string name;
+  net::Network network;
+  ClosedLoopConfig config;
+};
+
+/// Expands a spec deterministically (equal specs produce equal
+/// scenarios). Throws PreconditionError on inconsistent parameters.
+Scenario buildScenario(const ScenarioSpec& spec);
+
+/// Convenience: runClosedLoopSimulation(s.network, s.config).
+ClosedLoopResult runScenario(const Scenario& s);
+
+/// Builds one loss model for a LossSpec (null for Kind::kNone). Exposed
+/// for tests; buildScenario installs it for every link via
+/// ClosedLoopConfig::linkLoss.
+std::unique_ptr<LossModel> makeLossModel(const LossSpec& loss);
+
+/// The named presets (stable order, unique names).
+const std::vector<ScenarioSpec>& scenarioCatalog();
+
+/// Catalog lookup by name; null when absent.
+const ScenarioSpec* findScenario(std::string_view name);
+
+}  // namespace mcfair::sim

@@ -51,11 +51,15 @@ void printTitled(const std::string& title, const Table& table,
                  bool csv = false);
 
 /// True when the environment variable `name` is set to a non-empty,
-/// non-"0" value. Used by bench binaries for output / workload knobs.
+/// non-"0" value. Used by bench binaries for output / workload knobs —
+/// notably MCFAIR_CSV, which additionally prints every bench table as
+/// CSV (see printTitled).
 bool envFlag(const char* name) noexcept;
 
 /// Integer environment knob with default; returns `fallback` when unset or
-/// unparsable.
+/// unparsable. Notably MCFAIR_RUNS, the seed count of the seed-averaged
+/// bench tables (default 10). The full knob catalog is tabulated in the
+/// top-level README.
 long envInt(const char* name, long fallback) noexcept;
 
 }  // namespace mcfair::util

@@ -1,0 +1,140 @@
+// Trajectory-parity tests for the event-driven closed-loop session
+// engine: runClosedLoopSimulation (EventQueue merge, O(log sessions) per
+// packet) must reproduce runClosedLoopSimulationReference (linear scan,
+// the original driver) EXACTLY — both drivers share the per-packet
+// machinery, so any divergence means the merge orders disagree.
+//
+// Exact equality (EXPECT_EQ on the full result, not EXPECT_NEAR) is the
+// right bar: every layer stream carries a random phase offset, so packet
+// times are distinct across sessions almost surely and the merge order
+// is unique. A tie would surface here as a hard failure.
+#include <gtest/gtest.h>
+
+#include "net/topologies.hpp"
+#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+void expectIdentical(const ClosedLoopResult& a, const ClosedLoopResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.measuredRate, b.measuredRate) << label;
+  EXPECT_EQ(a.linkThroughput, b.linkThroughput) << label;
+  EXPECT_EQ(a.linkDropRate, b.linkDropRate) << label;
+  EXPECT_EQ(a.sessionLinkRate, b.sessionLinkRate) << label;
+  EXPECT_EQ(a.meanLevel, b.meanLevel) << label;
+  EXPECT_EQ(a.binRates, b.binRates) << label;
+  ASSERT_EQ(a.fairEpochs.size(), b.fairEpochs.size()) << label;
+  for (std::size_t e = 0; e < a.fairEpochs.size(); ++e) {
+    EXPECT_EQ(a.fairEpochs[e].begin, b.fairEpochs[e].begin) << label;
+    EXPECT_EQ(a.fairEpochs[e].end, b.fairEpochs[e].end) << label;
+    EXPECT_EQ(a.fairEpochs[e].sessions, b.fairEpochs[e].sessions) << label;
+    EXPECT_EQ(a.fairEpochs[e].fairRate, b.fairEpochs[e].fairRate) << label;
+  }
+}
+
+void expectParity(const net::Network& n, const ClosedLoopConfig& c,
+                  const std::string& label) {
+  expectIdentical(runClosedLoopSimulation(n, c),
+                  runClosedLoopSimulationReference(n, c), label);
+}
+
+TEST(ClosedLoopParity, RandomizedNetworks) {
+  // 24 randomized routed topologies with randomized protocol mixes,
+  // layer counts, lifetimes, bin timelines, and exogenous loss.
+  constexpr ProtocolKind kKinds[] = {ProtocolKind::kUncoordinated,
+                                     ProtocolKind::kDeterministic,
+                                     ProtocolKind::kCoordinated};
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    util::Rng rng(seed * 977);
+    net::RandomNetworkOptions opts;
+    opts.sessions = 1 + seed % 5;
+    opts.maxReceiversPerSession = 3;
+    const net::Network n = net::randomNetwork(rng, opts);
+
+    ClosedLoopConfig c;
+    c.duration = 200.0;
+    c.warmup = 50.0;
+    c.seed = seed;
+    for (std::size_t i = 0; i < n.sessionCount(); ++i) {
+      ClosedLoopSessionConfig sc;
+      sc.protocol = kKinds[rng.below(3)];
+      sc.layers = 2 + rng.below(4);
+      if (rng.bernoulli(0.3)) {
+        sc.startTime = rng.uniform(0.0, 80.0);
+        sc.stopTime = sc.startTime + rng.uniform(60.0, 150.0);
+      }
+      c.sessions.push_back(sc);
+    }
+    if (seed % 3 == 0) c.rateBinWidth = 40.0;
+    if (seed % 4 == 0) {
+      c.linkLoss = [](graph::LinkId) -> std::unique_ptr<LossModel> {
+        return std::make_unique<BernoulliLoss>(0.03);
+      };
+    }
+    expectParity(n, c, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(ClosedLoopParity, PaperTopologyWithFairEpochs) {
+  const net::Network n = net::fig2Network(true);
+  ClosedLoopConfig c;
+  c.sessions.assign(n.sessionCount(),
+                    ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 5, 1});
+  c.sessions[1].startTime = 100.0;
+  c.sessions[1].stopTime = 400.0;
+  c.duration = 600.0;
+  c.warmup = 50.0;
+  c.computeFairEpochs = true;
+  c.seed = 7;
+  expectParity(n, c, "fig2 + epochs");
+}
+
+TEST(ClosedLoopParity, SingleSession) {
+  net::Network n;
+  const auto l = n.addLink(3.0);
+  n.addSession(net::makeUnicastSession({l}));
+  ClosedLoopConfig c;
+  c.sessions = {{ProtocolKind::kDeterministic, 4, 1}};
+  c.duration = 500.0;
+  c.warmup = 100.0;
+  c.seed = 11;
+  expectParity(n, c, "single session");
+}
+
+TEST(ClosedLoopParity, LargePopulationViaScenario) {
+  // A mid-sized population from the scenario engine: exercises the heap
+  // at a size where a merge-order bug could not hide behind one or two
+  // sessions' worth of slack.
+  const ScenarioSpec* base = findScenario("mega-merge");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 500;
+  spec.duration = 8.0;
+  spec.warmup = 2.0;
+  const Scenario s = buildScenario(spec);
+  expectIdentical(runScenario(s),
+                  runClosedLoopSimulationReference(s.network, s.config),
+                  "mega-merge N=500");
+}
+
+TEST(ClosedLoopParity, ChurnScenarioWithBurstyLoss) {
+  const ScenarioSpec* base = findScenario("churn");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 6;
+  spec.duration = 400.0;
+  spec.arrivalWindow = 200.0;
+  spec.meanLifetime = 150.0;
+  spec.loss.kind = LossSpec::Kind::kGilbertElliott;
+  spec.loss.rate = 0.02;
+  const Scenario s = buildScenario(spec);
+  expectIdentical(runScenario(s),
+                  runClosedLoopSimulationReference(s.network, s.config),
+                  "churn + GE loss");
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,0 +1,214 @@
+// Tests for the scenario engine (sim/scenario.hpp): catalog integrity,
+// deterministic expansion, the arrival/departure processes, session-mix
+// validation, and the exogenous-loss plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/scenario.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+TEST(Scenario, CatalogHasUniqueNamedPresets) {
+  const auto& catalog = scenarioCatalog();
+  ASSERT_GE(catalog.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& spec : catalog) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate scenario name " << spec.name;
+    // Every preset must expand without throwing.
+    const Scenario s = buildScenario(spec);
+    EXPECT_EQ(s.network.sessionCount(), spec.sessions) << spec.name;
+    EXPECT_EQ(s.config.sessions.size(), spec.sessions) << spec.name;
+  }
+  EXPECT_NE(findScenario("mega-merge"), nullptr);
+  EXPECT_NE(findScenario("churn"), nullptr);
+  EXPECT_EQ(findScenario("no-such-scenario"), nullptr);
+}
+
+TEST(Scenario, ExpansionIsDeterministic) {
+  const ScenarioSpec* base = findScenario("heterogeneous-mix");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 6;
+  spec.duration = 300.0;
+  spec.warmup = 100.0;
+  const Scenario a = buildScenario(spec);
+  const Scenario b = buildScenario(spec);
+  ASSERT_EQ(a.network.sessionCount(), b.network.sessionCount());
+  ASSERT_EQ(a.network.linkCount(), b.network.linkCount());
+  for (std::uint32_t j = 0; j < a.network.linkCount(); ++j) {
+    EXPECT_EQ(a.network.capacity(graph::LinkId{j}),
+              b.network.capacity(graph::LinkId{j}));
+  }
+  for (std::size_t i = 0; i < a.config.sessions.size(); ++i) {
+    EXPECT_EQ(a.config.sessions[i].protocol, b.config.sessions[i].protocol);
+    EXPECT_EQ(a.config.sessions[i].layers, b.config.sessions[i].layers);
+    EXPECT_EQ(a.config.sessions[i].startTime,
+              b.config.sessions[i].startTime);
+    EXPECT_EQ(a.config.sessions[i].stopTime, b.config.sessions[i].stopTime);
+  }
+  // End-to-end: two runs of the same scenario are bit-identical.
+  const auto ra = runScenario(a);
+  const auto rb = runScenario(b);
+  EXPECT_EQ(ra.measuredRate, rb.measuredRate);
+  EXPECT_EQ(ra.linkThroughput, rb.linkThroughput);
+}
+
+TEST(Scenario, SeedChangesThePopulation) {
+  const ScenarioSpec* base = findScenario("churn");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 8;
+  const Scenario a = buildScenario(spec);
+  spec.seed = 99;
+  const Scenario b = buildScenario(spec);
+  bool anyDifferent = false;
+  for (std::size_t i = 0; i < spec.sessions; ++i) {
+    anyDifferent = anyDifferent ||
+                   a.config.sessions[i].startTime !=
+                       b.config.sessions[i].startTime;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Scenario, ArrivalAndLifetimeProcessesRespectBounds) {
+  ScenarioSpec spec;
+  spec.sessions = 40;
+  spec.arrivalWindow = 500.0;
+  spec.meanLifetime = 300.0;
+  spec.minLifetime = 80.0;
+  spec.duration = 2000.0;
+  const Scenario s = buildScenario(spec);
+  for (const auto& sc : s.config.sessions) {
+    EXPECT_GE(sc.startTime, 0.0);
+    EXPECT_LT(sc.startTime, spec.arrivalWindow);
+    // -1e-9: startTime + lifetime can round the difference just below.
+    EXPECT_GE(sc.stopTime - sc.startTime, spec.minLifetime - 1e-9);
+    EXPECT_TRUE(std::isfinite(sc.stopTime));
+  }
+}
+
+TEST(Scenario, BackboneScalesWithPopulation) {
+  ScenarioSpec spec;
+  spec.sessions = 32;
+  spec.backbonePerSession = 1.5;
+  const Scenario s = buildScenario(spec);
+  EXPECT_DOUBLE_EQ(s.network.capacity(graph::LinkId{0}), 48.0);
+}
+
+TEST(Scenario, TailsAreDrawnInsideTheConfiguredRange) {
+  ScenarioSpec spec;
+  spec.sessions = 10;
+  spec.receiversPerSession = 2;
+  spec.tailCapacityMin = 2.0;
+  spec.tailCapacityMax = 9.0;
+  const Scenario s = buildScenario(spec);
+  // One backbone + one tail per receiver.
+  ASSERT_EQ(s.network.linkCount(), 1u + 10u * 2u);
+  for (std::uint32_t j = 1; j < s.network.linkCount(); ++j) {
+    const double c = s.network.capacity(graph::LinkId{j});
+    EXPECT_GE(c, 2.0);
+    EXPECT_LE(c, 9.0);
+  }
+  for (std::size_t i = 0; i < s.network.sessionCount(); ++i) {
+    EXPECT_EQ(s.network.session(i).receivers.size(), 2u);
+  }
+}
+
+TEST(Scenario, LossModelsMatchRequestedAverages) {
+  LossSpec bern;
+  bern.kind = LossSpec::Kind::kBernoulli;
+  bern.rate = 0.05;
+  const auto b = makeLossModel(bern);
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->averageLossRate(), 0.05);
+
+  LossSpec ge;
+  ge.kind = LossSpec::Kind::kGilbertElliott;
+  ge.rate = 0.02;
+  ge.meanBurst = 12.0;
+  ge.badLossRate = 0.5;
+  const auto g = makeLossModel(ge);
+  ASSERT_NE(g, nullptr);
+  EXPECT_NEAR(g->averageLossRate(), 0.02, 1e-12);
+
+  LossSpec none;
+  EXPECT_EQ(makeLossModel(none), nullptr);
+}
+
+TEST(Scenario, LossPlumbingReachesTheLinks) {
+  // With heavy exogenous loss the measured drop rate must be at least
+  // the exogenous rate even on an uncongested backbone.
+  ScenarioSpec spec;
+  spec.sessions = 2;
+  spec.backbonePerSession = 100.0;  // 200 >> 2 * 16: no endogenous drops
+  spec.mix = {SessionMix{{ProtocolKind::kCoordinated, 5, 1},
+                         net::SessionType::kMultiRate, 1.0}};
+  spec.duration = 500.0;
+  spec.warmup = 100.0;
+  spec.loss.kind = LossSpec::Kind::kBernoulli;
+  spec.loss.rate = 0.2;
+  const Scenario s = buildScenario(spec);
+  const auto r = runScenario(s);
+  EXPECT_GT(r.linkDropRate[0], 0.1);
+
+  spec.loss.kind = LossSpec::Kind::kNone;
+  const auto clean = runScenario(buildScenario(spec));
+  EXPECT_DOUBLE_EQ(clean.linkDropRate[0], 0.0);
+  EXPECT_GT(clean.measuredRate[0][0], r.measuredRate[0][0]);
+}
+
+TEST(Scenario, ChurnPresetProducesFairEpochs) {
+  const ScenarioSpec* base = findScenario("churn");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 4;
+  spec.duration = 400.0;
+  spec.arrivalWindow = 150.0;
+  spec.meanLifetime = 200.0;
+  const Scenario s = buildScenario(spec);
+  const auto r = runScenario(s);
+  // Staggered arrivals and departures: strictly more epochs than the
+  // trivial single interval, covering [0, duration].
+  EXPECT_GT(r.fairEpochs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.fairEpochs.front().begin, 0.0);
+  EXPECT_DOUBLE_EQ(r.fairEpochs.back().end, spec.duration);
+}
+
+TEST(Scenario, Validation) {
+  ScenarioSpec spec;
+  spec.sessions = 0;
+  EXPECT_THROW(buildScenario(spec), PreconditionError);
+
+  spec = ScenarioSpec{};
+  spec.tailCapacityMax = 4.0;  // min left at 0
+  EXPECT_THROW(buildScenario(spec), PreconditionError);
+
+  spec = ScenarioSpec{};
+  spec.arrivalWindow = spec.duration;
+  EXPECT_THROW(buildScenario(spec), PreconditionError);
+
+  // Single-rate entries with several receivers must be non-adaptive
+  // (layers == 1): a layered single-rate session has no uniform rate.
+  spec = ScenarioSpec{};
+  spec.receiversPerSession = 2;
+  spec.mix = {SessionMix{{ProtocolKind::kCoordinated, 4, 1},
+                         net::SessionType::kSingleRate, 1.0}};
+  EXPECT_THROW(buildScenario(spec), PreconditionError);
+
+  // Gilbert-Elliott with badLossRate <= rate is unsatisfiable.
+  LossSpec ge;
+  ge.kind = LossSpec::Kind::kGilbertElliott;
+  ge.rate = 0.6;
+  ge.badLossRate = 0.5;
+  EXPECT_THROW(makeLossModel(ge), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::sim
