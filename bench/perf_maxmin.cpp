@@ -91,6 +91,29 @@ BENCHMARK(BM_SingleBottleneckScalingReference)
     ->Arg(640)
     ->Complexity();
 
+// Isolates the linear accumulator/saturation scan — the flat branch-free
+// sweep over the dense (const, slope, threshold) mirrors. L parallel
+// unicast bottlenecks with strictly increasing capacities freeze exactly
+// one link per filling round, so one solve performs ~L^2/2 scan slots
+// and little else; items/sec reports scan-slot throughput.
+void BM_AccumScan(benchmark::State& state) {
+  const auto links = static_cast<std::size_t>(state.range(0));
+  net::Network n;
+  for (std::size_t j = 0; j < links; ++j) {
+    const auto l = n.addLink(1.0 + 0.001 * static_cast<double>(j));
+    n.addSession(net::makeUnicastSession({l}));
+  }
+  fairness::MaxMinSolver solver;
+  solver.bind(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(links * (links + 1) / 2));
+}
+BENCHMARK(BM_AccumScan)->Arg(1024)->Arg(4096);
+
 // A bound solver re-solving an unchanged network: the zero-allocation
 // steady-state path in isolation (no bind, no result copy).
 void BM_BoundSolverResolve(benchmark::State& state) {

@@ -67,6 +67,63 @@ BENCHMARK(BM_ClosedLoopMergeReference)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
+// The BM_ClosedLoopFluid* pair measures the fluid fast-forward engine on
+// the steady-fluid catalog preset (born-absorbing sessions, amply
+// provisioned backbone): the fluid engine certifies the run drop-free
+// and accounts every packet in closed form — O(state changes) — while
+// the per-packet baseline executes all sessions x 8 packets/time-unit x
+// duration of them. Items processed counts the packets covered either
+// way, so items/sec is directly comparable.
+sim::Scenario steadyScenario(std::size_t sessions) {
+  const sim::ScenarioSpec* base = sim::findScenario("steady-fluid");
+  MCFAIR_REQUIRE(base != nullptr,
+                 "steady-fluid preset missing from catalog");
+  sim::ScenarioSpec spec = *base;
+  spec.sessions = sessions;
+  return sim::buildScenario(spec);
+}
+
+std::int64_t steadyPackets(const sim::Scenario& s) {
+  // Aggregate rate 8 per session (4 exponential layers) over the horizon.
+  return static_cast<std::int64_t>(s.network.sessionCount()) *
+         static_cast<std::int64_t>(8.0 * s.config.duration);
+}
+
+void BM_ClosedLoopFluid(benchmark::State& state) {
+  const auto s = steadyScenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::runClosedLoopSimulationFluid(s.network, s.config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          steadyPackets(s));
+}
+BENCHMARK(BM_ClosedLoopFluid)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosedLoopFluidEventBaseline(benchmark::State& state) {
+  auto s = steadyScenario(static_cast<std::size_t>(state.range(0)));
+  s.config.fluidFastForward = false;  // force per-packet execution
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::runClosedLoopSimulation(s.network, s.config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          steadyPackets(s));
+}
+// No 1M row: at ~10^6 packets/s the per-packet engine would need ~5
+// minutes for the 320M packets the fluid engine closes out in seconds;
+// the 100k rows already pin the ratio.
+BENCHMARK(BM_ClosedLoopFluidEventBaseline)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
 // Catalog sweep: one row per named preset (downscaled horizon), so a
 // regression in any scenario family — churn + fair epochs, bursty loss,
 // heterogeneous mixes — shows up in the bench log.

@@ -31,7 +31,7 @@ if [ ! -x "$build_dir/bench_perf_maxmin" ] || \
 fi
 
 "$build_dir/bench_perf_maxmin" \
-  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel' \
+  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel|BM_AccumScan' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
   --benchmark_out="$out_file" \
@@ -40,7 +40,7 @@ fi
 echo "wrote $out_file" >&2
 
 "$build_dir/bench_perf_sim" \
-  --benchmark_filter='BM_ClosedLoopMerge' \
+  --benchmark_filter='BM_ClosedLoopMerge|BM_ClosedLoopFluid' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
   --benchmark_out="$sim_out_file" \
@@ -99,4 +99,18 @@ for name, (t, unit) in sorted(sim.items()):
         continue
     print(f"{name:<44}{t:>10.2f}{unit}{ref[0]:>10.2f}{ref[1]}"
           f"{ref[0] / t:>8.1f}x")
+
+print()
+print(f"{'fluid benchmark':<44}{'fluid':>12}{'per-packet':>12}{'speedup':>9}")
+for name, (t, unit) in sorted(sim.items()):
+    if not name.startswith("BM_ClosedLoopFluid/"):
+        continue
+    ev = sim.get(name.replace("Fluid/", "FluidEventBaseline/"))
+    if ev is None:
+        # Fluid-only rows (N=1M: the per-packet engine would take
+        # minutes) still show up in the summary.
+        print(f"{name:<44}{t:>10.2f}{unit}{'-':>12}{'':>9}")
+        continue
+    print(f"{name:<44}{t:>10.2f}{unit}{ev[0]:>10.2f}{ev[1]}"
+          f"{ev[0] / t:>8.1f}x")
 EOF

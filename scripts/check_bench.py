@@ -14,6 +14,13 @@ pass silently). New benchmarks that the baseline does not know yet are
 reported but never fail — the baseline is updated by re-running
 scripts/bench_baseline.sh and committing the JSON.
 
+--require PREFIX (repeatable) additionally demands that at least one
+benchmark with that name prefix exists in BOTH the baseline and the
+fresh run. This guards whole families against silent filter drift: a
+capture script that stops matching e.g. BM_ClosedLoopFluid* would
+otherwise shrink the baseline and the gate alike, and the regression
+check would pass green over an empty set.
+
 Micro-benchmark timings are noisy across machines (the committed baseline
 was captured on a single-core 2.1 GHz VM), so the default band is wide;
 the CI job wiring this script is advisory (non-blocking) and exists to
@@ -51,6 +58,11 @@ def main():
                         help="freshly captured JSON to compare")
     parser.add_argument("--tolerance", type=float, default=1.6,
                         help="allowed slowdown factor (default: %(default)s)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a benchmark with this name prefix "
+                             "exists in both baseline and fresh run "
+                             "(repeatable)")
     args = parser.parse_args()
     if args.tolerance <= 0:
         print("check_bench: --tolerance must be positive", file=sys.stderr)
@@ -64,6 +76,12 @@ def main():
         return 2
 
     failures = 0
+    for prefix in args.require:
+        for label, times in (("baseline", baseline), ("fresh", fresh)):
+            if not any(name.startswith(prefix) for name in times):
+                print(f"check_bench: required family {prefix}* missing "
+                      f"from {label} run", file=sys.stderr)
+                failures += 1
     print(f"{'benchmark':<48}{'baseline':>12}{'fresh':>12}{'ratio':>8}")
     for name in sorted(baseline):
         base, unit = baseline[name]

@@ -369,8 +369,9 @@ struct MaxMinSolver::Engine {
 
   // Per link.
   std::vector<double> capacity;
-  std::vector<double> satSlack;     // saturationSlack * max(1, c_j)
-  std::vector<double> bisectSlack;  // 1e-12 * max(1, c_j)
+  std::vector<double> satSlack;      // saturationSlack * max(1, c_j)
+  std::vector<double> satThreshold;  // capacity[j] - satSlack[j]
+  std::vector<double> bisectSlack;   // 1e-12 * max(1, c_j)
 
   std::vector<char> sessionSingleRate;
   bool unitWeights = true;
@@ -400,6 +401,17 @@ struct MaxMinSolver::Engine {
   std::vector<std::uint32_t> linkVersion;
   std::vector<std::uint32_t> activeLinks;  // compact, unordered
   std::vector<std::uint32_t> activeLinkPos;
+  // Dense mirrors of the linear saturation-scan inputs, parallel to
+  // activeLinks: slot idx holds (linkConst, linkSlope,
+  // capacity - satSlack) of link activeLinks[idx]. The per-round linear
+  // scan then reads three contiguous arrays with no indirection and no
+  // branch in the loop body — a flat, vectorization-friendly sweep —
+  // instead of gathering through activeLinks into the per-link arrays.
+  // Maintained by recomputeLink (scatter via activeLinkPos) and the
+  // freeze-time swap-remove, i.e. O(affected links) per freeze.
+  std::vector<double> denseConst;
+  std::vector<double> denseSlope;
+  std::vector<double> denseThresh;
   struct Cand {
     double key;  // level at which the link saturates
     std::uint32_t link;
@@ -645,6 +657,7 @@ void MaxMinSolver::Engine::bind(const net::Network& network,
   groupBegin.resize(nLinks + 1);
   capacity.resize(nLinks);
   satSlack.resize(nLinks);
+  satThreshold.resize(nLinks);
   bisectSlack.resize(nLinks);
   std::size_t maxGroupSize = 1;
   for (std::uint32_t j = 0; j < nLinks; ++j) {
@@ -653,6 +666,7 @@ void MaxMinSolver::Engine::bind(const net::Network& network,
     groupBegin[j] = groups.size();
     capacity[j] = network.capacity(l);
     satSlack[j] = options.saturationSlack * std::max(1.0, capacity[j]);
+    satThreshold[j] = capacity[j] - satSlack[j];
     bisectSlack[j] = 1e-12 * std::max(1.0, capacity[j]);
     const auto onLink = network.receiversOnLink(l);
     std::size_t pos = 0;
@@ -772,6 +786,9 @@ void MaxMinSolver::Engine::bind(const net::Network& network,
   linkVersion.resize(nLinks);
   activeLinks.reserve(nLinks);
   activeLinkPos.resize(nLinks);
+  denseConst.resize(nLinks);
+  denseSlope.resize(nLinks);
+  denseThresh.resize(nLinks);
   // One heap entry per link at the start of a solve plus at most one per
   // (receiver, path-link) freeze update over the whole filling.
   heap.reserve(nLinks + totalPathSlots + 1);
@@ -917,6 +934,13 @@ void MaxMinSolver::Engine::recomputeLink(std::uint32_t j,
   linkConst[j] = constPart;
   linkSlope[j] = slopeSum;
   linkNonlinear[j] = nonlinear ? 1 : 0;
+  // Scatter into the dense scan mirrors (every link recomputed here is
+  // in the active list; shard-safe — each dirty link is recomputed by
+  // exactly one shard and owns its slot).
+  const std::uint32_t pos = activeLinkPos[j];
+  denseConst[pos] = constPart;
+  denseSlope[pos] = slopeSum;
+  denseThresh[pos] = satThreshold[j];
 }
 
 void MaxMinSolver::Engine::heapPush(std::uint32_t j) {
@@ -982,11 +1006,17 @@ void MaxMinSolver::Engine::freeze(std::uint32_t f, double frozenRate) {
       dirtyLinks.push_back(j);
     }
     if (linkActive[j] == 0) {
-      // Swap-remove from the compact active-link list.
+      // Swap-remove from the compact active-link list, mirrored on the
+      // dense scan arrays so slot idx keeps describing activeLinks[idx].
       const std::uint32_t pos = activeLinkPos[j];
       const std::uint32_t lastLink = activeLinks.back();
+      const auto lastPos =
+          static_cast<std::uint32_t>(activeLinks.size() - 1);
       activeLinks[pos] = lastLink;
       activeLinkPos[lastLink] = pos;
+      denseConst[pos] = denseConst[lastPos];
+      denseSlope[pos] = denseSlope[lastPos];
+      denseThresh[pos] = denseThresh[lastPos];
       activeLinks.pop_back();
       activeLinkPos[j] = kNoPos;
     }
@@ -1144,24 +1174,48 @@ const MaxMinResult& MaxMinSolver::Engine::solve(const MaxMinOptions& options,
     // shard order reproduces the serial scan order exactly (shards are
     // contiguous ranges of the active list).
     satLinks.clear();
-    const std::size_t usedShards = shardedSweep(
-        activeLinks.size(), options,
-        [&](std::size_t idx) {
-          // Linear rounds read accumulators in O(1) per link.
-          return linear ? 1.0 : linkSweepCost(activeLinks[idx]);
-        },
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          std::vector<double>& rs = shardGather[shard];
-          std::vector<std::uint32_t>& out = shardSat[shard];
-          out.clear();
-          for (std::size_t idx = begin; idx < end; ++idx) {
-            const std::uint32_t j = activeLinks[idx];
-            const double usage = linear
-                                     ? linkConst[j] + linkSlope[j] * level
-                                     : linkUsageFullAt(j, level, rs);
-            if (usage >= capacity[j] - satSlack[j]) out.push_back(j);
-          }
-        });
+    std::size_t usedShards;
+    if (linear) {
+      // Flat sweep over the dense mirrors: three contiguous loads, one
+      // fused compare, and a branchless compaction (store the candidate
+      // unconditionally, advance the cursor by the comparison result).
+      // No gather through activeLinks, no branch in the loop body — the
+      // compiler can vectorize the whole scan.
+      usedShards = shardedSweep(
+          activeLinks.size(), options, [](std::size_t) { return 1.0; },
+          [&](std::size_t shard, std::size_t begin, std::size_t end) {
+            std::vector<std::uint32_t>& out = shardSat[shard];
+            out.resize(end - begin);  // within bind()-reserved capacity
+            const double lv = level;
+            const double* cst = denseConst.data();
+            const double* slp = denseSlope.data();
+            const double* thr = denseThresh.data();
+            const std::uint32_t* lk = activeLinks.data();
+            std::uint32_t* dst = out.data();
+            std::size_t count = 0;
+            for (std::size_t idx = begin; idx < end; ++idx) {
+              dst[count] = lk[idx];
+              count += static_cast<std::size_t>(
+                  cst[idx] + slp[idx] * lv >= thr[idx]);
+            }
+            out.resize(count);
+          });
+    } else {
+      usedShards = shardedSweep(
+          activeLinks.size(), options,
+          [&](std::size_t idx) { return linkSweepCost(activeLinks[idx]); },
+          [&](std::size_t shard, std::size_t begin, std::size_t end) {
+            std::vector<double>& rs = shardGather[shard];
+            std::vector<std::uint32_t>& out = shardSat[shard];
+            out.clear();
+            for (std::size_t idx = begin; idx < end; ++idx) {
+              const std::uint32_t j = activeLinks[idx];
+              if (linkUsageFullAt(j, level, rs) >= satThreshold[j]) {
+                out.push_back(j);
+              }
+            }
+          });
+    }
     for (std::size_t s = 0; s < usedShards; ++s) {
       satLinks.insert(satLinks.end(), shardSat[s].begin(), shardSat[s].end());
     }

@@ -30,6 +30,16 @@ class TokenBucket {
     return false;
   }
 
+  double rate() const noexcept { return rate_; }
+  double depth() const noexcept { return depth_; }
+
+  /// Token level at `now` without consuming — the exact value admit()
+  /// would observe. The fluid engine's no-drop certificate starts from
+  /// this state.
+  double tokensAt(double now) const noexcept {
+    return std::min(depth_, tokens_ + rate_ * (now - lastRefill_));
+  }
+
  private:
   double rate_;
   double depth_;
@@ -96,18 +106,57 @@ std::vector<FairEpoch> buildFairEpochs(
   return epochs;
 }
 
-// Everything both drivers share: validation, protocol state machines,
+// The largest emission index n >= 0 whose time satisfies the boundary
+// (time <= x, or strictly < x when `strict`); n = 0 means no emission
+// qualifies — packets are numbered from 1. The floating-point estimate
+// only seeds the search; the verdict for every boundary index comes from
+// evaluating the sender's exact emission-time expression, which is what
+// makes analytic interval counts bit-identical to per-packet execution.
+std::uint64_t lastEmissionAt(double phase, double period, double x,
+                             bool strict) noexcept {
+  const double est = (x - phase) / period;
+  std::uint64_t n =
+      est <= 0.0 ? 0
+                 : (est >= 9.0e15 ? static_cast<std::uint64_t>(9.0e15)
+                                  : static_cast<std::uint64_t>(est));
+  const auto within = [&](std::uint64_t i) noexcept {
+    const double t = layerEmissionTime(phase, period, i);
+    return strict ? t < x : t <= x;
+  };
+  while (n > 0 && !within(n)) --n;
+  while (within(n + 1)) ++n;
+  return n;
+}
+
+std::uint64_t lastEmissionAtMost(double phase, double period,
+                                 double x) noexcept {
+  return lastEmissionAt(phase, period, x, /*strict=*/false);
+}
+
+// Strict variant: the session-lifetime predicate (pkt.time < stopTime)
+// and the complement of the start/warmup predicates (pkt.time >= bound)
+// both reduce to it.
+std::uint64_t lastEmissionBefore(double phase, double period,
+                                 double x) noexcept {
+  return lastEmissionAt(phase, period, x, /*strict=*/true);
+}
+
+// Everything the drivers share: validation, protocol state machines,
 // token buckets, optional exogenous loss models, and the measurement
-// accumulators. The drivers differ only in how they merge the senders'
-// streams into time order; each merged packet is handed to
-// processPacket(), so trajectories are identical whenever the merge
-// orders agree (they do — packet times are distinct across sessions
-// almost surely because every layer stream carries a random phase
-// offset, and within a session the sender orders its own layers).
+// accumulators — all in flat structure-of-arrays layout (receivers,
+// RNG streams, and counters indexed by the network's flat receiver
+// numbering; per-session views are [recvBegin_[i], recvBegin_[i+1])).
+// The drivers differ only in how they merge the senders' streams into
+// time order; each merged packet is handed to processPacket(), so
+// trajectories are identical whenever the merge orders agree (they do —
+// packet times are distinct across sessions almost surely because every
+// layer stream carries a random phase offset, and within a session the
+// sender orders its own layers).
 //
 // After construction, processPacket() performs no heap allocation: all
 // scratch (touched-link marks, the touched list at its high-water mark)
-// is preallocated here.
+// is preallocated here. The fluid fast-forward path allocates its
+// certification scratch once on first use and nothing thereafter.
 class SimCore {
  public:
   SimCore(const net::Network& network, const ClosedLoopConfig& config)
@@ -127,13 +176,22 @@ class SimCore {
 
     util::Rng root(config.seed);
 
+    // Flat receiver numbering shared with the network's own index.
+    recvBegin_.resize(nSessions + 1);
+    for (std::size_t i = 0; i <= nSessions; ++i) {
+      recvBegin_[i] = network.receiverOffset(i);
+    }
+    const std::size_t nReceivers = network.receiverCount();
+
     // One sender and one set of protocol receivers per session. The
     // split() order (phase stream first, then one receiver stream per
     // receiver in session order) is part of the reproducibility contract:
     // equal seeds replay equal experiments across library versions.
-    receivers_.resize(nSessions);
-    receiverRng_.resize(nSessions);
+    receivers_.reserve(nReceivers);
+    receiverRng_.reserve(nReceivers);
     senders_.reserve(nSessions);
+    nonAbsorbing_.assign(nSessions, 0);
+    detached_.assign(nSessions, 0);
     util::Rng phaseRng = root.split();
     for (std::size_t i = 0; i < nSessions; ++i) {
       const auto& sc = sessionConfigs_[i];
@@ -144,8 +202,12 @@ class SimCore {
                             &phaseRng);
       const std::size_t nr = network.session(i).receivers.size();
       for (std::size_t k = 0; k < nr; ++k) {
-        receivers_[i].emplace_back(sc.protocol, sc.layers, sc.initialLevel);
-        receiverRng_[i].push_back(root.split());
+        receivers_.emplace_back(sc.protocol, sc.layers, sc.initialLevel);
+        receiverRng_.push_back(root.split());
+      }
+      if (sc.initialLevel != sc.layers) {
+        nonAbsorbing_[i] = static_cast<std::uint32_t>(nr);
+        nonAbsorbingLive_ += nr;
       }
     }
 
@@ -167,40 +229,29 @@ class SimCore {
       }
     }
 
-    // Measurement accumulators.
-    delivered_.resize(nSessions);
-    levelIntegral_.resize(nSessions);
-    levelSamples_.resize(nSessions);
-    for (std::size_t i = 0; i < nSessions; ++i) {
-      const std::size_t nr = network.session(i).receivers.size();
-      delivered_[i].assign(nr, 0);
-      levelIntegral_[i].assign(nr, 0.0);
-      levelSamples_[i].assign(nr, 0);
-    }
+    // Measurement accumulators (flat).
+    delivered_.assign(nReceivers, 0);
+    levelIntegral_.assign(nReceivers, 0.0);
+    levelSamples_.assign(nReceivers, 0);
     linkForwarded_.assign(network.linkCount(), 0);
     linkOffered_.assign(network.linkCount(), 0);
     linkDropped_.assign(network.linkCount(), 0);
-    sessionForwarded_.assign(
-        nSessions, std::vector<std::uint64_t>(network.linkCount(), 0));
+    sessionForwarded_.assign(nSessions * network.linkCount(), 0);
 
     // Optional per-bin delivery timeline.
     nBins_ = config.rateBinWidth > 0.0
                  ? static_cast<std::size_t>(
                        std::ceil(config.duration / config.rateBinWidth))
                  : 0;
-    if (nBins_ > 0) {
-      binDelivered_.resize(nSessions);
-      for (std::size_t i = 0; i < nSessions; ++i) {
-        binDelivered_[i].assign(network.session(i).receivers.size(),
-                                std::vector<std::uint64_t>(nBins_, 0));
-      }
-    }
+    if (nBins_ > 0) binDelivered_.assign(nReceivers * nBins_, 0);
 
     // Scratch marks, reused per packet. The touched list can hold at most
     // one entry per link.
     linkTouched_.assign(network.linkCount(), 0);
     linkDropping_.assign(network.linkCount(), 0);
     touched_.reserve(network.linkCount());
+
+    fluidBackoff_ = std::max(1.0, config.tokenBurst);
   }
 
   std::size_t sessionCount() const noexcept { return senders_.size(); }
@@ -218,31 +269,41 @@ class SimCore {
     return sessionConfigs_[sessionIdx].stopTime;
   }
 
+  /// The merge dropped this session (its pending packet reached
+  /// stopTime): none of its packets will ever be processed again, so its
+  /// receivers — whatever their level — can no longer change state and
+  /// stop counting against the fluid engine's absorbing requirement.
+  void onSessionDetached(std::size_t sessionIdx) {
+    if (!detached_[sessionIdx]) {
+      detached_[sessionIdx] = 1;
+      nonAbsorbingLive_ -= nonAbsorbing_[sessionIdx];
+    }
+  }
+
   /// Runs one merged packet through capacity enforcement, loss, delivery
   /// accounting, and the receivers' protocol state machines.
   void processPacket(std::size_t sessionIdx, const Packet& pkt) {
+    const auto& sc = sessionConfigs_[sessionIdx];
     // Outside the session's lifetime the sender is silent.
-    if (pkt.time < sessionConfigs_[sessionIdx].startTime ||
-        pkt.time >= sessionConfigs_[sessionIdx].stopTime) {
-      return;
-    }
+    if (pkt.time < sc.startTime || pkt.time >= sc.stopTime) return;
     const bool measuring = pkt.time >= config_.warmup;
 
     const auto& sess = network_.session(sessionIdx);
-    auto& rcvrs = receivers_[sessionIdx];
+    const std::size_t rb = recvBegin_[sessionIdx];
+    const std::size_t re = recvBegin_[sessionIdx + 1];
 
     // Subscribers and the union of links leading to them.
     touched_.clear();
     bool anySubscribed = false;
-    for (std::size_t k = 0; k < rcvrs.size(); ++k) {
+    for (std::size_t r = rb; r < re; ++r) {
+      const std::size_t lvl = receivers_[r].level();
       if (measuring) {
-        levelIntegral_[sessionIdx][k] +=
-            static_cast<double>(rcvrs[k].level());
-        ++levelSamples_[sessionIdx][k];
+        levelIntegral_[r] += static_cast<double>(lvl);
+        ++levelSamples_[r];
       }
-      if (rcvrs[k].level() < pkt.layer) continue;
+      if (lvl < pkt.layer) continue;
       anySubscribed = true;
-      for (graph::LinkId l : sess.receivers[k].dataPath) {
+      for (graph::LinkId l : sess.receivers[r - rb].dataPath) {
         if (!linkTouched_[l.value]) {
           linkTouched_[l.value] = 1;
           touched_.push_back(l.value);
@@ -253,7 +314,7 @@ class SimCore {
 
     // Capacity enforcement (and optional exogenous loss) per touched
     // link. The loss coin is drawn only for packets the bucket admitted,
-    // so the loss RNG stream advances identically in both drivers.
+    // so the loss RNG stream advances identically in all drivers.
     for (std::uint32_t j : touched_) {
       if (measuring) ++linkOffered_[j];
       bool forwarded = buckets_[j].admit(pkt.time);
@@ -263,7 +324,7 @@ class SimCore {
       if (forwarded) {
         if (measuring) {
           ++linkForwarded_[j];
-          ++sessionForwarded_[sessionIdx][j];
+          ++sessionForwarded_[sessionIdx * network_.linkCount() + j];
         }
         linkDropping_[j] = 0;
       } else {
@@ -273,31 +334,265 @@ class SimCore {
     }
 
     // Delivery / congestion per subscriber.
-    for (std::size_t k = 0; k < rcvrs.size(); ++k) {
-      if (rcvrs[k].level() < pkt.layer) continue;
+    const std::size_t maxLevel = sc.layers;
+    for (std::size_t r = rb; r < re; ++r) {
+      if (receivers_[r].level() < pkt.layer) continue;
       bool lost = false;
-      for (graph::LinkId l : sess.receivers[k].dataPath) {
+      for (graph::LinkId l : sess.receivers[r - rb].dataPath) {
         if (linkDropping_[l.value]) {
           lost = true;
           break;
         }
       }
       if (!lost) {
-        if (measuring) ++delivered_[sessionIdx][k];
-        if (nBins_ > 0) {
-          const auto bin = std::min(
-              nBins_ - 1, static_cast<std::size_t>(
-                              pkt.time / config_.rateBinWidth));
-          ++binDelivered_[sessionIdx][k][bin];
+        if (measuring) ++delivered_[r];
+        if (nBins_ > 0) ++binDelivered_[r * nBins_ + binIndex(pkt.time)];
+      }
+      const bool wasMax = receivers_[r].level() == maxLevel;
+      receivers_[r].onPacket(lost, pkt.syncLevel, receiverRng_[r]);
+      const bool isMax = receivers_[r].level() == maxLevel;
+      if (wasMax != isMax) {
+        // A receiver is "absorbing" exactly at its top level: no protocol
+        // can join past it, the Uncoordinated join coin is never drawn,
+        // and Coordinated sync signals (capped at layers - 1) cannot
+        // reach it — so clean packets leave its state untouched, which
+        // is what the fluid certificate requires.
+        if (isMax) {
+          --nonAbsorbing_[sessionIdx];
+          if (!detached_[sessionIdx]) --nonAbsorbingLive_;
+        } else {
+          ++nonAbsorbing_[sessionIdx];
+          if (!detached_[sessionIdx]) ++nonAbsorbingLive_;
         }
       }
-      rcvrs[k].onPacket(lost, pkt.syncLevel, receiverRng_[sessionIdx][k]);
     }
 
     for (std::uint32_t j : touched_) {
       linkTouched_[j] = 0;
       linkDropping_[j] = 0;
     }
+  }
+
+  // ---- fluid fast-forward mode ------------------------------------------
+
+  /// Arms the fluid mode (the fluid driver calls this once). Exogenous
+  /// loss disarms it permanently: every admitted packet owes its per-link
+  /// RNG draw, so skipping packets would desynchronize the loss streams.
+  void armFluid() { fluidArmed_ = linkLoss_.empty(); }
+
+  /// Cheap per-event gate: is a fast-forward attempt worth the scan now?
+  bool fluidWanted(double now) const noexcept {
+    return fluidArmed_ && nonAbsorbingLive_ == 0 &&
+           now >= nextFluidAttempt_;
+  }
+
+  /// Attempts to close out the run analytically from `tSwitch` (the time
+  /// of the earliest unprocessed packet; `pending` holds each session's
+  /// generated-but-unprocessed lookahead packet). On success every
+  /// accumulator is advanced to the end of the run in closed form and
+  /// true is returned — the caller must stop executing packets. On
+  /// failure nothing changes and a retry is scheduled with exponential
+  /// backoff (token buckets refill over time, so a certificate that
+  /// fails now can hold later).
+  ///
+  /// The certificate, per link, over every interval between session
+  /// start/stop boundaries in [tSwitch, duration]:
+  ///   (1) every receiver that can still process a packet sits at its top
+  ///       layer (absorbing — checked via the counters), so subscription
+  ///       sets and per-packet behavior are constant;
+  ///   (2) aggregate arrival rate R_j <= capacity c_j; and
+  ///   (3) a token lower bound L_j >= S_j + margin at the interval start,
+  ///       where S_j counts the periodic streams crossing the link.
+  /// (2)+(3) certify no token-bucket drop: a set of S periodic streams of
+  /// total rate R presents at most S + R*w arrivals in any window w, so
+  /// unclamped tokens stay >= L - S + (c - R)*w >= margin >= 1 at every
+  /// admit. Across an interval of width W the bound advances as
+  /// L' = min(depth, L + (c - R)*W) - S (clamping only raises tokens;
+  /// if the clamp binds, tokens restart from depth). The margin of 2
+  /// tokens dominates any accumulated rounding drift of the bucket's
+  /// incremental refill arithmetic.
+  bool tryFluidFastForward(double tSwitch,
+                           const std::vector<Packet>& pending) {
+    const std::size_t nSessions = sessionCount();
+    const double horizon = config_.duration;
+    // (1) absorbing — the live counter is the fast gate; the per-session
+    // scan is authoritative (the counter can lag for sessions that
+    // stopped but whose final pending pop has not happened yet).
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      if (!detached_[i] && sessionConfigs_[i].stopTime > tSwitch &&
+          nonAbsorbing_[i] > 0) {
+        return false;
+      }
+    }
+    ensureFluidScratch();
+
+    // Lifetime boundaries inside [tSwitch, horizon]: the only remaining
+    // state changes. Measurement boundaries (warmup, bins) do not alter
+    // dynamics and are handled inside the closed-form accounting.
+    events_.clear();
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      if (detached_[i]) continue;  // contributes no further packets
+      const double start = std::max(sessionConfigs_[i].startTime, tSwitch);
+      const double stop = sessionConfigs_[i].stopTime;
+      if (start > horizon || stop <= start) continue;
+      events_.push_back(LifeEvent{start, static_cast<std::uint32_t>(i), +1});
+      if (stop <= horizon) {
+        events_.push_back(
+            LifeEvent{stop, static_cast<std::uint32_t>(i), -1});
+      }
+    }
+    std::sort(events_.begin(), events_.end(),
+              [](const LifeEvent& a, const LifeEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.delta != b.delta) return a.delta < b.delta;
+                return a.session < b.session;
+              });
+
+    const std::size_t nLinks = network_.linkCount();
+    for (std::size_t j = 0; j < nLinks; ++j) {
+      linkS_[j] = 0.0;
+      linkR_[j] = 0.0;
+      linkLast_[j] = tSwitch;
+      linkLB_[j] = buckets_[j].tokensAt(tSwitch);
+    }
+
+    bool feasible = true;
+    std::size_t idx = 0;
+    while (feasible && idx < events_.size()) {
+      const double t = events_[idx].time;
+      dirtyLinks_.clear();
+      while (idx < events_.size() && events_[idx].time == t) {
+        const LifeEvent& ev = events_[idx];
+        const double dS = static_cast<double>(
+            sessionConfigs_[ev.session].layers);
+        const double dR = sessAggRate_[ev.session];
+        const std::size_t lb = sessLinkBegin_[ev.session];
+        const std::size_t le = sessLinkBegin_[ev.session + 1];
+        for (std::size_t s = lb; s < le; ++s) {
+          const std::uint32_t j = sessLink_[s];
+          if (!linkDirtyMark_[j]) {
+            linkDirtyMark_[j] = 1;
+            dirtyLinks_.push_back(j);
+            // Advance the token lower bound across the segment that
+            // ends here, under the segment's constant (S, R).
+            const double w = t - linkLast_[j];
+            if (w > 0.0) {
+              linkLB_[j] = std::min(buckets_[j].depth(),
+                                    linkLB_[j] +
+                                        (buckets_[j].rate() - linkR_[j]) *
+                                            w) -
+                           linkS_[j];
+              linkLast_[j] = t;
+            }
+          }
+          linkS_[j] += ev.delta * dS;
+          linkR_[j] += ev.delta * dR;
+        }
+        ++idx;
+      }
+      for (const std::uint32_t j : dirtyLinks_) {
+        linkDirtyMark_[j] = 0;
+        if (linkS_[j] > 0.0 &&
+            (linkR_[j] > buckets_[j].rate() ||
+             linkLB_[j] < linkS_[j] + kFluidTokenMargin)) {
+          feasible = false;  // finish clearing marks before bailing
+        }
+      }
+    }
+    if (!feasible) {
+      nextFluidAttempt_ = tSwitch + fluidBackoff_;
+      fluidBackoff_ *= 2.0;
+      return false;
+    }
+
+    // Certified: advance every stream analytically. Per (session, layer)
+    // the unprocessed packets are emissions nDone+1, nDone+2, ... at the
+    // sender's exact closed-form times; lifetime/warmup/duration clip to
+    // an index range, and every accumulator update is a count times a
+    // constant (levels are pinned at the top layer, all packets are
+    // delivered). All additions land on integer-valued counters far
+    // below 2^53, so closed-form totals equal the per-packet sums
+    // bit-for-bit.
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      if (detached_[i]) continue;
+      const auto& sc = sessionConfigs_[i];
+      const LayeredSender& snd = senders_[i];
+      const std::size_t rb = recvBegin_[i];
+      const std::size_t re = recvBegin_[i + 1];
+      const double level = static_cast<double>(sc.layers);
+      const std::size_t lb = sessLinkBegin_[i];
+      const std::size_t le = sessLinkBegin_[i + 1];
+      for (std::size_t k = 1; k <= sc.layers; ++k) {
+        const double phase = snd.layerPhase(k);
+        const double period = snd.layerPeriod(k);
+        const std::uint64_t nDone =
+            snd.layerEmitted(k) - (pending[i].layer == k ? 1 : 0);
+        std::uint64_t nHi = lastEmissionAtMost(phase, period, horizon);
+        if (sc.stopTime <= horizon) {
+          nHi = std::min(nHi,
+                         lastEmissionBefore(phase, period, sc.stopTime));
+        }
+        std::uint64_t nLo = nDone + 1;
+        if (sc.startTime > 0.0) {
+          nLo = std::max(
+              nLo, lastEmissionBefore(phase, period, sc.startTime) + 1);
+        }
+        if (nLo > nHi) continue;
+        const std::uint64_t nMeasLo = std::max(
+            nLo, lastEmissionBefore(phase, period, config_.warmup) + 1);
+        const std::uint64_t meas =
+            nMeasLo <= nHi ? nHi - nMeasLo + 1 : 0;
+        fluidPackets_ += nHi - nLo + 1;
+
+        if (meas > 0) {
+          const double measLevel =
+              level * static_cast<double>(meas);  // exact: integers < 2^53
+          for (std::size_t r = rb; r < re; ++r) {
+            delivered_[r] += meas;
+            levelSamples_[r] += meas;
+            levelIntegral_[r] += measLevel;
+          }
+          for (std::size_t s = lb; s < le; ++s) {
+            const std::uint32_t j = sessLink_[s];
+            linkOffered_[j] += meas;
+            linkForwarded_[j] += meas;
+            sessionForwarded_[i * nLinks + j] += meas;
+          }
+        }
+        if (nBins_ > 0) {
+          // Walk the bins the stream's index range overlaps; bin
+          // membership is decided by the same binIndex() expression the
+          // per-packet path evaluates.
+          std::uint64_t n = nLo;
+          while (n <= nHi) {
+            const std::size_t b =
+                binIndex(layerEmissionTime(phase, period, n));
+            std::uint64_t cand = lastEmissionAtMost(
+                phase, period,
+                static_cast<double>(b + 1) * config_.rateBinWidth);
+            cand = std::clamp<std::uint64_t>(cand, n, nHi);
+            while (cand < nHi &&
+                   binIndex(layerEmissionTime(phase, period, cand + 1)) <=
+                       b) {
+              ++cand;
+            }
+            while (cand > n &&
+                   binIndex(layerEmissionTime(phase, period, cand)) > b) {
+              --cand;
+            }
+            const std::uint64_t cnt = cand - n + 1;
+            for (std::size_t r = rb; r < re; ++r) {
+              binDelivered_[r * nBins_ + b] += cnt;
+            }
+            n = cand + 1;
+          }
+        }
+      }
+    }
+
+    fluidEngaged_ = true;
+    fluidFrom_ = tSwitch;
+    return true;
   }
 
   /// Converts the accumulated counts into the measured-rate result.
@@ -308,39 +603,42 @@ class SimCore {
     result.measuredRate.resize(nSessions);
     result.meanLevel.resize(nSessions);
     for (std::size_t i = 0; i < nSessions; ++i) {
-      const std::size_t nr = network_.session(i).receivers.size();
+      const std::size_t rb = recvBegin_[i];
+      const std::size_t nr = recvBegin_[i + 1] - rb;
       result.measuredRate[i].resize(nr);
       result.meanLevel[i].resize(nr);
       for (std::size_t k = 0; k < nr; ++k) {
         result.measuredRate[i][k] =
-            static_cast<double>(delivered_[i][k]) / window;
+            static_cast<double>(delivered_[rb + k]) / window;
         result.meanLevel[i][k] =
-            levelSamples_[i][k] > 0
-                ? levelIntegral_[i][k] /
-                      static_cast<double>(levelSamples_[i][k])
+            levelSamples_[rb + k] > 0
+                ? levelIntegral_[rb + k] /
+                      static_cast<double>(levelSamples_[rb + k])
                 : static_cast<double>(sessionConfigs_[i].initialLevel);
       }
     }
     if (nBins_ > 0) {
       result.binRates.resize(nSessions);
       for (std::size_t i = 0; i < nSessions; ++i) {
-        const std::size_t nr = network_.session(i).receivers.size();
+        const std::size_t rb = recvBegin_[i];
+        const std::size_t nr = recvBegin_[i + 1] - rb;
         result.binRates[i].resize(nr);
         for (std::size_t k = 0; k < nr; ++k) {
           result.binRates[i][k].resize(nBins_);
           for (std::size_t b = 0; b < nBins_; ++b) {
             result.binRates[i][k][b] =
-                static_cast<double>(binDelivered_[i][k][b]) /
+                static_cast<double>(binDelivered_[(rb + k) * nBins_ + b]) /
                 config_.rateBinWidth;
           }
         }
       }
     }
-    result.linkThroughput.resize(network_.linkCount());
-    result.linkDropRate.resize(network_.linkCount());
-    result.sessionLinkRate.assign(
-        nSessions, std::vector<double>(network_.linkCount(), 0.0));
-    for (std::uint32_t j = 0; j < network_.linkCount(); ++j) {
+    const std::size_t nLinks = network_.linkCount();
+    result.linkThroughput.resize(nLinks);
+    result.linkDropRate.resize(nLinks);
+    result.sessionLinkRate.assign(nSessions,
+                                  std::vector<double>(nLinks, 0.0));
+    for (std::size_t j = 0; j < nLinks; ++j) {
       result.linkThroughput[j] =
           static_cast<double>(linkForwarded_[j]) / window;
       result.linkDropRate[j] =
@@ -349,7 +647,7 @@ class SimCore {
                               : 0.0;
       for (std::size_t i = 0; i < nSessions; ++i) {
         result.sessionLinkRate[i][j] =
-            static_cast<double>(sessionForwarded_[i][j]) / window;
+            static_cast<double>(sessionForwarded_[i * nLinks + j]) / window;
       }
     }
     if (config_.computeFairEpochs) {
@@ -357,45 +655,122 @@ class SimCore {
           buildFairEpochs(network_, sessionConfigs_, config_.duration,
                           config_.solverThreads);
     }
+    if (fluidEngaged_) {
+      result.fluidTime = config_.duration - fluidFrom_;
+      result.fluidPackets = fluidPackets_;
+    }
     return result;
   }
 
  private:
+  std::size_t binIndex(double time) const noexcept {
+    return std::min(nBins_ - 1, static_cast<std::size_t>(
+                                    time / config_.rateBinWidth));
+  }
+
+  // One-time (per SimCore) fluid scratch: each session's touched-link
+  // union in CSR form (all receivers sit at the top layer when the fluid
+  // mode engages, so every packet touches the whole union), aggregate
+  // stream rates, and the per-link certification state.
+  void ensureFluidScratch() {
+    if (fluidScratchReady_) return;
+    const std::size_t nSessions = sessionCount();
+    const std::size_t nLinks = network_.linkCount();
+    sessLinkBegin_.resize(nSessions + 1);
+    sessLinkBegin_[0] = 0;
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      const auto path = network_.sessionDataPath(i);
+      for (const graph::LinkId l : path) sessLink_.push_back(l.value);
+      sessLinkBegin_[i + 1] = sessLink_.size();
+    }
+    sessAggRate_.resize(nSessions);
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      sessAggRate_[i] =
+          senders_[i].scheme().cumulativeRate(sessionConfigs_[i].layers);
+    }
+    events_.reserve(2 * nSessions);
+    linkS_.resize(nLinks);
+    linkR_.resize(nLinks);
+    linkLB_.resize(nLinks);
+    linkLast_.resize(nLinks);
+    linkDirtyMark_.assign(nLinks, 0);
+    dirtyLinks_.reserve(nLinks);
+    fluidScratchReady_ = true;
+  }
+
+  static constexpr double kFluidTokenMargin = 2.0;
+
   const net::Network& network_;
   const ClosedLoopConfig& config_;
   std::vector<ClosedLoopSessionConfig> sessionConfigs_;
   std::vector<LayeredSender> senders_;
-  std::vector<std::vector<LayeredReceiver>> receivers_;
-  std::vector<std::vector<util::Rng>> receiverRng_;
+
+  // Flat per-receiver state (network receiverOffset numbering).
+  std::vector<std::size_t> recvBegin_;  // nSessions + 1
+  std::vector<LayeredReceiver> receivers_;
+  std::vector<util::Rng> receiverRng_;
+  std::vector<std::uint64_t> delivered_;
+  std::vector<double> levelIntegral_;
+  std::vector<std::uint64_t> levelSamples_;
+  std::vector<std::uint64_t> binDelivered_;  // recv * nBins_ + bin
+
   std::vector<TokenBucket> buckets_;
   std::vector<std::unique_ptr<LossModel>> linkLoss_;  // empty = none
   std::vector<util::Rng> lossRng_;
-  std::vector<std::vector<std::uint64_t>> delivered_;
-  std::vector<std::vector<double>> levelIntegral_;
-  std::vector<std::vector<std::uint64_t>> levelSamples_;
   std::vector<std::uint64_t> linkForwarded_;
   std::vector<std::uint64_t> linkOffered_;
   std::vector<std::uint64_t> linkDropped_;
-  std::vector<std::vector<std::uint64_t>> sessionForwarded_;
+  std::vector<std::uint64_t> sessionForwarded_;  // session * nLinks + link
   std::size_t nBins_ = 0;
-  std::vector<std::vector<std::vector<std::uint64_t>>> binDelivered_;
   std::vector<char> linkTouched_;
   std::vector<char> linkDropping_;
   std::vector<std::uint32_t> touched_;
+
+  // Absorbing-receiver tracking (fluid eligibility).
+  std::vector<std::uint32_t> nonAbsorbing_;  // per session
+  std::vector<char> detached_;
+  std::size_t nonAbsorbingLive_ = 0;
+
+  // Fluid mode state.
+  bool fluidArmed_ = false;
+  double nextFluidAttempt_ = 0.0;
+  double fluidBackoff_ = 1.0;
+  bool fluidEngaged_ = false;
+  double fluidFrom_ = 0.0;
+  std::uint64_t fluidPackets_ = 0;
+  bool fluidScratchReady_ = false;
+  std::vector<std::size_t> sessLinkBegin_;  // CSR into sessLink_
+  std::vector<std::uint32_t> sessLink_;
+  std::vector<double> sessAggRate_;
+  struct LifeEvent {
+    double time;
+    std::uint32_t session;
+    std::int32_t delta;
+  };
+  std::vector<LifeEvent> events_;
+  std::vector<double> linkS_;     // periodic streams crossing the link
+  std::vector<double> linkR_;     // their aggregate rate
+  std::vector<double> linkLB_;    // token lower bound
+  std::vector<double> linkLast_;  // time linkLB_ refers to
+  std::vector<char> linkDirtyMark_;
+  std::vector<std::uint32_t> dirtyLinks_;
 };
 
-}  // namespace
-
-ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
-                                         const ClosedLoopConfig& config) {
+// The event-driven merge shared by runClosedLoopSimulation and the fluid
+// engine: session i's earliest unprocessed packet lives in pending[i];
+// the queue orders the sessions by that packet's time (payload = session
+// index). Advancing the simulation is pop + push: O(log sessions) per
+// packet. The queue holds exactly one event per session, so after the
+// seeding batch no event-queue allocation occurs. With `fluid`, every
+// pop first offers the remaining run to the analytic fast-forward; a
+// successful certificate ends packet execution on the spot.
+ClosedLoopResult runEventDriven(const net::Network& network,
+                                const ClosedLoopConfig& config,
+                                bool fluid) {
   SimCore core(network, config);
   const std::size_t nSessions = core.sessionCount();
+  if (fluid) core.armFluid();
 
-  // Event-driven merge: session i's earliest unprocessed packet lives in
-  // pending[i]; the queue orders the sessions by that packet's time
-  // (payload = session index). Advancing the simulation is pop + push:
-  // O(log sessions) per packet. The queue holds exactly one event per
-  // session, so after the seeding batch no event-queue allocation occurs.
   std::vector<Packet> pending;
   pending.reserve(nSessions);
   EventQueue queue;
@@ -408,22 +783,44 @@ ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
   }
   queue.scheduleAt(seed);
 
-  while (const auto e = queue.pop()) {
-    // The popped event is the global minimum: once it passes the horizon,
-    // every pending packet has.
+  while (const auto e = queue.peek()) {
+    // The head is the global minimum: once it passes the horizon, every
+    // pending packet has.
     if (e->time > config.duration) break;
+    if (core.fluidWanted(e->time) &&
+        core.tryFluidFastForward(e->time, pending)) {
+      // Everything from e->time on is accounted analytically; the
+      // remaining queue entries are intentionally abandoned.
+      queue.clear();
+      break;
+    }
+    queue.pop();
     const auto i = static_cast<std::size_t>(e->payload);
     const Packet pkt = pending[i];
     pending[i] = core.nextPacket(i);
+    core.processPacket(i, pkt);
     // Departed sessions leave the merge: every later packet of i would
     // be discarded anyway, so not rescheduling is trajectory-identical
     // and stops dead sessions from dominating heap traffic under churn.
     if (pending[i].time < core.stopTime(i)) {
       queue.schedule(pending[i].time, e->payload);
+    } else {
+      core.onSessionDetached(i);
     }
-    core.processPacket(i, pkt);
   }
   return core.finalize();
+}
+
+}  // namespace
+
+ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
+                                         const ClosedLoopConfig& config) {
+  return runEventDriven(network, config, config.fluidFastForward);
+}
+
+ClosedLoopResult runClosedLoopSimulationFluid(
+    const net::Network& network, const ClosedLoopConfig& config) {
+  return runEventDriven(network, config, true);
 }
 
 ClosedLoopResult runClosedLoopSimulationReference(

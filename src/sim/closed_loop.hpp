@@ -23,16 +23,30 @@
 //    sets in the fairness model).
 //  * Joins/leaves take effect instantly (the paper's idealization).
 //
-// Two drivers share the per-packet machinery (token buckets, protocol
-// state machines, measurement accumulators) and produce bit-identical
-// trajectories; they differ only in how the senders' packet streams are
-// merged into one time-ordered sequence:
+// Three drivers share the per-packet machinery (token buckets, protocol
+// state machines, measurement accumulators, all held in one SoA SimCore)
+// and produce bit-identical trajectories on configurations where their
+// execution orders provably agree:
 //  * runClosedLoopSimulation — the event-driven session engine. Every
 //    session keeps exactly one lookahead packet in a global
 //    sim::EventQueue, so advancing the simulation is one pop + one push:
 //    O(log sessions) per packet, independent of the population size.
-//    Steady-state operation allocates nothing (the queue is seeded with
-//    one scheduleAt() batch and never grows past sessions + 1 entries).
+//    Steady-state operation allocates nothing. With
+//    ClosedLoopConfig::fluidFastForward it additionally runs the fluid
+//    engine below.
+//  * runClosedLoopSimulationFluid — the fluid fast-forward engine. It
+//    executes per-packet until the population reaches a provably steady
+//    regime (every live receiver absorbing, every link certified
+//    drop-free by a token-bucket arrival-curve bound, no exogenous
+//    loss), then advances every remaining packet in CLOSED FORM:
+//    per-stream packet counts over the lifetime/warmup/bin boundaries
+//    are computed analytically from the senders' exact emission-time
+//    formula, so the run costs O(state changes), not O(packets) — yet
+//    the result is bit-identical to the per-packet engines. Where the
+//    certificate cannot be established (endogenous congestion, bursty
+//    Gilbert-Elliott state, per-packet Bernoulli draws), it simply keeps
+//    executing per-packet, preserving exact per-packet parity and RNG
+//    draw counts.
 //  * runClosedLoopSimulationReference — the original driver, which scans
 //    all sessions' lookahead packets per event: O(sessions) per packet.
 //    Retained as the oracle for the trajectory-parity tests and as the
@@ -104,6 +118,10 @@ struct ClosedLoopConfig {
   /// -1 (default) = MCFAIR_THREADS environment variable. One solver (and
   /// one worker pool) is reused across all epochs.
   int solverThreads = -1;
+  /// When true, runClosedLoopSimulation fast-forwards provably steady
+  /// intervals analytically (see runClosedLoopSimulationFluid). Off by
+  /// default so existing experiments keep their exact execution path.
+  bool fluidFastForward = false;
   /// Optional exogenous per-link loss, layered on top of the endogenous
   /// token-bucket drops — the plumbing for sim/loss models (the paper's
   /// Section 4 Bernoulli process, or GilbertElliottLoss for bursty
@@ -111,7 +129,8 @@ struct ClosedLoopConfig {
   /// may return null for "no extra loss on this link". A forwarded packet
   /// that the loss model kills counts as dropped on that link and as a
   /// congestion event for the receivers behind it. Null (default) =
-  /// endogenous loss only.
+  /// endogenous loss only. The fluid engine never fast-forwards while a
+  /// loss model is installed (each packet owes its per-link RNG draw).
   std::function<std::unique_ptr<LossModel>(graph::LinkId)> linkLoss;
 };
 
@@ -135,6 +154,12 @@ struct ClosedLoopResult {
   /// When computeFairEpochs: the time-varying fair reference, one entry
   /// per maximal interval with a constant set of live sessions.
   std::vector<FairEpoch> fairEpochs;
+  /// Fluid engine diagnostics: simulated time covered analytically
+  /// (duration - switch point) and packets accounted in closed form
+  /// instead of being executed. Both 0 for the per-packet engines and
+  /// for runs where the steady-state certificate never held.
+  double fluidTime = 0.0;
+  std::uint64_t fluidPackets = 0;
 };
 
 /// Runs the closed-loop experiment with the event-driven session engine
@@ -143,6 +168,15 @@ struct ClosedLoopResult {
 /// inconsistent configuration.
 ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
                                          const ClosedLoopConfig& config);
+
+/// The event-driven engine with the fluid fast-forward mode always armed:
+/// per-packet execution until every live receiver is absorbing and every
+/// link is certified drop-free, closed-form advance from there to the end
+/// of the run. Bit-identical to runClosedLoopSimulation whenever the
+/// certificate is sound (which the parity suite pins), and identical by
+/// construction when it never engages.
+ClosedLoopResult runClosedLoopSimulationFluid(const net::Network& network,
+                                              const ClosedLoopConfig& config);
 
 /// The original driver: identical trajectories, but the per-packet merge
 /// scans all sessions (O(sessions) per packet). Retained as the parity

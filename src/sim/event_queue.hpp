@@ -53,6 +53,13 @@ class EventQueue {
   /// True when no events remain.
   bool empty() const noexcept { return heap_.empty(); }
 
+  /// Discards every pending event, keeping storage and the sequence
+  /// counter (so later schedules still order after everything already
+  /// dispatched). Used by drivers that abandon a merge wholesale — e.g.
+  /// the fluid engine once a fast-forward certificate covers the rest of
+  /// the run.
+  void clear() noexcept { heap_.clear(); }
+
   std::size_t size() const noexcept { return heap_.size(); }
 
   /// Removes and returns the earliest event; std::nullopt when empty.

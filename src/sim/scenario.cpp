@@ -51,6 +51,9 @@ Scenario buildScenario(const ScenarioSpec& spec) {
                  "scenario needs >= 1 receiver per session");
   MCFAIR_REQUIRE(spec.backbonePerSession > 0.0,
                  "backbonePerSession must be positive");
+  MCFAIR_REQUIRE(spec.topology == ScenarioSpec::Topology::kSharedLink ||
+                     spec.backboneNodes >= 2,
+                 "scale-free backbone needs >= 2 nodes");
   MCFAIR_REQUIRE(spec.tailCapacityMax == 0.0 ||
                      (spec.tailCapacityMin > 0.0 &&
                       spec.tailCapacityMin <= spec.tailCapacityMax),
@@ -85,24 +88,93 @@ Scenario buildScenario(const ScenarioSpec& spec) {
 
   Scenario s;
   s.name = spec.name;
-  const graph::LinkId backbone = s.network.addLink(
-      static_cast<double>(spec.sessions) * spec.backbonePerSession);
+
+  // Mix choices come off their own stream up front, so the topology
+  // branch below cannot perturb them (and the kSharedLink per-stream
+  // draw sequences stay exactly what they were before the scale-free
+  // generator existed).
+  std::vector<std::size_t> mixChoice(spec.sessions);
+  for (std::size_t i = 0; i < spec.sessions; ++i) {
+    mixChoice[i] = drawMixEntry(mix, totalWeight, mixRng);
+  }
+
+  const bool scaleFree =
+      spec.topology == ScenarioSpec::Topology::kScaleFreeTree;
+  graph::LinkId backbone{0};
+  // kScaleFreeTree structure: parent pointers of the preferential-
+  // attachment tree, each receiver's node, and one link per tree edge
+  // (edgeLink[v] is the up-edge of non-root node v).
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> receiverNode;  // session-major, per receiver
+  std::vector<graph::LinkId> edgeLink;
+  if (!scaleFree) {
+    backbone = s.network.addLink(static_cast<double>(spec.sessions) *
+                                 spec.backbonePerSession);
+  } else {
+    const std::size_t nodes = spec.backboneNodes;
+    parent.assign(nodes, 0);
+    // Classic BA growth with m = 1: each endpoint slot of the edge list
+    // appears once per incident edge, so a uniform draw over the slots
+    // attaches the new node with probability proportional to degree.
+    std::vector<std::size_t> endpoints;
+    endpoints.reserve(2 * (nodes - 1));
+    for (std::size_t v = 1; v < nodes; ++v) {
+      parent[v] =
+          v == 1 ? 0 : endpoints[topologyRng.below(endpoints.size())];
+      endpoints.push_back(parent[v]);
+      endpoints.push_back(v);
+    }
+    // Receiver placement, then per-edge session counts (a session
+    // crosses an edge when any of its receivers' root paths does) for
+    // load-proportional provisioning: hub edges near the root carry many
+    // sessions and get capacity to match, leaf edges stay thin — the
+    // scale-free bottleneck distribution.
+    receiverNode.resize(spec.sessions * spec.receiversPerSession);
+    std::vector<std::size_t> crossing(nodes, 0);
+    std::vector<std::uint32_t> seenBySession(nodes, 0);
+    for (std::size_t i = 0; i < spec.sessions; ++i) {
+      for (std::size_t k = 0; k < spec.receiversPerSession; ++k) {
+        const std::size_t node = 1 + topologyRng.below(nodes - 1);
+        receiverNode[i * spec.receiversPerSession + k] = node;
+        for (std::size_t v = node; v != 0; v = parent[v]) {
+          if (seenBySession[v] == i + 1) break;  // rest of path counted
+          seenBySession[v] = static_cast<std::uint32_t>(i + 1);
+          ++crossing[v];
+        }
+      }
+    }
+    edgeLink.resize(nodes);
+    for (std::size_t v = 1; v < nodes; ++v) {
+      edgeLink[v] = s.network.addLink(
+          spec.backbonePerSession *
+          static_cast<double>(std::max<std::size_t>(1, crossing[v])));
+    }
+  }
 
   s.config.duration = spec.duration;
   s.config.warmup = spec.warmup;
   s.config.rateBinWidth = spec.rateBinWidth;
   s.config.computeFairEpochs = spec.computeFairEpochs;
   s.config.solverThreads = spec.solverThreads;
+  s.config.fluidFastForward = spec.fluidFastForward;
   s.config.seed = spec.seed;
   s.config.sessions.reserve(spec.sessions);
 
   for (std::size_t i = 0; i < spec.sessions; ++i) {
-    const SessionMix& entry = mix[drawMixEntry(mix, totalWeight, mixRng)];
+    const SessionMix& entry = mix[mixChoice[i]];
     net::Session session;
     session.type = entry.type;
     session.name = "S" + std::to_string(i + 1);
     for (std::size_t k = 0; k < spec.receiversPerSession; ++k) {
-      std::vector<graph::LinkId> path{backbone};
+      std::vector<graph::LinkId> path;
+      if (scaleFree) {
+        for (std::size_t v = receiverNode[i * spec.receiversPerSession + k];
+             v != 0; v = parent[v]) {
+          path.push_back(edgeLink[v]);
+        }
+      } else {
+        path.push_back(backbone);
+      }
       if (spec.tailCapacityMax > 0.0) {
         path.push_back(s.network.addLink(topologyRng.uniform(
             spec.tailCapacityMin, spec.tailCapacityMax)));
@@ -220,6 +292,40 @@ const std::vector<ScenarioSpec>& scenarioCatalog() {
       s.loss.kind = LossSpec::Kind::kGilbertElliott;
       s.loss.rate = 0.02;
       s.loss.meanBurst = 12.0;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "scale-free-backbone";
+      s.description =
+          "24 sessions, 2 receivers each, routed over a 48-node "
+          "Barabasi-Albert tree backbone: hub edges near the root carry "
+          "most sessions (power-law bottleneck distribution, per the "
+          "PAPERS.md Sreenivasan et al. study)";
+      s.sessions = 24;
+      s.receiversPerSession = 2;
+      s.topology = ScenarioSpec::Topology::kScaleFreeTree;
+      s.backboneNodes = 48;
+      s.mix = {SessionMix{{ProtocolKind::kCoordinated, 6, 1},
+                          net::SessionType::kMultiRate, 1.0}};
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "steady-fluid";
+      s.description =
+          "Analytically steady large population: born-absorbing 4-layer "
+          "Deterministic sessions (initialLevel == layers) on an amply "
+          "provisioned backbone — the fluid fast-forward engine certifies "
+          "the whole run drop-free and executes it in closed form "
+          "(override `sessions` to sweep)";
+      s.sessions = 10000;
+      s.backbonePerSession = 10.0;  // aggregate session rate is 8
+      s.duration = 40.0;
+      s.warmup = 10.0;
+      s.mix = {SessionMix{{ProtocolKind::kDeterministic, 4, 4},
+                          net::SessionType::kMultiRate, 1.0}};
+      s.fluidFastForward = true;
       v.push_back(std::move(s));
     }
     {

@@ -65,18 +65,43 @@ struct LossSpec {
 
 /// A parameterized closed-loop experiment population.
 ///
-/// Topology: one shared backbone link (capacity scales with the session
-/// count) plus, optionally, one private tail link per receiver — the
-/// shape of the paper's star experiments, scaled out.
+/// Topology: either one shared backbone link (capacity scales with the
+/// session count) — the shape of the paper's star experiments, scaled
+/// out — or a Barabási–Albert scale-free tree backbone (per the
+/// PAPERS.md scale-free bottleneck study), in both cases optionally plus
+/// one private tail link per receiver.
 struct ScenarioSpec {
+  /// Backbone shape.
+  enum class Topology {
+    /// One shared link crossed by every receiver (the default).
+    kSharedLink,
+    /// A Barabási–Albert preferential-attachment tree of backboneNodes
+    /// nodes rooted at the sender side: node v >= 2 attaches to an
+    /// existing node with probability proportional to its degree, every
+    /// tree edge is a link, and each receiver sits at a uniformly drawn
+    /// non-root node with the root path as its data-path. Degrees follow
+    /// the scale-free power law, so a few hub edges carry most sessions
+    /// — the bottleneck-distribution setting of the PAPERS.md
+    /// (Sreenivasan et al.) study. Each edge is provisioned
+    /// backbonePerSession per session crossing it.
+    kScaleFreeTree,
+  };
+
   std::string name = "custom";
   std::string description;
 
   std::size_t sessions = 4;
   std::size_t receiversPerSession = 1;
 
-  /// Backbone capacity = sessions * backbonePerSession (packets per time
-  /// unit), so per-session contention is scale-invariant.
+  Topology topology = Topology::kSharedLink;
+  /// Node count of the kScaleFreeTree backbone (>= 2; ignored for
+  /// kSharedLink).
+  std::size_t backboneNodes = 32;
+
+  /// kSharedLink: backbone capacity = sessions * backbonePerSession
+  /// (packets per time unit), so per-session contention is
+  /// scale-invariant. kScaleFreeTree: per-edge capacity =
+  /// backbonePerSession * sessions crossing the edge.
   double backbonePerSession = 2.0;
   /// When tailCapacityMax > 0, every receiver gets a private tail link
   /// with capacity uniform in [tailCapacityMin, tailCapacityMax] — the
@@ -105,6 +130,10 @@ struct ScenarioSpec {
   bool computeFairEpochs = false;
   int solverThreads = -1;
   double rateBinWidth = 0.0;
+  /// Forwarded into ClosedLoopConfig::fluidFastForward: lets a preset
+  /// opt into the fluid fast-forward engine (analytic steady-interval
+  /// execution; see runClosedLoopSimulationFluid).
+  bool fluidFastForward = false;
 
   std::uint64_t seed = 1;
 };

@@ -9,16 +9,22 @@ namespace mcfair::sim {
 LayeredSender::LayeredSender(layering::LayerScheme scheme,
                              util::Rng* phaseJitter)
     : scheme_(std::move(scheme)) {
+  const std::size_t layers = scheme_.layerCount();
+  phase_.resize(layers);
+  period_.resize(layers);
+  emittedPerLayer_.assign(layers, 0);
   // One pending emission per layer at any time: reserve once and seed the
   // queue with a single batch (heapified once).
-  queue_.reserve(scheme_.layerCount());
+  queue_.reserve(layers);
   std::vector<EventQueue::Pending> initial;
-  initial.reserve(scheme_.layerCount());
-  for (std::size_t k = 1; k <= scheme_.layerCount(); ++k) {
+  initial.reserve(layers);
+  for (std::size_t k = 1; k <= layers; ++k) {
     const double period = 1.0 / scheme_.layerRate(k);
-    const double offset =
+    period_[k - 1] = period;
+    phase_[k - 1] =
         phaseJitter != nullptr ? phaseJitter->uniform01() * period : 0.0;
-    initial.push_back(EventQueue::Pending{period + offset, k});
+    initial.push_back(
+        EventQueue::Pending{layerEmissionTime(phase_[k - 1], period, 1), k});
   }
   queue_.scheduleAt(initial);
 }
@@ -31,12 +37,15 @@ Packet LayeredSender::next() {
   p.sequence = emitted_++;
   p.layer = layer;
   p.time = e->time;
+  ++emittedPerLayer_[layer - 1];
   if (layer == 1 && scheme_.layerCount() > 1) {
     ++layer1Count_;
     p.syncLevel = rulerSignalLevel(layer1Count_, scheme_.layerCount() - 1);
   }
-  // Schedule this layer's next emission.
-  queue_.schedule(e->time + 1.0 / scheme_.layerRate(layer), e->payload);
+  // Schedule this layer's next emission at its closed-form position.
+  queue_.schedule(layerEmissionTime(phase_[layer - 1], period_[layer - 1],
+                                    emittedPerLayer_[layer - 1] + 1),
+                  e->payload);
   return p;
 }
 

@@ -4,7 +4,22 @@
 
 namespace mcfair::util {
 
-ThreadPool::ThreadPool(std::size_t workers) {
+namespace {
+
+// One iteration of polite busy-waiting: tell the core we are spinning so
+// a hyper-threaded sibling (or the power governor) can make progress.
+inline void cpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t spinIterations)
+    : spinIterations_(spinIterations) {
   if (workers <= 1) return;
   spawned_.reserve(workers - 1);
   for (std::size_t w = 0; w + 1 < workers; ++w) {
@@ -15,7 +30,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
   }
   wake_.notify_all();
   for (std::thread& t : spawned_) t.join();
@@ -34,7 +49,11 @@ void ThreadPool::forEachShard(std::size_t shardCount, ShardFnRef fn) {
     nextShard_.store(0, std::memory_order_relaxed);
     pending_ = shardCount;
     firstError_ = nullptr;
-    ++generation_;
+    // Release: a worker whose spin observes the new generation must also
+    // observe the job slot written above once it takes the mutex (the
+    // mutex already guarantees that; the release pairs with the spin's
+    // acquire for the wakeup decision itself).
+    generation_.fetch_add(1, std::memory_order_release);
   }
   wake_.notify_all();
 
@@ -85,15 +104,30 @@ void ThreadPool::runShard(const ShardFnRef& fn, std::size_t shard) {
 void ThreadPool::workerLoop() {
   std::uint64_t seenGeneration = 0;
   for (;;) {
+    // Spin-then-block: between back-to-back sweeps (the solver's filling
+    // loop submits one per round) the next generation usually lands
+    // within the spin budget, so the worker picks it up without paying
+    // the condvar sleep/wake latency. The bound keeps an idle pool off
+    // the CPU: after spinIterations_ polls the worker parks below, and
+    // the mutex-guarded predicate re-checks everything the spin saw.
+    for (std::size_t spin = 0; spin < spinIterations_; ++spin) {
+      if (stopping_.load(std::memory_order_acquire) ||
+          generation_.load(std::memory_order_acquire) != seenGeneration) {
+        break;
+      }
+      cpuRelax();
+    }
     const ShardFnRef* job = nullptr;
     std::size_t shardCount = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [&] {
-        return stopping_ || generation_ != seenGeneration;
+        return stopping_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_relaxed) !=
+                   seenGeneration;
       });
-      if (stopping_) return;
-      seenGeneration = generation_;
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      seenGeneration = generation_.load(std::memory_order_relaxed);
       // The job may already have drained if every shard was claimed
       // before this worker woke; pending_ == 0 keeps it out of the
       // claim loop entirely.

@@ -45,10 +45,21 @@ class ShardFnRef {
 
 class ThreadPool {
  public:
+  /// Bounded busy-wait iterations a worker performs on the submission
+  /// generation before falling back to the condition variable. The
+  /// solver's filling loop submits sweeps back to back, so the next job
+  /// usually arrives within the spin window and the worker skips the
+  /// sleep/wake round trip entirely; an idle pool still parks on the
+  /// condvar after the bound, so it never burns a core while the caller
+  /// does serial work.
+  static constexpr std::size_t kDefaultSpin = 1 << 12;
+
   /// A pool with `workers` executors total. `workers <= 1` spawns no
   /// threads at all: forEachShard then runs every shard inline on the
-  /// calling thread (still in shard order 0..n-1).
-  explicit ThreadPool(std::size_t workers);
+  /// calling thread (still in shard order 0..n-1). `spinIterations`
+  /// bounds the pre-sleep busy wait (0 = block immediately).
+  explicit ThreadPool(std::size_t workers,
+                      std::size_t spinIterations = kDefaultSpin);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -78,6 +89,7 @@ class ThreadPool {
   void runShard(const ShardFnRef& fn, std::size_t shard);
 
   std::vector<std::thread> spawned_;
+  std::size_t spinIterations_ = kDefaultSpin;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;
@@ -88,8 +100,11 @@ class ThreadPool {
   std::size_t pending_ = 0;    // shards not yet finished, guarded by mutex_
   std::size_t insideJob_ = 0;  // workers holding the job, guarded by mutex_
   std::exception_ptr firstError_;  // guarded by mutex_
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  // generation_ / stopping_ are written under mutex_ (the condvar
+  // protocol needs that) but additionally read lock-free by the workers'
+  // bounded pre-sleep spin — hence atomics.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace mcfair::util

@@ -1,0 +1,235 @@
+// Parity and behavior tests for the fluid fast-forward engine
+// (runClosedLoopSimulationFluid): wherever its steady-state certificate
+// engages, the closed-form advance must reproduce the per-packet engines
+// EXACTLY — same delivered counts, link counters, level integrals, and
+// bin timelines, compared with EXPECT_EQ, not EXPECT_NEAR. Where the
+// certificate cannot hold (endogenous congestion, exogenous loss) the
+// engine must keep executing per-packet, making it trivially identical
+// — including every RNG draw — and must say so via fluidTime == 0.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.hpp"
+#include "net/topologies.hpp"
+#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+void expectIdentical(const ClosedLoopResult& a, const ClosedLoopResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.measuredRate, b.measuredRate) << label;
+  EXPECT_EQ(a.linkThroughput, b.linkThroughput) << label;
+  EXPECT_EQ(a.linkDropRate, b.linkDropRate) << label;
+  EXPECT_EQ(a.sessionLinkRate, b.sessionLinkRate) << label;
+  EXPECT_EQ(a.meanLevel, b.meanLevel) << label;
+  EXPECT_EQ(a.binRates, b.binRates) << label;
+}
+
+// An uncongested shared backbone: N sessions of `layers` exponential
+// layers (aggregate rate 2^(layers-1)) against capacity with headroom.
+net::Network uncongestedBackbone(std::size_t sessions, std::size_t layers,
+                                 double headroom = 1.5) {
+  net::Network n;
+  const double agg = static_cast<double>(std::uint64_t{1} << (layers - 1));
+  const auto backbone =
+      n.addLink(agg * headroom * static_cast<double>(sessions));
+  for (std::size_t i = 0; i < sessions; ++i) {
+    n.addSession(net::makeUnicastSession({backbone}));
+  }
+  return n;
+}
+
+TEST(ClosedLoopFluid, EngagesAfterClimbAndMatchesBothEngines) {
+  // Receivers start at level 1 and climb to the top layer per packet —
+  // the per-packet transient — after which the certificate holds and the
+  // rest of the run is closed out analytically. Bins and staggered
+  // lifetimes exercise the measurement splits and the interval sweep.
+  net::Network n = uncongestedBackbone(32, 4);
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      32, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 1});
+  c.sessions[3].startTime = 50.0;
+  c.sessions[9].stopTime = 300.0;
+  c.duration = 400.0;
+  c.warmup = 100.0;
+  c.rateBinWidth = 37.0;
+  c.seed = 21;
+
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  EXPECT_GT(fluid.fluidTime, 0.0) << "certificate should engage";
+  EXPECT_GT(fluid.fluidPackets, 0u);
+  expectIdentical(fluid, runClosedLoopSimulation(n, c), "vs event");
+  expectIdentical(fluid, runClosedLoopSimulationReference(n, c), "vs ref");
+}
+
+TEST(ClosedLoopFluid, ConfigFlagRoutesThroughTheEventEntryPoint) {
+  net::Network n = uncongestedBackbone(8, 3);
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      8, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 3, 3});
+  c.duration = 300.0;
+  c.warmup = 50.0;
+  c.fluidFastForward = true;
+  const auto viaFlag = runClosedLoopSimulation(n, c);
+  const auto direct = runClosedLoopSimulationFluid(n, c);
+  EXPECT_GT(viaFlag.fluidTime, 0.0);
+  EXPECT_EQ(viaFlag.fluidTime, direct.fluidTime);
+  EXPECT_EQ(viaFlag.fluidPackets, direct.fluidPackets);
+  expectIdentical(viaFlag, direct, "flag vs direct");
+}
+
+TEST(ClosedLoopFluid, BornAbsorbingPopulationIsClosedOutEntirely) {
+  // initialLevel == layers: absorbing from construction, so the very
+  // first event already passes the certificate and every packet of the
+  // run is accounted analytically.
+  net::Network n = uncongestedBackbone(16, 4);
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      16, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 4});
+  c.duration = 250.0;
+  c.warmup = 50.0;
+  c.seed = 3;
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  // The switch happens at the first pending packet, so (almost) the
+  // whole horizon is covered and zero packets were executed.
+  EXPECT_GT(fluid.fluidTime, c.duration - 1.0);
+  EXPECT_GT(fluid.fluidPackets, 0u);
+  expectIdentical(fluid, runClosedLoopSimulationReference(n, c), "vs ref");
+}
+
+TEST(ClosedLoopFluid, BornAbsorbingArrivalsSplitTheCertificateIntervals) {
+  // Sessions arriving and departing mid-run while the fluid mode is
+  // already engaged: the certificate must prove the no-drop bound across
+  // every lifetime boundary (load steps up at each arrival).
+  net::Network n = uncongestedBackbone(12, 3, 2.0);
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      12, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 3, 3});
+  for (std::size_t i = 0; i < 6; ++i) {
+    c.sessions[i].startTime = 40.0 * static_cast<double>(i + 1);
+  }
+  c.sessions[7].stopTime = 160.0;
+  c.sessions[8].stopTime = 90.0;
+  c.duration = 400.0;
+  c.warmup = 20.0;
+  c.rateBinWidth = 50.0;
+  c.seed = 77;
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  EXPECT_GT(fluid.fluidTime, c.duration - 1.0) << "should engage at once";
+  expectIdentical(fluid, runClosedLoopSimulation(n, c), "vs event");
+  expectIdentical(fluid, runClosedLoopSimulationReference(n, c), "vs ref");
+}
+
+TEST(ClosedLoopFluid, RandomizedEligiblePopulationsStayExact) {
+  constexpr ProtocolKind kKinds[] = {ProtocolKind::kUncoordinated,
+                                     ProtocolKind::kDeterministic,
+                                     ProtocolKind::kCoordinated};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed * 1471);
+    const std::size_t sessions = 4 + rng.below(12);
+    const std::size_t layers = 2 + rng.below(3);
+    net::Network n = uncongestedBackbone(sessions, layers,
+                                         1.3 + rng.uniform01());
+    ClosedLoopConfig c;
+    c.duration = 300.0;
+    c.warmup = 80.0;
+    c.seed = seed;
+    if (seed % 2 == 0) c.rateBinWidth = 20.0 + rng.uniform(0.0, 40.0);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      ClosedLoopSessionConfig sc;
+      sc.protocol = kKinds[rng.below(3)];
+      sc.layers = layers;
+      if (rng.bernoulli(0.3)) sc.stopTime = rng.uniform(150.0, 280.0);
+      c.sessions.push_back(sc);
+    }
+    const auto fluid = runClosedLoopSimulationFluid(n, c);
+    EXPECT_GT(fluid.fluidTime, 0.0) << "seed " << seed;
+    expectIdentical(fluid, runClosedLoopSimulation(n, c),
+                    "event seed " + std::to_string(seed));
+    expectIdentical(fluid, runClosedLoopSimulationReference(n, c),
+                    "ref seed " + std::to_string(seed));
+  }
+}
+
+TEST(ClosedLoopFluid, SteadyFluidPresetEngagesAtScale) {
+  const ScenarioSpec* base = findScenario("steady-fluid");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 400;
+  const Scenario s = buildScenario(spec);
+  const auto fluid = runScenario(s);  // preset opts into the fluid mode
+  EXPECT_GT(fluid.fluidTime, spec.duration - 1.0);
+  expectIdentical(fluid,
+                  runClosedLoopSimulationReference(s.network, s.config),
+                  "steady-fluid N=400");
+}
+
+TEST(ClosedLoopFluid, CongestionKeepsThePerPacketPath) {
+  // mega-merge oversubscribes its backbone 2:1 — the rate condition
+  // R <= c can never hold, so the certificate must never engage and the
+  // trajectory must be the event engine's, bit for bit.
+  const ScenarioSpec* base = findScenario("mega-merge");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 200;
+  const Scenario s = buildScenario(spec);
+  const auto fluid = runClosedLoopSimulationFluid(s.network, s.config);
+  EXPECT_EQ(fluid.fluidTime, 0.0);
+  EXPECT_EQ(fluid.fluidPackets, 0u);
+  expectIdentical(fluid, runClosedLoopSimulation(s.network, s.config),
+                  "congested mega-merge");
+}
+
+TEST(ClosedLoopFluid, ExogenousLossDisarmsFluidAndPreservesRngStreams) {
+  // Per-packet Bernoulli / Gilbert-Elliott draws must all happen, so the
+  // fluid mode stays disarmed and the runs — including every loss-RNG
+  // draw — are identical to the event engine by construction.
+  for (const auto kind :
+       {LossSpec::Kind::kBernoulli, LossSpec::Kind::kGilbertElliott}) {
+    net::Network n = uncongestedBackbone(8, 3);
+    ClosedLoopConfig c;
+    c.sessions.assign(
+        8, ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 3, 3});
+    c.duration = 200.0;
+    c.warmup = 50.0;
+    c.seed = 13;
+    LossSpec loss;
+    loss.kind = kind;
+    loss.rate = 0.02;
+    c.linkLoss = [loss](graph::LinkId) { return makeLossModel(loss); };
+    const auto fluid = runClosedLoopSimulationFluid(n, c);
+    EXPECT_EQ(fluid.fluidTime, 0.0);
+    expectIdentical(fluid, runClosedLoopSimulation(n, c),
+                    kind == LossSpec::Kind::kBernoulli ? "bernoulli"
+                                                       : "gilbert-elliott");
+  }
+}
+
+TEST(ClosedLoopFluid, FairEpochsAndGapAgreeAcrossEngines) {
+  // The fair-epoch reference and fairnessGap are engine-independent
+  // post-processing; run them through the fluid path once end to end.
+  net::Network n = uncongestedBackbone(6, 3);
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      6, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 3, 3});
+  c.sessions[2].startTime = 60.0;
+  c.duration = 240.0;
+  c.warmup = 20.0;
+  c.computeFairEpochs = true;
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  const auto event = runClosedLoopSimulation(n, c);
+  ASSERT_EQ(fluid.fairEpochs.size(), event.fairEpochs.size());
+  for (std::size_t e = 0; e < fluid.fairEpochs.size(); ++e) {
+    EXPECT_EQ(fluid.fairEpochs[e].begin, event.fairEpochs[e].begin);
+    EXPECT_EQ(fluid.fairEpochs[e].end, event.fairEpochs[e].end);
+    EXPECT_EQ(fluid.fairEpochs[e].sessions, event.fairEpochs[e].sessions);
+    EXPECT_EQ(fluid.fairEpochs[e].fairRate, event.fairEpochs[e].fairRate);
+  }
+}
+
+}  // namespace
+}  // namespace mcfair::sim

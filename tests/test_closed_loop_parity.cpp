@@ -37,8 +37,14 @@ void expectIdentical(const ClosedLoopResult& a, const ClosedLoopResult& b,
 
 void expectParity(const net::Network& n, const ClosedLoopConfig& c,
                   const std::string& label) {
-  expectIdentical(runClosedLoopSimulation(n, c),
-                  runClosedLoopSimulationReference(n, c), label);
+  const auto reference = runClosedLoopSimulationReference(n, c);
+  expectIdentical(runClosedLoopSimulation(n, c), reference, label);
+  // The fluid engine must agree whether or not its fast-forward
+  // certificate engages on this configuration: engaged means the
+  // closed-form advance reproduced per-packet execution exactly, not
+  // engaged means it WAS per-packet execution.
+  expectIdentical(runClosedLoopSimulationFluid(n, c), reference,
+                  label + " [fluid]");
 }
 
 TEST(ClosedLoopParity, RandomizedNetworks) {
@@ -118,6 +124,9 @@ TEST(ClosedLoopParity, LargePopulationViaScenario) {
   expectIdentical(runScenario(s),
                   runClosedLoopSimulationReference(s.network, s.config),
                   "mega-merge N=500");
+  expectIdentical(runClosedLoopSimulationFluid(s.network, s.config),
+                  runClosedLoopSimulationReference(s.network, s.config),
+                  "mega-merge N=500 [fluid]");
 }
 
 TEST(ClosedLoopParity, ChurnScenarioWithBurstyLoss) {

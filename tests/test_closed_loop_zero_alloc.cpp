@@ -90,6 +90,22 @@ std::size_t allocationsForDuration(const net::Network& n, double duration) {
   return after - before;
 }
 
+std::size_t fluidAllocationsForDuration(const net::Network& n,
+                                        double duration) {
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      n.sessionCount(),
+      ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 3, 1});
+  c.duration = duration;
+  c.warmup = duration / 4.0;
+  c.seed = 29;
+  const std::size_t before = g_allocations.load();
+  const auto r = runClosedLoopSimulationFluid(n, c);
+  const std::size_t after = g_allocations.load();
+  EXPECT_GT(r.fluidTime, 0.0) << "fluid mode must engage for this check";
+  return after - before;
+}
+
 TEST(ClosedLoopZeroAlloc, PacketLoopAllocatesNothing) {
   net::Network n;
   const auto shared = n.addLink(8.0);
@@ -110,6 +126,33 @@ TEST(ClosedLoopZeroAlloc, PacketLoopAllocatesNothing) {
   EXPECT_EQ(shortRun, longRun)
       << "per-packet steady state must not allocate";
   EXPECT_GT(shortRun, 0u);  // setup/result work is real
+}
+
+TEST(ClosedLoopZeroAlloc, FluidSteadyStateAllocatesNothing) {
+  // The fluid engine's contract: the per-packet transient reuses the
+  // event engine's allocation-free loop, the certificate scratch is
+  // built once, and the closed-form advance itself is pure arithmetic
+  // over preallocated arrays. A 16x longer horizon — which only grows
+  // the analytically covered interval — must therefore allocate exactly
+  // as much as the short one.
+  net::Network n;
+  const auto shared = n.addLink(64.0);  // ample: aggregate rate is 3 * 4
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  const auto tailA = n.addLink(16.0);
+  const auto tailB = n.addLink(16.0);
+  s.receivers = {net::makeReceiver({shared, tailA}),
+                 net::makeReceiver({shared, tailB})};
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({shared}));
+  n.addSession(net::makeUnicastSession({shared}));
+
+  (void)fluidAllocationsForDuration(n, 100.0);
+  const std::size_t shortRun = fluidAllocationsForDuration(n, 100.0);
+  const std::size_t longRun = fluidAllocationsForDuration(n, 1600.0);
+  EXPECT_EQ(shortRun, longRun)
+      << "fluid steady state must not allocate";
+  EXPECT_GT(shortRun, 0u);
 }
 
 }  // namespace

@@ -31,6 +31,63 @@ TEST(Scenario, CatalogHasUniqueNamedPresets) {
   EXPECT_EQ(findScenario("no-such-scenario"), nullptr);
 }
 
+TEST(Scenario, ScaleFreeTreeBackboneStructure) {
+  const ScenarioSpec* base = findScenario("scale-free-backbone");
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->topology, ScenarioSpec::Topology::kScaleFreeTree);
+  ScenarioSpec spec = *base;
+  spec.sessions = 40;
+  spec.backboneNodes = 64;
+  const Scenario s = buildScenario(spec);
+  // 63 tree edges, no tails.
+  EXPECT_EQ(s.network.linkCount(), spec.backboneNodes - 1);
+  // Every data-path is a root path: non-empty, within the backbone, and
+  // capacities are load-proportional (>= one session's worth, and at
+  // least one hub edge carries several sessions at 64 nodes / 40x2
+  // receivers almost surely).
+  double maxCapacity = 0.0;
+  for (std::uint32_t j = 0; j < s.network.linkCount(); ++j) {
+    const double c = s.network.capacity(graph::LinkId{j});
+    EXPECT_GE(c, spec.backbonePerSession);
+    maxCapacity = std::max(maxCapacity, c);
+  }
+  EXPECT_GE(maxCapacity, 2.0 * spec.backbonePerSession)
+      << "expected at least one shared (hub) edge";
+  for (std::size_t i = 0; i < s.network.sessionCount(); ++i) {
+    EXPECT_EQ(s.network.session(i).receivers.size(),
+              spec.receiversPerSession);
+    for (const auto& r : s.network.session(i).receivers) {
+      EXPECT_FALSE(r.dataPath.empty());
+    }
+  }
+  // Deterministic expansion, like every other preset.
+  const Scenario t = buildScenario(spec);
+  ASSERT_EQ(t.network.linkCount(), s.network.linkCount());
+  for (std::uint32_t j = 0; j < s.network.linkCount(); ++j) {
+    EXPECT_EQ(s.network.capacity(graph::LinkId{j}),
+              t.network.capacity(graph::LinkId{j}));
+  }
+  // The closed-loop engines agree on it end to end (routed multi-link
+  // paths through the fluid driver's certificate machinery included).
+  ScenarioSpec small = spec;
+  small.sessions = 10;
+  small.backboneNodes = 16;
+  small.duration = 120.0;
+  small.warmup = 30.0;
+  const Scenario mini = buildScenario(small);
+  const auto a = runClosedLoopSimulation(mini.network, mini.config);
+  const auto b = runClosedLoopSimulationFluid(mini.network, mini.config);
+  EXPECT_EQ(a.measuredRate, b.measuredRate);
+  EXPECT_EQ(a.linkThroughput, b.linkThroughput);
+}
+
+TEST(Scenario, ScaleFreeValidatesNodeCount) {
+  ScenarioSpec spec;
+  spec.topology = ScenarioSpec::Topology::kScaleFreeTree;
+  spec.backboneNodes = 1;
+  EXPECT_THROW(buildScenario(spec), PreconditionError);
+}
+
 TEST(Scenario, ExpansionIsDeterministic) {
   const ScenarioSpec* base = findScenario("heterogeneous-mix");
   ASSERT_NE(base, nullptr);

@@ -1,9 +1,11 @@
 // Tests for the layered sender: exact per-layer rates and ruler signals.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 
 #include "sim/sender.hpp"
+#include "util/rng.hpp"
 
 namespace mcfair::sim {
 namespace {
@@ -49,6 +51,37 @@ TEST(LayeredSender, LayerRatesExactOverWindow) {
   EXPECT_NEAR(counts[3], 128, 1);
   EXPECT_NEAR(counts[4], 256, 1);
   EXPECT_NEAR(counts[5], 512, 1);
+}
+
+TEST(LayeredSender, EmissionTimesAreClosedForm) {
+  // Every packet's time must equal layerEmissionTime(phase, period, n)
+  // for its layer's n-th emission — the exactness contract the fluid
+  // engine's analytic interval counts rely on. Checked with and without
+  // phase jitter, comparing with EXPECT_EQ (bit equality), not NEAR.
+  for (const bool jitter : {false, true}) {
+    util::Rng rng(99);
+    LayeredSender sender(layering::LayerScheme::exponential(5),
+                         jitter ? &rng : nullptr);
+    std::array<std::uint64_t, 5> count{};
+    for (int i = 0; i < 5000; ++i) {
+      const Packet p = sender.next();
+      ++count[p.layer - 1];
+      EXPECT_EQ(p.time,
+                layerEmissionTime(sender.layerPhase(p.layer),
+                                  sender.layerPeriod(p.layer),
+                                  count[p.layer - 1]))
+          << "layer " << p.layer << " emission " << count[p.layer - 1];
+      EXPECT_EQ(sender.layerEmitted(p.layer), count[p.layer - 1]);
+    }
+  }
+}
+
+TEST(LayeredSender, LayerPeriodsMatchSchemeRates) {
+  LayeredSender sender(layering::LayerScheme::exponential(6));
+  for (std::size_t k = 1; k <= 6; ++k) {
+    EXPECT_EQ(sender.layerPeriod(k), 1.0 / sender.scheme().layerRate(k));
+    EXPECT_EQ(sender.layerPhase(k), 0.0);  // no jitter requested
+  }
 }
 
 TEST(LayeredSender, TimesNonDecreasing) {
