@@ -16,6 +16,7 @@
 #include "fairness/report.hpp"
 #include "net/topologies.hpp"
 #include "sim/scenario.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -105,6 +106,21 @@ int main() {
   spec.mix = {sim::SessionMix{{sim::ProtocolKind::kCoordinated, 6, 1},
                               net::SessionType::kMultiRate, 1.0}};
   runScenarioTable(sim::buildScenario(spec));
+
+  // Routed-mesh population: the meshed-backbone preset downscaled — the
+  // same convergence question on a BA m = 2 graph where the routing
+  // layer (not the topology) picked each session's distribution tree
+  // and capacities are proportional to routed load.
+  const sim::ScenarioSpec* meshBase = sim::findScenario("meshed-backbone");
+  MCFAIR_REQUIRE(meshBase != nullptr,
+                 "meshed-backbone preset missing from catalog");
+  sim::ScenarioSpec mesh = *meshBase;
+  mesh.name = "meshed-backbone, 8 sessions on a routed BA m=2 graph";
+  mesh.sessions = 8;
+  mesh.backboneNodes = 24;
+  mesh.duration = 4000.0;
+  mesh.warmup = 1000.0;
+  runScenarioTable(sim::buildScenario(mesh));
 
   std::cout << "\nReading: private tail bottlenecks converge to their "
                "exact fair rates; receivers contending on shared links "

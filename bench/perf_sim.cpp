@@ -10,10 +10,13 @@
 // BENCH_sim.json.
 #include <benchmark/benchmark.h>
 
+#include "graph/generators.hpp"
+#include "graph/route_plan.hpp"
 #include "markov/protocol_chain.hpp"
 #include "sim/scenario.hpp"
 #include "sim/star.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -149,6 +152,82 @@ void BM_ScenarioCatalog(benchmark::State& state) {
 // automatically (the in-function guard covers only shrinkage).
 BENCHMARK(BM_ScenarioCatalog)
     ->DenseRange(0, static_cast<int>(sim::scenarioCatalog().size()) - 1);
+
+// Routing-layer cost: building per-source shortest-path trees (weighted
+// Dijkstra with the deterministic tie-break) on a BA m=2 mesh. Each
+// iteration builds a fresh plan and routes from 16 spread-out sources,
+// so items/sec tracks the O(E log V)-per-source construction itself,
+// not the cache.
+void BM_RoutePlan(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const graph::Graph g = graph::scaleFreeGraph(rng, {nodes, 2, 1.0});
+  std::vector<double> weights;
+  weights.reserve(g.linkCount());
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    weights.push_back(rng.uniform(1.0, 2.0));
+  }
+  constexpr std::size_t kSources = 16;
+  for (auto _ : state) {
+    graph::RoutePlan plan(
+        g, graph::RouteOptions{graph::RoutePolicy::kWeighted, weights});
+    for (std::size_t s = 0; s < kSources; ++s) {
+      plan.ensureSource(graph::NodeId{
+          static_cast<std::uint32_t>(s * nodes / kSources)});
+    }
+    benchmark::DoNotOptimize(plan.builtSourceCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSources));
+}
+BENCHMARK(BM_RoutePlan)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+// Mesh-scenario expansion vs the tree baseline at matching population
+// sizes (sessions x 2 receivers; 50000 -> a 100k-receiver mesh). The
+// mesh row routes every receiver through the RoutePlan and provisions
+// capacities from routed loads; the baseline row is the kScaleFreeTree
+// topology whose paths are forced root paths. Items = receivers placed.
+void BM_ScenarioMesh(benchmark::State& state) {
+  const sim::ScenarioSpec* base = sim::findScenario("meshed-backbone");
+  MCFAIR_REQUIRE(base != nullptr,
+                 "meshed-backbone preset missing from catalog");
+  sim::ScenarioSpec spec = *base;
+  spec.sessions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::buildScenario(spec));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spec.sessions * spec.receiversPerSession));
+}
+BENCHMARK(BM_ScenarioMesh)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioMeshTreeBaseline(benchmark::State& state) {
+  const sim::ScenarioSpec* base = sim::findScenario("scale-free-backbone");
+  MCFAIR_REQUIRE(base != nullptr,
+                 "scale-free-backbone preset missing from catalog");
+  sim::ScenarioSpec spec = *base;
+  spec.sessions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::buildScenario(spec));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spec.sessions * spec.receiversPerSession));
+}
+BENCHMARK(BM_ScenarioMeshTreeBaseline)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StarSimulation(benchmark::State& state) {
   sim::StarConfig c;

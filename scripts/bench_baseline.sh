@@ -40,7 +40,7 @@ fi
 echo "wrote $out_file" >&2
 
 "$build_dir/bench_perf_sim" \
-  --benchmark_filter='BM_ClosedLoopMerge|BM_ClosedLoopFluid' \
+  --benchmark_filter='BM_ClosedLoopMerge|BM_ClosedLoopFluid|BM_RoutePlan|BM_ScenarioMesh' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
   --benchmark_out="$sim_out_file" \
@@ -113,4 +113,20 @@ for name, (t, unit) in sorted(sim.items()):
         continue
     print(f"{name:<44}{t:>10.2f}{unit}{ev[0]:>10.2f}{ev[1]}"
           f"{ev[0] / t:>8.1f}x")
+
+print()
+print(f"{'mesh benchmark':<44}{'mesh':>12}{'tree':>12}{'ratio':>9}")
+for name, (t, unit) in sorted(sim.items()):
+    if not name.startswith("BM_ScenarioMesh/"):
+        continue
+    tree = sim.get(name.replace("Mesh/", "MeshTreeBaseline/"))
+    if tree is None:
+        print(f"{name:<44}{t:>10.2f}{unit}{'-':>12}{'':>9}")
+        continue
+    # ratio ~1 = mesh scenarios build in the tree ballpark.
+    print(f"{name:<44}{t:>10.2f}{unit}{tree[0]:>10.2f}{tree[1]}"
+          f"{t / tree[0]:>8.2f}x")
+for name, (t, unit) in sorted(sim.items()):
+    if name.startswith("BM_RoutePlan/"):
+        print(f"{name:<44}{t:>10.2f}{unit}{'-':>12}{'':>9}")
 EOF

@@ -1,0 +1,200 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+
+namespace {
+
+// Union-find over node ids (path halving + union by size).
+class Components {
+ public:
+  explicit Components(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+bool isConnected(const Graph& g) {
+  if (g.nodeCount() == 0) return true;
+  Components c(g.nodeCount());
+  std::size_t merges = 0;
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    const auto [a, b] = g.endpoints(LinkId{l});
+    if (c.unite(a.value, b.value)) ++merges;
+  }
+  return merges == g.nodeCount() - 1;
+}
+
+}  // namespace
+
+Graph scaleFreeGraph(util::Rng& rng, const ScaleFreeGraphOptions& opts) {
+  const std::size_t n = opts.nodes;
+  const std::size_t m = opts.edgesPerNode;
+  MCFAIR_REQUIRE(m >= 1, "scale-free growth needs edgesPerNode >= 1");
+  MCFAIR_REQUIRE(n > m, "scale-free growth needs nodes > edgesPerNode");
+  MCFAIR_REQUIRE(opts.capacity > 0.0, "capacity must be positive");
+
+  Graph g;
+  g.addNodes(n);
+  // Each endpoint slot appears once per incident edge, so a uniform draw
+  // over the slots picks an attachment target with probability
+  // proportional to its degree (the classic BA trick).
+  std::vector<std::uint32_t> endpoints;
+  endpoints.reserve(2 * m * n);
+  std::vector<std::uint32_t> targets;
+  for (std::size_t v = m; v < n; ++v) {
+    targets.clear();
+    if (v == m) {
+      // Seed: the first growing node connects to every seed node, which
+      // bootstraps the degree distribution without a separate clique.
+      for (std::uint32_t t = 0; t < m; ++t) targets.push_back(t);
+    } else {
+      while (targets.size() < m) {
+        const std::uint32_t t =
+            endpoints[rng.below(endpoints.size())];
+        if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+          targets.push_back(t);
+        }
+      }
+    }
+    for (const std::uint32_t t : targets) {
+      g.addLink(NodeId{static_cast<std::uint32_t>(v)}, NodeId{t},
+                opts.capacity);
+      endpoints.push_back(t);
+      endpoints.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  return g;
+}
+
+Graph waxmanGraph(util::Rng& rng, const WaxmanGraphOptions& opts) {
+  const std::size_t n = opts.nodes;
+  MCFAIR_REQUIRE(n >= 2, "a Waxman graph needs >= 2 nodes");
+  MCFAIR_REQUIRE(opts.alpha > 0.0 && opts.alpha <= 1.0,
+                 "Waxman alpha must lie in (0, 1]");
+  MCFAIR_REQUIRE(opts.beta > 0.0, "Waxman beta must be positive");
+  MCFAIR_REQUIRE(opts.capacity > 0.0, "capacity must be positive");
+
+  std::vector<double> x(n), y(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    x[v] = rng.uniform01();
+    y[v] = rng.uniform01();
+  }
+  const auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  Graph g;
+  g.addNodes(n);
+  Components comp(n);
+  const double scale = opts.beta * std::sqrt(2.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (rng.bernoulli(opts.alpha * std::exp(-distance(a, b) / scale))) {
+        g.addLink(NodeId{static_cast<std::uint32_t>(a)},
+                  NodeId{static_cast<std::uint32_t>(b)}, opts.capacity);
+        comp.unite(a, b);
+      }
+    }
+  }
+  // Stitch stranded components onto node 0's component through the
+  // geometrically nearest cross pair (ties break to lowest ids), so the
+  // repair preserves the model's short-link bias and is deterministic.
+  for (std::size_t v = 1; v < n; ++v) {
+    if (comp.find(v) == comp.find(0)) continue;
+    std::size_t bestA = 0, bestB = v;
+    double bestD = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < n; ++a) {
+      if (comp.find(a) != comp.find(0)) continue;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (comp.find(b) != comp.find(v)) continue;
+        const double d = distance(a, b);
+        if (d < bestD) {
+          bestD = d;
+          bestA = a;
+          bestB = b;
+        }
+      }
+    }
+    g.addLink(NodeId{static_cast<std::uint32_t>(bestA)},
+              NodeId{static_cast<std::uint32_t>(bestB)}, opts.capacity);
+    comp.unite(bestA, bestB);
+  }
+  return g;
+}
+
+Graph randomRegularGraph(util::Rng& rng,
+                         const RandomRegularGraphOptions& opts) {
+  const std::size_t n = opts.nodes;
+  const std::size_t d = opts.degree;
+  MCFAIR_REQUIRE(d >= 1 && d < n, "need 1 <= degree < nodes");
+  MCFAIR_REQUIRE((n * d) % 2 == 0, "nodes * degree must be even");
+  MCFAIR_REQUIRE(opts.capacity > 0.0, "capacity must be positive");
+
+  std::vector<std::uint32_t> stubs(n * d);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t k = 0; k < d; ++k) {
+      stubs[v * d + k] = static_cast<std::uint32_t>(v);
+    }
+  }
+  for (std::size_t attempt = 0; attempt < opts.maxAttempts; ++attempt) {
+    // Fisher-Yates, then pair consecutive stubs.
+    for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+      std::swap(stubs[i], stubs[rng.below(i + 1)]);
+    }
+    Graph g;
+    g.addNodes(n);
+    bool ok = true;
+    // adjacency-matrix-free duplicate check: per node, sorted partner
+    // probe via the graph's own adjacency (degree is small).
+    for (std::size_t i = 0; ok && i < stubs.size(); i += 2) {
+      const std::uint32_t a = stubs[i];
+      const std::uint32_t b = stubs[i + 1];
+      if (a == b) {
+        ok = false;
+        break;
+      }
+      for (const Adjacency& adj : g.neighbors(NodeId{a})) {
+        if (adj.neighbor.value == b) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) g.addLink(NodeId{a}, NodeId{b}, opts.capacity);
+    }
+    if (ok && isConnected(g)) return g;
+  }
+  throw ModelError("randomRegularGraph: no simple connected pairing after " +
+                   std::to_string(opts.maxAttempts) + " attempts");
+}
+
+}  // namespace mcfair::graph

@@ -1,0 +1,64 @@
+// Random general-graph generators — the meshed substrates the routing
+// layer (graph/route_plan.hpp) exists for.
+//
+// Unlike the m = 1 preferential-attachment *tree* the scenario engine
+// grew first, these families contain cycles, so paths are picked by the
+// routing policy rather than forced by the topology: Barabási–Albert
+// with m >= 2 (the scale-free bottleneck setting of the PAPERS.md
+// Sreenivasan et al. study), Waxman's geometric random graphs (the
+// classic meshed-backbone model the PAPERS.md ATM fairness studies
+// evaluate on), and random regular graphs (the degree-homogeneous
+// control). All generators are deterministic in the passed Rng and
+// return connected graphs with a uniform placeholder capacity —
+// consumers (net/topologies, sim/scenario) assign real capacities from
+// routed link loads.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::graph {
+
+/// Barabási–Albert preferential attachment with m >= 1 edges per new
+/// node. Nodes 0..m-1 form the seed; node m connects to all of them;
+/// every later node draws m *distinct* targets with probability
+/// proportional to degree. m >= 2 yields a scale-free graph with
+/// cycles; m = 1 degenerates to the tree case.
+struct ScaleFreeGraphOptions {
+  std::size_t nodes = 32;
+  std::size_t edgesPerNode = 2;  ///< the BA "m"; requires nodes > m
+  double capacity = 1.0;         ///< placeholder capacity on every link
+};
+Graph scaleFreeGraph(util::Rng& rng, const ScaleFreeGraphOptions& opts);
+
+/// Waxman random graph: nodes at uniform positions in the unit square,
+/// each pair linked with probability alpha * exp(-d / (beta * L)) where
+/// d is the Euclidean distance and L = sqrt(2). Connectivity is then
+/// guaranteed by linking every stranded component to the main component
+/// through its geometrically nearest node pair (deterministic, keeps
+/// the short-link bias).
+struct WaxmanGraphOptions {
+  std::size_t nodes = 32;
+  double alpha = 0.6;    ///< overall link density, in (0, 1]
+  double beta = 0.35;    ///< distance decay; larger = longer links
+  double capacity = 1.0; ///< placeholder capacity on every link
+};
+Graph waxmanGraph(util::Rng& rng, const WaxmanGraphOptions& opts);
+
+/// Random d-regular simple graph via the pairing model: d stubs per
+/// node, shuffled and paired; attempts with self-loops, parallel edges,
+/// or a disconnected result are rejected and redrawn. Requires
+/// nodes * degree even and degree < nodes; throws ModelError when
+/// maxAttempts rejections pile up (only plausible for tiny, tightly
+/// constrained inputs).
+struct RandomRegularGraphOptions {
+  std::size_t nodes = 32;
+  std::size_t degree = 4;
+  double capacity = 1.0;  ///< placeholder capacity on every link
+  std::size_t maxAttempts = 200;
+};
+Graph randomRegularGraph(util::Rng& rng, const RandomRegularGraphOptions& opts);
+
+}  // namespace mcfair::graph

@@ -1,0 +1,200 @@
+#include "graph/route_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <string>
+
+#include "graph/routing.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::graph {
+
+namespace {
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+RoutePlan::RoutePlan(const Graph& g, RouteOptions options)
+    : graph_(&g), options_(std::move(options)) {
+  if (options_.policy == RoutePolicy::kWeighted) {
+    if (options_.weights.empty()) {
+      options_.weights.assign(g.linkCount(), 1.0);
+    }
+    MCFAIR_REQUIRE(options_.weights.size() == g.linkCount(),
+                   "one route weight per link is required");
+    for (double w : options_.weights) {
+      MCFAIR_REQUIRE(w >= 0.0, "route weights must be non-negative");
+    }
+  }
+  slotOf_.assign(g.nodeCount(), 0);
+}
+
+void RoutePlan::ensureSource(NodeId src) { (void)slotFor(src); }
+
+std::uint32_t RoutePlan::slotFor(NodeId src) {
+  graph_->checkNode(src);
+  if (slotOf_[src.value] != 0) return slotOf_[src.value] - 1;
+  const auto slot = static_cast<std::uint32_t>(sources_.size());
+  sources_.push_back(src.value);
+  predLink_.resize(predLink_.size() + graph_->nodeCount(), 0);
+  std::uint32_t* pred = predLink_.data() +
+                        static_cast<std::size_t>(slot) * graph_->nodeCount();
+  if (options_.policy == RoutePolicy::kHopCount) {
+    buildHopCountTree(src, pred);
+  } else {
+    buildWeightedTree(src, pred);
+  }
+  slotOf_[src.value] = slot + 1;
+  return slot;
+}
+
+void RoutePlan::buildHopCountTree(NodeId src, std::uint32_t* predLink) {
+  // Bit-identical to bfsPredecessors(): first-found predecessor in
+  // adjacency order, written into the plan's flat storage.
+  const Graph& g = *graph_;
+  settleRank_.assign(g.nodeCount(), 0);  // doubles as the seen[] array
+  std::queue<NodeId> q;
+  settleRank_[src.value] = 1;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Adjacency& adj : g.neighbors(u)) {
+      if (settleRank_[adj.neighbor.value] != 0) continue;
+      settleRank_[adj.neighbor.value] = 1;
+      predLink[adj.neighbor.value] = adj.link.value + 1;
+      q.push(adj.neighbor);
+    }
+  }
+}
+
+void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink) {
+  const Graph& g = *graph_;
+  const std::vector<double>& w = options_.weights;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist_.assign(g.nodeCount(), kInf);
+  settleRank_.assign(g.nodeCount(), kNone);
+  settleOrder_.clear();
+
+  // Phase 1: Dijkstra with (distance, node id) keys. The heap key's node
+  // component makes the settle order a deterministic total order even
+  // across equal distances; the final dist[] values themselves are
+  // heap-order independent.
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist_[src.value] = 0.0;
+  pq.emplace(0.0, src.value);
+  while (!pq.empty()) {
+    const auto [d, uv] = pq.top();
+    pq.pop();
+    if (settleRank_[uv] != kNone) continue;  // lazy deletion
+    settleRank_[uv] = static_cast<std::uint32_t>(settleOrder_.size());
+    settleOrder_.push_back(uv);
+    for (const Adjacency& adj : g.neighbors(NodeId{uv})) {
+      const double nd = d + w[adj.link.value];
+      if (nd < dist_[adj.neighbor.value]) {
+        dist_[adj.neighbor.value] = nd;
+        pq.emplace(nd, adj.neighbor.value);
+      }
+    }
+  }
+
+  // Phase 2: deterministic predecessor selection. Each settled node
+  // (except the source) takes the lowest (node id, link id) neighbor
+  // that (a) settled earlier and (b) lies on a shortest path — i.e.
+  // dist[u] + w == dist[v] exactly; the relaxation that produced
+  // dist[v] guarantees at least one exact candidate. With positive
+  // weights every optimal predecessor settles before v, so this is the
+  // documented lowest-node-id tie-break.
+  for (std::size_t i = 1; i < settleOrder_.size(); ++i) {
+    const std::uint32_t v = settleOrder_[i];
+    std::uint32_t bestNode = kNone;
+    std::uint32_t bestLink = kNone;
+    for (const Adjacency& adj : g.neighbors(NodeId{v})) {
+      const std::uint32_t u = adj.neighbor.value;
+      if (settleRank_[u] >= i) continue;  // unsettled or settled later
+      if (dist_[u] + w[adj.link.value] != dist_[v]) continue;
+      if (u < bestNode || (u == bestNode && adj.link.value < bestLink)) {
+        bestNode = u;
+        bestLink = adj.link.value;
+      }
+    }
+    predLink[v] = bestLink + 1;  // a candidate always exists (see above)
+  }
+}
+
+bool RoutePlan::reachable(NodeId src, NodeId dst) {
+  graph_->checkNode(dst);
+  const std::uint32_t slot = slotFor(src);
+  if (src == dst) return true;
+  return predLink_[static_cast<std::size_t>(slot) * graph_->nodeCount() +
+                   dst.value] != 0;
+}
+
+std::vector<LinkId> RoutePlan::path(NodeId src, NodeId dst) {
+  std::vector<LinkId> out;
+  appendPath(src, dst, out);
+  return out;
+}
+
+void RoutePlan::appendPath(NodeId src, NodeId dst, std::vector<LinkId>& out) {
+  graph_->checkNode(dst);
+  const std::uint32_t slot = slotFor(src);
+  const std::uint32_t* pred =
+      predLink_.data() + static_cast<std::size_t>(slot) * graph_->nodeCount();
+  const std::size_t first = out.size();
+  NodeId cur = dst;
+  while (cur != src) {
+    const std::uint32_t enc = pred[cur.value];
+    if (enc == 0) {
+      throw ModelError("node " + std::to_string(dst.value) +
+                       " is unreachable from source " +
+                       std::to_string(src.value));
+    }
+    const LinkId l{enc - 1};
+    out.push_back(l);
+    const auto [a, b] = graph_->endpoints(l);
+    cur = (cur == a) ? b : a;
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+MulticastTree RoutePlan::distributionTree(
+    NodeId src, const std::vector<NodeId>& receivers) {
+  MCFAIR_REQUIRE(!receivers.empty(), "a tree needs at least one receiver");
+  const std::uint32_t slot = slotFor(src);
+  const std::uint32_t* pred =
+      predLink_.data() + static_cast<std::size_t>(slot) * graph_->nodeCount();
+
+  MulticastTree tree;
+  tree.sender = src;
+  tree.receiverPaths.reserve(receivers.size());
+  for (NodeId r : receivers) {
+    graph_->checkNode(r);
+    MCFAIR_REQUIRE(r != src, "receiver cannot be at the sender node");
+    if (pred[r.value] == 0) {
+      throw ModelError("receiver node " + std::to_string(r.value) +
+                       " is unreachable from sender " +
+                       std::to_string(src.value));
+    }
+    std::vector<LinkId> path;
+    appendPath(src, r, path);
+    tree.receiverPaths.push_back(std::move(path));
+  }
+
+  std::vector<LinkId> all;
+  for (const auto& p : tree.receiverPaths) {
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  tree.sessionLinks = std::move(all);
+  return tree;
+}
+
+const std::uint32_t* RoutePlan::predecessors(NodeId src) {
+  const std::uint32_t slot = slotFor(src);
+  return predLink_.data() + static_cast<std::size_t>(slot) * graph_->nodeCount();
+}
+
+}  // namespace mcfair::graph

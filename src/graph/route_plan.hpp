@@ -1,0 +1,124 @@
+// Routing-policy layer: per-source shortest-path trees over a general
+// graph, built once and cached, from which multicast distribution trees
+// embedded in meshed topologies are derived.
+//
+// The paper's model (Section 2) only assumes "a routing algorithm, such
+// that for each receiver there is a sequence of links that carries data
+// from X_i to r_{i,k}" — it never requires the topology itself to be a
+// tree. A RoutePlan is that routing algorithm made explicit: for every
+// source it materializes one shortest-path tree (hop count via BFS, or
+// weighted via Dijkstra with deterministic tie-breaking), and every
+// receiver's data-path is read off the tree of its session's source.
+// Within one session the union of paths is still a tree (a per-source
+// SPT), as DVMRP/PIM-style multicast routing builds; across sessions
+// with different sources the routed paths form a general mesh — the
+// setting where congestion structure is picked by routing, not by the
+// topology alone.
+//
+// Per-source trees are stored as bfsPredecessors-style flat arrays
+// (link id + 1, 0 = none) appended into one contiguous buffer; scratch
+// state (distances, settle ranks, heap) is reused across sources, so
+// building S sources costs O(S * E log V) time (O(S * (V + E)) for hop
+// count) with no per-source allocation churn once warm.
+//
+// Tie-breaking (kWeighted): among equal-cost shortest paths the plan is
+// deterministic and documented — nodes are settled in (distance, node
+// id) order, and each settled node's predecessor is the lowest (node id,
+// link id) pair among its already-settled neighbors that lie on a
+// shortest path. With strictly positive weights this is exactly "the
+// lowest-node-id optimal predecessor" (link id breaks ties between
+// parallel links); zero-weight plateaus fall back to earliest-settled,
+// which the settle order makes deterministic as well. kHopCount
+// reproduces bfsPredecessors() bit-for-bit (first-found predecessor in
+// adjacency order), so tree-era consumers refactored onto a RoutePlan
+// keep producing byte-identical networks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace mcfair::graph {
+
+/// How a RoutePlan picks paths.
+enum class RoutePolicy {
+  kHopCount,  ///< BFS shortest paths (bfsPredecessors-compatible)
+  kWeighted,  ///< Dijkstra on per-link weights, lowest-id tie-break
+};
+
+/// Routing configuration for a RoutePlan.
+struct RouteOptions {
+  RoutePolicy policy = RoutePolicy::kHopCount;
+  /// kWeighted only: one non-negative weight per link; empty = unit
+  /// weights (then kWeighted computes hop-count distances but with the
+  /// documented lowest-id tie-break instead of BFS adjacency order).
+  std::vector<double> weights;
+};
+
+/// Cached per-source shortest-path trees over one Graph. The graph must
+/// outlive the plan and must not be mutated while the plan is in use
+/// (trees are built against the adjacency at construction time).
+class RoutePlan {
+ public:
+  /// Validates options (kWeighted: weights empty or one per link, all
+  /// >= 0; throws PreconditionError otherwise). Builds no trees yet.
+  explicit RoutePlan(const Graph& g, RouteOptions options = {});
+
+  const Graph& graph() const noexcept { return *graph_; }
+  RoutePolicy policy() const noexcept { return options_.policy; }
+
+  /// Builds (and caches) the shortest-path tree rooted at `src`.
+  /// O(E log V) weighted / O(V + E) hop count; a no-op when cached.
+  void ensureSource(NodeId src);
+
+  /// Number of distinct sources with a built tree.
+  std::size_t builtSourceCount() const noexcept { return sources_.size(); }
+
+  /// True when `dst` is reachable from `src` (builds src's tree).
+  bool reachable(NodeId src, NodeId dst);
+
+  /// The routed data-path from `src` to `dst` as the link sequence,
+  /// source-side first (empty when src == dst). Throws ModelError when
+  /// unreachable.
+  std::vector<LinkId> path(NodeId src, NodeId dst);
+
+  /// Appends the src -> dst link sequence to `out` (allocation-free when
+  /// `out` has capacity). Throws ModelError when unreachable.
+  void appendPath(NodeId src, NodeId dst, std::vector<LinkId>& out);
+
+  /// The multicast distribution tree for one session: per-receiver
+  /// data-paths read off src's shortest-path tree plus their
+  /// deduplicated union. Same contract as buildShortestPathTree()
+  /// (throws on empty receiver lists, a receiver at the source, or an
+  /// unreachable receiver) — with kHopCount it returns bit-identical
+  /// trees.
+  MulticastTree distributionTree(NodeId src,
+                                 const std::vector<NodeId>& receivers);
+
+  /// The raw predecessor array of src's tree (link id + 1 per node, 0 =
+  /// none), bfsPredecessors-compatible; builds src's tree. The pointer
+  /// is invalidated by the next tree build — any ensureSource / path /
+  /// reachable / distributionTree call that touches a source without a
+  /// cached tree reallocates the backing storage — so copy what you
+  /// need before routing from another source.
+  const std::uint32_t* predecessors(NodeId src);
+
+ private:
+  std::uint32_t slotFor(NodeId src);
+  void buildHopCountTree(NodeId src, std::uint32_t* predLink);
+  void buildWeightedTree(NodeId src, std::uint32_t* predLink);
+
+  const Graph* graph_;
+  RouteOptions options_;
+  std::vector<std::uint32_t> slotOf_;    // node -> slot + 1, 0 = unbuilt
+  std::vector<std::uint32_t> sources_;   // slot -> source node
+  std::vector<std::uint32_t> predLink_;  // slot * V + v -> link + 1
+  // Scratch reused across source builds (see buildWeightedTree).
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> settleRank_;
+  std::vector<std::uint32_t> settleOrder_;
+};
+
+}  // namespace mcfair::graph

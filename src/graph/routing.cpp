@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "graph/route_plan.hpp"
 #include "util/error.hpp"
 
 namespace mcfair::graph {
@@ -68,39 +69,22 @@ std::optional<Path> shortestPathWeighted(const Graph& g, NodeId from,
   g.checkNode(to);
   MCFAIR_REQUIRE(weight.size() == g.linkCount(),
                  "one weight per link is required");
-  for (double w : weight) {
-    MCFAIR_REQUIRE(w >= 0.0, "link weights must be non-negative");
+  // The routing-policy layer owns the deterministic SPT construction
+  // (lowest-id predecessor among equal-cost candidates); this function
+  // is its single-pair view.
+  RoutePlan plan(g, RouteOptions{RoutePolicy::kWeighted, weight});
+  if (!plan.reachable(from, to)) return std::nullopt;
+  Path p;
+  p.links = plan.path(from, to);
+  p.nodes.reserve(p.links.size() + 1);
+  p.nodes.push_back(from);
+  NodeId cur = from;
+  for (LinkId l : p.links) {
+    const auto [a, b] = g.endpoints(l);
+    cur = (cur == a) ? b : a;
+    p.nodes.push_back(cur);
   }
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(g.nodeCount(), kInf);
-  std::vector<Pred> pred(g.nodeCount());
-  std::vector<bool> done(g.nodeCount(), false);
-  using Entry = std::pair<double, std::uint32_t>;  // (dist, node)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
-  dist[from.value] = 0.0;
-  pq.emplace(0.0, from.value);
-  while (!pq.empty()) {
-    const auto [d, uv] = pq.top();
-    pq.pop();
-    if (done[uv]) continue;
-    done[uv] = true;
-    if (NodeId{uv} == to) break;
-    for (const Adjacency& adj : g.neighbors(NodeId{uv})) {
-      const double nd = d + weight[adj.link.value];
-      auto& cur = dist[adj.neighbor.value];
-      // Strict improvement, or equal-cost tie broken toward lower
-      // predecessor id for determinism.
-      if (nd < cur ||
-          (nd == cur && !done[adj.neighbor.value] &&
-           uv < pred[adj.neighbor.value].node)) {
-        cur = nd;
-        pred[adj.neighbor.value] = {uv, adj.link.value};
-        pq.emplace(nd, adj.neighbor.value);
-      }
-    }
-  }
-  if (dist[to.value] == kInf) return std::nullopt;
-  return rebuild(pred, from, to);
+  return p;
 }
 
 std::vector<std::uint32_t> bfsPredecessors(const Graph& g, NodeId root) {

@@ -29,7 +29,14 @@ struct Path {
 std::optional<Path> shortestPath(const Graph& g, NodeId from, NodeId to);
 
 /// Weighted shortest path (Dijkstra). `weight[l.value]` must be >= 0 for
-/// every link; throws PreconditionError otherwise.
+/// every link; throws PreconditionError otherwise. Deterministic with a
+/// documented tie-break: among equal-cost shortest paths, every node on
+/// the returned path takes the lowest-node-id optimal predecessor
+/// (lowest link id between parallel links) — see graph/route_plan.hpp,
+/// which implements the selection and backs this function. Each call
+/// copies the weights and builds the full source tree; for repeated
+/// queries from the same sources, construct a RoutePlan once and reuse
+/// its cached trees instead.
 std::optional<Path> shortestPathWeighted(const Graph& g, NodeId from,
                                          NodeId to,
                                          const std::vector<double>& weight);

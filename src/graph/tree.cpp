@@ -1,52 +1,17 @@
 #include "graph/tree.hpp"
 
-#include <algorithm>
-
-#include "util/error.hpp"
+#include "graph/route_plan.hpp"
 
 namespace mcfair::graph {
 
 MulticastTree buildShortestPathTree(const Graph& g, NodeId sender,
                                     const std::vector<NodeId>& receivers) {
   g.checkNode(sender);
-  MCFAIR_REQUIRE(!receivers.empty(), "a tree needs at least one receiver");
-
-  // One BFS from the sender; every receiver path follows the same
-  // predecessor chain, so the union is a tree by construction.
-  const auto pred = bfsPredecessors(g, sender);
-
-  MulticastTree tree;
-  tree.sender = sender;
-  tree.receiverPaths.reserve(receivers.size());
-  for (NodeId r : receivers) {
-    g.checkNode(r);
-    MCFAIR_REQUIRE(r != sender, "receiver cannot be at the sender node");
-    std::vector<LinkId> path;
-    NodeId cur = r;
-    while (cur != sender) {
-      const std::uint32_t enc = pred[cur.value];
-      if (enc == 0) {
-        throw ModelError("receiver node " + std::to_string(r.value) +
-                         " is unreachable from sender " +
-                         std::to_string(sender.value));
-      }
-      const LinkId l{enc - 1};
-      path.push_back(l);
-      const auto [a, b] = g.endpoints(l);
-      cur = (cur == a) ? b : a;
-    }
-    std::reverse(path.begin(), path.end());
-    tree.receiverPaths.push_back(std::move(path));
-  }
-
-  std::vector<LinkId> all;
-  for (const auto& p : tree.receiverPaths) {
-    all.insert(all.end(), p.begin(), p.end());
-  }
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  tree.sessionLinks = std::move(all);
-  return tree;
+  // Thin wrapper over the routing-policy layer: a hop-count RoutePlan
+  // reproduces the historical one-BFS-per-sender trees bit-identically
+  // (first-found predecessor in adjacency order).
+  RoutePlan plan(g);
+  return plan.distributionTree(sender, receivers);
 }
 
 }  // namespace mcfair::graph

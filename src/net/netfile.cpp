@@ -1,10 +1,16 @@
 #include "net/netfile.hpp"
 
+#include <cctype>
+#include <iomanip>
 #include <istream>
+#include <limits>
 #include <map>
 #include <optional>
+#include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace mcfair::net {
 
@@ -25,6 +31,23 @@ double parseNumber(std::size_t line, const std::string& token,
     fail(line, std::string("cannot parse ") + what + " from '" + token +
                    "'");
   }
+}
+
+std::uint32_t parseNode(std::size_t line, const std::string& token,
+                        std::size_t nodeCount) {
+  unsigned long v = 0;
+  try {
+    std::size_t consumed = 0;
+    v = std::stoul(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+  } catch (const std::exception&) {
+    fail(line, "cannot parse node id from '" + token + "'");
+  }
+  if (v >= nodeCount) {
+    fail(line, "node id " + token + " out of range (graph has " +
+                   std::to_string(nodeCount) + " nodes)");
+  }
+  return static_cast<std::uint32_t>(v);
 }
 
 std::vector<std::string> tokenize(const std::string& line) {
@@ -48,12 +71,55 @@ std::optional<std::string> keyValue(const std::string& token,
 struct PendingSession {
   Session session;
   std::size_t declaredAtLine = 0;
+  // ConstantFactor redundancy as parsed (1 = efficient); the graph
+  // dialect rebuilds the function from this via GraphSessionSpec.
+  double redundancy = 1.0;
+  // Graph dialect only: the sender node and one routed node per
+  // receiver already pushed onto session.receivers (whose dataPaths
+  // stay empty until finalization routes them).
+  bool senderSet = false;
+  graph::NodeId senderNode;
+  std::vector<graph::NodeId> memberNodes;
 };
+
+// Which dialect the directives seen so far commit the file to.
+enum class Dialect { kUnset, kFlat, kGraph };
+
+// --- Shared graph-dialect construction core (parser + public
+// buildRoutedNetwork must never diverge, or the documented write ->
+// read round trip breaks). ---
+
+Network networkWithGraphLinks(const graph::Graph& g) {
+  Network n;
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    n.addLink(g.capacity(graph::LinkId{l}));
+  }
+  return n;
+}
+
+Session routeSession(graph::RoutePlan& plan, const GraphSessionSpec& spec) {
+  Session s;
+  s.name = spec.name;
+  s.type = spec.type;
+  s.maxRate = spec.maxRate;
+  MCFAIR_REQUIRE(spec.redundancy >= 1.0, "redundancy must be >= 1");
+  if (spec.redundancy > 1.0) {
+    s.linkRateFn = std::make_shared<const ConstantFactor>(spec.redundancy);
+  }
+  for (const GraphSessionSpec::Member& m : spec.members) {
+    Receiver r;
+    r.name = m.name;
+    r.weight = m.weight;
+    r.dataPath = plan.path(spec.sender, m.node);
+    s.receivers.push_back(std::move(r));
+  }
+  return s;
+}
 
 }  // namespace
 
 Network parseNetworkFile(std::istream& in) {
-  Network network;
+  Network network;  // flat dialect builds into this directly
   std::map<std::string, graph::LinkId> links;
   // Order-preserving pending sessions.
   std::vector<std::pair<std::string, PendingSession>> sessions;
@@ -63,6 +129,29 @@ Network parseNetworkFile(std::istream& in) {
     }
     return nullptr;
   };
+
+  Dialect dialect = Dialect::kUnset;
+  auto commit = [&](Dialect wanted, std::size_t line,
+                    const std::string& directive) {
+    if (dialect == Dialect::kUnset) {
+      dialect = wanted;
+    } else if (dialect != wanted) {
+      fail(line, "'" + directive + "' mixes the " +
+                     (wanted == Dialect::kGraph ? "graph" : "flat") +
+                     " dialect into a " +
+                     (dialect == Dialect::kGraph ? "graph" : "flat") +
+                     " file (nodes/edge/sender/member cannot be combined "
+                     "with link/receiver)");
+    }
+  };
+
+  // Graph dialect state.
+  bool nodesDeclared = false;
+  graph::Graph g;
+  std::vector<double> edgeWeights;
+  std::map<std::string, graph::LinkId> edges;
+  bool routingDeclared = false;
+  graph::RouteOptions routing;
 
   std::string raw;
   std::size_t lineNo = 0;
@@ -75,6 +164,7 @@ Network parseNetworkFile(std::istream& in) {
     const std::string& directive = tokens[0];
 
     if (directive == "link") {
+      commit(Dialect::kFlat, lineNo, directive);
       if (tokens.size() != 3) {
         fail(lineNo, "expected: link <name> <capacity>");
       }
@@ -82,8 +172,66 @@ Network parseNetworkFile(std::istream& in) {
         fail(lineNo, "duplicate link name '" + tokens[1] + "'");
       }
       const double capacity = parseNumber(lineNo, tokens[2], "capacity");
-      if (capacity <= 0.0) fail(lineNo, "capacity must be positive");
+      if (!(capacity > 0.0)) fail(lineNo, "capacity must be positive");
       links.emplace(tokens[1], network.addLink(capacity));
+    } else if (directive == "nodes") {
+      commit(Dialect::kGraph, lineNo, directive);
+      if (tokens.size() != 2) fail(lineNo, "expected: nodes <count>");
+      if (nodesDeclared) fail(lineNo, "duplicate nodes directive");
+      const double count = parseNumber(lineNo, tokens[1], "node count");
+      // Bounded so a short hostile file cannot demand gigabytes (and so
+      // the count always fits the uint32 NodeId space).
+      constexpr double kMaxNodes = 1 << 20;
+      if (!(count >= 1.0) || count != static_cast<double>(
+                                          static_cast<std::size_t>(count))) {
+        fail(lineNo, "node count must be a positive integer");
+      }
+      if (count > kMaxNodes) {
+        fail(lineNo, "node count exceeds the format limit (2^20)");
+      }
+      g.addNodes(static_cast<std::size_t>(count));
+      nodesDeclared = true;
+    } else if (directive == "edge") {
+      commit(Dialect::kGraph, lineNo, directive);
+      if (!nodesDeclared) fail(lineNo, "declare nodes before edges");
+      if (tokens.size() < 5 || tokens.size() > 6) {
+        fail(lineNo,
+             "expected: edge <name> <nodeA> <nodeB> <capacity> "
+             "[weight=<w>]");
+      }
+      if (edges.count(tokens[1]) != 0) {
+        fail(lineNo, "duplicate edge name '" + tokens[1] + "'");
+      }
+      const std::uint32_t a = parseNode(lineNo, tokens[2], g.nodeCount());
+      const std::uint32_t b = parseNode(lineNo, tokens[3], g.nodeCount());
+      if (a == b) fail(lineNo, "edge endpoints must be distinct");
+      const double capacity = parseNumber(lineNo, tokens[4], "capacity");
+      if (!(capacity > 0.0)) fail(lineNo, "capacity must be positive");
+      double weight = 1.0;
+      if (tokens.size() == 6) {
+        const auto w = keyValue(tokens[5], "weight");
+        if (!w) fail(lineNo, "unknown edge option '" + tokens[5] + "'");
+        weight = parseNumber(lineNo, *w, "weight");
+        if (!(weight >= 0.0)) fail(lineNo, "edge weight must be >= 0");
+      }
+      edges.emplace(tokens[1],
+                    g.addLink(graph::NodeId{a}, graph::NodeId{b}, capacity));
+      edgeWeights.push_back(weight);
+    } else if (directive == "routing") {
+      commit(Dialect::kGraph, lineNo, directive);
+      if (tokens.size() != 2) {
+        fail(lineNo, "expected: routing <hops|weighted>");
+      }
+      if (routingDeclared) fail(lineNo, "duplicate routing directive");
+      if (tokens[1] == "hops") {
+        routing.policy = graph::RoutePolicy::kHopCount;
+      } else if (tokens[1] == "weighted") {
+        routing.policy = graph::RoutePolicy::kWeighted;
+      } else {
+        fail(lineNo, "routing must be 'hops' or 'weighted', got '" +
+                         tokens[1] + "'");
+      }
+      routingDeclared = true;
     } else if (directive == "session") {
       if (tokens.size() < 3) {
         fail(lineNo,
@@ -107,12 +255,13 @@ Network parseNetworkFile(std::istream& in) {
       for (std::size_t t = 3; t < tokens.size(); ++t) {
         if (const auto sigma = keyValue(tokens[t], "sigma")) {
           pending.session.maxRate = parseNumber(lineNo, *sigma, "sigma");
-          if (pending.session.maxRate <= 0.0) {
+          if (!(pending.session.maxRate > 0.0)) {
             fail(lineNo, "sigma must be positive");
           }
         } else if (const auto red = keyValue(tokens[t], "redundancy")) {
           const double v = parseNumber(lineNo, *red, "redundancy");
-          if (v < 1.0) fail(lineNo, "redundancy must be >= 1");
+          if (!(v >= 1.0)) fail(lineNo, "redundancy must be >= 1");
+          pending.redundancy = v;
           pending.session.linkRateFn =
               std::make_shared<const ConstantFactor>(v);
         } else {
@@ -120,7 +269,52 @@ Network parseNetworkFile(std::istream& in) {
         }
       }
       sessions.emplace_back(tokens[1], std::move(pending));
+    } else if (directive == "sender") {
+      commit(Dialect::kGraph, lineNo, directive);
+      if (!nodesDeclared) fail(lineNo, "declare nodes before senders");
+      if (tokens.size() != 3) {
+        fail(lineNo, "expected: sender <session> <node>");
+      }
+      PendingSession* pending = findSession(tokens[1]);
+      if (pending == nullptr) {
+        fail(lineNo, "sender references unknown session '" + tokens[1] +
+                         "' (declare the session first)");
+      }
+      if (pending->senderSet) {
+        fail(lineNo, "session '" + tokens[1] + "' already has a sender");
+      }
+      pending->senderNode =
+          graph::NodeId{parseNode(lineNo, tokens[2], g.nodeCount())};
+      pending->senderSet = true;
+    } else if (directive == "member") {
+      commit(Dialect::kGraph, lineNo, directive);
+      if (!nodesDeclared) fail(lineNo, "declare nodes before members");
+      if (tokens.size() < 4) {
+        fail(lineNo, "expected: member <session> <name> <node> "
+                     "[weight=..]");
+      }
+      PendingSession* pending = findSession(tokens[1]);
+      if (pending == nullptr) {
+        fail(lineNo, "member references unknown session '" + tokens[1] +
+                         "' (declare the session first)");
+      }
+      Receiver receiver;
+      receiver.name = tokens[2];
+      const graph::NodeId node{parseNode(lineNo, tokens[3], g.nodeCount())};
+      for (std::size_t t = 4; t < tokens.size(); ++t) {
+        if (const auto w = keyValue(tokens[t], "weight")) {
+          receiver.weight = parseNumber(lineNo, *w, "weight");
+          if (!(receiver.weight > 0.0)) {
+            fail(lineNo, "weight must be positive");
+          }
+        } else {
+          fail(lineNo, "unknown member option '" + tokens[t] + "'");
+        }
+      }
+      pending->session.receivers.push_back(std::move(receiver));
+      pending->memberNodes.push_back(node);
     } else if (directive == "receiver") {
+      commit(Dialect::kFlat, lineNo, directive);
       if (tokens.size() < 4) {
         fail(lineNo,
              "expected: receiver <session> <name> <link,link,...> "
@@ -148,7 +342,7 @@ Network parseNetworkFile(std::istream& in) {
       for (std::size_t t = 4; t < tokens.size(); ++t) {
         if (const auto w = keyValue(tokens[t], "weight")) {
           receiver.weight = parseNumber(lineNo, *w, "weight");
-          if (receiver.weight <= 0.0) {
+          if (!(receiver.weight > 0.0)) {
             fail(lineNo, "weight must be positive");
           }
         } else {
@@ -159,6 +353,43 @@ Network parseNetworkFile(std::istream& in) {
     } else {
       fail(lineNo, "unknown directive '" + directive + "'");
     }
+  }
+
+  if (dialect == Dialect::kGraph) {
+    routing.weights =
+        routing.policy == graph::RoutePolicy::kWeighted
+            ? edgeWeights
+            : std::vector<double>{};
+    Network routed = networkWithGraphLinks(g);
+    graph::RoutePlan plan(g, routing);
+    for (auto& [name, pending] : sessions) {
+      if (!pending.senderSet) {
+        fail(pending.declaredAtLine,
+             "session '" + name + "' has no sender");
+      }
+      if (pending.session.receivers.empty()) {
+        fail(pending.declaredAtLine,
+             "session '" + name + "' has no members");
+      }
+      GraphSessionSpec spec;
+      spec.name = pending.session.name;
+      spec.type = pending.session.type;
+      spec.maxRate = pending.session.maxRate;
+      spec.redundancy = pending.redundancy;
+      spec.sender = pending.senderNode;
+      for (std::size_t k = 0; k < pending.memberNodes.size(); ++k) {
+        spec.members.push_back({pending.session.receivers[k].name,
+                                pending.memberNodes[k],
+                                pending.session.receivers[k].weight});
+      }
+      try {
+        routed.addSession(routeSession(plan, spec));
+      } catch (const std::exception& e) {
+        fail(pending.declaredAtLine,
+             "session '" + name + "' is invalid: " + e.what());
+      }
+    }
+    return routed;
   }
 
   for (auto& [name, pending] : sessions) {
@@ -179,6 +410,77 @@ Network parseNetworkFile(std::istream& in) {
 Network parseNetworkString(const std::string& text) {
   std::istringstream in(text);
   return parseNetworkFile(in);
+}
+
+Network buildRoutedNetwork(const graph::Graph& g,
+                           const graph::RouteOptions& routing,
+                           const std::vector<GraphSessionSpec>& sessions) {
+  Network n = networkWithGraphLinks(g);
+  graph::RoutePlan plan(g, routing);
+  for (const GraphSessionSpec& spec : sessions) {
+    n.addSession(routeSession(plan, spec));
+  }
+  return n;
+}
+
+namespace {
+
+// A serializable name: one non-empty token with no whitespace or '#'.
+void checkToken(const std::string& name, const char* what) {
+  MCFAIR_REQUIRE(!name.empty(), std::string(what) + " name must be non-empty");
+  for (const char c : name) {
+    MCFAIR_REQUIRE(!std::isspace(static_cast<unsigned char>(c)) && c != '#',
+                   std::string(what) + " name '" + name +
+                       "' must be a single token without '#'");
+  }
+}
+
+std::string number(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return ss.str();
+}
+
+}  // namespace
+
+void writeRoutedNetworkFile(std::ostream& out, const graph::Graph& g,
+                            const graph::RouteOptions& routing,
+                            const std::vector<GraphSessionSpec>& sessions) {
+  const bool weighted = routing.policy == graph::RoutePolicy::kWeighted;
+  MCFAIR_REQUIRE(routing.weights.empty() ||
+                     routing.weights.size() == g.linkCount(),
+                 "one route weight per link is required");
+  out << "nodes " << g.nodeCount() << "\n";
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    const auto [a, b] = g.endpoints(graph::LinkId{l});
+    out << "edge e" << l << " " << a.value << " " << b.value << " "
+        << number(g.capacity(graph::LinkId{l}));
+    if (weighted && !routing.weights.empty() && routing.weights[l] != 1.0) {
+      out << " weight=" << number(routing.weights[l]);
+    }
+    out << "\n";
+  }
+  out << "routing " << (weighted ? "weighted" : "hops") << "\n";
+  for (const GraphSessionSpec& spec : sessions) {
+    checkToken(spec.name, "session");
+    out << "session " << spec.name << " "
+        << (spec.type == SessionType::kSingleRate ? "single" : "multi");
+    if (spec.maxRate != kUnlimitedRate) {
+      out << " sigma=" << number(spec.maxRate);
+    }
+    MCFAIR_REQUIRE(spec.redundancy >= 1.0, "redundancy must be >= 1");
+    if (spec.redundancy > 1.0) {
+      out << " redundancy=" << number(spec.redundancy);
+    }
+    out << "\n";
+    out << "sender " << spec.name << " " << spec.sender.value << "\n";
+    for (const GraphSessionSpec::Member& m : spec.members) {
+      checkToken(m.name, "member");
+      out << "member " << spec.name << " " << m.name << " " << m.node.value;
+      if (m.weight != 1.0) out << " weight=" << number(m.weight);
+      out << "\n";
+    }
+  }
 }
 
 }  // namespace mcfair::net

@@ -1,8 +1,10 @@
 // Text format for describing networks — lets the fairshare CLI (and
 // tests) build models without writing C++.
 //
-// Grammar (one directive per line; '#' starts a comment; blank lines are
-// ignored):
+// Two mutually exclusive dialects share one parser ('#' starts a
+// comment; blank lines are ignored; one directive per line).
+//
+// Flat dialect — links and explicit per-receiver data-paths:
 //
 //   link <name> <capacity>
 //   session <name> <multi|single> [sigma=<rate>] [redundancy=<factor>]
@@ -19,14 +21,47 @@
 //   session web multi
 //   receiver web w1 backbone
 //
+// Graph dialect — a general graph plus routing metadata; data-paths are
+// *derived* by the routing-policy layer (graph/route_plan.hpp), so the
+// file stays valid as a description of meshed topologies where several
+// paths exist between any two nodes:
+//
+//   nodes <count>
+//   edge <name> <nodeA> <nodeB> <capacity> [weight=<w>]
+//   routing <hops|weighted>
+//   session <name> <multi|single> [sigma=<rate>] [redundancy=<factor>]
+//   sender <session> <node>
+//   member <session> <name> <node> [weight=<w>]
+//
+// Example:
+//
+//   nodes 4
+//   edge e0 0 1 10
+//   edge e1 1 2 10
+//   edge e2 0 2 10 weight=0.5
+//   edge e3 2 3 5
+//   routing weighted
+//   session video multi sigma=8
+//   sender video 0
+//   member video home 3
+//
+// `routing hops` (the default when the directive is omitted) routes on
+// hop count; `routing weighted` runs Dijkstra on the edges' `weight=`
+// attributes (default 1) with the documented lowest-node-id tie-break.
 // `redundancy=v` installs a ConstantFactor link-rate function (Section
 // 3.1) on the session; sessions default to efficient (v = 1).
+//
+// writeRoutedNetworkFile() serializes graph + routing + sessions in the
+// graph dialect such that parsing the output reconstructs a
+// structurallyEqual() Network (see buildRoutedNetwork).
 #pragma once
 
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "graph/route_plan.hpp"
 #include "net/network.hpp"
 
 namespace mcfair::net {
@@ -37,12 +72,50 @@ class NetfileError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Parses a network description from a stream. Throws NetfileError on
-/// malformed input (unknown directives, duplicate or missing names,
-/// unparsable numbers, receivers before their session, empty sessions).
+/// Parses a network description (either dialect) from a stream. Throws
+/// NetfileError on malformed input (unknown directives, duplicate or
+/// missing names, unparsable numbers, receivers before their session,
+/// empty sessions, mixed dialects, out-of-range nodes, unreachable
+/// members).
 Network parseNetworkFile(std::istream& in);
 
 /// Convenience wrapper over a string.
 Network parseNetworkString(const std::string& text);
+
+/// One session of the graph dialect — the serializable subset of a
+/// routed session (redundancy is restricted to the ConstantFactor
+/// family the text format can express).
+struct GraphSessionSpec {
+  std::string name;
+  SessionType type = SessionType::kMultiRate;
+  double maxRate = kUnlimitedRate;
+  /// ConstantFactor redundancy; 1 = efficient (no function written).
+  double redundancy = 1.0;
+  graph::NodeId sender;
+  struct Member {
+    std::string name;
+    graph::NodeId node;
+    double weight = 1.0;
+  };
+  std::vector<Member> members;
+};
+
+/// Builds the Network a graph-dialect file describes: one network link
+/// per graph link (capacities copied) and per-member data-paths routed
+/// by a RoutePlan over `routing`. Shared by the parser; call it
+/// directly to skip the text round-trip. Throws ModelError when a
+/// member is unreachable from its sender.
+Network buildRoutedNetwork(const graph::Graph& g,
+                           const graph::RouteOptions& routing,
+                           const std::vector<GraphSessionSpec>& sessions);
+
+/// Serializes graph + routing + sessions in the graph dialect.
+/// parseNetworkFile() on the output yields a Network structurallyEqual
+/// to buildRoutedNetwork(g, routing, sessions). Names must be non-empty
+/// single tokens (no whitespace or '#'); numbers are written with
+/// max_digits10 precision so capacities and weights survive exactly.
+void writeRoutedNetworkFile(std::ostream& out, const graph::Graph& g,
+                            const graph::RouteOptions& routing,
+                            const std::vector<GraphSessionSpec>& sessions);
 
 }  // namespace mcfair::net

@@ -238,4 +238,71 @@ void Network::reindex() {
   }
 }
 
+bool structurallyEqual(const Network& a, const Network& b) {
+  if (a.linkCount() != b.linkCount() ||
+      a.sessionCount() != b.sessionCount()) {
+    return false;
+  }
+  for (std::uint32_t l = 0; l < a.linkCount(); ++l) {
+    if (a.capacity(graph::LinkId{l}) != b.capacity(graph::LinkId{l})) {
+      return false;
+    }
+  }
+  // Rate-set probes that distinguish the shipped link-rate families:
+  // shared-link pairs expose ConstantFactor's v and (at several scales)
+  // RandomJoinExpected's sigma-dependent curve, the singleton stays
+  // efficient under both. A probe outside a function's domain (e.g.
+  // RandomJoinExpected with sigma < max rate) throws; two functions
+  // compare equal on such a probe only when both reject it — so
+  // functions whose domain excludes every probe (RandomJoinExpected
+  // with sigma < 1/16) are told apart by rejection pattern alone.
+  static constexpr double kPair[] = {1.0, 2.0};
+  static constexpr double kSolo[] = {1.5};
+  static constexpr double kTriple[] = {0.25, 0.5, 1.0};
+  static constexpr double kSmallPair[] = {0.25, 0.5};
+  static constexpr double kTinyPair[] = {0.03125, 0.0625};
+  const auto probeEqual = [](const LinkRateFunction& fa,
+                             const LinkRateFunction& fb,
+                             std::span<const double> rates) {
+    double va = 0.0, vb = 0.0;
+    bool oka = true, okb = true;
+    try {
+      va = fa.linkRate(rates);
+    } catch (const std::exception&) {
+      oka = false;
+    }
+    try {
+      vb = fb.linkRate(rates);
+    } catch (const std::exception&) {
+      okb = false;
+    }
+    return oka == okb && (!oka || va == vb);
+  };
+  for (std::size_t i = 0; i < a.sessionCount(); ++i) {
+    const Session& sa = a.session(i);
+    const Session& sb = b.session(i);
+    if (sa.type != sb.type || sa.maxRate != sb.maxRate ||
+        sa.name != sb.name ||
+        sa.receivers.size() != sb.receivers.size()) {
+      return false;
+    }
+    for (const auto probe : {std::span<const double>(kPair),
+                             std::span<const double>(kSolo),
+                             std::span<const double>(kTriple),
+                             std::span<const double>(kSmallPair),
+                             std::span<const double>(kTinyPair)}) {
+      if (!probeEqual(*sa.linkRateFn, *sb.linkRateFn, probe)) return false;
+    }
+    for (std::size_t k = 0; k < sa.receivers.size(); ++k) {
+      const Receiver& ra = sa.receivers[k];
+      const Receiver& rb = sb.receivers[k];
+      if (ra.dataPath != rb.dataPath || ra.weight != rb.weight ||
+          ra.name != rb.name) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace mcfair::net

@@ -116,4 +116,16 @@ class Network {
   std::uint64_t identity_ = nextIdentity();
 };
 
+/// True when two networks describe the same model: equal link
+/// capacities, sessions (type, sigma, name) and receivers (data-path,
+/// weight, name), position by position. Link-rate functions are
+/// compared behaviorally on a small probe of rate sets; a probe outside
+/// a function's domain counts as equal only when both functions reject
+/// it. This is exact for the shipped families at practical parameters —
+/// functions whose domain excludes every probe (RandomJoinExpected with
+/// sigma < 1/16) are distinguished by rejection pattern only.
+/// identity() plays no part, so copies and independently built
+/// structures (e.g. a netfile round-trip) compare equal.
+bool structurallyEqual(const Network& a, const Network& b);
+
 }  // namespace mcfair::net

@@ -130,15 +130,15 @@ Network singleBottleneckNetwork(std::size_t n, std::size_t m, double c,
   return net;
 }
 
-Network fromGraph(const graph::Graph& g,
-                  const std::vector<RoutedSessionSpec>& specs) {
+Network fromGraphRouted(graph::RoutePlan& plan,
+                        const std::vector<RoutedSessionSpec>& specs) {
+  const graph::Graph& g = plan.graph();
   Network n;
   for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
     n.addLink(g.capacity(LinkId{l}));
   }
   for (const auto& spec : specs) {
-    const auto tree = graph::buildShortestPathTree(g, spec.sender,
-                                                   spec.receivers);
+    const auto tree = plan.distributionTree(spec.sender, spec.receivers);
     std::vector<Receiver> receivers;
     receivers.reserve(spec.receivers.size());
     for (std::size_t k = 0; k < spec.receivers.size(); ++k) {
@@ -148,6 +148,12 @@ Network fromGraph(const graph::Graph& g,
                          std::move(receivers), spec.linkRateFn));
   }
   return n;
+}
+
+Network fromGraph(const graph::Graph& g,
+                  const std::vector<RoutedSessionSpec>& specs) {
+  graph::RoutePlan plan(g);  // hop-count: the historical BFS trees
+  return fromGraphRouted(plan, specs);
 }
 
 Network fromGraphMultiSender(const graph::Graph& g,

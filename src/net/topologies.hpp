@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "graph/generators.hpp"
+#include "graph/route_plan.hpp"
 #include "graph/tree.hpp"
 #include "net/network.hpp"
 #include "util/rng.hpp"
@@ -75,9 +77,20 @@ struct RoutedSessionSpec {
   std::string name;
 };
 
-/// Builds a Network from a Graph: link capacities are copied and each
-/// session's receiver data-paths come from its shortest-path multicast
-/// tree.
+/// The primary graph -> Network builder: link capacities are copied from
+/// the plan's graph and each session's receiver data-paths are read off
+/// the routing plan (one cached shortest-path tree per distinct sender,
+/// so S sessions over K distinct senders cost K tree builds, not S).
+/// Works on any connected substrate — trees, BA m >= 2 meshes, Waxman
+/// graphs — because the fairness model only ever consumes the resulting
+/// per-receiver link sets. Throws ModelError when a receiver is
+/// unreachable under the plan's policy.
+Network fromGraphRouted(graph::RoutePlan& plan,
+                        const std::vector<RoutedSessionSpec>& specs);
+
+/// Convenience wrapper over fromGraphRouted with hop-count routing —
+/// the historical tree-only entry point, bit-identical to the networks
+/// it produced when it built one BFS tree per session itself.
 Network fromGraph(const graph::Graph& g,
                   const std::vector<RoutedSessionSpec>& specs);
 

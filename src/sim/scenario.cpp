@@ -1,8 +1,11 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "graph/generators.hpp"
+#include "graph/route_plan.hpp"
 #include "util/error.hpp"
 
 namespace mcfair::sim {
@@ -53,7 +56,14 @@ Scenario buildScenario(const ScenarioSpec& spec) {
                  "backbonePerSession must be positive");
   MCFAIR_REQUIRE(spec.topology == ScenarioSpec::Topology::kSharedLink ||
                      spec.backboneNodes >= 2,
-                 "scale-free backbone needs >= 2 nodes");
+                 "graph backbones need >= 2 nodes");
+  MCFAIR_REQUIRE(spec.topology != ScenarioSpec::Topology::kScaleFreeGraph ||
+                     (spec.meshEdgesPerNode >= 1 &&
+                      spec.backboneNodes > spec.meshEdgesPerNode),
+                 "scale-free mesh needs 1 <= meshEdgesPerNode < "
+                 "backboneNodes");
+  MCFAIR_REQUIRE(spec.meshWeightJitter >= 0.0,
+                 "meshWeightJitter must be >= 0");
   MCFAIR_REQUIRE(spec.tailCapacityMax == 0.0 ||
                      (spec.tailCapacityMin > 0.0 &&
                       spec.tailCapacityMin <= spec.tailCapacityMax),
@@ -100,6 +110,10 @@ Scenario buildScenario(const ScenarioSpec& spec) {
 
   const bool scaleFree =
       spec.topology == ScenarioSpec::Topology::kScaleFreeTree;
+  const bool mesh =
+      spec.topology == ScenarioSpec::Topology::kScaleFreeGraph ||
+      spec.topology == ScenarioSpec::Topology::kWaxman ||
+      spec.topology == ScenarioSpec::Topology::kRandomRegular;
   graph::LinkId backbone{0};
   // kScaleFreeTree structure: parent pointers of the preferential-
   // attachment tree, each receiver's node, and one link per tree edge
@@ -107,7 +121,81 @@ Scenario buildScenario(const ScenarioSpec& spec) {
   std::vector<std::size_t> parent;
   std::vector<std::size_t> receiverNode;  // session-major, per receiver
   std::vector<graph::LinkId> edgeLink;
-  if (!scaleFree) {
+  // Mesh structure: routed per-receiver backbone paths (session-major).
+  std::vector<std::vector<graph::LinkId>> meshPath;
+  if (mesh) {
+    // Substrate first, all draws off the topology stream.
+    graph::Graph g;
+    switch (spec.topology) {
+      case ScenarioSpec::Topology::kScaleFreeGraph:
+        g = graph::scaleFreeGraph(
+            topologyRng, {spec.backboneNodes, spec.meshEdgesPerNode, 1.0});
+        break;
+      case ScenarioSpec::Topology::kWaxman:
+        g = graph::waxmanGraph(topologyRng, {spec.backboneNodes,
+                                             spec.waxmanAlpha,
+                                             spec.waxmanBeta, 1.0});
+        break;
+      default:
+        g = graph::randomRegularGraph(
+            topologyRng, {spec.backboneNodes, spec.regularDegree, 1.0, 200});
+        break;
+    }
+    // Routing policy: jittered link weights give path diversity (routed
+    // paths deviate from hop-shortest ones), hop count otherwise.
+    graph::RouteOptions ropts;
+    if (spec.meshWeightJitter > 0.0) {
+      ropts.policy = graph::RoutePolicy::kWeighted;
+      ropts.weights.reserve(g.linkCount());
+      for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+        ropts.weights.push_back(
+            topologyRng.uniform(1.0, 1.0 + spec.meshWeightJitter));
+      }
+    }
+    graph::RoutePlan plan(g, std::move(ropts));
+    // Member placement: uniform sender per session, receivers on other
+    // nodes; the plan caches one SPT per distinct sender, so large
+    // populations on a fixed-size backbone stay cheap.
+    meshPath.resize(spec.sessions * spec.receiversPerSession);
+    s.senderNode.reserve(spec.sessions);
+    s.receiverNode.reserve(meshPath.size());
+    for (std::size_t i = 0; i < spec.sessions; ++i) {
+      const graph::NodeId sender{
+          static_cast<std::uint32_t>(topologyRng.below(g.nodeCount()))};
+      s.senderNode.push_back(sender);
+      for (std::size_t k = 0; k < spec.receiversPerSession; ++k) {
+        std::uint32_t node =
+            static_cast<std::uint32_t>(topologyRng.below(g.nodeCount()));
+        while (node == sender.value) {
+          node = static_cast<std::uint32_t>(topologyRng.below(g.nodeCount()));
+        }
+        s.receiverNode.push_back(graph::NodeId{node});
+        meshPath[i * spec.receiversPerSession + k] =
+            plan.path(sender, graph::NodeId{node});
+      }
+    }
+    // Load-proportional provisioning: a session crosses a link when any
+    // of its receivers' routed paths does (stamp-deduplicated), and
+    // each link is provisioned backbonePerSession per crossing session.
+    std::vector<std::size_t> crossing(g.linkCount(), 0);
+    std::vector<std::uint32_t> stamp(g.linkCount(), 0);
+    for (std::size_t i = 0; i < spec.sessions; ++i) {
+      for (std::size_t k = 0; k < spec.receiversPerSession; ++k) {
+        for (const graph::LinkId l :
+             meshPath[i * spec.receiversPerSession + k]) {
+          if (stamp[l.value] == i + 1) continue;
+          stamp[l.value] = static_cast<std::uint32_t>(i + 1);
+          ++crossing[l.value];
+        }
+      }
+    }
+    for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+      s.network.addLink(spec.backbonePerSession *
+                        static_cast<double>(
+                            std::max<std::size_t>(1, crossing[l])));
+    }
+    s.backbone = std::move(g);
+  } else if (!scaleFree) {
     backbone = s.network.addLink(static_cast<double>(spec.sessions) *
                                  spec.backbonePerSession);
   } else {
@@ -167,7 +255,9 @@ Scenario buildScenario(const ScenarioSpec& spec) {
     session.name = "S" + std::to_string(i + 1);
     for (std::size_t k = 0; k < spec.receiversPerSession; ++k) {
       std::vector<graph::LinkId> path;
-      if (scaleFree) {
+      if (mesh) {
+        path = std::move(meshPath[i * spec.receiversPerSession + k]);
+      } else if (scaleFree) {
         for (std::size_t v = receiverNode[i * spec.receiversPerSession + k];
              v != 0; v = parent[v]) {
           path.push_back(edgeLink[v]);
@@ -341,6 +431,41 @@ const std::vector<ScenarioSpec>& scenarioCatalog() {
       s.warmup = 2.0;
       s.mix = {SessionMix{{ProtocolKind::kDeterministic, 1, 1},
                           net::SessionType::kMultiRate, 1.0}};
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "meshed-backbone";
+      s.description =
+          "24 sessions, 2 receivers each, routed over a 48-node "
+          "Barabasi-Albert m=2 mesh: the graph has cycles, so the "
+          "routing layer (weighted SPT over jittered link weights, "
+          "lowest-id tie-break) — not the topology — picks each "
+          "session's distribution tree; per-edge capacity is "
+          "proportional to routed load";
+      s.sessions = 24;
+      s.receiversPerSession = 2;
+      s.topology = ScenarioSpec::Topology::kScaleFreeGraph;
+      s.backboneNodes = 48;
+      s.meshEdgesPerNode = 2;
+      s.mix = {SessionMix{{ProtocolKind::kCoordinated, 6, 1},
+                          net::SessionType::kMultiRate, 1.0}};
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "waxman-regional";
+      s.description =
+          "16 sessions, 2 receivers each, on a 64-node Waxman "
+          "geometric random graph (alpha 0.6, beta 0.35) with "
+          "heterogeneous private tails — the meshed regional-backbone "
+          "setting of the PAPERS.md ATM fairness studies";
+      s.sessions = 16;
+      s.receiversPerSession = 2;
+      s.topology = ScenarioSpec::Topology::kWaxman;
+      s.backboneNodes = 64;
+      s.tailCapacityMin = 1.0;
+      s.tailCapacityMax = 16.0;
       v.push_back(std::move(s));
     }
     return v;

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/graph.hpp"
 #include "net/network.hpp"
 #include "sim/closed_loop.hpp"
 
@@ -65,26 +66,41 @@ struct LossSpec {
 
 /// A parameterized closed-loop experiment population.
 ///
-/// Topology: either one shared backbone link (capacity scales with the
-/// session count) — the shape of the paper's star experiments, scaled
-/// out — or a Barabási–Albert scale-free tree backbone (per the
-/// PAPERS.md scale-free bottleneck study), in both cases optionally plus
-/// one private tail link per receiver.
+/// Topology: one shared backbone link (capacity scales with the session
+/// count) — the shape of the paper's star experiments, scaled out — a
+/// Barabási–Albert scale-free *tree* backbone (unique paths), or a
+/// routed *mesh* backbone (BA m >= 2 / Waxman / random-regular graphs,
+/// per-session multicast trees picked by a graph::RoutePlan); in every
+/// case optionally plus one private tail link per receiver.
 struct ScenarioSpec {
   /// Backbone shape.
   enum class Topology {
     /// One shared link crossed by every receiver (the default).
     kSharedLink,
-    /// A Barabási–Albert preferential-attachment tree of backboneNodes
-    /// nodes rooted at the sender side: node v >= 2 attaches to an
-    /// existing node with probability proportional to its degree, every
-    /// tree edge is a link, and each receiver sits at a uniformly drawn
-    /// non-root node with the root path as its data-path. Degrees follow
-    /// the scale-free power law, so a few hub edges carry most sessions
-    /// — the bottleneck-distribution setting of the PAPERS.md
-    /// (Sreenivasan et al.) study. Each edge is provisioned
-    /// backbonePerSession per session crossing it.
+    /// The *tree* scale-free variant: a Barabási–Albert preferential-
+    /// attachment tree (m = 1) of backboneNodes nodes rooted at the
+    /// sender side. Every session transmits from the root, each
+    /// receiver sits at a uniformly drawn non-root node, and — because
+    /// a tree has unique paths — its data-path is forced to be its root
+    /// path; no routing decision exists. Degrees follow the scale-free
+    /// power law, so a few hub edges carry most sessions — the
+    /// bottleneck-distribution setting of the PAPERS.md (Sreenivasan et
+    /// al.) study. For the graph variant, where paths are *chosen* by
+    /// the routing layer rather than forced, see kScaleFreeGraph.
     kScaleFreeTree,
+    /// Routed mesh: a Barabási–Albert graph with m = meshEdgesPerNode
+    /// (>= 2 gives cycles). Each session gets a uniformly drawn sender
+    /// node and receivers on other nodes; data-paths come from a
+    /// graph::RoutePlan (weighted SPT over jittered link weights when
+    /// meshWeightJitter > 0, hop count otherwise), so routing — not
+    /// topology — picks the bottlenecks.
+    kScaleFreeGraph,
+    /// Routed mesh over a Waxman geometric random graph
+    /// (waxmanAlpha/waxmanBeta) — the classic meshed-backbone model.
+    kWaxman,
+    /// Routed mesh over a random regularDegree-regular graph — the
+    /// degree-homogeneous control for the scale-free families.
+    kRandomRegular,
   };
 
   std::string name = "custom";
@@ -94,14 +110,30 @@ struct ScenarioSpec {
   std::size_t receiversPerSession = 1;
 
   Topology topology = Topology::kSharedLink;
-  /// Node count of the kScaleFreeTree backbone (>= 2; ignored for
+  /// Node count of the non-kSharedLink backbones (>= 2; ignored for
   /// kSharedLink).
   std::size_t backboneNodes = 32;
 
+  /// kScaleFreeGraph: the BA "m" — edges each new node attaches with
+  /// (>= 2 creates the cycles that make routing meaningful; requires
+  /// backboneNodes > meshEdgesPerNode).
+  std::size_t meshEdgesPerNode = 2;
+  /// kWaxman link probability alpha * exp(-d / (beta * sqrt(2))).
+  double waxmanAlpha = 0.6;
+  double waxmanBeta = 0.35;
+  /// kRandomRegular node degree (nodes * degree must be even).
+  std::size_t regularDegree = 4;
+  /// Mesh topologies: > 0 routes on per-link weights drawn uniformly
+  /// from [1, 1 + jitter) — path diversity that makes routed paths
+  /// deviate from (and occasionally be longer than) hop-shortest ones;
+  /// 0 routes on hop count.
+  double meshWeightJitter = 1.0;
+
   /// kSharedLink: backbone capacity = sessions * backbonePerSession
   /// (packets per time unit), so per-session contention is
-  /// scale-invariant. kScaleFreeTree: per-edge capacity =
-  /// backbonePerSession * sessions crossing the edge.
+  /// scale-invariant. Tree/mesh backbones: per-edge capacity =
+  /// backbonePerSession * sessions whose routed paths cross the edge
+  /// (load-proportional provisioning).
   double backbonePerSession = 2.0;
   /// When tailCapacityMax > 0, every receiver gets a private tail link
   /// with capacity uniform in [tailCapacityMin, tailCapacityMax] — the
@@ -145,6 +177,16 @@ struct Scenario {
   std::string name;
   net::Network network;
   ClosedLoopConfig config;
+  /// Mesh topologies only (node count 0 otherwise): the backbone graph
+  /// the data-paths were routed over. Network link j < linkCount() of
+  /// the backbone is graph link j; tail links follow. Tests use it to
+  /// check routed paths against the substrate (e.g. BFS-tree
+  /// containment).
+  graph::Graph backbone;
+  /// Mesh topologies only: each session's sender node and each
+  /// receiver's node (session-major, receiversPerSession per session).
+  std::vector<graph::NodeId> senderNode;
+  std::vector<graph::NodeId> receiverNode;
 };
 
 /// Expands a spec deterministically (equal specs produce equal

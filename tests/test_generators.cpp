@@ -1,0 +1,129 @@
+// Tests for the general-graph generators (graph/generators.hpp):
+// connectivity, family-defining structure, determinism, validation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/routing.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::graph {
+namespace {
+
+bool connected(const Graph& g) {
+  const auto pred = bfsPredecessors(g, NodeId{0});
+  for (std::uint32_t v = 1; v < g.nodeCount(); ++v) {
+    if (pred[v] == 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> degrees(const Graph& g) {
+  std::vector<std::size_t> d(g.nodeCount(), 0);
+  for (std::uint32_t v = 0; v < g.nodeCount(); ++v) {
+    d[v] = g.neighbors(NodeId{v}).size();
+  }
+  return d;
+}
+
+TEST(ScaleFreeGraph, StructureAndConnectivity) {
+  util::Rng rng(1);
+  const std::size_t n = 64, m = 2;
+  const Graph g = scaleFreeGraph(rng, {n, m, 5.0});
+  EXPECT_EQ(g.nodeCount(), n);
+  // Every node past the seed adds exactly m edges.
+  EXPECT_EQ(g.linkCount(), (n - m) * m);
+  EXPECT_TRUE(connected(g));
+  EXPECT_DOUBLE_EQ(g.capacity(LinkId{0}), 5.0);
+  // Growers attach m times (seed nodes are only guaranteed the edge the
+  // first grower brings), and preferential attachment produces a hub
+  // well above the minimum.
+  const auto d = degrees(g);
+  std::size_t maxDeg = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    EXPECT_GE(d[v], v < m ? 1 : m) << "node " << v;
+    maxDeg = std::max(maxDeg, d[v]);
+  }
+  EXPECT_GE(maxDeg, 4 * m) << "expected a preferential-attachment hub";
+}
+
+TEST(ScaleFreeGraph, WithCyclesForMAtLeastTwo) {
+  util::Rng rng(2);
+  const Graph g = scaleFreeGraph(rng, {32, 2, 1.0});
+  EXPECT_GT(g.linkCount(), g.nodeCount() - 1) << "m = 2 must create cycles";
+}
+
+TEST(ScaleFreeGraph, DeterministicInSeed) {
+  util::Rng a(9), b(9), c(10);
+  const Graph ga = scaleFreeGraph(a, {24, 3, 1.0});
+  const Graph gb = scaleFreeGraph(b, {24, 3, 1.0});
+  const Graph gc = scaleFreeGraph(c, {24, 3, 1.0});
+  ASSERT_EQ(ga.linkCount(), gb.linkCount());
+  bool anyDifferent = ga.linkCount() != gc.linkCount();
+  for (std::uint32_t l = 0; l < ga.linkCount(); ++l) {
+    EXPECT_EQ(ga.endpoints(LinkId{l}), gb.endpoints(LinkId{l}));
+    if (!anyDifferent && ga.endpoints(LinkId{l}) != gc.endpoints(LinkId{l})) {
+      anyDifferent = true;
+    }
+  }
+  EXPECT_TRUE(anyDifferent) << "different seeds should differ";
+}
+
+TEST(WaxmanGraph, ConnectedAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = waxmanGraph(rng, {40, 0.5, 0.3, 2.0});
+    EXPECT_EQ(g.nodeCount(), 40u);
+    EXPECT_TRUE(connected(g)) << "seed " << seed;
+    EXPECT_GE(g.linkCount(), 39u);
+  }
+  util::Rng a(3), b(3);
+  const Graph ga = waxmanGraph(a, {30, 0.5, 0.3, 1.0});
+  const Graph gb = waxmanGraph(b, {30, 0.5, 0.3, 1.0});
+  ASSERT_EQ(ga.linkCount(), gb.linkCount());
+  for (std::uint32_t l = 0; l < ga.linkCount(); ++l) {
+    EXPECT_EQ(ga.endpoints(LinkId{l}), gb.endpoints(LinkId{l}));
+  }
+}
+
+TEST(WaxmanGraph, SparseParametersStillConnect) {
+  // alpha small enough that the probabilistic phase strands components;
+  // the repair pass must stitch them.
+  util::Rng rng(4);
+  const Graph g = waxmanGraph(rng, {24, 0.05, 0.05, 1.0});
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(RandomRegularGraph, ExactDegreesSimpleAndConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const Graph g = randomRegularGraph(rng, {26, 3, 1.0, 200});
+    EXPECT_TRUE(connected(g)) << "seed " << seed;
+    for (const std::size_t d : degrees(g)) EXPECT_EQ(d, 3u);
+    // Simple: no self-loops or parallel links.
+    for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+      const auto [a, b] = g.endpoints(LinkId{l});
+      EXPECT_NE(a, b);
+      for (std::uint32_t m = l + 1; m < g.linkCount(); ++m) {
+        EXPECT_NE(g.endpoints(LinkId{m}), g.endpoints(LinkId{l}));
+      }
+    }
+  }
+}
+
+TEST(Generators, Validation) {
+  util::Rng rng(1);
+  EXPECT_THROW(scaleFreeGraph(rng, {4, 0, 1.0}), PreconditionError);
+  EXPECT_THROW(scaleFreeGraph(rng, {3, 3, 1.0}), PreconditionError);
+  EXPECT_THROW(scaleFreeGraph(rng, {8, 2, 0.0}), PreconditionError);
+  EXPECT_THROW(waxmanGraph(rng, {1, 0.5, 0.3, 1.0}), PreconditionError);
+  EXPECT_THROW(waxmanGraph(rng, {8, 0.0, 0.3, 1.0}), PreconditionError);
+  EXPECT_THROW(waxmanGraph(rng, {8, 0.5, 0.0, 1.0}), PreconditionError);
+  EXPECT_THROW(randomRegularGraph(rng, {8, 8, 1.0, 10}), PreconditionError);
+  EXPECT_THROW(randomRegularGraph(rng, {5, 3, 1.0, 10}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::graph

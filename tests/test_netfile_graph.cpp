@@ -1,0 +1,207 @@
+// Tests for the graph dialect of the netfile format: parsing, routed
+// path derivation, the write -> read round trip (structural equality
+// independent of Network::identity()), and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "net/netfile.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::net {
+namespace {
+
+using graph::LinkId;
+using graph::NodeId;
+
+TEST(NetfileGraph, ParsesAndRoutesHopCount) {
+  // 0 -e0- 1 -e1- 2 and a direct chord 0 -e2- 2: hop routing takes the
+  // chord to node 2 and e0 to node 1.
+  const Network n = parseNetworkString(R"(
+    nodes 3
+    edge e0 0 1 10
+    edge e1 1 2 7
+    edge e2 0 2 4
+    routing hops
+    session video multi sigma=8
+    sender video 0
+    member video r1 1
+    member video r2 2 weight=2
+  )");
+  EXPECT_EQ(n.linkCount(), 3u);
+  EXPECT_DOUBLE_EQ(n.capacity(LinkId{1}), 7.0);
+  ASSERT_EQ(n.sessionCount(), 1u);
+  const Session& s = n.session(0);
+  EXPECT_EQ(s.maxRate, 8.0);
+  ASSERT_EQ(s.receivers.size(), 2u);
+  EXPECT_EQ(s.receivers[0].dataPath, (std::vector<LinkId>{LinkId{0}}));
+  EXPECT_EQ(s.receivers[1].dataPath, (std::vector<LinkId>{LinkId{2}}));
+  EXPECT_DOUBLE_EQ(s.receivers[1].weight, 2.0);
+}
+
+TEST(NetfileGraph, WeightedRoutingUsesEdgeWeights) {
+  // The chord is expensive, so weighted routing reaches node 2 through
+  // node 1 even though the chord is hop-shorter.
+  const Network n = parseNetworkString(R"(
+    nodes 3
+    edge e0 0 1 10
+    edge e1 1 2 7
+    edge e2 0 2 4 weight=5
+    routing weighted
+    session web multi
+    sender web 0
+    member web r 2
+  )");
+  EXPECT_EQ(n.session(0).receivers[0].dataPath,
+            (std::vector<LinkId>{LinkId{0}, LinkId{1}}));
+}
+
+TEST(NetfileGraph, RoundTripIsStructurallyEqual) {
+  util::Rng rng(31);
+  const graph::Graph g = graph::scaleFreeGraph(rng, {16, 2, 1.0});
+  graph::RouteOptions routing;
+  routing.policy = graph::RoutePolicy::kWeighted;
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    routing.weights.push_back(rng.uniform(0.5, 3.0));
+  }
+  std::vector<GraphSessionSpec> specs;
+  for (int i = 0; i < 5; ++i) {
+    GraphSessionSpec spec;
+    spec.name = "S" + std::to_string(i);
+    spec.type = i % 2 ? SessionType::kSingleRate : SessionType::kMultiRate;
+    if (i == 1) spec.maxRate = rng.uniform(1.0, 9.0);
+    if (i == 2) spec.redundancy = 1.75;
+    spec.sender = NodeId{static_cast<std::uint32_t>(rng.below(16))};
+    for (int k = 0; k < 1 + i % 3; ++k) {
+      NodeId node{static_cast<std::uint32_t>(rng.below(16))};
+      if (node == spec.sender) node = NodeId{(node.value + 1) % 16};
+      // Single-rate sessions require uniform receiver weights.
+      const double weight =
+          (spec.type == SessionType::kMultiRate && k > 0)
+              ? rng.uniform(0.5, 4.0)
+              : 1.0;
+      spec.members.push_back(
+          {"r" + std::to_string(i) + "_" + std::to_string(k), node, weight});
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  const Network direct = buildRoutedNetwork(g, routing, specs);
+  std::ostringstream out;
+  writeRoutedNetworkFile(out, g, routing, specs);
+  const Network reparsed = parseNetworkString(out.str());
+  EXPECT_TRUE(structurallyEqual(direct, reparsed)) << out.str();
+  EXPECT_NE(direct.identity(), reparsed.identity())
+      << "distinct structures must keep distinct identities";
+
+  // Second round trip is a fixed point.
+  const Network again = parseNetworkString(out.str());
+  EXPECT_TRUE(structurallyEqual(reparsed, again));
+}
+
+TEST(NetfileGraph, RoundTripHopCount) {
+  util::Rng rng(8);
+  const graph::Graph g = graph::waxmanGraph(rng, {12, 0.6, 0.4, 2.5});
+  std::vector<GraphSessionSpec> specs(1);
+  specs[0].name = "S0";
+  specs[0].sender = NodeId{0};
+  specs[0].members = {{"a", NodeId{5}, 1.0}, {"b", NodeId{11}, 2.0}};
+  const Network direct = buildRoutedNetwork(g, {}, specs);
+  std::ostringstream out;
+  writeRoutedNetworkFile(out, g, {}, specs);
+  EXPECT_TRUE(structurallyEqual(direct, parseNetworkString(out.str())))
+      << out.str();
+}
+
+TEST(NetfileGraph, StructurallyEqualDetectsDifferences) {
+  const char* text = R"(
+    nodes 2
+    edge e0 0 1 10
+    routing hops
+    session s multi
+    sender s 0
+    member s r 1
+  )";
+  const Network a = parseNetworkString(text);
+  EXPECT_TRUE(structurallyEqual(a, a));
+  const Network b = a.withCapacity(LinkId{0}, 11.0);
+  EXPECT_FALSE(structurallyEqual(a, b));
+  const Network c = a.withSessionType(0, SessionType::kSingleRate);
+  EXPECT_FALSE(structurallyEqual(a, c));
+  // Probes outside a link-rate function's domain must not escape:
+  // RandomJoinExpected(1.0) rejects rates above sigma = 1, yet the
+  // comparison still returns (equal to itself, different from the
+  // efficient default).
+  const Network d = a.withLinkRateFunction(
+      0, std::make_shared<const RandomJoinExpected>(1.0));
+  EXPECT_TRUE(structurallyEqual(d, d));
+  EXPECT_FALSE(structurallyEqual(a, d));
+}
+
+TEST(NetfileGraph, RejectsMalformedInput) {
+  // Mixing dialects.
+  EXPECT_THROW(parseNetworkString("link l1 5\nnodes 3\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nedge e0 0 1 5\nlink l1 5\n"),
+               NetfileError);
+  // Edges before nodes / out-of-range nodes / self edges.
+  EXPECT_THROW(parseNetworkString("edge e0 0 1 5\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nedge e0 0 2 5\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nedge e0 1 1 5\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nedge e0 0 1 0\n"), NetfileError);
+  EXPECT_THROW(
+      parseNetworkString("nodes 2\nedge e0 0 1 5\nedge e0 1 0 5\n"),
+      NetfileError);
+  EXPECT_THROW(
+      parseNetworkString("nodes 2\nedge e0 0 1 5 weight=-1\n"),
+      NetfileError);
+  // NaN never satisfies a positivity check, and hostile node counts are
+  // bounded — both must surface as NetfileError with a line number, not
+  // escape as a different exception (or an allocation attempt).
+  EXPECT_THROW(parseNetworkString("nodes 2\nedge e0 0 1 nan\n"),
+               NetfileError);
+  EXPECT_THROW(
+      parseNetworkString("nodes 2\nedge e0 0 1 5 weight=nan\n"),
+      NetfileError);
+  EXPECT_THROW(parseNetworkString("link l1 nan\n"), NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 4294967296\n"), NetfileError);
+  // Routing typos / duplicates.
+  EXPECT_THROW(parseNetworkString("nodes 2\nrouting fastest\n"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nrouting hops\nrouting hops\n"),
+               NetfileError);
+  // Sessions without sender / without members / unknown session.
+  EXPECT_THROW(parseNetworkString(R"(
+    nodes 2
+    edge e0 0 1 5
+    session s multi
+    member s r 1
+  )"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(R"(
+    nodes 2
+    edge e0 0 1 5
+    session s multi
+    sender s 0
+  )"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nsender ghost 0\n"),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString("nodes 2\nmember ghost r 1\n"),
+               NetfileError);
+  // Unreachable member (no edges at all).
+  EXPECT_THROW(parseNetworkString(R"(
+    nodes 3
+    edge e0 0 1 5
+    session s multi
+    sender s 0
+    member s r 2
+  )"),
+               NetfileError);
+  // Flat dialect still validates as before.
+  EXPECT_THROW(parseNetworkString("link l1 5\nreceiver ghost r l1\n"),
+               NetfileError);
+}
+
+}  // namespace
+}  // namespace mcfair::net

@@ -1,0 +1,184 @@
+// Tests for the routing-policy layer (graph/route_plan.hpp): policy
+// semantics, per-source caching, tie-break rules, and the guarantee that
+// the tree-era entry points refitted onto it (buildShortestPathTree,
+// net::fromGraph) kept producing bit-identical structures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/route_plan.hpp"
+#include "graph/routing.hpp"
+#include "graph/tree.hpp"
+#include "net/topologies.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::graph {
+namespace {
+
+// 0 - 1 - 2 - 3 plus a two-hop shortcut 0 - 4 - 3 and a chord 1 - 3.
+Graph diamond() {
+  Graph g;
+  g.addNodes(5);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);  // l0
+  g.addLink(NodeId{1}, NodeId{2}, 1.0);  // l1
+  g.addLink(NodeId{2}, NodeId{3}, 1.0);  // l2
+  g.addLink(NodeId{0}, NodeId{4}, 1.0);  // l3
+  g.addLink(NodeId{4}, NodeId{3}, 1.0);  // l4
+  g.addLink(NodeId{1}, NodeId{3}, 1.0);  // l5
+  return g;
+}
+
+TEST(RoutePlan, HopCountMatchesBfsPredecessorsExactly) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = scaleFreeGraph(
+        rng, {static_cast<std::size_t>(8 + trial), 2, 1.0});
+    RoutePlan plan(g);
+    for (std::uint32_t src = 0; src < g.nodeCount(); src += 3) {
+      const auto expected = bfsPredecessors(g, NodeId{src});
+      const std::uint32_t* actual = plan.predecessors(NodeId{src});
+      for (std::uint32_t v = 0; v < g.nodeCount(); ++v) {
+        ASSERT_EQ(actual[v], expected[v])
+            << "trial " << trial << " src " << src << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(RoutePlan, DistributionTreeIsBitIdenticalToBuildShortestPathTree) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = waxmanGraph(rng, {12, 0.6, 0.4, 1.0});
+    const NodeId sender{static_cast<std::uint32_t>(rng.below(12))};
+    std::vector<NodeId> receivers;
+    for (std::uint32_t v = 0; v < g.nodeCount(); ++v) {
+      if (NodeId{v} != sender && rng.bernoulli(0.4)) {
+        receivers.push_back(NodeId{v});
+      }
+    }
+    if (receivers.empty()) receivers.push_back(NodeId{sender.value ? 0u : 1u});
+    const MulticastTree a = buildShortestPathTree(g, sender, receivers);
+    RoutePlan plan(g);
+    const MulticastTree b = plan.distributionTree(sender, receivers);
+    EXPECT_EQ(a.sender, b.sender);
+    ASSERT_EQ(a.receiverPaths.size(), b.receiverPaths.size());
+    for (std::size_t k = 0; k < a.receiverPaths.size(); ++k) {
+      EXPECT_EQ(a.receiverPaths[k], b.receiverPaths[k]) << "receiver " << k;
+    }
+    EXPECT_EQ(a.sessionLinks, b.sessionLinks);
+  }
+}
+
+TEST(RoutePlan, CachesOneTreePerDistinctSource) {
+  const Graph g = diamond();
+  RoutePlan plan(g);
+  EXPECT_EQ(plan.builtSourceCount(), 0u);
+  plan.ensureSource(NodeId{0});
+  plan.ensureSource(NodeId{0});
+  (void)plan.path(NodeId{0}, NodeId{3});
+  EXPECT_EQ(plan.builtSourceCount(), 1u);
+  (void)plan.path(NodeId{2}, NodeId{0});
+  EXPECT_EQ(plan.builtSourceCount(), 2u);
+}
+
+TEST(RoutePlan, WeightedMatchesShortestPathWeighted) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = scaleFreeGraph(rng, {10, 2, 1.0});
+    std::vector<double> w;
+    for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+      w.push_back(1.0 + rng.below(4));
+    }
+    RoutePlan plan(g, {RoutePolicy::kWeighted, w});
+    for (int pair = 0; pair < 6; ++pair) {
+      const NodeId from{static_cast<std::uint32_t>(rng.below(10))};
+      const NodeId to{static_cast<std::uint32_t>(rng.below(10))};
+      const auto p = shortestPathWeighted(g, from, to, w);
+      ASSERT_TRUE(p.has_value());  // generated graphs are connected
+      EXPECT_EQ(p->links, plan.path(from, to));
+    }
+  }
+}
+
+TEST(RoutePlan, WeightedTieBreakPrefersLowestNodeId) {
+  // Two equal-cost two-hop routes 0-1-3 and 0-2-3: the plan must route
+  // through node 1.
+  Graph g;
+  g.addNodes(4);
+  const LinkId l01 = g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  const LinkId l02 = g.addLink(NodeId{0}, NodeId{2}, 1.0);
+  g.addLink(NodeId{2}, NodeId{3}, 1.0);
+  const LinkId l13 = g.addLink(NodeId{1}, NodeId{3}, 1.0);
+  RoutePlan plan(g, {RoutePolicy::kWeighted, {}});
+  const auto path = plan.path(NodeId{0}, NodeId{3});
+  EXPECT_EQ(path, (std::vector<LinkId>{l01, l13}));
+  (void)l02;
+}
+
+TEST(RoutePlan, WeightedTieBreakPrefersLowestLinkIdBetweenParallels) {
+  Graph g;
+  g.addNodes(2);
+  const LinkId first = g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);  // parallel, same weight
+  RoutePlan plan(g, {RoutePolicy::kWeighted, {}});
+  EXPECT_EQ(plan.path(NodeId{0}, NodeId{1}), (std::vector<LinkId>{first}));
+}
+
+TEST(RoutePlan, ReachabilityAndErrors) {
+  Graph g;
+  g.addNodes(3);
+  g.addLink(NodeId{0}, NodeId{1}, 1.0);
+  RoutePlan plan(g);
+  EXPECT_TRUE(plan.reachable(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(plan.reachable(NodeId{0}, NodeId{0}));
+  EXPECT_FALSE(plan.reachable(NodeId{0}, NodeId{2}));
+  EXPECT_TRUE(plan.path(NodeId{0}, NodeId{0}).empty());
+  EXPECT_THROW(plan.path(NodeId{0}, NodeId{2}), ModelError);
+  EXPECT_THROW(plan.distributionTree(NodeId{0}, {}), PreconditionError);
+  EXPECT_THROW(plan.distributionTree(NodeId{0}, {NodeId{0}}),
+               PreconditionError);
+  EXPECT_THROW(plan.distributionTree(NodeId{0}, {NodeId{2}}), ModelError);
+  EXPECT_THROW(RoutePlan(g, {RoutePolicy::kWeighted, {1.0, 2.0}}),
+               PreconditionError);
+  EXPECT_THROW(RoutePlan(g, {RoutePolicy::kWeighted, {-2.0}}),
+               PreconditionError);
+}
+
+TEST(RoutePlan, AppendPathAppends) {
+  const Graph g = diamond();
+  RoutePlan plan(g);
+  std::vector<LinkId> out{LinkId{99}};
+  plan.appendPath(NodeId{0}, NodeId{2}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (LinkId{99}));
+  EXPECT_EQ(out[1], (LinkId{0}));
+  EXPECT_EQ(out[2], (LinkId{1}));
+}
+
+TEST(RoutePlan, FromGraphWrapperEqualsRoutedBuilder) {
+  util::Rng rng(5);
+  const Graph g = scaleFreeGraph(rng, {14, 2, 3.0});
+  std::vector<net::RoutedSessionSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    net::RoutedSessionSpec spec;
+    spec.sender = NodeId{static_cast<std::uint32_t>(rng.below(14))};
+    for (int k = 0; k < 3; ++k) {
+      NodeId r{static_cast<std::uint32_t>(rng.below(14))};
+      if (r == spec.sender) r = NodeId{(r.value + 1) % 14};
+      spec.receivers.push_back(r);
+    }
+    spec.name = "S" + std::to_string(i);
+    specs.push_back(std::move(spec));
+  }
+  const net::Network a = net::fromGraph(g, specs);
+  RoutePlan plan(g);
+  const net::Network b = net::fromGraphRouted(plan, specs);
+  EXPECT_TRUE(net::structurallyEqual(a, b));
+  // Shared senders are routed off one cached tree.
+  EXPECT_LE(plan.builtSourceCount(), specs.size());
+}
+
+}  // namespace
+}  // namespace mcfair::graph

@@ -1,0 +1,157 @@
+// Determinism fuzz for shortestPathWeighted / RoutePlan's weighted
+// policy: on graphs deliberately riddled with equal-cost paths (small
+// integer weights, parallel links, dense random topologies), the chosen
+// path must be invariant across repeated runs and must match the
+// documented tie-break — every node on the path takes the lowest-node-id
+// optimal predecessor, lowest link id between parallel links.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "graph/route_plan.hpp"
+#include "graph/routing.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::graph {
+namespace {
+
+// Dense random multigraph with integer weights in {1, 2, 3} — exact in
+// double arithmetic, so equal-cost paths are *exactly* equal-cost and
+// ties are everywhere.
+struct FuzzCase {
+  Graph g;
+  std::vector<double> weights;
+};
+
+FuzzCase makeCase(util::Rng& rng) {
+  FuzzCase c;
+  const std::size_t n = 6 + rng.below(10);
+  c.g.addNodes(n);
+  // Spanning chain for connectivity, then a thick layer of random
+  // extras including parallel links.
+  for (std::uint32_t v = 1; v < n; ++v) {
+    c.g.addLink(NodeId{v}, NodeId{static_cast<std::uint32_t>(rng.below(v))},
+                1.0);
+  }
+  const std::size_t extras = 2 * n;
+  for (std::size_t e = 0; e < extras; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    auto b = static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) b = (b + 1) % n;
+    c.g.addLink(NodeId{a}, NodeId{b}, 1.0);
+  }
+  for (std::uint32_t l = 0; l < c.g.linkCount(); ++l) {
+    c.weights.push_back(1.0 + static_cast<double>(rng.below(3)));
+  }
+  return c;
+}
+
+// Exact single-source distances by Bellman-Ford — an implementation
+// wholly independent of the Dijkstra under test.
+std::vector<double> bellmanFord(const Graph& g, NodeId src,
+                                const std::vector<double>& w) {
+  std::vector<double> dist(g.nodeCount(),
+                           std::numeric_limits<double>::infinity());
+  dist[src.value] = 0.0;
+  for (std::size_t round = 0; round + 1 < g.nodeCount(); ++round) {
+    bool changed = false;
+    for (std::uint32_t v = 0; v < g.nodeCount(); ++v) {
+      for (const Adjacency& adj : g.neighbors(NodeId{v})) {
+        const double nd = dist[v] + w[adj.link.value];
+        if (nd < dist[adj.neighbor.value]) {
+          dist[adj.neighbor.value] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+// Asserts the documented tie-break along a returned path: each step
+// (u -> v over link l) must satisfy dist[u] + w[l] == dist[v], and no
+// adjacency (u', l') of v on a shortest path may precede (u, l) in
+// (node id, link id) order.
+void expectLowestIdPredecessors(const Graph& g, const Path& p,
+                                const std::vector<double>& dist,
+                                const std::vector<double>& w) {
+  for (std::size_t step = 0; step < p.links.size(); ++step) {
+    const NodeId u = p.nodes[step];
+    const NodeId v = p.nodes[step + 1];
+    const LinkId l = p.links[step];
+    ASSERT_EQ(dist[u.value] + w[l.value], dist[v.value])
+        << "path step is not on a shortest path";
+    for (const Adjacency& adj : g.neighbors(v)) {
+      if (dist[adj.neighbor.value] + w[adj.link.value] != dist[v.value]) {
+        continue;
+      }
+      const bool precedes =
+          adj.neighbor.value < u.value ||
+          (adj.neighbor.value == u.value && adj.link.value < l.value);
+      EXPECT_FALSE(precedes)
+          << "node " << v.value << " took predecessor (" << u.value << ", l"
+          << l.value << ") but (" << adj.neighbor.value << ", l"
+          << adj.link.value << ") is optimal and lower";
+    }
+  }
+}
+
+TEST(RoutingDeterminism, FuzzWeightedShortestPath) {
+  util::Rng rng(20260731);
+  for (int trial = 0; trial < 60; ++trial) {
+    const FuzzCase c = makeCase(rng);
+    const auto from =
+        NodeId{static_cast<std::uint32_t>(rng.below(c.g.nodeCount()))};
+    const auto to =
+        NodeId{static_cast<std::uint32_t>(rng.below(c.g.nodeCount()))};
+    const auto first = shortestPathWeighted(c.g, from, to, c.weights);
+    ASSERT_TRUE(first.has_value()) << "fuzz graphs are connected";
+    // Invariant across repeated runs (fresh internal state each time).
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto again = shortestPathWeighted(c.g, from, to, c.weights);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(first->links, again->links) << "trial " << trial;
+      EXPECT_EQ(first->nodes, again->nodes) << "trial " << trial;
+    }
+    const auto dist = bellmanFord(c.g, from, c.weights);
+    expectLowestIdPredecessors(c.g, *first, dist, c.weights);
+  }
+}
+
+TEST(RoutingDeterminism, PlanPathsAreInvariantAcrossPlans) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FuzzCase c = makeCase(rng);
+    RoutePlan a(c.g, {RoutePolicy::kWeighted, c.weights});
+    RoutePlan b(c.g, {RoutePolicy::kWeighted, c.weights});
+    for (std::uint32_t src = 0; src < c.g.nodeCount(); ++src) {
+      for (std::uint32_t dst = 0; dst < c.g.nodeCount(); ++dst) {
+        EXPECT_EQ(a.path(NodeId{src}, NodeId{dst}),
+                  b.path(NodeId{src}, NodeId{dst}));
+      }
+    }
+  }
+}
+
+TEST(RoutingDeterminism, UnitWeightDijkstraIsHopOptimal) {
+  // With unit weights the weighted policy must return hop-minimal paths
+  // (the tie-break changes *which* shortest path, never its length).
+  util::Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FuzzCase c = makeCase(rng);
+    const std::vector<double> unit(c.g.linkCount(), 1.0);
+    const auto from =
+        NodeId{static_cast<std::uint32_t>(rng.below(c.g.nodeCount()))};
+    const auto to =
+        NodeId{static_cast<std::uint32_t>(rng.below(c.g.nodeCount()))};
+    const auto weighted = shortestPathWeighted(c.g, from, to, unit);
+    const auto bfs = shortestPath(c.g, from, to);
+    ASSERT_TRUE(weighted && bfs);
+    EXPECT_EQ(weighted->hopCount(), bfs->hopCount());
+  }
+}
+
+}  // namespace
+}  // namespace mcfair::graph
