@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "graph/route_plan.hpp"
 #include "markov/protocol_chain.hpp"
+#include "net/fault.hpp"
 #include "sim/scenario.hpp"
 #include "sim/star.hpp"
 #include "util/error.hpp"
@@ -152,6 +153,73 @@ void BM_ScenarioCatalog(benchmark::State& state) {
 // automatically (the in-function guard covers only shrinkage).
 BENCHMARK(BM_ScenarioCatalog)
     ->DenseRange(0, static_cast<int>(sim::scenarioCatalog().size()) - 1);
+
+// Fault-path cost in the event engine: a dense seeded MTBF/MTTR
+// schedule churns every link of the mega-merge population, and each
+// event triggers the capacity refresh + incremental re-solve +
+// accumulator flush. Items = fault events absorbed, so items/sec tracks
+// the O(affected) fault path, not the packet loop around it.
+void BM_FaultChurn(benchmark::State& state) {
+  auto s = mergeScenario(static_cast<std::size_t>(state.range(0)));
+  net::RandomFaultOptions opts;
+  // Scale MTBF with the link count so the total event count stays
+  // roughly constant (~2000) across population sizes.
+  opts.mtbf = static_cast<double>(s.network.linkCount()) *
+              s.config.duration / 1000.0;
+  opts.mttr = opts.mtbf / 8.0;
+  opts.degradeFactor = 0.5;
+  s.config.faults = net::randomFaultSchedule(s.network.linkCount(),
+                                             s.config.duration, opts, 9);
+  MCFAIR_REQUIRE(!s.config.faults.events.empty(),
+                 "churn schedule came out empty");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::runClosedLoopSimulation(s.network, s.config));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(s.config.faults.events.size()));
+}
+BENCHMARK(BM_FaultChurn)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Fluid hand-back cost: mild degrade/repair flaps on a certified
+// steady-fluid run. Capacity stays ample through every event, so the
+// engine re-certifies immediately after each fault — every event costs
+// exactly one hand-back (token-bucket reconstruction, sender resync,
+// queue re-seed) plus one re-engagement. Items = fault events, so
+// items/sec is the price of a hand-back at this population size.
+void BM_FluidHandback(benchmark::State& state) {
+  auto s = steadyScenario(4096);
+  const auto flaps = static_cast<std::size_t>(state.range(0));
+  const graph::LinkId victim =
+      s.network.session(0).receivers[0].dataPath.front();
+  const double begin = s.config.duration / 4.0;
+  const double spacing = (s.config.duration / 2.0) /
+                         static_cast<double>(flaps);
+  s.config.faults.events.reserve(2 * flaps);
+  for (std::size_t f = 0; f < flaps; ++f) {
+    const double t = begin + static_cast<double>(f) * spacing;
+    s.config.faults.events.push_back(
+        {t, net::FaultKind::kDegrade, victim, 0.9});
+    s.config.faults.events.push_back(
+        {t + 0.5 * spacing, net::FaultKind::kLinkUp, victim});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::runClosedLoopSimulationFluid(s.network, s.config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * flaps));
+}
+BENCHMARK(BM_FluidHandback)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 // Routing-layer cost: building per-source shortest-path trees (weighted
 // Dijkstra with the deterministic tie-break) on a BA m=2 mesh. Each

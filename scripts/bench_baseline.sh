@@ -40,7 +40,7 @@ fi
 echo "wrote $out_file" >&2
 
 "$build_dir/bench_perf_sim" \
-  --benchmark_filter='BM_ClosedLoopMerge|BM_ClosedLoopFluid|BM_RoutePlan|BM_ScenarioMesh' \
+  --benchmark_filter='BM_ClosedLoopMerge|BM_ClosedLoopFluid|BM_RoutePlan|BM_ScenarioMesh|BM_FaultChurn|BM_FluidHandback' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
   --benchmark_out="$sim_out_file" \
@@ -129,4 +129,10 @@ for name, (t, unit) in sorted(sim.items()):
 for name, (t, unit) in sorted(sim.items()):
     if name.startswith("BM_RoutePlan/"):
         print(f"{name:<44}{t:>10.2f}{unit}{'-':>12}{'':>9}")
+
+print()
+print(f"{'fault benchmark':<44}{'time':>12}")
+for name, (t, unit) in sorted(sim.items()):
+    if name.startswith(("BM_FaultChurn/", "BM_FluidHandback/")):
+        print(f"{name:<44}{t:>10.2f}{unit}")
 EOF

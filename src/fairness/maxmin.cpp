@@ -335,7 +335,8 @@ MaxMinResult solveMaxMinFairReference(const net::Network& net,
 
 struct MaxMinSolver::Engine {
   const net::Network* net = nullptr;
-  std::uint64_t boundIdentity = 0;  // 0 = never bound
+  std::uint64_t boundIdentity = 0;   // 0 = never bound
+  std::uint64_t boundStructure = 0;  // structureIdentity() of that bind
 
   // ---- static structure, rebuilt by bind() ----
   std::size_t nSessions = 0;
@@ -461,6 +462,11 @@ struct MaxMinSolver::Engine {
   const MaxMinResult& solve(const MaxMinOptions& options, bool withUsage);
 
  private:
+  // The capacity-only rebind (structureIdentity unchanged, e.g. a fault
+  // applied via Network::setCapacity): refreshes every capacity-derived
+  // array in place — O(links + pathSlots), allocation-free.
+  void refreshCapacities(const net::Network& network,
+                         const MaxMinOptions& options);
   void writeUsage();
   void resetDynamicState(const MaxMinOptions& options);
   void freeze(std::uint32_t f, double frozenRate);
@@ -552,6 +558,13 @@ void MaxMinSolver::Engine::bind(const net::Network& network,
     // Identical structure (identities are process-unique and bumped on
     // every mutation): the CSR workspace is already correct.
     net = &network;
+    return;
+  }
+  if (boundStructure != 0 &&
+      boundStructure == network.structureIdentity() && result.has_value()) {
+    // Same shape, different capacities (Network::setCapacity — the fault
+    // delta path): only the capacity-derived arrays need refreshing.
+    refreshCapacities(network, options);
     return;
   }
   net = &network;
@@ -827,6 +840,36 @@ void MaxMinSolver::Engine::bind(const net::Network& network,
     result.emplace(MaxMinResult{Allocation(network), LinkUsage{}, 0});
   }
   usageZeroed = false;
+  boundIdentity = network.identity();
+  boundStructure = network.structureIdentity();
+}
+
+void MaxMinSolver::Engine::refreshCapacities(const net::Network& network,
+                                             const MaxMinOptions& options) {
+  net = &network;
+  for (std::uint32_t j = 0; j < nLinks; ++j) {
+    capacity[j] = network.capacity(graph::LinkId{j});
+    satSlack[j] = options.saturationSlack * std::max(1.0, capacity[j]);
+    satThreshold[j] = capacity[j] - satSlack[j];
+    bisectSlack[j] = 1e-12 * std::max(1.0, capacity[j]);
+  }
+  // capOrder keys are capacity-dependent; re-derive and re-sort in place
+  // (std::sort allocates nothing, and the (key, receiver) comparator is a
+  // total order, so the result is identical to a full rebuild's).
+  if (!capOrder.empty()) {
+    std::size_t pos = 0;
+    for (std::size_t f = 0; f < nReceivers; ++f) {
+      for (std::size_t s = pathBegin[f]; s < pathBegin[f + 1]; ++s) {
+        capOrder[pos++] = CapKey{capacity[pathLink[s]] / weight[f],
+                                 static_cast<std::uint32_t>(f)};
+      }
+    }
+    std::sort(capOrder.begin(), capOrder.end(),
+              [](const CapKey& a, const CapKey& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.receiver < b.receiver;
+              });
+  }
   boundIdentity = network.identity();
 }
 
@@ -1318,22 +1361,69 @@ std::size_t MaxMinSolver::threadCount() const noexcept {
   return engine_->threads;
 }
 
+namespace {
+
+// MCFAIR_VALIDATE harness: re-solve with the independent reference
+// oracle and require the incremental rates to agree within the parity
+// tolerance (the same bound the randomized parity suite enforces).
+void validateAgainstReference(const net::Network& net,
+                              const MaxMinResult& got,
+                              const MaxMinOptions& options) {
+  // The oracle rebuilds its link views every round — O(links x
+  // receivers) per round. Cap the cross-check to instances where that
+  // stays affordable, so MCFAIR_VALIDATE=1 CI sweeps do not turn the
+  // large stress tests into hour-long runs.
+  constexpr std::size_t kMaxValidateCells = std::size_t{1} << 16;
+  if (net.receiverCount() * net.linkCount() > kMaxValidateCells) return;
+  MaxMinOptions refOptions = options;
+  refOptions.validate.enabled = 0;  // the oracle is not re-validated
+  const MaxMinResult ref = solveMaxMinFairReference(net, refOptions);
+  if (got.rounds != ref.rounds) {
+    throw NumericError(
+        "MCFAIR_VALIDATE: incremental solver took " +
+        std::to_string(got.rounds) + " rounds, reference took " +
+        std::to_string(ref.rounds));
+  }
+  for (const auto r : net.receiverRefs()) {
+    const double a = got.allocation.rate(r);
+    const double b = ref.allocation.rate(r);
+    const double tol = 1e-6 * std::max(1.0, std::abs(b));
+    if (!(std::abs(a - b) <= tol)) {
+      throw NumericError(
+          "MCFAIR_VALIDATE: incremental max-min rate for receiver (" +
+          std::to_string(r.session) + "," + std::to_string(r.receiver) +
+          ") is " + std::to_string(a) + ", reference oracle says " +
+          std::to_string(b));
+    }
+  }
+}
+
+}  // namespace
+
 const MaxMinResult& MaxMinSolver::solve() {
-  return engine_->solve(options_, /*withUsage=*/true);
+  const MaxMinResult& r = engine_->solve(options_, /*withUsage=*/true);
+  if (options_.validate.resolve() && options_.validate.solverOptimality) {
+    validateAgainstReference(*engine_->net, r, options_);
+  }
+  return r;
 }
 
 const MaxMinResult& MaxMinSolver::solve(const net::Network& net) {
   bind(net);
-  return engine_->solve(options_, /*withUsage=*/true);
+  return solve();
 }
 
 const Allocation& MaxMinSolver::solveAllocation() {
-  return engine_->solve(options_, /*withUsage=*/false).allocation;
+  const MaxMinResult& r = engine_->solve(options_, /*withUsage=*/false);
+  if (options_.validate.resolve() && options_.validate.solverOptimality) {
+    validateAgainstReference(*engine_->net, r, options_);
+  }
+  return r.allocation;
 }
 
 const Allocation& MaxMinSolver::solveAllocation(const net::Network& net) {
   bind(net);
-  return engine_->solve(options_, /*withUsage=*/false).allocation;
+  return solveAllocation();
 }
 
 MaxMinResult MaxMinSolver::takeResult() {
@@ -1344,6 +1434,7 @@ MaxMinResult MaxMinSolver::takeResult() {
   // next solve re-creates it.
   engine_->result.reset();
   engine_->boundIdentity = 0;
+  engine_->boundStructure = 0;
   return out;
 }
 
@@ -1370,7 +1461,10 @@ auto withThreadLocalSolver(const net::Network& net,
       options.saturationSlack != cached.saturationSlack ||
       options.maxBisectionSteps != cached.maxBisectionSteps ||
       options.threads != cached.threads ||
-      options.parallelGrain != cached.parallelGrain) {
+      options.parallelGrain != cached.parallelGrain ||
+      options.validate.resolve() != cached.validate.resolve() ||
+      options.validate.solverOptimality !=
+          cached.validate.solverOptimality) {
     MaxMinSolver fresh(options);
     return fn(fresh, /*transient=*/true);
   }

@@ -39,6 +39,7 @@
 #include <memory>
 
 #include "fairness/allocation.hpp"
+#include "util/validate.hpp"
 
 namespace mcfair::fairness {
 
@@ -68,6 +69,12 @@ struct MaxMinOptions {
   /// sweep runs single-shard on the calling thread. Tuning/testing knob
   /// (tests set 1 to force sharding on small networks).
   std::size_t parallelGrain = 64;
+  /// Paranoid cross-checking (see util/validate.hpp): when resolved on,
+  /// every solve() re-runs the reference oracle on the bound network and
+  /// throws NumericError if the incremental rates deviate beyond the
+  /// parity tolerance. Orders of magnitude slower — CI/debug only. The
+  /// default (-1) follows the MCFAIR_VALIDATE environment variable.
+  util::ValidateOptions validate;
 };
 
 /// Result of the solver: the allocation plus the usage it induces and the
@@ -119,6 +126,11 @@ class MaxMinSolver {
   MaxMinSolver& operator=(MaxMinSolver&&) noexcept;
 
   /// Builds the CSR adjacency and per-link accumulators for `net`.
+  /// Rebinds are tiered: an unchanged identity() is a no-op; an
+  /// unchanged structureIdentity() (only capacities changed, e.g. via
+  /// Network::setCapacity on a fault) refreshes the capacity-derived
+  /// arrays in place — O(links), allocation-free; anything else does
+  /// the full workspace rebuild.
   void bind(const net::Network& net);
 
   /// True once bind() has been called.

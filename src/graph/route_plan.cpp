@@ -7,6 +7,7 @@
 
 #include "graph/routing.hpp"
 #include "util/error.hpp"
+#include "util/validate.hpp"
 
 namespace mcfair::graph {
 
@@ -37,38 +38,50 @@ std::uint32_t RoutePlan::slotFor(NodeId src) {
   const auto slot = static_cast<std::uint32_t>(sources_.size());
   sources_.push_back(src.value);
   predLink_.resize(predLink_.size() + graph_->nodeCount(), 0);
+  distOf_.resize(distOf_.size() + graph_->nodeCount(),
+                 std::numeric_limits<double>::infinity());
   std::uint32_t* pred = predLink_.data() +
                         static_cast<std::size_t>(slot) * graph_->nodeCount();
+  double* dist = distOf_.data() +
+                 static_cast<std::size_t>(slot) * graph_->nodeCount();
   if (options_.policy == RoutePolicy::kHopCount) {
-    buildHopCountTree(src, pred);
+    buildHopCountTree(src, pred, dist);
   } else {
-    buildWeightedTree(src, pred);
+    buildWeightedTree(src, pred, dist);
   }
   slotOf_[src.value] = slot + 1;
   return slot;
 }
 
-void RoutePlan::buildHopCountTree(NodeId src, std::uint32_t* predLink) {
+void RoutePlan::buildHopCountTree(NodeId src, std::uint32_t* predLink,
+                                  double* distSlot) {
   // Bit-identical to bfsPredecessors(): first-found predecessor in
-  // adjacency order, written into the plan's flat storage.
+  // adjacency order, written into the plan's flat storage. Masked
+  // (failed) edges are skipped as if absent from the adjacency.
   const Graph& g = *graph_;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::fill(distSlot, distSlot + g.nodeCount(), kInf);
   settleRank_.assign(g.nodeCount(), 0);  // doubles as the seen[] array
   std::queue<NodeId> q;
   settleRank_[src.value] = 1;
+  distSlot[src.value] = 0.0;
   q.push(src);
   while (!q.empty()) {
     const NodeId u = q.front();
     q.pop();
     for (const Adjacency& adj : g.neighbors(u)) {
+      if (edgeDown(adj.link.value)) continue;
       if (settleRank_[adj.neighbor.value] != 0) continue;
       settleRank_[adj.neighbor.value] = 1;
       predLink[adj.neighbor.value] = adj.link.value + 1;
+      distSlot[adj.neighbor.value] = distSlot[u.value] + 1.0;
       q.push(adj.neighbor);
     }
   }
 }
 
-void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink) {
+void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink,
+                                  double* distSlot) {
   const Graph& g = *graph_;
   const std::vector<double>& w = options_.weights;
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -79,7 +92,7 @@ void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink) {
   // Phase 1: Dijkstra with (distance, node id) keys. The heap key's node
   // component makes the settle order a deterministic total order even
   // across equal distances; the final dist[] values themselves are
-  // heap-order independent.
+  // heap-order independent. Masked (failed) edges never relax.
   using Entry = std::pair<double, std::uint32_t>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
   dist_[src.value] = 0.0;
@@ -91,6 +104,7 @@ void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink) {
     settleRank_[uv] = static_cast<std::uint32_t>(settleOrder_.size());
     settleOrder_.push_back(uv);
     for (const Adjacency& adj : g.neighbors(NodeId{uv})) {
+      if (edgeDown(adj.link.value)) continue;
       const double nd = d + w[adj.link.value];
       if (nd < dist_[adj.neighbor.value]) {
         dist_[adj.neighbor.value] = nd;
@@ -111,6 +125,7 @@ void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink) {
     std::uint32_t bestNode = kNone;
     std::uint32_t bestLink = kNone;
     for (const Adjacency& adj : g.neighbors(NodeId{v})) {
+      if (edgeDown(adj.link.value)) continue;
       const std::uint32_t u = adj.neighbor.value;
       if (settleRank_[u] >= i) continue;  // unsettled or settled later
       if (dist_[u] + w[adj.link.value] != dist_[v]) continue;
@@ -120,6 +135,98 @@ void RoutePlan::buildWeightedTree(NodeId src, std::uint32_t* predLink) {
       }
     }
     predLink[v] = bestLink + 1;  // a candidate always exists (see above)
+  }
+  std::copy(dist_.begin(), dist_.end(), distSlot);
+}
+
+void RoutePlan::rebuildSlot(std::uint32_t slot) {
+  const std::size_t base =
+      static_cast<std::size_t>(slot) * graph_->nodeCount();
+  std::uint32_t* pred = predLink_.data() + base;
+  double* dist = distOf_.data() + base;
+  std::fill(pred, pred + graph_->nodeCount(), 0u);
+  const NodeId src{sources_[slot]};
+  if (options_.policy == RoutePolicy::kHopCount) {
+    buildHopCountTree(src, pred, dist);
+  } else {
+    buildWeightedTree(src, pred, dist);
+  }
+}
+
+void RoutePlan::applyEdgeMask(const std::vector<char>& failed) {
+  const Graph& g = *graph_;
+  MCFAIR_REQUIRE(failed.empty() || failed.size() == g.linkCount(),
+                 "the failed-edge mask needs one flag per link");
+
+  // Delta against the previous mask: which edges just went down, which
+  // just came back.
+  auto wasDown = [this](std::uint32_t l) {
+    return !mask_.empty() && mask_[l] != 0;
+  };
+  auto isDown = [&failed](std::uint32_t l) {
+    return !failed.empty() && failed[l] != 0;
+  };
+  std::vector<char> newlyFailed(g.linkCount(), 0);
+  std::vector<std::uint32_t> restored;
+  bool anyFailed = false;
+  for (std::uint32_t l = 0; l < g.linkCount(); ++l) {
+    if (isDown(l) && !wasDown(l)) {
+      newlyFailed[l] = 1;
+      anyFailed = true;
+    } else if (!isDown(l) && wasDown(l)) {
+      restored.push_back(l);
+    }
+  }
+  mask_.assign(failed.begin(), failed.end());
+  if (sources_.empty() || (!anyFailed && restored.empty())) return;
+
+  const std::size_t nodes = g.nodeCount();
+  for (std::uint32_t slot = 0; slot < sources_.size(); ++slot) {
+    const std::uint32_t* pred = predLink_.data() +
+                                static_cast<std::size_t>(slot) * nodes;
+    const double* dist = distOf_.data() +
+                         static_cast<std::size_t>(slot) * nodes;
+    bool rebuild = false;
+    if (anyFailed) {
+      for (std::size_t v = 0; v < nodes && !rebuild; ++v) {
+        const std::uint32_t enc = pred[v];
+        rebuild = enc != 0 && newlyFailed[enc - 1] != 0;
+      }
+    }
+    for (std::size_t i = 0; i < restored.size() && !rebuild; ++i) {
+      const std::uint32_t l = restored[i];
+      const auto [a, b] = g.endpoints(LinkId{l});
+      const double w = options_.policy == RoutePolicy::kHopCount
+                           ? 1.0
+                           : options_.weights[l];
+      // A restored edge only matters when it can shorten a path or win
+      // a shortest-path tie-break; unreachable endpoints (inf) compare
+      // conservatively into a rebuild.
+      rebuild = dist[a.value] + w <= dist[b.value] ||
+                dist[b.value] + w <= dist[a.value];
+    }
+    if (rebuild) rebuildSlot(slot);
+  }
+
+  if (util::validateEnv()) {
+    // Paranoia: every cached tree must match a from-scratch plan built
+    // under the same mask, bit for bit.
+    RoutePlan fresh(g, options_);
+    fresh.applyEdgeMask(mask_);  // no slots yet: just stores the mask
+    for (std::uint32_t slot = 0; slot < sources_.size(); ++slot) {
+      const NodeId src{sources_[slot]};
+      const std::uint32_t* freshPred = fresh.predecessors(src);
+      const std::uint32_t* pred = predLink_.data() +
+                                  static_cast<std::size_t>(slot) * nodes;
+      for (std::size_t v = 0; v < nodes; ++v) {
+        if (pred[v] != freshPred[v]) {
+          throw NumericError(
+              "incremental re-route diverged from a fresh rebuild at "
+              "source " +
+              std::to_string(src.value) + ", node " + std::to_string(v));
+        }
+      }
+    }
   }
 }
 

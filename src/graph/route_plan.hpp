@@ -105,16 +105,44 @@ class RoutePlan {
   /// need before routing from another source.
   const std::uint32_t* predecessors(NodeId src);
 
+  /// Incremental re-route on a failed-edge mask (one flag per graph
+  /// link; nonzero = the edge is down and must not carry any path).
+  /// Cached trees are revalidated against the delta from the previous
+  /// mask and only the invalidated ones are rebuilt, with the exact
+  /// same builders (and therefore the exact same tie-breaks) a fresh
+  /// plan under the mask would use — predecessors() compares
+  /// bit-identical either way. A tree survives untouched when (a) no
+  /// newly failed edge appears in it and (b) no newly restored edge
+  /// (u, v, w) satisfies d(u) + w <= d(v) or d(v) + w <= d(u) on the
+  /// tree's distances (it can neither shorten a path nor win a
+  /// tie-break). Nodes cut off by the mask simply lose their
+  /// predecessor: reachable() turns false and path() throws ModelError,
+  /// the severed-receiver semantics the fault layer builds on. With
+  /// MCFAIR_VALIDATE set, every apply cross-checks all cached trees
+  /// against a from-scratch plan under the same mask.
+  void applyEdgeMask(const std::vector<char>& failed);
+
+  /// The active failed-edge mask (empty = nothing failed).
+  const std::vector<char>& edgeMask() const noexcept { return mask_; }
+
  private:
   std::uint32_t slotFor(NodeId src);
-  void buildHopCountTree(NodeId src, std::uint32_t* predLink);
-  void buildWeightedTree(NodeId src, std::uint32_t* predLink);
+  void buildHopCountTree(NodeId src, std::uint32_t* predLink,
+                         double* distSlot);
+  void buildWeightedTree(NodeId src, std::uint32_t* predLink,
+                         double* distSlot);
+  void rebuildSlot(std::uint32_t slot);
+  bool edgeDown(std::uint32_t link) const noexcept {
+    return !mask_.empty() && mask_[link] != 0;
+  }
 
   const Graph* graph_;
   RouteOptions options_;
   std::vector<std::uint32_t> slotOf_;    // node -> slot + 1, 0 = unbuilt
   std::vector<std::uint32_t> sources_;   // slot -> source node
   std::vector<std::uint32_t> predLink_;  // slot * V + v -> link + 1
+  std::vector<double> distOf_;           // slot * V + v -> tree distance
+  std::vector<char> mask_;               // per-link failed flags
   // Scratch reused across source builds (see buildWeightedTree).
   std::vector<double> dist_;
   std::vector<std::uint32_t> settleRank_;

@@ -1,0 +1,75 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::net {
+
+void FaultSchedule::normalize(std::size_t linkCount) {
+  for (const FaultEvent& e : events) {
+    MCFAIR_REQUIRE(std::isfinite(e.time) && e.time >= 0.0,
+                   "fault event times must be finite and >= 0");
+    MCFAIR_REQUIRE(e.link.value < linkCount,
+                   "fault event references a link outside the network");
+    MCFAIR_REQUIRE(e.kind != FaultKind::kDegrade ||
+                       (std::isfinite(e.factor) && e.factor > 0.0),
+                   "degrade events need a positive finite factor");
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.link.value != b.link.value) {
+                return a.link.value < b.link.value;
+              }
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+FaultSchedule randomFaultSchedule(std::size_t linkCount, double horizon,
+                                  const RandomFaultOptions& options,
+                                  std::uint64_t seed) {
+  MCFAIR_REQUIRE(options.mtbf > 0.0 && options.mttr > 0.0,
+                 "mtbf and mttr must be positive");
+  MCFAIR_REQUIRE(std::isfinite(horizon) && horizon >= 0.0,
+                 "fault horizon must be finite and >= 0");
+  MCFAIR_REQUIRE(options.degradeFactor >= 0.0 &&
+                     options.degradeFactor < 1.0,
+                 "degradeFactor must lie in [0, 1) (0 = full link-down)");
+  FaultSchedule schedule;
+  util::Rng root(seed);
+  // One child stream per link, split in link order, so adding links to
+  // the tail of a network cannot reshuffle earlier links' processes.
+  for (std::size_t l = 0; l < linkCount; ++l) {
+    util::Rng rng = root.split();
+    double t = 0.0;
+    while (true) {
+      // Exponential inverse transform; 1 - u avoids log(0).
+      t += -options.mtbf * std::log(1.0 - rng.uniform01());
+      if (t >= horizon) break;
+      FaultEvent down;
+      down.time = t;
+      down.link = graph::LinkId{static_cast<std::uint32_t>(l)};
+      if (options.degradeFactor > 0.0) {
+        down.kind = FaultKind::kDegrade;
+        down.factor = options.degradeFactor;
+      } else {
+        down.kind = FaultKind::kLinkDown;
+      }
+      schedule.events.push_back(down);
+      t += -options.mttr * std::log(1.0 - rng.uniform01());
+      if (t >= horizon) break;
+      FaultEvent up;
+      up.time = t;
+      up.kind = FaultKind::kLinkUp;
+      up.link = down.link;
+      schedule.events.push_back(up);
+    }
+  }
+  schedule.normalize(linkCount);
+  return schedule;
+}
+
+}  // namespace mcfair::net

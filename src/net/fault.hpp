@@ -1,0 +1,94 @@
+// Fault injection: deterministic link failure / repair / degradation
+// schedules threaded through the routing layer, the max-min solver and
+// all three closed-loop engines.
+//
+// The paper studies fairness under *loss*; this module adds the
+// structural counterpart — the topology itself changing under the
+// protocols. A FaultSchedule is a time-ordered list of capacity
+// overrides: each event *sets* a link's capacity factor (down = 0,
+// up = 1, degrade = factor), so schedules are trivially composable and
+// replayable from any prefix. Consumers:
+//
+//  - net::Network::setCapacity applies one event's effect in place;
+//    a bound MaxMinSolver then re-solves through its O(links),
+//    allocation-free capacity-refresh rebind.
+//  - sim::ClosedLoopConfig::faults drives the closed-loop engines: at
+//    each fault boundary the token bucket of the affected link is
+//    reconfigured in place (identically in the reference, event and
+//    fluid drivers, preserving bit-exact parity), and the fluid engine
+//    hands back to per-packet execution with exact bucket-state
+//    reconstruction.
+//  - sim::ScenarioSpec::faults (FaultAxis) expands named presets such
+//    as link-flap and backbone-partition into concrete schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcfair::net {
+
+/// What a fault event does to its link.
+enum class FaultKind {
+  kLinkDown,  ///< capacity factor becomes 0 (all packets dropped)
+  kLinkUp,    ///< capacity factor restored to 1 (full repair)
+  kDegrade,   ///< capacity factor becomes `factor` (partial failure)
+};
+
+/// One scheduled capacity override. Events *set* the link's factor —
+/// they do not stack — so any prefix of a schedule fully determines the
+/// network state at its end.
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kLinkDown;
+  graph::LinkId link;
+  /// kDegrade only: the new capacity factor (> 0; a value > 1 models a
+  /// temporary upgrade). Ignored for kLinkDown (0) and kLinkUp (1).
+  double factor = 1.0;
+
+  /// The capacity factor this event leaves on the link.
+  double appliedFactor() const noexcept {
+    switch (kind) {
+      case FaultKind::kLinkDown:
+        return 0.0;
+      case FaultKind::kLinkUp:
+        return 1.0;
+      case FaultKind::kDegrade:
+        return factor;
+    }
+    return 1.0;
+  }
+};
+
+/// A deterministic fault schedule: events sorted by (time, link, kind).
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Sorts the events into canonical order and validates them against a
+  /// link count: times must be finite and >= 0, link ids in range,
+  /// degrade factors > 0. Throws util::PreconditionError otherwise.
+  void normalize(std::size_t linkCount);
+};
+
+/// Parameters of the seeded random fault process.
+struct RandomFaultOptions {
+  /// Mean time between failures per link (exponential).
+  double mtbf = 400.0;
+  /// Mean time to repair per link (exponential).
+  double mttr = 60.0;
+  /// When > 0 and < 1, each failure degrades to this factor instead of
+  /// taking the link fully down.
+  double degradeFactor = 0.0;
+};
+
+/// Draws an independent alternating fail/repair renewal process for each
+/// link over [0, horizon): exponential up-times with mean `mtbf`,
+/// exponential down-times with mean `mttr`. Deterministic in the seed.
+FaultSchedule randomFaultSchedule(std::size_t linkCount, double horizon,
+                                  const RandomFaultOptions& options,
+                                  std::uint64_t seed);
+
+}  // namespace mcfair::net

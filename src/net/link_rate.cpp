@@ -55,4 +55,40 @@ LinkRateFunctionPtr efficientMax() {
   return instance;
 }
 
+LinkRateFunctionPtr makeLinkRateFunction(const LinkRateSpec& spec) {
+  if (spec.family == "efficient") {
+    return nullptr;
+  }
+  if (spec.family == "constant") {
+    MCFAIR_REQUIRE(spec.param >= 1.0,
+                   "constant link-rate factor must be >= 1");
+    return std::make_shared<const ConstantFactor>(spec.param);
+  }
+  if (spec.family == "randomjoin") {
+    MCFAIR_REQUIRE(spec.param > 0.0,
+                   "randomjoin layer rate sigma must be positive");
+    return std::make_shared<const RandomJoinExpected>(spec.param);
+  }
+  MCFAIR_REQUIRE(false,
+                 "unknown link-rate family '" + spec.family +
+                     "' (registry: efficient, constant, randomjoin)");
+  return nullptr;
+}
+
+LinkRateSpec describeLinkRateFunction(const LinkRateFunction* fn) {
+  if (fn == nullptr || dynamic_cast<const EfficientMax*>(fn) != nullptr) {
+    return LinkRateSpec{};
+  }
+  if (const auto* c = dynamic_cast<const ConstantFactor*>(fn)) {
+    return LinkRateSpec{"constant", c->factor()};
+  }
+  if (const auto* r = dynamic_cast<const RandomJoinExpected*>(fn)) {
+    return LinkRateSpec{"randomjoin", r->sigma()};
+  }
+  MCFAIR_REQUIRE(false,
+                 "link-rate function outside the named registry families "
+                 "cannot be described (or serialized)");
+  return LinkRateSpec{};
+}
+
 }  // namespace mcfair::net

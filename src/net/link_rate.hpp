@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 
 namespace mcfair::net {
 
@@ -80,5 +81,32 @@ using LinkRateFunctionPtr = std::shared_ptr<const LinkRateFunction>;
 
 /// The process-wide EfficientMax instance.
 LinkRateFunctionPtr efficientMax();
+
+/// A named, one-parameter link-rate family — the serializable handle the
+/// netfile format uses. The registry:
+///
+///   family       param            instantiates
+///   "efficient"  ignored          (none: Session's default, u = max X)
+///   "constant"   factor >= 1      ConstantFactor(factor)
+///   "randomjoin" sigma > 0        RandomJoinExpected(sigma)
+struct LinkRateSpec {
+  std::string family = "efficient";
+  double param = 1.0;
+
+  bool efficient() const noexcept { return family == "efficient"; }
+  friend bool operator==(const LinkRateSpec&, const LinkRateSpec&) = default;
+};
+
+/// Instantiates a registry family; "efficient" yields null (Session
+/// treats a null linkRateFn as the efficient max). Throws
+/// util::PreconditionError on an unknown family name or an out-of-range
+/// parameter.
+LinkRateFunctionPtr makeLinkRateFunction(const LinkRateSpec& spec);
+
+/// The inverse: recovers the LinkRateSpec of a function instantiated by
+/// makeLinkRateFunction (null and EfficientMax both map back to
+/// "efficient"). Throws util::PreconditionError for a function outside
+/// the named families — i.e. one the text format cannot express.
+LinkRateSpec describeLinkRateFunction(const LinkRateFunction* fn);
 
 }  // namespace mcfair::net

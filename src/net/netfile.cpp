@@ -1,6 +1,7 @@
 #include "net/netfile.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <limits>
@@ -71,9 +72,9 @@ std::optional<std::string> keyValue(const std::string& token,
 struct PendingSession {
   Session session;
   std::size_t declaredAtLine = 0;
-  // ConstantFactor redundancy as parsed (1 = efficient); the graph
+  // Registry link-rate family as parsed ("efficient" = none); the graph
   // dialect rebuilds the function from this via GraphSessionSpec.
-  double redundancy = 1.0;
+  LinkRateSpec linkRate;
   // Graph dialect only: the sender node and one routed node per
   // receiver already pushed onto session.receivers (whose dataPaths
   // stay empty until finalization routes them).
@@ -102,9 +103,8 @@ Session routeSession(graph::RoutePlan& plan, const GraphSessionSpec& spec) {
   s.name = spec.name;
   s.type = spec.type;
   s.maxRate = spec.maxRate;
-  MCFAIR_REQUIRE(spec.redundancy >= 1.0, "redundancy must be >= 1");
-  if (spec.redundancy > 1.0) {
-    s.linkRateFn = std::make_shared<const ConstantFactor>(spec.redundancy);
+  if (!spec.linkRate.efficient()) {
+    s.linkRateFn = makeLinkRateFunction(spec.linkRate);
   }
   for (const GraphSessionSpec::Member& m : spec.members) {
     Receiver r;
@@ -116,9 +116,17 @@ Session routeSession(graph::RoutePlan& plan, const GraphSessionSpec& spec) {
   return s;
 }
 
-}  // namespace
+// A fault directive awaiting name resolution (link/edge names may be
+// declared after the fault line; both maps are only complete at EOF).
+struct PendingFault {
+  std::size_t line = 0;
+  double time = 0.0;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::string linkName;
+  double factor = 1.0;
+};
 
-Network parseNetworkFile(std::istream& in) {
+Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
   Network network;  // flat dialect builds into this directly
   std::map<std::string, graph::LinkId> links;
   // Order-preserving pending sessions.
@@ -144,6 +152,8 @@ Network parseNetworkFile(std::istream& in) {
                      "with link/receiver)");
     }
   };
+
+  std::vector<PendingFault> pendingFaults;
 
   // Graph dialect state.
   bool nodesDeclared = false;
@@ -252,6 +262,7 @@ Network parseNetworkFile(std::istream& in) {
         fail(lineNo, "session type must be 'multi' or 'single', got '" +
                          tokens[2] + "'");
       }
+      bool linkRateSeen = false;
       for (std::size_t t = 3; t < tokens.size(); ++t) {
         if (const auto sigma = keyValue(tokens[t], "sigma")) {
           pending.session.maxRate = parseNumber(lineNo, *sigma, "sigma");
@@ -259,14 +270,44 @@ Network parseNetworkFile(std::istream& in) {
             fail(lineNo, "sigma must be positive");
           }
         } else if (const auto red = keyValue(tokens[t], "redundancy")) {
+          // Legacy spelling of linkrate=constant:<v>.
+          if (linkRateSeen) {
+            fail(lineNo, "session has more than one link-rate option");
+          }
+          linkRateSeen = true;
           const double v = parseNumber(lineNo, *red, "redundancy");
           if (!(v >= 1.0)) fail(lineNo, "redundancy must be >= 1");
-          pending.redundancy = v;
-          pending.session.linkRateFn =
-              std::make_shared<const ConstantFactor>(v);
+          if (v > 1.0) pending.linkRate = LinkRateSpec{"constant", v};
+        } else if (const auto lr = keyValue(tokens[t], "linkrate")) {
+          if (linkRateSeen) {
+            fail(lineNo, "session has more than one link-rate option");
+          }
+          linkRateSeen = true;
+          const auto colon = lr->find(':');
+          LinkRateSpec spec;
+          spec.family = lr->substr(0, colon);
+          if (colon != std::string::npos) {
+            spec.param = parseNumber(lineNo, lr->substr(colon + 1),
+                                     "link-rate parameter");
+          } else if (spec.family != "efficient") {
+            fail(lineNo, "link-rate family '" + spec.family +
+                             "' needs ':<param>'");
+          }
+          // Instantiate now so unknown families and out-of-range
+          // parameters fail with this line number.
+          try {
+            pending.session.linkRateFn = makeLinkRateFunction(spec);
+          } catch (const std::exception& e) {
+            fail(lineNo, e.what());
+          }
+          pending.linkRate = spec;
         } else {
           fail(lineNo, "unknown session option '" + tokens[t] + "'");
         }
+      }
+      if (pending.linkRate.family == "constant") {
+        pending.session.linkRateFn =
+            std::make_shared<const ConstantFactor>(pending.linkRate.param);
       }
       sessions.emplace_back(tokens[1], std::move(pending));
     } else if (directive == "sender") {
@@ -350,10 +391,68 @@ Network parseNetworkFile(std::istream& in) {
         }
       }
       pending->session.receivers.push_back(std::move(receiver));
+    } else if (directive == "fault") {
+      // Dynamics, not structure: legal in both dialects, but only when
+      // the caller supplied somewhere for the schedule to go.
+      if (faults == nullptr) {
+        fail(lineNo,
+             "fault directives require the parseNetworkFile overload "
+             "taking a FaultSchedule (refusing to discard dynamics)");
+      }
+      if (tokens.size() < 4 || tokens.size() > 5) {
+        fail(lineNo, "expected: fault <time> <down|up|degrade> <link> "
+                     "[factor]");
+      }
+      PendingFault f;
+      f.line = lineNo;
+      f.time = parseNumber(lineNo, tokens[1], "fault time");
+      if (!(f.time >= 0.0) || !std::isfinite(f.time)) {
+        fail(lineNo, "fault time must be finite and >= 0");
+      }
+      if (tokens[2] == "down") {
+        f.kind = FaultKind::kLinkDown;
+      } else if (tokens[2] == "up") {
+        f.kind = FaultKind::kLinkUp;
+      } else if (tokens[2] == "degrade") {
+        f.kind = FaultKind::kDegrade;
+      } else {
+        fail(lineNo, "fault kind must be 'down', 'up' or 'degrade', got '" +
+                         tokens[2] + "'");
+      }
+      if (f.kind == FaultKind::kDegrade) {
+        if (tokens.size() != 5) {
+          fail(lineNo, "degrade needs a capacity factor");
+        }
+        f.factor = parseNumber(lineNo, tokens[4], "capacity factor");
+        if (!(f.factor > 0.0) || !std::isfinite(f.factor)) {
+          fail(lineNo, "capacity factor must be finite and > 0");
+        }
+      } else if (tokens.size() == 5) {
+        fail(lineNo, "only degrade takes a factor");
+      }
+      f.linkName = tokens[3];
+      pendingFaults.push_back(std::move(f));
     } else {
       fail(lineNo, "unknown directive '" + directive + "'");
     }
   }
+
+  // Resolve fault link names now that both name maps are complete (a
+  // fault may legally precede the link/edge it references).
+  auto resolveFaults = [&](const std::map<std::string, graph::LinkId>& names,
+                           std::size_t linkCount, const char* what) {
+    if (faults == nullptr) return;
+    for (const PendingFault& f : pendingFaults) {
+      const auto it = names.find(f.linkName);
+      if (it == names.end()) {
+        fail(f.line, std::string("fault references unknown ") + what +
+                         " '" + f.linkName + "'");
+      }
+      faults->events.push_back(
+          FaultEvent{f.time, f.kind, it->second, f.factor});
+    }
+    faults->normalize(linkCount);
+  };
 
   if (dialect == Dialect::kGraph) {
     routing.weights =
@@ -375,7 +474,7 @@ Network parseNetworkFile(std::istream& in) {
       spec.name = pending.session.name;
       spec.type = pending.session.type;
       spec.maxRate = pending.session.maxRate;
-      spec.redundancy = pending.redundancy;
+      spec.linkRate = pending.linkRate;
       spec.sender = pending.senderNode;
       for (std::size_t k = 0; k < pending.memberNodes.size(); ++k) {
         spec.members.push_back({pending.session.receivers[k].name,
@@ -389,6 +488,7 @@ Network parseNetworkFile(std::istream& in) {
              "session '" + name + "' is invalid: " + e.what());
       }
     }
+    resolveFaults(edges, g.linkCount(), "edge");
     return routed;
   }
 
@@ -404,12 +504,29 @@ Network parseNetworkFile(std::istream& in) {
            "session '" + name + "' is invalid: " + e.what());
     }
   }
+  resolveFaults(links, network.linkCount(), "link");
   return network;
+}
+
+}  // namespace
+
+Network parseNetworkFile(std::istream& in) {
+  return parseNetworkFileImpl(in, nullptr);
+}
+
+Network parseNetworkFile(std::istream& in, FaultSchedule& faults) {
+  faults.events.clear();
+  return parseNetworkFileImpl(in, &faults);
 }
 
 Network parseNetworkString(const std::string& text) {
   std::istringstream in(text);
   return parseNetworkFile(in);
+}
+
+Network parseNetworkString(const std::string& text, FaultSchedule& faults) {
+  std::istringstream in(text);
+  return parseNetworkFile(in, faults);
 }
 
 Network buildRoutedNetwork(const graph::Graph& g,
@@ -445,7 +562,8 @@ std::string number(double v) {
 
 void writeRoutedNetworkFile(std::ostream& out, const graph::Graph& g,
                             const graph::RouteOptions& routing,
-                            const std::vector<GraphSessionSpec>& sessions) {
+                            const std::vector<GraphSessionSpec>& sessions,
+                            const FaultSchedule* faults) {
   const bool weighted = routing.policy == graph::RoutePolicy::kWeighted;
   MCFAIR_REQUIRE(routing.weights.empty() ||
                      routing.weights.size() == g.linkCount(),
@@ -468,9 +586,14 @@ void writeRoutedNetworkFile(std::ostream& out, const graph::Graph& g,
     if (spec.maxRate != kUnlimitedRate) {
       out << " sigma=" << number(spec.maxRate);
     }
-    MCFAIR_REQUIRE(spec.redundancy >= 1.0, "redundancy must be >= 1");
-    if (spec.redundancy > 1.0) {
-      out << " redundancy=" << number(spec.redundancy);
+    if (spec.linkRate.family == "constant" && spec.linkRate.param > 1.0) {
+      // The legacy spelling, kept so existing files stay byte-stable.
+      out << " redundancy=" << number(spec.linkRate.param);
+    } else if (!spec.linkRate.efficient()) {
+      // Validates the family name and parameter range up front.
+      (void)makeLinkRateFunction(spec.linkRate);
+      out << " linkrate=" << spec.linkRate.family << ":"
+          << number(spec.linkRate.param);
     }
     out << "\n";
     out << "sender " << spec.name << " " << spec.sender.value << "\n";
@@ -478,6 +601,28 @@ void writeRoutedNetworkFile(std::ostream& out, const graph::Graph& g,
       checkToken(m.name, "member");
       out << "member " << spec.name << " " << m.name << " " << m.node.value;
       if (m.weight != 1.0) out << " weight=" << number(m.weight);
+      out << "\n";
+    }
+  }
+  if (faults != nullptr) {
+    for (const FaultEvent& ev : faults->events) {
+      g.checkLink(ev.link);
+      out << "fault " << number(ev.time) << " ";
+      switch (ev.kind) {
+        case FaultKind::kLinkDown:
+          out << "down";
+          break;
+        case FaultKind::kLinkUp:
+          out << "up";
+          break;
+        case FaultKind::kDegrade:
+          out << "degrade";
+          break;
+      }
+      out << " e" << ev.link.value;
+      if (ev.kind == FaultKind::kDegrade) {
+        out << " " << number(ev.factor);
+      }
       out << "\n";
     }
   }

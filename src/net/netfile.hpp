@@ -8,7 +8,9 @@
 //
 //   link <name> <capacity>
 //   session <name> <multi|single> [sigma=<rate>] [redundancy=<factor>]
+//           [linkrate=<family>[:<param>]]
 //   receiver <session> <name> <link>[,<link>...] [weight=<w>]
+//   fault <time> <down|up|degrade> <link> [factor]
 //
 // Example:
 //
@@ -30,8 +32,10 @@
 //   edge <name> <nodeA> <nodeB> <capacity> [weight=<w>]
 //   routing <hops|weighted>
 //   session <name> <multi|single> [sigma=<rate>] [redundancy=<factor>]
+//           [linkrate=<family>[:<param>]]
 //   sender <session> <node>
 //   member <session> <name> <node> [weight=<w>]
+//   fault <time> <down|up|degrade> <edge> [factor]
 //
 // Example:
 //
@@ -48,12 +52,27 @@
 // `routing hops` (the default when the directive is omitted) routes on
 // hop count; `routing weighted` runs Dijkstra on the edges' `weight=`
 // attributes (default 1) with the documented lowest-node-id tie-break.
-// `redundancy=v` installs a ConstantFactor link-rate function (Section
-// 3.1) on the session; sessions default to efficient (v = 1).
 //
-// writeRoutedNetworkFile() serializes graph + routing + sessions in the
-// graph dialect such that parsing the output reconstructs a
-// structurallyEqual() Network (see buildRoutedNetwork).
+// Link-rate (Section 3.1 redundancy) functions are named through the
+// LinkRateSpec registry (net/link_rate.hpp):
+// `linkrate=constant:1.5` installs ConstantFactor(1.5),
+// `linkrate=randomjoin:8` installs RandomJoinExpected(sigma = 8), and
+// `linkrate=efficient` is the default (no function). `redundancy=v` is
+// the legacy spelling of `linkrate=constant:v`; the two options are
+// mutually exclusive on one session.
+//
+// `fault` directives (both dialects) accumulate a net::FaultSchedule —
+// time-ordered capacity overrides on named links/edges, with `factor`
+// required for (and only for) `degrade`. Because a schedule is dynamics,
+// not structure, it is returned through the parseNetworkFile overload
+// taking a FaultSchedule out-parameter; the schedule-less overloads
+// REJECT files containing fault directives rather than silently
+// dropping them.
+//
+// writeRoutedNetworkFile() serializes graph + routing + sessions (and
+// optionally a fault schedule) in the graph dialect such that parsing
+// the output reconstructs a structurallyEqual() Network (see
+// buildRoutedNetwork) and an equal schedule.
 #pragma once
 
 #include <iosfwd>
@@ -62,6 +81,7 @@
 #include <vector>
 
 #include "graph/route_plan.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 
 namespace mcfair::net {
@@ -76,21 +96,28 @@ class NetfileError : public std::runtime_error {
 /// NetfileError on malformed input (unknown directives, duplicate or
 /// missing names, unparsable numbers, receivers before their session,
 /// empty sessions, mixed dialects, out-of-range nodes, unreachable
-/// members).
+/// members, fault directives referencing unknown links). Files with
+/// fault directives require the `faults` overload — the schedule-less
+/// form throws rather than silently discarding dynamics.
 Network parseNetworkFile(std::istream& in);
 
-/// Convenience wrapper over a string.
+/// As above, additionally collecting `fault` directives into `faults`
+/// (normalized; empty when the file has none).
+Network parseNetworkFile(std::istream& in, FaultSchedule& faults);
+
+/// Convenience wrappers over a string.
 Network parseNetworkString(const std::string& text);
+Network parseNetworkString(const std::string& text, FaultSchedule& faults);
 
 /// One session of the graph dialect — the serializable subset of a
-/// routed session (redundancy is restricted to the ConstantFactor
-/// family the text format can express).
+/// routed session (link-rate functions are restricted to the named
+/// LinkRateSpec registry families the text format can express).
 struct GraphSessionSpec {
   std::string name;
   SessionType type = SessionType::kMultiRate;
   double maxRate = kUnlimitedRate;
-  /// ConstantFactor redundancy; 1 = efficient (no function written).
-  double redundancy = 1.0;
+  /// Registry link-rate family; "efficient" = no function written.
+  LinkRateSpec linkRate;
   graph::NodeId sender;
   struct Member {
     std::string name;
@@ -113,9 +140,14 @@ Network buildRoutedNetwork(const graph::Graph& g,
 /// parseNetworkFile() on the output yields a Network structurallyEqual
 /// to buildRoutedNetwork(g, routing, sessions). Names must be non-empty
 /// single tokens (no whitespace or '#'); numbers are written with
-/// max_digits10 precision so capacities and weights survive exactly.
+/// max_digits10 precision so capacities, weights, link-rate parameters
+/// and fault times survive exactly. When `faults` is given, its events
+/// are appended as `fault` directives (edge names are the written
+/// `e<index>` names), so the write -> read round trip also reproduces
+/// the schedule.
 void writeRoutedNetworkFile(std::ostream& out, const graph::Graph& g,
                             const graph::RouteOptions& routing,
-                            const std::vector<GraphSessionSpec>& sessions);
+                            const std::vector<GraphSessionSpec>& sessions,
+                            const FaultSchedule* faults = nullptr);
 
 }  // namespace mcfair::net

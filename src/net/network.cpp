@@ -24,8 +24,10 @@ Network& Network::operator=(Network&& other) noexcept {
     receiverOffsets_ = std::move(other.receiverOffsets_);
     receiverCount_ = other.receiverCount_;
     identity_ = other.identity_;
+    structureIdentity_ = other.structureIdentity_;
     other.receiverCount_ = 0;
     other.identity_ = nextIdentity();
+    other.structureIdentity_ = nextIdentity();
   }
   return *this;
 }
@@ -72,6 +74,7 @@ graph::LinkId Network::addLink(double capacity) {
   capacities_.push_back(capacity);
   linkIndex_.emplace_back();
   identity_ = nextIdentity();
+  structureIdentity_ = nextIdentity();
   return id;
 }
 
@@ -109,6 +112,7 @@ std::size_t Network::addSession(Session s) {
   receiverCount_ += s.receivers.size();
   sessions_.push_back(std::move(s));
   identity_ = nextIdentity();
+  structureIdentity_ = nextIdentity();
   return idx;
 }
 
@@ -198,6 +202,16 @@ Network Network::withoutReceiver(ReceiverRef ref) const {
   return copy;
 }
 
+void Network::setCapacity(graph::LinkId l, double capacity) {
+  checkLink(l);
+  MCFAIR_REQUIRE(capacity >= 0.0,
+                 "setCapacity requires a non-negative capacity "
+                 "(0 models a failed link)");
+  capacities_[l.value] = capacity;
+  identity_ = nextIdentity();
+  // structureIdentity_ deliberately unchanged: the shape is intact.
+}
+
 Network Network::withCapacity(graph::LinkId l, double capacity) const {
   checkLink(l);
   MCFAIR_REQUIRE(capacity > 0.0, "link capacity must be positive");
@@ -224,6 +238,7 @@ void Network::checkLink(graph::LinkId l) const {
 
 void Network::reindex() {
   identity_ = nextIdentity();
+  structureIdentity_ = nextIdentity();
   for (auto& list : linkIndex_) list.clear();
   receiverIndex_.clear();
   receiverOffsets_.assign(1, 0);

@@ -86,6 +86,16 @@ class Network {
   /// solver uses it to skip rebinding an unchanged network.
   std::uint64_t identity() const noexcept { return identity_; }
 
+  /// Process-unique id of the network's *shape*: the links, sessions and
+  /// data-paths, but not the capacity values. setCapacity() preserves it
+  /// while every structural mutation (addLink/addSession/reindex) and
+  /// every copy changes it. An equal structureIdentity guarantees that
+  /// only capacities can differ — the max-min solver uses it to take the
+  /// O(links) capacity-refresh rebind instead of a full rebuild.
+  std::uint64_t structureIdentity() const noexcept {
+    return structureIdentity_;
+  }
+
   // --- What-if copies used by the Lemma/Corollary experiments. ---
 
   /// Copy with session i's type replaced.
@@ -101,6 +111,17 @@ class Network {
   /// Copy with link capacity replaced.
   Network withCapacity(graph::LinkId l, double capacity) const;
 
+  // --- Fault delta path (see net/fault.hpp). ---
+
+  /// Replaces a link's capacity in place. Unlike addLink/withCapacity,
+  /// a zero capacity is allowed here — it models a failed (down) link;
+  /// the max-min solver freezes every receiver crossing it at rate 0.
+  /// Bumps identity() (allocations change) but not structureIdentity()
+  /// (the session/link shape is untouched), so a bound MaxMinSolver
+  /// refreshes only its capacity-derived arrays on the next bind —
+  /// O(links), allocation-free — instead of rebuilding its workspace.
+  void setCapacity(graph::LinkId l, double capacity);
+
  private:
   void checkSessionIndex(std::size_t i) const;
   void checkLink(graph::LinkId l) const;
@@ -114,6 +135,7 @@ class Network {
   std::vector<std::size_t> receiverOffsets_;         // session -> flat base
   std::size_t receiverCount_ = 0;
   std::uint64_t identity_ = nextIdentity();
+  std::uint64_t structureIdentity_ = nextIdentity();
 };
 
 /// True when two networks describe the same model: equal link

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "fairness/maxmin.hpp"
@@ -40,6 +42,31 @@ class TokenBucket {
     return std::min(depth_, tokens_ + rate_ * (now - lastRefill_));
   }
 
+  /// Reconfigures the bucket in place at a fault boundary: the current
+  /// token level is materialized at `now` and clamped into the new
+  /// depth, then the rate and depth switch over. A dead link (rate 0)
+  /// keeps no residual tokens — it admits nothing until repaired, and a
+  /// repair refills from empty at the restored rate.
+  void reconfigure(double rate, double depth, double now) {
+    tokens_ = std::min(depth, tokensAt(now));
+    if (rate == 0.0) tokens_ = 0.0;
+    rate_ = rate;
+    depth_ = depth;
+    lastRefill_ = now;
+  }
+
+  /// Pins the exact post-admit state of an admit() that found the
+  /// bucket full: exactly `depth` tokens before the packet, depth - 1
+  /// after. The fluid hand-back's windowed replay enters exact tracking
+  /// through this (see SimCore::reconstructBuckets).
+  void resyncFullAdmit(double now) {
+    tokens_ = depth_ - 1.0;
+    lastRefill_ = now;
+  }
+
+  double tokens() const noexcept { return tokens_; }
+  double lastRefill() const noexcept { return lastRefill_; }
+
  private:
   double rate_;
   double depth_;
@@ -48,15 +75,29 @@ class TokenBucket {
 };
 
 // The piecewise-constant fair reference: between consecutive session
-// start/stop boundaries the set of live sessions is constant, so one
-// max-min solve per epoch suffices. A single MaxMinSolver is reused
-// across the epochs, which is exactly the churn workload its incremental
-// workspace is built for — and the one worker pool it owns (when
-// solverThreads enables the parallel sweeps) rides along for every epoch.
+// start/stop boundaries AND fault events the live session set and the
+// effective link capacities are both constant, so one max-min solve per
+// epoch suffices. A single MaxMinSolver is reused across the epochs,
+// which is exactly the churn workload its incremental workspace is
+// built for — and the one worker pool it owns (when solverThreads
+// enables the parallel sweeps) rides along for every epoch.
+//
+// Fault semantics: an epoch's link capacities are base * factor of the
+// last fault event at or before the epoch's start. A receiver whose
+// data-path crosses a dead link (factor 0) is severed — it is excluded
+// from the solve and reported at fair rate 0.0, with fairRate keeping
+// the session's full receiver shape; a session with no surviving
+// receiver contributes nothing to the solve. Dead links enter the epoch
+// network at base capacity: no surviving data-path crosses them, so the
+// value never constrains the filling.
 std::vector<FairEpoch> buildFairEpochs(
     const net::Network& network,
     const std::vector<ClosedLoopSessionConfig>& sessionConfigs,
-    double duration, int solverThreads) {
+    const ClosedLoopConfig& config) {
+  const double duration = config.duration;
+  net::FaultSchedule faults = config.faults;
+  faults.normalize(network.linkCount());
+
   std::vector<double> bounds;
   bounds.push_back(0.0);
   bounds.push_back(duration);
@@ -68,18 +109,29 @@ std::vector<FairEpoch> buildFairEpochs(
       bounds.push_back(sc.stopTime);
     }
   }
+  for (const net::FaultEvent& ev : faults.events) {
+    if (ev.time > 0.0 && ev.time < duration) bounds.push_back(ev.time);
+  }
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
 
   fairness::MaxMinOptions solverOptions;
-  solverOptions.threads = solverThreads;
+  solverOptions.threads = config.solverThreads;
+  solverOptions.validate = config.validate;
   fairness::MaxMinSolver solver(solverOptions);
+  std::vector<double> factor(network.linkCount(), 1.0);
+  std::size_t nextFault = 0;
   std::vector<FairEpoch> epochs;
   epochs.reserve(bounds.size() - 1);
   for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
     FairEpoch epoch;
     epoch.begin = bounds[b];
     epoch.end = bounds[b + 1];
+    while (nextFault < faults.events.size() &&
+           faults.events[nextFault].time <= epoch.begin) {
+      const net::FaultEvent& ev = faults.events[nextFault++];
+      factor[ev.link.value] = ev.appliedFactor();
+    }
     for (std::size_t i = 0; i < network.sessionCount(); ++i) {
       if (sessionConfigs[i].startTime <= epoch.begin &&
           sessionConfigs[i].stopTime >= epoch.end) {
@@ -89,16 +141,46 @@ std::vector<FairEpoch> buildFairEpochs(
     if (!epoch.sessions.empty()) {
       net::Network live;
       for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
-        live.addLink(network.capacity(graph::LinkId{j}));
+        const double c = network.capacity(graph::LinkId{j});
+        live.addLink(factor[j] > 0.0 ? c * factor[j] : c);
       }
-      for (const std::size_t i : epoch.sessions) {
-        live.addSession(network.session(i));
-      }
-      const fairness::Allocation& a = solver.solveAllocation(live);
       epoch.fairRate.reserve(epoch.sessions.size());
+      // (epoch slot, surviving original receiver indices) of the
+      // sessions that made it into the solve, in live-network order.
+      std::vector<std::pair<std::size_t, std::vector<std::size_t>>> solved;
       for (std::size_t s = 0; s < epoch.sessions.size(); ++s) {
-        const auto rates = a.sessionRates(s);
-        epoch.fairRate.emplace_back(rates.begin(), rates.end());
+        const net::Session& orig = network.session(epoch.sessions[s]);
+        net::Session filtered = orig;
+        filtered.receivers.clear();
+        std::vector<std::size_t> surviving;
+        for (std::size_t k = 0; k < orig.receivers.size(); ++k) {
+          bool severed = false;
+          for (const graph::LinkId l : orig.receivers[k].dataPath) {
+            if (factor[l.value] == 0.0) {
+              severed = true;
+              break;
+            }
+          }
+          if (!severed) {
+            filtered.receivers.push_back(orig.receivers[k]);
+            surviving.push_back(k);
+          }
+        }
+        epoch.fairRate.emplace_back(orig.receivers.size(), 0.0);
+        if (!surviving.empty()) {
+          live.addSession(std::move(filtered));
+          solved.emplace_back(s, std::move(surviving));
+        }
+      }
+      if (!solved.empty()) {
+        const fairness::Allocation& a = solver.solveAllocation(live);
+        for (std::size_t li = 0; li < solved.size(); ++li) {
+          const auto rates = a.sessionRates(li);
+          const auto& [s, surviving] = solved[li];
+          for (std::size_t p = 0; p < surviving.size(); ++p) {
+            epoch.fairRate[s][surviving[p]] = rates[p];
+          }
+        }
       }
     }
     epochs.push_back(std::move(epoch));
@@ -251,7 +333,44 @@ class SimCore {
     linkDropping_.assign(network.linkCount(), 0);
     touched_.reserve(network.linkCount());
 
+    // Fault schedule: validated and time-sorted once; the drivers apply
+    // each event strictly before any packet at or after its time.
+    faults_ = config.faults;
+    faults_.normalize(network.linkCount());
+    baseCapacity_.reserve(network.linkCount());
+    for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
+      baseCapacity_.push_back(network.capacity(graph::LinkId{j}));
+    }
+    // Each fault can split off at most one more fluid interval.
+    fluidIntervals_.reserve(faults_.events.size() + 1);
+
+    const bool validate = config.validate.resolve();
+    validateConservation_ = validate && config.validate.linkConservation;
+    validateBucketReplay_ = validate && config.validate.bucketReplay;
+
     fluidBackoff_ = std::max(1.0, config.tokenBurst);
+  }
+
+  /// Time of the next unapplied fault event; +infinity once exhausted.
+  double nextFaultTime() const noexcept {
+    return nextFault_ < faults_.events.size()
+               ? faults_.events[nextFault_].time
+               : std::numeric_limits<double>::infinity();
+  }
+
+  /// Applies the next fault event: the link's token bucket is
+  /// reconfigured in place at the event time — rate and depth follow
+  /// the faulted capacity (base * factor), a dead link admits nothing —
+  /// so every packet at or after the event sees the new capacity.
+  /// The reconfiguration depends only on the event and the bucket's own
+  /// state, so drivers that agree on packet order stay bit-identical
+  /// through it. Allocation-free.
+  void applyNextFault() {
+    const net::FaultEvent& ev = faults_.events[nextFault_++];
+    const double cap = baseCapacity_[ev.link.value] * ev.appliedFactor();
+    buckets_[ev.link.value].reconfigure(
+        cap, std::max(1.0, cap * config_.tokenBurst), ev.time);
+    if (validateConservation_) checkInvariants("fault");
   }
 
   std::size_t sessionCount() const noexcept { return senders_.size(); }
@@ -386,14 +505,22 @@ class SimCore {
            now >= nextFluidAttempt_;
   }
 
-  /// Attempts to close out the run analytically from `tSwitch` (the time
+  /// Attempts to advance the run analytically from `tSwitch` (the time
   /// of the earliest unprocessed packet; `pending` holds each session's
-  /// generated-but-unprocessed lookahead packet). On success every
-  /// accumulator is advanced to the end of the run in closed form and
-  /// true is returned — the caller must stop executing packets. On
-  /// failure nothing changes and a retry is scheduled with exponential
-  /// backoff (token buckets refill over time, so a certificate that
-  /// fails now can hold later).
+  /// generated-but-unprocessed lookahead packet) to `horizon` — the end
+  /// of the run, or the next fault event, whichever comes first. On
+  /// success every accumulator is advanced to the horizon in closed
+  /// form and true is returned. When the horizon is the end of the run
+  /// the caller just stops executing packets; when it is a fault
+  /// boundary the fast-forward is PARTIAL: packets strictly before the
+  /// horizon are accounted analytically, then exact per-packet state is
+  /// reconstructed — token buckets via replay (reconstructBuckets),
+  /// senders via LayeredSender::resync, the merge queue reseeded from
+  /// the resumed lookahead packets — and execution hands back to the
+  /// per-packet path, which applies the fault and continues. On failure
+  /// nothing changes and a retry is scheduled with exponential backoff
+  /// (token buckets refill over time, so a certificate that fails now
+  /// can hold later).
   ///
   /// The certificate, per link, over every interval between session
   /// start/stop boundaries in [tSwitch, duration]:
@@ -411,10 +538,10 @@ class SimCore {
   /// if the clamp binds, tokens restart from depth). The margin of 2
   /// tokens dominates any accumulated rounding drift of the bucket's
   /// incremental refill arithmetic.
-  bool tryFluidFastForward(double tSwitch,
-                           const std::vector<Packet>& pending) {
+  bool tryFluidFastForward(double tSwitch, std::vector<Packet>& pending,
+                           EventQueue& queue, double horizon) {
     const std::size_t nSessions = sessionCount();
-    const double horizon = config_.duration;
+    const bool partial = horizon < config_.duration;
     // (1) absorbing — the live counter is the fast gate; the per-session
     // scan is authoritative (the counter can lag for sessions that
     // stopped but whose final pending pop has not happened yet).
@@ -527,7 +654,14 @@ class SimCore {
         const double period = snd.layerPeriod(k);
         const std::uint64_t nDone =
             snd.layerEmitted(k) - (pending[i].layer == k ? 1 : 0);
-        std::uint64_t nHi = lastEmissionAtMost(phase, period, horizon);
+        // A fault horizon is exclusive: packets AT the fault time are
+        // processed after the fault by every driver, so a partial
+        // fast-forward accounts strictly-before emissions only. The
+        // end of the run is inclusive (the drivers process packets at
+        // time == duration).
+        std::uint64_t nHi = partial
+                                ? lastEmissionBefore(phase, period, horizon)
+                                : lastEmissionAtMost(phase, period, horizon);
         if (sc.stopTime <= horizon) {
           nHi = std::min(nHi,
                          lastEmissionBefore(phase, period, sc.stopTime));
@@ -590,9 +724,204 @@ class SimCore {
       }
     }
 
-    fluidEngaged_ = true;
-    fluidFrom_ = tSwitch;
+    fluidTime_ += horizon - tSwitch;
+    fluidIntervals_.push_back(FluidInterval{tSwitch, horizon});
+    if (!partial) return true;
+
+    // Hand back to per-packet execution at the fault boundary.
+    // (a) Token buckets: the exact state per-packet execution would
+    //     have left after the last admit before the horizon.
+    reconstructBuckets(pending, tSwitch, horizon);
+    // (b) Senders resume at their first emission >= horizon, sessions
+    //     that ended inside the interval detach, and the merge queue is
+    //     reseeded from the surviving lookahead packets. All scratch is
+    //     preallocated: the hand-back allocates nothing.
+    queue.clear();
+    seedScratch_.clear();
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      if (detached_[i]) continue;
+      const auto& sc = sessionConfigs_[i];
+      if (sc.stopTime <= horizon) {
+        // Its last packet was accounted analytically; the per-packet
+        // merge would have dropped it by now.
+        onSessionDetached(i);
+        continue;
+      }
+      resyncCounts_.clear();
+      for (std::size_t k = 1; k <= sc.layers; ++k) {
+        resyncCounts_.push_back(lastEmissionBefore(
+            senders_[i].layerPhase(k), senders_[i].layerPeriod(k), horizon));
+      }
+      senders_[i].resync(resyncCounts_);
+      pending[i] = senders_[i].next();
+      if (pending[i].time < sc.stopTime) {
+        seedScratch_.push_back(EventQueue::Pending{pending[i].time, i});
+      } else {
+        onSessionDetached(i);
+      }
+    }
+    queue.scheduleAt(seedScratch_);
+    // The certificate can re-engage once the population settles again
+    // after the fault; restart the retry clock from scratch.
+    nextFluidAttempt_ = horizon;
+    fluidBackoff_ = std::max(1.0, config_.tokenBurst);
     return true;
+  }
+
+  /// Rebuilds every token bucket's exact per-packet state at the
+  /// hand-back horizon. During a certified interval no admit fails and
+  /// same-time admits commute, so replaying a link's merged arrival
+  /// sequence through admit() reproduces the per-packet engine's bucket
+  /// state bit-for-bit. Two modes per link:
+  ///  * windowed (the default): start a token LOWER BOUND at zero a
+  ///    bounded window W = 2 * (depth + S + 2) / (rate - R) before the
+  ///    horizon (S streams of aggregate rate R present at most
+  ///    S + R*w arrivals in any window w, so the bound gains at least
+  ///    (rate - R) * W - arrivals > depth over the window). The bound
+  ///    can only clamp when the TRUE level clamps — it is a lower
+  ///    bound of a value capped at depth — so the first arrival whose
+  ///    bound clamps saw exactly `depth` true tokens, an exact state;
+  ///    the remaining arrivals replay exactly through admit(). Cost
+  ///    O(W * arrival rate) per link, independent of interval length.
+  ///  * full replay from the switch point (the bucket is untouched
+  ///    during a fluid interval, so its pre-switch state is exact):
+  ///    the fallback when the window cannot be bounded (refill does
+  ///    not exceed the arrival rate) or does not fit, and the oracle
+  ///    the windowed mode is cross-checked against under
+  ///    MCFAIR_VALIDATE.
+  void reconstructBuckets(const std::vector<Packet>& pending,
+                          double tSwitch, double horizon) {
+    for (std::uint32_t j = 0; j < network_.linkCount(); ++j) {
+      if (linkSessBegin_[j] == linkSessBegin_[j + 1]) continue;
+      double streams = 0.0;
+      double rate = 0.0;
+      bool any = false;
+      for (std::size_t s = linkSessBegin_[j]; s < linkSessBegin_[j + 1];
+           ++s) {
+        const std::size_t i = linkSess_[s];
+        if (detached_[i]) continue;
+        const auto& sc = sessionConfigs_[i];
+        if (sc.startTime >= horizon || sc.stopTime <= tSwitch) continue;
+        any = true;
+        streams += static_cast<double>(sc.layers);
+        rate += sessAggRate_[i];
+      }
+      if (!any) continue;  // no admits during the interval
+      TokenBucket& bucket = buckets_[j];
+      double from = tSwitch;
+      bool windowed = false;
+      if (bucket.rate() > rate) {
+        const double w =
+            2.0 * (bucket.depth() + streams + 2.0) / (bucket.rate() - rate);
+        if (horizon - w > tSwitch) {
+          from = horizon - w;
+          windowed = true;
+        }
+      }
+      if (windowed && validateBucketReplay_) {
+        TokenBucket probe = bucket;
+        const bool exact =
+            replayLink(probe, j, pending, horizon, from, true);
+        replayLink(bucket, j, pending, horizon, tSwitch, false);
+        // `!exact` is a legitimate outcome (arrivals can cease before
+        // the bound clamps, e.g. sessions stopping mid-window); only an
+        // exact windowed state that DISAGREES with the oracle is a bug.
+        if (exact && (probe.tokens() != bucket.tokens() ||
+                      probe.lastRefill() != bucket.lastRefill())) {
+          throw NumericError(
+              "windowed token-bucket reconstruction diverged from the "
+              "full replay on link " +
+              std::to_string(j));
+        }
+        continue;
+      }
+      if (!windowed ||
+          !replayLink(bucket, j, pending, horizon, from, true)) {
+        replayLink(bucket, j, pending, horizon, tSwitch, false);
+      }
+    }
+  }
+
+  /// Replays link j's merged packet arrivals in [from, horizon) into
+  /// `bucket`. Windowed mode tracks the zero-seeded token lower bound
+  /// until it clamps at depth (then switches to exact admits); plain
+  /// mode assumes the bucket already holds exact state at `from` and
+  /// just admits. Returns whether the final state is exact. The merge
+  /// runs on the preallocated stream-cursor heap; same-time arrivals
+  /// may pop in any order (admits at equal times commute).
+  bool replayLink(TokenBucket& bucket, std::uint32_t j,
+                  const std::vector<Packet>& pending, double horizon,
+                  double from, bool windowed) {
+    streamHeap_.clear();
+    for (std::size_t s = linkSessBegin_[j]; s < linkSessBegin_[j + 1];
+         ++s) {
+      const std::size_t i = linkSess_[s];
+      if (detached_[i]) continue;
+      const auto& sc = sessionConfigs_[i];
+      const double stop = std::min(sc.stopTime, horizon);
+      for (std::size_t k = 1; k <= sc.layers; ++k) {
+        const double phase = senders_[i].layerPhase(k);
+        const double period = senders_[i].layerPeriod(k);
+        // First unprocessed emission (the pending lookahead counts as
+        // unprocessed), clipped by the session start, the replay
+        // start, and the horizon/stop — exactly the admits per-packet
+        // execution performs in the window.
+        std::uint64_t n = senders_[i].layerEmitted(k) -
+                          (pending[i].layer == k ? 1 : 0) + 1;
+        if (sc.startTime > 0.0) {
+          n = std::max(n,
+                       lastEmissionBefore(phase, period, sc.startTime) + 1);
+        }
+        n = std::max(n, lastEmissionBefore(phase, period, from) + 1);
+        const std::uint64_t nHi = lastEmissionBefore(phase, period, stop);
+        if (n > nHi) continue;
+        streamHeap_.push_back(StreamCursor{
+            layerEmissionTime(phase, period, n), phase, period, n, nHi});
+      }
+    }
+    std::make_heap(streamHeap_.begin(), streamHeap_.end(), laterCursor);
+    bool exact = !windowed;
+    double lb = 0.0;
+    double lbTime = from;
+    while (!streamHeap_.empty()) {
+      std::pop_heap(streamHeap_.begin(), streamHeap_.end(), laterCursor);
+      StreamCursor cur = streamHeap_.back();
+      streamHeap_.pop_back();
+      if (exact) {
+        bucket.admit(cur.time);
+      } else {
+        const double pre = lb + bucket.rate() * (cur.time - lbTime);
+        if (pre >= bucket.depth()) {
+          // The lower bound clamped, so the true pre-admit level was
+          // exactly depth: pin the exact post-admit state.
+          bucket.resyncFullAdmit(cur.time);
+          exact = true;
+        } else {
+          lb = pre - 1.0;
+          lbTime = cur.time;
+        }
+      }
+      if (cur.n < cur.nHi) {
+        ++cur.n;
+        cur.time = layerEmissionTime(cur.phase, cur.period, cur.n);
+        streamHeap_.push_back(cur);
+        std::push_heap(streamHeap_.begin(), streamHeap_.end(), laterCursor);
+      }
+    }
+    return exact;
+  }
+
+  /// Per-link accumulator conservation: every offered packet-link
+  /// traversal was either forwarded or dropped. Checked after every
+  /// fault and at finalize when validation is on.
+  void checkInvariants(const char* where) const {
+    for (std::size_t j = 0; j < linkOffered_.size(); ++j) {
+      if (linkOffered_[j] != linkForwarded_[j] + linkDropped_[j]) {
+        throw NumericError(std::string("link accumulator conservation "
+                                       "violated at ") +
+                           where + ": link " + std::to_string(j));
+      }
+    }
   }
 
   /// Converts the accumulated counts into the measured-rate result.
@@ -651,14 +980,12 @@ class SimCore {
       }
     }
     if (config_.computeFairEpochs) {
-      result.fairEpochs =
-          buildFairEpochs(network_, sessionConfigs_, config_.duration,
-                          config_.solverThreads);
+      result.fairEpochs = buildFairEpochs(network_, sessionConfigs_, config_);
     }
-    if (fluidEngaged_) {
-      result.fluidTime = config_.duration - fluidFrom_;
-      result.fluidPackets = fluidPackets_;
-    }
+    result.fluidTime = fluidTime_;
+    result.fluidPackets = fluidPackets_;
+    result.fluidIntervals = fluidIntervals_;
+    if (validateConservation_) checkInvariants("finalize");
     return result;
   }
 
@@ -695,6 +1022,35 @@ class SimCore {
     linkLast_.resize(nLinks);
     linkDirtyMark_.assign(nLinks, 0);
     dirtyLinks_.reserve(nLinks);
+    // Hand-back scratch: the transposed link -> sessions CSR (which
+    // streams cross each link) and the stream-cursor merge heap sized
+    // for the largest possible stream set, so fault hand-backs are
+    // allocation-free.
+    linkSessBegin_.assign(nLinks + 1, 0);
+    for (const std::uint32_t j : sessLink_) ++linkSessBegin_[j + 1];
+    for (std::size_t j = 0; j < nLinks; ++j) {
+      linkSessBegin_[j + 1] += linkSessBegin_[j];
+    }
+    linkSess_.resize(sessLink_.size());
+    {
+      std::vector<std::size_t> fill(linkSessBegin_.begin(),
+                                    linkSessBegin_.end() - 1);
+      for (std::size_t i = 0; i < nSessions; ++i) {
+        for (std::size_t s = sessLinkBegin_[i]; s < sessLinkBegin_[i + 1];
+             ++s) {
+          linkSess_[fill[sessLink_[s]]++] = i;
+        }
+      }
+    }
+    std::size_t totalStreams = 0;
+    std::size_t maxLayers = 0;
+    for (std::size_t i = 0; i < nSessions; ++i) {
+      totalStreams += sessionConfigs_[i].layers;
+      maxLayers = std::max(maxLayers, sessionConfigs_[i].layers);
+    }
+    streamHeap_.reserve(totalStreams);
+    resyncCounts_.reserve(maxLayers);
+    seedScratch_.reserve(nSessions);
     fluidScratchReady_ = true;
   }
 
@@ -731,17 +1087,40 @@ class SimCore {
   std::vector<char> detached_;
   std::size_t nonAbsorbingLive_ = 0;
 
+  // Fault state.
+  net::FaultSchedule faults_;
+  std::size_t nextFault_ = 0;
+  std::vector<double> baseCapacity_;
+  bool validateConservation_ = false;
+  bool validateBucketReplay_ = false;
+
   // Fluid mode state.
   bool fluidArmed_ = false;
   double nextFluidAttempt_ = 0.0;
   double fluidBackoff_ = 1.0;
-  bool fluidEngaged_ = false;
-  double fluidFrom_ = 0.0;
+  double fluidTime_ = 0.0;
   std::uint64_t fluidPackets_ = 0;
+  std::vector<FluidInterval> fluidIntervals_;
   bool fluidScratchReady_ = false;
   std::vector<std::size_t> sessLinkBegin_;  // CSR into sessLink_
   std::vector<std::uint32_t> sessLink_;
   std::vector<double> sessAggRate_;
+  std::vector<std::size_t> linkSessBegin_;  // transposed: link -> sessions
+  std::vector<std::size_t> linkSess_;
+  struct StreamCursor {
+    double time;
+    double phase;
+    double period;
+    std::uint64_t n;
+    std::uint64_t nHi;
+  };
+  static bool laterCursor(const StreamCursor& a,
+                          const StreamCursor& b) noexcept {
+    return a.time > b.time;
+  }
+  std::vector<StreamCursor> streamHeap_;
+  std::vector<std::uint64_t> resyncCounts_;
+  std::vector<EventQueue::Pending> seedScratch_;
   struct LifeEvent {
     double time;
     std::uint32_t session;
@@ -787,12 +1166,28 @@ ClosedLoopResult runEventDriven(const net::Network& network,
     // The head is the global minimum: once it passes the horizon, every
     // pending packet has.
     if (e->time > config.duration) break;
-    if (core.fluidWanted(e->time) &&
-        core.tryFluidFastForward(e->time, pending)) {
-      // Everything from e->time on is accounted analytically; the
-      // remaining queue entries are intentionally abandoned.
-      queue.clear();
-      break;
+    // Faults fire strictly before any packet at or after their time —
+    // the ordering every driver implements, which keeps trajectories
+    // engine-independent through a fault schedule.
+    if (core.nextFaultTime() <= e->time) {
+      core.applyNextFault();
+      continue;
+    }
+    if (core.fluidWanted(e->time)) {
+      const double horizon =
+          std::min(config.duration, core.nextFaultTime());
+      if (core.tryFluidFastForward(e->time, pending, queue, horizon)) {
+        if (horizon >= config.duration) {
+          // Everything from e->time on is accounted analytically; the
+          // remaining queue entries are intentionally abandoned.
+          queue.clear();
+          break;
+        }
+        // Partial fast-forward up to the next fault: per-packet state
+        // was reconstructed at the horizon and the queue reseeded; the
+        // next iteration applies the fault and resumes per-packet.
+        continue;
+      }
     }
     queue.pop();
     const auto i = static_cast<std::size_t>(e->payload);
@@ -842,6 +1237,10 @@ ClosedLoopResult runClosedLoopSimulationReference(
     }
     const Packet pkt = pending[sessionIdx];
     if (pkt.time > config.duration) break;
+    // Same fault-before-packet ordering as the event-driven merge:
+    // packet times are processed in nondecreasing order, so applying
+    // every fault at or before this packet's time here is equivalent.
+    while (core.nextFaultTime() <= pkt.time) core.applyNextFault();
     pending[sessionIdx] = core.nextPacket(sessionIdx);
     core.processPacket(sessionIdx, pkt);
   }

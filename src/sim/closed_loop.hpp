@@ -60,9 +60,11 @@
 #include <vector>
 
 #include "fairness/allocation.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "sim/loss.hpp"
 #include "sim/receiver.hpp"
+#include "util/validate.hpp"
 
 namespace mcfair::sim {
 
@@ -132,6 +134,35 @@ struct ClosedLoopConfig {
   /// endogenous loss only. The fluid engine never fast-forwards while a
   /// loss model is installed (each packet owes its per-link RNG draw).
   std::function<std::unique_ptr<LossModel>(graph::LinkId)> linkLoss;
+  /// Deterministic fault schedule (net/fault.hpp): link-down, link-up,
+  /// and capacity-degrade events applied at exact simulation times. A
+  /// fault reconfigures the link's token bucket in place (rate and depth
+  /// follow capacity * factor; a down link admits nothing) before any
+  /// packet at or after the fault time is processed — an ordering all
+  /// three drivers implement identically, so trajectories stay
+  /// bit-identical through arbitrary schedules. Receivers whose
+  /// data-path crosses a dead link simply see every packet dropped and
+  /// degrade to the layers their surviving links sustain; nothing
+  /// crashes or deadlocks. The fluid engine treats the next fault time
+  /// as its fast-forward horizon: it advances analytically up to the
+  /// fault, reconstructs exact per-packet state (senders, merge queue,
+  /// token buckets), and hands execution back to the per-packet path —
+  /// then re-engages after repair once the population is steady again.
+  net::FaultSchedule faults;
+  /// Paranoid invariant checking (util/validate.hpp), resolved against
+  /// MCFAIR_VALIDATE by default: per-link accumulator conservation is
+  /// asserted after every fault and at finalize, the fluid hand-back
+  /// cross-checks its windowed token-bucket reconstruction against a
+  /// full replay, and the fair-epoch solver re-validates each epoch
+  /// against the reference oracle. Orders of magnitude slower — meant
+  /// for CI debug/sanitizer jobs.
+  util::ValidateOptions validate;
+};
+
+/// One maximal interval the fluid engine covered analytically.
+struct FluidInterval {
+  double begin = 0.0;
+  double end = 0.0;
 };
 
 /// Measured outcome.
@@ -154,12 +185,16 @@ struct ClosedLoopResult {
   /// When computeFairEpochs: the time-varying fair reference, one entry
   /// per maximal interval with a constant set of live sessions.
   std::vector<FairEpoch> fairEpochs;
-  /// Fluid engine diagnostics: simulated time covered analytically
-  /// (duration - switch point) and packets accounted in closed form
-  /// instead of being executed. Both 0 for the per-packet engines and
-  /// for runs where the steady-state certificate never held.
+  /// Fluid engine diagnostics: total simulated time covered analytically
+  /// and packets accounted in closed form instead of being executed.
+  /// Both 0 for the per-packet engines and for runs where the
+  /// steady-state certificate never held. With a fault schedule the
+  /// coverage can be split into several intervals (fast-forward up to a
+  /// fault, per-packet through the disruption, fast-forward again after
+  /// recovery); fluidIntervals lists them in time order.
   double fluidTime = 0.0;
   std::uint64_t fluidPackets = 0;
+  std::vector<FluidInterval> fluidIntervals;
 };
 
 /// Runs the closed-loop experiment with the event-driven session engine

@@ -6,6 +6,7 @@
 
 #include "graph/generators.hpp"
 #include "graph/route_plan.hpp"
+#include "net/fault.hpp"
 #include "util/error.hpp"
 
 namespace mcfair::sim {
@@ -73,6 +74,18 @@ Scenario buildScenario(const ScenarioSpec& spec) {
                  "arrivalWindow must lie inside [0, duration)");
   MCFAIR_REQUIRE(spec.meanLifetime > 0.0 && spec.minLifetime > 0.0,
                  "lifetimes must be positive");
+  if (spec.faults.kind == FaultAxis::Kind::kFlap ||
+      spec.faults.kind == FaultAxis::Kind::kPartition) {
+    MCFAIR_REQUIRE(spec.faults.start >= 0.0 &&
+                       spec.faults.repair > spec.faults.start,
+                   "fault axis needs 0 <= start < repair");
+  }
+  MCFAIR_REQUIRE(
+      spec.faults.kind != FaultAxis::Kind::kFlap || spec.faults.links >= 1,
+      "kFlap needs links >= 1");
+  MCFAIR_REQUIRE(spec.faults.kind != FaultAxis::Kind::kRandom ||
+                     (spec.faults.mtbf > 0.0 && spec.faults.mttr > 0.0),
+                 "kRandom needs positive mtbf and mttr");
 
   std::vector<SessionMix> mix = spec.mix;
   if (mix.empty()) {
@@ -95,6 +108,7 @@ Scenario buildScenario(const ScenarioSpec& spec) {
   util::Rng topologyRng = root.split();
   util::Rng mixRng = root.split();
   util::Rng dynamicsRng = root.split();
+  util::Rng faultRng = root.split();
 
   Scenario s;
   s.name = spec.name;
@@ -114,7 +128,13 @@ Scenario buildScenario(const ScenarioSpec& spec) {
       spec.topology == ScenarioSpec::Topology::kScaleFreeGraph ||
       spec.topology == ScenarioSpec::Topology::kWaxman ||
       spec.topology == ScenarioSpec::Topology::kRandomRegular;
+  MCFAIR_REQUIRE(spec.faults.kind != FaultAxis::Kind::kPartition || mesh,
+                 "kPartition targets a mesh hub; use kFlap on tree or "
+                 "shared-link topologies");
   graph::LinkId backbone{0};
+  // Sessions crossing each backbone link — the load the targeted fault
+  // kinds pick their victims from (tails are never load-targeted).
+  std::vector<std::size_t> backboneLoad;
   // kScaleFreeTree structure: parent pointers of the preferential-
   // attachment tree, each receiver's node, and one link per tree edge
   // (edgeLink[v] is the up-edge of non-root node v).
@@ -194,10 +214,12 @@ Scenario buildScenario(const ScenarioSpec& spec) {
                         static_cast<double>(
                             std::max<std::size_t>(1, crossing[l])));
     }
+    backboneLoad = crossing;
     s.backbone = std::move(g);
   } else if (!scaleFree) {
     backbone = s.network.addLink(static_cast<double>(spec.sessions) *
                                  spec.backbonePerSession);
+    backboneLoad.assign(1, spec.sessions);
   } else {
     const std::size_t nodes = spec.backboneNodes;
     parent.assign(nodes, 0);
@@ -232,10 +254,12 @@ Scenario buildScenario(const ScenarioSpec& spec) {
       }
     }
     edgeLink.resize(nodes);
+    backboneLoad.assign(nodes - 1, 0);
     for (std::size_t v = 1; v < nodes; ++v) {
       edgeLink[v] = s.network.addLink(
           spec.backbonePerSession *
           static_cast<double>(std::max<std::size_t>(1, crossing[v])));
+      backboneLoad[edgeLink[v].value] = crossing[v];
     }
   }
 
@@ -287,6 +311,61 @@ Scenario buildScenario(const ScenarioSpec& spec) {
     }
     s.config.sessions.push_back(sc);
   }
+
+  if (spec.faults.kind == FaultAxis::Kind::kRandom) {
+    net::RandomFaultOptions fopt;
+    fopt.mtbf = spec.faults.mtbf;
+    fopt.mttr = spec.faults.mttr;
+    fopt.degradeFactor = spec.faults.degradeFactor;
+    s.config.faults = net::randomFaultSchedule(
+        s.network.linkCount(), spec.duration, fopt, faultRng());
+  } else if (spec.faults.kind != FaultAxis::Kind::kNone) {
+    std::vector<graph::LinkId> victims;
+    if (spec.faults.kind == FaultAxis::Kind::kFlap) {
+      // The `links` most-crossed backbone edges, ties to the lower id.
+      std::vector<std::uint32_t> order(backboneLoad.size());
+      for (std::uint32_t l = 0; l < order.size(); ++l) order[l] = l;
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (backboneLoad[a] != backboneLoad[b]) {
+                    return backboneLoad[a] > backboneLoad[b];
+                  }
+                  return a < b;
+                });
+      const std::size_t n = std::min(spec.faults.links, order.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        victims.push_back(graph::LinkId{order[i]});
+      }
+    } else {  // kPartition: everything incident to the busiest hub
+      graph::NodeId hub{0};
+      std::size_t hubDegree = 0;
+      for (std::uint32_t v = 0; v < s.backbone.nodeCount(); ++v) {
+        const std::size_t d = s.backbone.neighbors(graph::NodeId{v}).size();
+        if (d > hubDegree) {
+          hubDegree = d;
+          hub = graph::NodeId{v};
+        }
+      }
+      for (const graph::Adjacency& a : s.backbone.neighbors(hub)) {
+        victims.push_back(a.link);
+      }
+    }
+    const double mid =
+        spec.faults.start + 0.5 * (spec.faults.repair - spec.faults.start);
+    for (const graph::LinkId l : victims) {
+      s.config.faults.events.push_back(
+          net::FaultEvent{spec.faults.start, net::FaultKind::kLinkDown, l});
+      if (spec.faults.kind == FaultAxis::Kind::kFlap &&
+          spec.faults.degradeFactor > 0.0) {
+        s.config.faults.events.push_back(
+            net::FaultEvent{mid, net::FaultKind::kDegrade, l,
+                            spec.faults.degradeFactor});
+      }
+      s.config.faults.events.push_back(
+          net::FaultEvent{spec.faults.repair, net::FaultKind::kLinkUp, l});
+    }
+  }
+  s.config.faults.normalize(s.network.linkCount());
 
   if (spec.loss.kind != LossSpec::Kind::kNone) {
     s.config.linkLoss = [loss = spec.loss](graph::LinkId) {
@@ -450,6 +529,51 @@ const std::vector<ScenarioSpec>& scenarioCatalog() {
       s.meshEdgesPerNode = 2;
       s.mix = {SessionMix{{ProtocolKind::kCoordinated, 6, 1},
                           net::SessionType::kMultiRate, 1.0}};
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "link-flap";
+      s.description =
+          "16 sessions, 2 receivers each, on a 32-node Barabasi-Albert "
+          "m=2 mesh whose two busiest routed edges flap (down at t=600, "
+          "degraded to half capacity at t=900, repaired at t=1200); the "
+          "fluid engine fast-forwards up to the fault, runs per-packet "
+          "through the disruption, and re-engages after repair";
+      s.sessions = 16;
+      s.receiversPerSession = 2;
+      s.topology = ScenarioSpec::Topology::kScaleFreeGraph;
+      s.backboneNodes = 32;
+      s.meshEdgesPerNode = 2;
+      s.mix = {SessionMix{{ProtocolKind::kCoordinated, 6, 1},
+                          net::SessionType::kMultiRate, 1.0}};
+      s.faults.kind = FaultAxis::Kind::kFlap;
+      s.faults.links = 2;
+      s.faults.start = 600.0;
+      s.faults.repair = 1200.0;
+      s.faults.degradeFactor = 0.5;
+      s.fluidFastForward = true;
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "backbone-partition";
+      s.description =
+          "16 sessions, 2 receivers each, on a 48-node Waxman mesh whose "
+          "highest-degree hub loses every incident edge at t=700 until "
+          "t=1400 — the correlated regional outage; receivers behind the "
+          "partition degrade to their surviving layers and the fair-epoch "
+          "reference (recomputed at each fault boundary) zeroes the "
+          "severed receivers";
+      s.sessions = 16;
+      s.receiversPerSession = 2;
+      s.topology = ScenarioSpec::Topology::kWaxman;
+      s.backboneNodes = 48;
+      s.faults.kind = FaultAxis::Kind::kPartition;
+      s.faults.start = 700.0;
+      s.faults.repair = 1400.0;
+      s.computeFairEpochs = true;
+      s.warmup = 0.0;
       v.push_back(std::move(s));
     }
     {

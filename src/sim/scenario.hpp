@@ -64,6 +64,46 @@ struct LossSpec {
   double badLossRate = 0.5;
 };
 
+/// Fault-injection axis, expanded into ClosedLoopConfig::faults (see
+/// net/fault.hpp). The expansion is load-aware: targeted kinds pick
+/// their victim links from the routed session load the topology section
+/// just computed, so "fail the busiest edge" means the same thing on a
+/// shared link, a scale-free tree, and a routed mesh.
+struct FaultAxis {
+  enum class Kind {
+    kNone,  ///< no faults (the default)
+    /// The `links` most-crossed backbone edges flap: down at `start`,
+    /// optionally degraded to `degradeFactor` at the midpoint of the
+    /// outage, fully repaired at `repair`. Works on every topology
+    /// (ties break toward the lower link id).
+    kFlap,
+    /// Every backbone edge incident to the highest-degree hub node goes
+    /// down at `start` and is repaired at `repair` — the correlated
+    /// regional outage. Mesh topologies only (a tree partition is just
+    /// kFlap on the hub's up-edge).
+    kPartition,
+    /// Independent per-link MTBF/MTTR renewal processes over every link
+    /// (tails included), drawn from the spec seed via
+    /// net::randomFaultSchedule.
+    kRandom,
+  };
+  Kind kind = Kind::kNone;
+  /// kFlap: how many top-loaded backbone edges flap.
+  std::size_t links = 1;
+  /// kFlap / kPartition: outage window [start, repair).
+  double start = 600.0;
+  double repair = 1200.0;
+  /// kFlap: when > 0, the outage passes through a degraded middle phase
+  /// (capacity * degradeFactor at the window midpoint) instead of going
+  /// straight from down to repaired — the down -> degrade -> up
+  /// staircase the acceptance suite pins. Also the kRandom degrade
+  /// factor (0 = failures take links fully down).
+  double degradeFactor = 0.0;
+  /// kRandom: mean time between failures / to repair per link.
+  double mtbf = 400.0;
+  double mttr = 60.0;
+};
+
 /// A parameterized closed-loop experiment population.
 ///
 /// Topology: one shared backbone link (capacity scales with the session
@@ -157,6 +197,10 @@ struct ScenarioSpec {
   std::vector<SessionMix> mix;
 
   LossSpec loss;
+
+  /// Fault-injection axis; expanded into ClosedLoopConfig::faults after
+  /// the topology (and its routed link loads) is built.
+  FaultAxis faults;
 
   /// Forwarded into ClosedLoopConfig (see closed_loop.hpp).
   bool computeFairEpochs = false;

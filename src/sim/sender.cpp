@@ -27,6 +27,29 @@ LayeredSender::LayeredSender(layering::LayerScheme scheme,
         EventQueue::Pending{layerEmissionTime(phase_[k - 1], period, 1), k});
   }
   queue_.scheduleAt(initial);
+  resyncBatch_.reserve(layers);
+}
+
+void LayeredSender::resync(const std::vector<std::uint64_t>& countsPerLayer) {
+  const std::size_t layers = scheme_.layerCount();
+  MCFAIR_REQUIRE(countsPerLayer.size() == layers,
+                 "resync needs one emission count per layer");
+  emitted_ = 0;
+  resyncBatch_.clear();
+  for (std::size_t k = 1; k <= layers; ++k) {
+    const std::uint64_t n = countsPerLayer[k - 1];
+    emittedPerLayer_[k - 1] = n;
+    emitted_ += n;
+    resyncBatch_.push_back(EventQueue::Pending{
+        layerEmissionTime(phase_[k - 1], period_[k - 1], n + 1), k});
+  }
+  // layer1Count_ drives the ruler signal; with a single layer next()
+  // never touches it, mirroring which we leave it alone here too.
+  if (layers > 1) layer1Count_ = countsPerLayer[0];
+  // Same seeding discipline as construction: one pending emission per
+  // layer, admitted as one batch in ascending layer order.
+  queue_.clear();
+  queue_.scheduleAt(resyncBatch_);
 }
 
 Packet LayeredSender::next() {

@@ -1,0 +1,22 @@
+#include "util/validate.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mcfair::util {
+
+bool validateEnv() noexcept {
+  static const bool enabled = [] {
+    const char* v = std::getenv("MCFAIR_VALIDATE");
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+bool ValidateOptions::resolve() const noexcept {
+  if (enabled == 0) return false;
+  if (enabled > 0) return true;
+  return validateEnv();
+}
+
+}  // namespace mcfair::util

@@ -1,0 +1,46 @@
+// Opt-in paranoid invariant checking (the MCFAIR_VALIDATE harness).
+//
+// Every fault application and incremental re-solve has a slow, obviously
+// correct counterpart: the reference max-min oracle, a from-scratch
+// token-bucket replay, a fresh routing build. ValidateOptions lets a run
+// cross-check the fast paths against those oracles after every step —
+// far too slow for production, ideal for CI: the Debug and sanitizer
+// jobs export MCFAIR_VALIDATE=1, so every existing test sweep doubles as
+// a self-checking harness.
+//
+// Resolution: each consumer holds a ValidateOptions; `enabled` is a
+// tri-state where -1 defers to the MCFAIR_VALIDATE environment variable
+// (read once per process), 0 forces off (the zero-allocation tests pin
+// this — validation allocates freely) and 1 forces on.
+#pragma once
+
+namespace mcfair::util {
+
+/// Which invariants to check when validation is enabled. All default on;
+/// consumers ignore the flags that do not apply to them.
+struct ValidateOptions {
+  /// -1 = follow MCFAIR_VALIDATE, 0 = off, 1 = on.
+  int enabled = -1;
+
+  /// MaxMinSolver: after every incremental solve, re-solve with the
+  /// reference oracle and require bit-identical rates.
+  bool solverOptimality = true;
+  /// Closed-loop engines: after every fault and fluid hand-back, check
+  /// per-link accumulator conservation and token-bucket bounds.
+  bool linkConservation = true;
+  /// Fluid hand-back: cross-check the bounded bucket replay against a
+  /// full replay from the hand-over point (must match bit for bit).
+  bool bucketReplay = true;
+  /// RoutePlan: after applyEdgeMask, rebuild every cached tree from
+  /// scratch under the same mask and require identical predecessors.
+  bool routingConsistency = true;
+
+  /// The effective on/off switch.
+  bool resolve() const noexcept;
+};
+
+/// True when the MCFAIR_VALIDATE environment variable is set to a value
+/// other than "" or "0" (cached after the first call).
+bool validateEnv() noexcept;
+
+}  // namespace mcfair::util

@@ -1,0 +1,269 @@
+// Fault-injection acceptance tests for the closed-loop engines: a
+// deterministic FaultSchedule (down -> degrade -> repair) must leave the
+// reference, event-driven and fluid engines bit-identical — same
+// trajectories, bins and fair epochs, compared with EXPECT_EQ — on tree
+// and routed-mesh topologies, with the fluid engine provably
+// fast-forwarding both before the fault and again after recovery, and
+// receivers on severed paths degrading to their surviving layers
+// instead of crashing.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "net/topologies.hpp"
+#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+void expectIdentical(const ClosedLoopResult& a, const ClosedLoopResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.measuredRate, b.measuredRate) << label;
+  EXPECT_EQ(a.linkThroughput, b.linkThroughput) << label;
+  EXPECT_EQ(a.linkDropRate, b.linkDropRate) << label;
+  EXPECT_EQ(a.sessionLinkRate, b.sessionLinkRate) << label;
+  EXPECT_EQ(a.meanLevel, b.meanLevel) << label;
+  EXPECT_EQ(a.binRates, b.binRates) << label;
+}
+
+void expectSameEpochs(const std::vector<FairEpoch>& a,
+                      const std::vector<FairEpoch>& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a[e].begin, b[e].begin) << label << " epoch " << e;
+    EXPECT_EQ(a[e].end, b[e].end) << label << " epoch " << e;
+    EXPECT_EQ(a[e].sessions, b[e].sessions) << label << " epoch " << e;
+    EXPECT_EQ(a[e].fairRate, b[e].fairRate) << label << " epoch " << e;
+  }
+}
+
+// The pinned acceptance scenario: a BA m=2 routed mesh with enough
+// headroom that the fluid certificate holds in steady state, hit by
+// down@700 -> degrade 0.5@900 -> repair@1100 on a link the routed
+// paths actually use.
+TEST(ClosedLoopFaults, PinnedScheduleKeepsAllThreeEnginesIdentical) {
+  ScenarioSpec spec;
+  spec.name = "fault-parity";
+  spec.sessions = 12;
+  spec.receiversPerSession = 2;
+  spec.topology = ScenarioSpec::Topology::kScaleFreeGraph;
+  spec.backboneNodes = 24;
+  spec.meshEdgesPerNode = 2;
+  // Deterministic 4-layer sessions (aggregate rate 8) against capacity
+  // 12 * crossing: ample headroom, so the population is drop-free and
+  // absorbing once every receiver has climbed to the top layer.
+  spec.backbonePerSession = 12.0;
+  spec.mix = {SessionMix{{ProtocolKind::kDeterministic, 4, 1},
+                         net::SessionType::kMultiRate, 1.0}};
+  spec.duration = 2000.0;
+  spec.warmup = 100.0;
+  spec.rateBinWidth = 101.0;
+  spec.computeFairEpochs = true;
+  spec.seed = 7;
+  Scenario s = buildScenario(spec);
+
+  // Fault a backbone link some session actually crosses.
+  const graph::LinkId victim =
+      s.network.session(0).receivers[0].dataPath.front();
+  s.config.faults.events = {
+      {700.0, net::FaultKind::kLinkDown, victim},
+      {900.0, net::FaultKind::kDegrade, victim, 0.5},
+      {1100.0, net::FaultKind::kLinkUp, victim},
+  };
+
+  const auto ref = runClosedLoopSimulationReference(s.network, s.config);
+  const auto event = runClosedLoopSimulation(s.network, s.config);
+  const auto fluid = runClosedLoopSimulationFluid(s.network, s.config);
+
+  expectIdentical(event, ref, "event vs reference");
+  expectIdentical(fluid, event, "fluid vs event");
+  expectSameEpochs(event.fairEpochs, ref.fairEpochs, "event vs reference");
+  expectSameEpochs(fluid.fairEpochs, event.fairEpochs, "fluid vs event");
+
+  // The fair reference splits at every fault boundary.
+  ASSERT_FALSE(event.fairEpochs.empty());
+  bool boundaryAt700 = false;
+  for (const FairEpoch& e : event.fairEpochs) {
+    if (e.begin == 700.0) boundaryAt700 = true;
+  }
+  EXPECT_TRUE(boundaryAt700);
+
+  // The fluid engine fast-forwarded up to the fault, ran per-packet
+  // through the disruption, and engaged AGAIN after repair.
+  EXPECT_GT(fluid.fluidTime, 0.0);
+  EXPECT_GT(fluid.fluidPackets, 0u);
+  ASSERT_EQ(fluid.fluidIntervals.size(), 2u)
+      << "expected one interval before the fault and one after repair";
+  EXPECT_LT(fluid.fluidIntervals[0].begin, 700.0);
+  EXPECT_EQ(fluid.fluidIntervals[0].end, 700.0)
+      << "the first fast-forward must stop exactly at the fault";
+  EXPECT_GT(fluid.fluidIntervals[1].begin, 1100.0);
+  EXPECT_EQ(fluid.fluidIntervals[1].end, 2000.0);
+
+  // The per-packet engines report no analytic coverage.
+  EXPECT_EQ(ref.fluidTime, 0.0);
+  EXPECT_EQ(ref.fluidIntervals.size(), 0u);
+}
+
+// A receiver whose only path crosses a dead link sees every packet
+// dropped, degrades to layer 1, and the run completes identically in
+// all three engines; the fair-epoch oracle zeroes the severed receiver
+// for the outage epochs.
+TEST(ClosedLoopFaults, SeveredReceiverDegradesToSurvivingLayers) {
+  net::Network n;
+  const auto backbone = n.addLink(64.0);
+  const auto tail = n.addLink(64.0);
+  net::Session session;
+  session.receivers.push_back(net::makeReceiver({backbone}, "safe"));
+  session.receivers.push_back(net::makeReceiver({backbone, tail}, "cut"));
+  n.addSession(std::move(session));
+  n.addSession(net::makeUnicastSession({backbone}));
+
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      2, ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 4, 1});
+  c.duration = 1000.0;
+  c.warmup = 0.0;
+  c.rateBinWidth = 100.0;
+  c.computeFairEpochs = true;
+  c.seed = 3;
+  c.faults.events = {{500.0, net::FaultKind::kLinkDown, tail}};
+
+  const auto ref = runClosedLoopSimulationReference(n, c);
+  const auto event = runClosedLoopSimulation(n, c);
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  expectIdentical(event, ref, "event vs reference");
+  expectIdentical(fluid, event, "fluid vs event");
+  expectSameEpochs(event.fairEpochs, ref.fairEpochs, "epochs");
+
+  // After t = 500 the cut receiver gets nothing; the safe receiver and
+  // the competing session keep their bins.
+  const auto& cutBins = event.binRates[0][1];
+  const auto& safeBins = event.binRates[0][0];
+  ASSERT_EQ(cutBins.size(), 10u);
+  for (std::size_t b = 5; b < 10; ++b) {
+    EXPECT_EQ(cutBins[b], 0.0) << "bin " << b;
+    EXPECT_GT(safeBins[b], 0.0) << "bin " << b;
+  }
+
+  // Fair epochs: the severed receiver's reference rate is 0 during the
+  // outage, the surviving receivers' rates stay positive.
+  bool sawOutageEpoch = false;
+  for (const FairEpoch& e : event.fairEpochs) {
+    if (e.begin < 500.0) continue;
+    sawOutageEpoch = true;
+    ASSERT_EQ(e.fairRate.size(), 2u);
+    EXPECT_EQ(e.fairRate[0][1], 0.0) << "severed receiver";
+    EXPECT_GT(e.fairRate[0][0], 0.0);
+    EXPECT_GT(e.fairRate[1][0], 0.0);
+  }
+  EXPECT_TRUE(sawOutageEpoch);
+}
+
+// Edge cases of the fault-before-packet ordering: an event at t = 0
+// precedes every packet, and events at/after the duration never fire —
+// identically in all three engines.
+TEST(ClosedLoopFaults, BoundaryFaultTimesStayInParity) {
+  net::Network n;
+  const auto a = n.addLink(24.0);
+  const auto b = n.addLink(24.0);
+  n.addSession(net::makeUnicastSession({a}));
+  n.addSession(net::makeUnicastSession({a, b}));
+
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      2, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 3, 1});
+  c.duration = 400.0;
+  c.warmup = 50.0;
+  c.seed = 11;
+  c.faults.events = {
+      {0.0, net::FaultKind::kDegrade, b, 0.25},
+      {150.0, net::FaultKind::kLinkUp, b},
+      {400.0, net::FaultKind::kLinkDown, a},   // at the horizon: no effect
+      {5000.0, net::FaultKind::kLinkDown, a},  // beyond it: no effect
+  };
+
+  const auto ref = runClosedLoopSimulationReference(n, c);
+  const auto event = runClosedLoopSimulation(n, c);
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  expectIdentical(event, ref, "event vs reference");
+  expectIdentical(fluid, event, "fluid vs event");
+  for (const auto& perSession : event.measuredRate) {
+    for (const double r : perSession) EXPECT_GT(r, 0.0);
+  }
+}
+
+// A seeded random MTBF/MTTR process produces a dense schedule; the
+// engines must stay in lockstep through arbitrary churn, and the
+// schedule itself must be reproducible from its seed.
+TEST(ClosedLoopFaults, RandomChurnKeepsEnginesInParity) {
+  net::Network n;
+  const auto backbone = n.addLink(48.0);
+  for (int i = 0; i < 4; ++i) {
+    n.addSession(net::makeUnicastSession({backbone, n.addLink(16.0)}));
+  }
+
+  net::RandomFaultOptions opts;
+  opts.mtbf = 120.0;
+  opts.mttr = 40.0;
+  opts.degradeFactor = 0.5;  // partial failures
+  const auto schedule =
+      net::randomFaultSchedule(n.linkCount(), 600.0, opts, 42);
+  const auto again =
+      net::randomFaultSchedule(n.linkCount(), 600.0, opts, 42);
+  ASSERT_EQ(schedule.events.size(), again.events.size());
+  EXPECT_FALSE(schedule.events.empty());
+
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      4, ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 4, 1});
+  c.duration = 600.0;
+  c.warmup = 100.0;
+  c.rateBinWidth = 60.0;
+  c.seed = 5;
+  c.faults = schedule;
+
+  const auto ref = runClosedLoopSimulationReference(n, c);
+  const auto event = runClosedLoopSimulation(n, c);
+  const auto fluid = runClosedLoopSimulationFluid(n, c);
+  expectIdentical(event, ref, "event vs reference");
+  expectIdentical(fluid, event, "fluid vs event");
+}
+
+// The paranoid validator must pass on a faulted run (conservation and
+// windowed-bucket cross-checks hold), and its flags must be overridable
+// in code regardless of the environment.
+TEST(ClosedLoopFaults, ValidateModeAcceptsFaultedRuns) {
+  net::Network n;
+  const auto backbone = n.addLink(64.0);
+  for (int i = 0; i < 3; ++i) {
+    n.addSession(net::makeUnicastSession({backbone}));
+  }
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      3, ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 4, 1});
+  c.duration = 800.0;
+  c.warmup = 100.0;
+  c.seed = 13;
+  c.faults.events = {
+      {300.0, net::FaultKind::kDegrade, backbone, 0.75},
+      {500.0, net::FaultKind::kLinkUp, backbone},
+  };
+  c.validate.enabled = 1;
+
+  ClosedLoopConfig plain = c;
+  plain.validate.enabled = 0;
+  const auto checked = runClosedLoopSimulationFluid(n, c);
+  const auto unchecked = runClosedLoopSimulationFluid(n, plain);
+  expectIdentical(checked, unchecked, "validate must not change results");
+  expectIdentical(checked, runClosedLoopSimulation(n, c), "vs event");
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "net/fault.hpp"
 #include "net/topologies.hpp"
 #include "sim/closed_loop.hpp"
 
@@ -152,6 +153,101 @@ TEST(ClosedLoopZeroAlloc, FluidSteadyStateAllocatesNothing) {
   const std::size_t longRun = fluidAllocationsForDuration(n, 1600.0);
   EXPECT_EQ(shortRun, longRun)
       << "fluid steady state must not allocate";
+  EXPECT_GT(shortRun, 0u);
+}
+
+// A run with `flaps` degrade/repair pairs on the shared link. The
+// schedule vector is reserved up front, so the allocation count of the
+// run is independent of the number of events IF the fault application
+// path itself — capacity refresh, incremental re-solve, accumulator
+// flush — is allocation-free.
+std::size_t faultChurnAllocations(const net::Network& n,
+                                  graph::LinkId victim, std::size_t flaps) {
+  ClosedLoopConfig c;
+  c.sessions.assign(n.sessionCount(),
+                    ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 5, 1});
+  c.duration = 1600.0;
+  c.warmup = 100.0;
+  c.seed = 23;
+  c.validate.enabled = 0;  // the paranoid checker may allocate
+  c.faults.events.reserve(2 * flaps);
+  for (std::size_t f = 0; f < flaps; ++f) {
+    const double t = 200.0 + static_cast<double>(f) * 20.0;
+    c.faults.events.push_back(
+        {t, net::FaultKind::kDegrade, victim, 0.5});
+    c.faults.events.push_back({t + 10.0, net::FaultKind::kLinkUp, victim});
+  }
+  const std::size_t before = g_allocations.load();
+  const auto r = runClosedLoopSimulation(n, c);
+  const std::size_t after = g_allocations.load();
+  EXPECT_FALSE(r.measuredRate.empty());
+  return after - before;
+}
+
+TEST(ClosedLoopZeroAlloc, FaultApplicationAllocatesNothing) {
+  net::Network n;
+  const auto shared = n.addLink(8.0);
+  const auto tailA = n.addLink(2.0);
+  const auto tailB = n.addLink(6.0);
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  s.receivers = {net::makeReceiver({shared, tailA}),
+                 net::makeReceiver({shared, tailB})};
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({shared}));
+
+  (void)faultChurnAllocations(n, shared, 4);
+  const std::size_t few = faultChurnAllocations(n, shared, 4);
+  const std::size_t many = faultChurnAllocations(n, shared, 64);
+  EXPECT_EQ(few, many) << "fault application must not allocate";
+  EXPECT_GT(few, 0u);
+}
+
+// The fluid hand-back path — token-bucket reconstruction, sender
+// resync, queue re-seeding, and the post-repair re-engagement — runs on
+// preallocated scratch. Two runs with the SAME fault schedule but an 8x
+// longer horizon produce the same number of hand-backs and fluid
+// intervals, so they must allocate exactly as much: the extra covered
+// time is pure arithmetic.
+std::size_t fluidFaultAllocations(const net::Network& n,
+                                  graph::LinkId victim, double duration) {
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      n.sessionCount(),
+      ClosedLoopSessionConfig{ProtocolKind::kDeterministic, 3, 1});
+  c.duration = duration;
+  c.warmup = 100.0;
+  c.seed = 31;
+  c.validate.enabled = 0;  // the paranoid checker may allocate
+  c.faults.events = {{300.0, net::FaultKind::kDegrade, victim, 0.5},
+                     {500.0, net::FaultKind::kLinkUp, victim}};
+  const std::size_t before = g_allocations.load();
+  const auto r = runClosedLoopSimulationFluid(n, c);
+  const std::size_t after = g_allocations.load();
+  EXPECT_GT(r.fluidTime, 0.0) << "fluid mode must engage for this check";
+  EXPECT_GE(r.fluidIntervals.size(), 2u)
+      << "the run must hand back at the fault and re-engage after repair";
+  return after - before;
+}
+
+TEST(ClosedLoopZeroAlloc, FluidHandBackAllocatesNothing) {
+  net::Network n;
+  const auto shared = n.addLink(64.0);  // ample even at half capacity
+  net::Session s;
+  s.type = net::SessionType::kMultiRate;
+  const auto tailA = n.addLink(16.0);
+  const auto tailB = n.addLink(16.0);
+  s.receivers = {net::makeReceiver({shared, tailA}),
+                 net::makeReceiver({shared, tailB})};
+  n.addSession(std::move(s));
+  n.addSession(net::makeUnicastSession({shared}));
+  n.addSession(net::makeUnicastSession({shared}));
+
+  (void)fluidFaultAllocations(n, shared, 800.0);
+  const std::size_t shortRun = fluidFaultAllocations(n, shared, 800.0);
+  const std::size_t longRun = fluidFaultAllocations(n, shared, 6400.0);
+  EXPECT_EQ(shortRun, longRun)
+      << "hand-back and re-engagement must not allocate per covered time";
   EXPECT_GT(shortRun, 0u);
 }
 

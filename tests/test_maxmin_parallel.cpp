@@ -243,6 +243,33 @@ TEST_F(ParallelCorpus, PaperTopologies) {
 
 // Sharding past the default grain: thousands of active links, so the
 // sweeps actually split across the pool without the grain override.
+// Fault churn through the sharded solver: capacity deltas (down /
+// degrade / repair via Network::setCapacity) followed by the O(links)
+// capacity-refresh rebind. Every re-solve must stay bit-identical to
+// serial at every thread count; run under TSan this also proves the
+// concurrent sweeps stay race-free through repeated refreshes, including
+// zero-capacity (failed) links that sever receivers outright.
+TEST_F(ParallelCorpus, FaultChurnResolvesBitIdentically) {
+  util::Rng rng(4242);
+  net::RandomNetworkOptions opts;
+  opts.sessions = 6;
+  Network n = net::randomNetwork(rng, opts);
+  std::vector<double> base;
+  for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+    base.push_back(n.capacity(graph::LinkId{j}));
+  }
+  for (int step = 0; step < 24; ++step) {
+    const graph::LinkId l{
+        static_cast<std::uint32_t>(rng.below(n.linkCount()))};
+    const double cap = step % 3 == 0   ? 0.0                  // down
+                       : step % 3 == 1 ? 0.5 * base[l.value]  // degrade
+                                       : base[l.value];       // repair
+    n.setCapacity(l, cap);
+    expectBitIdentical(n, serial_, parallel_,
+                       "churn step " + std::to_string(step));
+  }
+}
+
 TEST(MaxMinParallel, LargeBottleneckDefaultGrain) {
   const auto linear = net::singleBottleneckNetwork(1024, 100, 1000.0, 2.0);
   auto nonlinear = net::singleBottleneckNetwork(512, 50, 1000.0, 2.0);
@@ -289,6 +316,7 @@ TEST(MaxMinParallelAlloc, SerialSteadyStateAllocatesNothing) {
   const auto n = net::singleBottleneckNetwork(64, 6, 1000.0, 2.0);
   MaxMinOptions options;
   options.threads = 0;
+  options.validate.enabled = 0;  // the MCFAIR_VALIDATE oracle allocates
   MaxMinSolver solver(options);
   solver.bind(n);
   (void)solver.solve();  // warm-up builds workspace capacity
@@ -305,6 +333,7 @@ TEST(MaxMinParallelAlloc, ParallelSteadyStateAllocatesNothing) {
   MaxMinOptions options;
   options.threads = 4;
   options.parallelGrain = 1;
+  options.validate.enabled = 0;  // the MCFAIR_VALIDATE oracle allocates
   MaxMinSolver solver(options);
   solver.bind(n);
   (void)solver.solve();  // warm-up
@@ -338,6 +367,35 @@ TEST(ThreadPool, PropagatesShardExceptionsAndStaysReusable) {
   EXPECT_EQ(ran.load(), 32);
 }
 
+// The fault path is allocation-free end to end: setCapacity mutates the
+// network in place, and the capacity-refresh rebind plus the sharded
+// re-solve reuse the bound workspace — no per-fault heap traffic.
+TEST(MaxMinParallelAlloc, FaultChurnStaysAllocationFree) {
+  auto n = net::fig2Network(true);
+  std::vector<double> base;
+  for (std::uint32_t j = 0; j < n.linkCount(); ++j) {
+    base.push_back(n.capacity(graph::LinkId{j}));
+  }
+  MaxMinOptions options;
+  options.threads = 2;
+  options.parallelGrain = 1;
+  options.validate.enabled = 0;  // the MCFAIR_VALIDATE oracle allocates
+  MaxMinSolver solver(options);
+  solver.bind(n);
+  (void)solver.solve();  // warm-up builds workspace capacity
+  const std::size_t before = g_allocations;
+  for (std::uint32_t step = 0; step < 30; ++step) {
+    const graph::LinkId l{step % static_cast<std::uint32_t>(n.linkCount())};
+    const double cap = step % 3 == 0   ? 0.0
+                       : step % 3 == 1 ? 0.5 * base[l.value]
+                                       : base[l.value];
+    n.setCapacity(l, cap);
+    solver.bind(n);  // structure unchanged: O(links) refresh in place
+    (void)solver.solveAllocation();
+  }
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
 TEST(MaxMinParallelAlloc, NonlinearParallelSteadyStateAllocatesNothing) {
   auto n = net::fig2Network(true);
   const auto fn = std::make_shared<const net::RandomJoinExpected>(100.0);
@@ -347,6 +405,7 @@ TEST(MaxMinParallelAlloc, NonlinearParallelSteadyStateAllocatesNothing) {
   MaxMinOptions options;
   options.threads = 2;
   options.parallelGrain = 1;
+  options.validate.enabled = 0;  // the MCFAIR_VALIDATE oracle allocates
   MaxMinSolver solver(options);
   solver.bind(n);
   (void)solver.solve();

@@ -75,6 +75,15 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 namespace mcfair::fairness {
 namespace {
 
+// The MCFAIR_VALIDATE harness re-solves with the (allocating) reference
+// oracle; the allocation contract under test is the solver's own, so
+// this binary pins validation off regardless of the environment.
+MaxMinOptions noValidate() {
+  MaxMinOptions options;
+  options.validate.enabled = 0;
+  return options;
+}
+
 std::size_t allocationsDuring(MaxMinSolver& solver, bool withUsage) {
   const std::size_t before = g_allocations;
   if (withUsage) {
@@ -87,7 +96,7 @@ std::size_t allocationsDuring(MaxMinSolver& solver, bool withUsage) {
 
 TEST(MaxMinZeroAlloc, LinearPathSteadyStateAllocatesNothing) {
   const auto n = net::singleBottleneckNetwork(64, 6, 1000.0, 2.0);
-  MaxMinSolver solver;
+  MaxMinSolver solver(noValidate());
   solver.bind(n);
   (void)solver.solve();  // warm-up: builds workspace capacity
   EXPECT_EQ(allocationsDuring(solver, /*withUsage=*/false), 0u);
@@ -96,7 +105,7 @@ TEST(MaxMinZeroAlloc, LinearPathSteadyStateAllocatesNothing) {
 
 TEST(MaxMinZeroAlloc, MixedSessionTypesAllocateNothing) {
   const auto n = net::fig2Network(false);  // single-rate step-7 path
-  MaxMinSolver solver;
+  MaxMinSolver solver(noValidate());
   solver.bind(n);
   (void)solver.solve();
   EXPECT_EQ(allocationsDuring(solver, /*withUsage=*/true), 0u);
@@ -108,7 +117,7 @@ TEST(MaxMinZeroAlloc, NonlinearBisectionPathAllocatesNothing) {
   for (std::size_t i = 0; i < n.sessionCount(); ++i) {
     n = n.withLinkRateFunction(i, fn);
   }
-  MaxMinSolver solver;
+  MaxMinSolver solver(noValidate());
   solver.bind(n);
   (void)solver.solve();
   EXPECT_EQ(allocationsDuring(solver, /*withUsage=*/true), 0u);
@@ -121,7 +130,7 @@ TEST(MaxMinZeroAlloc, SigmaLimitedSessionsAllocateNothing) {
   n.addSession(net::makeUnicastSession({a}, /*maxRate=*/2.0));
   n.addSession(net::makeUnicastSession({a, b}, /*maxRate=*/3.5));
   n.addSession(net::makeUnicastSession({b}));
-  MaxMinSolver solver;
+  MaxMinSolver solver(noValidate());
   solver.bind(n);
   (void)solver.solve();
   EXPECT_EQ(allocationsDuring(solver, /*withUsage=*/true), 0u);
@@ -129,7 +138,7 @@ TEST(MaxMinZeroAlloc, SigmaLimitedSessionsAllocateNothing) {
 
 TEST(MaxMinZeroAlloc, RebindSameStructureStaysWarm) {
   const auto n = net::singleBottleneckNetwork(32, 4, 500.0, 1.5);
-  MaxMinSolver solver;
+  MaxMinSolver solver(noValidate());
   (void)solver.solve(n);
   // Re-solving through the bind(net) entry point must not rebuild the
   // workspace when the network is unchanged (identity short-circuit).

@@ -19,14 +19,39 @@ receiver video home backbone,dsl weight=2
 session web single
 receiver web w1 backbone
 receiver web w2 backbone,dsl
+fault 600 down backbone
+fault 900 degrade dsl 0.5
+fault 1200 up backbone
+)";
+
+// The PR 5 graph+routing dialect, exercising every directive it has:
+// nodes/edge/routing, the link-rate registry spellings, senders,
+// members, and a fault schedule on named edges.
+const std::string kGraphSeedInput = R"(# routed mesh
+nodes 5
+edge e0 0 1 10
+edge e1 1 2 7 weight=0.5
+edge e2 0 2 4
+edge e3 2 3 5
+edge e4 3 4 5 weight=2
+routing weighted
+session video multi sigma=8 linkrate=randomjoin:8
+sender video 0
+member video home 3
+member video office 4 weight=2
+session web single redundancy=1.25
+sender web 2
+member web w1 0
+fault 600 down e3
+fault 900.5 degrade e1 0.5
+fault 1200 up e3
 )";
 
 class NetfileFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(NetfileFuzz, MutatedInputsNeverCrash) {
-  util::Rng rng(GetParam());
-  for (int trial = 0; trial < 400; ++trial) {
-    std::string input = kSeedInput;
+void fuzzSeed(const std::string& seedInput, util::Rng& rng, int trials) {
+  for (int trial = 0; trial < trials; ++trial) {
+    std::string input = seedInput;
     const std::size_t mutations = 1 + rng.below(8);
     for (std::size_t m = 0; m < mutations; ++m) {
       if (input.empty()) break;
@@ -47,15 +72,32 @@ TEST_P(NetfileFuzz, MutatedInputsNeverCrash) {
       }
     }
     try {
-      const Network n = parseNetworkString(input);
-      // If it parsed, the result must be a structurally valid network.
+      FaultSchedule faults;
+      const Network n = parseNetworkString(input, faults);
+      // If it parsed, the result must be a structurally valid network
+      // and the schedule must be canonical (normalized has already
+      // validated times, links and factors).
       for (std::size_t i = 0; i < n.sessionCount(); ++i) {
         EXPECT_GE(n.session(i).receivers.size(), 1u);
+      }
+      for (const FaultEvent& ev : faults.events) {
+        EXPECT_GE(ev.time, 0.0);
+        EXPECT_LT(ev.link.value, n.linkCount());
       }
     } catch (const NetfileError&) {
       // Expected failure mode.
     }
   }
+}
+
+TEST_P(NetfileFuzz, MutatedInputsNeverCrash) {
+  util::Rng rng(GetParam());
+  fuzzSeed(kSeedInput, rng, 400);
+}
+
+TEST_P(NetfileFuzz, MutatedGraphInputsNeverCrash) {
+  util::Rng rng(GetParam() + 555);
+  fuzzSeed(kGraphSeedInput, rng, 400);
 }
 
 TEST_P(NetfileFuzz, RandomGarbageNeverCrashes) {

@@ -71,7 +71,7 @@ TEST(NetfileGraph, RoundTripIsStructurallyEqual) {
     spec.name = "S" + std::to_string(i);
     spec.type = i % 2 ? SessionType::kSingleRate : SessionType::kMultiRate;
     if (i == 1) spec.maxRate = rng.uniform(1.0, 9.0);
-    if (i == 2) spec.redundancy = 1.75;
+    if (i == 2) spec.linkRate = LinkRateSpec{"constant", 1.75};
     spec.sender = NodeId{static_cast<std::uint32_t>(rng.below(16))};
     for (int k = 0; k < 1 + i % 3; ++k) {
       NodeId node{static_cast<std::uint32_t>(rng.below(16))};
@@ -112,6 +112,145 @@ TEST(NetfileGraph, RoundTripHopCount) {
   writeRoutedNetworkFile(out, g, {}, specs);
   EXPECT_TRUE(structurallyEqual(direct, parseNetworkString(out.str())))
       << out.str();
+}
+
+TEST(NetfileGraph, LinkRateRegistryRoundTrip) {
+  // The full registry: efficient (nothing written), constant (legacy
+  // redundancy= spelling) and randomjoin (linkrate=randomjoin:<sigma>)
+  // all survive write -> read structurally intact.
+  graph::Graph g;
+  g.addNodes(3);
+  g.addLink(NodeId{0}, NodeId{1}, 10.0);
+  g.addLink(NodeId{1}, NodeId{2}, 10.0);
+  std::vector<GraphSessionSpec> specs(3);
+  for (int i = 0; i < 3; ++i) {
+    specs[i].name = "S" + std::to_string(i);
+    specs[i].sender = NodeId{0};
+    specs[i].members = {{"a", NodeId{1}, 1.0}, {"b", NodeId{2}, 1.0}};
+  }
+  specs[1].linkRate = LinkRateSpec{"constant", 1.5};
+  // sigma must dominate the equality probes' rates, so keep it >= 2.
+  specs[2].linkRate = LinkRateSpec{"randomjoin", 8.0};
+  specs[2].maxRate = 8.0;
+
+  const Network direct = buildRoutedNetwork(g, {}, specs);
+  std::ostringstream out;
+  writeRoutedNetworkFile(out, g, {}, specs);
+  EXPECT_NE(out.str().find("linkrate=randomjoin:8"), std::string::npos)
+      << out.str();
+  const Network reparsed = parseNetworkString(out.str());
+  EXPECT_TRUE(structurallyEqual(direct, reparsed)) << out.str();
+
+  // The reparsed function really is the Appendix B closed form, not a
+  // lookalike: check a value max(X) cannot produce.
+  const auto* fn = reparsed.session(2).linkRateFn.get();
+  ASSERT_NE(fn, nullptr);
+  const LinkRateSpec described = describeLinkRateFunction(fn);
+  EXPECT_EQ(described, (LinkRateSpec{"randomjoin", 8.0}));
+  const double rates[] = {4.0, 4.0};
+  EXPECT_DOUBLE_EQ(fn->linkRate(rates), 8.0 * (1.0 - 0.5 * 0.5));
+}
+
+TEST(NetfileGraph, LinkRateSpellingsAreEquivalentAndExclusive) {
+  const char* base = R"(
+    nodes 2
+    edge e0 0 1 10
+    session s multi {OPT}
+    sender s 0
+    member s r 1
+  )";
+  auto withOption = [&](const std::string& opt) {
+    std::string text = base;
+    text.replace(text.find("{OPT}"), 5, opt);
+    return text;
+  };
+  const Network legacy = parseNetworkString(withOption("redundancy=1.5"));
+  const Network spelled =
+      parseNetworkString(withOption("linkrate=constant:1.5"));
+  EXPECT_TRUE(structurallyEqual(legacy, spelled));
+  EXPECT_THROW(
+      parseNetworkString(withOption("redundancy=1.5 linkrate=constant:2")),
+      NetfileError);
+  EXPECT_THROW(parseNetworkString(withOption("linkrate=bogus:2")),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(withOption("linkrate=randomjoin")),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(withOption("linkrate=randomjoin:0")),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(withOption("linkrate=constant:0.5")),
+               NetfileError);
+}
+
+TEST(NetfileGraph, FaultScheduleRoundTrip) {
+  graph::Graph g;
+  g.addNodes(3);
+  g.addLink(NodeId{0}, NodeId{1}, 10.0);
+  g.addLink(NodeId{1}, NodeId{2}, 10.0);
+  std::vector<GraphSessionSpec> specs(1);
+  specs[0].name = "S0";
+  specs[0].sender = NodeId{0};
+  specs[0].members = {{"r", NodeId{2}, 1.0}};
+
+  FaultSchedule schedule;
+  schedule.events = {
+      {600.0, FaultKind::kLinkDown, LinkId{1}},
+      {900.5, FaultKind::kDegrade, LinkId{1}, 0.25},
+      {1200.0, FaultKind::kLinkUp, LinkId{1}},
+      {700.0, FaultKind::kLinkDown, LinkId{0}},
+  };
+  schedule.normalize(g.linkCount());
+
+  std::ostringstream out;
+  writeRoutedNetworkFile(out, g, {}, specs, &schedule);
+  FaultSchedule reparsed;
+  const Network n = parseNetworkString(out.str(), reparsed);
+  EXPECT_EQ(n.linkCount(), 2u);
+  ASSERT_EQ(reparsed.events.size(), schedule.events.size());
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reparsed.events[i].time, schedule.events[i].time);
+    EXPECT_EQ(reparsed.events[i].kind, schedule.events[i].kind);
+    EXPECT_EQ(reparsed.events[i].link, schedule.events[i].link);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].factor,
+                     schedule.events[i].factor);
+  }
+
+  // The schedule-less overload refuses to discard the dynamics.
+  EXPECT_THROW(parseNetworkString(out.str()), NetfileError);
+}
+
+TEST(NetfileGraph, RejectsMalformedFaults) {
+  const std::string base = R"(
+    nodes 2
+    edge e0 0 1 10
+    session s multi
+    sender s 0
+    member s r 1
+  )";
+  FaultSchedule sink;
+  // Valid shapes parse; flat dialect takes link names too.
+  EXPECT_NO_THROW(
+      parseNetworkString(base + "fault 5 down e0\nfault 6 up e0\n", sink));
+  EXPECT_EQ(sink.events.size(), 2u);
+  EXPECT_NO_THROW(parseNetworkString(
+      "link l1 5\nsession s multi\nreceiver s r l1\nfault 1 degrade l1 0.5\n",
+      sink));
+  // A fault may precede the edge it references.
+  EXPECT_NO_THROW(parseNetworkString(
+      "fault 1 down e0\n" + base, sink));
+  EXPECT_THROW(parseNetworkString(base + "fault 5 down ghost\n", sink),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(base + "fault -1 down e0\n", sink),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(base + "fault nan down e0\n", sink),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(base + "fault 5 explode e0\n", sink),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(base + "fault 5 degrade e0\n", sink),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(base + "fault 5 degrade e0 0\n", sink),
+               NetfileError);
+  EXPECT_THROW(parseNetworkString(base + "fault 5 down e0 0.5\n", sink),
+               NetfileError);
 }
 
 TEST(NetfileGraph, StructurallyEqualDetectsDifferences) {

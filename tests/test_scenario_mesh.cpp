@@ -242,6 +242,126 @@ TEST(ScenarioMesh, SomeReceiverPathFitsNoSingleBfsTree) {
          "contains";
 }
 
+// How many sessions of the built network cross each backbone link.
+std::vector<std::size_t> backboneCrossings(const Scenario& s) {
+  std::vector<std::size_t> load(s.backbone.linkCount(), 0);
+  for (std::size_t i = 0; i < s.network.sessionCount(); ++i) {
+    std::set<std::uint32_t> crossed;
+    for (const net::Receiver& r : s.network.session(i).receivers) {
+      for (const graph::LinkId l : backbonePath(s, r)) {
+        crossed.insert(l.value);
+      }
+    }
+    for (const std::uint32_t l : crossed) ++load[l];
+  }
+  return load;
+}
+
+TEST(ScenarioMesh, LinkFlapPresetTargetsTheBusiestEdges) {
+  const ScenarioSpec* spec = findScenario("link-flap");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->faults.kind, FaultAxis::Kind::kFlap);
+  EXPECT_TRUE(spec->fluidFastForward);
+  const Scenario s = buildScenario(*spec);
+  // Two victims, three events each: down -> degrade -> up.
+  ASSERT_EQ(s.config.faults.events.size(), 6u);
+  std::set<std::uint32_t> victims;
+  for (const net::FaultEvent& ev : s.config.faults.events) {
+    EXPECT_LT(ev.link.value, s.backbone.linkCount());
+    victims.insert(ev.link.value);
+    if (ev.kind == net::FaultKind::kLinkDown) {
+      EXPECT_EQ(ev.time, 600.0);
+    } else if (ev.kind == net::FaultKind::kDegrade) {
+      EXPECT_EQ(ev.time, 900.0);
+      EXPECT_EQ(ev.factor, 0.5);
+    } else {
+      EXPECT_EQ(ev.time, 1200.0);
+    }
+  }
+  EXPECT_EQ(victims.size(), 2u);
+  // The victims really are the most-crossed backbone edges.
+  const std::vector<std::size_t> load = backboneCrossings(s);
+  std::size_t bystanderMax = 0;
+  for (std::uint32_t l = 0; l < load.size(); ++l) {
+    if (victims.count(l) == 0) {
+      bystanderMax = std::max(bystanderMax, load[l]);
+    }
+  }
+  for (const std::uint32_t v : victims) {
+    EXPECT_GE(load[v], bystanderMax) << "victim " << v;
+  }
+  // Deterministic expansion: equal specs, equal schedules.
+  const Scenario t = buildScenario(*spec);
+  ASSERT_EQ(t.config.faults.events.size(), s.config.faults.events.size());
+  for (std::size_t e = 0; e < s.config.faults.events.size(); ++e) {
+    EXPECT_EQ(t.config.faults.events[e].link,
+              s.config.faults.events[e].link);
+    EXPECT_EQ(t.config.faults.events[e].time,
+              s.config.faults.events[e].time);
+  }
+}
+
+TEST(ScenarioMesh, BackbonePartitionPresetSurroundsTheHub) {
+  const ScenarioSpec* spec = findScenario("backbone-partition");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->faults.kind, FaultAxis::Kind::kPartition);
+  EXPECT_TRUE(spec->computeFairEpochs);
+  const Scenario s = buildScenario(*spec);
+  // The hub: highest-degree node of the backbone (lowest id on ties).
+  graph::NodeId hub{0};
+  std::size_t hubDegree = 0;
+  for (std::uint32_t v = 0; v < s.backbone.nodeCount(); ++v) {
+    const std::size_t d = s.backbone.neighbors(graph::NodeId{v}).size();
+    if (d > hubDegree) {
+      hubDegree = d;
+      hub = graph::NodeId{v};
+    }
+  }
+  // One down + one up event per incident edge, all touching the hub.
+  ASSERT_EQ(s.config.faults.events.size(), 2 * hubDegree);
+  for (const net::FaultEvent& ev : s.config.faults.events) {
+    const auto [a, b] = s.backbone.endpoints(ev.link);
+    EXPECT_TRUE(a == hub || b == hub);
+    if (ev.kind == net::FaultKind::kLinkDown) {
+      EXPECT_EQ(ev.time, 700.0);
+    } else {
+      EXPECT_EQ(ev.kind, net::FaultKind::kLinkUp);
+      EXPECT_EQ(ev.time, 1400.0);
+    }
+  }
+  // kPartition is rejected off-mesh.
+  ScenarioSpec bad = *spec;
+  bad.topology = ScenarioSpec::Topology::kSharedLink;
+  EXPECT_THROW(buildScenario(bad), PreconditionError);
+}
+
+TEST(ScenarioMesh, RandomFaultAxisDrawsASchedule) {
+  ScenarioSpec spec = meshSpec(9);
+  spec.faults.kind = FaultAxis::Kind::kRandom;
+  spec.faults.mtbf = 300.0;
+  spec.faults.mttr = 50.0;
+  const Scenario s = buildScenario(spec);
+  EXPECT_FALSE(s.config.faults.events.empty());
+  for (const net::FaultEvent& ev : s.config.faults.events) {
+    EXPECT_GE(ev.time, 0.0);
+    EXPECT_LT(ev.time, spec.duration);
+    EXPECT_LT(ev.link.value, s.network.linkCount());
+  }
+  // Adding the fault axis must not reshuffle the population: the same
+  // spec without faults builds an identical topology and session set.
+  ScenarioSpec noFaults = spec;
+  noFaults.faults.kind = FaultAxis::Kind::kNone;
+  const Scenario p = buildScenario(noFaults);
+  EXPECT_TRUE(structurallyEqual(s.network, p.network));
+  ASSERT_EQ(s.config.sessions.size(), p.config.sessions.size());
+  for (std::size_t i = 0; i < s.config.sessions.size(); ++i) {
+    EXPECT_EQ(s.config.sessions[i].startTime,
+              p.config.sessions[i].startTime);
+    EXPECT_EQ(s.config.sessions[i].stopTime, p.config.sessions[i].stopTime);
+  }
+  EXPECT_TRUE(p.config.faults.empty());
+}
+
 TEST(ScenarioMesh, Validation) {
   ScenarioSpec spec = meshSpec(1);
   spec.meshEdgesPerNode = 0;
