@@ -10,8 +10,10 @@
 
 #include "fairness/maxmin.hpp"
 #include "fairness/properties.hpp"
+#include "fairness/sampled.hpp"
 #include "net/topologies.hpp"
 #include "sim/closed_loop.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
@@ -325,5 +327,44 @@ void BM_PropertyChecks(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PropertyChecks);
+
+// Sampled approximate solve + expansion at 25% of the receivers, against
+// the full exact solve recorded by BM_SingleBottleneckScaling — the cost
+// side of the docs/SWEEPS.md error-vs-sample-size trade-off.
+void BM_SampledSolve(benchmark::State& state) {
+  const auto n = net::singleBottleneckNetwork(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0) / 10), 1000.0, 2.0);
+  fairness::SampledOptions options;
+  options.sampleFraction = 0.25;
+  fairness::SampledSolver solver(options);
+  solver.solve(n);  // warm the binding; the loop measures re-solves
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(n).rounds);
+    benchmark::DoNotOptimize(&solver.estimateAllocation());
+  }
+}
+BENCHMARK(BM_SampledSolve)->RangeMultiplier(4)->Range(64, 4096);
+
+// One full Monte-Carlo sweep fleet: arg = replicas per cell over a
+// 2-scenario x 3-fraction grid, serial so the baseline is thread-count
+// independent (the fleet's own scaling is exercised by the tests).
+void BM_SweepFleet(benchmark::State& state) {
+  sim::SweepConfig config;
+  sim::ScenarioSpec steady = *sim::findScenario("steady-bottleneck");
+  steady.sessions = 24;
+  sim::ScenarioSpec mesh = *sim::findScenario("meshed-backbone");
+  mesh.sessions = 16;
+  config.scenarios = {steady, mesh};
+  config.sampleFractions = {0.1, 0.5, 1.0};
+  config.runs = static_cast<std::size_t>(state.range(0));
+  config.threads = 1;
+  const sim::SweepDriver driver(config);
+  for (auto _ : state) {
+    const sim::SweepResult result = driver.run();
+    benchmark::DoNotOptimize(result.cells.size());
+  }
+}
+BENCHMARK(BM_SweepFleet)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -31,7 +31,7 @@ if [ ! -x "$build_dir/bench_perf_maxmin" ] || \
 fi
 
 "$build_dir/bench_perf_maxmin" \
-  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel|BM_AccumScan' \
+  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel|BM_AccumScan|BM_SampledSolve|BM_SweepFleet' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
   --benchmark_out="$out_file" \
@@ -84,6 +84,12 @@ for name, (t, unit) in sorted(times.items()):
         continue
     print(f"{name:<44}{t:>10.0f}{unit}{serial[0]:>10.0f}{serial[1]}"
           f"{serial[0] / t:>8.2f}x")
+
+print()
+print(f"{'sampled/sweep benchmark':<44}{'time':>12}")
+for name, (t, unit) in sorted(times.items()):
+    if name.startswith(("BM_SampledSolve/", "BM_SweepFleet/")):
+        print(f"{name:<44}{t:>10.2f}{unit}")
 
 sim = load(sys.argv[2])
 print()

@@ -8,7 +8,11 @@ and fails when
     exist (http(s)/mailto/anchor-only links are ignored; a trailing
     #anchor is stripped before the check), or
   * a fenced ```cpp code block does not compile against the library
-    headers.
+    headers, or
+  * a public knob of the user-facing option structs (MaxMinOptions,
+    SampledOptions, ClosedLoopConfig, ScenarioSpec, SweepConfig) is not
+    mentioned anywhere in README.md — every tunable must be documented
+    by its greppable field name.
 
 Snippet convention: a ```cpp block is either a statement sequence (it is
 wrapped in a function body under a standard prelude of library includes
@@ -51,14 +55,33 @@ PRELUDE = """\
 #include "fairness/maxmin.hpp"
 #include "fairness/properties.hpp"
 #include "fairness/report.hpp"
+#include "fairness/sampled.hpp"
 #include "net/topologies.hpp"
 #include "sim/closed_loop.hpp"
 #include "sim/scenario.hpp"
 #include "sim/star.hpp"
+#include "sim/sweep.hpp"
 #include "util/table.hpp"
 
 using namespace mcfair;
 """
+
+# (header, struct) pairs whose public data members are user-facing knobs;
+# every member name must appear verbatim in README.md.
+KNOB_STRUCTS = [
+    ("src/fairness/maxmin.hpp", "MaxMinOptions"),
+    ("src/fairness/sampled.hpp", "SampledOptions"),
+    ("src/sim/closed_loop.hpp", "ClosedLoopConfig"),
+    ("src/sim/scenario.hpp", "ScenarioSpec"),
+    ("src/sim/sweep.hpp", "SweepConfig"),
+]
+
+# A data-member declaration with the default initializer already cut
+# off: type tokens then one identifier. No '(' — that excludes methods.
+MEMBER_RE = re.compile(
+    r"^\s*(?!using\b|static\b|typedef\b|return\b|friend\b)"
+    r"[A-Za-z_][\w:<>,.\s*&]*[\s&*>]"
+    r"([A-Za-z_]\w*)\s*$")
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
@@ -119,6 +142,57 @@ def extractSnippets(path):
     return snippets
 
 
+def structMembers(headerPath, structName):
+    """Public data-member names of `struct structName` in headerPath.
+
+    Tracks brace depth so nested enums/structs and method bodies do not
+    contribute members; only declarations at the struct's own depth
+    count."""
+    text = open(headerPath, encoding="utf-8").read()
+    m = re.search(r"^struct\s+" + re.escape(structName) + r"\s*\{",
+                  text, re.M)
+    if m is None:
+        return None
+    members = []
+    depth = 1
+    for line in text[m.end():].splitlines():
+        stripped = line.split("//", 1)[0]
+        if depth == 1 and stripped.rstrip().endswith(";"):
+            # Cut the default initializer (`= ...;` or `{...};`) so
+            # defaults containing parens/braces don't hide the member.
+            decl = re.split(r"[={]", stripped, 1)[0]
+            mm = MEMBER_RE.match(decl)
+            if mm and "(" not in decl:
+                members.append(mm.group(1))
+        depth += stripped.count("{") - stripped.count("}")
+        if depth <= 0:
+            break
+    return members
+
+
+def checkKnobDocs():
+    """Every public knob of the option structs must appear in README.md.
+
+    Returns a list of 'Struct::member (header)' strings for the missing
+    ones."""
+    readme = open(os.path.join(REPO_ROOT, "README.md"),
+                  encoding="utf-8").read()
+    missing = []
+    for header, struct in KNOB_STRUCTS:
+        path = os.path.join(REPO_ROOT, header)
+        members = structMembers(path, struct)
+        if members is None:
+            missing.append(f"{struct} (struct not found in {header})")
+            continue
+        if not members:
+            missing.append(f"{struct} (no members parsed from {header})")
+            continue
+        for name in members:
+            if not re.search(r"\b" + re.escape(name) + r"\b", readme):
+                missing.append(f"{struct}::{name} ({header})")
+    return missing
+
+
 def emitSnippet(code, sourceLabel, outPath):
     topLevel = re.search(r"^\s*#include|int main\s*\(", code, re.M)
     with open(outPath, "w", encoding="utf-8") as fh:
@@ -176,9 +250,18 @@ def main():
                     print(f"{label}: snippet fails to compile\n{err}")
                     failures += 1
 
+    knobsMissing = checkKnobDocs()
+    for item in knobsMissing:
+        print(f"README.md: undocumented knob {item}")
+    failures += len(knobsMissing)
+    knobsChecked = sum(
+        len(structMembers(os.path.join(REPO_ROOT, h), s) or [])
+        for h, s in KNOB_STRUCTS)
+
     mode = "compiled" if args.compile else "extracted"
     print(f"check_docs: {len(docFiles())} files, {snippetCount} cpp "
-          f"snippets {mode}, {failures} failure(s)")
+          f"snippets {mode}, {knobsChecked} knobs checked, "
+          f"{failures} failure(s)")
     if not args.keep and outDir.startswith(tempfile.gettempdir()):
         shutil.rmtree(outDir, ignore_errors=True)
     return 1 if failures else 0

@@ -1,0 +1,395 @@
+#include "fairness/sampled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/link_rate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mcfair::fairness {
+
+namespace {
+
+constexpr double kErrorFloor = 1e-12;
+constexpr std::size_t kUnsampled = std::numeric_limits<std::size_t>::max();
+
+double resolveFraction(double requested) {
+  if (requested < 0.0) {
+    const double env = util::envDouble("MCFAIR_SAMPLE_FRAC", 0.25);
+    return (env > 0.0 && env <= 1.0) ? env : 0.25;
+  }
+  MCFAIR_REQUIRE(requested > 0.0 && requested <= 1.0,
+                 "SampledOptions::sampleFraction must be in (0, 1]");
+  return requested;
+}
+
+// The initial-fill slope a receiver group (the receivers of one session
+// crossing one link) contributes to the link's accumulator when every
+// member is active at level lambda: u = slope * lambda. EfficientMax and
+// any unknown (possibly nonlinear) family contribute max-weight; the
+// rate-linear ConstantFactor applies its factor exactly when the subset
+// shares the link between two or more receivers (see net/link_rate.hpp).
+double groupSlope(double maxWeight, std::size_t members,
+                  const net::ConstantFactor* cf) noexcept {
+  if (members == 0) return 0.0;
+  if (cf != nullptr && members >= 2) return cf->factor() * maxWeight;
+  return maxWeight;
+}
+
+}  // namespace
+
+SampledErrorReport compareAllocations(const net::Network& net,
+                                      const Allocation& estimate,
+                                      const MaxMinResult& exact) {
+  SampledErrorReport report;
+  report.totalReceivers = net.receiverCount();
+
+  // Normalized fair-rate error: |estimate - exact| relative to the mean
+  // exact rate, so sessions whose fair share happens to be tiny do not
+  // dominate via near-zero denominators.
+  double rateSum = 0.0;
+  for (const net::ReceiverRef ref : net.receiverRefs()) {
+    rateSum += exact.allocation.rate(ref);
+  }
+  const std::size_t n = net.receiverCount();
+  const double scale =
+      n == 0 ? 0.0 : rateSum / static_cast<double>(n);
+  const double denom = std::max(scale, kErrorFloor);
+
+  double errSum = 0.0;
+  for (const net::ReceiverRef ref : net.receiverRefs()) {
+    const double e =
+        std::abs(estimate.rate(ref) - exact.allocation.rate(ref)) / denom;
+    errSum += e;
+    report.maxReceiverError = std::max(report.maxReceiverError, e);
+  }
+  report.meanReceiverError = n == 0 ? 0.0 : errSum / static_cast<double>(n);
+
+  // Max-over-links relative usage error against the exact result's usage.
+  const LinkUsage estUsage = computeLinkUsage(net, estimate);
+  for (std::size_t j = 0; j < net.linkCount(); ++j) {
+    const graph::LinkId link{static_cast<std::uint32_t>(j)};
+    if (net.receiversOnLink(link).empty()) continue;
+    const double e = std::abs(estUsage.linkRate[j] - exact.usage.linkRate[j]) /
+                     std::max(net.capacity(link), kErrorFloor);
+    report.maxLinkError = std::max(report.maxLinkError, e);
+  }
+  return report;
+}
+
+struct SampledSolver::Impl {
+  double fraction = 0.25;
+  std::size_t minPerLink = 1;
+
+  const net::Network* source = nullptr;
+  std::uint64_t boundIdentity = 0;
+  std::uint64_t boundStructure = 0;
+  bool bound = false;
+
+  net::Network sampledNet;
+  MaxMinSolver inner;
+  const MaxMinResult* lastResult = nullptr;
+
+  // Flat source-receiver index -> sampled? / index within the sampled
+  // session (kUnsampled when out of sample).
+  std::vector<char> sampledFlat;
+  std::vector<std::size_t> sampledIndex;
+  std::size_t sampledCount = 0;
+
+  // Per source link: s_j / S_j, the sampled-over-full slope ratio.
+  // Structure-plus-seed-only, so a capacity refresh keeps it cached.
+  std::vector<double> scale;
+
+  std::optional<Allocation> estimate;
+  std::vector<double> linkLevel;  // scratch of estimateAllocation()
+
+  explicit Impl(const MaxMinOptions& solverOptions) : inner(solverOptions) {}
+
+  void drawSample(const net::Network& net, std::uint64_t seed);
+  void buildSampledNetwork(const net::Network& net);
+  void refreshCapacities(const net::Network& net);
+};
+
+// Selects the sample from structure + seed alone (never from capacities),
+// so a capacity-only rebind provably keeps the same receivers and a
+// refreshed binding matches a fresh one bitwise.
+void SampledSolver::Impl::drawSample(const net::Network& net,
+                                     std::uint64_t seed) {
+  const std::size_t n = net.receiverCount();
+  std::vector<double> priority(n);
+  util::Rng rng(seed);
+  for (std::size_t f = 0; f < n; ++f) priority[f] = rng.uniform01();
+
+  sampledFlat.assign(n, 0);
+  for (std::size_t f = 0; f < n; ++f) {
+    if (priority[f] < fraction) sampledFlat[f] = 1;
+  }
+
+  const auto better = [&](std::size_t a, std::size_t b) {
+    return priority[a] < priority[b] ||
+           (priority[a] == priority[b] && a < b);
+  };
+
+  // Repair pass 1: every session keeps at least one sampled receiver
+  // (an empty session would be unrepresentable in the sub-network).
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    const std::size_t base = net.receiverOffset(i);
+    const std::size_t count = net.session(i).receivers.size();
+    std::size_t best = kUnsampled;
+    bool any = false;
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t f = base + k;
+      if (sampledFlat[f] != 0) {
+        any = true;
+        break;
+      }
+      if (best == kUnsampled || better(f, best)) best = f;
+    }
+    if (!any) sampledFlat[best] = 1;
+  }
+
+  // Repair pass 2: every *shared* link (two or more crossing receivers —
+  // the contention constraints) keeps its stratification floor of
+  // min(minPerLink, |R_j|) witnesses, filled lowest-priority-first, so no
+  // constraint — in particular no scale-free hub bottleneck — drops out.
+  // Single-receiver links (private tails) are exempt: forcing their lone
+  // receiver in would make every tailed topology sample at 100%, and the
+  // expansion clamps an unsampled receiver against a solo link's exact
+  // capacity anyway (better information than any witness).
+  std::vector<std::size_t> candidates;
+  for (std::size_t j = 0; j < net.linkCount(); ++j) {
+    const auto onLink =
+        net.receiversOnLink(graph::LinkId{static_cast<std::uint32_t>(j)});
+    if (onLink.size() < 2) continue;
+    const std::size_t need = std::min(minPerLink, onLink.size());
+    std::size_t have = 0;
+    candidates.clear();
+    for (const net::ReceiverRef ref : onLink) {
+      const std::size_t f = net.flatIndex(ref);
+      if (sampledFlat[f] != 0) {
+        ++have;
+      } else {
+        candidates.push_back(f);
+      }
+    }
+    if (have >= need) continue;
+    std::sort(candidates.begin(), candidates.end(), better);
+    for (std::size_t c = 0; c < candidates.size() && have < need; ++c) {
+      sampledFlat[candidates[c]] = 1;
+      ++have;
+    }
+  }
+
+  sampledIndex.assign(n, kUnsampled);
+  sampledCount = 0;
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    const std::size_t base = net.receiverOffset(i);
+    const std::size_t count = net.session(i).receivers.size();
+    std::size_t next = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      if (sampledFlat[base + k] != 0) {
+        sampledIndex[base + k] = next++;
+        ++sampledCount;
+      }
+    }
+  }
+}
+
+void SampledSolver::Impl::buildSampledNetwork(const net::Network& net) {
+  // Per-link slope ratio s_j / S_j under the solver's accumulator model.
+  // Computed before scaling so a fully-sampled link divides two equal
+  // doubles — exactly 1.0 — and the scaled capacity below is bitwise the
+  // source capacity (the fraction-1.0 == exact guarantee rests on this).
+  scale.assign(net.linkCount(), 1.0);
+  for (std::size_t j = 0; j < net.linkCount(); ++j) {
+    const auto onLink =
+        net.receiversOnLink(graph::LinkId{static_cast<std::uint32_t>(j)});
+    double full = 0.0;
+    double sampled = 0.0;
+    std::size_t idx = 0;
+    while (idx < onLink.size()) {
+      const std::size_t i = onLink[idx].session;
+      const net::Session& sess = net.session(i);
+      double fullMax = 0.0, sampMax = 0.0;
+      std::size_t fullCnt = 0, sampCnt = 0;
+      for (; idx < onLink.size() && onLink[idx].session == i; ++idx) {
+        const double w = sess.receivers[onLink[idx].receiver].weight;
+        fullMax = std::max(fullMax, w);
+        ++fullCnt;
+        if (sampledFlat[net.flatIndex(onLink[idx])] != 0) {
+          sampMax = std::max(sampMax, w);
+          ++sampCnt;
+        }
+      }
+      const auto* cf =
+          dynamic_cast<const net::ConstantFactor*>(sess.linkRateFn.get());
+      full += groupSlope(fullMax, fullCnt, cf);
+      sampled += groupSlope(sampMax, sampCnt, cf);
+    }
+    scale[j] = full > 0.0 ? sampled / full : 1.0;
+  }
+
+  net::Network sub;
+  for (std::size_t j = 0; j < net.linkCount(); ++j) {
+    // addLink rejects non-positive capacities but a faulted source link
+    // may already sit at 0; route every value through setCapacity, whose
+    // contract allows dead links.
+    const graph::LinkId link{static_cast<std::uint32_t>(j)};
+    sub.addLink(1.0);
+    sub.setCapacity(link, net.capacity(link) * scale[j]);
+  }
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    const net::Session& sess = net.session(i);
+    net::Session picked;
+    picked.type = sess.type;
+    picked.maxRate = sess.maxRate;
+    picked.linkRateFn = sess.linkRateFn;
+    picked.name = sess.name;
+    const std::size_t base = net.receiverOffset(i);
+    for (std::size_t k = 0; k < sess.receivers.size(); ++k) {
+      if (sampledFlat[base + k] != 0) picked.receivers.push_back(sess.receivers[k]);
+    }
+    sub.addSession(std::move(picked));
+  }
+  sampledNet = std::move(sub);
+}
+
+void SampledSolver::Impl::refreshCapacities(const net::Network& net) {
+  // The sample and the slope ratios depend only on structure + seed, so a
+  // capacity-only change re-scales in place. setCapacity preserves the
+  // sub-network's structureIdentity, which keeps the inner solver on its
+  // O(links) allocation-free refresh tier.
+  for (std::size_t j = 0; j < net.linkCount(); ++j) {
+    const graph::LinkId link{static_cast<std::uint32_t>(j)};
+    sampledNet.setCapacity(link, net.capacity(link) * scale[j]);
+  }
+}
+
+SampledSolver::SampledSolver(SampledOptions options)
+    : options_(std::move(options)),
+      impl_(std::make_unique<Impl>(options_.solver)) {
+  impl_->fraction = resolveFraction(options_.sampleFraction);
+  impl_->minPerLink = std::max<std::size_t>(options_.minPerLink, 1);
+}
+
+SampledSolver::~SampledSolver() = default;
+SampledSolver::SampledSolver(SampledSolver&&) noexcept = default;
+SampledSolver& SampledSolver::operator=(SampledSolver&&) noexcept = default;
+
+void SampledSolver::bind(const net::Network& net) {
+  Impl& im = *impl_;
+  if (im.bound && net.identity() == im.boundIdentity) {
+    im.source = &net;  // same structure and capacities; nothing to do
+    return;
+  }
+  if (im.bound && net.structureIdentity() == im.boundStructure) {
+    im.refreshCapacities(net);
+  } else {
+    im.drawSample(net, options_.seed);
+    im.buildSampledNetwork(net);
+    im.estimate.emplace(net);
+  }
+  im.source = &net;
+  im.boundIdentity = net.identity();
+  im.boundStructure = net.structureIdentity();
+  im.bound = true;
+  im.lastResult = nullptr;
+}
+
+bool SampledSolver::bound() const noexcept { return impl_->bound; }
+
+const MaxMinResult& SampledSolver::solve() {
+  Impl& im = *impl_;
+  MCFAIR_REQUIRE(im.bound, "SampledSolver::solve before bind");
+  im.lastResult = &im.inner.solve(im.sampledNet);
+  return *im.lastResult;
+}
+
+const MaxMinResult& SampledSolver::solve(const net::Network& net) {
+  bind(net);
+  return solve();
+}
+
+const Allocation& SampledSolver::estimateAllocation() {
+  Impl& im = *impl_;
+  MCFAIR_REQUIRE(im.lastResult != nullptr,
+                 "SampledSolver::estimateAllocation before solve");
+  const net::Network& net = *im.source;
+  const Allocation& solved = im.lastResult->allocation;
+
+  // Observed fair level per link: the max rate/weight among the sampled
+  // receivers crossing it; -1 marks an unwitnessed link. The shared-link
+  // stratification floor guarantees an unwitnessed link on a receiver's
+  // data-path has that receiver as its only crosser, so its constraint is
+  // exactly rate <= capacity (every shipped v_i is the identity on a
+  // one-element rate set) and the expansion clamps against it directly.
+  im.linkLevel.assign(net.linkCount(), -1.0);
+  for (const net::ReceiverRef ref : im.sampledNet.receiverRefs()) {
+    const net::Receiver& r =
+        im.sampledNet.session(ref.session).receivers[ref.receiver];
+    const double level = solved.rate(ref) / r.weight;
+    for (const graph::LinkId l : r.dataPath) {
+      im.linkLevel[l.value] = std::max(im.linkLevel[l.value], level);
+    }
+  }
+
+  Allocation& out = *im.estimate;
+  for (const net::ReceiverRef ref : net.receiverRefs()) {
+    const std::size_t f = net.flatIndex(ref);
+    if (im.sampledFlat[f] != 0) {
+      out.setRate(ref, solved.rate({ref.session, im.sampledIndex[f]}));
+      continue;
+    }
+    const net::Session& sess = net.session(ref.session);
+    const net::Receiver& r = sess.receivers[ref.receiver];
+    double level = std::numeric_limits<double>::infinity();
+    double soloCap = std::numeric_limits<double>::infinity();
+    for (const graph::LinkId l : r.dataPath) {
+      if (im.linkLevel[l.value] >= 0.0) {
+        level = std::min(level, im.linkLevel[l.value]);
+      } else {
+        soloCap = std::min(soloCap, net.capacity(l));
+      }
+    }
+    out.setRate(ref, std::min({sess.maxRate, r.weight * level, soloCap}));
+  }
+  return out;
+}
+
+SampledErrorReport SampledSolver::errorReport(const MaxMinResult& exact) {
+  const Allocation& estimate = estimateAllocation();
+  SampledErrorReport report =
+      compareAllocations(*impl_->source, estimate, exact);
+  report.sampledReceivers = impl_->sampledCount;
+  return report;
+}
+
+const net::Network& SampledSolver::sampledNetwork() const {
+  MCFAIR_REQUIRE(impl_->bound, "SampledSolver::sampledNetwork before bind");
+  return impl_->sampledNet;
+}
+
+bool SampledSolver::sampled(net::ReceiverRef ref) const {
+  MCFAIR_REQUIRE(impl_->bound, "SampledSolver::sampled before bind");
+  return impl_->sampledFlat[impl_->source->flatIndex(ref)] != 0;
+}
+
+std::size_t SampledSolver::sampledReceiverCount() const noexcept {
+  return impl_->sampledCount;
+}
+
+std::size_t SampledSolver::totalReceiverCount() const noexcept {
+  return impl_->bound ? impl_->source->receiverCount() : 0;
+}
+
+double SampledSolver::sampleFraction() const noexcept {
+  return impl_->fraction;
+}
+
+}  // namespace mcfair::fairness

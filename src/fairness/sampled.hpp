@@ -1,0 +1,167 @@
+// Sampled approximate max-min fairness — admission-control estimation.
+//
+// At the ROADMAP's million-receiver scale nobody solves the max-min
+// allocation exactly; production admission control estimates it from a
+// *sample* of receivers (cf. the heyp-agents intradc Monte-Carlo study
+// referenced in PAPERS.md/ROADMAP.md). SampledSolver implements that
+// estimator against this library's exact incremental solver as oracle:
+//
+//  1. Per-link stratified receiver sample. Every receiver draws one
+//     deterministic uniform priority from the seed and is included when
+//     priority < sampleFraction; then a repair pass walks sessions and
+//     links in id order and force-includes lowest-priority receivers
+//     wherever a session — or a *shared* link (two or more crossing
+//     receivers) — would otherwise fall below its floor of sampled
+//     receivers (SampledOptions::minPerLink). Every contention
+//     constraint therefore keeps at least one witness — the hub
+//     bottlenecks of scale-free backbones (the Sreenivasan et al.
+//     setting in PAPERS.md) can never silently drop out. Private
+//     single-receiver links are exempt (forcing their lone receiver in
+//     would defeat sampling on tailed topologies); the expansion clamps
+//     against their exact capacity instead.
+//  2. Horvitz-Thompson-style accumulator scaling. The sampled
+//     sub-network keeps every link, but a link that lost receivers would
+//     under-count its contention: with the solver's linear accumulator
+//     model u_j(level) ~= S_j * level (S_j = the sum of per-session
+//     group slopes the CSR accumulators hold at the start of a fill),
+//     the sampled fill sees s_j <= S_j. Scaling the link capacity by the
+//     inverse inclusion ratio, c'_j = c_j * (s_j / S_j), makes the
+//     sampled constraint s_j * level <= c'_j equivalent to the
+//     HT-expanded estimate (S_j / s_j) * s_j * level <= c_j, so
+//     first-order saturation levels are unbiased. (Higher rounds — the
+//     frozen-rate constant parts, nonlinear v_i — are where the sampling
+//     error the docs/SWEEPS.md methodology quantifies comes from.)
+//  3. Expansion. estimateAllocation() returns a full-network-shaped
+//     allocation: sampled receivers carry their solved rates, an
+//     unsampled receiver gets min(sigma_i, w_r * min over its witnessed
+//     data-path links of the link's observed fair level, min over its
+//     unwitnessed links of the raw capacity), where a link's observed
+//     fair level is the max rate/weight among the sampled receivers
+//     crossing it — exactly the per-link estimate an admission
+//     controller would quote a joining receiver. (An unwitnessed link is
+//     necessarily private to that receiver, so its raw capacity is its
+//     exact constraint.)
+//
+// At sampleFraction 1.0 the sample is everything, every scale factor is
+// exactly 1.0, and the estimate is bit-identical to the exact solver
+// (tests/test_sampled_solver.cpp pins ==).
+//
+// The solver reuses MaxMinSolver's bind/refresh tiers: the sampled
+// sub-network is built once per structure, and capacity-only changes of
+// the source network (fault churn via net::Network::setCapacity) re-scale
+// in place and ride the inner solver's O(links) capacity-refresh rebind —
+// steady-state re-solves allocate nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fairness/maxmin.hpp"
+
+namespace mcfair::fairness {
+
+/// Knobs of the sampled estimator.
+struct SampledOptions {
+  /// Receiver inclusion probability in (0, 1]. The default -1 reads the
+  /// MCFAIR_SAMPLE_FRAC environment variable (unset/invalid -> 0.25).
+  double sampleFraction = -1.0;
+  /// Seed of the deterministic sampling draw. Equal (network structure,
+  /// seed, fraction) triples always select the same receivers.
+  std::uint64_t seed = 1;
+  /// Stratification floor: every *shared* link (>= 2 crossing
+  /// receivers) keeps at least min(minPerLink, receivers-on-link)
+  /// sampled witnesses, and every session keeps at least one sampled
+  /// receiver. Private single-receiver links are exempt — their exact
+  /// capacity clamps the expansion directly. 0 is promoted to 1: the
+  /// sampled network must represent every contention constraint.
+  std::size_t minPerLink = 1;
+  /// Forwarded to the inner exact solver run on the sampled sub-network
+  /// (tolerance, threads, validation — see MaxMinOptions).
+  MaxMinOptions solver;
+};
+
+/// Error of a sampled estimate against the exact allocation. All errors
+/// are exactly 0.0 at sampleFraction 1.0.
+struct SampledErrorReport {
+  /// Mean / max over all receivers of |estimate - exact| normalized by
+  /// the mean exact rate (the "normalized fair-rate error": relative to
+  /// the population's typical rate, so near-zero fair rates do not blow
+  /// the ratio up).
+  double meanReceiverError = 0.0;
+  double maxReceiverError = 0.0;
+  /// Max over populated links of |usage(estimate) - usage(exact)| / c_j
+  /// — the worst relative capacity misprediction the estimate implies.
+  double maxLinkError = 0.0;
+  std::size_t sampledReceivers = 0;
+  std::size_t totalReceivers = 0;
+};
+
+/// Compares a full-network-shaped estimate against the exact result.
+/// `exact` must carry the usage of its allocation (MaxMinSolver::solve
+/// materializes it).
+SampledErrorReport compareAllocations(const net::Network& net,
+                                      const Allocation& estimate,
+                                      const MaxMinResult& exact);
+
+/// The sampled approximate max-min solver. Same bind/solve discipline as
+/// MaxMinSolver: the bound source network must outlive the binding and
+/// stay unmutated between bind() and solve()/estimateAllocation().
+class SampledSolver {
+ public:
+  explicit SampledSolver(SampledOptions options = {});
+  ~SampledSolver();
+  SampledSolver(SampledSolver&&) noexcept;
+  SampledSolver& operator=(SampledSolver&&) noexcept;
+
+  /// Draws the sample and builds the scaled sub-network. Tiered like
+  /// MaxMinSolver::bind: an unchanged identity() is a no-op; an
+  /// unchanged structureIdentity() (capacity-only changes, e.g. faults
+  /// via Network::setCapacity) keeps the sample and re-scales the
+  /// sub-network capacities in place — O(links), allocation-free, riding
+  /// the inner solver's capacity-refresh rebind; anything else
+  /// re-samples and rebuilds.
+  void bind(const net::Network& net);
+
+  bool bound() const noexcept;
+
+  /// Solves the sampled sub-network. The result is shaped like the
+  /// sample (sampled receivers only); owned by the solver, invalidated
+  /// by the next bind()/solve().
+  const MaxMinResult& solve();
+
+  /// bind(net) + solve().
+  const MaxMinResult& solve(const net::Network& net);
+
+  /// Expands the last solve() into a full-network-shaped allocation
+  /// (sampled receivers: solved rate; unsampled: the per-link
+  /// fair-level estimate described above). Requires a prior solve();
+  /// owned by the solver, invalidated by the next bind()/solve().
+  const Allocation& estimateAllocation();
+
+  /// estimateAllocation() compared against the exact result (which must
+  /// stem from the same source network), with the sample counts filled
+  /// in. Requires a prior solve().
+  SampledErrorReport errorReport(const MaxMinResult& exact);
+
+  /// The sampled sub-network of the current binding (every link, the
+  /// sampled receivers, capacities scaled by s_j / S_j).
+  const net::Network& sampledNetwork() const;
+
+  /// True when receiver `ref` of the source network is in the sample.
+  bool sampled(net::ReceiverRef ref) const;
+
+  std::size_t sampledReceiverCount() const noexcept;
+  std::size_t totalReceiverCount() const noexcept;
+
+  /// The resolved inclusion probability (env applied).
+  double sampleFraction() const noexcept;
+
+  const SampledOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Impl;
+  SampledOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mcfair::fairness

@@ -1,0 +1,150 @@
+// Monte-Carlo sweep fleet: scenario x seed x sample-fraction grids.
+//
+// The established way to answer "what does sampling cost in fairness?"
+// is a large randomized sweep over a systematic parameter grid (the
+// Kalyanaraman et al. ATM study in PAPERS.md sweeps traffic patterns x
+// configurations the same way). SweepDriver is that harness: it fans a
+// (scenario preset) x (sample fraction) grid of cells over the existing
+// util::ThreadPool, runs `runs` seeded replicas per cell — each replica
+// builds its scenario network, solves it exactly (the oracle), solves it
+// with fairness::SampledSolver at the cell's fraction, and scores the
+// estimate — and aggregates every metric through *streaming* accumulators
+// (util::RunningStats + two util::P2Quantile markers): no per-run values
+// are retained, and the steady-state aggregation path allocates nothing.
+//
+// Determinism. Every cell is one work unit whose replicas run serially,
+// in seed order, entirely inside whichever executor claims it, and whose
+// accumulators are owned by the cell itself — no cross-thread merging
+// ever happens, so results are bit-identical for every thread count (the
+// pool's nondeterministic shard claiming only changes *when* a cell runs,
+// never what it computes; tests/test_sweep_driver.cpp pins 1/2/4/8-thread
+// equality). Replica seeds are seedBase + replica index, shared by the
+// scenario expansion and the sampling draw.
+//
+// Fault axes. Presets with a FaultAxis contribute a second observation
+// per replica when SweepConfig::solveMidFault is set: the fault
+// schedule's prefix up to its median event time is applied to the built
+// network via net::Network::setCapacity, and both solvers re-solve
+// through their O(links) allocation-free refresh tiers — the sweep
+// therefore scores sampling accuracy on the degraded topology too (fault
+// cells stream 2x the observations; see docs/SWEEPS.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/validate.hpp"
+
+namespace mcfair::sim {
+
+/// The metrics every sweep cell aggregates (one observation per replica
+/// solve; see SweepMetricName for display labels).
+enum class SweepMetric : std::size_t {
+  kMeanReceiverError = 0,  ///< SampledErrorReport::meanReceiverError
+  kMaxReceiverError,       ///< SampledErrorReport::maxReceiverError
+  kMaxLinkError,           ///< SampledErrorReport::maxLinkError
+  kSampledShare,           ///< realized sample fraction after repair
+  kExactRounds,            ///< filling rounds of the exact oracle solve
+  kSampledRounds,          ///< filling rounds of the sampled solve
+};
+inline constexpr std::size_t kSweepMetricCount = 6;
+
+/// Display name of a metric ("mean_rx_err", "p90" columns etc.).
+std::string_view sweepMetricName(SweepMetric m) noexcept;
+
+/// One metric's streaming aggregate: mean/min/max via Welford, median and
+/// P90 via the P^2 estimator. add() never allocates.
+struct MetricStream {
+  util::RunningStats stats;
+  util::P2Quantile p50{0.5};
+  util::P2Quantile p90{0.9};
+
+  void add(double x) noexcept {
+    stats.add(x);
+    p50.add(x);
+    p90.add(x);
+  }
+};
+
+/// One grid cell: a scenario preset at one sample fraction.
+struct SweepCell {
+  std::string scenario;
+  double sampleFraction = 1.0;
+  /// Observations streamed into each metric (replicas, x2 for fault
+  /// presets when solveMidFault re-solves on the degraded network).
+  std::size_t observations = 0;
+  std::array<MetricStream, kSweepMetricCount> metrics;
+
+  const MetricStream& metric(SweepMetric m) const {
+    return metrics[static_cast<std::size_t>(m)];
+  }
+};
+
+/// Fleet configuration.
+struct SweepConfig {
+  /// Grid rows. Each spec's seed is overwritten per replica with
+  /// seedBase + replica, so equal specs at equal seeds are equal runs.
+  std::vector<ScenarioSpec> scenarios;
+  /// Grid columns, each in (0, 1]. 1.0 is the zero-error control column.
+  std::vector<double> sampleFractions = {0.1, 0.25, 0.5, 1.0};
+  /// Seeded replicas per cell.
+  std::size_t runs = 8;
+  std::uint64_t seedBase = 1;
+  /// Worker threads for the cell fan-out: 0/1 = serial, -1 (default) =
+  /// read MCFAIR_SWEEP_THREADS (unset/invalid -> serial). Results are
+  /// bit-identical for every value.
+  int threads = -1;
+  /// fairness::SampledOptions::minPerLink of every sampled solve.
+  std::size_t minPerLink = 1;
+  /// Fault presets: also score a mid-fault re-solve on the degraded
+  /// topology (second observation per replica; refresh-tier path).
+  bool solveMidFault = true;
+  /// Paranoid cross-checking (util/validate.hpp): forwarded to both
+  /// solvers and, when resolved on, the driver additionally requires the
+  /// fraction-1.0 column to show exactly zero error. Never changes
+  /// results, only checks them.
+  util::ValidateOptions validate;
+};
+
+/// The aggregated grid, cells in row-major (scenario-major) order.
+struct SweepResult {
+  std::vector<SweepCell> cells;
+  std::size_t scenarioCount = 0;
+  std::size_t fractionCount = 0;
+
+  const SweepCell& cell(std::size_t scenario, std::size_t fraction) const {
+    return cells[scenario * fractionCount + fraction];
+  }
+};
+
+/// Cell lookup by (scenario name, fraction); null when absent.
+const SweepCell* findCell(const SweepResult& result, std::string_view scenario,
+                          double sampleFraction);
+
+/// The fleet harness. Construction validates the grid; run() executes it
+/// (reusable: each run() recomputes from scratch).
+class SweepDriver {
+ public:
+  explicit SweepDriver(SweepConfig config);
+
+  const SweepConfig& config() const noexcept { return config_; }
+
+  /// Resolved executor count of the fan-out (env applied); >= 1.
+  std::size_t threadCount() const noexcept { return threads_; }
+
+  SweepResult run() const;
+
+ private:
+  SweepConfig config_;
+  std::size_t threads_ = 1;
+};
+
+/// Convenience: SweepDriver(config).run().
+SweepResult runSweep(SweepConfig config);
+
+}  // namespace mcfair::sim

@@ -50,6 +50,94 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  MCFAIR_REQUIRE(q > 0.0 && q < 1.0, "P2Quantile order must be in (0,1)");
+}
+
+double P2Quantile::parabolic(int i, double d) const noexcept {
+  // Piecewise-parabolic (P²) height adjustment for marker i moved by d.
+  return height_[i] +
+         d / (pos_[i + 1] - pos_[i - 1]) *
+             ((pos_[i] - pos_[i - 1] + d) * (height_[i + 1] - height_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              (pos_[i + 1] - pos_[i] - d) * (height_[i] - height_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, int d) const noexcept {
+  return height_[i] + static_cast<double>(d) *
+                          (height_[i + d] - height_[i]) /
+                          (pos_[i + d] - pos_[i]);
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    // Warm-up: keep the first five observations sorted in height_.
+    std::size_t i = count_++;
+    while (i > 0 && height_[i - 1] > x) {
+      height_[i] = height_[i - 1];
+      --i;
+    }
+    height_[i] = x;
+    if (count_ == 5) {
+      for (int m = 0; m < 5; ++m) pos_[m] = m + 1;
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      increment_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x < height_[1]) {
+    k = 0;
+  } else if (x < height_[2]) {
+    k = 1;
+  } else if (x < height_[3]) {
+    k = 2;
+  } else if (x <= height_[4]) {
+    k = 3;
+  } else {
+    height_[4] = x;
+    k = 3;
+  }
+  ++count_;
+  for (int m = k + 1; m < 5; ++m) pos_[m] += 1.0;
+  for (int m = 0; m < 5; ++m) desired_[m] += increment_[m];
+
+  // Nudge the three middle markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const int sign = d >= 0.0 ? 1 : -1;
+      double h = parabolic(i, sign);
+      if (height_[i - 1] < h && h < height_[i + 1]) {
+        height_[i] = h;
+      } else {
+        height_[i] = linear(i, sign);
+      }
+      pos_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact nearest-rank quantile over the sorted warm-up buffer (the
+    // same convention as util::quantile).
+    const auto idx = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(count_) - 1.0,
+        std::floor(q_ * static_cast<double>(count_))));
+    return height_[idx];
+  }
+  return height_[2];
+}
+
 double tCritical95(std::size_t df) noexcept {
   // Exact two-sided 0.975 quantiles for small df, then the normal limit.
   static constexpr double kTable[] = {

@@ -1,6 +1,7 @@
 // Streaming statistics and confidence intervals for experiment outputs.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -46,6 +47,44 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Streaming quantile estimator (the P² algorithm of Jain & Chlamtac,
+/// CACM 1985): five markers track the target quantile in O(1) memory and
+/// O(1) time per observation, with no retention of the sample.
+///
+/// The sweep fleet (sim::SweepDriver) aggregates thousands of runs per
+/// grid cell through these: add() never allocates, so the steady-state
+/// aggregation path is heap-free regardless of run count. Until five
+/// observations have arrived the estimate is exact (sorted-sample
+/// lookup); beyond that it is the classic piecewise-parabolic
+/// approximation, whose error the docs/SWEEPS.md methodology page
+/// quantifies. Fully deterministic: equal observation sequences produce
+/// bit-equal estimates.
+class P2Quantile {
+ public:
+  /// Tracks the q-quantile, q in (0, 1).
+  explicit P2Quantile(double q = 0.5);
+
+  /// Adds one observation. Never allocates.
+  void add(double x) noexcept;
+
+  /// Current estimate; 0 when empty, exact for fewer than 5 samples.
+  double value() const noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double order() const noexcept { return q_; }
+
+ private:
+  double parabolic(int i, double d) const noexcept;
+  double linear(int i, int d) const noexcept;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> height_{};    // marker heights (sorted)
+  std::array<double, 5> pos_{};       // actual marker positions
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increment_{}; // desired-position increments
 };
 
 /// Two-sided 95% Student-t critical value for `df` degrees of freedom.

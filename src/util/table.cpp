@@ -103,4 +103,12 @@ long envInt(const char* name, long fallback) noexcept {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+double envDouble(const char* name, double fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
 }  // namespace mcfair::util

@@ -62,4 +62,9 @@ bool envFlag(const char* name) noexcept;
 /// top-level README.
 long envInt(const char* name, long fallback) noexcept;
 
+/// Floating-point environment knob with default; returns `fallback` when
+/// unset or unparsable. Notably MCFAIR_SAMPLE_FRAC, the default receiver
+/// inclusion probability of fairness::SampledSolver.
+double envDouble(const char* name, double fallback) noexcept;
+
 }  // namespace mcfair::util

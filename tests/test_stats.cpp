@@ -98,5 +98,82 @@ TEST(Quantile, RejectsBadInput) {
   EXPECT_THROW(quantile({1.0}, 1.5), PreconditionError);
 }
 
+TEST(P2Quantile, RejectsBadOrder) {
+  EXPECT_THROW(P2Quantile(0.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(1.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(-0.2), PreconditionError);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.5);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.order(), 0.5);
+}
+
+TEST(P2Quantile, ExactBelowFiveSamples) {
+  // The warm-up path must match util::quantile's nearest-rank convention
+  // exactly, whatever the insertion order.
+  const std::vector<double> xs = {7.0, 1.0, 5.0, 3.0};
+  P2Quantile q(0.5);
+  std::vector<double> seen;
+  for (double x : xs) {
+    q.add(x);
+    seen.push_back(x);
+    EXPECT_EQ(q.value(), quantile(seen, 0.5)) << seen.size();
+  }
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  Rng rng(42);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 20000; ++i) q.add(rng.uniform01());
+  EXPECT_NEAR(q.value(), 0.5, 0.02);
+  EXPECT_EQ(q.count(), 20000u);
+}
+
+TEST(P2Quantile, TailQuantileOfUniformStream) {
+  Rng rng(7);
+  P2Quantile q(0.9);
+  for (int i = 0; i < 20000; ++i) q.add(rng.uniform01());
+  EXPECT_NEAR(q.value(), 0.9, 0.02);
+}
+
+TEST(P2Quantile, MatchesExactQuantileOnSkewedStream) {
+  // Exponential-ish skew via -log(u): the P^2 estimate must stay within
+  // a few percent of the retained-sample quantile.
+  Rng rng(3);
+  P2Quantile q50(0.5);
+  P2Quantile q90(0.9);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -std::log(1.0 - rng.uniform01());
+    q50.add(x);
+    q90.add(x);
+    all.push_back(x);
+  }
+  EXPECT_NEAR(q50.value(), quantile(all, 0.5), 0.05);
+  EXPECT_NEAR(q90.value(), quantile(all, 0.9), 0.12);
+}
+
+TEST(P2Quantile, DeterministicAcrossInstances) {
+  Rng a(11), b(11);
+  P2Quantile qa(0.9), qb(0.9);
+  for (int i = 0; i < 1000; ++i) {
+    const double xa = a.uniform01();
+    const double xb = b.uniform01();
+    ASSERT_EQ(xa, xb);
+    qa.add(xa);
+    qb.add(xb);
+  }
+  EXPECT_EQ(qa.value(), qb.value());
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100; ++i) q.add(3.25);
+  EXPECT_EQ(q.value(), 3.25);
+}
+
 }  // namespace
 }  // namespace mcfair::util
