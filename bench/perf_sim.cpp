@@ -14,6 +14,7 @@
 #include "graph/route_plan.hpp"
 #include "markov/protocol_chain.hpp"
 #include "net/fault.hpp"
+#include "sim/partition.hpp"
 #include "sim/scenario.hpp"
 #include "sim/star.hpp"
 #include "util/error.hpp"
@@ -219,6 +220,77 @@ BENCHMARK(BM_FluidHandback)
     ->Arg(4)
     ->Arg(16)
     ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Component-parallel engine on the sharded-bottlenecks preset (64
+// disjoint bottleneck groups -> 64 independent components). The second
+// arg is the thread count: 0 runs the serial event engine on the same
+// scenario as the baseline row (matching the solver's BM_Parallel*/0
+// convention), T >= 1 runs the partitioned engine with engineThreads=T
+// (T=1 measures pure partition/lane overhead). On a 1-CPU container the
+// threaded rows measure coordination overhead, not speedup — see
+// docs/BENCHMARKS.md. Items = sessions per run.
+sim::Scenario shardedScenario(std::size_t sessions) {
+  const sim::ScenarioSpec* base = sim::findScenario("sharded-bottlenecks");
+  MCFAIR_REQUIRE(base != nullptr,
+                 "sharded-bottlenecks preset missing from catalog");
+  sim::ScenarioSpec spec = *base;
+  spec.sessions = sessions;
+  return sim::buildScenario(spec);
+}
+
+void BM_ClosedLoopParallel(benchmark::State& state) {
+  auto s = shardedScenario(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<int>(state.range(1));
+  if (threads == 0) {
+    s.config.engineThreads = 1;  // serial event-engine baseline row
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          sim::runClosedLoopSimulation(s.network, s.config));
+    }
+  } else {
+    s.config.engineThreads = threads;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          sim::runClosedLoopSimulationParallel(s.network, s.config));
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(s.network.sessionCount()));
+}
+BENCHMARK(BM_ClosedLoopParallel)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Args({1000, 8})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Cold partition cost: union-find over every session's routed link
+// union plus the CSR component index, on a fresh partitioner each
+// iteration (the engine itself pays this once per network structure —
+// partitionRebuilds is pinned at 1 by the zero-alloc suite). Items =
+// sessions unioned.
+void BM_Partition(benchmark::State& state) {
+  const auto s = shardedScenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    sim::SessionPartitioner partitioner;
+    benchmark::DoNotOptimize(partitioner.ensure(s.network).componentCount);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(s.network.sessionCount()));
+}
+BENCHMARK(BM_Partition)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 // Routing-layer cost: building per-source shortest-path trees (weighted

@@ -142,6 +142,23 @@ def extractSnippets(path):
     return snippets
 
 
+def stripTemplateArgs(decl):
+    """Removes <...> spans (depth-counted, so nesting works) from a
+    declaration. Template arguments may legally contain '(' — e.g.
+    std::function<R(Arg)> — which would otherwise be mistaken for a
+    method's parameter list."""
+    out = []
+    depth = 0
+    for ch in decl:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
 def structMembers(headerPath, structName):
     """Public data-member names of `struct structName` in headerPath.
 
@@ -159,8 +176,11 @@ def structMembers(headerPath, structName):
         stripped = line.split("//", 1)[0]
         if depth == 1 and stripped.rstrip().endswith(";"):
             # Cut the default initializer (`= ...;` or `{...};`) so
-            # defaults containing parens/braces don't hide the member.
+            # defaults containing parens/braces don't hide the member,
+            # then the trailing ';' an initializer-less member keeps,
+            # then template arguments (whose '(' is not a method's).
             decl = re.split(r"[={]", stripped, 1)[0]
+            decl = stripTemplateArgs(decl.rstrip().rstrip(";"))
             mm = MEMBER_RE.match(decl)
             if mm and "(" not in decl:
                 members.append(mm.group(1))

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <string>
 #include <utility>
 
 #include "fairness/maxmin.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/partition.hpp"
 #include "sim/sender.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcfair::sim {
 
@@ -301,14 +304,17 @@ class SimCore {
 
     // Exogenous loss plumbing. The per-link RNG streams are split after
     // all protocol streams so lossless configurations replay the exact
-    // RNG sequences of earlier library versions.
+    // RNG sequences of earlier library versions; splitLossStreams pins
+    // the stream layout itself (one split per link, in link order), so
+    // serial runs are bit-unchanged and each link's draw sequence is
+    // independent of how packets on other links interleave — the
+    // property the component-parallel engine relies on.
     if (config.linkLoss) {
       linkLoss_.reserve(network.linkCount());
-      lossRng_.reserve(network.linkCount());
       for (std::uint32_t j = 0; j < network.linkCount(); ++j) {
         linkLoss_.push_back(config.linkLoss(graph::LinkId{j}));
-        lossRng_.push_back(root.split());
       }
+      lossRng_ = splitLossStreams(root, network.linkCount());
     }
 
     // Measurement accumulators (flat).
@@ -365,13 +371,38 @@ class SimCore {
   /// The reconfiguration depends only on the event and the bucket's own
   /// state, so drivers that agree on packet order stay bit-identical
   /// through it. Allocation-free.
-  void applyNextFault() {
-    const net::FaultEvent& ev = faults_.events[nextFault_++];
+  void applyNextFault() { applyFaultEvent(faults_.events[nextFault_++]); }
+
+  /// Applies one fault event directly (the component-parallel engine
+  /// feeds each lane its own sub-schedule, so it bypasses the global
+  /// nextFault_ cursor). In partitioned mode the conservation check is
+  /// scoped to the faulted link: the full scan would read accumulators
+  /// owned by concurrently-executing lanes.
+  void applyFaultEvent(const net::FaultEvent& ev) {
     const double cap = baseCapacity_[ev.link.value] * ev.appliedFactor();
     buckets_[ev.link.value].reconfigure(
         cap, std::max(1.0, cap * config_.tokenBurst), ev.time);
-    if (validateConservation_) checkInvariants("fault");
+    if (validateConservation_) {
+      if (partitioned_) {
+        checkLinkInvariant(ev.link.value, "fault");
+      } else {
+        checkInvariants("fault");
+      }
+    }
   }
+
+  /// The full fault schedule, normalized (time, link, kind) — the
+  /// parallel engine partitions it into per-component sub-schedules.
+  std::span<const net::FaultEvent> faultEvents() const noexcept {
+    return faults_.events;
+  }
+
+  /// Switches the core into component-parallel mode: global counters
+  /// whose updates would cross component boundaries (the fluid engine's
+  /// nonAbsorbingLive_ gate) are frozen, and fault-time conservation
+  /// checks narrow to the faulted link. The fluid mode is never armed in
+  /// this mode, so the frozen counter is never read.
+  void enablePartitionedLanes() noexcept { partitioned_ = true; }
 
   std::size_t sessionCount() const noexcept { return senders_.size(); }
 
@@ -395,13 +426,25 @@ class SimCore {
   void onSessionDetached(std::size_t sessionIdx) {
     if (!detached_[sessionIdx]) {
       detached_[sessionIdx] = 1;
-      nonAbsorbingLive_ -= nonAbsorbing_[sessionIdx];
+      if (!partitioned_) nonAbsorbingLive_ -= nonAbsorbing_[sessionIdx];
     }
   }
 
   /// Runs one merged packet through capacity enforcement, loss, delivery
   /// accounting, and the receivers' protocol state machines.
   void processPacket(std::size_t sessionIdx, const Packet& pkt) {
+    processPacketInto(sessionIdx, pkt, touched_);
+  }
+
+  /// processPacket with a caller-owned touched-link scratch list: the
+  /// component-parallel lanes each bring their own so concurrent lanes
+  /// never share the scratch. Every other mutation is indexed by the
+  /// packet's own session, receivers, or links — disjoint across
+  /// link-set components by construction (see sim/partition.hpp) —
+  /// except the fluid engine's nonAbsorbingLive_ gate, which partitioned
+  /// mode freezes (the fluid mode is never armed there).
+  void processPacketInto(std::size_t sessionIdx, const Packet& pkt,
+                         std::vector<std::uint32_t>& touched) {
     const auto& sc = sessionConfigs_[sessionIdx];
     // Outside the session's lifetime the sender is silent.
     if (pkt.time < sc.startTime || pkt.time >= sc.stopTime) return;
@@ -412,7 +455,7 @@ class SimCore {
     const std::size_t re = recvBegin_[sessionIdx + 1];
 
     // Subscribers and the union of links leading to them.
-    touched_.clear();
+    touched.clear();
     bool anySubscribed = false;
     for (std::size_t r = rb; r < re; ++r) {
       const std::size_t lvl = receivers_[r].level();
@@ -425,7 +468,7 @@ class SimCore {
       for (graph::LinkId l : sess.receivers[r - rb].dataPath) {
         if (!linkTouched_[l.value]) {
           linkTouched_[l.value] = 1;
-          touched_.push_back(l.value);
+          touched.push_back(l.value);
         }
       }
     }
@@ -434,7 +477,7 @@ class SimCore {
     // Capacity enforcement (and optional exogenous loss) per touched
     // link. The loss coin is drawn only for packets the bucket admitted,
     // so the loss RNG stream advances identically in all drivers.
-    for (std::uint32_t j : touched_) {
+    for (std::uint32_t j : touched) {
       if (measuring) ++linkOffered_[j];
       bool forwarded = buckets_[j].admit(pkt.time);
       if (forwarded && !linkLoss_.empty() && linkLoss_[j] != nullptr) {
@@ -478,15 +521,15 @@ class SimCore {
         // is what the fluid certificate requires.
         if (isMax) {
           --nonAbsorbing_[sessionIdx];
-          if (!detached_[sessionIdx]) --nonAbsorbingLive_;
+          if (!partitioned_ && !detached_[sessionIdx]) --nonAbsorbingLive_;
         } else {
           ++nonAbsorbing_[sessionIdx];
-          if (!detached_[sessionIdx]) ++nonAbsorbingLive_;
+          if (!partitioned_ && !detached_[sessionIdx]) ++nonAbsorbingLive_;
         }
       }
     }
 
-    for (std::uint32_t j : touched_) {
+    for (std::uint32_t j : touched) {
       linkTouched_[j] = 0;
       linkDropping_[j] = 0;
     }
@@ -916,11 +959,17 @@ class SimCore {
   /// fault and at finalize when validation is on.
   void checkInvariants(const char* where) const {
     for (std::size_t j = 0; j < linkOffered_.size(); ++j) {
-      if (linkOffered_[j] != linkForwarded_[j] + linkDropped_[j]) {
-        throw NumericError(std::string("link accumulator conservation "
-                                       "violated at ") +
-                           where + ": link " + std::to_string(j));
-      }
+      checkLinkInvariant(j, where);
+    }
+  }
+
+  /// Single-link conservation check — what a partitioned lane may verify
+  /// at a fault without reading other lanes' accumulators.
+  void checkLinkInvariant(std::size_t j, const char* where) const {
+    if (linkOffered_[j] != linkForwarded_[j] + linkDropped_[j]) {
+      throw NumericError(std::string("link accumulator conservation "
+                                     "violated at ") +
+                         where + ": link " + std::to_string(j));
     }
   }
 
@@ -1086,6 +1135,9 @@ class SimCore {
   std::vector<std::uint32_t> nonAbsorbing_;  // per session
   std::vector<char> detached_;
   std::size_t nonAbsorbingLive_ = 0;
+  // Component-parallel mode (enablePartitionedLanes): freezes
+  // nonAbsorbingLive_ and scopes fault-time invariant checks per link.
+  bool partitioned_ = false;
 
   // Fault state.
   net::FaultSchedule faults_;
@@ -1206,11 +1258,168 @@ ClosedLoopResult runEventDriven(const net::Network& network,
   return core.finalize();
 }
 
+// Resolved executor count for the component-parallel engine: explicit
+// non-negative values win (0 and 1 both mean serial); the -1 default
+// defers to the MCFAIR_SIM_THREADS environment variable (unset or
+// invalid = serial).
+std::size_t resolveEngineThreads(int engineThreads) {
+  if (engineThreads >= 0) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(engineThreads));
+  }
+  return std::max<std::size_t>(
+      1, util::ThreadPool::threadCountFromEnv("MCFAIR_SIM_THREADS", 1));
+}
+
+// The component-parallel merge: one event-queue lane per link-set
+// connected component (sim/partition.hpp), executed concurrently on a
+// util::ThreadPool. Bit-identity with runEventDriven follows from three
+// facts.
+//  (1) State disjointness: every mutation processPacketInto makes is
+//      indexed by the packet's session, its receivers, or its links —
+//      all owned by exactly one component. The only cross-component
+//      state (the global touched scratch and the fluid engine's live
+//      counter) is replaced per lane / frozen in partitioned mode.
+//  (2) Order preservation: within a lane, packets pop in exactly the
+//      serial pop order restricted to the component. Lane seeds enter
+//      in ascending session order, matching the serial seeding batch's
+//      sequence-number tie-break, and every reschedule follows its pop
+//      just as in the serial heap; each lane applies its own links'
+//      fault events strictly before any lane packet at or after their
+//      time, in the schedule's normalized (time, link, kind) order.
+//  (3) Commutativity: packets and faults of different lanes touch
+//      disjoint state, so any interleaving of lane executions — and any
+//      assignment of lanes to threads — yields the same accumulators.
+ClosedLoopResult runComponentParallel(const net::Network& network,
+                                      const ClosedLoopConfig& config,
+                                      std::size_t threads) {
+  SimCore core(network, config);
+  core.enablePartitionedLanes();
+  const std::size_t nSessions = core.sessionCount();
+
+  SessionPartitioner partitioner;
+  const SessionPartition& part = partitioner.ensure(network);
+  const std::size_t nComp = part.componentCount;
+
+  // Each session's lookahead packet, seeded serially in ascending
+  // session order — the exact sender draws the serial engines make.
+  std::vector<Packet> pending;
+  pending.reserve(nSessions);
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    pending.push_back(core.nextPacket(i));
+  }
+
+  // Per-component fault sub-schedules: a stable counting sort of the
+  // normalized schedule by the faulted link's component keeps each
+  // lane's events in global order. Faults on orphan links are dropped —
+  // their buckets are never offered a packet, so reconfiguring them is
+  // unobservable (the serial engines do apply them, to no effect on any
+  // result field).
+  const std::span<const net::FaultEvent> faults = core.faultEvents();
+  std::vector<std::size_t> laneFaultBegin(nComp + 1, 0);
+  for (const net::FaultEvent& ev : faults) {
+    const std::uint32_t c = part.linkComponent[ev.link.value];
+    if (c != SessionPartition::kUnattached) ++laneFaultBegin[c + 1];
+  }
+  for (std::size_t c = 0; c < nComp; ++c) {
+    laneFaultBegin[c + 1] += laneFaultBegin[c];
+  }
+  std::vector<std::uint32_t> laneFaults(laneFaultBegin[nComp]);
+  {
+    std::vector<std::size_t> fill(laneFaultBegin.begin(),
+                                  laneFaultBegin.end() - 1);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      const std::uint32_t c = part.linkComponent[faults[f].link.value];
+      if (c != SessionPartition::kUnattached) {
+        laneFaults[fill[c]++] = static_cast<std::uint32_t>(f);
+      }
+    }
+  }
+
+  // Per-lane touched scratch is sized to the component's own link count.
+  std::vector<std::uint32_t> compLinks(nComp, 0);
+  for (const std::uint32_t c : part.linkComponent) {
+    if (c != SessionPartition::kUnattached) ++compLinks[c];
+  }
+
+  // One merge lane per component; seeding each lane's queue in ascending
+  // session order assigns ascending sequence numbers, so equal-time ties
+  // within a lane break exactly as the serial merge breaks them.
+  struct Lane {
+    EventQueue queue;
+    std::vector<std::uint32_t> touched;
+    std::size_t nextFault = 0;
+  };
+  std::vector<Lane> lanes(nComp);
+  std::vector<EventQueue::Pending> seed;
+  for (std::size_t c = 0; c < nComp; ++c) {
+    const auto sessions = part.sessionsOf(static_cast<std::uint32_t>(c));
+    Lane& lane = lanes[c];
+    lane.queue.reserve(sessions.size() + 1);
+    lane.touched.reserve(compLinks[c]);
+    lane.nextFault = laneFaultBegin[c];
+    seed.clear();
+    for (const std::uint32_t i : sessions) {
+      seed.push_back(EventQueue::Pending{pending[i].time, i});
+    }
+    lane.queue.scheduleAt(seed);
+  }
+
+  // Lane executor: the serial event-driven loop restricted to one
+  // component. After this point no heap allocation occurs — queues hold
+  // at most one event per lane session, and the touched scratch peaks at
+  // the component's link count.
+  const double duration = config.duration;
+  auto worker = [&](std::size_t c) {
+    Lane& lane = lanes[c];
+    const std::size_t faultEnd = laneFaultBegin[c + 1];
+    while (const auto e = lane.queue.peek()) {
+      if (e->time > duration) break;
+      if (lane.nextFault < faultEnd &&
+          faults[laneFaults[lane.nextFault]].time <= e->time) {
+        core.applyFaultEvent(faults[laneFaults[lane.nextFault]]);
+        ++lane.nextFault;
+        continue;
+      }
+      lane.queue.pop();
+      const auto i = static_cast<std::size_t>(e->payload);
+      const Packet pkt = pending[i];
+      pending[i] = core.nextPacket(i);
+      core.processPacketInto(i, pkt, lane.touched);
+      if (pending[i].time < core.stopTime(i)) {
+        lane.queue.schedule(pending[i].time, e->payload);
+      } else {
+        core.onSessionDetached(i);
+      }
+    }
+  };
+  util::ShardFnRef ref(worker);
+  util::ThreadPool pool(threads);
+  pool.forEachShard(nComp, ref);
+
+  ClosedLoopResult result = core.finalize();
+  result.engineComponents = nComp;
+  result.partitionRebuilds = partitioner.rebuilds();
+  return result;
+}
+
 }  // namespace
 
 ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
                                          const ClosedLoopConfig& config) {
+  // The fluid engine takes precedence: its analytic fast-forward needs
+  // the global absorbing gate the partitioned mode freezes, so the two
+  // accelerations do not compose (yet).
+  const std::size_t threads = resolveEngineThreads(config.engineThreads);
+  if (threads > 1 && !config.fluidFastForward) {
+    return runComponentParallel(network, config, threads);
+  }
   return runEventDriven(network, config, config.fluidFastForward);
+}
+
+ClosedLoopResult runClosedLoopSimulationParallel(
+    const net::Network& network, const ClosedLoopConfig& config) {
+  return runComponentParallel(network, config,
+                              resolveEngineThreads(config.engineThreads));
 }
 
 ClosedLoopResult runClosedLoopSimulationFluid(

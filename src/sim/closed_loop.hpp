@@ -23,7 +23,7 @@
 //    sets in the fairness model).
 //  * Joins/leaves take effect instantly (the paper's idealization).
 //
-// Three drivers share the per-packet machinery (token buckets, protocol
+// Four drivers share the per-packet machinery (token buckets, protocol
 // state machines, measurement accumulators, all held in one SoA SimCore)
 // and produce bit-identical trajectories on configurations where their
 // execution orders provably agree:
@@ -52,6 +52,16 @@
 //    Retained as the oracle for the trajectory-parity tests and as the
 //    baseline the merge benchmarks measure against (the same role
 //    fairness::solveMaxMinFairReference plays for the solver).
+//  * runClosedLoopSimulationParallel — the component-parallel transient
+//    engine. Sessions are partitioned into link-set connected components
+//    (sim/partition.hpp); each component gets its own event queue and
+//    executes on the shared util::ThreadPool, touching only its own
+//    disjoint slice of the SimCore arrays. Because all coupling between
+//    sessions flows through shared links, and per-receiver/per-link RNG
+//    streams make every draw depend only on within-component order, the
+//    merged result is bit-identical to the serial event engine at every
+//    thread count (the parity fuzz suite pins this across topologies,
+//    mixes, loss models, and fault schedules).
 #pragma once
 
 #include <functional>
@@ -124,6 +134,19 @@ struct ClosedLoopConfig {
   /// intervals analytically (see runClosedLoopSimulationFluid). Off by
   /// default so existing experiments keep their exact execution path.
   bool fluidFastForward = false;
+  /// Thread count for the component-parallel transient engine: sessions
+  /// are partitioned into link-set connected components and executed
+  /// concurrently with per-component event queues, bit-identical to the
+  /// serial event engine at every value (see
+  /// runClosedLoopSimulationParallel). 0/1 = serial; -1 (default) = the
+  /// MCFAIR_SIM_THREADS environment variable (unset/invalid = serial).
+  /// When fluidFastForward is also set, the fluid engine takes
+  /// precedence in runClosedLoopSimulation (the two modes cover
+  /// complementary regimes: fluid closes out steady populations in
+  /// closed form, the parallel engine shards the congested/transient
+  /// per-packet phases); call runClosedLoopSimulationParallel directly
+  /// to force the partitioned engine.
+  int engineThreads = -1;
   /// Optional exogenous per-link loss, layered on top of the endogenous
   /// token-bucket drops — the plumbing for sim/loss models (the paper's
   /// Section 4 Bernoulli process, or GilbertElliottLoss for bursty
@@ -195,14 +218,42 @@ struct ClosedLoopResult {
   double fluidTime = 0.0;
   std::uint64_t fluidPackets = 0;
   std::vector<FluidInterval> fluidIntervals;
+  /// Component-parallel engine diagnostics (0 for the other drivers):
+  /// the number of link-set connected components the sessions split
+  /// into, and how many times the session partition was (re)built —
+  /// exactly 1 per run, because packet steps, churn, and fault events
+  /// never change which sessions share links (the zero-alloc suite pins
+  /// this through a 64-flap fault schedule).
+  std::size_t engineComponents = 0;
+  std::uint64_t partitionRebuilds = 0;
 };
 
 /// Runs the closed-loop experiment with the event-driven session engine
 /// (O(log sessions) packet merge). Link capacities of `network` are
 /// interpreted in packets per time unit. Throws PreconditionError on
-/// inconsistent configuration.
+/// inconsistent configuration. When ClosedLoopConfig::engineThreads
+/// resolves to more than one thread (and fluidFastForward is off), this
+/// dispatches to runClosedLoopSimulationParallel — bit-identical, just
+/// faster on multi-component workloads.
 ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
                                          const ClosedLoopConfig& config);
+
+/// The component-parallel transient engine: sessions are partitioned
+/// into link-set connected components (union-find over each session's
+/// routed link union, cached on the network's structure identity), each
+/// component runs the event-driven per-packet loop on its own event
+/// queue over its own disjoint slice of the shared SoA state, and
+/// components execute concurrently on a util::ThreadPool sized by
+/// ClosedLoopConfig::engineThreads. Per-component queues preserve the
+/// serial pop order within every component (seeds enter in ascending
+/// session order, reschedules follow pops), faults apply per component
+/// strictly before any packet at or after their time, and all RNG
+/// streams are per-receiver or per-link — so trajectories, bins, and
+/// fair epochs are bit-identical to runClosedLoopSimulation at every
+/// thread count. Always takes the partitioned path (even at one
+/// thread); the fluid fast-forward mode is never armed here.
+ClosedLoopResult runClosedLoopSimulationParallel(
+    const net::Network& network, const ClosedLoopConfig& config);
 
 /// The event-driven engine with the fluid fast-forward mode always armed:
 /// per-packet execution until every live receiver is absorbing and every

@@ -43,4 +43,12 @@ double GilbertElliottLoss::averageLossRate() const noexcept {
   return fracBad * pBad_ + (1.0 - fracBad) * pGood_;
 }
 
+std::vector<util::Rng> splitLossStreams(util::Rng& root,
+                                        std::size_t linkCount) {
+  std::vector<util::Rng> streams;
+  streams.reserve(linkCount);
+  for (std::size_t j = 0; j < linkCount; ++j) streams.push_back(root.split());
+  return streams;
+}
+
 }  // namespace mcfair::sim

@@ -7,6 +7,9 @@
 // paper cites, for sensitivity studies beyond the paper.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "util/rng.hpp"
 
 namespace mcfair::sim {
@@ -56,5 +59,17 @@ class GilbertElliottLoss final : public LossModel {
   double pBad_;
   bool bad_ = false;
 };
+
+/// Splits one independent RNG stream per link off `root`: one split() per
+/// link, in ascending link-id order. This is the loss-stream layout the
+/// closed-loop engines pin: because every link owns its stream, the draw a
+/// link makes for its n-th admitted packet depends only on that link's own
+/// admission history — never on how packets on OTHER links interleave with
+/// it. That is what lets the component-parallel engine run link-disjoint
+/// session components concurrently yet reproduce serial runs bit-exactly,
+/// and it keeps the streams themselves pinned for serial replay (the
+/// regression test in tests/test_loss.cpp hardcodes their head values).
+std::vector<util::Rng> splitLossStreams(util::Rng& root,
+                                        std::size_t linkCount);
 
 }  // namespace mcfair::sim

@@ -1,0 +1,113 @@
+#include "sim/partition.hpp"
+
+#include <numeric>
+
+namespace mcfair::sim {
+
+const SessionPartition& SessionPartitioner::ensure(
+    const net::Network& network) {
+  const std::uint64_t structure = network.structureIdentity();
+  if (bound_ && boundStructure_ == structure) return partition_;
+  build(network);
+  bound_ = true;
+  boundStructure_ = structure;
+  ++rebuilds_;
+  return partition_;
+}
+
+std::uint32_t SessionPartitioner::findRoot(std::uint32_t link) noexcept {
+  // Iterative path halving.
+  while (parent_[link] != link) {
+    parent_[link] = parent_[parent_[link]];
+    link = parent_[link];
+  }
+  return link;
+}
+
+void SessionPartitioner::build(const net::Network& network) {
+  const std::size_t nLinks = network.linkCount();
+  const std::size_t nSessions = network.sessionCount();
+
+  parent_.resize(nLinks);
+  std::iota(parent_.begin(), parent_.end(), 0u);
+  size_.assign(nLinks, 1);
+
+  // Union every session's link set: the first link of the first receiver
+  // anchors, every other link of every receiver unions into it.
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    const net::Session& sess = network.session(i);
+    std::uint32_t anchor = SessionPartition::kUnattached;
+    for (const net::Receiver& r : sess.receivers) {
+      for (const graph::LinkId l : r.dataPath) {
+        if (anchor == SessionPartition::kUnattached) {
+          anchor = findRoot(l.value);
+          continue;
+        }
+        const std::uint32_t a = findRoot(anchor);
+        const std::uint32_t b = findRoot(l.value);
+        if (a == b) {
+          anchor = a;
+          continue;
+        }
+        // Union by size.
+        const std::uint32_t big = size_[a] >= size_[b] ? a : b;
+        const std::uint32_t small = big == a ? b : a;
+        parent_[small] = big;
+        size_[big] += size_[small];
+        anchor = big;
+      }
+    }
+  }
+
+  // Dense component ids in order of smallest session index: scanning
+  // sessions ascending and labeling each unlabeled root makes the
+  // numbering deterministic and independent of union order.
+  partition_.componentOf.resize(nSessions);
+  rootComponent_.assign(nLinks, SessionPartition::kUnattached);
+  std::uint32_t count = 0;
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    const net::Session& sess = network.session(i);
+    std::uint32_t comp = SessionPartition::kUnattached;
+    for (const net::Receiver& r : sess.receivers) {
+      if (r.dataPath.empty()) continue;
+      const std::uint32_t root = findRoot(r.dataPath.front().value);
+      if (rootComponent_[root] == SessionPartition::kUnattached) {
+        rootComponent_[root] = count++;
+      }
+      comp = rootComponent_[root];
+      break;
+    }
+    // A session with no links (degenerate) still gets its own component
+    // so every session has exactly one executor.
+    if (comp == SessionPartition::kUnattached) comp = count++;
+    partition_.componentOf[i] = comp;
+  }
+  partition_.componentCount = count;
+
+  // Links inherit their root's label; orphan links (no session crosses
+  // them) stay kUnattached — no packet is ever offered to them, so they
+  // belong to no execution lane.
+  partition_.linkComponent.resize(nLinks);
+  for (std::uint32_t j = 0; j < nLinks; ++j) {
+    partition_.linkComponent[j] = rootComponent_[findRoot(j)];
+  }
+
+  // CSR component -> sessions via counting sort; scanning sessions in
+  // ascending order keeps each component's list ascending.
+  partition_.sessionsBegin.assign(count + 1, 0);
+  for (const std::uint32_t c : partition_.componentOf) {
+    ++partition_.sessionsBegin[c + 1];
+  }
+  for (std::uint32_t c = 0; c < count; ++c) {
+    partition_.sessionsBegin[c + 1] += partition_.sessionsBegin[c];
+  }
+  partition_.sessions.resize(nSessions);
+  size_.assign(count, 0);  // reuse as per-component fill cursor
+  for (std::size_t i = 0; i < nSessions; ++i) {
+    const std::uint32_t c = partition_.componentOf[i];
+    partition_.sessions[partition_.sessionsBegin[c] + size_[c]++] =
+        static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace mcfair::sim

@@ -55,6 +55,11 @@ Scenario buildScenario(const ScenarioSpec& spec) {
                  "scenario needs >= 1 receiver per session");
   MCFAIR_REQUIRE(spec.backbonePerSession > 0.0,
                  "backbonePerSession must be positive");
+  MCFAIR_REQUIRE(spec.bottleneckGroups >= 1,
+                 "bottleneckGroups must be >= 1");
+  MCFAIR_REQUIRE(spec.topology == ScenarioSpec::Topology::kSharedLink ||
+                     spec.bottleneckGroups == 1,
+                 "bottleneckGroups > 1 is a kSharedLink knob");
   MCFAIR_REQUIRE(spec.topology == ScenarioSpec::Topology::kSharedLink ||
                      spec.backboneNodes >= 2,
                  "graph backbones need >= 2 nodes");
@@ -131,7 +136,9 @@ Scenario buildScenario(const ScenarioSpec& spec) {
   MCFAIR_REQUIRE(spec.faults.kind != FaultAxis::Kind::kPartition || mesh,
                  "kPartition targets a mesh hub; use kFlap on tree or "
                  "shared-link topologies");
-  graph::LinkId backbone{0};
+  // kSharedLink: the disjoint backbone links sessions round-robin
+  // across (groupLinks[i % groups]; one entry when bottleneckGroups=1).
+  std::vector<graph::LinkId> groupLinks;
   // Sessions crossing each backbone link — the load the targeted fault
   // kinds pick their victims from (tails are never load-targeted).
   std::vector<std::size_t> backboneLoad;
@@ -217,9 +224,21 @@ Scenario buildScenario(const ScenarioSpec& spec) {
     backboneLoad = crossing;
     s.backbone = std::move(g);
   } else if (!scaleFree) {
-    backbone = s.network.addLink(static_cast<double>(spec.sessions) *
-                                 spec.backbonePerSession);
-    backboneLoad.assign(1, spec.sessions);
+    // Disjoint shared bottlenecks: session i crosses group i % groups,
+    // each link provisioned for exactly its crossing count. groups = 1
+    // is the classic single shared link (and draws nothing from any RNG
+    // stream, so existing seeds replay bit-identically).
+    const std::size_t groups =
+        std::min(spec.bottleneckGroups, spec.sessions);
+    groupLinks.reserve(groups);
+    backboneLoad.assign(groups, 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t load =
+          spec.sessions / groups + (g < spec.sessions % groups ? 1 : 0);
+      groupLinks.push_back(s.network.addLink(
+          static_cast<double>(load) * spec.backbonePerSession));
+      backboneLoad[g] = load;
+    }
   } else {
     const std::size_t nodes = spec.backboneNodes;
     parent.assign(nodes, 0);
@@ -268,6 +287,7 @@ Scenario buildScenario(const ScenarioSpec& spec) {
   s.config.rateBinWidth = spec.rateBinWidth;
   s.config.computeFairEpochs = spec.computeFairEpochs;
   s.config.solverThreads = spec.solverThreads;
+  s.config.engineThreads = spec.engineThreads;
   s.config.fluidFastForward = spec.fluidFastForward;
   s.config.seed = spec.seed;
   s.config.sessions.reserve(spec.sessions);
@@ -287,7 +307,7 @@ Scenario buildScenario(const ScenarioSpec& spec) {
           path.push_back(edgeLink[v]);
         }
       } else {
-        path.push_back(backbone);
+        path.push_back(groupLinks[i % groupLinks.size()]);
       }
       if (spec.tailCapacityMax > 0.0) {
         path.push_back(s.network.addLink(topologyRng.uniform(
@@ -509,6 +529,25 @@ const std::vector<ScenarioSpec>& scenarioCatalog() {
       s.duration = 10.0;
       s.warmup = 2.0;
       s.mix = {SessionMix{{ProtocolKind::kDeterministic, 1, 1},
+                          net::SessionType::kMultiRate, 1.0}};
+      v.push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
+      s.name = "sharded-bottlenecks";
+      s.description =
+          "512 congested 3-layer Coordinated sessions round-robined "
+          "across 64 disjoint shared bottlenecks (bottleneckGroups), "
+          "each provisioned at 1.0 per session against an aggregate "
+          "demand of 4 — 64 independent link-set components, the "
+          "component-parallel transient engine's reference workload "
+          "(override `sessions`/`engineThreads` to sweep)";
+      s.sessions = 512;
+      s.bottleneckGroups = 64;
+      s.backbonePerSession = 1.0;
+      s.duration = 10.0;
+      s.warmup = 2.0;
+      s.mix = {SessionMix{{ProtocolKind::kCoordinated, 3, 1},
                           net::SessionType::kMultiRate, 1.0}};
       v.push_back(std::move(s));
     }

@@ -175,6 +175,14 @@ struct ScenarioSpec {
   /// backbonePerSession * sessions whose routed paths cross the edge
   /// (load-proportional provisioning).
   double backbonePerSession = 2.0;
+  /// kSharedLink only: number of DISJOINT backbone links the sessions
+  /// round-robin across (session i crosses link i % bottleneckGroups),
+  /// each provisioned for its own crossing count. 1 (the default) is the
+  /// classic single shared bottleneck; > 1 yields that many independent
+  /// link-set components — the workload the component-parallel engine
+  /// (ClosedLoopConfig::engineThreads) spreads across threads. Adds no
+  /// RNG draws, so group 1 replays existing seeds bit-identically.
+  std::size_t bottleneckGroups = 1;
   /// When tailCapacityMax > 0, every receiver gets a private tail link
   /// with capacity uniform in [tailCapacityMin, tailCapacityMax] — the
   /// heterogeneous-receiver setting where multi-rate delivery pays off.
@@ -205,6 +213,9 @@ struct ScenarioSpec {
   /// Forwarded into ClosedLoopConfig (see closed_loop.hpp).
   bool computeFairEpochs = false;
   int solverThreads = -1;
+  /// Forwarded into ClosedLoopConfig::engineThreads: thread count for
+  /// the component-parallel transient engine (-1 = MCFAIR_SIM_THREADS).
+  int engineThreads = -1;
   double rateBinWidth = 0.0;
   /// Forwarded into ClosedLoopConfig::fluidFastForward: lets a preset
   /// opt into the fluid fast-forward engine (analytic steady-interval

@@ -1,0 +1,251 @@
+// Trajectory-parity tests for the component-parallel closed-loop engine:
+// runClosedLoopSimulationParallel must reproduce the serial engines
+// EXACTLY (EXPECT_EQ, not EXPECT_NEAR) at every thread count — the
+// per-component lanes replay the serial pop order restricted to each
+// link-set component, so any divergence is a partitioning or data-race
+// bug, not noise. Also covers the engineThreads / MCFAIR_SIM_THREADS
+// dispatch and the engineComponents / partitionRebuilds telemetry.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "net/session.hpp"
+#include "sim/closed_loop.hpp"
+#include "sim/loss.hpp"
+#include "sim/scenario.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+void expectIdentical(const ClosedLoopResult& a, const ClosedLoopResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.measuredRate, b.measuredRate) << label;
+  EXPECT_EQ(a.linkThroughput, b.linkThroughput) << label;
+  EXPECT_EQ(a.linkDropRate, b.linkDropRate) << label;
+  EXPECT_EQ(a.sessionLinkRate, b.sessionLinkRate) << label;
+  EXPECT_EQ(a.meanLevel, b.meanLevel) << label;
+  EXPECT_EQ(a.binRates, b.binRates) << label;
+  ASSERT_EQ(a.fairEpochs.size(), b.fairEpochs.size()) << label;
+  for (std::size_t e = 0; e < a.fairEpochs.size(); ++e) {
+    EXPECT_EQ(a.fairEpochs[e].begin, b.fairEpochs[e].begin) << label;
+    EXPECT_EQ(a.fairEpochs[e].end, b.fairEpochs[e].end) << label;
+    EXPECT_EQ(a.fairEpochs[e].sessions, b.fairEpochs[e].sessions) << label;
+    EXPECT_EQ(a.fairEpochs[e].fairRate, b.fairEpochs[e].fairRate) << label;
+  }
+}
+
+// Serial-engine oracle plus the parallel engine at 1/2/4/8 threads —
+// the ISSUE's acceptance grid. Returns the parallel result for extra
+// assertions.
+ClosedLoopResult expectParallelParity(const net::Network& n,
+                                      const ClosedLoopConfig& c,
+                                      const std::string& label) {
+  const auto reference = runClosedLoopSimulationReference(n, c);
+  expectIdentical(runClosedLoopSimulation(n, c), reference,
+                  label + " [event]");
+  ClosedLoopResult last;
+  for (const int threads : {1, 2, 4, 8}) {
+    ClosedLoopConfig pc = c;
+    pc.engineThreads = threads;
+    last = runClosedLoopSimulationParallel(n, pc);
+    expectIdentical(last, reference,
+                    label + " [parallel T=" + std::to_string(threads) + "]");
+    EXPECT_EQ(last.partitionRebuilds, 1u) << label;
+    EXPECT_GE(last.engineComponents, 1u) << label;
+  }
+  return last;
+}
+
+// Three independent bottlenecks with mixed protocols per component: the
+// canonical multi-component workload. Session layout (9 sessions):
+// component k owns links {3k, 3k+1, 3k+2} with a shared bottleneck plus
+// two tails, carrying one multicast and two unicast sessions.
+net::Network threeComponentNetwork() {
+  net::Network n;
+  for (int comp = 0; comp < 3; ++comp) {
+    const auto shared = n.addLink(6.0 + comp);
+    const auto tailA = n.addLink(4.0);
+    const auto tailB = n.addLink(5.0);
+    net::Session multicast;
+    multicast.receivers.push_back(net::makeReceiver({shared, tailA}));
+    multicast.receivers.push_back(net::makeReceiver({shared, tailB}));
+    n.addSession(std::move(multicast));
+    n.addSession(net::makeUnicastSession({shared, tailA}));
+    n.addSession(net::makeUnicastSession({tailB}));
+  }
+  return n;
+}
+
+ClosedLoopConfig threeComponentConfig() {
+  ClosedLoopConfig c;
+  constexpr ProtocolKind kKinds[] = {ProtocolKind::kCoordinated,
+                                     ProtocolKind::kUncoordinated,
+                                     ProtocolKind::kDeterministic};
+  for (std::size_t i = 0; i < 9; ++i) {
+    ClosedLoopSessionConfig sc;
+    sc.protocol = kKinds[i % 3];
+    sc.layers = 3 + i % 3;
+    c.sessions.push_back(sc);
+  }
+  c.duration = 300.0;
+  c.warmup = 50.0;
+  c.rateBinWidth = 60.0;
+  c.computeFairEpochs = true;
+  c.seed = 41;
+  return c;
+}
+
+TEST(ClosedLoopParallel, ThreeComponentsStayIdenticalAcrossThreadCounts) {
+  const net::Network n = threeComponentNetwork();
+  const ClosedLoopConfig c = threeComponentConfig();
+  const auto result = expectParallelParity(n, c, "3-component");
+  EXPECT_EQ(result.engineComponents, 3u);
+}
+
+TEST(ClosedLoopParallel, ChurnAndFaultsAcrossComponents) {
+  // Start/stop churn in every component plus a down -> repair pair on
+  // component 1's bottleneck and a degrade on component 2's tail: lane
+  // sub-schedules must keep fault-before-packet ordering per component.
+  const net::Network n = threeComponentNetwork();
+  ClosedLoopConfig c = threeComponentConfig();
+  c.sessions[1].startTime = 40.0;
+  c.sessions[1].stopTime = 200.0;
+  c.sessions[4].startTime = 10.0;
+  c.sessions[4].stopTime = 120.0;
+  c.sessions[8].stopTime = 250.0;
+  c.faults.events = {
+      {80.0, net::FaultKind::kLinkDown, graph::LinkId{3}},
+      {90.0, net::FaultKind::kDegrade, graph::LinkId{7}, 0.5},
+      {160.0, net::FaultKind::kLinkUp, graph::LinkId{3}},
+  };
+  expectParallelParity(n, c, "churn+faults");
+}
+
+TEST(ClosedLoopParallel, ExogenousLossStaysPinnedAcrossThreadCounts) {
+  // Per-link loss streams (splitLossStreams) make each link's draws a
+  // function of its own admitted-packet sequence only, so loss parity
+  // across thread counts is exactly what pins them.
+  const net::Network n = threeComponentNetwork();
+  ClosedLoopConfig c = threeComponentConfig();
+  c.computeFairEpochs = false;
+  c.linkLoss = [](graph::LinkId l) -> std::unique_ptr<LossModel> {
+    if (l.value % 3 == 1) {
+      return std::make_unique<GilbertElliottLoss>(0.05, 0.4, 0.01, 0.3);
+    }
+    return std::make_unique<BernoulliLoss>(0.04);
+  };
+  expectParallelParity(n, c, "exogenous loss");
+}
+
+TEST(ClosedLoopParallel, SingleComponentMeshDegradesGracefully) {
+  // A fully-shared bottleneck collapses to one component: the parallel
+  // engine must still match (one lane = the serial merge).
+  net::Network n;
+  const auto shared = n.addLink(9.0);
+  const auto a = n.addLink(6.0);
+  const auto b = n.addLink(6.0);
+  n.addSession(net::makeUnicastSession({shared, a}));
+  n.addSession(net::makeUnicastSession({shared, b}));
+  n.addSession(net::makeUnicastSession({shared}));
+
+  ClosedLoopConfig c;
+  c.sessions.assign(
+      3, ClosedLoopSessionConfig{ProtocolKind::kCoordinated, 4, 1});
+  c.duration = 300.0;
+  c.warmup = 50.0;
+  c.seed = 13;
+  const auto result = expectParallelParity(n, c, "single component");
+  EXPECT_EQ(result.engineComponents, 1u);
+}
+
+TEST(ClosedLoopParallel, RunIsRepeatable) {
+  // Same config, same threads, run twice: bit-identical (no dependence
+  // on scheduling noise).
+  const net::Network n = threeComponentNetwork();
+  ClosedLoopConfig c = threeComponentConfig();
+  c.engineThreads = 4;
+  expectIdentical(runClosedLoopSimulationParallel(n, c),
+                  runClosedLoopSimulationParallel(n, c), "repeat T=4");
+}
+
+TEST(ClosedLoopParallel, DispatchRoutesThroughEngineThreads) {
+  const net::Network n = threeComponentNetwork();
+  ClosedLoopConfig c = threeComponentConfig();
+
+  // engineThreads > 1 routes runClosedLoopSimulation to the partitioned
+  // engine (telemetry becomes visible)...
+  c.engineThreads = 2;
+  const auto routed = runClosedLoopSimulation(n, c);
+  EXPECT_EQ(routed.engineComponents, 3u);
+  EXPECT_EQ(routed.partitionRebuilds, 1u);
+
+  // ... 0/1 stay serial ...
+  c.engineThreads = 1;
+  EXPECT_EQ(runClosedLoopSimulation(n, c).engineComponents, 0u);
+  c.engineThreads = 0;
+  EXPECT_EQ(runClosedLoopSimulation(n, c).engineComponents, 0u);
+
+  // ... and the fluid engine takes precedence over the parallel one.
+  c.engineThreads = 4;
+  c.fluidFastForward = true;
+  EXPECT_EQ(runClosedLoopSimulation(n, c).engineComponents, 0u);
+  c.fluidFastForward = false;
+
+  // Either route produces the same trajectories.
+  c.engineThreads = 2;
+  const auto viaDispatch = runClosedLoopSimulation(n, c);
+  c.engineThreads = 1;
+  expectIdentical(viaDispatch, runClosedLoopSimulation(n, c), "dispatch");
+}
+
+TEST(ClosedLoopParallel, EnvironmentVariableDrivesDefault) {
+  const net::Network n = threeComponentNetwork();
+  ClosedLoopConfig c = threeComponentConfig();
+  ASSERT_EQ(c.engineThreads, -1) << "default must defer to the env var";
+
+  ::setenv("MCFAIR_SIM_THREADS", "4", 1);
+  const auto viaEnv = runClosedLoopSimulation(n, c);
+  EXPECT_EQ(viaEnv.engineComponents, 3u);
+
+  ::setenv("MCFAIR_SIM_THREADS", "1", 1);
+  EXPECT_EQ(runClosedLoopSimulation(n, c).engineComponents, 0u);
+
+  ::unsetenv("MCFAIR_SIM_THREADS");
+  EXPECT_EQ(runClosedLoopSimulation(n, c).engineComponents, 0u);
+
+  // An explicit engineThreads wins over the env var.
+  ::setenv("MCFAIR_SIM_THREADS", "8", 1);
+  c.engineThreads = 1;
+  EXPECT_EQ(runClosedLoopSimulation(n, c).engineComponents, 0u);
+  ::unsetenv("MCFAIR_SIM_THREADS");
+}
+
+TEST(ClosedLoopParallel, ScenarioEngineForwardsEngineThreads) {
+  // The sharded-bottlenecks catalog preset fans sessions across disjoint
+  // backbone links, giving the parallel engine real components.
+  const ScenarioSpec* base = findScenario("sharded-bottlenecks");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.sessions = 64;
+  spec.bottleneckGroups = 16;
+  spec.duration = 6.0;
+  spec.warmup = 1.0;
+  spec.engineThreads = 4;
+  const Scenario s = buildScenario(spec);
+  EXPECT_EQ(s.config.engineThreads, 4);
+
+  const auto parallel = runScenario(s);
+  EXPECT_EQ(parallel.engineComponents, 16u);
+  ClosedLoopConfig serial = s.config;
+  serial.engineThreads = 1;
+  expectIdentical(parallel, runClosedLoopSimulation(s.network, serial),
+                  "sharded-bottlenecks");
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,0 +1,172 @@
+// SessionPartitioner unit tests: link-set connected components must be
+// correct (sessions sharing any link share a component, transitively),
+// deterministically numbered (by smallest session index), CSR-ordered,
+// and cached on the network's structure identity — capacity edits and
+// fault-style reconfigurations must never trigger a rebuild, structural
+// mutation must.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/session.hpp"
+#include "sim/partition.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+std::vector<std::uint32_t> toVector(std::span<const std::uint32_t> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Partition, DisjointSessionsGetDistinctComponents) {
+  net::Network n;
+  const auto a = n.addLink(10.0);
+  const auto b = n.addLink(10.0);
+  const auto c = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({a}));
+  n.addSession(net::makeUnicastSession({b}));
+  n.addSession(net::makeUnicastSession({c}));
+
+  SessionPartitioner p;
+  const SessionPartition& part = p.ensure(n);
+  EXPECT_EQ(part.componentCount, 3u);
+  // Numbered by smallest session index: session i -> component i here.
+  EXPECT_EQ(part.componentOf, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(part.linkComponent, (std::vector<std::uint32_t>{0, 1, 2}));
+  for (std::uint32_t comp = 0; comp < 3; ++comp) {
+    EXPECT_EQ(toVector(part.sessionsOf(comp)),
+              (std::vector<std::uint32_t>{comp}));
+  }
+}
+
+TEST(Partition, SharedLinksMergeTransitively) {
+  // Session 0 crosses {a, b}, session 1 crosses {b, c}, session 2
+  // crosses {c}: all three collapse into one component even though
+  // sessions 0 and 2 share no link directly. Session 3 on {d} stays
+  // separate.
+  net::Network n;
+  const auto a = n.addLink(10.0);
+  const auto b = n.addLink(10.0);
+  const auto c = n.addLink(10.0);
+  const auto d = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({a, b}));
+  n.addSession(net::makeUnicastSession({b, c}));
+  n.addSession(net::makeUnicastSession({c}));
+  n.addSession(net::makeUnicastSession({d}));
+
+  SessionPartitioner p;
+  const SessionPartition& part = p.ensure(n);
+  EXPECT_EQ(part.componentCount, 2u);
+  EXPECT_EQ(part.componentOf, (std::vector<std::uint32_t>{0, 0, 0, 1}));
+  EXPECT_EQ(part.linkComponent, (std::vector<std::uint32_t>{0, 0, 0, 1}));
+  EXPECT_EQ(toVector(part.sessionsOf(0)),
+            (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(toVector(part.sessionsOf(1)), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(Partition, MultiReceiverSessionsUnionAllReceiverPaths) {
+  // A multicast session whose receivers take different paths unions the
+  // whole path union: receivers on {a} and {b} tie links a and b
+  // together, so a second session on {b} joins the first's component.
+  net::Network n;
+  const auto a = n.addLink(10.0);
+  const auto b = n.addLink(10.0);
+  net::Session multicast;
+  multicast.receivers.push_back(net::makeReceiver({a}));
+  multicast.receivers.push_back(net::makeReceiver({b}));
+  n.addSession(std::move(multicast));
+  n.addSession(net::makeUnicastSession({b}));
+
+  SessionPartitioner p;
+  const SessionPartition& part = p.ensure(n);
+  EXPECT_EQ(part.componentCount, 1u);
+  EXPECT_EQ(part.componentOf, (std::vector<std::uint32_t>{0, 0}));
+}
+
+TEST(Partition, OrphanLinksStayUnattached) {
+  net::Network n;
+  const auto used = n.addLink(10.0);
+  n.addLink(10.0);  // no session ever crosses it
+  n.addSession(net::makeUnicastSession({used}));
+
+  SessionPartitioner p;
+  const SessionPartition& part = p.ensure(n);
+  EXPECT_EQ(part.componentCount, 1u);
+  ASSERT_EQ(part.linkComponent.size(), 2u);
+  EXPECT_EQ(part.linkComponent[0], 0u);
+  EXPECT_EQ(part.linkComponent[1], SessionPartition::kUnattached);
+}
+
+TEST(Partition, ComponentIdsFollowSmallestSessionIndex) {
+  // Links are created in an order unrelated to session order; component
+  // numbering must still follow the smallest session index, not link ids
+  // or union order.
+  net::Network n;
+  const auto x = n.addLink(10.0);
+  const auto y = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({y}));  // session 0 -> component 0
+  n.addSession(net::makeUnicastSession({x}));  // session 1 -> component 1
+
+  SessionPartitioner p;
+  const SessionPartition& part = p.ensure(n);
+  EXPECT_EQ(part.componentOf, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(part.linkComponent, (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(Partition, CachesOnStructureIdentity) {
+  net::Network n;
+  const auto a = n.addLink(10.0);
+  const auto b = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({a}));
+  n.addSession(net::makeUnicastSession({b}));
+
+  SessionPartitioner p;
+  EXPECT_EQ(p.rebuilds(), 0u);
+  p.ensure(n);
+  EXPECT_EQ(p.rebuilds(), 1u);
+  p.ensure(n);
+  EXPECT_EQ(p.rebuilds(), 1u) << "identical structure must hit the cache";
+
+  // Capacity edits (what fault reconfiguration does) preserve the
+  // structure identity: still no rebuild.
+  n.setCapacity(a, 0.0);
+  n.setCapacity(a, 10.0);
+  p.ensure(n);
+  EXPECT_EQ(p.rebuilds(), 1u);
+
+  // Structural mutation invalidates the cache.
+  const auto c = n.addLink(10.0);
+  n.addSession(net::makeUnicastSession({b, c}));
+  const SessionPartition& part = p.ensure(n);
+  EXPECT_EQ(p.rebuilds(), 2u);
+  EXPECT_EQ(part.componentCount, 2u);
+  EXPECT_EQ(part.componentOf, (std::vector<std::uint32_t>{0, 1, 1}));
+}
+
+TEST(Partition, RebuildAfterMutationIsConsistent) {
+  // Growing the network reuses the partitioner's scratch; the rebuilt
+  // partition must match a fresh partitioner's bit for bit.
+  net::Network n;
+  std::vector<graph::LinkId> links;
+  for (int j = 0; j < 8; ++j) links.push_back(n.addLink(4.0));
+  for (int i = 0; i < 8; ++i) {
+    n.addSession(net::makeUnicastSession({links[i % 4], links[4 + i % 4]}));
+  }
+  SessionPartitioner warm;
+  warm.ensure(n);
+  n.addSession(net::makeUnicastSession({links[0], links[1]}));
+  const SessionPartition& reused = warm.ensure(n);
+
+  SessionPartitioner fresh;
+  const SessionPartition& scratch = fresh.ensure(n);
+  EXPECT_EQ(reused.componentCount, scratch.componentCount);
+  EXPECT_EQ(reused.componentOf, scratch.componentOf);
+  EXPECT_EQ(reused.linkComponent, scratch.linkComponent);
+  EXPECT_EQ(reused.sessionsBegin, scratch.sessionsBegin);
+  EXPECT_EQ(reused.sessions, scratch.sessions);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -94,6 +95,60 @@ TEST(ThreadPool, ConcurrentShardsSeeDistinctIndices) {
   auto fn = [&](std::size_t s) { slot[s] = s + 1; };
   pool.forEachShard(kShards, fn);
   for (std::size_t s = 0; s < kShards; ++s) EXPECT_EQ(slot[s], s + 1);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerOnDistinctPools) {
+  // Submissions from INSIDE a worker are legal as long as they target a
+  // DIFFERENT pool (one job slot per pool: nesting on the same pool
+  // would deadlock). This is the shape a parallel driver takes when a
+  // shard fans out again — hammer it for many rounds so TSan sees the
+  // outer wakeup path race against inner submissions.
+  ThreadPool outer(4);
+  std::vector<std::unique_ptr<ThreadPool>> inner;
+  for (int s = 0; s < 4; ++s) inner.push_back(std::make_unique<ThreadPool>(2));
+
+  constexpr std::size_t kRounds = 200;
+  constexpr std::size_t kInnerShards = 16;
+  std::atomic<std::size_t> total{0};
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    auto outerFn = [&](std::size_t s) {
+      auto innerFn = [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      };
+      inner[s]->forEachShard(kInnerShards, innerFn);
+    };
+    outer.forEachShard(inner.size(), outerFn);
+  }
+  EXPECT_EQ(total.load(), kRounds * inner.size() * kInnerShards);
+}
+
+TEST(ThreadPool, NestedSubmitPropagatesInnerExceptions) {
+  // An exception thrown by an inner pool's shard must surface through
+  // the outer shard, and both pools must stay reusable afterwards.
+  ThreadPool outer(3);
+  std::vector<std::unique_ptr<ThreadPool>> inner;
+  for (int s = 0; s < 3; ++s) inner.push_back(std::make_unique<ThreadPool>(2));
+
+  for (int round = 0; round < 25; ++round) {
+    auto outerThrowing = [&](std::size_t s) {
+      auto innerFn = [&](std::size_t is) {
+        if (s == 1 && is == 3) throw std::runtime_error("inner boom");
+      };
+      inner[s]->forEachShard(8, innerFn);
+    };
+    EXPECT_THROW(outer.forEachShard(inner.size(), outerThrowing),
+                 std::runtime_error);
+
+    std::atomic<std::size_t> count{0};
+    auto outerCounting = [&](std::size_t s) {
+      auto innerFn = [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      };
+      inner[s]->forEachShard(8, innerFn);
+    };
+    outer.forEachShard(inner.size(), outerCounting);
+    EXPECT_EQ(count.load(), inner.size() * 8u);
+  }
 }
 
 }  // namespace
