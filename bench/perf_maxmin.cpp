@@ -8,10 +8,14 @@
 // scripts/bench_baseline.sh for the JSON baseline capture.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <limits>
+
 #include "fairness/maxmin.hpp"
 #include "fairness/properties.hpp"
 #include "fairness/sampled.hpp"
 #include "net/topologies.hpp"
+#include "serve/service.hpp"
 #include "sim/closed_loop.hpp"
 #include "sim/sweep.hpp"
 
@@ -366,5 +370,82 @@ void BM_SweepFleet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepFleet)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Serving-layer benchmarks (serve::FairshareService). ---
+
+serve::ServiceOptions serviceBenchOptions() {
+  serve::ServiceOptions options;
+  // Pinned cost estimate + non-latching hysteresis: the budget alone
+  // decides the mode, so the exact and degraded rows measure exactly
+  // the path their name claims.
+  options.exactCostOverride = 1.0;
+  options.degradeAfter = std::numeric_limits<std::size_t>::max();
+  options.sampled.sampleFraction = 0.25;
+  return options;
+}
+
+// One capacity delta + one budgeted query per iteration: the service's
+// warm refresh-tier round trip (O(links) rebind, allocation-free).
+// degraded:0 queries unbudgeted (always exact), degraded:1 queries with
+// a blown budget (SampledSolver estimate). Each row also publishes the
+// service's own streaming tail histogram — p50/p99/p999 per-query
+// latency in microseconds — as benchmark counters.
+void BM_ServiceQuery(benchmark::State& state) {
+  const bool degradedPath = state.range(1) != 0;
+  serve::FairshareService service(
+      net::singleBottleneckNetwork(
+          static_cast<std::size_t>(state.range(0)),
+          static_cast<std::size_t>(state.range(0) / 10), 1000.0, 2.0),
+      serviceBenchOptions());
+  const double budget = degradedPath ? 1e-9 : 0.0;
+  (void)service.query(budget);  // warm both workspaces
+  bool flip = false;
+  for (auto _ : state) {
+    service.applyDelta(
+        serve::setCapacityDelta(graph::LinkId{0}, flip ? 900.0 : 1000.0));
+    flip = !flip;
+    const serve::QueryResult q = service.query(budget);
+    benchmark::DoNotOptimize(q.rates);
+  }
+  const serve::ServiceMetrics m = service.metrics();
+  const serve::LatencyHistogram& h =
+      degradedPath ? m.degradedQuery : m.exactQuery;
+  state.counters["p50_us"] = h.p50.value() * 1e6;
+  state.counters["p99_us"] = h.p99.value() * 1e6;
+  state.counters["p999_us"] = h.p999.value() * 1e6;
+}
+BENCHMARK(BM_ServiceQuery)
+    ->ArgsProduct({{64, 512}, {0, 1}})
+    ->ArgNames({"sessions", "degraded"});
+
+// Crash-recovery cost: load the service snapshot and replay a journal
+// of `deltas` capacity records through the normal apply path.
+void BM_SnapshotReplay(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string snap =
+      (fs::temp_directory_path() / "mcfair_bench_snap.bin").string();
+  serve::ServiceOptions options;
+  options.journalPath =
+      (fs::temp_directory_path() / "mcfair_bench_journal.bin").string();
+  serve::FairshareService live(
+      net::singleBottleneckNetwork(128, 12, 1000.0, 2.0), options);
+  live.saveSnapshot(snap);
+  util::Rng rng(7);
+  const std::size_t links = live.network().linkCount();
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    live.applyDelta(serve::setCapacityDelta(
+        graph::LinkId{static_cast<std::uint32_t>(rng.below(links))},
+        rng.uniform(10.0, 1000.0)));
+  }
+  for (auto _ : state) {
+    const auto recovered = serve::FairshareService::recover(snap, options);
+    benchmark::DoNotOptimize(recovered->revision());
+  }
+  state.counters["deltas"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SnapshotReplay)
+    ->Arg(64)
+    ->ArgName("deltas")
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

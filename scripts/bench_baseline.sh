@@ -31,7 +31,7 @@ if [ ! -x "$build_dir/bench_perf_maxmin" ] || \
 fi
 
 "$build_dir/bench_perf_maxmin" \
-  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel|BM_AccumScan|BM_SampledSolve|BM_SweepFleet' \
+  --benchmark_filter='BM_SingleBottleneckScaling|BM_ClosedLoopChurn|BM_BoundSolverResolve|BM_Parallel|BM_AccumScan|BM_SampledSolve|BM_SweepFleet|BM_Service|BM_SnapshotReplay' \
   --benchmark_min_time="$min_time" \
   --benchmark_format=json \
   --benchmark_out="$out_file" \
@@ -90,6 +90,25 @@ print(f"{'sampled/sweep benchmark':<44}{'time':>12}")
 for name, (t, unit) in sorted(times.items()):
     if name.startswith(("BM_SampledSolve/", "BM_SweepFleet/")):
         print(f"{name:<44}{t:>10.2f}{unit}")
+
+print()
+print(f"{'service benchmark':<44}{'time':>12}{'p50':>10}{'p99':>10}"
+      f"{'p999':>10}")
+for b in sorted(json.load(open(sys.argv[1]))["benchmarks"],
+                key=lambda b: b["name"]):
+    name = b["name"]
+    if (b.get("run_type") == "aggregate" or
+            not name.startswith(("BM_ServiceQuery/", "BM_SnapshotReplay/"))):
+        continue
+    t, unit = b["real_time"], b.get("time_unit", "ns")
+    # BM_ServiceQuery rows carry the service's own P2 tail histogram
+    # (microseconds) as counters; BM_SnapshotReplay has none.
+    if b.get("p50_us") is not None:
+        tail = (f"{b['p50_us']:>8.2f}us{b['p99_us']:>8.2f}us"
+                f"{b['p999_us']:>8.2f}us")
+    else:
+        tail = f"{'-':>10}{'-':>10}{'-':>10}"
+    print(f"{name:<44}{t:>10.2f}{unit}{tail}")
 
 sim = load(sys.argv[2])
 print()

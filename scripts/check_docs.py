@@ -10,9 +10,9 @@ and fails when
   * a fenced ```cpp code block does not compile against the library
     headers, or
   * a public knob of the user-facing option structs (MaxMinOptions,
-    SampledOptions, ClosedLoopConfig, ScenarioSpec, SweepConfig) is not
-    mentioned anywhere in README.md — every tunable must be documented
-    by its greppable field name.
+    SampledOptions, ClosedLoopConfig, ScenarioSpec, SweepConfig,
+    ServiceOptions) is not mentioned anywhere in README.md — every
+    tunable must be documented by its greppable field name.
 
 Snippet convention: a ```cpp block is either a statement sequence (it is
 wrapped in a function body under a standard prelude of library includes
@@ -57,6 +57,7 @@ PRELUDE = """\
 #include "fairness/report.hpp"
 #include "fairness/sampled.hpp"
 #include "net/topologies.hpp"
+#include "serve/service.hpp"
 #include "sim/closed_loop.hpp"
 #include "sim/scenario.hpp"
 #include "sim/star.hpp"
@@ -74,6 +75,7 @@ KNOB_STRUCTS = [
     ("src/sim/closed_loop.hpp", "ClosedLoopConfig"),
     ("src/sim/scenario.hpp", "ScenarioSpec"),
     ("src/sim/sweep.hpp", "SweepConfig"),
+    ("src/serve/service.hpp", "ServiceOptions"),
 ]
 
 # A data-member declaration with the default initializer already cut

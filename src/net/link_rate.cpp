@@ -1,6 +1,7 @@
 #include "net/link_rate.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -60,13 +61,13 @@ LinkRateFunctionPtr makeLinkRateFunction(const LinkRateSpec& spec) {
     return nullptr;
   }
   if (spec.family == "constant") {
-    MCFAIR_REQUIRE(spec.param >= 1.0,
-                   "constant link-rate factor must be >= 1");
+    MCFAIR_REQUIRE(std::isfinite(spec.param) && spec.param >= 1.0,
+                   "constant link-rate factor must be finite and >= 1");
     return std::make_shared<const ConstantFactor>(spec.param);
   }
   if (spec.family == "randomjoin") {
-    MCFAIR_REQUIRE(spec.param > 0.0,
-                   "randomjoin layer rate sigma must be positive");
+    MCFAIR_REQUIRE(std::isfinite(spec.param) && spec.param > 0.0,
+                   "randomjoin layer rate sigma must be finite and positive");
     return std::make_shared<const RandomJoinExpected>(spec.param);
   }
   MCFAIR_REQUIRE(false,

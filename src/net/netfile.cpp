@@ -182,7 +182,9 @@ Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
         fail(lineNo, "duplicate link name '" + tokens[1] + "'");
       }
       const double capacity = parseNumber(lineNo, tokens[2], "capacity");
-      if (!(capacity > 0.0)) fail(lineNo, "capacity must be positive");
+      if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+        fail(lineNo, "capacity must be finite and positive");
+      }
       links.emplace(tokens[1], network.addLink(capacity));
     } else if (directive == "nodes") {
       commit(Dialect::kGraph, lineNo, directive);
@@ -216,13 +218,17 @@ Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
       const std::uint32_t b = parseNode(lineNo, tokens[3], g.nodeCount());
       if (a == b) fail(lineNo, "edge endpoints must be distinct");
       const double capacity = parseNumber(lineNo, tokens[4], "capacity");
-      if (!(capacity > 0.0)) fail(lineNo, "capacity must be positive");
+      if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+        fail(lineNo, "capacity must be finite and positive");
+      }
       double weight = 1.0;
       if (tokens.size() == 6) {
         const auto w = keyValue(tokens[5], "weight");
         if (!w) fail(lineNo, "unknown edge option '" + tokens[5] + "'");
         weight = parseNumber(lineNo, *w, "weight");
-        if (!(weight >= 0.0)) fail(lineNo, "edge weight must be >= 0");
+        if (!(weight >= 0.0) || !std::isfinite(weight)) {
+          fail(lineNo, "edge weight must be finite and >= 0");
+        }
       }
       edges.emplace(tokens[1],
                     g.addLink(graph::NodeId{a}, graph::NodeId{b}, capacity));
@@ -276,7 +282,9 @@ Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
           }
           linkRateSeen = true;
           const double v = parseNumber(lineNo, *red, "redundancy");
-          if (!(v >= 1.0)) fail(lineNo, "redundancy must be >= 1");
+          if (!(v >= 1.0) || !std::isfinite(v)) {
+            fail(lineNo, "redundancy must be finite and >= 1");
+          }
           if (v > 1.0) pending.linkRate = LinkRateSpec{"constant", v};
         } else if (const auto lr = keyValue(tokens[t], "linkrate")) {
           if (linkRateSeen) {
@@ -345,8 +353,8 @@ Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
       for (std::size_t t = 4; t < tokens.size(); ++t) {
         if (const auto w = keyValue(tokens[t], "weight")) {
           receiver.weight = parseNumber(lineNo, *w, "weight");
-          if (!(receiver.weight > 0.0)) {
-            fail(lineNo, "weight must be positive");
+          if (!(receiver.weight > 0.0) || !std::isfinite(receiver.weight)) {
+            fail(lineNo, "weight must be finite and positive");
           }
         } else {
           fail(lineNo, "unknown member option '" + tokens[t] + "'");
@@ -383,8 +391,8 @@ Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
       for (std::size_t t = 4; t < tokens.size(); ++t) {
         if (const auto w = keyValue(tokens[t], "weight")) {
           receiver.weight = parseNumber(lineNo, *w, "weight");
-          if (!(receiver.weight > 0.0)) {
-            fail(lineNo, "weight must be positive");
+          if (!(receiver.weight > 0.0) || !std::isfinite(receiver.weight)) {
+            fail(lineNo, "weight must be finite and positive");
           }
         } else {
           fail(lineNo, "unknown receiver option '" + tokens[t] + "'");
@@ -451,7 +459,15 @@ Network parseNetworkFileImpl(std::istream& in, FaultSchedule* faults) {
       faults->events.push_back(
           FaultEvent{f.time, f.kind, it->second, f.factor});
     }
-    faults->normalize(linkCount);
+    // The per-directive checks above make normalize() unfailable for
+    // parser-built schedules; translate anyway so a future invariant
+    // surfaces as a structured parse error, never an assert.
+    try {
+      faults->normalize(linkCount);
+    } catch (const std::exception& e) {
+      throw NetfileError(std::string("netfile: invalid fault schedule: ") +
+                         e.what());
+    }
   };
 
   if (dialect == Dialect::kGraph) {

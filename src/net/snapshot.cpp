@@ -1,0 +1,249 @@
+#include "net/snapshot.hpp"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "net/link_rate.hpp"
+
+namespace mcfair::net {
+
+namespace snapshotio {
+
+void putU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void putF64(std::string& out, double v) {
+  putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void putString(std::string& out, const std::string& s) {
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+std::uint64_t fnv1a(const char* data, std::size_t size) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+const char* Cursor::take(std::size_t n, const char* what) {
+  if (n > size_ - pos_) {
+    throw SnapshotError(std::string("snapshot truncated reading ") + what);
+  }
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Cursor::u8(const char* what) {
+  return static_cast<std::uint8_t>(*take(1, what));
+}
+
+std::uint32_t Cursor::u32(const char* what) {
+  const char* p = take(4, what);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Cursor::u64(const char* what) {
+  const char* p = take(8, what);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double Cursor::f64(const char* what) {
+  return std::bit_cast<double>(u64(what));
+}
+
+std::string Cursor::str(const char* what) {
+  const std::uint32_t n = u32(what);
+  if (n > remaining()) {
+    throw SnapshotError(std::string("snapshot truncated reading ") + what);
+  }
+  const char* p = take(n, what);
+  return std::string(p, n);
+}
+
+}  // namespace snapshotio
+
+namespace {
+
+using namespace snapshotio;
+
+constexpr std::uint32_t kMagic = 0x5346434du;  // "MCFS" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+// A hostile count field must never drive a multi-gigabyte resize before
+// the (bounds-checked) element reads catch the truncation; each element
+// of the counted groups below occupies at least one byte.
+void checkCount(std::uint64_t count, std::uint64_t limit, const char* what) {
+  if (count > limit) {
+    throw SnapshotError(std::string("snapshot ") + what +
+                        " count out of range");
+  }
+}
+
+}  // namespace
+
+std::string networkSnapshotBytes(const Network& net) {
+  std::string out;
+  putU32(out, kMagic);
+  putU32(out, kVersion);
+
+  putU32(out, static_cast<std::uint32_t>(net.linkCount()));
+  for (std::size_t j = 0; j < net.linkCount(); ++j) {
+    putF64(out, net.capacity(graph::LinkId{static_cast<std::uint32_t>(j)}));
+  }
+
+  putU32(out, static_cast<std::uint32_t>(net.sessionCount()));
+  for (std::size_t i = 0; i < net.sessionCount(); ++i) {
+    const Session& s = net.session(i);
+    LinkRateSpec spec;
+    try {
+      spec = describeLinkRateFunction(s.linkRateFn.get());
+    } catch (const std::exception& e) {
+      throw SnapshotError("snapshot cannot express session '" + s.name +
+                          "' link-rate function: " + e.what());
+    }
+    putString(out, s.name);
+    putU8(out, s.type == SessionType::kSingleRate ? 1 : 0);
+    putF64(out, s.maxRate);
+    putString(out, spec.family);
+    putF64(out, spec.param);
+    putU32(out, static_cast<std::uint32_t>(s.receivers.size()));
+    for (const Receiver& r : s.receivers) {
+      putString(out, r.name);
+      putF64(out, r.weight);
+      putU32(out, static_cast<std::uint32_t>(r.dataPath.size()));
+      for (const graph::LinkId l : r.dataPath) putU32(out, l.value);
+    }
+  }
+
+  putU64(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+void writeNetworkSnapshot(std::ostream& out, const Network& net) {
+  const std::string bytes = networkSnapshotBytes(net);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SnapshotError("snapshot write failed");
+}
+
+Network networkFromSnapshotBytes(const std::string& bytes) {
+  if (bytes.size() < 8 + 8) throw SnapshotError("snapshot too short");
+  const std::size_t payload = bytes.size() - 8;
+  Cursor trailer(bytes.data() + payload, 8);
+  if (trailer.u64("checksum") != fnv1a(bytes.data(), payload)) {
+    throw SnapshotError("snapshot checksum mismatch");
+  }
+
+  Cursor in(bytes.data(), payload);
+  if (in.u32("magic") != kMagic) throw SnapshotError("snapshot bad magic");
+  const std::uint32_t version = in.u32("version");
+  if (version != kVersion) {
+    throw SnapshotError("snapshot unsupported version " +
+                        std::to_string(version));
+  }
+
+  Network net;
+  const std::uint32_t linkCount = in.u32("link count");
+  checkCount(linkCount, in.remaining() / 8, "link");
+  for (std::uint32_t j = 0; j < linkCount; ++j) {
+    const double capacity = in.f64("link capacity");
+    if (!(capacity >= 0.0)) {
+      throw SnapshotError("snapshot link capacity out of range");
+    }
+    // addLink rejects 0 (a structural link is always provisioned > 0)
+    // but a faulted link legally snapshots at capacity 0: add at a
+    // placeholder and set the real value through the fault path.
+    if (capacity > 0.0) {
+      net.addLink(capacity);
+    } else {
+      const graph::LinkId l = net.addLink(1.0);
+      net.setCapacity(l, 0.0);
+    }
+  }
+
+  const std::uint32_t sessionCount = in.u32("session count");
+  checkCount(sessionCount, in.remaining(), "session");
+  for (std::uint32_t i = 0; i < sessionCount; ++i) {
+    Session s;
+    s.name = in.str("session name");
+    const std::uint8_t type = in.u8("session type");
+    if (type > 1) throw SnapshotError("snapshot bad session type");
+    s.type = type == 1 ? SessionType::kSingleRate : SessionType::kMultiRate;
+    s.maxRate = in.f64("session sigma");
+    LinkRateSpec spec;
+    spec.family = in.str("link-rate family");
+    spec.param = in.f64("link-rate parameter");
+    try {
+      s.linkRateFn = makeLinkRateFunction(spec);
+    } catch (const std::exception& e) {
+      throw SnapshotError(std::string("snapshot bad link-rate spec: ") +
+                          e.what());
+    }
+    const std::uint32_t receiverCount = in.u32("receiver count");
+    checkCount(receiverCount, in.remaining(), "receiver");
+    for (std::uint32_t k = 0; k < receiverCount; ++k) {
+      Receiver r;
+      r.name = in.str("receiver name");
+      r.weight = in.f64("receiver weight");
+      const std::uint32_t pathLen = in.u32("data-path length");
+      checkCount(pathLen, in.remaining() / 4, "data-path link");
+      for (std::uint32_t p = 0; p < pathLen; ++p) {
+        const std::uint32_t link = in.u32("data-path link id");
+        if (link >= linkCount) {
+          throw SnapshotError("snapshot data-path link id out of range");
+        }
+        r.dataPath.push_back(graph::LinkId{link});
+      }
+      s.receivers.push_back(std::move(r));
+    }
+    try {
+      net.addSession(std::move(s));
+    } catch (const std::exception& e) {
+      throw SnapshotError(std::string("snapshot invalid session: ") +
+                          e.what());
+    }
+  }
+
+  if (!in.done()) throw SnapshotError("snapshot trailing bytes");
+  return net;
+}
+
+Network readNetworkSnapshot(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw SnapshotError("snapshot read failed");
+  return networkFromSnapshotBytes(buf.str());
+}
+
+}  // namespace mcfair::net

@@ -1,0 +1,101 @@
+// Compact binary snapshot of a Network — the fast load/replicate form
+// of the netfile graph the always-on service persists.
+//
+// The text netfile (net/netfile.hpp) is the human-facing format; a
+// long-lived serving process wants a byte-exact, cheap-to-parse image
+// instead. A snapshot stores exactly what Network holds — link
+// capacities, sessions (type, sigma, registry link-rate family,
+// receivers with weights and data-paths) — as fixed-width
+// little-endian integers, with doubles written as their raw IEEE-754
+// bit patterns (bit_cast to uint64), so a write -> read round trip is
+// bit-identical for every value including infinities. Link-rate
+// functions are restricted to the named LinkRateSpec registry families,
+// the same expressiveness boundary the text format has.
+//
+// Layout: magic 'MCFS', format version, the payload described above,
+// then an FNV-1a checksum of everything before it. readNetworkSnapshot
+// verifies the checksum and bounds-checks every read; any truncation or
+// corruption throws SnapshotError rather than constructing a
+// half-parsed network.
+//
+// The snapshotio helpers are shared with the service's delta journal
+// (serve/journal.hpp), which frames the same primitives into an
+// append-only record stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace mcfair::net {
+
+/// Snapshot read failure: truncated input, checksum mismatch, version
+/// or range violations. The message names the failing field.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes `net` (structure + current capacities). Throws
+/// SnapshotError when a session's link-rate function is outside the
+/// LinkRateSpec registry families (the binary format, like the text
+/// one, cannot express it).
+void writeNetworkSnapshot(std::ostream& out, const Network& net);
+
+/// Parses a snapshot produced by writeNetworkSnapshot. The result is
+/// structurallyEqual() to the written network and every double is
+/// bit-identical. Throws SnapshotError on any malformed input.
+Network readNetworkSnapshot(std::istream& in);
+
+/// Convenience wrappers over an in-memory byte buffer.
+std::string networkSnapshotBytes(const Network& net);
+Network networkFromSnapshotBytes(const std::string& bytes);
+
+namespace snapshotio {
+
+// --- Little-endian primitive writers (append to a byte buffer). ---
+
+void putU8(std::string& out, std::uint8_t v);
+void putU32(std::string& out, std::uint32_t v);
+void putU64(std::string& out, std::uint64_t v);
+/// Raw IEEE-754 bits; round-trips every value including inf/NaN.
+void putF64(std::string& out, double v);
+/// Length-prefixed (u32) byte string.
+void putString(std::string& out, const std::string& s);
+
+/// FNV-1a 64-bit checksum of a byte range.
+std::uint64_t fnv1a(const char* data, std::size_t size) noexcept;
+
+/// Bounds-checked reader over a byte buffer; every accessor throws
+/// SnapshotError (naming `what`) instead of reading past the end.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Cursor(const std::string& bytes)
+      : Cursor(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8(const char* what);
+  std::uint32_t u32(const char* what);
+  std::uint64_t u64(const char* what);
+  double f64(const char* what);
+  std::string str(const char* what);
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  const char* take(std::size_t n, const char* what);
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace snapshotio
+
+}  // namespace mcfair::net

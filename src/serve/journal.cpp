@@ -1,0 +1,209 @@
+#include "serve/journal.hpp"
+
+#include <utility>
+
+#include "net/link_rate.hpp"
+#include "net/snapshot.hpp"
+
+namespace mcfair::serve {
+
+using net::SnapshotError;
+using namespace net::snapshotio;
+
+Delta setCapacityDelta(graph::LinkId link, double capacity) {
+  Delta d;
+  d.kind = DeltaKind::kSetCapacity;
+  d.link = link;
+  d.capacity = capacity;
+  return d;
+}
+
+Delta faultDelta(const net::FaultEvent& event) {
+  Delta d;
+  d.kind = DeltaKind::kFault;
+  d.link = event.link;
+  d.fault = event.kind;
+  d.factor = event.factor;
+  return d;
+}
+
+Delta joinDelta(std::uint64_t sessionId, net::Session session) {
+  Delta d;
+  d.kind = DeltaKind::kJoin;
+  d.sessionId = sessionId;
+  d.session = std::move(session);
+  return d;
+}
+
+Delta leaveDelta(std::uint64_t sessionId) {
+  Delta d;
+  d.kind = DeltaKind::kLeave;
+  d.sessionId = sessionId;
+  return d;
+}
+
+std::string encodeDelta(const Delta& d) {
+  std::string out;
+  putU8(out, static_cast<std::uint8_t>(d.kind));
+  switch (d.kind) {
+    case DeltaKind::kSetCapacity:
+      putU32(out, d.link.value);
+      putF64(out, d.capacity);
+      break;
+    case DeltaKind::kFault:
+      putU32(out, d.link.value);
+      putU8(out, static_cast<std::uint8_t>(d.fault));
+      putF64(out, d.factor);
+      break;
+    case DeltaKind::kJoin: {
+      putU64(out, d.sessionId);
+      const net::Session& s = d.session;
+      net::LinkRateSpec spec;
+      try {
+        spec = net::describeLinkRateFunction(s.linkRateFn.get());
+      } catch (const std::exception& e) {
+        throw SnapshotError(
+            std::string("journal cannot express link-rate function: ") +
+            e.what());
+      }
+      putString(out, s.name);
+      putU8(out, s.type == net::SessionType::kSingleRate ? 1 : 0);
+      putF64(out, s.maxRate);
+      putString(out, spec.family);
+      putF64(out, spec.param);
+      putU32(out, static_cast<std::uint32_t>(s.receivers.size()));
+      for (const net::Receiver& r : s.receivers) {
+        putString(out, r.name);
+        putF64(out, r.weight);
+        putU32(out, static_cast<std::uint32_t>(r.dataPath.size()));
+        for (const graph::LinkId l : r.dataPath) putU32(out, l.value);
+      }
+      break;
+    }
+    case DeltaKind::kLeave:
+      putU64(out, d.sessionId);
+      break;
+  }
+  return out;
+}
+
+Delta decodeDelta(const std::string& payload) {
+  Cursor in(payload);
+  Delta d;
+  const std::uint8_t kind = in.u8("delta kind");
+  switch (kind) {
+    case static_cast<std::uint8_t>(DeltaKind::kSetCapacity):
+      d.kind = DeltaKind::kSetCapacity;
+      d.link = graph::LinkId{in.u32("delta link")};
+      d.capacity = in.f64("delta capacity");
+      break;
+    case static_cast<std::uint8_t>(DeltaKind::kFault): {
+      d.kind = DeltaKind::kFault;
+      d.link = graph::LinkId{in.u32("delta link")};
+      const std::uint8_t fk = in.u8("fault kind");
+      if (fk > static_cast<std::uint8_t>(net::FaultKind::kDegrade)) {
+        throw SnapshotError("journal bad fault kind");
+      }
+      d.fault = static_cast<net::FaultKind>(fk);
+      d.factor = in.f64("fault factor");
+      break;
+    }
+    case static_cast<std::uint8_t>(DeltaKind::kJoin): {
+      d.kind = DeltaKind::kJoin;
+      d.sessionId = in.u64("session id");
+      net::Session s;
+      s.name = in.str("session name");
+      const std::uint8_t type = in.u8("session type");
+      if (type > 1) throw SnapshotError("journal bad session type");
+      s.type = type == 1 ? net::SessionType::kSingleRate
+                         : net::SessionType::kMultiRate;
+      s.maxRate = in.f64("session sigma");
+      net::LinkRateSpec spec;
+      spec.family = in.str("link-rate family");
+      spec.param = in.f64("link-rate parameter");
+      try {
+        s.linkRateFn = net::makeLinkRateFunction(spec);
+      } catch (const std::exception& e) {
+        throw SnapshotError(std::string("journal bad link-rate spec: ") +
+                            e.what());
+      }
+      const std::uint32_t receiverCount = in.u32("receiver count");
+      if (receiverCount > in.remaining()) {
+        throw SnapshotError("journal receiver count out of range");
+      }
+      for (std::uint32_t k = 0; k < receiverCount; ++k) {
+        net::Receiver r;
+        r.name = in.str("receiver name");
+        r.weight = in.f64("receiver weight");
+        const std::uint32_t pathLen = in.u32("data-path length");
+        if (pathLen > in.remaining() / 4) {
+          throw SnapshotError("journal data-path length out of range");
+        }
+        for (std::uint32_t p = 0; p < pathLen; ++p) {
+          r.dataPath.push_back(graph::LinkId{in.u32("data-path link id")});
+        }
+        s.receivers.push_back(std::move(r));
+      }
+      d.session = std::move(s);
+      break;
+    }
+    case static_cast<std::uint8_t>(DeltaKind::kLeave):
+      d.kind = DeltaKind::kLeave;
+      d.sessionId = in.u64("session id");
+      break;
+    default:
+      throw SnapshotError("journal unknown delta kind");
+  }
+  if (!in.done()) throw SnapshotError("journal trailing bytes in record");
+  return d;
+}
+
+void JournalWriter::open(const std::string& path, bool truncate) {
+  close();
+  out_.open(path, truncate ? std::ios::binary | std::ios::trunc
+                           : std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw SnapshotError("journal cannot open '" + path + "'");
+  }
+}
+
+void JournalWriter::append(const Delta& d) {
+  const std::string payload = encodeDelta(d);
+  std::string record;
+  putU32(record, static_cast<std::uint32_t>(payload.size()));
+  record.append(payload);
+  putU64(record, fnv1a(payload.data(), payload.size()));
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out_.flush();
+  if (!out_) throw SnapshotError("journal append failed");
+}
+
+void JournalWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+std::vector<Delta> readJournal(const std::string& path) {
+  std::vector<Delta> deltas;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return deltas;  // missing journal = nothing to replay
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= 4) {
+    Cursor header(bytes.data() + pos, 4);
+    const std::uint32_t size = header.u32("record size");
+    // Truncated payload or checksum: the crash tear — stop replaying.
+    if (bytes.size() - pos - 4 < static_cast<std::size_t>(size) + 8) break;
+    const std::string payload = bytes.substr(pos + 4, size);
+    Cursor trailer(bytes.data() + pos + 4 + size, 8);
+    if (trailer.u64("record checksum") !=
+        fnv1a(payload.data(), payload.size())) {
+      break;
+    }
+    deltas.push_back(decodeDelta(payload));
+    pos += 4 + size + 8;
+  }
+  return deltas;
+}
+
+}  // namespace mcfair::serve

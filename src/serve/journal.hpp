@@ -1,0 +1,93 @@
+// Delta vocabulary and append-only journal of the fairshare service.
+//
+// A Delta is one state change the service accepts: an absolute link
+// re-provisioning, a fault-schedule event (factor applied to the base
+// capacity), a session join, or a session leave. The journal frames
+// encoded deltas as
+//
+//   [u32 payload size][payload bytes][u64 FNV-1a(payload)]
+//
+// records appended (and flushed) one per accepted delta. Replay
+// (readJournal) consumes complete records and *silently stops* at a
+// truncated or checksum-failing tail — exactly the crash case, where
+// the last append may have been cut mid-record; everything before the
+// tear is intact by construction. A missing file is an empty journal.
+//
+// Record payloads reuse the snapshotio primitives (net/snapshot.hpp):
+// doubles travel as raw IEEE-754 bits, so replaying a journal applies
+// bit-identical values to what the live service applied.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/session.hpp"
+
+namespace mcfair::serve {
+
+/// What a Delta does to the service state.
+enum class DeltaKind : std::uint8_t {
+  kSetCapacity = 0,  ///< re-provision a link's *base* capacity
+  kFault = 1,        ///< fault event: capacity = base x factor
+  kJoin = 2,         ///< add a session under a caller-chosen id
+  kLeave = 3,        ///< remove the session with that id
+};
+
+/// One state change. Only the fields of the active kind are meaningful;
+/// encode/decode round-trips exactly those.
+struct Delta {
+  DeltaKind kind = DeltaKind::kSetCapacity;
+  graph::LinkId link;                              // kSetCapacity, kFault
+  double capacity = 0.0;                           // kSetCapacity
+  net::FaultKind fault = net::FaultKind::kLinkUp;  // kFault
+  double factor = 1.0;                             // kFault (kDegrade)
+  std::uint64_t sessionId = 0;                     // kJoin, kLeave
+  net::Session session;                            // kJoin
+};
+
+/// Builders for the four kinds.
+Delta setCapacityDelta(graph::LinkId link, double capacity);
+Delta faultDelta(const net::FaultEvent& event);
+Delta joinDelta(std::uint64_t sessionId, net::Session session);
+Delta leaveDelta(std::uint64_t sessionId);
+
+/// Encodes a delta into a record payload (no framing).
+std::string encodeDelta(const Delta& d);
+
+/// Decodes a record payload. Throws net::SnapshotError on malformed
+/// bytes (unknown kind, truncation, trailing garbage).
+Delta decodeDelta(const std::string& payload);
+
+/// Append-only record writer. Every append() frames, writes and flushes
+/// one record, so an accepted delta is durable before the service
+/// acknowledges it.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+
+  /// Opens `path` for appending; `truncate` discards prior content (a
+  /// fresh service) while recovery reopens without it. Throws
+  /// net::SnapshotError when the file cannot be opened.
+  void open(const std::string& path, bool truncate);
+
+  bool isOpen() const noexcept { return out_.is_open(); }
+
+  /// Appends one framed record and flushes. Throws net::SnapshotError
+  /// on write failure.
+  void append(const Delta& d);
+
+  void close();
+
+ private:
+  std::ofstream out_;
+};
+
+/// Replays every complete record of `path` in append order, stopping at
+/// the first truncated or corrupt record (crash tear) and ignoring the
+/// rest. A missing file yields an empty vector.
+std::vector<Delta> readJournal(const std::string& path);
+
+}  // namespace mcfair::serve

@@ -1,0 +1,639 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "net/snapshot.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::serve {
+
+namespace {
+
+using net::SnapshotError;
+using namespace net::snapshotio;
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double appliedFactor(const Delta& d) {
+  switch (d.fault) {
+    case net::FaultKind::kLinkDown:
+      return 0.0;
+    case net::FaultKind::kLinkUp:
+      return 1.0;
+    case net::FaultKind::kDegrade:
+      return d.factor;
+  }
+  return 1.0;
+}
+
+// Service-snapshot framing: a length-prefixed network snapshot, the
+// service arrays, then a whole-file checksum.
+constexpr std::uint32_t kServiceMagic = 0x56534653u;  // "SFSV"
+constexpr std::uint32_t kServiceVersion = 1;
+
+}  // namespace
+
+const char* serviceStatusName(ServiceStatus s) noexcept {
+  switch (s) {
+    case ServiceStatus::kOk:
+      return "ok";
+    case ServiceStatus::kUnknownLink:
+      return "unknown-link";
+    case ServiceStatus::kUnknownSession:
+      return "unknown-session";
+    case ServiceStatus::kDuplicateSession:
+      return "duplicate-session";
+    case ServiceStatus::kBadCapacity:
+      return "bad-capacity";
+    case ServiceStatus::kMalformed:
+      return "malformed";
+    case ServiceStatus::kBusy:
+      return "busy";
+  }
+  return "unknown";
+}
+
+FairshareService::FairshareService(net::Network network,
+                                   ServiceOptions options)
+    : FairshareService(std::move(network), std::move(options),
+                       /*truncateJournal=*/true) {}
+
+FairshareService::FairshareService(net::Network network,
+                                   ServiceOptions options,
+                                   bool truncateJournal)
+    : net_(std::move(network)),
+      options_(std::move(options)),
+      exact_(options_.solver),
+      sampled_(options_.sampled),
+      whatIf_(options_.solver) {
+  MCFAIR_REQUIRE(net_.sessionCount() >= 1,
+                 "FairshareService requires at least one session");
+  MCFAIR_REQUIRE(options_.degradeAfter >= 1,
+                 "ServiceOptions::degradeAfter must be >= 1");
+  MCFAIR_REQUIRE(options_.promoteAfter >= 1,
+                 "ServiceOptions::promoteAfter must be >= 1");
+  MCFAIR_REQUIRE(
+      options_.costEwmaAlpha > 0.0 && options_.costEwmaAlpha <= 1.0,
+      "ServiceOptions::costEwmaAlpha must be in (0, 1]");
+  MCFAIR_REQUIRE(options_.quarantineCapacity >= 1,
+                 "ServiceOptions::quarantineCapacity must be >= 1");
+  baseCapacity_.resize(net_.linkCount());
+  faultFactor_.assign(net_.linkCount(), 1.0);
+  for (std::size_t j = 0; j < net_.linkCount(); ++j) {
+    baseCapacity_[j] =
+        net_.capacity(graph::LinkId{static_cast<std::uint32_t>(j)});
+  }
+  sessionIds_.resize(net_.sessionCount());
+  for (std::size_t i = 0; i < net_.sessionCount(); ++i) sessionIds_[i] = i;
+  if (truncateJournal && !options_.journalPath.empty()) {
+    journal_.open(options_.journalPath, /*truncate=*/true);
+  }
+}
+
+FairshareService::~FairshareService() = default;
+
+double FairshareService::exactCostEstimate() const noexcept {
+  if (options_.exactCostOverride >= 0.0) return options_.exactCostOverride;
+  return measuredExactCost_ >= 0.0 ? measuredExactCost_ : 0.0;
+}
+
+const fairness::Allocation* FairshareService::solveExactLocked() {
+  if (!exactFresh_) {
+    const double start = nowSeconds();
+    exact_.bind(net_);
+    exactAllocation_ = &exact_.solveAllocation();
+    const double cost = nowSeconds() - start;
+    measuredExactCost_ =
+        measuredExactCost_ < 0.0
+            ? cost
+            : options_.costEwmaAlpha * cost +
+                  (1.0 - options_.costEwmaAlpha) * measuredExactCost_;
+    exactFresh_ = true;
+  }
+  return exactAllocation_;
+}
+
+const fairness::Allocation* FairshareService::solveDegradedLocked() {
+  if (!sampledFresh_) {
+    sampled_.bind(net_);
+    sampled_.solve();
+    sampledAllocation_ = &sampled_.estimateAllocation();
+    sampledFresh_ = true;
+  }
+  return sampledAllocation_;
+}
+
+QueryResult FairshareService::answerLocked(double budgetSeconds,
+                                           bool shiftHysteresis) {
+  const double start = nowSeconds();
+  const bool unbudgeted =
+      !(budgetSeconds > 0.0) ||
+      budgetSeconds == std::numeric_limits<double>::infinity();
+  // A clean exact cache answers for free, so a cached answer is always
+  // affordable; a dirty state costs one exact re-solve.
+  const bool affordable =
+      unbudgeted || exactFresh_ || budgetSeconds >= exactCostEstimate();
+
+  bool degraded;
+  if (!degradedMode_) {
+    degraded = !affordable;
+    if (shiftHysteresis) {
+      if (degraded) {
+        if (++blownStreak_ >= options_.degradeAfter) {
+          degradedMode_ = true;
+          blownStreak_ = 0;
+          ++metrics_.demotions;
+        }
+      } else {
+        blownStreak_ = 0;
+      }
+    }
+  } else {
+    degraded = true;
+    if (shiftHysteresis) {
+      if (affordable) {
+        if (++affordableStreak_ >= options_.promoteAfter) {
+          degradedMode_ = false;
+          affordableStreak_ = 0;
+          ++metrics_.promotions;
+          degraded = false;  // the promoting query re-solves exact
+        }
+      } else {
+        affordableStreak_ = 0;
+      }
+    } else if (affordable) {
+      // Hypotheticals don't count toward promotion but may still
+      // afford an exact answer.
+      degraded = false;
+    }
+  }
+
+  QueryResult result;
+  result.degraded = degraded;
+  result.rates = degraded ? solveDegradedLocked() : solveExactLocked();
+  result.latencySeconds = nowSeconds() - start;
+  result.revision = revision_;
+  if (degraded) {
+    ++metrics_.degradedAnswers;
+    metrics_.degradedQuery.add(result.latencySeconds);
+  } else {
+    ++metrics_.exactAnswers;
+    metrics_.exactQuery.add(result.latencySeconds);
+  }
+  return result;
+}
+
+QueryResult FairshareService::query(double budgetSeconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return answerLocked(budgetSeconds, /*shiftHysteresis=*/true);
+}
+
+QueryResult FairshareService::queryInto(double budgetSeconds,
+                                        std::vector<double>& rates) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryResult result = answerLocked(budgetSeconds, /*shiftHysteresis=*/true);
+  const std::span<const net::ReceiverRef> refs = net_.receiverRefs();
+  rates.resize(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    rates[i] = result.rates->rate(refs[i]);
+  }
+  result.rates = nullptr;  // the caller's copy is the stable answer
+  return result;
+}
+
+QueryResult FairshareService::whatIfCapacity(graph::LinkId l, double capacity,
+                                             double budgetSeconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryResult result;
+  if (l.value >= net_.linkCount()) {
+    result.status = ServiceStatus::kUnknownLink;
+    return result;
+  }
+  if (!std::isfinite(capacity) || capacity <= 0.0) {
+    result.status = ServiceStatus::kBadCapacity;
+    return result;
+  }
+  const double live = net_.capacity(l);
+  net_.setCapacity(l, capacity);
+  exactFresh_ = false;
+  sampledFresh_ = false;
+  result = answerLocked(budgetSeconds, /*shiftHysteresis=*/false);
+  net_.setCapacity(l, live);
+  // Both solver caches now hold the hypothetical; the next answer
+  // refreshes from the restored capacities (O(links) rebind tier).
+  exactFresh_ = false;
+  sampledFresh_ = false;
+  return result;
+}
+
+QueryResult FairshareService::whatIfWithoutReceiver(net::ReceiverRef ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryResult result;
+  if (ref.session >= net_.sessionCount()) {
+    result.status = ServiceStatus::kUnknownSession;
+    return result;
+  }
+  const double start = nowSeconds();
+  try {
+    whatIfScratch_ = net_.withoutReceiver(ref);
+  } catch (const std::exception&) {
+    result.status = ServiceStatus::kMalformed;
+    return result;
+  }
+  whatIf_.bind(whatIfScratch_);
+  result.rates = &whatIf_.solveAllocation();
+  result.latencySeconds = nowSeconds() - start;
+  result.revision = revision_;
+  ++metrics_.exactAnswers;
+  metrics_.exactQuery.add(result.latencySeconds);
+  return result;
+}
+
+QueryResult FairshareService::whatIfSessionType(std::size_t sessionIndex,
+                                                net::SessionType type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryResult result;
+  if (sessionIndex >= net_.sessionCount()) {
+    result.status = ServiceStatus::kUnknownSession;
+    return result;
+  }
+  const double start = nowSeconds();
+  try {
+    whatIfScratch_ = net_.withSessionType(sessionIndex, type);
+  } catch (const std::exception&) {
+    result.status = ServiceStatus::kMalformed;
+    return result;
+  }
+  whatIf_.bind(whatIfScratch_);
+  result.rates = &whatIf_.solveAllocation();
+  result.latencySeconds = nowSeconds() - start;
+  result.revision = revision_;
+  ++metrics_.exactAnswers;
+  metrics_.exactQuery.add(result.latencySeconds);
+  return result;
+}
+
+QueryResult FairshareService::whatIfLinkRate(std::size_t sessionIndex,
+                                             net::LinkRateFunctionPtr fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryResult result;
+  if (sessionIndex >= net_.sessionCount()) {
+    result.status = ServiceStatus::kUnknownSession;
+    return result;
+  }
+  if (fn == nullptr) {
+    result.status = ServiceStatus::kMalformed;
+    return result;
+  }
+  const double start = nowSeconds();
+  whatIfScratch_ = net_.withLinkRateFunction(sessionIndex, std::move(fn));
+  whatIf_.bind(whatIfScratch_);
+  result.rates = &whatIf_.solveAllocation();
+  result.latencySeconds = nowSeconds() - start;
+  result.revision = revision_;
+  ++metrics_.exactAnswers;
+  metrics_.exactQuery.add(result.latencySeconds);
+  return result;
+}
+
+bool FairshareService::sessionIdLive(std::uint64_t id,
+                                     std::size_t* index) const {
+  for (std::size_t i = 0; i < sessionIds_.size(); ++i) {
+    if (sessionIds_[i] == id) {
+      if (index != nullptr) *index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+FairshareService::Validation FairshareService::validateDelta(
+    const Delta& d) const {
+  Validation v;
+  switch (d.kind) {
+    case DeltaKind::kSetCapacity:
+      if (d.link.value >= net_.linkCount()) {
+        v.status = ServiceStatus::kUnknownLink;
+        v.detail = "setCapacity references link " +
+                   std::to_string(d.link.value) + " of " +
+                   std::to_string(net_.linkCount());
+      } else if (!std::isfinite(d.capacity) || d.capacity <= 0.0) {
+        v.status = ServiceStatus::kBadCapacity;
+        v.detail = "base capacity must be finite and > 0";
+      }
+      break;
+    case DeltaKind::kFault:
+      if (d.link.value >= net_.linkCount()) {
+        v.status = ServiceStatus::kUnknownLink;
+        v.detail = "fault references link " + std::to_string(d.link.value) +
+                   " of " + std::to_string(net_.linkCount());
+      } else if (d.fault == net::FaultKind::kDegrade &&
+                 (!std::isfinite(d.factor) || d.factor <= 0.0)) {
+        v.status = ServiceStatus::kBadCapacity;
+        v.detail = "degrade factor must be finite and > 0";
+      }
+      break;
+    case DeltaKind::kJoin: {
+      if (sessionIdLive(d.sessionId, nullptr)) {
+        v.status = ServiceStatus::kDuplicateSession;
+        v.detail = "session id " + std::to_string(d.sessionId) +
+                   " is already live";
+        break;
+      }
+      const net::Session& s = d.session;
+      if (s.receivers.empty()) {
+        v.status = ServiceStatus::kMalformed;
+        v.detail = "join needs >= 1 receiver";
+        break;
+      }
+      if (std::isnan(s.maxRate) || s.maxRate <= 0.0) {
+        v.status = ServiceStatus::kMalformed;
+        v.detail = "sigma must be positive";
+        break;
+      }
+      for (const net::Receiver& r : s.receivers) {
+        if (r.dataPath.empty()) {
+          v.status = ServiceStatus::kMalformed;
+          v.detail = "receiver data-path must be non-empty";
+          return v;
+        }
+        if (!std::isfinite(r.weight) || r.weight <= 0.0) {
+          v.status = ServiceStatus::kMalformed;
+          v.detail = "receiver weight must be finite and > 0";
+          return v;
+        }
+        if (s.type == net::SessionType::kSingleRate &&
+            r.weight != s.receivers.front().weight) {
+          v.status = ServiceStatus::kMalformed;
+          v.detail = "single-rate sessions require uniform weights";
+          return v;
+        }
+        for (const graph::LinkId l : r.dataPath) {
+          if (l.value >= net_.linkCount()) {
+            v.status = ServiceStatus::kUnknownLink;
+            v.detail = "join data-path references link " +
+                       std::to_string(l.value) + " of " +
+                       std::to_string(net_.linkCount());
+            return v;
+          }
+        }
+      }
+      break;
+    }
+    case DeltaKind::kLeave: {
+      if (!sessionIdLive(d.sessionId, nullptr)) {
+        v.status = ServiceStatus::kUnknownSession;
+        v.detail = "leave references unknown session id " +
+                   std::to_string(d.sessionId);
+      } else if (sessionIds_.size() == 1) {
+        v.status = ServiceStatus::kMalformed;
+        v.detail = "cannot remove the last session";
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+void FairshareService::applyValidatedDelta(const Delta& d) {
+  switch (d.kind) {
+    case DeltaKind::kSetCapacity: {
+      baseCapacity_[d.link.value] = d.capacity;
+      net_.setCapacity(d.link, d.capacity * faultFactor_[d.link.value]);
+      break;
+    }
+    case DeltaKind::kFault: {
+      faultFactor_[d.link.value] = appliedFactor(d);
+      net_.setCapacity(
+          d.link, baseCapacity_[d.link.value] * faultFactor_[d.link.value]);
+      break;
+    }
+    case DeltaKind::kJoin: {
+      net_.addSession(d.session);  // pre-validated: cannot throw
+      sessionIds_.push_back(d.sessionId);
+      break;
+    }
+    case DeltaKind::kLeave: {
+      std::size_t idx = 0;
+      sessionIdLive(d.sessionId, &idx);
+      // Network has no removeSession: rebuild without the session.
+      // Leaves are the rare full-rebuild tier; everything else stays
+      // on the in-place refresh path.
+      net::Network rebuilt;
+      for (std::size_t j = 0; j < net_.linkCount(); ++j) {
+        const graph::LinkId l = rebuilt.addLink(baseCapacity_[j]);
+        if (faultFactor_[j] != 1.0) {
+          rebuilt.setCapacity(l, baseCapacity_[j] * faultFactor_[j]);
+        }
+      }
+      for (std::size_t i = 0; i < net_.sessionCount(); ++i) {
+        if (i != idx) rebuilt.addSession(net_.session(i));
+      }
+      net_ = std::move(rebuilt);
+      sessionIds_.erase(sessionIds_.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+      break;
+    }
+  }
+  exactFresh_ = false;
+  sampledFresh_ = false;
+  ++revision_;
+  ++metrics_.appliedDeltas;
+  if (options_.validate.resolve()) {
+    // The service's own invariant: live capacity == base x factor,
+    // bit for bit, on every link after every delta.
+    for (std::size_t j = 0; j < net_.linkCount(); ++j) {
+      const graph::LinkId l{static_cast<std::uint32_t>(j)};
+      MCFAIR_REQUIRE(net_.capacity(l) == baseCapacity_[j] * faultFactor_[j],
+                     "service validation: capacity != base * factor");
+    }
+  }
+}
+
+void FairshareService::quarantine(const Delta& d, const Validation& v) {
+  while (quarantine_.size() >= options_.quarantineCapacity) {
+    quarantine_.pop_front();
+  }
+  quarantine_.push_back(QuarantinedDelta{d, v.status, v.detail});
+  ++metrics_.rejectedDeltas;
+}
+
+ServiceStatus FairshareService::applyDeltaLocked(const Delta& d) {
+  if (options_.rebindHook) options_.rebindHook(d);
+  const double start = nowSeconds();
+  const Validation v = validateDelta(d);
+  if (v.status != ServiceStatus::kOk) {
+    quarantine(d, v);
+    return v.status;
+  }
+  applyValidatedDelta(d);
+  if (journal_.isOpen()) journal_.append(d);
+  metrics_.deltaApply.add(nowSeconds() - start);
+  return ServiceStatus::kOk;
+}
+
+ServiceStatus FairshareService::applyDelta(const Delta& d) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return applyDeltaLocked(d);
+}
+
+ServiceStatus FairshareService::tryApplyDelta(const Delta& d) {
+  const std::size_t attempts = std::max<std::size_t>(options_.deltaRetries, 1);
+  double backoff = options_.retryBackoffSeconds;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+    if (mutex_.try_lock()) {
+      std::lock_guard<std::mutex> lock(mutex_, std::adopt_lock);
+      return applyDeltaLocked(d);
+    }
+  }
+  busyRejections_.fetch_add(1, std::memory_order_relaxed);
+  return ServiceStatus::kBusy;
+}
+
+void FairshareService::saveSnapshot(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  putU32(out, kServiceMagic);
+  putU32(out, kServiceVersion);
+  const std::string netBytes = net::networkSnapshotBytes(net_);
+  putU32(out, static_cast<std::uint32_t>(netBytes.size()));
+  out.append(netBytes);
+  putU32(out, static_cast<std::uint32_t>(baseCapacity_.size()));
+  for (const double b : baseCapacity_) putF64(out, b);
+  for (const double f : faultFactor_) putF64(out, f);
+  putU32(out, static_cast<std::uint32_t>(sessionIds_.size()));
+  for (const std::uint64_t id : sessionIds_) putU64(out, id);
+  putU64(out, revision_);
+  putU64(out, fnv1a(out.data(), out.size()));
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) throw SnapshotError("service snapshot write failed: " + path);
+
+  // Compaction: everything up to `revision_` now lives in the
+  // snapshot; the journal restarts empty.
+  if (journal_.isOpen()) {
+    journal_.open(options_.journalPath, /*truncate=*/true);
+  }
+}
+
+std::unique_ptr<FairshareService> FairshareService::recover(
+    const std::string& snapshotPath, ServiceOptions options) {
+  std::ifstream file(snapshotPath, std::ios::binary);
+  if (!file) {
+    throw SnapshotError("service snapshot missing: " + snapshotPath);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < 8 + 8) throw SnapshotError("service snapshot too short");
+  const std::size_t payload = bytes.size() - 8;
+  {
+    Cursor trailer(bytes.data() + payload, 8);
+    if (trailer.u64("checksum") != fnv1a(bytes.data(), payload)) {
+      throw SnapshotError("service snapshot checksum mismatch");
+    }
+  }
+  Cursor in(bytes.data(), payload);
+  if (in.u32("magic") != kServiceMagic) {
+    throw SnapshotError("service snapshot bad magic");
+  }
+  if (in.u32("version") != kServiceVersion) {
+    throw SnapshotError("service snapshot unsupported version");
+  }
+  const std::uint32_t netSize = in.u32("network size");
+  if (netSize > in.remaining()) {
+    throw SnapshotError("service snapshot truncated network");
+  }
+  std::string netBytes(bytes.data() + in.pos(), netSize);
+  net::Network network = net::networkFromSnapshotBytes(netBytes);
+  Cursor rest(bytes.data() + in.pos() + netSize,
+              payload - in.pos() - netSize);
+  const std::uint32_t linkCount = rest.u32("base-capacity count");
+  if (linkCount != network.linkCount()) {
+    throw SnapshotError("service snapshot link-count mismatch");
+  }
+  std::vector<double> bases(linkCount), factors(linkCount);
+  for (auto& b : bases) b = rest.f64("base capacity");
+  for (auto& f : factors) f = rest.f64("fault factor");
+  const std::uint32_t sessionCount = rest.u32("session-id count");
+  if (sessionCount != network.sessionCount()) {
+    throw SnapshotError("service snapshot session-count mismatch");
+  }
+  std::vector<std::uint64_t> ids(sessionCount);
+  for (auto& id : ids) id = rest.u64("session id");
+  const std::uint64_t revision = rest.u64("revision");
+  if (!rest.done()) throw SnapshotError("service snapshot trailing bytes");
+
+  // Journaling stays disarmed through construction and replay: the
+  // replayed records must not be re-appended to the journal they came
+  // from.
+  std::unique_ptr<FairshareService> service(new FairshareService(
+      std::move(network), std::move(options), /*truncateJournal=*/false));
+  service->baseCapacity_ = std::move(bases);
+  service->faultFactor_ = std::move(factors);
+  service->sessionIds_ = std::move(ids);
+  service->revision_ = revision;
+
+  if (!service->options_.journalPath.empty()) {
+    const std::vector<Delta> deltas =
+        readJournal(service->options_.journalPath);
+    for (const Delta& d : deltas) {
+      const Validation v = service->validateDelta(d);
+      if (v.status != ServiceStatus::kOk) {
+        throw SnapshotError(
+            std::string("journal replay: delta rejected (") +
+            serviceStatusName(v.status) + "): " + v.detail);
+      }
+      service->applyValidatedDelta(d);
+    }
+    service->journal_.open(service->options_.journalPath,
+                           /*truncate=*/false);
+  }
+  return service;
+}
+
+std::uint64_t FairshareService::revision() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return revision_;
+}
+
+bool FairshareService::degradedMode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return degradedMode_;
+}
+
+ServiceMetrics FairshareService::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceMetrics m = metrics_;
+  m.busyRejections = busyRejections_.load(std::memory_order_relaxed);
+  return m;
+}
+
+std::vector<QuarantinedDelta> FairshareService::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<QuarantinedDelta>(quarantine_.begin(),
+                                       quarantine_.end());
+}
+
+std::vector<std::uint64_t> FairshareService::sessionIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessionIds_;
+}
+
+}  // namespace mcfair::serve

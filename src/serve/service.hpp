@@ -1,0 +1,328 @@
+// FairshareService — the always-on serving layer over the max-min
+// solver stack (the ROADMAP's "always-on fairshare service" item).
+//
+// One service owns one net::Network plus a warm fairness::MaxMinSolver
+// and a warm fairness::SampledSolver bound to it. State changes arrive
+// as serve::Delta values (journal.hpp) and ride the solvers' existing
+// rebind tiers: capacity/fault deltas are in-place setCapacity calls
+// (O(links), allocation-free refresh on the next solve), joins append
+// a session (full rebuild), leaves rebuild the network without the
+// session. Queries return receiver allocations; what-if queries answer
+// the examples/whatif_analysis.cpp questions against the live state.
+//
+// Robustness model:
+//
+//  * Deadline-aware degradation. Every query carries a latency budget
+//    (seconds; <= 0 or infinity = unbudgeted). The service maintains an
+//    EWMA of measured exact re-solve latencies; when the state is dirty
+//    and the budget is below that estimate, it answers from the warm
+//    SampledSolver estimate instead and tags the result `degraded`.
+//    Degraded answers are *bitwise-equal* to a direct SampledSolver
+//    solve with the same SampledOptions on the same network — the
+//    sample is deterministic in (structure, seed, fraction). A
+//    hysteresis pair (ServiceOptions::degradeAfter / promoteAfter)
+//    latches the mode: consecutive blown budgets demote to degraded
+//    serving, and only a streak of affordable queries re-promotes to
+//    exact, so a service hovering at the budget boundary does not flap.
+//
+//  * Input hardening. applyDelta validates *before* touching any state:
+//    unknown links, non-finite or negative capacities, duplicate or
+//    unknown session ids, and structurally invalid sessions return a
+//    ServiceStatus error code and push the offender into a bounded
+//    quarantine ring — solver and network state are never corrupted.
+//    tryApplyDelta bounds the wait on the service lock (an in-flight
+//    structural rebind) with retries + exponential backoff and returns
+//    kBusy instead of blocking forever.
+//
+//  * Crash recovery. saveSnapshot writes the network image
+//    (net/snapshot.hpp) plus the service's base-capacity/fault-factor
+//    arrays and session-id table, and truncates the journal
+//    (compaction); every accepted delta is framed into the journal
+//    before being acknowledged. recover() loads the snapshot and
+//    replays the journal's complete records through the normal apply
+//    path (journaling disarmed during replay), reaching allocations
+//    EXPECT_EQ-identical to the uninterrupted service; MCFAIR_VALIDATE
+//    cross-checks every replayed solve against the reference oracle.
+//
+//  * Tail observability. Per-operation latency histograms
+//    (util::P2Quantile p50/p99/p999 + RunningStats) and
+//    exact/degraded/rejected/busy counters, all allocation-free on the
+//    hot path: after a warm-up query per mode, query() and capacity/
+//    fault applyDelta() perform zero heap allocations (pinned by
+//    tests/test_service_zero_alloc.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fairness/sampled.hpp"
+#include "serve/journal.hpp"
+#include "util/stats.hpp"
+
+namespace mcfair::serve {
+
+/// Structured result codes of the delta/query API.
+enum class ServiceStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownLink,       ///< delta/query references a link id out of range
+  kUnknownSession,    ///< leave/what-if references no live session
+  kDuplicateSession,  ///< join reuses a live session id
+  kBadCapacity,       ///< capacity/factor not finite or out of range
+  kMalformed,         ///< structurally invalid session payload
+  kBusy,              ///< tryApplyDelta exhausted its lock retries
+};
+
+/// Human-readable name of a status code.
+const char* serviceStatusName(ServiceStatus s) noexcept;
+
+/// Service knobs. Every member is a runtime knob (see README).
+struct ServiceOptions {
+  /// Consecutive queries whose budget is below the exact-cost estimate
+  /// before the service latches into degraded serving.
+  std::size_t degradeAfter = 2;
+  /// Consecutive affordable queries (while degraded) before the service
+  /// re-promotes to exact — the hysteresis that stops mode flapping.
+  std::size_t promoteAfter = 3;
+  /// Pins the exact re-solve cost estimate (seconds) when >= 0; the
+  /// default -1 tracks an EWMA of measured exact solve latencies.
+  /// Tests pin this to make degradation decisions deterministic.
+  double exactCostOverride = -1.0;
+  /// EWMA smoothing factor of the measured-cost tracker in (0, 1].
+  double costEwmaAlpha = 0.2;
+  /// Lock-acquisition attempts of tryApplyDelta before kBusy.
+  std::size_t deltaRetries = 3;
+  /// Initial backoff between tryApplyDelta attempts (doubles per retry).
+  double retryBackoffSeconds = 1e-4;
+  /// Bounded quarantine ring of rejected deltas (oldest evicted).
+  std::size_t quarantineCapacity = 64;
+  /// Append-only delta journal path; empty disables journaling.
+  std::string journalPath;
+  /// Forwarded to the warm exact solver.
+  fairness::MaxMinOptions solver;
+  /// Forwarded to the warm degraded-path solver (fraction, seed, floor).
+  fairness::SampledOptions sampled;
+  /// Paranoid cross-checking (util/validate.hpp) of the service's own
+  /// replay/refresh invariants; solver-level validation travels inside
+  /// `solver`/`sampled`.
+  util::ValidateOptions validate;
+  /// Test hook: invoked inside applyDelta while the service lock is
+  /// held, before the state mutates. Lets tests hold the service busy
+  /// deterministically (tryApplyDelta kBusy coverage). Null in
+  /// production.
+  std::function<void(const Delta&)> rebindHook;
+};
+
+/// One answered query. `rates` points at solver-owned storage: valid
+/// until the next query/what-if/delta on the service and shaped like
+/// the network at answer time.
+struct QueryResult {
+  ServiceStatus status = ServiceStatus::kOk;
+  /// True when the answer is the SampledSolver estimate (budget-driven
+  /// degradation), false for an exact allocation.
+  bool degraded = false;
+  const fairness::Allocation* rates = nullptr;
+  /// Wall-clock cost of answering this query (seconds).
+  double latencySeconds = 0.0;
+  /// Applied-delta revision the answer reflects.
+  std::uint64_t revision = 0;
+};
+
+/// Streaming latency histogram: Welford stats + P2 tail quantiles.
+/// add() never allocates.
+struct LatencyHistogram {
+  util::RunningStats stats;
+  util::P2Quantile p50{0.5};
+  util::P2Quantile p99{0.99};
+  util::P2Quantile p999{0.999};
+
+  void add(double seconds) noexcept {
+    stats.add(seconds);
+    p50.add(seconds);
+    p99.add(seconds);
+    p999.add(seconds);
+  }
+};
+
+/// Per-operation observability counters and histograms.
+struct ServiceMetrics {
+  LatencyHistogram exactQuery;
+  LatencyHistogram degradedQuery;
+  LatencyHistogram deltaApply;
+  std::uint64_t exactAnswers = 0;
+  std::uint64_t degradedAnswers = 0;
+  std::uint64_t appliedDeltas = 0;
+  std::uint64_t rejectedDeltas = 0;
+  std::uint64_t busyRejections = 0;
+  std::uint64_t demotions = 0;   ///< exact -> degraded mode latches
+  std::uint64_t promotions = 0;  ///< degraded -> exact mode latches
+};
+
+/// A rejected delta held for inspection.
+struct QuarantinedDelta {
+  Delta delta;
+  ServiceStatus status = ServiceStatus::kOk;
+  std::string detail;
+};
+
+/// The long-lived serving loop. Thread-safe: all public entry points
+/// serialize on one internal mutex (queries included — the solvers are
+/// single-threaded state machines; concurrency tests drive delta
+/// appliers against query threads through exactly this lock).
+class FairshareService {
+ public:
+  /// Takes ownership of the network. Sessions present at construction
+  /// get service ids 0..sessionCount-1; base capacities are captured
+  /// from the network's current values. A non-empty
+  /// ServiceOptions::journalPath is opened truncated (a fresh service
+  /// starts a fresh journal; recover() reopens for append instead).
+  explicit FairshareService(net::Network network, ServiceOptions options = {});
+  ~FairshareService();
+
+  FairshareService(const FairshareService&) = delete;
+  FairshareService& operator=(const FairshareService&) = delete;
+
+  // --- Queries. ---
+
+  /// The current allocation within `budgetSeconds` (<= 0 or infinity =
+  /// unbudgeted, always exact). Clean-state queries answer from cache.
+  QueryResult query(double budgetSeconds);
+
+  /// query() for concurrent callers: copies the answer into `rates`
+  /// (flat receiver order, resized to the network's receiver count)
+  /// while still holding the service lock, so the values stay valid
+  /// across concurrent deltas. The returned result carries a null
+  /// `rates` pointer — the caller's vector is the answer. Performs no
+  /// heap allocation once `rates` has capacity.
+  QueryResult queryInto(double budgetSeconds, std::vector<double>& rates);
+
+  /// What-if: link `l` re-provisioned to `capacity` (> 0, finite).
+  /// Solves on the live structures via an in-place capacity swap —
+  /// allocation-free — and restores the live state before returning.
+  /// Budget-degradable like query(). Does not shift the degradation
+  /// hysteresis (hypotheticals are not load signals).
+  QueryResult whatIfCapacity(graph::LinkId l, double capacity,
+                             double budgetSeconds);
+
+  /// What-if: receiver removed (the paper's Section 2.5 question).
+  /// Structural copies — these allocate; always exact.
+  QueryResult whatIfWithoutReceiver(net::ReceiverRef ref);
+
+  /// What-if: session `sessionIndex` forced to `type` (Lemma 3).
+  QueryResult whatIfSessionType(std::size_t sessionIndex,
+                                net::SessionType type);
+
+  /// What-if: session `sessionIndex` running under a different
+  /// link-rate (redundancy) function (Lemma 4).
+  QueryResult whatIfLinkRate(std::size_t sessionIndex,
+                             net::LinkRateFunctionPtr fn);
+
+  // --- Deltas. ---
+
+  /// Validates and applies one delta (blocking on the service lock).
+  /// On rejection the state is untouched and the delta is quarantined.
+  ServiceStatus applyDelta(const Delta& d);
+
+  /// applyDelta with a bounded wait: ServiceOptions::deltaRetries lock
+  /// attempts with exponential backoff, then kBusy (not quarantined —
+  /// the delta is valid, the service was contended).
+  ServiceStatus tryApplyDelta(const Delta& d);
+
+  // --- Snapshot / recovery. ---
+
+  /// Writes the service image (network + base capacities + fault
+  /// factors + session-id table + revision) to `path` and truncates
+  /// the journal to it (compaction). Throws net::SnapshotError on IO
+  /// failure.
+  void saveSnapshot(const std::string& path);
+
+  /// Rebuilds a service from a snapshot plus the journal at
+  /// options.journalPath: replays every complete journal record
+  /// through the normal apply path (journaling disarmed during
+  /// replay — records are not re-appended), then re-arms the journal
+  /// for append. Throws net::SnapshotError when the snapshot is
+  /// unreadable or a replayed delta no longer applies.
+  static std::unique_ptr<FairshareService> recover(
+      const std::string& snapshotPath, ServiceOptions options);
+
+  // --- Introspection. ---
+
+  /// The live network (read-only; do not retain across deltas).
+  const net::Network& network() const noexcept { return net_; }
+
+  /// Count of applied deltas since construction/snapshot load.
+  std::uint64_t revision() const;
+
+  /// True while the service answers queries from the sampled estimate.
+  bool degradedMode() const;
+
+  /// A consistent copy of the counters/histograms (taken under the
+  /// service lock, so it is safe while other threads query/apply).
+  ServiceMetrics metrics() const;
+
+  /// Rejected deltas, oldest first (bounded ring).
+  std::vector<QuarantinedDelta> quarantined() const;
+
+  /// Live session ids in network-session order.
+  std::vector<std::uint64_t> sessionIds() const;
+
+  const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Validation {
+    ServiceStatus status = ServiceStatus::kOk;
+    std::string detail;
+  };
+
+  FairshareService(net::Network network, ServiceOptions options,
+                   bool truncateJournal);
+
+  Validation validateDelta(const Delta& d) const;
+  ServiceStatus applyDeltaLocked(const Delta& d);
+  void applyValidatedDelta(const Delta& d);
+  void quarantine(const Delta& d, const Validation& v);
+  QueryResult answerLocked(double budgetSeconds, bool shiftHysteresis);
+  const fairness::Allocation* solveExactLocked();
+  const fairness::Allocation* solveDegradedLocked();
+  double exactCostEstimate() const noexcept;
+  bool sessionIdLive(std::uint64_t id, std::size_t* index) const;
+
+  mutable std::mutex mutex_;
+  net::Network net_;
+  ServiceOptions options_;
+
+  // Fault model: current capacity of link j == base_[j] * factor_[j].
+  // The link set is fixed at construction (deltas never add links).
+  std::vector<double> baseCapacity_;
+  std::vector<double> faultFactor_;
+  std::vector<std::uint64_t> sessionIds_;  // network session index -> id
+
+  fairness::MaxMinSolver exact_;
+  fairness::SampledSolver sampled_;
+  fairness::MaxMinSolver whatIf_;  // scratch solver for structural copies
+
+  bool exactFresh_ = false;
+  bool sampledFresh_ = false;
+  const fairness::Allocation* exactAllocation_ = nullptr;
+  const fairness::Allocation* sampledAllocation_ = nullptr;
+
+  bool degradedMode_ = false;
+  std::size_t blownStreak_ = 0;
+  std::size_t affordableStreak_ = 0;
+  double measuredExactCost_ = -1.0;  // EWMA (seconds); < 0 = no sample yet
+
+  std::uint64_t revision_ = 0;
+  std::atomic<std::uint64_t> busyRejections_{0};
+  ServiceMetrics metrics_;
+  std::deque<QuarantinedDelta> quarantine_;
+  JournalWriter journal_;
+
+  net::Network whatIfScratch_;  // holder for structural what-if copies
+};
+
+}  // namespace mcfair::serve

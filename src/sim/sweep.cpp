@@ -1,6 +1,8 @@
 #include "sim/sweep.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "fairness/sampled.hpp"
@@ -142,6 +144,10 @@ const SweepCell* findCell(const SweepResult& result, std::string_view scenario,
 
 SweepDriver::SweepDriver(SweepConfig config) : config_(std::move(config)) {
   MCFAIR_REQUIRE(config_.runs >= 1, "SweepConfig::runs must be >= 1");
+  MCFAIR_REQUIRE(config_.cellRetries >= 1,
+                 "SweepConfig::cellRetries must be >= 1");
+  MCFAIR_REQUIRE(config_.retryBackoffSeconds >= 0.0,
+                 "SweepConfig::retryBackoffSeconds must be >= 0");
   MCFAIR_REQUIRE(!config_.sampleFractions.empty(),
                  "SweepConfig::sampleFractions must be non-empty");
   for (const double f : config_.sampleFractions) {
@@ -169,12 +175,49 @@ SweepResult SweepDriver::run() const {
   }
   if (result.cells.empty()) return result;
 
+  // Per-cell failure slots: each shard writes only its own entry, so
+  // no cross-thread state is shared and the quarantine report is
+  // deterministic for every executor count (assembled in cell order
+  // after the pool drains).
+  std::vector<FailedSweepCell> failures(result.cells.size());
+
   auto shard = [&](std::size_t index) {
     const std::size_t si = index / result.fractionCount;
-    runCell(config_, config_.scenarios[si], result.cells[index]);
+    SweepCell& cell = result.cells[index];
+    double backoff = config_.retryBackoffSeconds;
+    for (std::size_t attempt = 0; attempt < config_.cellRetries; ++attempt) {
+      if (attempt > 0 && backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2.0;
+      }
+      // Retries restart from clean accumulators: a partially-streamed
+      // attempt must not pollute the successful one.
+      cell.observations = 0;
+      cell.metrics = {};
+      try {
+        if (config_.cellHook) {
+          config_.cellHook(cell.scenario, cell.sampleFraction, attempt);
+        }
+        runCell(config_, config_.scenarios[si], cell);
+        failures[index].attempts = 0;  // success: clear any earlier error
+        return;
+      } catch (const std::exception& e) {
+        failures[index].scenario = cell.scenario;
+        failures[index].sampleFraction = cell.sampleFraction;
+        failures[index].attempts = attempt + 1;
+        failures[index].error = e.what();
+      }
+    }
+    // Quarantined: leave the cell's accumulators empty.
+    cell.observations = 0;
+    cell.metrics = {};
   };
   util::ThreadPool pool(threads_);
   pool.forEachShard(result.cells.size(), shard);
+
+  for (FailedSweepCell& f : failures) {
+    if (f.attempts > 0) result.failedCells.push_back(std::move(f));
+  }
   return result;
 }
 

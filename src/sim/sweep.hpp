@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -109,6 +110,29 @@ struct SweepConfig {
   /// fraction-1.0 column to show exactly zero error. Never changes
   /// results, only checks them.
   util::ValidateOptions validate;
+  /// Attempts per cell: a cell whose run throws is retried from a clean
+  /// accumulator state up to this many times in total, then quarantined
+  /// into SweepResult::failedCells — one bad cell never aborts the
+  /// fleet. Must be >= 1.
+  std::size_t cellRetries = 2;
+  /// Sleep before each retry (seconds, doubling per attempt); 0 retries
+  /// immediately.
+  double retryBackoffSeconds = 0.0;
+  /// Test hook invoked at the start of every cell attempt (scenario
+  /// name, fraction, 0-based attempt). A throwing hook injects a cell
+  /// failure — the retry/quarantine tests drive exactly this. Null in
+  /// production.
+  std::function<void(const std::string&, double, std::size_t)> cellHook;
+};
+
+/// One quarantined grid cell: every attempt threw.
+struct FailedSweepCell {
+  std::string scenario;
+  double sampleFraction = 1.0;
+  /// Attempts consumed (== SweepConfig::cellRetries).
+  std::size_t attempts = 0;
+  /// what() of the last attempt's exception.
+  std::string error;
 };
 
 /// The aggregated grid, cells in row-major (scenario-major) order.
@@ -116,6 +140,10 @@ struct SweepResult {
   std::vector<SweepCell> cells;
   std::size_t scenarioCount = 0;
   std::size_t fractionCount = 0;
+  /// Cells whose every attempt threw, in cell order (deterministic for
+  /// any thread count). A quarantined cell's accumulators stay empty
+  /// (observations == 0).
+  std::vector<FailedSweepCell> failedCells;
 
   const SweepCell& cell(std::size_t scenario, std::size_t fraction) const {
     return cells[scenario * fractionCount + fraction];

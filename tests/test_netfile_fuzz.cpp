@@ -47,6 +47,22 @@ fault 900.5 degrade e1 0.5
 fault 1200 up e3
 )";
 
+// Hostile numeric literals: std::stod happily parses "inf"/"nan", so
+// every numeric field must be rejected by an explicit finiteness guard,
+// not by accident. Mutations of this seed drive those guards through
+// the same never-crash contract.
+const std::string kHostileSeedInput = R"(# hostile numerics
+link backbone inf
+link dsl nan
+link tail -1e308
+session video multi sigma=inf redundancy=inf
+receiver video home backbone,dsl weight=inf
+session web single linkrate=constant:nan
+receiver web w1 tail weight=nan
+fault inf down backbone
+fault 900 degrade dsl nan
+)";
+
 class NetfileFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 void fuzzSeed(const std::string& seedInput, util::Rng& rng, int trials) {
@@ -100,6 +116,11 @@ TEST_P(NetfileFuzz, MutatedGraphInputsNeverCrash) {
   fuzzSeed(kGraphSeedInput, rng, 400);
 }
 
+TEST_P(NetfileFuzz, MutatedHostileNumericsNeverCrash) {
+  util::Rng rng(GetParam() + 777);
+  fuzzSeed(kHostileSeedInput, rng, 400);
+}
+
 TEST_P(NetfileFuzz, RandomGarbageNeverCrashes) {
   util::Rng rng(GetParam() + 999);
   for (int trial = 0; trial < 200; ++trial) {
@@ -117,6 +138,50 @@ TEST_P(NetfileFuzz, RandomGarbageNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetfileFuzz,
                          ::testing::Values(101, 202, 303, 404, 505));
+
+// Directed probes: each hostile value must produce a structured
+// NetfileError (with the offending line number in the message), never a
+// successfully parsed network carrying a non-finite parameter.
+TEST(NetfileHardening, RejectsNonFiniteNumericFields) {
+  const auto expectReject = [](const std::string& input) {
+    EXPECT_THROW((void)parseNetworkString(input), NetfileError) << input;
+  };
+  // Flat-dialect link capacities.
+  expectReject("link l inf\nsession s multi\nreceiver s r l\n");
+  expectReject("link l nan\nsession s multi\nreceiver s r l\n");
+  expectReject("link l -5\nsession s multi\nreceiver s r l\n");
+  // Graph-dialect edge capacities and weights.
+  expectReject("nodes 2\nedge e 0 1 inf\nrouting shortest\n"
+               "session s multi\nsender s 0\nmember s r 1\n");
+  expectReject("nodes 2\nedge e 0 1 5 weight=inf\nrouting weighted\n"
+               "session s multi\nsender s 0\nmember s r 1\n");
+  // Session redundancy / link-rate registry parameters.
+  expectReject("link l 5\nsession s multi redundancy=inf\n"
+               "receiver s r l\n");
+  expectReject("link l 5\nsession s multi linkrate=constant:inf\n"
+               "receiver s r l\n");
+  expectReject("link l 5\nsession s multi linkrate=randomjoin:nan\n"
+               "receiver s r l\n");
+  // Receiver weights.
+  expectReject("link l 5\nsession s multi\nreceiver s r l weight=inf\n");
+  expectReject("link l 5\nsession s multi\nreceiver s r l weight=nan\n");
+  // Fault schedule times and factors.
+  expectReject("link l 5\nsession s multi\nreceiver s r l\n"
+               "fault inf down l\n");
+  expectReject("link l 5\nsession s multi\nreceiver s r l\n"
+               "fault 10 degrade l nan\n");
+}
+
+TEST(NetfileHardening, ErrorsNameTheOffendingLine) {
+  try {
+    (void)parseNetworkString(
+        "link good 5\nlink bad inf\nsession s multi\nreceiver s r good\n");
+    FAIL() << "expected NetfileError";
+  } catch (const NetfileError& e) {
+    EXPECT_NE(std::string(e.what()).find("netfile:2:"), std::string::npos)
+        << e.what();
+  }
+}
 
 }  // namespace
 }  // namespace mcfair::net

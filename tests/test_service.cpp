@@ -1,0 +1,460 @@
+// Behavioral coverage of serve::FairshareService:
+//
+//  * exact queries match the reference oracle bit for bit and answer
+//    from cache while the state is clean;
+//  * degraded (budget-blown) answers are bitwise-equal to a direct
+//    fairness::SampledSolver solve with the same options on the same
+//    network — the acceptance criterion of the degradation path;
+//  * the demote/promote hysteresis latches exactly at
+//    degradeAfter/promoteAfter consecutive decisions and what-if
+//    queries never shift it;
+//  * every what-if matches the corresponding immutable-copy solve and
+//    the live state is restored afterwards;
+//  * deltas ride the base-capacity x fault-factor model, malformed
+//    deltas return structured codes and land in the bounded quarantine
+//    with the state untouched, and tryApplyDelta reports kBusy when the
+//    lock is held (driven deterministically through the rebind hook).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fairness/maxmin.hpp"
+#include "fairness/sampled.hpp"
+#include "net/topologies.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+namespace mcfair::serve {
+namespace {
+
+constexpr double kUnbudgeted = 0.0;
+
+void expectRatesEqual(const net::Network& shape,
+                      const fairness::Allocation& a,
+                      const fairness::Allocation& b) {
+  for (const net::ReceiverRef ref : shape.receiverRefs()) {
+    EXPECT_EQ(a.rate(ref), b.rate(ref))
+        << "receiver (" << ref.session << ", " << ref.receiver << ")";
+  }
+}
+
+TEST(FairshareService, ExactQueryMatchesOracleAndCaches) {
+  FairshareService service(net::fig3aNetwork(false));
+  const QueryResult q = service.query(kUnbudgeted);
+  ASSERT_EQ(q.status, ServiceStatus::kOk);
+  EXPECT_FALSE(q.degraded);
+  EXPECT_EQ(q.revision, 0u);
+  ASSERT_NE(q.rates, nullptr);
+  expectRatesEqual(service.network(),
+                   fairness::maxMinFairAllocation(service.network()),
+                   *q.rates);
+  // Clean state: the second query answers from the cached allocation.
+  const QueryResult again = service.query(kUnbudgeted);
+  EXPECT_EQ(again.rates, q.rates);
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.exactAnswers, 2u);
+  EXPECT_EQ(m.degradedAnswers, 0u);
+  EXPECT_EQ(m.exactQuery.stats.count(), 2u);
+  EXPECT_EQ(m.exactQuery.p50.count(), 2u);
+  EXPECT_EQ(m.exactQuery.p999.count(), 2u);
+}
+
+TEST(FairshareService, DegradedAnswerIsBitwiseEqualToDirectSampledSolve) {
+  ServiceOptions options;
+  options.exactCostOverride = 10.0;  // every finite budget is blown
+  options.degradeAfter = 1000;       // decide per query, never latch
+  options.sampled.sampleFraction = 0.5;
+  options.sampled.seed = 7;
+  FairshareService service(
+      net::singleBottleneckNetwork(12, 3, 40.0, 1.0), options);
+
+  const QueryResult q = service.query(1e-6);
+  ASSERT_EQ(q.status, ServiceStatus::kOk);
+  EXPECT_TRUE(q.degraded);
+
+  // The acceptance criterion: a direct SampledSolver with the same
+  // options on the same network must produce the same estimate bit for
+  // bit (the sample is deterministic in structure, seed, fraction).
+  fairness::SampledSolver direct(options.sampled);
+  (void)direct.solve(service.network());
+  expectRatesEqual(service.network(), direct.estimateAllocation(), *q.rates);
+
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.degradedAnswers, 1u);
+  EXPECT_EQ(m.degradedQuery.stats.count(), 1u);
+}
+
+TEST(FairshareService, UnbudgetedQueriesAreAlwaysExact) {
+  ServiceOptions options;
+  options.exactCostOverride = 10.0;
+  FairshareService service(net::fig3aNetwork(false), options);
+  EXPECT_FALSE(service.query(0.0).degraded);
+  EXPECT_FALSE(service.query(-1.0).degraded);
+  EXPECT_FALSE(
+      service.query(std::numeric_limits<double>::infinity()).degraded);
+  // A clean exact cache is free, so even a tiny budget affords it.
+  EXPECT_FALSE(service.query(1e-9).degraded);
+}
+
+TEST(FairshareService, HysteresisDemotesAndPromotesOnExactStreaks) {
+  ServiceOptions options;
+  options.exactCostOverride = 1.0;
+  options.degradeAfter = 2;
+  options.promoteAfter = 2;
+  FairshareService service(net::fig3aNetwork(false), options);
+
+  // Dirty state + blown budget: degraded answers, mode latches on the
+  // second consecutive one.
+  EXPECT_TRUE(service.query(0.5).degraded);
+  EXPECT_FALSE(service.degradedMode());
+  EXPECT_TRUE(service.query(0.5).degraded);
+  EXPECT_TRUE(service.degradedMode());
+  EXPECT_EQ(service.metrics().demotions, 1u);
+
+  // Affordable queries while degraded: still degraded until the streak
+  // reaches promoteAfter; a blown budget in between resets it.
+  EXPECT_TRUE(service.query(2.0).degraded);
+  EXPECT_TRUE(service.query(0.5).degraded);  // resets the streak
+  EXPECT_TRUE(service.query(2.0).degraded);
+  EXPECT_TRUE(service.degradedMode());
+  const QueryResult promoted = service.query(2.0);
+  EXPECT_FALSE(promoted.degraded);  // the promoting query answers exact
+  EXPECT_FALSE(service.degradedMode());
+  EXPECT_EQ(service.metrics().promotions, 1u);
+}
+
+TEST(FairshareService, WhatIfsDoNotShiftTheHysteresis) {
+  ServiceOptions options;
+  options.exactCostOverride = 1.0;
+  options.degradeAfter = 2;
+  options.promoteAfter = 2;
+  FairshareService service(net::fig3aNetwork(false), options);
+  EXPECT_TRUE(service.query(0.5).degraded);
+  EXPECT_TRUE(service.query(0.5).degraded);
+  ASSERT_TRUE(service.degradedMode());
+
+  // Affordable what-ifs answer exact but never count toward promotion.
+  for (int i = 0; i < 5; ++i) {
+    const QueryResult w =
+        service.whatIfCapacity(graph::LinkId{0}, 8.0, 2.0);
+    ASSERT_EQ(w.status, ServiceStatus::kOk);
+    EXPECT_FALSE(w.degraded);
+    EXPECT_TRUE(service.degradedMode());
+  }
+  // Real queries still need the full streak.
+  EXPECT_TRUE(service.query(2.0).degraded);
+  EXPECT_FALSE(service.query(2.0).degraded);
+  EXPECT_FALSE(service.degradedMode());
+}
+
+TEST(FairshareService, WhatIfsMatchImmutableCopySolvesAndRestoreState) {
+  FairshareService service(net::fig3aNetwork(false));
+  const net::Network& live = service.network();
+  const fairness::Allocation base = fairness::maxMinFairAllocation(live);
+
+  {  // Capacity re-provisioning (in-place swap + restore).
+    const QueryResult q =
+        service.whatIfCapacity(graph::LinkId{0}, 8.0, kUnbudgeted);
+    ASSERT_EQ(q.status, ServiceStatus::kOk);
+    expectRatesEqual(live,
+                     fairness::maxMinFairAllocation(
+                         live.withCapacity(graph::LinkId{0}, 8.0)),
+                     *q.rates);
+    EXPECT_EQ(live.capacity(graph::LinkId{0}), 4.0);  // restored
+    expectRatesEqual(live, base, *service.query(kUnbudgeted).rates);
+  }
+  {  // Receiver removal (the Section 2.5 question).
+    const QueryResult q =
+        service.whatIfWithoutReceiver(net::fig3RemovedReceiver());
+    ASSERT_EQ(q.status, ServiceStatus::kOk);
+    const net::Network shrunk =
+        live.withoutReceiver(net::fig3RemovedReceiver());
+    expectRatesEqual(shrunk, fairness::maxMinFairAllocation(shrunk),
+                     *q.rates);
+  }
+  {  // Session-type change (Lemma 3).
+    const QueryResult q =
+        service.whatIfSessionType(2, net::SessionType::kSingleRate);
+    ASSERT_EQ(q.status, ServiceStatus::kOk);
+    const net::Network single =
+        live.withSessionType(2, net::SessionType::kSingleRate);
+    expectRatesEqual(single, fairness::maxMinFairAllocation(single),
+                     *q.rates);
+  }
+  {  // Link-rate (redundancy) change (Lemma 4).
+    const auto fn = std::make_shared<const net::ConstantFactor>(1.5);
+    const QueryResult q = service.whatIfLinkRate(0, fn);
+    ASSERT_EQ(q.status, ServiceStatus::kOk);
+    const net::Network redundant = live.withLinkRateFunction(0, fn);
+    expectRatesEqual(redundant, fairness::maxMinFairAllocation(redundant),
+                     *q.rates);
+  }
+  // The live answer is unchanged after all four hypotheticals.
+  expectRatesEqual(live, base, *service.query(kUnbudgeted).rates);
+  EXPECT_EQ(service.revision(), 0u);
+}
+
+TEST(FairshareService, WhatIfErrorsReturnStructuredCodes) {
+  FairshareService service(net::fig3aNetwork(false));
+  EXPECT_EQ(service.whatIfCapacity(graph::LinkId{99}, 8.0, 0.0).status,
+            ServiceStatus::kUnknownLink);
+  EXPECT_EQ(service.whatIfCapacity(graph::LinkId{0}, -1.0, 0.0).status,
+            ServiceStatus::kBadCapacity);
+  EXPECT_EQ(service
+                .whatIfCapacity(graph::LinkId{0},
+                                std::numeric_limits<double>::infinity(), 0.0)
+                .status,
+            ServiceStatus::kBadCapacity);
+  EXPECT_EQ(service.whatIfWithoutReceiver({99, 0}).status,
+            ServiceStatus::kUnknownSession);
+  // Removing a nonexistent receiver of a valid session is malformed.
+  EXPECT_EQ(service.whatIfWithoutReceiver({0, 99}).status,
+            ServiceStatus::kMalformed);
+  EXPECT_EQ(service.whatIfSessionType(99, net::SessionType::kSingleRate)
+                .status,
+            ServiceStatus::kUnknownSession);
+  EXPECT_EQ(service.whatIfLinkRate(0, nullptr).status,
+            ServiceStatus::kMalformed);
+  EXPECT_EQ(service.whatIfLinkRate(99,
+                                   std::make_shared<const net::ConstantFactor>(
+                                       2.0))
+                .status,
+            ServiceStatus::kUnknownSession);
+  // Removing the only receiver of a unicast session is malformed.
+  net::Network solo;
+  const auto l = solo.addLink(5.0);
+  solo.addSession(net::makeUnicastSession({l}));
+  FairshareService soloService(std::move(solo));
+  EXPECT_EQ(soloService.whatIfWithoutReceiver({0, 0}).status,
+            ServiceStatus::kMalformed);
+}
+
+TEST(FairshareService, DeltasComposeBaseCapacityWithFaultFactor) {
+  FairshareService service(net::fig3aNetwork(false));
+  const graph::LinkId l0{0};
+  const auto fault = [&](net::FaultKind kind, double factor) {
+    return faultDelta(net::FaultEvent{0.0, kind, l0, factor});
+  };
+
+  ASSERT_EQ(service.applyDelta(setCapacityDelta(l0, 8.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.network().capacity(l0), 8.0);
+  ASSERT_EQ(service.applyDelta(fault(net::FaultKind::kDegrade, 0.5)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.network().capacity(l0), 4.0);
+  // Re-provisioning under an active fault keeps the factor applied.
+  ASSERT_EQ(service.applyDelta(setCapacityDelta(l0, 6.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.network().capacity(l0), 3.0);
+  ASSERT_EQ(service.applyDelta(fault(net::FaultKind::kLinkUp, 1.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.network().capacity(l0), 6.0);
+  ASSERT_EQ(service.applyDelta(fault(net::FaultKind::kLinkDown, 1.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.network().capacity(l0), 0.0);
+  ASSERT_EQ(service.applyDelta(fault(net::FaultKind::kLinkUp, 1.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.network().capacity(l0), 6.0);
+
+  EXPECT_EQ(service.revision(), 6u);
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.appliedDeltas, 6u);
+  EXPECT_EQ(m.deltaApply.stats.count(), 6u);
+  // The post-delta query reflects the final state exactly.
+  expectRatesEqual(service.network(),
+                   fairness::maxMinFairAllocation(service.network()),
+                   *service.query(kUnbudgeted).rates);
+}
+
+TEST(FairshareService, JoinThenLeaveRoundTripsTheAllocation) {
+  FairshareService service(net::fig3aNetwork(false));
+  const std::vector<double> base =
+      service.query(kUnbudgeted).rates->orderedRates();
+  const std::vector<std::uint64_t> baseIds = service.sessionIds();
+
+  net::Session extra;
+  extra.name = "guest";
+  extra.receivers.push_back(net::makeReceiver({graph::LinkId{0}}, "g1"));
+  ASSERT_EQ(service.applyDelta(joinDelta(7, extra)), ServiceStatus::kOk);
+  EXPECT_EQ(service.network().sessionCount(), 4u);
+  EXPECT_EQ(service.sessionIds().back(), 7u);
+  EXPECT_NE(service.query(kUnbudgeted).rates->orderedRates().size(),
+            base.size());
+
+  ASSERT_EQ(service.applyDelta(leaveDelta(7)), ServiceStatus::kOk);
+  EXPECT_EQ(service.sessionIds(), baseIds);
+  EXPECT_EQ(service.query(kUnbudgeted).rates->orderedRates(), base);
+}
+
+TEST(FairshareService, RejectionsQuarantineWithoutTouchingState) {
+  FairshareService service(net::fig3aNetwork(false));
+  const std::vector<double> base =
+      service.query(kUnbudgeted).rates->orderedRates();
+  const graph::LinkId l0{0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  net::Session dup;
+  dup.receivers.push_back(net::makeReceiver({l0}));
+  net::Session noReceivers;
+  net::Session badSigma = dup;
+  badSigma.maxRate = nan;
+  net::Session badWeight = dup;
+  badWeight.receivers[0].weight = -1.0;
+  net::Session nonUniform = dup;
+  nonUniform.type = net::SessionType::kSingleRate;
+  nonUniform.receivers.push_back(net::makeReceiver({l0}));
+  nonUniform.receivers[1].weight = 2.0;
+  net::Session badLink = dup;
+  badLink.receivers[0].dataPath = {graph::LinkId{99}};
+  net::Session emptyPath;
+  emptyPath.receivers.push_back(net::Receiver{});
+
+  const std::vector<std::pair<Delta, ServiceStatus>> rejects = {
+      {setCapacityDelta(graph::LinkId{99}, 5.0),
+       ServiceStatus::kUnknownLink},
+      {setCapacityDelta(l0, nan), ServiceStatus::kBadCapacity},
+      {setCapacityDelta(l0, -2.0), ServiceStatus::kBadCapacity},
+      {setCapacityDelta(l0, inf), ServiceStatus::kBadCapacity},
+      {faultDelta({0.0, net::FaultKind::kDegrade, graph::LinkId{99}, 0.5}),
+       ServiceStatus::kUnknownLink},
+      {faultDelta({0.0, net::FaultKind::kDegrade, l0, 0.0}),
+       ServiceStatus::kBadCapacity},
+      {faultDelta({0.0, net::FaultKind::kDegrade, l0, nan}),
+       ServiceStatus::kBadCapacity},
+      {joinDelta(0, dup), ServiceStatus::kDuplicateSession},
+      {joinDelta(10, noReceivers), ServiceStatus::kMalformed},
+      {joinDelta(11, badSigma), ServiceStatus::kMalformed},
+      {joinDelta(12, badWeight), ServiceStatus::kMalformed},
+      {joinDelta(13, nonUniform), ServiceStatus::kMalformed},
+      {joinDelta(14, badLink), ServiceStatus::kUnknownLink},
+      {joinDelta(15, emptyPath), ServiceStatus::kMalformed},
+      {leaveDelta(42), ServiceStatus::kUnknownSession},
+  };
+  for (const auto& [delta, expected] : rejects) {
+    EXPECT_EQ(service.applyDelta(delta), expected)
+        << serviceStatusName(expected);
+  }
+
+  EXPECT_EQ(service.revision(), 0u);
+  EXPECT_EQ(service.metrics().rejectedDeltas, rejects.size());
+  const auto held = service.quarantined();
+  ASSERT_EQ(held.size(), rejects.size());
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i].status, rejects[i].second) << "entry " << i;
+    EXPECT_FALSE(held[i].detail.empty());
+  }
+  EXPECT_EQ(service.query(kUnbudgeted).rates->orderedRates(), base);
+
+  // Removing the last session is refused.
+  net::Network solo;
+  const auto l = solo.addLink(5.0);
+  solo.addSession(net::makeUnicastSession({l}));
+  FairshareService soloService(std::move(solo));
+  EXPECT_EQ(soloService.applyDelta(leaveDelta(0)), ServiceStatus::kMalformed);
+}
+
+TEST(FairshareService, QuarantineRingEvictsOldestAtCapacity) {
+  ServiceOptions options;
+  options.quarantineCapacity = 2;
+  FairshareService service(net::fig3aNetwork(false), options);
+  EXPECT_EQ(service.applyDelta(setCapacityDelta(graph::LinkId{99}, 5.0)),
+            ServiceStatus::kUnknownLink);
+  EXPECT_EQ(service.applyDelta(setCapacityDelta(graph::LinkId{0}, -1.0)),
+            ServiceStatus::kBadCapacity);
+  EXPECT_EQ(service.applyDelta(leaveDelta(42)),
+            ServiceStatus::kUnknownSession);
+  const auto held = service.quarantined();
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[0].status, ServiceStatus::kBadCapacity);
+  EXPECT_EQ(held[1].status, ServiceStatus::kUnknownSession);
+  EXPECT_EQ(service.metrics().rejectedDeltas, 3u);
+}
+
+TEST(FairshareService, TryApplyDeltaReportsBusyUnderContention) {
+  std::mutex gate;
+  std::condition_variable cv;
+  bool hold = true;
+  bool entered = false;
+
+  ServiceOptions options;
+  options.deltaRetries = 2;
+  options.retryBackoffSeconds = 1e-5;
+  options.rebindHook = [&](const Delta&) {
+    std::unique_lock<std::mutex> lock(gate);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return !hold; });
+  };
+  FairshareService service(net::fig3aNetwork(false), options);
+
+  std::thread blocker([&] {
+    EXPECT_EQ(service.applyDelta(setCapacityDelta(graph::LinkId{0}, 5.0)),
+              ServiceStatus::kOk);
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate);
+    cv.wait(lock, [&] { return entered; });
+  }
+  // The service lock is held inside the blocked applyDelta: a bounded
+  // tryApplyDelta must give up with kBusy, not block forever. The delta
+  // is valid, so it is NOT quarantined.
+  EXPECT_EQ(service.tryApplyDelta(setCapacityDelta(graph::LinkId{1}, 9.0)),
+            ServiceStatus::kBusy);
+  {
+    std::lock_guard<std::mutex> lock(gate);
+    hold = false;
+  }
+  cv.notify_all();
+  blocker.join();
+
+  EXPECT_EQ(service.metrics().busyRejections, 1u);
+  EXPECT_TRUE(service.quarantined().empty());
+  EXPECT_EQ(service.revision(), 1u);
+  // Uncontended, the same delta now applies.
+  EXPECT_EQ(service.tryApplyDelta(setCapacityDelta(graph::LinkId{1}, 9.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(service.revision(), 2u);
+}
+
+TEST(FairshareService, QueryIntoCopiesTheAnswerOut) {
+  FairshareService service(net::fig3aNetwork(false));
+  std::vector<double> rates;
+  const QueryResult q = service.queryInto(kUnbudgeted, rates);
+  ASSERT_EQ(q.status, ServiceStatus::kOk);
+  EXPECT_EQ(q.rates, nullptr);  // the copy is the answer
+  const net::Network& net = service.network();
+  ASSERT_EQ(rates.size(), net.receiverCount());
+  const fairness::Allocation oracle = fairness::maxMinFairAllocation(net);
+  for (const net::ReceiverRef ref : net.receiverRefs()) {
+    EXPECT_EQ(rates[net.flatIndex(ref)], oracle.rate(ref));
+  }
+}
+
+TEST(FairshareService, ConstructorValidatesOptions) {
+  const auto make = [](ServiceOptions options) {
+    FairshareService service(net::fig3aNetwork(false), std::move(options));
+  };
+  ServiceOptions bad;
+  bad.degradeAfter = 0;
+  EXPECT_THROW(make(bad), PreconditionError);
+  bad = {};
+  bad.promoteAfter = 0;
+  EXPECT_THROW(make(bad), PreconditionError);
+  bad = {};
+  bad.costEwmaAlpha = 0.0;
+  EXPECT_THROW(make(bad), PreconditionError);
+  bad = {};
+  bad.quarantineCapacity = 0;
+  EXPECT_THROW(make(bad), PreconditionError);
+  EXPECT_THROW(FairshareService(net::Network{}, ServiceOptions{}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcfair::serve

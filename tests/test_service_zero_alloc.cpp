@@ -1,0 +1,159 @@
+// Verifies the serving layer's allocation-free request path: once a
+// FairshareService has answered one query per mode (exact + degraded)
+// and applied one delta, subsequent capacity/fault deltas and queries
+// perform no heap allocation at all — the solvers stay on their warm
+// refresh tiers, the latency histograms stream in place, and queryInto
+// reuses the caller's buffer.
+//
+// The check instruments the global allocator for this test binary, the
+// same counting-allocator harness as tests/test_maxmin_zero_alloc.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "net/topologies.hpp"
+#include "serve/service.hpp"
+
+namespace {
+// Atomic: operator new can run on pool worker threads too.
+std::atomic<std::size_t> g_allocations{0};
+
+// C11 aligned_alloc requires size to be a multiple of the alignment
+// (glibc is lenient, macOS is not).
+std::size_t roundUp(std::size_t size, std::align_val_t align) {
+  const auto a = static_cast<std::size_t>(align);
+  return (size + a - 1) / a * a;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   roundUp(size, align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  ++g_allocations;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   roundUp(size, align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace mcfair::serve {
+namespace {
+
+// The MCFAIR_VALIDATE harness re-solves with the (allocating) reference
+// oracle; the allocation contract under test is the service's own, so
+// this binary pins validation off at every layer regardless of the
+// environment. The pinned exact-cost estimate makes the degradation
+// decision deterministic: unbudgeted queries answer exact, tiny budgets
+// answer degraded, and the huge degradeAfter keeps the mode from
+// latching so each query decides independently.
+ServiceOptions zeroAllocOptions() {
+  ServiceOptions options;
+  options.exactCostOverride = 1.0;
+  options.degradeAfter = 1000;
+  options.solver.validate.enabled = 0;
+  options.sampled.solver.validate.enabled = 0;
+  options.validate.enabled = 0;
+  options.sampled.sampleFraction = 0.5;
+  options.sampled.seed = 3;
+  return options;
+}
+
+TEST(ServiceZeroAlloc, WarmDeltaAndBothQueryModesAllocateNothing) {
+  FairshareService service(net::singleBottleneckNetwork(32, 4, 500.0, 1.5),
+                           zeroAllocOptions());
+  const graph::LinkId l0{0};
+  const Delta bump = setCapacityDelta(l0, 450.0);
+  const Delta restore = setCapacityDelta(l0, 500.0);
+  const Delta fault = faultDelta(
+      net::FaultEvent{0.0, net::FaultKind::kDegrade, l0, 0.5});
+  const Delta clear = faultDelta(
+      net::FaultEvent{0.0, net::FaultKind::kLinkUp, l0, 1.0});
+
+  // Warm-up: one pass through the delta path and each answer mode
+  // builds every workspace and histogram marker.
+  EXPECT_FALSE(service.query(0.0).degraded);
+  ASSERT_EQ(service.applyDelta(bump), ServiceStatus::kOk);
+  EXPECT_TRUE(service.query(1e-9).degraded);
+  ASSERT_EQ(service.applyDelta(fault), ServiceStatus::kOk);
+  EXPECT_FALSE(service.query(0.0).degraded);
+  ASSERT_EQ(service.applyDelta(clear), ServiceStatus::kOk);
+
+  // Capacity delta + exact re-solve: zero allocations.
+  std::size_t before = g_allocations;
+  ASSERT_EQ(service.applyDelta(restore), ServiceStatus::kOk);
+  const QueryResult exact = service.query(0.0);
+  EXPECT_EQ(g_allocations - before, 0u);
+  EXPECT_FALSE(exact.degraded);
+
+  // Fault delta + degraded re-solve: zero allocations.
+  before = g_allocations;
+  ASSERT_EQ(service.applyDelta(fault), ServiceStatus::kOk);
+  const QueryResult degraded = service.query(1e-9);
+  EXPECT_EQ(g_allocations - before, 0u);
+  EXPECT_TRUE(degraded.degraded);
+
+  // Cached (clean-state) answers are free too.
+  before = g_allocations;
+  (void)service.query(1e-9);
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
+TEST(ServiceZeroAlloc, WarmQueryIntoReusesTheCallerBuffer) {
+  FairshareService service(net::singleBottleneckNetwork(32, 4, 500.0, 1.5),
+                           zeroAllocOptions());
+  const Delta bump = setCapacityDelta(graph::LinkId{0}, 420.0);
+  const Delta restore = setCapacityDelta(graph::LinkId{0}, 500.0);
+  std::vector<double> rates;
+  (void)service.queryInto(0.0, rates);  // warm-up sizes the buffer
+  ASSERT_EQ(service.applyDelta(bump), ServiceStatus::kOk);
+  (void)service.queryInto(1e-9, rates);
+
+  const std::size_t before = g_allocations;
+  ASSERT_EQ(service.applyDelta(restore), ServiceStatus::kOk);
+  const QueryResult exact = service.queryInto(0.0, rates);
+  ASSERT_EQ(service.applyDelta(bump), ServiceStatus::kOk);
+  const QueryResult degraded = service.queryInto(1e-9, rates);
+  EXPECT_EQ(g_allocations - before, 0u);
+  EXPECT_FALSE(exact.degraded);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(rates.size(), service.network().receiverCount());
+}
+
+}  // namespace
+}  // namespace mcfair::serve

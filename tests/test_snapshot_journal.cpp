@@ -1,0 +1,521 @@
+// Crash-recovery coverage for the serving layer's persistence formats:
+//
+//  * net/snapshot.hpp — the binary network image must round-trip
+//    bit-identically (including infinite capacities, a zero-capacity
+//    faulted link, weights, sigma limits and every registry link-rate
+//    family) and must reject *every* single-byte corruption and every
+//    truncation rather than construct a half-parsed network.
+//  * serve/journal.hpp — delta records round-trip exactly; replay
+//    consumes complete records and stops silently at a torn tail.
+//  * serve::FairshareService::recover — a snapshot plus a journal replay
+//    reaches allocations EXPECT_EQ-identical to the uninterrupted
+//    service (fuzzed over random delta streams, including mid-fault
+//    capacities), and a journal truncated at *every* byte recovers the
+//    state of the longest complete-record prefix (the kill-point test).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fairness/maxmin.hpp"
+#include "net/snapshot.hpp"
+#include "net/topologies.hpp"
+#include "serve/journal.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace mcfair::serve {
+namespace {
+
+using net::Network;
+using net::SnapshotError;
+
+std::string tempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void writeBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+}
+
+std::string readBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// A network exercising every serialized feature at once: an infinite
+// capacity, a zero-capacity (failed) link, non-unit weights, a finite
+// sigma, a single-rate session and all three link-rate families.
+Network richNetwork() {
+  Network n;
+  const auto l0 = n.addLink(4.0);
+  const auto l1 = n.addLink(8.0);
+  const auto l2 = n.addLink(3.0);
+  const auto l3 = n.addLink(std::numeric_limits<double>::infinity());
+  const auto l4 = n.addLink(5.0);
+  n.setCapacity(l2, 0.0);  // down mid-fault at snapshot time
+
+  net::Session s1;
+  s1.name = "S1";
+  s1.linkRateFn = std::make_shared<const net::ConstantFactor>(1.5);
+  s1.receivers.push_back(net::makeReceiver({l0, l1}, "r1,1"));
+  s1.receivers.push_back(net::makeReceiver({l0, l4}, "r1,2"));
+  s1.receivers.back().weight = 2.5;
+  n.addSession(s1);
+
+  net::Session s2;
+  s2.name = "S2";
+  s2.type = net::SessionType::kSingleRate;
+  s2.maxRate = 6.0;
+  s2.receivers.push_back(net::makeReceiver({l1}, "r2,1"));
+  s2.receivers.push_back(net::makeReceiver({l1, l3}, "r2,2"));
+  for (auto& r : s2.receivers) r.weight = 2.0;
+  n.addSession(s2);
+
+  net::Session s3;
+  s3.name = "S3";
+  s3.maxRate = 9.5;
+  s3.linkRateFn = std::make_shared<const net::RandomJoinExpected>(4.0);
+  s3.receivers.push_back(net::makeReceiver({l2, l4}, "r3,1"));
+  n.addSession(s3);
+  return n;
+}
+
+void expectSameNetwork(const Network& a, const Network& b) {
+  EXPECT_TRUE(net::structurallyEqual(a, b));
+  ASSERT_EQ(a.linkCount(), b.linkCount());
+  for (std::uint32_t j = 0; j < a.linkCount(); ++j) {
+    EXPECT_EQ(a.capacity(graph::LinkId{j}), b.capacity(graph::LinkId{j}));
+  }
+  ASSERT_EQ(a.sessionCount(), b.sessionCount());
+  for (std::size_t i = 0; i < a.sessionCount(); ++i) {
+    const net::Session& sa = a.session(i);
+    const net::Session& sb = b.session(i);
+    EXPECT_EQ(sa.name, sb.name);
+    EXPECT_EQ(sa.type, sb.type);
+    EXPECT_EQ(sa.maxRate, sb.maxRate);  // bitwise, incl. infinity
+    ASSERT_EQ(sa.receivers.size(), sb.receivers.size());
+    for (std::size_t k = 0; k < sa.receivers.size(); ++k) {
+      EXPECT_EQ(sa.receivers[k].name, sb.receivers[k].name);
+      EXPECT_EQ(sa.receivers[k].weight, sb.receivers[k].weight);
+      ASSERT_EQ(sa.receivers[k].dataPath.size(),
+                sb.receivers[k].dataPath.size());
+      for (std::size_t p = 0; p < sa.receivers[k].dataPath.size(); ++p) {
+        EXPECT_EQ(sa.receivers[k].dataPath[p].value,
+                  sb.receivers[k].dataPath[p].value);
+      }
+    }
+  }
+}
+
+void expectSameAllocation(const Network& shape, const fairness::Allocation& a,
+                          const fairness::Allocation& b) {
+  for (const net::ReceiverRef ref : shape.receiverRefs()) {
+    EXPECT_EQ(a.rate(ref), b.rate(ref))
+        << "receiver (" << ref.session << ", " << ref.receiver << ")";
+  }
+}
+
+TEST(NetworkSnapshot, RoundTripIsBitIdentical) {
+  const Network original = richNetwork();
+  const std::string bytes = net::networkSnapshotBytes(original);
+  const Network loaded = net::networkFromSnapshotBytes(bytes);
+  expectSameNetwork(original, loaded);
+  // The loaded network drives the solver to the same answer bit for bit
+  // (the 0-capacity link freezes r3,1 at rate 0 in both).
+  expectSameAllocation(original, fairness::maxMinFairAllocation(original),
+                       fairness::maxMinFairAllocation(loaded));
+}
+
+TEST(NetworkSnapshot, RejectsEverySingleByteCorruption) {
+  const std::string bytes = net::networkSnapshotBytes(richNetwork());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    EXPECT_THROW((void)net::networkFromSnapshotBytes(mutated), SnapshotError)
+        << "byte " << i << " of " << bytes.size();
+  }
+}
+
+TEST(NetworkSnapshot, RejectsEveryTruncation) {
+  const std::string bytes = net::networkSnapshotBytes(richNetwork());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)net::networkFromSnapshotBytes(bytes.substr(0, len)),
+                 SnapshotError)
+        << "length " << len << " of " << bytes.size();
+  }
+  EXPECT_THROW((void)net::networkFromSnapshotBytes(bytes + 'x'),
+               SnapshotError);
+}
+
+TEST(NetworkSnapshot, RejectsUnserializableLinkRateFunction) {
+  // A custom function outside the registry families cannot be described,
+  // so the writer must refuse rather than emit a lossy image.
+  class Custom final : public net::LinkRateFunction {
+   public:
+    double linkRate(std::span<const double> rates) const override {
+      double s = 0.0;
+      for (double r : rates) s += r;
+      return s;
+    }
+  };
+  Network n;
+  const auto l = n.addLink(5.0);
+  net::Session s;
+  s.linkRateFn = std::make_shared<const Custom>();
+  s.receivers.push_back(net::makeReceiver({l}));
+  n.addSession(s);
+  EXPECT_THROW((void)net::networkSnapshotBytes(n), SnapshotError);
+}
+
+// --- Delta codec. ---
+
+std::vector<Delta> sampleDeltas() {
+  net::Session join;
+  join.name = "joiner";
+  join.maxRate = 7.25;
+  join.linkRateFn = std::make_shared<const net::ConstantFactor>(2.0);
+  join.receivers.push_back(net::makeReceiver({graph::LinkId{0}}, "jr"));
+  join.receivers.back().weight = 1.5;
+  return {
+      setCapacityDelta(graph::LinkId{3}, 6.125),
+      faultDelta(net::FaultEvent{0.0, net::FaultKind::kLinkDown,
+                                 graph::LinkId{1}, 1.0}),
+      faultDelta(net::FaultEvent{0.0, net::FaultKind::kDegrade,
+                                 graph::LinkId{2}, 0.375}),
+      joinDelta(42, join),
+      leaveDelta(42),
+  };
+}
+
+TEST(DeltaCodec, RoundTripsEveryKind) {
+  for (const Delta& d : sampleDeltas()) {
+    const Delta back = decodeDelta(encodeDelta(d));
+    EXPECT_EQ(back.kind, d.kind);
+    EXPECT_EQ(back.link.value, d.link.value);
+    EXPECT_EQ(back.capacity, d.capacity);
+    EXPECT_EQ(back.fault, d.fault);
+    EXPECT_EQ(back.factor, d.factor);
+    EXPECT_EQ(back.sessionId, d.sessionId);
+    if (d.kind == DeltaKind::kJoin) {
+      EXPECT_EQ(back.session.name, d.session.name);
+      EXPECT_EQ(back.session.maxRate, d.session.maxRate);
+      ASSERT_EQ(back.session.receivers.size(), d.session.receivers.size());
+      EXPECT_EQ(back.session.receivers[0].weight,
+                d.session.receivers[0].weight);
+    }
+  }
+}
+
+TEST(DeltaCodec, RejectsMalformedPayloads) {
+  EXPECT_THROW((void)decodeDelta(""), SnapshotError);
+  EXPECT_THROW((void)decodeDelta("\x07"), SnapshotError);
+  const std::string good = encodeDelta(sampleDeltas().front());
+  EXPECT_THROW((void)decodeDelta(good.substr(0, good.size() - 1)),
+               SnapshotError);
+  EXPECT_THROW((void)decodeDelta(good + 'x'), SnapshotError);
+}
+
+// --- Journal replay and tearing. ---
+
+TEST(Journal, MissingFileIsEmpty) {
+  EXPECT_TRUE(readJournal(tempPath("journal_never_written.bin")).empty());
+}
+
+TEST(Journal, ReplaysCompleteRecordsAndStopsAtEveryTear) {
+  const std::vector<Delta> deltas = sampleDeltas();
+  const std::string path = tempPath("journal_tear.bin");
+  {
+    JournalWriter w;
+    w.open(path, /*truncate=*/true);
+    for (const Delta& d : deltas) w.append(d);
+  }
+  const std::string full = readBytes(path);
+
+  // Record boundaries from the framing: [u32 size][payload][u64 fnv].
+  std::vector<std::size_t> boundary = {0};
+  for (const Delta& d : deltas) {
+    boundary.push_back(boundary.back() + 4 + encodeDelta(d).size() + 8);
+  }
+  ASSERT_EQ(boundary.back(), full.size());
+
+  const std::string torn = tempPath("journal_tear_cut.bin");
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    writeBytes(torn, full.substr(0, cut));
+    std::size_t complete = 0;
+    while (complete + 1 < boundary.size() && boundary[complete + 1] <= cut) {
+      ++complete;
+    }
+    const std::vector<Delta> got = readJournal(torn);
+    ASSERT_EQ(got.size(), complete) << "cut at byte " << cut;
+    for (std::size_t i = 0; i < complete; ++i) {
+      EXPECT_EQ(got[i].kind, deltas[i].kind);
+    }
+  }
+
+  // A checksummed-but-corrupt tail record is also dropped silently.
+  std::string corrupt = full;
+  corrupt[boundary[boundary.size() - 2] + 6] ^=
+      static_cast<char>(0xFF);  // inside the last record's payload
+  writeBytes(torn, corrupt);
+  EXPECT_EQ(readJournal(torn).size(), deltas.size() - 1);
+}
+
+// --- Service snapshot + journal recovery. ---
+
+// Several links and sessions so joins/leaves/faults have room to play.
+Network serviceBase() {
+  Network n;
+  const auto l0 = n.addLink(10.0);
+  const auto l1 = n.addLink(6.0);
+  const auto l2 = n.addLink(8.0);
+  const auto l3 = n.addLink(12.0);
+  const auto l4 = n.addLink(7.0);
+
+  net::Session s1;
+  s1.name = "S1";
+  s1.receivers.push_back(net::makeReceiver({l0, l1}, "r1,1"));
+  s1.receivers.push_back(net::makeReceiver({l0, l2}, "r1,2"));
+  n.addSession(s1);
+
+  net::Session s2;
+  s2.name = "S2";
+  s2.type = net::SessionType::kSingleRate;
+  s2.maxRate = 5.0;
+  s2.receivers.push_back(net::makeReceiver({l1, l3}, "r2,1"));
+  s2.receivers.push_back(net::makeReceiver({l2, l3}, "r2,2"));
+  n.addSession(s2);
+
+  n.addSession(net::makeUnicastSession({l4}, net::kUnlimitedRate, "S3"));
+  return n;
+}
+
+ServiceOptions recoveryOptions(const std::string& journalPath) {
+  ServiceOptions options;
+  options.journalPath = journalPath;
+  options.sampled.sampleFraction = 0.5;
+  options.sampled.seed = 99;
+  return options;
+}
+
+Delta randomDelta(util::Rng& rng, const std::vector<std::uint64_t>& liveIds,
+                  std::uint64_t& nextId, std::size_t linkCount) {
+  const auto link = graph::LinkId{
+      static_cast<std::uint32_t>(rng.below(linkCount))};
+  switch (rng.below(8)) {
+    case 0:
+    case 1:
+    case 2:
+      return setCapacityDelta(link, rng.uniform(0.5, 20.0));
+    case 3:
+    case 4: {
+      const std::uint64_t kind = rng.below(3);
+      const net::FaultKind fk = kind == 0 ? net::FaultKind::kLinkDown
+                                : kind == 1 ? net::FaultKind::kLinkUp
+                                            : net::FaultKind::kDegrade;
+      return faultDelta(
+          net::FaultEvent{0.0, fk, link, rng.uniform(0.1, 1.0)});
+    }
+    case 5:
+    case 6: {
+      net::Session s;
+      s.name = "j" + std::to_string(nextId);
+      if (rng.bernoulli(0.5)) s.maxRate = rng.uniform(1.0, 10.0);
+      const std::size_t receivers = 1 + rng.below(2);
+      for (std::size_t k = 0; k < receivers; ++k) {
+        const auto a = graph::LinkId{
+            static_cast<std::uint32_t>(rng.below(linkCount))};
+        auto b = graph::LinkId{
+            static_cast<std::uint32_t>(rng.below(linkCount))};
+        net::Receiver r = net::makeReceiver(a.value == b.value
+                                                ? std::vector{a}
+                                                : std::vector{a, b});
+        r.weight = rng.uniform(0.5, 2.0);
+        s.receivers.push_back(std::move(r));
+      }
+      return joinDelta(nextId++, std::move(s));
+    }
+    default:
+      if (liveIds.size() > 1) {
+        return leaveDelta(liveIds[rng.below(liveIds.size())]);
+      }
+      return setCapacityDelta(link, rng.uniform(0.5, 20.0));
+  }
+}
+
+class ServiceRecoveryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The headline acceptance criterion: kill the process after any number
+// of applied deltas (here: after all of them), recover from snapshot +
+// journal, and the recovered service's allocations are EXPECT_EQ-equal
+// to the uninterrupted one — including link capacities frozen mid-fault
+// (kLinkDown leaves zero-capacity links in the live state).
+TEST_P(ServiceRecoveryFuzz, ReplayedServiceMatchesLiveService) {
+  const std::uint64_t seed = GetParam();
+  const std::string tag = std::to_string(seed);
+  const std::string snapPath = tempPath("svc_snap_" + tag + ".bin");
+  const ServiceOptions options =
+      recoveryOptions(tempPath("svc_journal_" + tag + ".bin"));
+
+  FairshareService live(serviceBase(), options);
+  live.saveSnapshot(snapPath);
+
+  util::Rng rng(seed);
+  std::uint64_t nextId = 100;
+  for (std::size_t step = 0; step < 40; ++step) {
+    const Delta d =
+        randomDelta(rng, live.sessionIds(), nextId, live.network().linkCount());
+    ASSERT_EQ(live.applyDelta(d), ServiceStatus::kOk) << "step " << step;
+    if (step == 19 && seed % 2 == 1) {
+      // Odd seeds compact mid-stream: snapshot + truncated journal.
+      live.saveSnapshot(snapPath);
+    }
+  }
+
+  const auto recovered = FairshareService::recover(snapPath, options);
+  EXPECT_EQ(recovered->revision(), live.revision());
+  EXPECT_EQ(recovered->sessionIds(), live.sessionIds());
+  expectSameNetwork(live.network(), recovered->network());
+
+  const QueryResult a = live.query(0.0);
+  const QueryResult b = recovered->query(0.0);
+  ASSERT_EQ(a.status, ServiceStatus::kOk);
+  ASSERT_EQ(b.status, ServiceStatus::kOk);
+  EXPECT_FALSE(a.degraded);
+  EXPECT_FALSE(b.degraded);
+  expectSameAllocation(live.network(), *a.rates, *b.rates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceRecoveryFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// Kill-point sweep: truncate the journal at every byte (every record
+// boundary and every mid-record tear) and verify recovery lands exactly
+// on the longest complete-record prefix.
+TEST(ServiceRecovery, KillPointAtEveryJournalByte) {
+  const std::string snapPath = tempPath("svc_kill_snap.bin");
+  const std::string journalPath = tempPath("svc_kill_journal.bin");
+  ServiceOptions options = recoveryOptions(journalPath);
+
+  net::Session join50;
+  join50.name = "j50";
+  join50.receivers.push_back(
+      net::makeReceiver({graph::LinkId{0}, graph::LinkId{2}}, "j50r"));
+  net::Session join51;
+  join51.name = "j51";
+  join51.maxRate = 3.5;
+  join51.receivers.push_back(net::makeReceiver({graph::LinkId{3}}, "j51r"));
+
+  const std::vector<Delta> deltas = {
+      setCapacityDelta(graph::LinkId{0}, 3.25),
+      faultDelta(net::FaultEvent{0.0, net::FaultKind::kLinkDown,
+                                 graph::LinkId{1}, 1.0}),
+      joinDelta(50, join50),
+      setCapacityDelta(graph::LinkId{3}, 9.5),
+      faultDelta(net::FaultEvent{0.0, net::FaultKind::kDegrade,
+                                 graph::LinkId{2}, 0.5}),
+      joinDelta(51, join51),
+      leaveDelta(1),
+      faultDelta(net::FaultEvent{0.0, net::FaultKind::kLinkUp,
+                                 graph::LinkId{1}, 1.0}),
+      setCapacityDelta(graph::LinkId{4}, 2.75),
+      leaveDelta(50),
+  };
+
+  {
+    FairshareService live(serviceBase(), options);
+    live.saveSnapshot(snapPath);
+    for (const Delta& d : deltas) {
+      ASSERT_EQ(live.applyDelta(d), ServiceStatus::kOk);
+    }
+  }
+  const std::string full = readBytes(journalPath);
+  std::vector<std::size_t> boundary = {0};
+  for (const Delta& d : deltas) {
+    boundary.push_back(boundary.back() + 4 + encodeDelta(d).size() + 8);
+  }
+  ASSERT_EQ(boundary.back(), full.size());
+
+  const std::string tornPath = tempPath("svc_kill_journal_cut.bin");
+  ServiceOptions tornOptions = recoveryOptions(tornPath);
+  const ServiceOptions noJournal = recoveryOptions("");
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    writeBytes(tornPath, full.substr(0, cut));
+    std::size_t complete = 0;
+    while (complete + 1 < boundary.size() && boundary[complete + 1] <= cut) {
+      ++complete;
+    }
+    const auto recovered = FairshareService::recover(snapPath, tornOptions);
+    // Reference: the same snapshot with the first `complete` deltas
+    // re-applied through the normal path.
+    const auto reference = FairshareService::recover(snapPath, noJournal);
+    for (std::size_t i = 0; i < complete; ++i) {
+      ASSERT_EQ(reference->applyDelta(deltas[i]), ServiceStatus::kOk);
+    }
+    ASSERT_EQ(recovered->revision(), reference->revision())
+        << "cut at byte " << cut;
+    EXPECT_EQ(recovered->sessionIds(), reference->sessionIds());
+    expectSameNetwork(reference->network(), recovered->network());
+    const QueryResult a = recovered->query(0.0);
+    const QueryResult b = reference->query(0.0);
+    expectSameAllocation(recovered->network(), *a.rates, *b.rates);
+  }
+}
+
+TEST(ServiceRecovery, SnapshotCompactionTruncatesJournal) {
+  const std::string snapPath = tempPath("svc_compact_snap.bin");
+  const std::string journalPath = tempPath("svc_compact_journal.bin");
+  FairshareService live(serviceBase(), recoveryOptions(journalPath));
+  ASSERT_EQ(live.applyDelta(setCapacityDelta(graph::LinkId{0}, 4.0)),
+            ServiceStatus::kOk);
+  EXPECT_GT(readBytes(journalPath).size(), 0u);
+  live.saveSnapshot(snapPath);
+  EXPECT_EQ(readBytes(journalPath).size(), 0u);
+  // The post-compaction journal keeps accepting records.
+  ASSERT_EQ(live.applyDelta(setCapacityDelta(graph::LinkId{1}, 3.0)),
+            ServiceStatus::kOk);
+  EXPECT_EQ(readJournal(journalPath).size(), 1u);
+}
+
+TEST(ServiceRecovery, RejectsMissingOrCorruptSnapshotAndBadReplay) {
+  EXPECT_THROW(
+      (void)FairshareService::recover(tempPath("svc_no_such_snap.bin"),
+                                      recoveryOptions("")),
+      SnapshotError);
+
+  const std::string snapPath = tempPath("svc_bad_snap.bin");
+  const std::string journalPath = tempPath("svc_bad_journal.bin");
+  {
+    FairshareService live(serviceBase(), recoveryOptions(journalPath));
+    live.saveSnapshot(snapPath);
+  }
+  std::string bytes = readBytes(snapPath);
+  bytes[bytes.size() / 2] ^= static_cast<char>(0xFF);
+  const std::string corruptPath = tempPath("svc_bad_snap_corrupt.bin");
+  writeBytes(corruptPath, bytes);
+  EXPECT_THROW(
+      (void)FairshareService::recover(corruptPath, recoveryOptions("")),
+      SnapshotError);
+
+  // A checksummed journal record that no longer applies (unknown session
+  // id) is a hard recovery error, not a silent skip.
+  {
+    JournalWriter w;
+    w.open(journalPath, /*truncate=*/true);
+    w.append(leaveDelta(999));
+  }
+  EXPECT_THROW((void)FairshareService::recover(
+                   snapPath, recoveryOptions(journalPath)),
+               SnapshotError);
+}
+
+}  // namespace
+}  // namespace mcfair::serve
