@@ -272,6 +272,47 @@ BENCHMARK(BM_ClosedLoopParallel)
     ->Args({10000, 8})
     ->Unit(benchmark::kMillisecond);
 
+// Speculative intra-component engine on the mega-merge preset — the
+// single-dominant-component population the component-parallel lanes
+// cannot split. The second arg is the worker count: 0 runs the serial
+// event engine on the same scenario as the baseline row (matching the
+// BM_ClosedLoopParallel convention), T >= 1 runs the speculative engine
+// with speculationThreads=T (T=1 measures pure epoch/snapshot/sort
+// overhead). On a 1-CPU container the threaded rows measure
+// coordination overhead, not speedup — see docs/BENCHMARKS.md. Items =
+// packets merged per run.
+void BM_ClosedLoopSpeculative(benchmark::State& state) {
+  auto s = mergeScenario(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<int>(state.range(1));
+  if (threads == 0) {
+    s.config.engineThreads = 1;  // serial event-engine baseline row
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          sim::runClosedLoopSimulation(s.network, s.config));
+    }
+  } else {
+    s.config.speculationThreads = threads;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          sim::runClosedLoopSimulationSpeculative(s.network, s.config));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          mergePackets(s));
+}
+BENCHMARK(BM_ClosedLoopSpeculative)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Args({1000, 8})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8})
+    ->Unit(benchmark::kMillisecond);
+
 // Cold partition cost: union-find over every session's routed link
 // union plus the CSR component index, on a fresh partitioner each
 // iteration (the engine itself pays this once per network structure —

@@ -452,6 +452,11 @@ struct MaxMinSolver::Engine {
   std::vector<std::size_t> shardBounds;            // threads + 1 slots
   std::vector<std::vector<double>> shardGather;    // one per shard
   std::vector<std::vector<std::uint32_t>> shardSat;
+  // Group-farm scratch for the single-bottleneck feasibility probe (see
+  // solve()): the active links' group ids in list order, and the
+  // per-group usage values the serial per-link reduction consumes.
+  std::vector<std::uint32_t> farmGroups;
+  std::vector<double> farmUsage;
 
   std::optional<MaxMinResult> result;
 
@@ -813,6 +818,8 @@ void MaxMinSolver::Engine::bind(const net::Network& network,
   pendingSingle.reserve(nSessions);
   singleQueued.resize(nSessions);
   gather.reserve(maxGroupSize);
+  farmGroups.reserve(groups.size());
+  farmUsage.resize(groups.size());
   // Per-shard scratch (slot 0 doubles as the serial single-shard slot):
   // sized here so the sharded sweeps never allocate inside solve().
   const std::size_t shardSlots = std::max<std::size_t>(threads, 1);
@@ -1164,18 +1171,79 @@ const MaxMinResult& MaxMinSolver::Engine::solve(const MaxMinOptions& options,
       // the active links only.
       double hi = std::min(nextSigmaMin(), nextCapMin()) - level;
       hi = std::max(hi, 0.0);
+      // Single-bottleneck farm detection: link-granular shards treat
+      // each link as indivisible, so one heavy bottleneck (a mega-merge
+      // shape — thousands of receiver groups on a single link) caps the
+      // speedup at ~2x no matter the thread count. When one link
+      // carries at least half the sweep cost, farm the GROUP list
+      // instead: every active link's groups, in active-list order, cut
+      // by per-group cost — which splits the heavy link's receiver
+      // range across shards.
+      double sweepTotal = 0.0;
+      double sweepMax = 0.0;
+      for (const std::uint32_t j : activeLinks) {
+        const double c = linkSweepCost(j);
+        sweepTotal += c;
+        sweepMax = std::max(sweepMax, c);
+      }
+      bool farm = threads > 1 && pool != nullptr &&
+                  sweepMax * 2.0 >= sweepTotal;
+      std::size_t farmShards = 1;
+      if (farm) {
+        farmGroups.clear();
+        for (const std::uint32_t j : activeLinks) {
+          for (std::size_t gi = groupBegin[j]; gi < groupBegin[j + 1];
+               ++gi) {
+            farmGroups.push_back(static_cast<std::uint32_t>(gi));
+          }
+        }
+        farmShards =
+            planShards(farmGroups.size(), options, [&](std::size_t idx) {
+              const Group& g = groups[farmGroups[idx]];
+              return 1.0 + static_cast<double>(g.end - g.begin);
+            });
+        farm = farmShards > 1;
+      }
       // Sharded feasibility sweep: shards combine by AND (one crossing
       // link anywhere makes the level infeasible), so claim order cannot
       // affect the verdict; the `infeasible` flag doubles as an early-out
       // hint for the other shards. activeLinks and the per-link costs are
       // fixed for the whole round, so the partition is planned once here
-      // and reused by every bisection probe.
+      // and reused by every bisection probe. (The farm plan, when
+      // engaged, owns shardBounds instead — only one plan is live.)
       const std::size_t feasibilityShards =
-          planShards(activeLinks.size(), options, [&](std::size_t idx) {
-            return linkSweepCost(activeLinks[idx]);
-          });
+          farm ? 1
+               : planShards(activeLinks.size(), options,
+                            [&](std::size_t idx) {
+                              return linkSweepCost(activeLinks[idx]);
+                            });
       auto feasibleAt = [&](double d) {
         const double lv = level + d;
+        if (farm) {
+          // Evaluate every group independently (disjoint farmUsage
+          // slots; groupUsageAt is side-effect-free), then reduce each
+          // link serially in ascending group order — the exact
+          // left-to-right association linkUsageFullAt uses, so the
+          // verdict is bit-identical to the serial probe.
+          runPlanned(
+              farmShards, farmGroups.size(),
+              [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                std::vector<double>& rs = shardGather[shard];
+                for (std::size_t idx = begin; idx < end; ++idx) {
+                  const std::uint32_t gi = farmGroups[idx];
+                  farmUsage[gi] = groupUsageAt(groups[gi], lv, rs);
+                }
+              });
+          for (const std::uint32_t j : activeLinks) {
+            double u = 0.0;
+            for (std::size_t gi = groupBegin[j]; gi < groupBegin[j + 1];
+                 ++gi) {
+              u += farmUsage[gi];
+            }
+            if (u > capacity[j] + bisectSlack[j]) return false;
+          }
+          return true;
+        }
         std::atomic<bool> infeasible{false};
         runPlanned(
             feasibilityShards, activeLinks.size(),

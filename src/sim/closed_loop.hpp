@@ -147,6 +147,25 @@ struct ClosedLoopConfig {
   /// per-packet phases); call runClosedLoopSimulationParallel directly
   /// to force the partitioned engine.
   int engineThreads = -1;
+  /// Thread count for the speculative intra-component engine
+  /// (runClosedLoopSimulationSpeculative): epochs of simulated time are
+  /// generated, admitted, and accounted by pool workers against a frozen
+  /// subscription snapshot, with divergent epochs rolled back and
+  /// replayed serially — bit-identical to the serial event engine at
+  /// every value. Also gates the parallel engine's dispatch: when one
+  /// link-set component dominates the session population (the mega-merge
+  /// shape, where per-component lanes cannot help),
+  /// runClosedLoopSimulationParallel reroutes here. 0 = never dispatch
+  /// speculatively (lanes only); -1 (default) = inherit the resolved
+  /// engineThreads / MCFAIR_SIM_THREADS count; >= 1 = that many workers.
+  int speculationThreads = -1;
+  /// Epoch-boundary density for the speculative engine: the run is split
+  /// at every shared-link state-change time (session start/stop, fault
+  /// application) plus this many uniform divisions of [0, duration].
+  /// 0 (default) = auto-size epochs toward a fixed packet budget per
+  /// reconciliation; larger values force more, shorter epochs (useful in
+  /// tests to exercise the rollback path).
+  std::size_t speculativeEpochs = 0;
   /// Optional exogenous per-link loss, layered on top of the endogenous
   /// token-bucket drops — the plumbing for sim/loss models (the paper's
   /// Section 4 Bernoulli process, or GilbertElliottLoss for bursty
@@ -226,6 +245,15 @@ struct ClosedLoopResult {
   /// this through a 64-flap fault schedule).
   std::size_t engineComponents = 0;
   std::uint64_t partitionRebuilds = 0;
+  /// Speculative engine diagnostics (0 for the other drivers):
+  /// speculationEpochs counts reconciliation intervals executed,
+  /// speculationRollbacks counts the ones whose speculative admit/drop
+  /// outcomes diverged from the frozen-subscription prediction and were
+  /// re-executed serially. Certified-steady populations (e.g. the
+  /// single-layer mega-merge preset, whose receivers provably never move)
+  /// roll back zero times — a contract the tests assert.
+  std::uint64_t speculationEpochs = 0;
+  std::uint64_t speculationRollbacks = 0;
 };
 
 /// Runs the closed-loop experiment with the event-driven session engine
@@ -253,6 +281,28 @@ ClosedLoopResult runClosedLoopSimulation(const net::Network& network,
 /// thread count. Always takes the partitioned path (even at one
 /// thread); the fluid fast-forward mode is never armed here.
 ClosedLoopResult runClosedLoopSimulationParallel(
+    const net::Network& network, const ClosedLoopConfig& config);
+
+/// The speculative intra-component engine: simulated time is split into
+/// epochs bounded by shared-link state-change events (session start/stop
+/// and fault times — the same horizons that clip the fluid engine's
+/// fast-forward), sender-side packet generation for the NEXT epoch runs
+/// on util::ThreadPool workers via the closed-form emission formula
+/// while the current epoch's admit loop is still in flight, token-bucket
+/// admits shard by link, and receiver accounting shards by session
+/// against a frozen snapshot of every receiver's subscription level.
+/// Reconciliation validates the speculative arrival curve of each bucket
+/// against the serial-order admit decisions: an epoch in which some
+/// receiver's level moved off its snapshot in a way that changes any
+/// packet's touched-link set is rolled back wholesale (receivers, RNG
+/// streams, buckets, loss state, and accumulators restored from the
+/// epoch-entry snapshot) and replayed serially in exact merge order, so
+/// the committed trajectory is bit-identical to the serial event engine
+/// at every thread count — the parity fuzz suite pins this across
+/// topologies, loss models, fault schedules, and 1/2/4/8 workers. The
+/// steady packet loop is allocation-free; every arena is sized up front
+/// from the closed-form per-epoch packet bounds.
+ClosedLoopResult runClosedLoopSimulationSpeculative(
     const net::Network& network, const ClosedLoopConfig& config);
 
 /// The event-driven engine with the fluid fast-forward mode always armed:

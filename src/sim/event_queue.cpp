@@ -30,6 +30,20 @@ std::uint64_t EventQueue::scheduleAt(std::span<const Pending> batch) {
   return first;
 }
 
+EventQueue EventQueue::buildFrom(std::span<const Pending> batch,
+                                 std::size_t extraCapacity) {
+  for (const Pending& p : batch) {
+    MCFAIR_REQUIRE(p.time >= 0.0, "event time must be non-negative");
+  }
+  EventQueue q;
+  q.heap_.reserve(batch.size() + extraCapacity);
+  for (const Pending& p : batch) {
+    q.heap_.push_back(Event{p.time, q.nextSequence_++, p.payload});
+  }
+  std::make_heap(q.heap_.begin(), q.heap_.end(), Later{});
+  return q;
+}
+
 std::optional<Event> EventQueue::pop() {
   if (heap_.empty()) return std::nullopt;
   std::pop_heap(heap_.begin(), heap_.end(), Later{});

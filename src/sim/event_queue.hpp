@@ -47,6 +47,19 @@ class EventQueue {
   /// sequence number.
   std::uint64_t scheduleAt(std::span<const Pending> batch);
 
+  /// Bulk-heapify constructor: builds a queue holding exactly `batch` in
+  /// one shot — a single allocation of batch.size() + extraCapacity
+  /// slots, sequence numbers 0..n-1 assigned in batch order, one O(n)
+  /// make_heap. The pop order is byte-identical to calling
+  /// scheduleAt(batch) on a fresh queue (the event-queue tests pin
+  /// this), so lane/epoch seeding can swap n individual schedule()
+  /// pushes (O(n log n)) for one bulk build without disturbing any
+  /// engine's dispatch order. `extraCapacity` reserves headroom for
+  /// events pushed after construction (e.g. a reschedule racing a pop),
+  /// keeping steady-state operation allocation-free.
+  static EventQueue buildFrom(std::span<const Pending> batch,
+                              std::size_t extraCapacity = 0);
+
   /// Preallocates storage for `n` simultaneously pending events.
   void reserve(std::size_t n) { heap_.reserve(n); }
 

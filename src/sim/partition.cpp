@@ -1,8 +1,18 @@
 #include "sim/partition.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 namespace mcfair::sim {
+
+std::size_t SessionPartition::largestComponentSessions() const noexcept {
+  std::size_t largest = 0;
+  for (std::uint32_t c = 0; c < componentCount; ++c) {
+    largest = std::max<std::size_t>(largest,
+                                    sessionsBegin[c + 1] - sessionsBegin[c]);
+  }
+  return largest;
+}
 
 const SessionPartition& SessionPartitioner::ensure(
     const net::Network& network) {

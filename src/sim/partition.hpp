@@ -53,6 +53,13 @@ struct SessionPartition {
     return {sessions.data() + sessionsBegin[comp],
             sessions.data() + sessionsBegin[comp + 1]};
   }
+
+  /// Session count of the most populous component (0 when empty). The
+  /// parallel engine's dispatch uses this to detect the mega-merge
+  /// shape: when one component dominates the population, per-component
+  /// lanes hit their Amdahl bound and the speculative intra-component
+  /// engine takes over.
+  std::size_t largestComponentSessions() const noexcept;
 };
 
 /// Builds and caches a SessionPartition per network structure. Reusable

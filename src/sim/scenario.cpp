@@ -288,6 +288,8 @@ Scenario buildScenario(const ScenarioSpec& spec) {
   s.config.computeFairEpochs = spec.computeFairEpochs;
   s.config.solverThreads = spec.solverThreads;
   s.config.engineThreads = spec.engineThreads;
+  s.config.speculationThreads = spec.speculationThreads;
+  s.config.speculativeEpochs = spec.speculativeEpochs;
   s.config.fluidFastForward = spec.fluidFastForward;
   s.config.seed = spec.seed;
   s.config.sessions.reserve(spec.sessions);

@@ -13,9 +13,9 @@ LayeredSender::LayeredSender(layering::LayerScheme scheme,
   phase_.resize(layers);
   period_.resize(layers);
   emittedPerLayer_.assign(layers, 0);
-  // One pending emission per layer at any time: reserve once and seed the
-  // queue with a single batch (heapified once).
-  queue_.reserve(layers);
+  // One pending emission per layer at any time: seed the queue with the
+  // bulk-heapify constructor (single allocation, one make_heap) — the
+  // pop order is pinned byte-identical to batch scheduling.
   std::vector<EventQueue::Pending> initial;
   initial.reserve(layers);
   for (std::size_t k = 1; k <= layers; ++k) {
@@ -26,7 +26,7 @@ LayeredSender::LayeredSender(layering::LayerScheme scheme,
     initial.push_back(
         EventQueue::Pending{layerEmissionTime(phase_[k - 1], period, 1), k});
   }
-  queue_.scheduleAt(initial);
+  queue_ = EventQueue::buildFrom(initial);
   resyncBatch_.reserve(layers);
 }
 

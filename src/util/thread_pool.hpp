@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -78,6 +79,22 @@ class ThreadPool {
   /// barrier (the pool stays reusable).
   void forEachShard(std::size_t shardCount, ShardFnRef fn);
 
+  /// Pipelined submission: beginShards publishes the job to the spawned
+  /// workers and returns immediately WITHOUT the calling thread claiming
+  /// any shard, so the caller can overlap serial work (sorting the next
+  /// epoch, taking a snapshot) with the workers' progress. finishShards
+  /// then joins the claim loop, blocks on the completion barrier, and
+  /// rethrows the first captured shard exception — exactly
+  /// forEachShard's contract, split in two. The referenced callable and
+  /// its data must stay valid until finishShards returns. With no
+  /// spawned workers (workers <= 1) beginShards merely parks the job and
+  /// finishShards runs every shard inline in order, so pipelined callers
+  /// degrade gracefully to serial. At most one begun job may be
+  /// outstanding per pool; forEachShard must not be called between the
+  /// two (the job slot is single).
+  void beginShards(std::size_t shardCount, ShardFnRef fn);
+  void finishShards();
+
   /// Parses a thread-count environment variable (e.g. MCFAIR_THREADS).
   /// Unset, empty, non-numeric, or negative values yield `fallback`;
   /// results are clamped to [0, 256].
@@ -105,6 +122,13 @@ class ThreadPool {
   // bounded pre-sleep spin — hence atomics.
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<bool> stopping_{false};
+  // Pipelined-submission state (beginShards/finishShards). The callable
+  // is copied into asyncJob_ so the published job_ pointer stays valid
+  // after beginShards returns; only the caller thread touches these.
+  std::optional<ShardFnRef> asyncJob_;
+  std::size_t asyncShards_ = 0;
+  bool asyncActive_ = false;     // a begun job awaits finishShards
+  bool asyncPublished_ = false;  // workers saw it (vs. parked-for-inline)
 };
 
 }  // namespace mcfair::util

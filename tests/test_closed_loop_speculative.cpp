@@ -1,0 +1,161 @@
+// Tests for the speculative intra-component closed-loop engine: the
+// dispatch boundary inside the component-parallel driver (mega-merge
+// populations reroute, everything else stays on per-component lanes),
+// the zero-rollback guarantee on certified-steady presets, the epoch
+// knob, and bit-identity of both the direct entry point and the
+// dispatched path against the reference linear-scan driver. The broad
+// randomized parity grid lives in test_engine_parity_fuzz.cpp; this
+// file pins the deliberate, named behaviours.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "sim/closed_loop.hpp"
+#include "sim/scenario.hpp"
+
+namespace mcfair::sim {
+namespace {
+
+// Full trajectory comparison — EXPECT_EQ on every observable field the
+// engines promise to reproduce bit-identically.
+void expectSame(const ClosedLoopResult& got, const ClosedLoopResult& want,
+                const std::string& label) {
+  EXPECT_EQ(got.measuredRate, want.measuredRate) << label;
+  EXPECT_EQ(got.linkThroughput, want.linkThroughput) << label;
+  EXPECT_EQ(got.linkDropRate, want.linkDropRate) << label;
+  EXPECT_EQ(got.sessionLinkRate, want.sessionLinkRate) << label;
+  EXPECT_EQ(got.meanLevel, want.meanLevel) << label;
+  EXPECT_EQ(got.binRates, want.binRates) << label;
+}
+
+Scenario presetScenario(const char* name, std::size_t sessions) {
+  const ScenarioSpec* base = findScenario(name);
+  EXPECT_NE(base, nullptr) << name;
+  ScenarioSpec spec = *base;
+  spec.sessions = sessions;
+  return buildScenario(spec);
+}
+
+ClosedLoopResult referenceRun(const Scenario& s) {
+  ClosedLoopConfig serial = s.config;
+  serial.engineThreads = 1;
+  return runClosedLoopSimulationReference(s.network, serial);
+}
+
+TEST(ClosedLoopSpeculative, CertifiedSteadyPresetsCommitEveryEpoch) {
+  // mega-merge: single-layer Deterministic sessions — a receiver that
+  // can never change level can never invalidate the frozen prediction.
+  // steady-fluid: born-absorbing 4-layer Deterministic sessions on an
+  // amply provisioned backbone — drop-free, so no downward moves, and
+  // already at the top layer, so no upward ones. Both shapes must
+  // commit every epoch with zero rollbacks at any worker count and any
+  // epoch grain, while staying bit-identical to the reference.
+  for (const char* preset : {"mega-merge", "steady-fluid"}) {
+    const Scenario s = presetScenario(preset, 300);
+    const auto reference = referenceRun(s);
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const std::size_t epochs : {std::size_t{0}, std::size_t{8}}) {
+        ClosedLoopConfig c = s.config;
+        c.speculationThreads = threads;
+        c.speculativeEpochs = epochs;
+        const auto r = runClosedLoopSimulationSpeculative(s.network, c);
+        const std::string label = std::string(preset) + " T=" +
+                                  std::to_string(threads) + " E=" +
+                                  std::to_string(epochs);
+        expectSame(r, reference, label);
+        EXPECT_GE(r.speculationEpochs, 1u) << label;
+        EXPECT_EQ(r.speculationRollbacks, 0u)
+            << label << ": certified-steady presets must never roll back";
+      }
+    }
+  }
+}
+
+TEST(ClosedLoopSpeculative, EpochKnobControlsGranularity) {
+  // mega-merge has no faults and no session churn, so the epoch count
+  // is exactly the uniform grid the knob requests.
+  const Scenario s = presetScenario("mega-merge", 300);
+  for (const std::size_t epochs : {std::size_t{1}, std::size_t{8},
+                                   std::size_t{32}}) {
+    ClosedLoopConfig c = s.config;
+    c.speculationThreads = 4;
+    c.speculativeEpochs = epochs;
+    const auto r = runClosedLoopSimulationSpeculative(s.network, c);
+    EXPECT_EQ(r.speculationEpochs, epochs);
+  }
+}
+
+TEST(ClosedLoopSpeculative, ParallelDriverDispatchesAboveTheFloor) {
+  // 300 single-component sessions clear the 256-session dispatch floor:
+  // the component-parallel driver must reroute to the speculative
+  // engine at every multi-worker count and stay bit-identical.
+  const Scenario s = presetScenario("mega-merge", 300);
+  const auto reference = referenceRun(s);
+  for (const int threads : {2, 4, 8}) {
+    ClosedLoopConfig c = s.config;
+    c.engineThreads = threads;
+    const auto r = runClosedLoopSimulationParallel(s.network, c);
+    expectSame(r, reference, "dispatch T=" + std::to_string(threads));
+    EXPECT_EQ(r.engineComponents, 1u);
+    EXPECT_GE(r.speculationEpochs, 1u)
+        << "mega-merge above the floor must take the speculative path";
+    EXPECT_EQ(r.speculationRollbacks, 0u);
+  }
+}
+
+TEST(ClosedLoopSpeculative, DispatchRespectsThePopulationFloor) {
+  // 200 sessions sit below the 256-session floor: the dominant
+  // component is too small for epoch speculation to pay for its
+  // snapshot/sort overhead, so the driver must stay on lanes.
+  const Scenario s = presetScenario("mega-merge", 200);
+  const auto reference = referenceRun(s);
+  ClosedLoopConfig c = s.config;
+  c.engineThreads = 4;
+  const auto r = runClosedLoopSimulationParallel(s.network, c);
+  expectSame(r, reference, "below-floor");
+  EXPECT_EQ(r.speculationEpochs, 0u)
+      << "below the floor the lanes engine must run";
+}
+
+TEST(ClosedLoopSpeculative, SpeculationThreadsZeroDisablesDispatch) {
+  const Scenario s = presetScenario("mega-merge", 300);
+  const auto reference = referenceRun(s);
+  ClosedLoopConfig c = s.config;
+  c.engineThreads = 4;
+  c.speculationThreads = 0;  // explicit opt-out
+  const auto r = runClosedLoopSimulationParallel(s.network, c);
+  expectSame(r, reference, "opt-out");
+  EXPECT_EQ(r.speculationEpochs, 0u)
+      << "speculationThreads == 0 must pin the lanes engine";
+}
+
+TEST(ClosedLoopSpeculative, MultiComponentPopulationsStayOnLanes) {
+  // sharded-bottlenecks splits 512 sessions across 64 disjoint
+  // components — no component dominates, so the per-component lanes
+  // remain the right engine even though the total population is large.
+  const Scenario s = presetScenario("sharded-bottlenecks", 512);
+  ClosedLoopConfig c = s.config;
+  c.engineThreads = 4;
+  const auto r = runClosedLoopSimulationParallel(s.network, c);
+  EXPECT_GT(r.engineComponents, 1u);
+  EXPECT_EQ(r.speculationEpochs, 0u)
+      << "multi-component populations must not dispatch";
+}
+
+TEST(ClosedLoopSpeculative, DirectEntryReportsCounters) {
+  // The direct entry point runs the speculative engine regardless of
+  // population shape and must surface its diagnostics.
+  const Scenario s = presetScenario("mega-merge", 64);
+  const auto reference = referenceRun(s);
+  ClosedLoopConfig c = s.config;
+  c.speculationThreads = 2;
+  c.speculativeEpochs = 4;
+  const auto r = runClosedLoopSimulationSpeculative(s.network, c);
+  expectSame(r, reference, "direct-entry");
+  EXPECT_EQ(r.speculationEpochs, 4u);
+  EXPECT_EQ(r.speculationRollbacks, 0u);
+}
+
+}  // namespace
+}  // namespace mcfair::sim

@@ -1,18 +1,22 @@
 // Randomized cross-engine parity fuzz: a seeded generator sweeps
 // topology family x protocol mix x loss model x fault preset x thread
-// count and asserts that all four closed-loop drivers — reference
-// linear-scan, event-driven, fluid fast-forward, and component-parallel
-// (at 1/2/4/8 threads) — produce EXACTLY the same results (EXPECT_EQ on
-// every trajectory field; fair epochs on a subset). The four engines
-// share one per-packet core, so the fuzz surface is precisely the code
-// that differs: merge order, fluid certificates and hand-backs, session
-// partitioning, lane fault sub-schedules, and per-lane scratch. Every
-// case is a fixed function of its seed — a failure reproduces from the
-// seed printed in the assertion label.
+// count and asserts that all five closed-loop drivers — reference
+// linear-scan, event-driven, fluid fast-forward, component-parallel
+// (at 1/2/4/8 threads), and speculative intra-component (at 1/2/4/8
+// workers, with seed-varied epoch grains that force both committed and
+// rolled-back epochs) — produce EXACTLY the same results (EXPECT_EQ on
+// every trajectory field; fair epochs on a subset). The engines share
+// one per-packet core, so the fuzz surface is precisely the code that
+// differs: merge order, fluid certificates and hand-backs, session
+// partitioning, lane fault sub-schedules, per-lane scratch, and the
+// speculative epoch split / frozen-prediction / rollback machinery.
+// Every case is a fixed function of its seed — a failure reproduces
+// from the seed printed in the assertion label.
 #include <gtest/gtest.h>
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -226,11 +230,13 @@ FuzzCase buildCase(std::uint64_t seed) {
   return fc;
 }
 
-TEST(EngineParityFuzz, AllFourEnginesAgreeAcrossTheGrid) {
+TEST(EngineParityFuzz, AllFiveEnginesAgreeAcrossTheGrid) {
   constexpr std::uint64_t kCases = 36;
   std::size_t multiComponent = 0;
   std::size_t withFaults = 0;
   std::size_t withLoss = 0;
+  std::size_t specMultiEpoch = 0;
+  std::size_t specRollbacks = 0;
   for (std::uint64_t seed = 1; seed <= kCases; ++seed) {
     const FuzzCase fc = buildCase(seed);
     if (!fc.config.faults.events.empty()) ++withFaults;
@@ -254,15 +260,113 @@ TEST(EngineParityFuzz, AllFourEnginesAgreeAcrossTheGrid) {
                           "]");
       EXPECT_EQ(parallel.partitionRebuilds, 1u) << fc.label;
       if (threads == 8 && parallel.engineComponents > 1) ++multiComponent;
+
+      // Fifth column: the speculative engine at the same worker grid.
+      // The epoch grain rotates with the seed so single-epoch,
+      // multi-epoch, and rollback-heavy executions all appear.
+      ClosedLoopConfig sc = fc.config;
+      sc.speculationThreads = threads;
+      sc.speculativeEpochs = (seed % 3) * 8;  // 0 (auto), 8, or 16
+      const auto speculative =
+          runClosedLoopSimulationSpeculative(fc.network, sc);
+      expectIdentical(speculative, reference,
+                      fc.label + " [speculative T=" +
+                          std::to_string(threads) + "]");
+      if (threads == 8) {
+        if (speculative.speculationEpochs > 1) ++specMultiEpoch;
+        specRollbacks +=
+            static_cast<std::size_t>(speculative.speculationRollbacks);
+      }
     }
     if (HasFatalFailure()) break;  // one seed's dump is enough
   }
   // The grid must actually exercise the interesting axes, not dodge
-  // them: multi-component partitions, fault schedules, and loss models
-  // all have to appear.
+  // them: multi-component partitions, fault schedules, loss models,
+  // multi-epoch speculative runs, and speculative rollbacks all have to
+  // appear.
   EXPECT_GE(multiComponent, 5u);
   EXPECT_GE(withFaults, 10u);
   EXPECT_GE(withLoss, 10u);
+  EXPECT_GE(specMultiEpoch, 10u);
+  EXPECT_GE(specRollbacks, 10u);
+}
+
+// Mega-merge-shaped cases: one component holding the whole population,
+// above the parallel engine's speculative dispatch floor. The parallel
+// column must reroute (speculationEpochs >= 1 proves it) and agree with
+// the reference; the direct speculative entry sweeps the worker grid.
+// Single-layer populations (the certified-steady shape) must commit
+// every epoch without a rollback; multi-layer mixes exercise divergence
+// under dispatch.
+TEST(EngineParityFuzz, SpeculativeMegaMergeDispatchAgrees) {
+  std::size_t dispatched = 0;
+  std::size_t zeroRollbackRuns = 0;
+  for (std::uint64_t seed = 101; seed <= 106; ++seed) {
+    util::Rng rng(seed * 7919 + 3);
+    ScenarioSpec spec;
+    spec.name = "fuzz-mega";
+    spec.sessions = 256 + rng.below(64);
+    spec.bottleneckGroups = 1;
+    spec.backbonePerSession = rng.uniform(0.4, 0.8);
+    spec.duration = 6.0;
+    spec.warmup = 1.0;
+    spec.seed = seed;
+    const bool multiLayer = seed % 2 == 0;
+    if (!multiLayer) {
+      // The certified-steady shape: single-layer receivers never change
+      // level (the catalog's mega-merge mix).
+      spec.mix = {SessionMix{{ProtocolKind::kDeterministic, 1, 1},
+                             net::SessionType::kMultiRate, 1.0}};
+    }
+    Scenario s = buildScenario(spec);
+    if (multiLayer) {
+      fuzzSessions(rng, s.network.sessionCount(), s.config);
+      for (auto& sess : s.config.sessions) {
+        // Keep every session alive for the whole (short) horizon; the
+        // churn times fuzzSessions draws suit the long-duration grid.
+        sess.startTime = 0.0;
+        sess.stopTime = std::numeric_limits<double>::infinity();
+      }
+    }
+    const std::string label = "mega seed " + std::to_string(seed);
+    ClosedLoopConfig serial = s.config;
+    serial.engineThreads = 1;
+    const auto reference =
+        runClosedLoopSimulationReference(s.network, serial);
+    for (const int threads : {1, 2, 4, 8}) {
+      ClosedLoopConfig sc = s.config;
+      sc.speculationThreads = threads;
+      sc.speculativeEpochs = seed % 2 == 0 ? 4 : 0;
+      const auto speculative =
+          runClosedLoopSimulationSpeculative(s.network, sc);
+      expectIdentical(speculative, reference,
+                      label + " [speculative T=" + std::to_string(threads) +
+                          "]");
+      EXPECT_GE(speculative.speculationEpochs, 1u) << label;
+      if (!multiLayer) {
+        // Certified-steady population: single-layer receivers never
+        // change level, so the frozen prediction cannot diverge.
+        EXPECT_EQ(speculative.speculationRollbacks, 0u) << label;
+        ++zeroRollbackRuns;
+      }
+
+      ClosedLoopConfig pc = s.config;
+      pc.engineThreads = threads;
+      const auto parallel = runClosedLoopSimulationParallel(s.network, pc);
+      expectIdentical(parallel, reference,
+                      label + " [dispatch T=" + std::to_string(threads) +
+                          "]");
+      EXPECT_EQ(parallel.engineComponents, 1u) << label;
+      if (threads > 1) {
+        EXPECT_GE(parallel.speculationEpochs, 1u)
+            << label << " expected the mega-merge dispatch to engage";
+        ++dispatched;
+      }
+    }
+    if (HasFatalFailure()) break;
+  }
+  EXPECT_GE(dispatched, 18u);      // 6 seeds x {2,4,8}
+  EXPECT_GE(zeroRollbackRuns, 12u);  // 3 single-layer seeds x 4 counts
 }
 
 }  // namespace

@@ -89,6 +89,52 @@ TEST(EventQueue, BatchRejectsNegativeTime) {
   EXPECT_THROW(q.scheduleAt(batch), PreconditionError);
 }
 
+TEST(EventQueue, BuildFromMatchesBatchSchedulingPopOrder) {
+  // The bulk-heapify constructor's contract: byte-identical pop order to
+  // scheduleAt(batch) on a fresh queue — including equal-time ties,
+  // which break in batch order on both paths.
+  const EventQueue::Pending batch[] = {{3.0, 30}, {1.0, 10}, {2.0, 20},
+                                       {1.0, 11}, {3.0, 31}, {2.0, 21}};
+  EventQueue viaBatch;
+  viaBatch.scheduleAt(batch);
+  EventQueue viaBuild = EventQueue::buildFrom(batch);
+  ASSERT_EQ(viaBuild.size(), viaBatch.size());
+  while (!viaBatch.empty()) {
+    const auto a = viaBatch.pop();
+    const auto b = viaBuild.pop();
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->time, b->time);
+    EXPECT_EQ(a->sequence, b->sequence);
+    EXPECT_EQ(a->payload, b->payload);
+  }
+}
+
+TEST(EventQueue, BuildFromContinuesSequencesForLaterScheduling) {
+  const EventQueue::Pending batch[] = {{1.0, 1}, {2.0, 2}};
+  EventQueue q = EventQueue::buildFrom(batch);
+  // Sequences continue past the seeded batch, so later equal-time
+  // events still lose ties to seeded ones (the sender's invariant).
+  q.schedule(1.0, 3);
+  EXPECT_EQ(q.pop()->payload, 1u);
+  EXPECT_EQ(q.pop()->payload, 3u);
+  EXPECT_EQ(q.pop()->payload, 2u);
+}
+
+TEST(EventQueue, BuildFromEmptyAndExtraCapacity) {
+  EventQueue empty = EventQueue::buildFrom({});
+  EXPECT_TRUE(empty.empty());
+  const EventQueue::Pending batch[] = {{2.0, 2}, {1.0, 1}};
+  EventQueue q = EventQueue::buildFrom(batch, 8);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop()->payload, 1u);
+  EXPECT_EQ(q.pop()->payload, 2u);
+}
+
+TEST(EventQueue, BuildFromRejectsNegativeTime) {
+  const EventQueue::Pending batch[] = {{1.0, 1}, {-0.25, 2}};
+  EXPECT_THROW(EventQueue::buildFrom(batch), PreconditionError);
+}
+
 TEST(EventQueue, ReserveDoesNotDisturbPendingEvents) {
   EventQueue q;
   q.schedule(2.0, 2);
